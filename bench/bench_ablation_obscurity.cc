@@ -1,0 +1,58 @@
+// Ablation over the query-fragment obscurity level (Sec. IV). The paper
+// states all three levels improve on the baseline and reports only
+// NoConstOp (its best); this bench quantifies the spread.
+
+#include <cstdio>
+
+#include "datasets/dataset.h"
+#include "eval/evaluator.h"
+
+using namespace templar;
+
+int main(int argc, char** argv) {
+  std::vector<datasets::Dataset> all;
+  if (argc > 1) {
+    auto ds = datasets::BuildByName(argv[1]);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "error: %s\n", ds.status().ToString().c_str());
+      return 1;
+    }
+    all.push_back(std::move(*ds));
+  } else {
+    auto built = datasets::BuildAll();
+    if (!built.ok()) {
+      std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    all = std::move(*built);
+  }
+
+  std::printf("Ablation: Pipeline+ FQ accuracy (%%) per obscurity level\n");
+  std::printf("(paper: all levels improve on the baseline; NoConstOp best)\n");
+  std::printf("%-6s %10s %10s %10s %10s\n", "Data", "baseline", "Full",
+              "NoConst", "NoConstOp");
+  std::printf("--------------------------------------------------\n");
+  for (const auto& ds : all) {
+    eval::EvalOptions base_options;
+    auto baseline =
+        eval::EvaluateSystem(ds, eval::SystemKind::kPipeline, base_options);
+    if (!baseline.ok()) return 1;
+    std::printf("%-6s %10.1f", ds.name.c_str(), baseline->scores.FqPct());
+    for (auto level :
+         {qfg::ObscurityLevel::kFull, qfg::ObscurityLevel::kNoConst,
+          qfg::ObscurityLevel::kNoConstOp}) {
+      eval::EvalOptions options;
+      options.templar.obscurity = level;
+      auto result =
+          eval::EvaluateSystem(ds, eval::SystemKind::kPipelinePlus, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(" %10.1f", result->scores.FqPct());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

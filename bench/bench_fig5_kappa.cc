@@ -1,0 +1,53 @@
+// Reproduces Figure 5: FQ accuracy of Pipeline+ on each benchmark as a
+// function of kappa (candidate mappings retained per keyword), with lambda
+// fixed at 0.8. The paper reports a plateau for kappa >= 5.
+
+#include <cstdio>
+#include <vector>
+
+#include "datasets/dataset.h"
+#include "eval/evaluator.h"
+
+using namespace templar;
+
+int main(int argc, char** argv) {
+  std::vector<datasets::Dataset> all;
+  if (argc > 1) {
+    auto ds = datasets::BuildByName(argv[1]);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "error: %s\n", ds.status().ToString().c_str());
+      return 1;
+    }
+    all.push_back(std::move(*ds));
+  } else {
+    auto built = datasets::BuildAll();
+    if (!built.ok()) {
+      std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    all = std::move(*built);
+  }
+
+  const std::vector<size_t> kappas = {1, 2, 3, 4, 5, 6, 8, 10};
+  std::printf("Figure 5: Pipeline+ FQ accuracy (%%) vs kappa (lambda = 0.8)\n");
+  std::printf("%-6s", "kappa");
+  for (const auto& ds : all) std::printf(" %8s", ds.name.c_str());
+  std::printf("\n------------------------------------\n");
+  for (size_t kappa : kappas) {
+    std::printf("%-6zu", kappa);
+    for (const auto& ds : all) {
+      eval::EvalOptions options;
+      options.templar.mapper.kappa = kappa;
+      auto result =
+          eval::EvaluateSystem(ds, eval::SystemKind::kPipelinePlus, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(" %8.1f", result->scores.FqPct());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

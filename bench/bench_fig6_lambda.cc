@@ -1,0 +1,56 @@
+// Reproduces Figure 6: FQ accuracy of Pipeline+ on each benchmark as a
+// function of lambda (weight of the word-similarity score vs the log-driven
+// score), with kappa fixed at 5. The paper reports stable accuracy over
+// lambda in [0.1, 0.8] and a sharp drop as lambda approaches 1 (log
+// information switched off).
+
+#include <cstdio>
+#include <vector>
+
+#include "datasets/dataset.h"
+#include "eval/evaluator.h"
+
+using namespace templar;
+
+int main(int argc, char** argv) {
+  std::vector<datasets::Dataset> all;
+  if (argc > 1) {
+    auto ds = datasets::BuildByName(argv[1]);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "error: %s\n", ds.status().ToString().c_str());
+      return 1;
+    }
+    all.push_back(std::move(*ds));
+  } else {
+    auto built = datasets::BuildAll();
+    if (!built.ok()) {
+      std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    all = std::move(*built);
+  }
+
+  const std::vector<double> lambdas = {0.0, 0.1, 0.2, 0.4, 0.6,
+                                       0.8, 0.9, 0.95, 1.0};
+  std::printf("Figure 6: Pipeline+ FQ accuracy (%%) vs lambda (kappa = 5)\n");
+  std::printf("%-7s", "lambda");
+  for (const auto& ds : all) std::printf(" %8s", ds.name.c_str());
+  std::printf("\n------------------------------------\n");
+  for (double lambda : lambdas) {
+    std::printf("%-7.2f", lambda);
+    for (const auto& ds : all) {
+      eval::EvalOptions options;
+      options.templar.mapper.lambda = lambda;
+      auto result =
+          eval::EvaluateSystem(ds, eval::SystemKind::kPipelinePlus, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(" %8.1f", result->scores.FqPct());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

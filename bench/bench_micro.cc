@@ -1,0 +1,164 @@
+// Microbenchmarks (google-benchmark): the per-component costs behind
+// Templar's end-to-end latency — SQL parsing, fragment extraction, QFG
+// construction and Dice lookup, Steiner search, schema forking, keyword
+// mapping, and full translation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/templar.h"
+#include "datasets/dataset.h"
+#include "graph/fork.h"
+#include "graph/steiner.h"
+#include "nlidb/nlidb.h"
+#include "qfg/query_fragment_graph.h"
+#include "sql/parser.h"
+
+namespace {
+
+using namespace templar;
+
+const datasets::Dataset& Mas() {
+  static datasets::Dataset* ds = [] {
+    auto built = datasets::BuildMas();
+    if (!built.ok()) std::abort();
+    return new datasets::Dataset(std::move(*built));
+  }();
+  return *ds;
+}
+
+const char* kSampleSql =
+    "SELECT p.title FROM publication p, publication_keyword pk, keyword k, "
+    "domain_keyword dk, domain d WHERE d.name = 'Databases' AND p.pid = "
+    "pk.pid AND k.kid = pk.kid AND dk.kid = k.kid AND dk.did = d.did";
+
+void BM_SqlParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto q = sql::Parse(kSampleSql);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_FragmentExtraction(benchmark::State& state) {
+  auto q = sql::Parse(kSampleSql);
+  for (auto _ : state) {
+    auto frags =
+        qfg::ExtractFragments(*q, qfg::ObscurityLevel::kNoConstOp);
+    benchmark::DoNotOptimize(frags);
+  }
+}
+BENCHMARK(BM_FragmentExtraction);
+
+void BM_QfgBuild(benchmark::State& state) {
+  const auto& log = Mas().extra_log;
+  for (auto _ : state) {
+    qfg::QueryFragmentGraph graph(qfg::ObscurityLevel::kNoConstOp);
+    for (const auto& entry : log) {
+      benchmark::DoNotOptimize(graph.AddQuerySql(entry));
+    }
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(log.size()));
+}
+BENCHMARK(BM_QfgBuild);
+
+void BM_DiceLookup(benchmark::State& state) {
+  qfg::QueryFragmentGraph graph(qfg::ObscurityLevel::kNoConstOp);
+  for (const auto& entry : Mas().extra_log) {
+    (void)graph.AddQuerySql(entry);
+  }
+  qfg::QueryFragment a = qfg::SelectFragment("publication", "title");
+  qfg::QueryFragment b{qfg::FragmentContext::kWhere,
+                       "domain.name ?op ?val"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.Dice(a, b));
+  }
+}
+BENCHMARK(BM_DiceLookup);
+
+void BM_SteinerUnitWeights(benchmark::State& state) {
+  auto schema = graph::SchemaGraph::FromCatalog(Mas().database->catalog());
+  for (auto _ : state) {
+    auto paths =
+        graph::FindJoinPaths(schema, {"publication", "domain", "author"});
+    benchmark::DoNotOptimize(paths);
+  }
+}
+BENCHMARK(BM_SteinerUnitWeights);
+
+void BM_SchemaFork(benchmark::State& state) {
+  auto schema = graph::SchemaGraph::FromCatalog(Mas().database->catalog());
+  for (auto _ : state) {
+    graph::SchemaGraph working = schema;
+    benchmark::DoNotOptimize(graph::ForkRelation(&working, "author", 1));
+  }
+}
+BENCHMARK(BM_SchemaFork);
+
+void BM_FulltextSearch(benchmark::State& state) {
+  auto index = text::FulltextIndex::Build(*Mas().database);
+  std::vector<std::string> stems = {"databas"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(stems));
+  }
+}
+BENCHMARK(BM_FulltextSearch);
+
+std::unique_ptr<nlidb::PipelineSystem>& AugmentedSystem() {
+  static auto* sys = [] {
+    nlidb::PipelineConfig config;
+    config.templar_keywords = true;
+    config.templar_joins = true;
+    auto built = nlidb::PipelineSystem::Build(
+        Mas().database.get(), Mas().lexicon.get(), Mas().extra_log, config);
+    if (!built.ok()) std::abort();
+    return new std::unique_ptr<nlidb::PipelineSystem>(std::move(*built));
+  }();
+  return *sys;
+}
+
+nlq::ParsedNlq SampleNlq() {
+  nlq::ParsedNlq parsed;
+  parsed.original = "Return the papers in the Databases domain";
+  nlq::AnnotatedKeyword papers;
+  papers.text = "papers";
+  papers.metadata.context = qfg::FragmentContext::kSelect;
+  nlq::AnnotatedKeyword value;
+  value.text = "Databases";
+  value.metadata.context = qfg::FragmentContext::kWhere;
+  value.metadata.op = sql::BinaryOp::kEq;
+  parsed.keywords = {papers, value};
+  return parsed;
+}
+
+void BM_MapKeywords(benchmark::State& state) {
+  const auto& sys = AugmentedSystem();
+  auto parsed = SampleNlq();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys->templar().MapKeywords(parsed));
+  }
+}
+BENCHMARK(BM_MapKeywords);
+
+void BM_InferJoins(benchmark::State& state) {
+  const auto& sys = AugmentedSystem();
+  std::vector<std::string> bag = {"publication", "domain"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys->templar().InferJoins(bag));
+  }
+}
+BENCHMARK(BM_InferJoins);
+
+void BM_EndToEndTranslate(benchmark::State& state) {
+  const auto& sys = AugmentedSystem();
+  auto parsed = SampleNlq();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys->Translate(parsed));
+  }
+}
+BENCHMARK(BM_EndToEndTranslate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Reproduces Table II: statistics of each benchmark dataset, printed beside
+// the paper's values. Size differs by construction (the paper's databases
+// are multi-GB production dumps; ours are synthetic in-memory equivalents —
+// DESIGN.md documents the substitution); the schema statistics and query
+// counts match exactly.
+
+#include <cstdio>
+
+#include "datasets/dataset.h"
+
+using namespace templar;
+
+int main() {
+  auto all = datasets::BuildAll();
+  if (!all.ok()) {
+    std::fprintf(stderr, "error: %s\n", all.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Table II: statistics of each benchmark dataset\n");
+  std::printf("%-6s %14s %6s %6s %6s %8s   %s\n", "Data", "Size", "Rels",
+              "Attrs", "FK-PK", "Queries", "(paper: size/rels/attrs/fk/q)");
+  std::printf("---------------------------------------------------------------"
+              "----------\n");
+  for (const auto& ds : *all) {
+    double size_mb =
+        static_cast<double>(ds.database->ApproximateSizeBytes()) / 1e6;
+    std::printf("%-6s %11.2f MB %6zu %6zu %6zu %8zu   (%.1f GB / %d / %d / %d "
+                "/ %d)\n",
+                ds.name.c_str(), size_mb,
+                ds.database->catalog().relations().size(),
+                ds.database->catalog().attribute_count(),
+                ds.database->catalog().foreign_keys().size(),
+                ds.benchmark.size(), ds.paper.size_gb, ds.paper.relations,
+                ds.paper.attributes, ds.paper.fk_pk, ds.paper.queries);
+  }
+  return 0;
+}

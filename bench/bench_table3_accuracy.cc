@@ -1,0 +1,91 @@
+// Reproduces Table III: keyword-mapping (KW) and full-query (FQ) top-1
+// accuracy of NaLIR, NaLIR+, Pipeline, Pipeline+ on MAS / Yelp / IMDB under
+// 4-fold cross validation with NoConstOp, kappa = 5, lambda = 0.8.
+//
+//   $ ./build/bench/bench_table3_accuracy [mas|yelp|imdb]
+//
+// Paper-reported values are printed beside the measured values; the claim
+// under reproduction is the *shape* (Pipeline+ >> Pipeline, NaLIR+ > NaLIR),
+// not the absolute numbers — the substrate here is synthetic (DESIGN.md).
+
+#include <cstdio>
+#include <cstring>
+
+#include "datasets/dataset.h"
+#include "eval/evaluator.h"
+
+using namespace templar;
+
+namespace {
+
+struct PaperRow {
+  const char* dataset;
+  const char* system;
+  double kw;
+  double fq;
+};
+
+// Table III as published.
+const PaperRow kPaperRows[] = {
+    {"MAS", "NaLIR", 43.3, 33.0},    {"MAS", "NaLIR+", 45.4, 40.2},
+    {"MAS", "Pipeline", 39.7, 32.0}, {"MAS", "Pipeline+", 77.8, 76.3},
+    {"Yelp", "NaLIR", 52.8, 47.2},   {"Yelp", "NaLIR+", 59.8, 52.8},
+    {"Yelp", "Pipeline", 56.7, 54.3}, {"Yelp", "Pipeline+", 85.0, 85.0},
+    {"IMDB", "NaLIR", 40.6, 38.3},   {"IMDB", "NaLIR+", 57.8, 50.0},
+    {"IMDB", "Pipeline", 32.0, 27.3}, {"IMDB", "Pipeline+", 67.2, 64.8},
+};
+
+double PaperValue(const std::string& dataset, const char* system, bool fq) {
+  for (const auto& row : kPaperRows) {
+    if (dataset == row.dataset && std::strcmp(system, row.system) == 0) {
+      return fq ? row.fq : row.kw;
+    }
+  }
+  return 0;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<datasets::Dataset> all;
+  if (argc > 1) {
+    auto ds = datasets::BuildByName(argv[1]);
+    if (!ds.ok()) return Fail(ds.status());
+    all.push_back(std::move(*ds));
+  } else {
+    auto built = datasets::BuildAll();
+    if (!built.ok()) return Fail(built.status());
+    all = std::move(*built);
+  }
+
+  const eval::SystemKind kSystems[] = {
+      eval::SystemKind::kNalir, eval::SystemKind::kNalirPlus,
+      eval::SystemKind::kPipeline, eval::SystemKind::kPipelinePlus};
+
+  std::printf("Table III: KW and FQ top-1 accuracy (NoConstOp, kappa=5, "
+              "lambda=0.8, 4-fold CV)\n");
+  std::printf("%-6s %-10s %14s %14s\n", "", "", "KW (%)", "FQ (%)");
+  std::printf("%-6s %-10s %6s %7s %6s %7s\n", "Data", "System", "meas",
+              "paper", "meas", "paper");
+  std::printf("--------------------------------------------------\n");
+
+  eval::EvalOptions options;
+  for (const auto& dataset : all) {
+    for (auto kind : kSystems) {
+      auto result = eval::EvaluateSystem(dataset, kind, options);
+      if (!result.ok()) return Fail(result.status());
+      const char* name = eval::SystemKindToString(kind);
+      std::printf("%-6s %-10s %6.1f %7.1f %6.1f %7.1f\n",
+                  dataset.name.c_str(), name, result->scores.KwPct(),
+                  PaperValue(dataset.name, name, false),
+                  result->scores.FqPct(), PaperValue(dataset.name, name, true));
+    }
+    std::printf("--------------------------------------------------\n");
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Interactive shell: type English questions against a bundled dataset and
+// see the baseline and Templar-augmented translations side by side, plus
+// the ranked candidate list. Reads from stdin (pipe-friendly).
+//
+//   $ ./build/examples/templar_shell [mas|yelp|imdb]
+//   templar> Return the papers after 2000
+//   templar> :candidates Return the papers in the Databases domain
+//   templar> :quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "datasets/dataset.h"
+#include "nlidb/nlidb.h"
+#include "nlq/nlq_parser.h"
+
+using namespace templar;
+
+namespace {
+
+void ShowTranslation(const char* label,
+                     const Result<nlidb::Translation>& t) {
+  if (!t.ok()) {
+    std::printf("  %-9s <%s>\n", label, t.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %-9s %s%s\n", label, t->query.ToString().c_str(),
+              t->tie_for_first ? "   [tie for first]" : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "mas";
+  auto dataset = datasets::BuildByName(name);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  nlidb::PipelineConfig baseline_config;
+  auto baseline = nlidb::PipelineSystem::Build(
+      dataset->database.get(), dataset->lexicon.get(), dataset->extra_log,
+      baseline_config);
+  nlidb::PipelineConfig plus_config;
+  plus_config.templar_keywords = true;
+  plus_config.templar_joins = true;
+  auto augmented = nlidb::PipelineSystem::Build(
+      dataset->database.get(), dataset->lexicon.get(), dataset->extra_log,
+      plus_config);
+  if (!baseline.ok() || !augmented.ok()) {
+    std::fprintf(stderr, "error building systems\n");
+    return 1;
+  }
+
+  nlq::NlqParser parser;
+  std::printf("Templar shell over %s (%zu relations, %zu log entries).\n"
+              "Commands: :candidates <nlq>   show the ranked list\n"
+              "          :quit               exit\n",
+              dataset->name.c_str(),
+              dataset->database->catalog().relations().size(),
+              dataset->extra_log.size());
+
+  std::string line;
+  while (true) {
+    std::printf("templar> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":q") break;
+
+    bool show_candidates = false;
+    if (StartsWith(line, ":candidates ")) {
+      show_candidates = true;
+      line = Trim(line.substr(12));
+    }
+
+    nlq::ParsedNlq parsed = parser.Parse(line);
+    if (parsed.keywords.empty()) {
+      std::printf("  (no keywords recognized)\n");
+      continue;
+    }
+    std::printf("  keywords:");
+    for (const auto& kw : parsed.keywords) {
+      std::printf(" %s", kw.ToString().c_str());
+    }
+    std::printf("\n");
+
+    ShowTranslation("Pipeline", (*baseline)->Translate(parsed));
+    ShowTranslation("Pipeline+", (*augmented)->Translate(parsed));
+
+    if (show_candidates) {
+      auto all = (*augmented)->TranslateAll(parsed);
+      if (all.ok()) {
+        std::printf("  ranked candidates:\n");
+        size_t shown = 0;
+        for (const auto& t : *all) {
+          std::printf("    %.4f  %s\n", t.score, t.query.ToString().c_str());
+          if (++shown >= 5) break;
+        }
+      }
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#ifndef TEMPLAR_COMMON_RESULT_H_
+#define TEMPLAR_COMMON_RESULT_H_
+
+/// \file result.h
+/// \brief `Result<T>`: a value or a Status, in the Arrow idiom.
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace templar {
+
+/// \brief Holds either a successfully computed `T` or the Status explaining
+/// why it could not be computed.
+///
+/// Use with `TEMPLAR_ASSIGN_OR_RETURN` for error propagation:
+/// \code
+///   TEMPLAR_ASSIGN_OR_RETURN(auto query, Parser::Parse(sql));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.ok());
+  }
+  /// Constructs a success result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  /// \brief True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// \brief The error status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// \brief Returns the value; must only be called when `ok()`.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// \brief Returns the value, or `alternative` on error.
+  T ValueOr(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace templar
+
+#endif  // TEMPLAR_COMMON_RESULT_H_

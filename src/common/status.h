@@ -1,0 +1,140 @@
+#ifndef TEMPLAR_COMMON_STATUS_H_
+#define TEMPLAR_COMMON_STATUS_H_
+
+/// \file status.h
+/// \brief Error propagation without exceptions, in the Arrow/RocksDB idiom.
+///
+/// All fallible operations in the library return a `Status` (or a
+/// `Result<T>`, see result.h). The `RETURN_NOT_OK` macro propagates errors
+/// up the stack.
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace templar {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kParseError = 4,
+  kTypeError = 5,
+  kOutOfRange = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+  kIOError = 9,
+};
+
+/// \brief Returns a human-readable name for a status code (e.g. "ParseError").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief An operation outcome: either OK, or a code plus a message.
+///
+/// Statuses are cheap to copy in the OK case (a null pointer). Error state is
+/// heap-allocated, matching the common "errors are rare" usage pattern.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  /// \brief True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  /// \brief The status code; kOk when `ok()`.
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+
+  /// \brief The error message; empty when `ok()`.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  /// \brief Formats the status as "Code: message" (or "OK").
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeToString(state_->code);
+    s += ": ";
+    s += state_->msg;
+    return s;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace templar
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define TEMPLAR_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::templar::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+#define TEMPLAR_CONCAT_IMPL(x, y) x##y
+#define TEMPLAR_CONCAT(x, y) TEMPLAR_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define TEMPLAR_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  TEMPLAR_ASSIGN_OR_RETURN_IMPL(                                      \
+      TEMPLAR_CONCAT(_templar_result_, __LINE__), lhs, rexpr)
+
+#define TEMPLAR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie();
+
+#endif  // TEMPLAR_COMMON_STATUS_H_

@@ -1,0 +1,59 @@
+#ifndef TEMPLAR_COMMON_STRING_UTIL_H_
+#define TEMPLAR_COMMON_STRING_UTIL_H_
+
+/// \file string_util.h
+/// \brief Small string helpers shared across the library.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace templar {
+
+/// \brief Returns `s` lowercased (ASCII only; the benchmarks are English).
+std::string ToLower(std::string_view s);
+
+/// \brief Returns `s` uppercased (ASCII only).
+std::string ToUpper(std::string_view s);
+
+/// \brief Removes leading and trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// \brief Splits `s` on `delim`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// \brief Splits `s` on any whitespace run, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// \brief Splits an identifier into lowercase word tokens on '_', '.', '-'
+/// and lower→upper camelCase boundaries. "domain_keyword" -> {domain,keyword}.
+std::vector<std::string> SplitIdentifierWords(std::string_view s);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief True iff `s` contains at least one ASCII digit.
+bool ContainsDigit(std::string_view s);
+
+/// \brief True iff `s` parses entirely as a (possibly signed) number.
+bool IsNumber(std::string_view s);
+
+/// \brief Replaces every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string s, std::string_view from, std::string_view to);
+
+/// \brief Levenshtein edit distance between two strings.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// \brief 64-bit FNV-1a hash; stable across platforms and runs, used for
+/// deterministic synthetic embeddings and dataset generation.
+uint64_t Fnv1aHash(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL);
+
+}  // namespace templar
+
+#endif  // TEMPLAR_COMMON_STRING_UTIL_H_

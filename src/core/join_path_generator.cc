@@ -1,0 +1,63 @@
+#include "core/join_path_generator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/fork.h"
+
+namespace templar::core {
+
+JoinPathGenerator::JoinPathGenerator(const graph::SchemaGraph* schema,
+                                     const qfg::QueryFragmentGraph* qfg,
+                                     JoinPathGeneratorOptions options)
+    : schema_(schema), qfg_(qfg), options_(options) {}
+
+graph::EdgeWeightFn JoinPathGenerator::WeightFunction() const {
+  if (!options_.use_log_weights || qfg_ == nullptr) {
+    return nullptr;  // Steiner solver treats null as unit weights.
+  }
+  const qfg::QueryFragmentGraph* qfg = qfg_;
+  return [qfg](const std::string& a, const std::string& b) {
+    return 1.0 - qfg->RelationDice(a, b);
+  };
+}
+
+Result<std::vector<graph::JoinPath>> JoinPathGenerator::InferJoins(
+    const std::vector<std::string>& relation_bag) const {
+  if (relation_bag.empty()) {
+    return Status::InvalidArgument("empty relation bag");
+  }
+
+  // Count requested instances per base relation.
+  std::map<std::string, int> instances;
+  for (const auto& inst : relation_bag) {
+    std::string base = graph::BaseRelationName(inst);
+    if (!schema_->HasRelation(base)) {
+      return Status::NotFound("relation '" + base + "' not in schema");
+    }
+    int& n = instances[base];
+    n = std::max(n, 1);
+    auto pos = inst.find('#');
+    if (pos != std::string::npos) {
+      int idx = std::stoi(inst.substr(pos + 1));
+      n = std::max(n, idx + 1);
+    }
+  }
+
+  // Fork the graph (d-1) times per duplicated relation (Sec. VI-C).
+  graph::SchemaGraph working = *schema_;
+  for (const auto& [base, count] : instances) {
+    for (int copy = 1; copy < count; ++copy) {
+      TEMPLAR_ASSIGN_OR_RETURN(std::string instance,
+                               graph::ForkRelation(&working, base, copy));
+      (void)instance;
+    }
+  }
+
+  graph::SteinerOptions steiner_options;
+  steiner_options.top_k = options_.top_k;
+  steiner_options.weight_fn = WeightFunction();
+  return graph::FindJoinPaths(working, relation_bag, steiner_options);
+}
+
+}  // namespace templar::core

@@ -1,0 +1,65 @@
+#ifndef TEMPLAR_CORE_JOIN_PATH_GENERATOR_H_
+#define TEMPLAR_CORE_JOIN_PATH_GENERATOR_H_
+
+/// \file join_path_generator.h
+/// \brief INFERJOINS (Sec. VI): log-driven join path inference.
+///
+/// Input: the bag B_D of relations/attributes known to be in the SQL
+/// translation. Attributes are first collapsed to their parent relations;
+/// duplicated instances trigger the FORK of Algorithm 4; a Steiner-tree
+/// search (graph/steiner.h) over the (possibly forked) schema graph then
+/// produces ranked join paths. With log weights enabled, edge weights are
+///     w_L(r1, r2) = 1 - Dice(r1, r2)
+/// over the QFG's FROM-fragment co-occurrences (Sec. VI-A2); otherwise every
+/// edge costs 1 and the search degenerates to shortest join paths — exactly
+/// the baseline Pipeline behaviour.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/schema_graph.h"
+#include "graph/steiner.h"
+#include "qfg/query_fragment_graph.h"
+
+namespace templar::core {
+
+/// \brief Tunables of INFERJOINS.
+struct JoinPathGeneratorOptions {
+  /// LogJoin toggle of Table IV: use w_L instead of unit weights.
+  bool use_log_weights = true;
+  /// Ranked join paths returned per request.
+  size_t top_k = 3;
+};
+
+/// \brief Executes the join-path-inference side of Templar.
+class JoinPathGenerator {
+ public:
+  /// \param schema base schema graph (unforked); must outlive the generator.
+  /// \param qfg log statistics; may be null (unit weights regardless of
+  ///        options).
+  JoinPathGenerator(const graph::SchemaGraph* schema,
+                    const qfg::QueryFragmentGraph* qfg,
+                    JoinPathGeneratorOptions options = {});
+
+  /// \brief INFERJOINS over a bag of relation instances.
+  ///
+  /// The bag uses instance naming: a plain name for the first instance of a
+  /// relation and "rel#1", "rel#2", ... for duplicates (as produced by
+  /// Configuration::RelationBag). Duplicates cause (d-1) forks of the
+  /// schema graph before the Steiner search.
+  Result<std::vector<graph::JoinPath>> InferJoins(
+      const std::vector<std::string>& relation_bag) const;
+
+  /// \brief The weight function currently in effect (for diagnostics).
+  graph::EdgeWeightFn WeightFunction() const;
+
+ private:
+  const graph::SchemaGraph* schema_;
+  const qfg::QueryFragmentGraph* qfg_;
+  JoinPathGeneratorOptions options_;
+};
+
+}  // namespace templar::core
+
+#endif  // TEMPLAR_CORE_JOIN_PATH_GENERATOR_H_

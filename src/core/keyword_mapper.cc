@@ -1,0 +1,394 @@
+#include "core/keyword_mapper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace templar::core {
+
+namespace {
+
+/// Pulls the first numeric token out of a keyword: "after 2000" -> 2000.
+std::optional<double> ExtractNumber(const std::string& s) {
+  for (const auto& tok : SplitWhitespace(s)) {
+    if (IsNumber(tok)) return std::stod(tok);
+  }
+  return std::nullopt;
+}
+
+/// The keyword text with numeric tokens removed (s_text in Algorithm 3).
+std::string TextPart(const std::string& s) {
+  std::vector<std::string> kept;
+  for (const auto& tok : SplitWhitespace(s)) {
+    if (!IsNumber(tok)) kept.push_back(tok);
+  }
+  return Join(kept, " ");
+}
+
+/// Human-comparable name of an attribute: "publication citation num".
+std::string AttributePhrase(const std::string& relation,
+                            const std::string& attribute) {
+  return Join(SplitIdentifierWords(relation), " ") + " " +
+         Join(SplitIdentifierWords(attribute), " ");
+}
+
+sql::Literal NumberLiteral(double value) {
+  double rounded = std::round(value);
+  if (rounded == value) {
+    return sql::Literal::Int(static_cast<int64_t>(rounded));
+  }
+  return sql::Literal::Double(value);
+}
+
+}  // namespace
+
+KeywordMapper::KeywordMapper(const db::Database* db,
+                             const text::FulltextIndex* fts,
+                             const embed::SimilarityModel* model,
+                             const qfg::QueryFragmentGraph* qfg,
+                             KeywordMapperOptions options)
+    : db_(db), executor_(db), fts_(fts), model_(model), qfg_(qfg),
+      options_(options) {}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2: KEYWORDCANDS
+// ---------------------------------------------------------------------------
+
+std::vector<CandidateMapping> KeywordMapper::KeywordCands(
+    const nlq::AnnotatedKeyword& keyword) const {
+  if (ContainsDigit(keyword.text) && ExtractNumber(keyword.text)) {
+    return NumericCands(keyword);
+  }
+  switch (keyword.metadata.context) {
+    case qfg::FragmentContext::kFrom:
+      return RelationCands(keyword);
+    case qfg::FragmentContext::kSelect:
+    case qfg::FragmentContext::kGroupBy:
+    case qfg::FragmentContext::kOrderBy:
+      return AttributeCands(keyword);
+    default:
+      return TextPredicateCands(keyword);
+  }
+}
+
+std::vector<CandidateMapping> KeywordMapper::NumericCands(
+    const nlq::AnnotatedKeyword& keyword) const {
+  std::vector<CandidateMapping> out;
+  auto number = ExtractNumber(keyword.text);
+  if (!number) return out;
+  sql::BinaryOp op = keyword.metadata.op.value_or(sql::BinaryOp::kEq);
+  // findNumericAttrs: numeric attributes with >=1 satisfying value.
+  for (const auto& [rel, attr] : executor_.FindNumericAttrs(*number, op)) {
+    CandidateMapping c;
+    c.kind = CandidateMapping::Kind::kPredicate;
+    c.relation = rel;
+    c.attribute = attr;
+    c.op = op;
+    c.value = NumberLiteral(*number);
+    c.fragment = qfg::WhereFragment(c.ToPredicate(), qfg::ObscurityLevel::kFull);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<CandidateMapping> KeywordMapper::RelationCands(
+    const nlq::AnnotatedKeyword&) const {
+  std::vector<CandidateMapping> out;
+  for (const auto& rel : db_->catalog().relations()) {
+    CandidateMapping c;
+    c.kind = CandidateMapping::Kind::kRelation;
+    c.relation = rel.name;
+    c.fragment = qfg::RelationFragment(rel.name);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<CandidateMapping> KeywordMapper::AttributeCands(
+    const nlq::AnnotatedKeyword& keyword) const {
+  std::vector<CandidateMapping> out;
+  std::set<std::string> fk_attrs;
+  for (const auto& fk : db_->catalog().foreign_keys()) {
+    fk_attrs.insert(fk.from_relation + "." + fk.from_attribute);
+    fk_attrs.insert(fk.to_relation + "." + fk.to_attribute);
+  }
+  for (const auto& rel : db_->catalog().relations()) {
+    for (const auto& attr : rel.attributes) {
+      // Key columns are join plumbing, not projection targets — except for
+      // COUNT aggregates, where counting the primary key is idiomatic.
+      bool is_key_attr =
+          attr.is_primary_key || fk_attrs.count(rel.name + "." + attr.name) > 0;
+      bool counting = !keyword.metadata.aggs.empty() &&
+                      keyword.metadata.aggs.back() == sql::AggFunc::kCount;
+      if (is_key_attr && !counting) continue;
+      // Non-COUNT aggregates only make sense on numeric attributes.
+      if (!keyword.metadata.aggs.empty() && !counting &&
+          attr.type == db::DataType::kText) {
+        continue;
+      }
+      CandidateMapping c;
+      c.kind = CandidateMapping::Kind::kAttribute;
+      c.relation = rel.name;
+      c.attribute = attr.name;
+      c.aggs = keyword.metadata.aggs;
+      c.group_by = keyword.metadata.group_by;
+      c.fragment = qfg::SelectFragment(rel.name, attr.name, c.aggs, c.distinct);
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+std::vector<CandidateMapping> KeywordMapper::TextPredicateCands(
+    const nlq::AnnotatedKeyword& keyword) const {
+  std::vector<CandidateMapping> out;
+  std::set<std::string> seen;
+  std::vector<std::string> stems = text::TokenizeAndStem(keyword.text);
+  if (stems.empty()) return out;
+
+  auto add_matches = [&](const std::vector<text::FulltextMatch>& matches) {
+    for (const auto& m : matches) {
+      std::string key = m.relation + "\x1f" + m.attribute + "\x1f" + m.value;
+      if (!seen.insert(std::move(key)).second) continue;
+      CandidateMapping c;
+      c.kind = CandidateMapping::Kind::kPredicate;
+      c.relation = m.relation;
+      c.attribute = m.attribute;
+      c.op = keyword.metadata.op.value_or(sql::BinaryOp::kEq);
+      c.value = sql::Literal::String(m.value);
+      c.fragment =
+          qfg::WhereFragment(c.ToPredicate(), qfg::ObscurityLevel::kFull);
+      out.push_back(std::move(c));
+    }
+  };
+
+  // Global boolean search with all stemmed tokens.
+  add_matches(fts_->Search(stems));
+
+  // Sec. V-A: when a stemmed token equals the stemmed relation/attribute
+  // name of a candidate attribute, drop it from the search against that
+  // attribute ("movie Saving Private Ryan" on movie.title searches only
+  // "saving private ryan").
+  for (const auto& rel : db_->catalog().relations()) {
+    for (const auto& attr : rel.attributes) {
+      if (!attr.fulltext_indexed) continue;
+      std::set<std::string> name_stems;
+      for (const auto& w : SplitIdentifierWords(rel.name)) {
+        name_stems.insert(text::PorterStem(w));
+      }
+      for (const auto& w : SplitIdentifierWords(attr.name)) {
+        name_stems.insert(text::PorterStem(w));
+      }
+      std::vector<std::string> reduced;
+      for (const auto& s : stems) {
+        if (!name_stems.count(s)) reduced.push_back(s);
+      }
+      if (reduced.size() == stems.size() || reduced.empty()) continue;
+      add_matches(fts_->Search(reduced, rel.name, attr.name));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3: SCOREANDPRUNE
+// ---------------------------------------------------------------------------
+
+double KeywordMapper::ScoreCandidate(const nlq::AnnotatedKeyword& keyword,
+                                     const CandidateMapping& c) const {
+  if (ContainsDigit(keyword.text) &&
+      c.kind == CandidateMapping::Kind::kPredicate && c.value.IsNumeric()) {
+    // sim_num: execute the candidate predicate; empty result -> ε.
+    auto non_empty = executor_.PredicateNonEmpty(c.ToPredicate());
+    if (!non_empty.ok() || !*non_empty) return options_.epsilon;
+    std::string stext = TextPart(keyword.text);
+    if (text::ContentStems(stext).empty()) {
+      // Nothing left to compare ("after 2000" minus op word and number):
+      // neutral similarity, leaving disambiguation to the log-driven score.
+      return 0.5;
+    }
+    return model_->PhraseSimilarity(stext, AttributePhrase(c.relation,
+                                                           c.attribute));
+  }
+
+  switch (c.kind) {
+    case CandidateMapping::Kind::kRelation:
+      return model_->PhraseSimilarity(
+          keyword.text, Join(SplitIdentifierWords(c.relation), " "));
+    case CandidateMapping::Kind::kAttribute:
+      return model_->PhraseSimilarity(keyword.text,
+                                      AttributePhrase(c.relation, c.attribute));
+    case CandidateMapping::Kind::kPredicate: {
+      // Text predicate: compare against the matched value, with the
+      // attribute name as secondary signal.
+      double v = model_->PhraseSimilarity(
+          keyword.text, c.value.kind == sql::Literal::Kind::kString
+                            ? c.value.string_value
+                            : c.value.ToString());
+      double a = model_->PhraseSimilarity(keyword.text,
+                                          AttributePhrase(c.relation,
+                                                          c.attribute));
+      return std::max(v, 0.85 * a);
+    }
+  }
+  return 0;
+}
+
+std::vector<CandidateMapping> KeywordMapper::ScoreAndPrune(
+    const nlq::AnnotatedKeyword& keyword,
+    std::vector<CandidateMapping> candidates) const {
+  for (auto& c : candidates) {
+    c.similarity = ScoreCandidate(keyword, c);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const CandidateMapping& a, const CandidateMapping& b) {
+                     if (a.similarity != b.similarity) {
+                       return a.similarity > b.similarity;
+                     }
+                     return a.fragment.Key() < b.fragment.Key();
+                   });
+
+  // PRUNE: exact matches crowd out everything else.
+  const double exact = 1.0 - options_.epsilon;
+  if (!candidates.empty() && candidates.front().similarity >= exact) {
+    std::vector<CandidateMapping> exacts;
+    for (auto& c : candidates) {
+      if (c.similarity >= exact) exacts.push_back(std::move(c));
+    }
+    return exacts;
+  }
+  // Otherwise top-κ, extending through ties with the κ-th (non-zero) score.
+  if (candidates.size() > options_.kappa) {
+    double kth = candidates[options_.kappa - 1].similarity;
+    size_t cut = options_.kappa;
+    while (cut < candidates.size() && kth > 0 &&
+           candidates[cut].similarity == kth) {
+      ++cut;
+    }
+    candidates.resize(cut);
+  }
+  return candidates;
+}
+
+// ---------------------------------------------------------------------------
+// Configuration generation and ranking
+// ---------------------------------------------------------------------------
+
+double KeywordMapper::SigmaScore(const Configuration& config) {
+  if (config.mappings.empty()) return 0;
+  double log_sum = 0;
+  for (const auto& m : config.mappings) {
+    double s = std::max(m.candidate.similarity, 1e-9);
+    log_sum += std::log(s);
+  }
+  return std::exp(log_sum / static_cast<double>(config.mappings.size()));
+}
+
+double KeywordMapper::QfgScore(const Configuration& config,
+                               const qfg::QueryFragmentGraph& graph) {
+  // Non-FROM fragments only (Sec. V-C2): relations are implied by the rest
+  // of the query and handled by join inference.
+  std::vector<const qfg::QueryFragment*> frags;
+  for (const auto& m : config.mappings) {
+    if (m.candidate.fragment.context != qfg::FragmentContext::kFrom) {
+      frags.push_back(&m.candidate.fragment);
+    }
+  }
+  if (frags.size() >= 2) {
+    double product = 1;
+    size_t pairs = 0;
+    for (size_t i = 0; i < frags.size(); ++i) {
+      for (size_t j = i + 1; j < frags.size(); ++j) {
+        // Fragments identical after obscuring (e.g. two author.name
+        // predicates with different constants at NoConstOp) carry no
+        // co-occurrence signal — the log cannot distinguish them from one
+        // occurrence. Skip such self-pairs instead of zeroing the product.
+        if (graph.Normalized(*frags[i]).Key() ==
+            graph.Normalized(*frags[j]).Key()) {
+          continue;
+        }
+        product *= graph.Dice(*frags[i], *frags[j]);
+        ++pairs;
+      }
+    }
+    // Geometric mean over the contributing pairs. (Deviation from the
+    // paper's fixed 1/|φ| exponent, which makes configurations with
+    // different duplicate-fragment structure incomparable: a config with
+    // fewer distinct pairs would be judged on fewer <1 factors at the same
+    // exponent and win spuriously. Recorded in DESIGN.md Sec. 5.)
+    if (pairs > 0) {
+      return std::pow(product, 1.0 / static_cast<double>(pairs));
+    }
+  }
+  // No usable pair evidence (a single non-FROM fragment, or all fragments
+  // identical after obscuring): fall back to occurrence frequency so the
+  // log still votes (documented deviation; the paper leaves this case open).
+  if (!frags.empty() && graph.query_count() > 0) {
+    return static_cast<double>(graph.Occurrences(*frags[0])) /
+           static_cast<double>(graph.query_count());
+  }
+  return 0;
+}
+
+Result<std::vector<Configuration>> KeywordMapper::MapKeywords(
+    const nlq::ParsedNlq& nlq) const {
+  if (nlq.keywords.empty()) {
+    return Status::InvalidArgument("NLQ has no keywords");
+  }
+  // Per-keyword candidate retrieval + scoring (Algorithm 1 lines 3-7).
+  std::vector<std::vector<CandidateMapping>> per_keyword;
+  per_keyword.reserve(nlq.keywords.size());
+  for (const auto& kw : nlq.keywords) {
+    std::vector<CandidateMapping> cands =
+        ScoreAndPrune(kw, KeywordCands(kw));
+    if (cands.empty()) {
+      return Status::NotFound("no candidate mappings for keyword '" +
+                              kw.text + "'");
+    }
+    per_keyword.push_back(std::move(cands));
+  }
+
+  // Cartesian product with a hard cap.
+  std::vector<Configuration> configs;
+  std::vector<size_t> index(per_keyword.size(), 0);
+  while (configs.size() < options_.max_configurations) {
+    Configuration config;
+    config.mappings.reserve(per_keyword.size());
+    for (size_t k = 0; k < per_keyword.size(); ++k) {
+      config.mappings.push_back(
+          FragmentMapping{nlq.keywords[k], per_keyword[k][index[k]]});
+    }
+    configs.push_back(std::move(config));
+    // Odometer increment.
+    size_t k = 0;
+    for (; k < index.size(); ++k) {
+      if (++index[k] < per_keyword[k].size()) break;
+      index[k] = 0;
+    }
+    if (k == index.size()) break;
+  }
+
+  // Score and rank.
+  const bool use_log = options_.use_qfg && qfg_ != nullptr;
+  for (auto& config : configs) {
+    config.sigma_score = SigmaScore(config);
+    config.qfg_score = use_log ? QfgScore(config, *qfg_) : 0;
+    config.score = use_log ? options_.lambda * config.sigma_score +
+                                 (1 - options_.lambda) * config.qfg_score
+                           : config.sigma_score;
+  }
+  std::stable_sort(configs.begin(), configs.end(),
+                   [](const Configuration& a, const Configuration& b) {
+                     return a.score > b.score;
+                   });
+  if (configs.size() > options_.top_configurations) {
+    configs.resize(options_.top_configurations);
+  }
+  return configs;
+}
+
+}  // namespace templar::core

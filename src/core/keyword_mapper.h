@@ -1,0 +1,110 @@
+#ifndef TEMPLAR_CORE_KEYWORD_MAPPER_H_
+#define TEMPLAR_CORE_KEYWORD_MAPPER_H_
+
+/// \file keyword_mapper.h
+/// \brief MAPKEYWORDS (Algorithms 1-3, Sec. V).
+///
+/// Pipeline: (1) retrieve candidate keyword->fragment mappings from the
+/// database (KEYWORDCANDS); (2) score with the word-similarity model and
+/// prune to the top-κ (SCOREANDPRUNE); (3) generate configurations and rank
+/// them with the λ-blend of the similarity score and the QFG log-driven
+/// score. The QFG argument is optional: with a null QFG the mapper degrades
+/// to the word-similarity-only behaviour of the baseline NLIDBs, which is
+/// how `Pipeline` (without Templar) reuses this code.
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/mapping.h"
+#include "db/database.h"
+#include "db/executor.h"
+#include "embed/similarity_model.h"
+#include "nlq/keyword.h"
+#include "qfg/query_fragment_graph.h"
+#include "text/fulltext_index.h"
+
+namespace templar::core {
+
+/// \brief Tunables of MAPKEYWORDS.
+struct KeywordMapperOptions {
+  /// κ — candidates kept per keyword before configuration generation.
+  size_t kappa = 5;
+  /// λ — weight of Scoreσ vs ScoreQFG in the final blend (Sec. V-C2).
+  double lambda = 0.8;
+  /// ε — exact-match threshold (σ ≥ 1-ε short-circuits pruning) and the
+  /// floor similarity for numeric predicates that execute to empty.
+  double epsilon = 0.02;
+  /// Hard cap on enumerated configurations (κ^|S| explosion guard).
+  size_t max_configurations = 20000;
+  /// Ranked configurations returned.
+  size_t top_configurations = 10;
+  /// When false, ScoreQFG is skipped entirely (pure word-similarity
+  /// ranking) even if a QFG is supplied.
+  bool use_qfg = true;
+};
+
+/// \brief Executes the keyword-mapping side of Templar.
+class KeywordMapper {
+ public:
+  /// \param db database (catalog + contents); must outlive the mapper.
+  /// \param fts full-text index over `db`; must outlive the mapper.
+  /// \param model word-similarity model; must outlive the mapper.
+  /// \param qfg query-fragment graph of the SQL log; may be null (baseline
+  ///        mode — configurations are ranked by Scoreσ alone).
+  KeywordMapper(const db::Database* db, const text::FulltextIndex* fts,
+                const embed::SimilarityModel* model,
+                const qfg::QueryFragmentGraph* qfg,
+                KeywordMapperOptions options = {});
+
+  /// \brief Algorithm 1: full MAPKEYWORDS — returns configurations ranked
+  /// by descending Score(φ).
+  Result<std::vector<Configuration>> MapKeywords(
+      const nlq::ParsedNlq& nlq) const;
+
+  /// \brief Algorithm 2: KEYWORDCANDS — unscored candidate retrieval.
+  /// Exposed for tests and diagnostics.
+  std::vector<CandidateMapping> KeywordCands(
+      const nlq::AnnotatedKeyword& keyword) const;
+
+  /// \brief Algorithm 3: SCOREANDPRUNE — scores candidates and prunes to
+  /// top-κ (with the exact-match and tie rules of Sec. V-B).
+  std::vector<CandidateMapping> ScoreAndPrune(
+      const nlq::AnnotatedKeyword& keyword,
+      std::vector<CandidateMapping> candidates) const;
+
+  /// \brief Scoreσ of a configuration: geometric mean of mapping σ's.
+  static double SigmaScore(const Configuration& config);
+
+  /// \brief ScoreQFG of a configuration against `qfg` (Sec. V-C2): product
+  /// of Dice over unordered pairs of non-FROM fragments, taken to the
+  /// 1/|φ| power; falls back to normalized fragment occurrence when the
+  /// configuration has fewer than two non-FROM fragments.
+  static double QfgScore(const Configuration& config,
+                         const qfg::QueryFragmentGraph& qfg);
+
+  const KeywordMapperOptions& options() const { return options_; }
+
+ private:
+  std::vector<CandidateMapping> NumericCands(
+      const nlq::AnnotatedKeyword& keyword) const;
+  std::vector<CandidateMapping> RelationCands(
+      const nlq::AnnotatedKeyword& keyword) const;
+  std::vector<CandidateMapping> AttributeCands(
+      const nlq::AnnotatedKeyword& keyword) const;
+  std::vector<CandidateMapping> TextPredicateCands(
+      const nlq::AnnotatedKeyword& keyword) const;
+
+  double ScoreCandidate(const nlq::AnnotatedKeyword& keyword,
+                        const CandidateMapping& candidate) const;
+
+  const db::Database* db_;
+  db::Executor executor_;
+  const text::FulltextIndex* fts_;
+  const embed::SimilarityModel* model_;
+  const qfg::QueryFragmentGraph* qfg_;
+  KeywordMapperOptions options_;
+};
+
+}  // namespace templar::core
+
+#endif  // TEMPLAR_CORE_KEYWORD_MAPPER_H_

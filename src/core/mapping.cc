@@ -1,0 +1,57 @@
+#include "core/mapping.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace templar::core {
+
+std::string CandidateMapping::ToString() const {
+  std::string out = fragment.ToString();
+  out += " sigma=" + std::to_string(similarity);
+  return out;
+}
+
+std::vector<std::string> Configuration::RelationBag() const {
+  // A relation needs one instance per *duplicate reference to the same
+  // attribute* (Sec. VI-C: "John"/"Jane" both on author.name -> two author
+  // instances). Predicates on different attributes of one relation, and
+  // projections, all share a single instance.
+  std::map<std::string, std::map<std::string, int>> attr_counts;
+  std::set<std::string> relations;
+  for (const auto& m : mappings) {
+    const CandidateMapping& c = m.candidate;
+    relations.insert(c.relation);
+    if (c.kind == CandidateMapping::Kind::kPredicate) {
+      attr_counts[c.relation][c.attribute]++;
+    }
+  }
+  std::vector<std::string> bag;
+  for (const auto& rel : relations) {
+    int instances = 1;
+    auto it = attr_counts.find(rel);
+    if (it != attr_counts.end()) {
+      for (const auto& [attr, count] : it->second) {
+        instances = std::max(instances, count);
+      }
+    }
+    bag.push_back(rel);
+    for (int i = 1; i < instances; ++i) {
+      bag.push_back(rel + "#" + std::to_string(i));
+    }
+  }
+  std::sort(bag.begin(), bag.end());
+  return bag;
+}
+
+std::string Configuration::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < mappings.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += mappings[i].candidate.fragment.ToString();
+  }
+  out += "] score=" + std::to_string(score);
+  return out;
+}
+
+}  // namespace templar::core

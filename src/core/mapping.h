@@ -1,0 +1,78 @@
+#ifndef TEMPLAR_CORE_MAPPING_H_
+#define TEMPLAR_CORE_MAPPING_H_
+
+/// \file mapping.h
+/// \brief Query fragment mappings (Def. 4) and configurations (Def. 5).
+
+#include <string>
+#include <vector>
+
+#include "nlq/keyword.h"
+#include "qfg/fragment.h"
+#include "sql/ast.h"
+
+namespace templar::core {
+
+/// \brief A candidate query fragment for one keyword, with the structured
+/// payload the NLIDB needs to assemble SQL from a chosen configuration.
+struct CandidateMapping {
+  /// What the fragment denotes.
+  enum class Kind {
+    kRelation,   ///< FROM-context: a relation.
+    kAttribute,  ///< SELECT-context: attribute, possibly aggregated/grouped.
+    kPredicate,  ///< WHERE-context: `relation.attribute op literal`.
+  };
+
+  Kind kind = Kind::kAttribute;
+  std::string relation;
+  std::string attribute;            ///< Unused for kRelation.
+  std::vector<sql::AggFunc> aggs;   ///< kAttribute only; outermost first.
+  bool distinct = false;            ///< kAttribute only.
+  bool group_by = false;            ///< kAttribute only.
+  sql::BinaryOp op = sql::BinaryOp::kEq;  ///< kPredicate only.
+  sql::Literal value;                     ///< kPredicate only.
+
+  /// \brief The canonical query fragment (built at Full obscurity; the QFG
+  /// re-obscures on lookup).
+  qfg::QueryFragment fragment;
+
+  /// \brief σ — similarity score between the keyword and this fragment.
+  double similarity = 0;
+
+  /// \brief The WHERE predicate for kPredicate candidates.
+  sql::Predicate ToPredicate() const {
+    sql::Predicate p;
+    p.lhs = sql::ColumnRef{relation, attribute};
+    p.op = op;
+    p.rhs = value;
+    return p;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief One keyword paired with its chosen candidate (Def. 4 triple).
+struct FragmentMapping {
+  nlq::AnnotatedKeyword keyword;
+  CandidateMapping candidate;
+};
+
+/// \brief A configuration φ(S): one mapping per keyword, plus its scores.
+struct Configuration {
+  std::vector<FragmentMapping> mappings;
+  double sigma_score = 0;  ///< Scoreσ — geometric mean of σ_k (Sec. V-C1).
+  double qfg_score = 0;    ///< ScoreQFG — log-driven score (Sec. V-C2).
+  double score = 0;        ///< λ·Scoreσ + (1-λ)·ScoreQFG.
+
+  /// \brief Relations implied by the configuration: explicit kRelation
+  /// mappings plus the parent relation of every attribute/predicate mapping.
+  /// Duplicate *predicate* attributes contribute one instance each
+  /// (self-join bag semantics, Sec. VI-C); attribute projections collapse.
+  std::vector<std::string> RelationBag() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace templar::core
+
+#endif  // TEMPLAR_CORE_MAPPING_H_

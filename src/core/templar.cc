@@ -1,0 +1,31 @@
+#include "core/templar.h"
+
+namespace templar::core {
+
+Templar::Templar(const db::Database* db, const embed::SimilarityModel* model,
+                 TemplarOptions options)
+    : options_(options),
+      qfg_(options.obscurity),
+      schema_graph_(graph::SchemaGraph::FromCatalog(db->catalog())),
+      fts_(text::FulltextIndex::Build(*db)) {
+  mapper_ = std::make_unique<KeywordMapper>(db, &fts_, model, &qfg_,
+                                            options_.mapper);
+  joins_ = std::make_unique<JoinPathGenerator>(&schema_graph_, &qfg_,
+                                               options_.joins);
+}
+
+Result<std::unique_ptr<Templar>> Templar::Build(
+    const db::Database* db, const embed::SimilarityModel* model,
+    const std::vector<std::string>& query_log, TemplarOptions options) {
+  if (db == nullptr || model == nullptr) {
+    return Status::InvalidArgument("db and model must be non-null");
+  }
+  std::unique_ptr<Templar> t(new Templar(db, model, options));
+  for (const auto& sql_text : query_log) {
+    Status st = t->qfg_.AddQuerySql(sql_text);
+    if (!st.ok()) ++t->skipped_log_entries_;
+  }
+  return t;
+}
+
+}  // namespace templar::core

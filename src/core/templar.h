@@ -1,0 +1,83 @@
+#ifndef TEMPLAR_CORE_TEMPLAR_H_
+#define TEMPLAR_CORE_TEMPLAR_H_
+
+/// \file templar.h
+/// \brief The TEMPLAR facade (Fig. 2): the two NLIDB-facing interface calls.
+///
+/// Templar augments an existing pipeline NLIDB on exactly two fronts, each
+/// an independent call (Sec. III-E): MAPKEYWORDS for keyword mapping and
+/// INFERJOINS for join path inference. The NLIDB remains responsible for
+/// parsing the NLQ into keywords+metadata and for assembling the final SQL
+/// from the chosen configuration and join path.
+
+#include <memory>
+
+#include "common/result.h"
+#include "core/join_path_generator.h"
+#include "core/keyword_mapper.h"
+#include "db/database.h"
+#include "embed/similarity_model.h"
+#include "graph/schema_graph.h"
+#include "nlq/keyword.h"
+#include "qfg/query_fragment_graph.h"
+#include "text/fulltext_index.h"
+
+namespace templar::core {
+
+/// \brief All Templar tunables in one place.
+struct TemplarOptions {
+  KeywordMapperOptions mapper;
+  JoinPathGeneratorOptions joins;
+  /// Obscurity level at which the SQL log is indexed (Sec. IV). NoConstOp is
+  /// the paper's best-performing and default setting.
+  qfg::ObscurityLevel obscurity = qfg::ObscurityLevel::kNoConstOp;
+};
+
+/// \brief A Templar instance bound to one database + one SQL query log.
+class Templar {
+ public:
+  /// \brief Builds Templar over `db` with the given query log.
+  ///
+  /// Parses every log entry into the QFG (entries that fail to parse are
+  /// skipped and counted), builds the full-text index and schema graph.
+  /// `db` and `model` must outlive the returned object.
+  static Result<std::unique_ptr<Templar>> Build(
+      const db::Database* db, const embed::SimilarityModel* model,
+      const std::vector<std::string>& query_log, TemplarOptions options = {});
+
+  /// \brief Interface call 1: MAPKEYWORDS (Sec. III-C1).
+  Result<std::vector<Configuration>> MapKeywords(
+      const nlq::ParsedNlq& nlq) const {
+    return mapper_->MapKeywords(nlq);
+  }
+
+  /// \brief Interface call 2: INFERJOINS (Sec. III-C2).
+  Result<std::vector<graph::JoinPath>> InferJoins(
+      const std::vector<std::string>& relation_bag) const {
+    return joins_->InferJoins(relation_bag);
+  }
+
+  const qfg::QueryFragmentGraph& query_fragment_graph() const { return qfg_; }
+  const graph::SchemaGraph& schema_graph() const { return schema_graph_; }
+  const text::FulltextIndex& fulltext_index() const { return fts_; }
+  const KeywordMapper& keyword_mapper() const { return *mapper_; }
+  const JoinPathGenerator& join_path_generator() const { return *joins_; }
+  /// \brief Log entries that failed to parse during Build.
+  size_t skipped_log_entries() const { return skipped_log_entries_; }
+
+ private:
+  Templar(const db::Database* db, const embed::SimilarityModel* model,
+          TemplarOptions options);
+
+  TemplarOptions options_;
+  qfg::QueryFragmentGraph qfg_;
+  graph::SchemaGraph schema_graph_;
+  text::FulltextIndex fts_;
+  std::unique_ptr<KeywordMapper> mapper_;
+  std::unique_ptr<JoinPathGenerator> joins_;
+  size_t skipped_log_entries_ = 0;
+};
+
+}  // namespace templar::core
+
+#endif  // TEMPLAR_CORE_TEMPLAR_H_

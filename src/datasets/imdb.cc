@@ -1,0 +1,485 @@
+#include <set>
+
+#include "datasets/dataset.h"
+#include "datasets/name_pools.h"
+#include "datasets/workload.h"
+
+namespace templar::datasets {
+
+namespace {
+
+using db::AttributeDef;
+using db::DataType;
+using db::Database;
+using db::ForeignKeyDef;
+using db::Value;
+using graph::SchemaEdge;
+
+struct ImdbSizes {
+  int companies = 50;
+  int movies = 900;
+  int actors = 700;
+  int directors = 150;
+  int producers = 120;
+  int writers = 120;
+  int genres = 12;
+  int keywords = 60;
+  int cast_per_movie = 3;
+};
+
+Status CreateImdbSchema(Database* db) {
+  auto T = [](const char* n) {
+    return AttributeDef{n, DataType::kText, false, false};
+  };
+  auto FT = [](const char* n) {
+    return AttributeDef{n, DataType::kText, false, true};
+  };
+  auto I = [](const char* n) {
+    return AttributeDef{n, DataType::kInt, false, false};
+  };
+  auto D = [](const char* n) {
+    return AttributeDef{n, DataType::kDouble, false, false};
+  };
+  auto PK = [](const char* n) {
+    return AttributeDef{n, DataType::kInt, true, false};
+  };
+
+  // 16 relations / 65 attributes / 20 FK-PK, per Table II.
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"movie",
+       {PK("mid"), FT("title"), I("release_year"), D("rating"), D("budget"),
+        D("gross"), I("runtime"), T("plot"), FT("mpaa_rating"),
+        T("imdb_index")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"actor",
+       {PK("aid"), FT("name"), I("birth_year"), FT("nationality"),
+        FT("gender"), T("birth_city"), I("cid")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"director",
+       {PK("did"), FT("name"), I("birth_year"), FT("nationality"),
+        T("homepage"), I("cid")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"producer",
+       {PK("pid"), FT("name"), FT("nationality"), I("birth_year"),
+        T("homepage"), I("cid")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"writer",
+       {PK("wid"), FT("name"), FT("nationality"), I("birth_year"),
+        T("homepage"), I("cid")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation({"genre", {PK("gid"), FT("genre")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"keyword", {PK("kid"), FT("keyword"), T("category")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"company",
+       {PK("cid"), FT("name"), FT("country_code"), I("founded_year"),
+        T("homepage")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"cast", {I("mid"), I("aid"), FT("role"), I("cast_order")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation({"directed_by", {I("mid"), I("did")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation({"produced_by", {I("mid"), I("pid")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation({"written_by", {I("mid"), I("wid")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation({"classification", {I("mid"), I("gid")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation({"tags", {I("mid"), I("kid")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation({"made_by", {I("mid"), I("cid")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"movie_link", {I("mid1"), I("mid2"), T("link_type"), I("rank")}}));
+
+  // 20 FK-PK links, per Table II. actor.cid is the talent agency.
+  const ForeignKeyDef kFks[] = {
+      {"actor", "cid", "company", "cid"},
+      {"director", "cid", "company", "cid"},
+      {"producer", "cid", "company", "cid"},
+      {"writer", "cid", "company", "cid"},
+      {"cast", "mid", "movie", "mid"},
+      {"cast", "aid", "actor", "aid"},
+      {"directed_by", "mid", "movie", "mid"},
+      {"directed_by", "did", "director", "did"},
+      {"produced_by", "mid", "movie", "mid"},
+      {"produced_by", "pid", "producer", "pid"},
+      {"written_by", "mid", "movie", "mid"},
+      {"written_by", "wid", "writer", "wid"},
+      {"classification", "mid", "movie", "mid"},
+      {"classification", "gid", "genre", "gid"},
+      {"tags", "mid", "movie", "mid"},
+      {"tags", "kid", "keyword", "kid"},
+      {"made_by", "mid", "movie", "mid"},
+      {"made_by", "cid", "company", "cid"},
+      {"movie_link", "mid1", "movie", "mid"},
+      {"movie_link", "mid2", "movie", "mid"},
+  };
+  for (const auto& fk : kFks) {
+    TEMPLAR_RETURN_NOT_OK(db->AddForeignKey(fk));
+  }
+  return Status::OK();
+}
+
+Status PopulateImdb(Database* db, const ImdbSizes& sizes, Rng* rng) {
+  const auto& genres = NamePools::Genres();
+  for (int g = 0; g < sizes.genres; ++g) {
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "genre", {Value::Int(g), Value::Text(genres[g % genres.size()])}));
+  }
+  // Keywords share vocabulary with genres (ambiguity, as in MAS).
+  std::set<std::string> used_keywords;
+  int kid = 0;
+  while (kid < sizes.keywords) {
+    std::string kw = kid < static_cast<int>(genres.size())
+                         ? genres[kid]
+                         : NamePools::Pick(NamePools::MovieAdjectives(), rng) +
+                               " " + NamePools::Pick(genres, rng);
+    if (!used_keywords.insert(kw).second) continue;
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "keyword", {Value::Int(kid), Value::Text(kw), Value::Text("plot")}));
+    ++kid;
+  }
+
+  std::set<std::string> used_companies;
+  for (int c = 0; c < sizes.companies; ++c) {
+    std::string company_name;
+    do {
+      company_name = NamePools::Pick(NamePools::MovieAdjectives(), rng) +
+                     " " + NamePools::Pick(NamePools::MovieNouns(), rng) +
+                     " " + (rng->NextBool() ? "Pictures" : "Studios");
+    } while (!used_companies.insert(company_name).second);
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "company",
+        {Value::Int(c),
+         Value::Text(company_name),
+         Value::Text(rng->NextBool(0.6) ? "US" : "GB"),
+         Value::Int(rng->NextInt(1925, 2000)),
+         Value::Text("http://studio" + std::to_string(c) + ".example.com")}));
+  }
+
+  std::set<std::string> used_names;
+  auto fresh_name = [&]() {
+    std::string name;
+    do {
+      name = NamePools::PersonName(rng);
+    } while (!used_names.insert(name).second);
+    return name;
+  };
+
+  for (int a = 0; a < sizes.actors; ++a) {
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "actor",
+        {Value::Int(a), Value::Text(fresh_name()),
+         Value::Int(rng->NextInt(1930, 1995)),
+         Value::Text(NamePools::Pick(NamePools::Nationalities(), rng)),
+         Value::Text(rng->NextBool() ? "male" : "female"),
+         Value::Text(NamePools::Pick(NamePools::Cities(), rng)),
+         Value::Int(static_cast<int>(rng->NextBounded(sizes.companies)))}));
+  }
+  for (int d = 0; d < sizes.directors; ++d) {
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "director",
+        {Value::Int(d), Value::Text(fresh_name()),
+         Value::Int(rng->NextInt(1930, 1985)),
+         Value::Text(NamePools::Pick(NamePools::Nationalities(), rng)),
+         Value::Text("http://dir.example.com/" + std::to_string(d)),
+         Value::Int(static_cast<int>(rng->NextBounded(sizes.companies)))}));
+  }
+  for (int p = 0; p < sizes.producers; ++p) {
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "producer",
+        {Value::Int(p), Value::Text(fresh_name()),
+         Value::Text(NamePools::Pick(NamePools::Nationalities(), rng)),
+         Value::Int(rng->NextInt(1930, 1985)),
+         Value::Text("http://prod.example.com/" + std::to_string(p)),
+         Value::Int(static_cast<int>(rng->NextBounded(sizes.companies)))}));
+  }
+  for (int w = 0; w < sizes.writers; ++w) {
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "writer",
+        {Value::Int(w), Value::Text(fresh_name()),
+         Value::Text(NamePools::Pick(NamePools::Nationalities(), rng)),
+         Value::Int(rng->NextInt(1930, 1985)),
+         Value::Text("http://writer.example.com/" + std::to_string(w)),
+         Value::Int(static_cast<int>(rng->NextBounded(sizes.companies)))}));
+  }
+
+  std::set<std::string> used_titles;
+  static const char* kMpaa[] = {"G", "PG", "PG-13", "R"};
+  for (int m = 0; m < sizes.movies; ++m) {
+    std::string title;
+    do {
+      title = NamePools::MovieTitle(rng);
+    } while (!used_titles.insert(title).second);
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "movie",
+        {Value::Int(m), Value::Text(title),
+         Value::Int(rng->NextInt(1960, 2015)),
+         Value::Double(2.0 + rng->NextBounded(80) * 0.1),
+         Value::Double(1e6 * rng->NextInt(1, 200)),
+         Value::Double(1e6 * rng->NextInt(0, 800)),
+         Value::Int(rng->NextInt(75, 200)),
+         Value::Text("A story about the " +
+                     NamePools::Pick(NamePools::MovieNouns(), rng) + "."),
+         Value::Text(kMpaa[rng->NextBounded(4)]),
+         Value::Text("M" + std::to_string(m))}));
+
+    std::set<int> cast_used;
+    for (int c = 0; c < sizes.cast_per_movie; ++c) {
+      int aid = static_cast<int>(rng->NextBounded(sizes.actors));
+      if (!cast_used.insert(aid).second) continue;
+      TEMPLAR_RETURN_NOT_OK(db->Insert(
+          "cast", {Value::Int(m), Value::Int(aid),
+                   Value::Text(rng->NextBool(0.3) ? "lead" : "supporting"),
+                   Value::Int(c)}));
+    }
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "directed_by",
+        {Value::Int(m),
+         Value::Int(static_cast<int>(rng->NextBounded(sizes.directors)))}));
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "produced_by",
+        {Value::Int(m),
+         Value::Int(static_cast<int>(rng->NextBounded(sizes.producers)))}));
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "written_by",
+        {Value::Int(m),
+         Value::Int(static_cast<int>(rng->NextBounded(sizes.writers)))}));
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "classification",
+        {Value::Int(m),
+         Value::Int(static_cast<int>(rng->NextBounded(sizes.genres)))}));
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "tags", {Value::Int(m),
+                 Value::Int(static_cast<int>(rng->NextBounded(sizes.keywords)))}));
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "made_by",
+        {Value::Int(m),
+         Value::Int(static_cast<int>(rng->NextBounded(sizes.companies)))}));
+    if (m > 0 && rng->NextBool(0.15)) {
+      TEMPLAR_RETURN_NOT_OK(db->Insert(
+          "movie_link",
+          {Value::Int(m), Value::Int(static_cast<int>(rng->NextBounded(m))),
+           Value::Text("sequel of"), Value::Int(rng->NextInt(1, 3))}));
+    }
+  }
+  return Status::OK();
+}
+
+void BuildImdbLexicon(embed::EmbeddingModel* model) {
+  // Traps: "films" pulls toward company names ("... Pictures") and "star"
+  // toward rating; the log disambiguates.
+  model->AddSynonym("movie", "title", 0.55);
+  model->AddSynonym("film", "movie", 0.58);
+  model->AddSynonym("film", "company", 0.60);  // Trap: "... Pictures" names.
+  model->AddSynonym("picture", "company", 0.60);
+  model->AddSynonym("picture", "movie", 0.58);
+
+  model->AddSynonym("actor", "name", 0.52);
+  model->AddSynonym("actress", "actor", 0.85);
+  model->AddSynonym("star", "actor", 0.60);
+  model->AddSynonym("star", "rating", 0.64);  // Trap.
+  model->AddSynonym("cast", "actor", 0.70);
+
+  model->AddSynonym("director", "name", 0.50);
+  model->AddSynonym("filmmaker", "director", 0.76);
+  model->AddSynonym("producer", "name", 0.48);
+  model->AddSynonym("writer", "name", 0.48);
+  model->AddSynonym("screenwriter", "writer", 0.82);
+
+  model->AddSynonym("genre", "keyword", 0.58);  // Value-side ambiguity.
+  model->AddSynonym("category", "genre", 0.66);
+  model->AddSynonym("studio", "company", 0.78);
+
+  model->AddSynonym("after", "year", 0.50);
+  model->AddSynonym("before", "year", 0.50);
+  model->AddSynonym("released", "release", 0.95);
+  model->AddSynonym("born", "birth", 0.90);
+  model->AddSynonym("runtime", "minutes", 0.60);
+}
+
+/// NaLIR's WordNet-style synset table for IMDB: knows the core entities
+/// (movie/film, actor, director) but misses the long tail.
+void BuildImdbWordnet(embed::EmbeddingModel* model) {
+  model->AddSynonym("movie", "title", 0.80);
+  model->AddSynonym("film", "movie", 0.88);
+  model->AddSynonym("film", "title", 0.80);
+  model->AddSynonym("actor", "name", 0.78);
+  model->AddSynonym("actress", "actor", 0.88);
+  model->AddSynonym("director", "name", 0.78);
+  model->AddSynonym("producer", "name", 0.78);
+  model->AddSynonym("writer", "name", 0.78);
+  model->AddSynonym("after", "year", 0.75);
+  model->AddSynonym("born", "birth", 0.85);
+  // Gaps: "studio", "genre" routing, "runtime" phrases, nationality forms.
+}
+
+std::vector<Shape> ImdbShapes() {
+  std::vector<Shape> shapes;
+  const SchemaEdge kCastMovie = {"cast", "mid", "movie", "mid"};
+  const SchemaEdge kCastActor = {"cast", "aid", "actor", "aid"};
+  const SchemaEdge kDirMovie = {"directed_by", "mid", "movie", "mid"};
+  const SchemaEdge kDirDirector = {"directed_by", "did", "director", "did"};
+  const SchemaEdge kClassMovie = {"classification", "mid", "movie", "mid"};
+  const SchemaEdge kClassGenre = {"classification", "gid", "genre", "gid"};
+  const SchemaEdge kMadeMovie = {"made_by", "mid", "movie", "mid"};
+  const SchemaEdge kMadeCompany = {"made_by", "cid", "company", "cid"};
+
+  // 1. Movies in a genre (value ambiguity with keyword.keyword).
+  shapes.push_back(Shape{
+      .id = "imdb_movies_in_genre",
+      .weight = 3.0,
+      .projection = {"films", "movie", "title"},
+      .value = ValueSlotSpec{"genre", "genre", "in the {v} genre"},
+      .join_edges = {kClassMovie, kClassGenre}});
+
+  // 2. Movies with an actor.
+  shapes.push_back(Shape{
+      .id = "imdb_movies_with_actor",
+      .weight = 3.0,
+      .projection = {"films", "movie", "title"},
+      .value = ValueSlotSpec{"actor", "name", "starring {v}"},
+      .join_edges = {kCastMovie, kCastActor}});
+
+  // 3. Movies released after a year.
+  shapes.push_back(Shape{
+      .id = "imdb_movies_after_year",
+      .weight = 2.5,
+      .projection = {"movies", "movie", "title"},
+      .numeric = NumericSlotSpec{"movie", "release_year", "after",
+                                 sql::BinaryOp::kGt, 1980, 2010}});
+
+  // 4. Actors in a movie.
+  shapes.push_back(Shape{
+      .id = "imdb_actors_in_movie",
+      .weight = 2.5,
+      .projection = {"actors", "actor", "name"},
+      .value = ValueSlotSpec{"movie", "title", "in {v}"},
+      .join_edges = {kCastActor, kCastMovie}});
+
+  // 5. Movies by a director.
+  shapes.push_back(Shape{
+      .id = "imdb_movies_by_director",
+      .weight = 2.5,
+      .projection = {"films", "movie", "title"},
+      .value = ValueSlotSpec{"director", "name", "directed by {v}"},
+      .join_edges = {kDirMovie, kDirDirector}});
+
+  // 6. Count of movies by a director.
+  shapes.push_back(Shape{
+      .id = "imdb_count_movies_by_director",
+      .weight = 1.5,
+      .projection = {"movies", "movie", "title"},
+      .aggs = {sql::AggFunc::kCount},
+      .value = ValueSlotSpec{"director", "name", "directed by {v}"},
+      .join_edges = {kDirMovie, kDirDirector}});
+
+  // 7. Movies from a studio.
+  shapes.push_back(Shape{
+      .id = "imdb_movies_by_company",
+      .weight = 1.5,
+      .projection = {"films", "movie", "title"},
+      .value = ValueSlotSpec{"company", "name", "made by {v}"},
+      .join_edges = {kMadeMovie, kMadeCompany}});
+
+  // 8. Self-join: movies starring two actors.
+  shapes.push_back(Shape{
+      .id = "imdb_movies_two_actors",
+      .weight = 1.5,
+      .projection = {"films", "movie", "title"},
+      .value = ValueSlotSpec{"actor", "name", "starring both {v} and {v}", 2},
+      .join_edges = {kCastMovie,
+                     kCastActor,
+                     {"cast#1", "mid", "movie", "mid"},
+                     {"cast#1", "aid", "actor#1", "aid"}}});
+
+  // 8b. Hard: keyword vs genre values are cross-ambiguous (the first
+  // twelve keyword terms are exactly the genre names), and the log sees
+  // both assignments equally often — the residual-error shape.
+  shapes.push_back(Shape{
+      .id = "imdb_movies_kw_in_genre",
+      .weight = 4.0,
+      .projection = {"movies", "movie", "title"},
+      .value = ValueSlotSpec{"keyword", "keyword", "tagged {v}", 1, 12},
+      .value2 = ValueSlotSpec{"genre", "genre", "in the {v} genre"},
+      .join_edges = {{"tags", "mid", "movie", "mid"},
+                     {"tags", "kid", "keyword", "kid"},
+                     kClassMovie, kClassGenre}});
+
+  // 9. Actors of a nationality.
+  shapes.push_back(Shape{
+      .id = "imdb_actors_nationality",
+      .weight = 1.5,
+      .projection = {"actors", "actor", "name"},
+      .value = ValueSlotSpec{"actor", "nationality", "who are {v}"}});
+
+  // 10. Directors of movies in a genre.
+  shapes.push_back(Shape{
+      .id = "imdb_directors_in_genre",
+      .weight = 1.5,
+      .projection = {"directors", "director", "name"},
+      .value = ValueSlotSpec{"genre", "genre", "of {v} movies"},
+      .join_edges = {kDirDirector, kDirMovie, kClassMovie, kClassGenre}});
+
+  // 11. Movies longer than a runtime.
+  shapes.push_back(Shape{
+      .id = "imdb_movies_runtime",
+      .weight = 1.0,
+      .projection = {"films", "movie", "title"},
+      .numeric = NumericSlotSpec{"movie", "runtime", "longer than",
+                                 sql::BinaryOp::kGt, 90, 180, "minutes"}});
+
+  // 12. Actors born after a year.
+  shapes.push_back(Shape{
+      .id = "imdb_actors_born_after",
+      .weight = 1.0,
+      .projection = {"actors", "actor", "name"},
+      .numeric = NumericSlotSpec{"actor", "birth_year", "born after",
+                                 sql::BinaryOp::kGt, 1950, 1990}});
+
+  return shapes;
+}
+
+std::vector<Shape> ImdbLogOnlyShapes() {
+  std::vector<Shape> shapes;
+  shapes.push_back(Shape{.id = "imdb_log_companies",
+                         .weight = 2.0,
+                         .projection = {"companies", "company", "name"}});
+  shapes.push_back(Shape{
+      .id = "imdb_log_keywords",
+      .weight = 1.0,
+      .projection = {"keywords", "keyword", "keyword"}});
+  shapes.push_back(Shape{
+      .id = "imdb_log_old_companies",
+      .weight = 1.0,
+      .projection = {"companies", "company", "name"},
+      .numeric = NumericSlotSpec{"company", "founded_year", "before",
+                                 sql::BinaryOp::kLt, 1940, 1990, ""}});
+  return shapes;
+}
+
+}  // namespace
+
+Result<Dataset> BuildImdb(uint64_t seed) {
+  Dataset ds;
+  ds.name = "IMDB";
+  ds.paper = PaperStats{1.3, 16, 65, 20, 128};
+  ds.database = std::make_unique<Database>("imdb");
+  ds.lexicon = std::make_unique<embed::EmbeddingModel>();
+  ds.wordnet = std::make_unique<embed::EmbeddingModel>();
+
+  Rng rng(seed);
+  ImdbSizes sizes;
+  TEMPLAR_RETURN_NOT_OK(CreateImdbSchema(ds.database.get()));
+  TEMPLAR_RETURN_NOT_OK(PopulateImdb(ds.database.get(), sizes, &rng));
+  BuildImdbLexicon(ds.lexicon.get());
+  BuildImdbWordnet(ds.wordnet.get());
+
+  WorkloadGenerator gen(ds.database.get(), seed ^ 0x51dc2);
+  TEMPLAR_ASSIGN_OR_RETURN(ds.benchmark,
+                           gen.GenerateBenchmark(ImdbShapes(), 128));
+
+  WorkloadGenerator log_gen(ds.database.get(), seed ^ 0x7431f);
+  TEMPLAR_ASSIGN_OR_RETURN(std::vector<std::string> workload_log,
+                           log_gen.GenerateLog(ImdbShapes(), 300));
+  TEMPLAR_ASSIGN_OR_RETURN(std::vector<std::string> noise_log,
+                           log_gen.GenerateLog(ImdbLogOnlyShapes(), 80));
+  ds.extra_log = std::move(workload_log);
+  ds.extra_log.insert(ds.extra_log.end(), noise_log.begin(), noise_log.end());
+  return ds;
+}
+
+}  // namespace templar::datasets

@@ -1,0 +1,589 @@
+#include <set>
+
+#include "datasets/dataset.h"
+#include "datasets/name_pools.h"
+#include "datasets/workload.h"
+
+namespace templar::datasets {
+
+namespace {
+
+using db::AttributeDef;
+using db::DataType;
+using db::Database;
+using db::ForeignKeyDef;
+using db::RelationDef;
+using db::Value;
+using graph::SchemaEdge;
+
+/// Sizes of the synthetic MAS instance; chosen so every experiment runs in
+/// seconds while value pools remain large enough for 194 distinct queries.
+struct MasSizes {
+  int organizations = 60;
+  int authors = 600;
+  int conferences = 32;  // == venue-acronym pool: names stay digit-free.
+  int journals = 16;
+  int publications = 1500;
+  int keywords = 60;
+  int domains = 18;
+  int writes_per_pub = 2;
+  int cites_per_pub = 2;
+  int keywords_per_pub = 2;
+};
+
+Status CreateMasSchema(Database* db) {
+  auto T = [](const char* n) {
+    return AttributeDef{n, DataType::kText, false, false};
+  };
+  auto FT = [](const char* n) {  // Full-text searchable.
+    return AttributeDef{n, DataType::kText, false, true};
+  };
+  auto I = [](const char* n) {
+    return AttributeDef{n, DataType::kInt, false, false};
+  };
+  auto PK = [](const char* n) {
+    return AttributeDef{n, DataType::kInt, true, false};
+  };
+
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"author", {PK("aid"), FT("name"), T("homepage"), I("oid")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"organization",
+       {PK("oid"), FT("name"), FT("continent"), T("homepage")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"publication",
+       {PK("pid"), FT("title"), T("abstract"), I("year"), I("cid"), I("jid"),
+        I("reference_num"), I("citation_num")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"conference", {PK("cid"), FT("name"), FT("full_name"), T("homepage")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"journal", {PK("jid"), FT("name"), FT("full_name"), T("homepage")}}));
+  TEMPLAR_RETURN_NOT_OK(
+      db->CreateRelation({"keyword", {PK("kid"), FT("keyword")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation({"domain", {PK("did"), FT("name")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation({"writes", {I("aid"), I("pid")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation({"cite", {I("citing"), I("cited")}}));
+  TEMPLAR_RETURN_NOT_OK(
+      db->CreateRelation({"domain_author", {I("did"), I("aid")}}));
+  TEMPLAR_RETURN_NOT_OK(
+      db->CreateRelation({"domain_conference", {I("did"), I("cid")}}));
+  TEMPLAR_RETURN_NOT_OK(
+      db->CreateRelation({"domain_journal", {I("did"), I("jid")}}));
+  TEMPLAR_RETURN_NOT_OK(
+      db->CreateRelation({"domain_keyword", {I("did"), I("kid")}}));
+  TEMPLAR_RETURN_NOT_OK(
+      db->CreateRelation({"publication_keyword", {I("pid"), I("kid")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"conference_instance",
+       {PK("iid"), I("cid"), I("year"), FT("location")}}));
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"author_profile", {I("aid"), T("email"), FT("interests")}}));
+  // An orphan lookup table (no declared FK): real catalogs have these; it
+  // also brings the schema to Table II's 17 relations / 53 attributes.
+  TEMPLAR_RETURN_NOT_OK(db->CreateRelation(
+      {"research_area",
+       {PK("raid"), FT("name"), T("description"), T("parent_name")}}));
+
+  // 19 FK-PK links, matching Table II.
+  const ForeignKeyDef kFks[] = {
+      {"author", "oid", "organization", "oid"},
+      {"publication", "cid", "conference", "cid"},
+      {"publication", "jid", "journal", "jid"},
+      {"writes", "aid", "author", "aid"},
+      {"writes", "pid", "publication", "pid"},
+      {"cite", "citing", "publication", "pid"},
+      {"cite", "cited", "publication", "pid"},
+      {"domain_author", "did", "domain", "did"},
+      {"domain_author", "aid", "author", "aid"},
+      {"domain_conference", "did", "domain", "did"},
+      {"domain_conference", "cid", "conference", "cid"},
+      {"domain_journal", "did", "domain", "did"},
+      {"domain_journal", "jid", "journal", "jid"},
+      {"domain_keyword", "did", "domain", "did"},
+      {"domain_keyword", "kid", "keyword", "kid"},
+      {"publication_keyword", "pid", "publication", "pid"},
+      {"publication_keyword", "kid", "keyword", "kid"},
+      {"conference_instance", "cid", "conference", "cid"},
+      {"author_profile", "aid", "author", "aid"},
+  };
+  for (const auto& fk : kFks) {
+    TEMPLAR_RETURN_NOT_OK(db->AddForeignKey(fk));
+  }
+  return Status::OK();
+}
+
+Status PopulateMas(Database* db, const MasSizes& sizes, Rng* rng) {
+  // Domains: the research-topic pool, truncated.
+  const auto& topics = NamePools::ResearchTopics();
+  for (int d = 0; d < sizes.domains; ++d) {
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "domain", {Value::Int(d), Value::Text(topics[d % topics.size()])}));
+  }
+  // Keywords: lowercase topic words plus qualifier-topic compounds. Sharing
+  // vocabulary with domain names is deliberate: it creates the value-mapping
+  // ambiguity (domain.name vs keyword.keyword) the paper's Sec. IV discusses.
+  std::set<std::string> used_keywords;
+  int kid = 0;
+  for (int k = 0; kid < sizes.keywords && k < 1000; ++k) {
+    std::string kw;
+    if (kid < static_cast<int>(topics.size())) {
+      kw = topics[kid];
+    } else {
+      kw = NamePools::Pick(NamePools::ResearchQualifiers(), rng) + " " +
+           NamePools::Pick(topics, rng);
+    }
+    if (!used_keywords.insert(kw).second) continue;
+    TEMPLAR_RETURN_NOT_OK(
+        db->Insert("keyword", {Value::Int(kid), Value::Text(kw)}));
+    ++kid;
+  }
+
+  // Organizations. Names stay digit-free (a digit would reroute NLQ value
+  // keywords into the numeric-mapping path).
+  std::set<std::string> used_orgs;
+  for (int o = 0; o < sizes.organizations; ++o) {
+    std::string name;
+    do {
+      name = NamePools::Pick(NamePools::Universities(), rng) + " of " +
+             NamePools::Pick(NamePools::Cities(), rng);
+    } while (!used_orgs.insert(name).second);
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "organization",
+        {Value::Int(o), Value::Text(name),
+         Value::Text(NamePools::Pick(NamePools::Continents(), rng)),
+         Value::Text("http://org" + std::to_string(o) + ".example.edu")}));
+  }
+
+  // Authors (+ profiles + domain links).
+  std::set<std::string> used_names;
+  for (int a = 0; a < sizes.authors; ++a) {
+    std::string name;
+    do {
+      name = NamePools::PersonName(rng);
+    } while (!used_names.insert(name).second);
+    int oid = static_cast<int>(rng->NextBounded(sizes.organizations));
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "author", {Value::Int(a), Value::Text(name),
+                   Value::Text("http://people.example.org/a" +
+                               std::to_string(a)),
+                   Value::Int(oid)}));
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "author_profile",
+        {Value::Int(a),
+         Value::Text("a" + std::to_string(a) + "@example.org"),
+         Value::Text(NamePools::Pick(topics, rng))}));
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "domain_author",
+        {Value::Int(static_cast<int>(rng->NextBounded(sizes.domains))),
+         Value::Int(a)}));
+  }
+
+  // Conferences + instances + domain links.
+  const auto& venues = NamePools::VenueAcronyms();
+  for (int c = 0; c < sizes.conferences; ++c) {
+    std::string acro = venues[c % venues.size()];
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "conference",
+        {Value::Int(c), Value::Text(acro),
+         Value::Text("International Conference on " +
+                     NamePools::Pick(topics, rng)),
+         Value::Text("http://conf" + std::to_string(c) + ".example.org")}));
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "conference_instance",
+        {Value::Int(c), Value::Int(c),
+         Value::Int(rng->NextInt(1990, 2015)),
+         Value::Text(NamePools::Pick(NamePools::Cities(), rng))}));
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "domain_conference",
+        {Value::Int(static_cast<int>(rng->NextBounded(sizes.domains))),
+         Value::Int(c)}));
+  }
+
+  // Journals + domain links. Offset into the venue pool so conference and
+  // journal acronyms do not collide.
+  for (int j = 0; j < sizes.journals; ++j) {
+    std::string acro = venues[(j + 16) % venues.size()] + "-J";
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "journal",
+        {Value::Int(j), Value::Text(acro),
+         Value::Text("Transactions on " + NamePools::Pick(topics, rng)),
+         Value::Text("http://journal" + std::to_string(j) +
+                     ".example.org")}));
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "domain_journal",
+        {Value::Int(static_cast<int>(rng->NextBounded(sizes.domains))),
+         Value::Int(j)}));
+  }
+
+  // Publications + links.
+  std::set<std::string> used_titles;
+  for (int p = 0; p < sizes.publications; ++p) {
+    std::string title;
+    do {
+      title = NamePools::PaperTitle(rng);
+    } while (!used_titles.insert(title).second);
+    bool in_conference = rng->NextBool(0.6);
+    int cid = in_conference
+                  ? static_cast<int>(rng->NextBounded(sizes.conferences))
+                  : -1;
+    int jid = in_conference ? -1
+                            : static_cast<int>(rng->NextBounded(sizes.journals));
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "publication",
+        {Value::Int(p), Value::Text(title),
+         Value::Text("We study " + NamePools::Pick(topics, rng) + "."),
+         Value::Int(rng->NextInt(1985, 2015)),
+         cid >= 0 ? Value::Int(cid) : Value::Null(),
+         jid >= 0 ? Value::Int(jid) : Value::Null(),
+         Value::Int(rng->NextInt(5, 60)), Value::Int(rng->NextInt(0, 900))}));
+
+    std::set<int> authors;
+    for (int w = 0; w < sizes.writes_per_pub; ++w) {
+      int aid = static_cast<int>(rng->NextBounded(sizes.authors));
+      if (!authors.insert(aid).second) continue;
+      TEMPLAR_RETURN_NOT_OK(
+          db->Insert("writes", {Value::Int(aid), Value::Int(p)}));
+    }
+    for (int k = 0; k < sizes.keywords_per_pub; ++k) {
+      TEMPLAR_RETURN_NOT_OK(db->Insert(
+          "publication_keyword",
+          {Value::Int(p),
+           Value::Int(static_cast<int>(rng->NextBounded(sizes.keywords)))}));
+    }
+    if (p > 0) {
+      for (int c = 0; c < sizes.cites_per_pub; ++c) {
+        TEMPLAR_RETURN_NOT_OK(db->Insert(
+            "cite", {Value::Int(p),
+                     Value::Int(static_cast<int>(rng->NextBounded(p)))}));
+      }
+    }
+  }
+
+  // Domain-keyword links: topic keywords belong to the same-named domain;
+  // compound keywords to a random one.
+  for (int k = 0; k < sizes.keywords; ++k) {
+    int did = k < sizes.domains
+                  ? k
+                  : static_cast<int>(rng->NextBounded(sizes.domains));
+    TEMPLAR_RETURN_NOT_OK(
+        db->Insert("domain_keyword", {Value::Int(did), Value::Int(k)}));
+  }
+
+  // Research areas (orphan table; mirrors the domain vocabulary).
+  for (size_t r = 0; r < topics.size(); ++r) {
+    TEMPLAR_RETURN_NOT_OK(db->Insert(
+        "research_area",
+        {Value::Int(static_cast<int>(r)), Value::Text(topics[r]),
+         Value::Text("Research on " + topics[r]), Value::Text("Computing")}));
+  }
+  return Status::OK();
+}
+
+/// The curated similarity lexicon for MAS. Encodes both helpful synonymy and
+/// the deliberate ambiguities driving the paper's examples: "papers" is more
+/// similar to `journal` than to `publication` (Example 1's trap).
+void BuildMasLexicon(embed::EmbeddingModel* model) {
+  // The Example-1 trap: the baseline embedding narrowly prefers journal.
+  // The gap is small (as with real embeddings) so that log co-occurrence
+  // evidence can overturn it at λ=0.8 while pure word similarity cannot.
+  model->AddSynonym("paper", "journal", 0.64);
+  model->AddSynonym("paper", "publication", 0.58);
+  model->AddSynonym("paper", "abstract", 0.30);
+
+  model->AddSynonym("article", "publication", 0.59);  // Untrapped: WordNet-close.
+  model->AddSynonym("article", "journal", 0.57);
+
+  model->AddSynonym("author", "name", 0.55);
+  model->AddSynonym("researcher", "author", 0.80);
+  model->AddSynonym("researcher", "name", 0.45);
+  model->AddSynonym("scientist", "author", 0.72);
+  model->AddSynonym("scientist", "organization", 0.35);
+
+  model->AddSynonym("venue", "conference", 0.60);
+  model->AddSynonym("venue", "journal", 0.58);
+  model->AddSynonym("conference", "name", 0.40);
+  model->AddSynonym("journal", "name", 0.40);
+
+  model->AddSynonym("organization", "name", 0.45);
+  model->AddSynonym("university", "organization", 0.75);
+  model->AddSynonym("university", "name", 0.40);
+  model->AddSynonym("institution", "organization", 0.78);
+
+  model->AddSynonym("domain", "name", 0.42);
+  model->AddSynonym("area", "domain", 0.74);
+  model->AddSynonym("area", "keyword", 0.48);
+  model->AddSynonym("field", "domain", 0.70);
+  model->AddSynonym("topic", "keyword", 0.72);
+  model->AddSynonym("topic", "domain", 0.68);
+
+  model->AddSynonym("citation", "cite", 0.85);
+  model->AddSynonym("citation", "num", 0.40);
+  // Numeric-keyword steering: weak hints, as a real embedding would give.
+  model->AddSynonym("after", "year", 0.50);
+  model->AddSynonym("before", "year", 0.50);
+  model->AddSynonym("since", "year", 0.48);
+  model->AddSynonym("cited", "citation", 0.70);
+  model->AddSynonym("citations", "citation", 0.95);
+  model->AddSynonym("references", "reference", 0.95);
+  model->AddSynonym("homepage", "name", 0.15);
+}
+
+/// NaLIR's WordNet-style synset table: precise (no journal/publication
+/// confusion — they sit in different synsets) but narrower coverage, so
+/// out-of-lexicon words fall back to weak lexical overlap.
+void BuildMasWordnet(embed::EmbeddingModel* model) {
+  model->AddSynonym("paper", "publication", 0.85);
+  model->AddSynonym("paper", "title", 0.80);
+  model->AddSynonym("article", "publication", 0.85);
+  model->AddSynonym("article", "title", 0.80);
+  model->AddSynonym("author", "name", 0.78);
+  model->AddSynonym("researcher", "author", 0.85);
+  model->AddSynonym("researcher", "name", 0.75);
+  model->AddSynonym("journal", "name", 0.72);
+  model->AddSynonym("conference", "name", 0.72);
+  model->AddSynonym("organization", "name", 0.72);
+  model->AddSynonym("domain", "name", 0.72);
+  model->AddSynonym("after", "year", 0.75);
+  model->AddSynonym("before", "year", 0.75);
+  model->AddSynonym("citations", "citation", 0.90);
+  model->AddSynonym("publications", "title", 0.80);
+  model->AddSynonym("keyword", "keyword", 0.90);
+  // Gaps (deliberate): "venue", "area", "field", "interests" — NaLIR's
+  // lexicon misses them, its fallback guesses. Its dominant error source is
+  // the parser noise model (Sec. VII-C), not the lexicon.
+}
+
+std::vector<Shape> MasShapes() {
+  std::vector<Shape> shapes;
+
+  // The canonical gold route from publication to domain goes through
+  // keyword (Example 6), while the schema offers a *shorter* decoy via
+  // conference — the core join-inference challenge.
+  const SchemaEdge kPubKeyword = {"publication_keyword", "pid", "publication",
+                                  "pid"};
+  const SchemaEdge kKeywordLink = {"publication_keyword", "kid", "keyword",
+                                   "kid"};
+  const SchemaEdge kDomainKeyword = {"domain_keyword", "kid", "keyword", "kid"};
+  const SchemaEdge kDomainLink = {"domain_keyword", "did", "domain", "did"};
+  const SchemaEdge kWritesAuthor = {"writes", "aid", "author", "aid"};
+  const SchemaEdge kWritesPub = {"writes", "pid", "publication", "pid"};
+  const SchemaEdge kPubJournal = {"publication", "jid", "journal", "jid"};
+  const SchemaEdge kPubConf = {"publication", "cid", "conference", "cid"};
+  const SchemaEdge kAuthorOrg = {"author", "oid", "organization", "oid"};
+
+  // 1. Papers in a domain (Example 1; the headline trap + long gold join).
+  shapes.push_back(Shape{
+      .id = "mas_papers_in_domain",
+      .weight = 3.0,
+      .projection = {"papers", "publication", "title"},
+      .value = ValueSlotSpec{"domain", "name", "in the {v} domain"},
+      .join_edges = {kPubKeyword, kKeywordLink, kDomainKeyword, kDomainLink}});
+
+  // 2. Papers after a year (Example 4).
+  shapes.push_back(Shape{
+      .id = "mas_papers_after_year",
+      .weight = 2.5,
+      .projection = {"papers", "publication", "title"},
+      .numeric = NumericSlotSpec{"publication", "year", "after",
+                                 sql::BinaryOp::kGt, 1990, 2010}});
+
+  // 3. Publications in a journal after a year (Example 5). The projection
+  // word "publications" is an exact lexical match, so this shape survives
+  // the baseline — real benchmarks mix trivially-mapped and ambiguous
+  // phrasings.
+  shapes.push_back(Shape{
+      .id = "mas_papers_journal_year",
+      .weight = 2.5,
+      .projection = {"publications", "publication", "title"},
+      .value = ValueSlotSpec{"journal", "name", "in {v}"},
+      .numeric = NumericSlotSpec{"publication", "year", "after",
+                                 sql::BinaryOp::kGt, 1990, 2008},
+      .join_edges = {kPubJournal}});
+
+  // 4. Papers in a conference.
+  shapes.push_back(Shape{
+      .id = "mas_papers_in_conference",
+      .weight = 2.0,
+      .projection = {"papers", "publication", "title"},
+      .value = ValueSlotSpec{"conference", "name", "in {v}"},
+      .join_edges = {kPubConf}});
+
+  // 5. Authors of papers in a conference.
+  shapes.push_back(Shape{
+      .id = "mas_authors_in_conference",
+      .weight = 2.0,
+      .projection = {"authors", "author", "name"},
+      .value = ValueSlotSpec{"conference", "name", "with papers in {v}"},
+      .join_edges = {kWritesAuthor, kWritesPub, kPubConf}});
+
+  // 6. Authors in a domain (decoy: author has a *direct* domain_author
+  // link, which IS the gold route here; the trap is reversed).
+  shapes.push_back(Shape{
+      .id = "mas_authors_in_domain",
+      .weight = 1.5,
+      .projection = {"authors", "author", "name"},
+      .value = ValueSlotSpec{"domain", "name", "in the {v} area"},
+      .join_edges = {{"domain_author", "aid", "author", "aid"},
+                     {"domain_author", "did", "domain", "did"}}});
+
+  // 7. Papers written by an author.
+  shapes.push_back(Shape{
+      .id = "mas_papers_by_author",
+      .weight = 2.5,
+      .projection = {"papers", "publication", "title"},
+      .value = ValueSlotSpec{"author", "name", "written by {v}"},
+      .join_edges = {kWritesAuthor, kWritesPub}});
+
+  // 8. Self-join: papers written by two authors (Example 7).
+  shapes.push_back(Shape{
+      .id = "mas_papers_by_two_authors",
+      .weight = 1.5,
+      .projection = {"papers", "publication", "title"},
+      .value = ValueSlotSpec{"author", "name", "written by both {v} and {v}",
+                             2},
+      .join_edges = {kWritesAuthor,
+                     kWritesPub,
+                     {"writes#1", "aid", "author#1", "aid"},
+                     {"writes#1", "pid", "publication", "pid"}}});
+
+  // 9. Count of papers by an author. (Gold counts titles rather than ids:
+  // equivalent cardinality, and reachable by word similarity.)
+  shapes.push_back(Shape{
+      .id = "mas_count_papers_by_author",
+      .weight = 1.5,
+      .projection = {"papers", "publication", "title"},
+      .aggs = {sql::AggFunc::kCount},
+      .value = ValueSlotSpec{"author", "name", "written by {v}"},
+      .join_edges = {kWritesAuthor, kWritesPub}});
+
+  // 10. Authors at an organization.
+  shapes.push_back(Shape{
+      .id = "mas_authors_at_org",
+      .weight = 1.5,
+      .projection = {"authors", "author", "name"},
+      .value = ValueSlotSpec{"organization", "name", "at {v}"},
+      .join_edges = {kAuthorOrg}});
+
+  // 11. Papers with many citations.
+  shapes.push_back(Shape{
+      .id = "mas_papers_citations",
+      .weight = 1.5,
+      .projection = {"papers", "publication", "title"},
+      .numeric = NumericSlotSpec{"publication", "citation_num",
+                                 "with more than", sql::BinaryOp::kGt, 100,
+                                 600, "citations"}});
+
+  // 12. Articles about a keyword (value ambiguity vs domain.name).
+  shapes.push_back(Shape{
+      .id = "mas_papers_about_keyword",
+      .weight = 2.0,
+      .projection = {"articles", "publication", "title"},
+      .value = ValueSlotSpec{"keyword", "keyword", "about {v}"},
+      .join_edges = {kPubKeyword, kKeywordLink}});
+
+  // 13. Journals in a domain.
+  shapes.push_back(Shape{
+      .id = "mas_journals_in_domain",
+      .weight = 1.0,
+      .projection = {"journals", "journal", "name"},
+      .value = ValueSlotSpec{"domain", "name", "in the {v} domain"},
+      .join_edges = {{"domain_journal", "jid", "journal", "jid"},
+                     {"domain_journal", "did", "domain", "did"}}});
+
+  // 14. Organizations of authors in a domain.
+  shapes.push_back(Shape{
+      .id = "mas_orgs_in_domain",
+      .weight = 1.0,
+      .projection = {"organizations", "organization", "name"},
+      .value = ValueSlotSpec{"domain", "name", "with researchers in the {v} "
+                                               "area"},
+      .join_edges = {kAuthorOrg,
+                     {"domain_author", "aid", "author", "aid"},
+                     {"domain_author", "did", "domain", "did"}}});
+
+  // 15. Hard: two text values with overlapping vocabularies (domain names
+  // are a subset of keyword terms and of author interests). Humans resolve
+  // "on {kw} in the {domain} area" by syntax; the log often cannot
+  // distinguish the two assignments, keeping Pipeline+ below a ceiling as
+  // in the paper's error analysis.
+  shapes.push_back(Shape{
+      .id = "mas_papers_kw_in_domain",
+      .weight = 6.0,
+      .projection = {"publications", "publication", "title"},
+      // max_distinct=18 restricts to the keyword terms that are also domain
+      // names, so both values are always cross-ambiguous.
+      .value = ValueSlotSpec{"keyword", "keyword", "on {v}", 1, 18},
+      .value2 = ValueSlotSpec{"domain", "name", "in the {v} area"},
+      .join_edges = {kPubKeyword, kKeywordLink, kDomainKeyword, kDomainLink}});
+
+  // 16. Count of authors at an organization.
+  shapes.push_back(Shape{
+      .id = "mas_count_authors_at_org",
+      .weight = 1.0,
+      .projection = {"researchers", "author", "name"},
+      .aggs = {sql::AggFunc::kCount},
+      .value = ValueSlotSpec{"organization", "name", "at {v}"},
+      .join_edges = {kAuthorOrg}});
+
+  return shapes;
+}
+
+/// Log-only shapes: the journal-browsing and venue-listing traffic that
+/// makes `journal` frequent in the log (Fig. 3's 25x "SELECT j.name FROM
+/// journal") without co-occurring with the benchmark's predicate fragments.
+std::vector<Shape> MasLogOnlyShapes() {
+  std::vector<Shape> shapes;
+  shapes.push_back(Shape{.id = "mas_log_journals",
+                         .weight = 3.0,
+                         .projection = {"journals", "journal", "name"}});
+  shapes.push_back(Shape{.id = "mas_log_conferences",
+                         .weight = 2.0,
+                         .projection = {"conferences", "conference", "name"}});
+  shapes.push_back(Shape{
+      .id = "mas_log_conf_year",
+      .weight = 1.5,
+      .projection = {"conferences", "conference_instance", "location"},
+      .numeric = NumericSlotSpec{"conference_instance", "year", "after",
+                                 sql::BinaryOp::kGt, 1995, 2012}});
+  shapes.push_back(Shape{
+      .id = "mas_log_author_interests",
+      .weight = 1.0,
+      .projection = {"interests", "author_profile", "interests"},
+      .value = ValueSlotSpec{"author", "name", "of {v}"},
+      .join_edges = {{"author_profile", "aid", "author", "aid"}}});
+  return shapes;
+}
+
+}  // namespace
+
+Result<Dataset> BuildMas(uint64_t seed) {
+  Dataset ds;
+  ds.name = "MAS";
+  ds.paper = PaperStats{3.2, 17, 53, 19, 194};
+  ds.database = std::make_unique<Database>("mas");
+  ds.lexicon = std::make_unique<embed::EmbeddingModel>();
+  ds.wordnet = std::make_unique<embed::EmbeddingModel>();
+
+  Rng rng(seed);
+  MasSizes sizes;
+  TEMPLAR_RETURN_NOT_OK(CreateMasSchema(ds.database.get()));
+  TEMPLAR_RETURN_NOT_OK(PopulateMas(ds.database.get(), sizes, &rng));
+  BuildMasLexicon(ds.lexicon.get());
+  BuildMasWordnet(ds.wordnet.get());
+
+  WorkloadGenerator gen(ds.database.get(), seed ^ 0xbe9c4);
+  TEMPLAR_ASSIGN_OR_RETURN(ds.benchmark,
+                           gen.GenerateBenchmark(MasShapes(), 194));
+
+  // Extra log: workload-consistent re-instantiations plus browsing noise.
+  WorkloadGenerator log_gen(ds.database.get(), seed ^ 0x109a7);
+  TEMPLAR_ASSIGN_OR_RETURN(std::vector<std::string> workload_log,
+                           log_gen.GenerateLog(MasShapes(), 400));
+  TEMPLAR_ASSIGN_OR_RETURN(std::vector<std::string> noise_log,
+                           log_gen.GenerateLog(MasLogOnlyShapes(), 120));
+  ds.extra_log = std::move(workload_log);
+  ds.extra_log.insert(ds.extra_log.end(), noise_log.begin(), noise_log.end());
+  return ds;
+}
+
+}  // namespace templar::datasets

@@ -1,0 +1,205 @@
+#include "datasets/name_pools.h"
+
+namespace templar::datasets {
+
+const std::vector<std::string>& NamePools::FirstNames() {
+  static const std::vector<std::string> kPool = {
+      "Alice",  "Brian",  "Carla",  "Daniel", "Elena",  "Felix",  "Grace",
+      "Hector", "Irene",  "Jonas",  "Katya",  "Liam",   "Mira",   "Noah",
+      "Olga",   "Pedro",  "Quinn",  "Rosa",   "Samir",  "Tanya",  "Umar",
+      "Vera",   "Wen",    "Ximena", "Yusuf",  "Zara",   "Anders", "Bruno",
+      "Chiara", "Dmitri", "Esther", "Farid",  "Gita",   "Hana",   "Ivan",
+      "Jade",   "Kenji",  "Lucia",  "Marco",  "Nadia",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::LastNames() {
+  static const std::vector<std::string> kPool = {
+      "Almeida",  "Bishop",   "Castillo", "Donovan",  "Eriksen",  "Fontaine",
+      "Gallo",    "Hargrove", "Ibrahim",  "Jansen",   "Kovacs",   "Lindqvist",
+      "Moretti",  "Nakamura", "Okafor",   "Petrov",   "Quispe",   "Rosales",
+      "Sorensen", "Takahashi", "Ueda",    "Vargas",   "Whitfield", "Xu",
+      "Yamamoto", "Zielinski", "Abbott",  "Barros",   "Calloway", "Deluca",
+      "Eastman",  "Farrell",  "Grimaldi", "Holloway", "Iversen",  "Jimenez",
+      "Kline",    "Lombardi", "Mendes",   "Novak",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::ResearchTopics() {
+  static const std::vector<std::string> kPool = {
+      "Databases",        "Machine Learning", "Data Mining",
+      "Graphics",         "Networking",       "Security",
+      "Bioinformatics",   "Algorithms",       "Operating Systems",
+      "Compilers",        "Vision",           "Robotics",
+      "Crowdsourcing",    "Visualization",    "Information Retrieval",
+      "Distributed Systems", "Cryptography",  "Semantics",
+      "Verification",     "Parallelism",      "Streaming",
+      "Provenance",       "Indexing",         "Caching",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::ResearchQualifiers() {
+  static const std::vector<std::string> kPool = {
+      "Scalable",  "Efficient", "Adaptive",  "Robust",    "Incremental",
+      "Declarative", "Approximate", "Online", "Interactive", "Secure",
+      "Parallel",  "Unified",   "Practical", "Probabilistic", "Learned",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::VenueAcronyms() {
+  static const std::vector<std::string> kPool = {
+      "TKDE", "TODS", "VLDBJ", "JACM", "TOIS",  "TOCS",  "TOPLAS", "TISSEC",
+      "JAIR", "TPAMI", "TON",  "TOSEM", "TWEB", "TALG",  "TECS",   "TOMM",
+      "SIGMOD", "VLDB", "ICDE", "KDD",  "EDBT", "CIDR",  "PODS",   "WSDM",
+      "WWW",  "CIKM",  "ICML", "AAAI", "SOSP",  "OSDI",  "NSDI",   "SIGIR",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::Universities() {
+  static const std::vector<std::string> kPool = {
+      "Northgate University",    "Riverton Institute",
+      "Clearwater College",      "Summit Polytechnic",
+      "Lakeshore University",    "Ironwood Institute",
+      "Harborview University",   "Stonebridge College",
+      "Crestfield University",   "Maple Valley Institute",
+      "Redcliff University",     "Silverpine College",
+      "Bayfront Polytechnic",    "Oakhurst University",
+      "Windmere Institute",      "Eastvale University",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::Continents() {
+  static const std::vector<std::string> kPool = {
+      "North America", "Europe", "Asia", "South America", "Oceania", "Africa",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::Cities() {
+  static const std::vector<std::string> kPool = {
+      "Ashford",   "Brookhaven", "Cedar Falls", "Dunmore",   "Elkton",
+      "Fairview",  "Glenrock",   "Hillsboro",   "Ironton",   "Junction City",
+      "Kingsport", "Lakewood",   "Midvale",     "Northfield", "Oakdale",
+      "Pinecrest", "Quarry Bay", "Ridgemont",   "Springdale", "Thornton",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::UsStates() {
+  static const std::vector<std::string> kPool = {
+      "AZ", "CA", "CO", "IL", "MA", "MI", "NC", "NV", "NY", "OH",
+      "OR", "PA", "TX", "UT", "WA", "WI",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::Cuisines() {
+  static const std::vector<std::string> kPool = {
+      "Thai",     "Italian", "Mexican",  "Japanese", "Indian",  "Greek",
+      "Korean",   "French",  "Ethiopian", "Vietnamese", "Spanish", "Turkish",
+      "Lebanese", "Peruvian", "German",  "Brazilian",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::BusinessSuffixes() {
+  static const std::vector<std::string> kPool = {
+      "Kitchen", "Bistro", "Grill", "Cafe",   "House",  "Garden",
+      "Corner",  "Table",  "Oven",  "Tavern", "Market", "Diner",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::MovieNouns() {
+  static const std::vector<std::string> kPool = {
+      "Harbor",  "Empire",  "Garden",  "Shadow",  "Voyage",  "Horizon",
+      "Letter",  "Winter",  "Summit",  "Echo",    "Crossing", "Lantern",
+      "Orchard", "Tempest", "Fortress", "Mirage", "Carnival", "Outpost",
+      "Meridian", "Harvest",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::MovieAdjectives() {
+  static const std::vector<std::string> kPool = {
+      "Silent",  "Crimson", "Hidden",  "Broken",  "Golden", "Distant",
+      "Burning", "Frozen",  "Hollow",  "Restless", "Paper", "Midnight",
+      "Electric", "Savage", "Gentle",  "Last",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::Genres() {
+  static const std::vector<std::string> kPool = {
+      "Drama",   "Comedy",  "Thriller", "Horror",   "Romance", "Action",
+      "Mystery", "Western", "Animation", "Documentary", "Fantasy", "Crime",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::Nationalities() {
+  static const std::vector<std::string> kPool = {
+      "American", "British",  "French",  "Italian",  "Japanese", "Korean",
+      "Mexican",  "German",   "Spanish", "Brazilian", "Indian",  "Canadian",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::Weekdays() {
+  static const std::vector<std::string> kPool = {
+      "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+      "Sunday",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& NamePools::Months() {
+  static const std::vector<std::string> kPool = {
+      "January",   "February", "March",    "April",    "May",      "June",
+      "July",      "August",   "September", "October", "November", "December",
+  };
+  return kPool;
+}
+
+const std::string& NamePools::Pick(const std::vector<std::string>& pool,
+                                   Rng* rng) {
+  return pool[rng->NextBounded(pool.size())];
+}
+
+std::string NamePools::PersonName(Rng* rng) {
+  return Pick(FirstNames(), rng) + " " + Pick(LastNames(), rng);
+}
+
+std::string NamePools::PaperTitle(Rng* rng) {
+  // Digit-free by construction: a digit would make downstream NLQ value
+  // keywords look numeric. The 15*24*24 combination space covers the
+  // benchmark sizes with room to spare.
+  return Pick(ResearchQualifiers(), rng) + " " +
+         Pick(ResearchTopics(), rng) + " for " + Pick(ResearchTopics(), rng);
+}
+
+std::string NamePools::MovieTitle(Rng* rng) {
+  std::string base =
+      Pick(MovieAdjectives(), rng) + " " + Pick(MovieNouns(), rng);
+  switch (rng->NextBounded(3)) {
+    case 0:
+      return "The " + base;
+    case 1:
+      return base + " of the " + Pick(MovieNouns(), rng);
+    default:
+      return base;
+  }
+}
+
+std::string NamePools::BusinessName(Rng* rng) {
+  return Pick(MovieAdjectives(), rng) + " " + Pick(Cuisines(), rng) + " " +
+         Pick(BusinessSuffixes(), rng);
+}
+
+}  // namespace templar::datasets

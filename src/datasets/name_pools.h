@@ -1,0 +1,58 @@
+#ifndef TEMPLAR_DATASETS_NAME_POOLS_H_
+#define TEMPLAR_DATASETS_NAME_POOLS_H_
+
+/// \file name_pools.h
+/// \brief Synthetic vocabulary pools for the dataset generators.
+///
+/// All values are generated from these pools with a seeded Rng, so the
+/// databases (and therefore every benchmark and experiment) are bit-for-bit
+/// reproducible.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace templar::datasets {
+
+/// \brief Pools of words used to synthesize entity names.
+class NamePools {
+ public:
+  static const std::vector<std::string>& FirstNames();
+  static const std::vector<std::string>& LastNames();
+  static const std::vector<std::string>& ResearchTopics();   // "Databases", ...
+  static const std::vector<std::string>& ResearchQualifiers();  // "Scalable", ...
+  static const std::vector<std::string>& VenueAcronyms();    // "TKDE"-style
+  static const std::vector<std::string>& Universities();
+  static const std::vector<std::string>& Continents();
+  static const std::vector<std::string>& Cities();
+  static const std::vector<std::string>& UsStates();
+  static const std::vector<std::string>& Cuisines();
+  static const std::vector<std::string>& BusinessSuffixes();
+  static const std::vector<std::string>& MovieNouns();
+  static const std::vector<std::string>& MovieAdjectives();
+  static const std::vector<std::string>& Genres();
+  static const std::vector<std::string>& Nationalities();
+  static const std::vector<std::string>& Weekdays();
+  static const std::vector<std::string>& Months();
+
+  /// \brief "First Last" drawn from the pools.
+  static std::string PersonName(Rng* rng);
+
+  /// \brief A paper-ish title: "Scalable Query Processing for Databases".
+  static std::string PaperTitle(Rng* rng);
+
+  /// \brief A movie-ish title: "The Silent Harbor".
+  static std::string MovieTitle(Rng* rng);
+
+  /// \brief A business name: "Golden Thai Kitchen".
+  static std::string BusinessName(Rng* rng);
+
+  /// \brief Uniform pick from a pool.
+  static const std::string& Pick(const std::vector<std::string>& pool,
+                                 Rng* rng);
+};
+
+}  // namespace templar::datasets
+
+#endif  // TEMPLAR_DATASETS_NAME_POOLS_H_

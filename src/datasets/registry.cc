@@ -1,0 +1,26 @@
+#include "common/string_util.h"
+#include "datasets/dataset.h"
+
+namespace templar::datasets {
+
+Result<Dataset> BuildByName(const std::string& name, uint64_t seed) {
+  std::string lower = ToLower(name);
+  if (lower == "mas") return BuildMas(seed == 0 ? 7001 : seed);
+  if (lower == "yelp") return BuildYelp(seed == 0 ? 7002 : seed);
+  if (lower == "imdb") return BuildImdb(seed == 0 ? 7003 : seed);
+  return Status::NotFound("unknown dataset '" + name +
+                          "' (expected mas | yelp | imdb)");
+}
+
+Result<std::vector<Dataset>> BuildAll() {
+  std::vector<Dataset> out;
+  TEMPLAR_ASSIGN_OR_RETURN(Dataset mas, BuildMas());
+  out.push_back(std::move(mas));
+  TEMPLAR_ASSIGN_OR_RETURN(Dataset yelp, BuildYelp());
+  out.push_back(std::move(yelp));
+  TEMPLAR_ASSIGN_OR_RETURN(Dataset imdb, BuildImdb());
+  out.push_back(std::move(imdb));
+  return out;
+}
+
+}  // namespace templar::datasets

@@ -1,0 +1,242 @@
+#include "datasets/workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/mapping.h"
+#include "db/executor.h"
+#include "nlidb/sql_assembler.h"
+#include "qfg/fragment.h"
+
+namespace templar::datasets {
+
+namespace {
+
+/// NLQ phrase introducing an aggregate ("number of papers").
+std::string AggPhrase(const std::vector<sql::AggFunc>& aggs) {
+  if (aggs.empty()) return "";
+  switch (aggs.front()) {
+    case sql::AggFunc::kCount:
+      return "number of ";
+    case sql::AggFunc::kSum:
+      return "total ";
+    case sql::AggFunc::kAvg:
+      return "average ";
+    case sql::AggFunc::kMax:
+      return "maximum ";
+    case sql::AggFunc::kMin:
+      return "minimum ";
+  }
+  return "";
+}
+
+/// Replaces the first occurrence of `{v}` in `s` with `value`.
+std::string FillValue(std::string s, const std::string& value) {
+  auto pos = s.find("{v}");
+  if (pos != std::string::npos) s.replace(pos, 3, value);
+  return s;
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(const db::Database* db, uint64_t seed)
+    : db_(db), rng_(seed) {}
+
+Result<std::vector<std::string>> WorkloadGenerator::SampleValues(
+    const ValueSlotSpec& slot, int count) {
+  db::Executor executor(db_);
+  TEMPLAR_ASSIGN_OR_RETURN(
+      std::vector<db::Value> values,
+      executor.DistinctValues(slot.relation, slot.attribute,
+                              slot.max_distinct));
+  if (static_cast<int>(values.size()) < count) {
+    return Status::InvalidArgument("not enough distinct values in " +
+                                   slot.relation + "." + slot.attribute);
+  }
+  std::set<size_t> picked;
+  std::vector<std::string> out;
+  while (static_cast<int>(out.size()) < count) {
+    size_t i = rng_.NextBounded(values.size());
+    if (!picked.insert(i).second) continue;
+    out.push_back(values[i].ToString());
+  }
+  return out;
+}
+
+Result<BenchmarkQuery> WorkloadGenerator::Instantiate(const Shape& shape) {
+  BenchmarkQuery q;
+  q.shape_id = shape.id;
+
+  // --- Build the gold configuration (keyword -> fragment mappings). -------
+  core::Configuration config;
+
+  // Projection keyword.
+  {
+    nlq::AnnotatedKeyword kw;
+    kw.text = shape.projection.nl_word;
+    kw.metadata.context = qfg::FragmentContext::kSelect;
+    kw.metadata.aggs = shape.aggs;
+    kw.metadata.group_by = shape.group_by;
+
+    core::CandidateMapping c;
+    c.kind = core::CandidateMapping::Kind::kAttribute;
+    c.relation = shape.projection.relation;
+    c.attribute = shape.projection.attribute;
+    c.aggs = shape.aggs;
+    c.group_by = shape.group_by;
+    c.similarity = 1.0;
+    c.fragment = qfg::SelectFragment(c.relation, c.attribute, c.aggs, false);
+    q.gold_fragments[kw.text] = c.fragment.Key();
+    config.mappings.push_back({kw, c});
+    q.gold_parse.keywords.push_back(std::move(kw));
+  }
+
+  // NLQ assembly begins.
+  std::string nlq_text =
+      shape.command + " " + AggPhrase(shape.aggs) + shape.projection.nl_word;
+
+  // Text-value keyword(s). Values must be distinct across slots: a repeated
+  // string would merge two keywords in the gold annotation.
+  std::set<std::string> used_values;
+  auto add_value_slot = [&](const ValueSlotSpec& slot) -> Status {
+    std::vector<std::string> values;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      TEMPLAR_ASSIGN_OR_RETURN(values, SampleValues(slot, slot.count));
+      bool clash = false;
+      for (const auto& v : values) clash = clash || used_values.count(v) > 0;
+      if (!clash) break;
+      values.clear();
+    }
+    if (values.empty()) {
+      return Status::Internal("could not sample distinct values for " +
+                              slot.relation + "." + slot.attribute);
+    }
+    for (const auto& v : values) used_values.insert(v);
+    std::string phrase = slot.nl_template;
+    for (const auto& v : values) phrase = FillValue(phrase, v);
+    nlq_text += " " + phrase;
+
+    for (const auto& v : values) {
+      nlq::AnnotatedKeyword kw;
+      kw.text = v;
+      kw.metadata.context = qfg::FragmentContext::kWhere;
+      kw.metadata.op = sql::BinaryOp::kEq;
+
+      core::CandidateMapping c;
+      c.kind = core::CandidateMapping::Kind::kPredicate;
+      c.relation = slot.relation;
+      c.attribute = slot.attribute;
+      c.op = sql::BinaryOp::kEq;
+      c.value = sql::Literal::String(v);
+      c.similarity = 1.0;
+      c.fragment = qfg::WhereFragment(c.ToPredicate(),
+                                      qfg::ObscurityLevel::kFull);
+      q.gold_fragments[kw.text] = c.fragment.Key();
+      config.mappings.push_back({kw, c});
+      q.gold_parse.keywords.push_back(std::move(kw));
+    }
+    return Status::OK();
+  };
+  if (shape.value) {
+    TEMPLAR_RETURN_NOT_OK(add_value_slot(*shape.value));
+  }
+  if (shape.value2) {
+    TEMPLAR_RETURN_NOT_OK(add_value_slot(*shape.value2));
+  }
+
+  // Numeric keyword.
+  if (shape.numeric) {
+    int64_t n = rng_.NextInt(shape.numeric->min_value, shape.numeric->max_value);
+    nlq::AnnotatedKeyword kw;
+    kw.text = shape.numeric->op_word + " " + std::to_string(n);
+    if (!shape.numeric->unit_word.empty()) {
+      kw.text += " " + shape.numeric->unit_word;
+    }
+    kw.metadata.context = qfg::FragmentContext::kWhere;
+    kw.metadata.op = shape.numeric->op;
+    nlq_text += " " + kw.text;
+
+    core::CandidateMapping c;
+    c.kind = core::CandidateMapping::Kind::kPredicate;
+    c.relation = shape.numeric->relation;
+    c.attribute = shape.numeric->attribute;
+    c.op = shape.numeric->op;
+    c.value = sql::Literal::Int(n);
+    c.similarity = 1.0;
+    c.fragment = qfg::WhereFragment(c.ToPredicate(),
+                                    qfg::ObscurityLevel::kFull);
+    q.gold_fragments[kw.text] = c.fragment.Key();
+    config.mappings.push_back({kw, c});
+    q.gold_parse.keywords.push_back(std::move(kw));
+  }
+
+  q.nlq = nlq_text;
+  q.gold_parse.original = nlq_text;
+
+  // --- Assemble the gold SQL through the shared assembler. ----------------
+  graph::JoinPath jp;
+  jp.edges = shape.join_edges;
+  std::set<std::string> rels;
+  for (const auto& e : jp.edges) {
+    rels.insert(e.fk_relation);
+    rels.insert(e.pk_relation);
+  }
+  for (const auto& inst : config.RelationBag()) rels.insert(inst);
+  jp.relations.assign(rels.begin(), rels.end());
+  jp.terminals = config.RelationBag();
+  TEMPLAR_ASSIGN_OR_RETURN(q.gold_sql, nlidb::AssembleSql(config, jp));
+  return q;
+}
+
+Result<std::vector<BenchmarkQuery>> WorkloadGenerator::GenerateBenchmark(
+    const std::vector<Shape>& shapes, size_t count) {
+  if (shapes.empty()) return Status::InvalidArgument("no shapes");
+  std::vector<double> weights;
+  weights.reserve(shapes.size());
+  for (const auto& s : shapes) weights.push_back(s.weight);
+
+  std::vector<BenchmarkQuery> out;
+  std::set<std::string> seen_sql;  // No duplicate gold queries.
+  size_t attempts = 0;
+  while (out.size() < count && attempts < count * 20) {
+    ++attempts;
+    // Round-robin through shapes first so each appears at least once.
+    const Shape& shape = out.size() < shapes.size()
+                             ? shapes[out.size()]
+                             : shapes[rng_.NextWeighted(weights)];
+    auto q = Instantiate(shape);
+    if (!q.ok()) return q.status();
+    std::string key = q->gold_sql.ToString();
+    if (!seen_sql.insert(std::move(key)).second) continue;
+    out.push_back(std::move(*q));
+  }
+  if (out.size() < count) {
+    return Status::Internal("could not generate " + std::to_string(count) +
+                            " distinct queries (got " +
+                            std::to_string(out.size()) + ")");
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> WorkloadGenerator::GenerateLog(
+    const std::vector<Shape>& shapes, size_t count) {
+  if (shapes.empty()) return Status::InvalidArgument("no shapes");
+  std::vector<double> weights;
+  weights.reserve(shapes.size());
+  for (const auto& s : shapes) weights.push_back(s.weight);
+  std::vector<std::string> out;
+  out.reserve(count);
+  size_t attempts = 0;
+  while (out.size() < count && attempts < count * 20) {
+    ++attempts;
+    const Shape& shape = out.size() < shapes.size()
+                             ? shapes[out.size()]
+                             : shapes[rng_.NextWeighted(weights)];
+    auto q = Instantiate(shape);
+    if (!q.ok()) continue;  // Log synthesis tolerates sparse value pools.
+    out.push_back(q->gold_sql.ToString());
+  }
+  return out;
+}
+
+}  // namespace templar::datasets

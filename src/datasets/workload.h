@@ -1,0 +1,111 @@
+#ifndef TEMPLAR_DATASETS_WORKLOAD_H_
+#define TEMPLAR_DATASETS_WORKLOAD_H_
+
+/// \file workload.h
+/// \brief Template engine generating NLQ / gold-SQL benchmark pairs.
+///
+/// Each dataset declares a set of query *shapes*: a projection (with an NL
+/// word the user would say), optional aggregation, an optional text-value
+/// slot (possibly duplicated — a self-join shape), an optional numeric slot,
+/// and the gold join path connecting everything. The engine instantiates
+/// shapes with concrete values sampled from the generated database, emitting
+/// the NLQ string, the hand parse, the gold SQL (assembled through the same
+/// code path the NLIDBs use, so formatting never diverges), and the expected
+/// per-keyword fragments for the KW metric.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "datasets/dataset.h"
+#include "db/database.h"
+#include "graph/schema_graph.h"
+#include "sql/ast.h"
+
+namespace templar::datasets {
+
+/// \brief The projected attribute and the NL word that asks for it.
+struct ProjectionSpec {
+  std::string nl_word;    ///< e.g. "papers"
+  std::string relation;   ///< e.g. "publication"
+  std::string attribute;  ///< e.g. "title"
+};
+
+/// \brief A text-value predicate slot; values sampled from the database.
+struct ValueSlotSpec {
+  std::string relation;
+  std::string attribute;
+  /// NLQ phrase with `{v}` replaced by the sampled value,
+  /// e.g. "in the {v} domain".
+  std::string nl_template;
+  /// 2 for self-join shapes ("by both {v} and {v}"): the template must then
+  /// contain two `{v}` markers; two distinct values are sampled.
+  int count = 1;
+  /// When > 0, sample only from the first `max_distinct` distinct values of
+  /// the attribute (scan order). Datasets use this to force values from a
+  /// deliberately ambiguous sub-pool (e.g. keyword terms that are also
+  /// domain names).
+  size_t max_distinct = 0;
+};
+
+/// \brief A numeric predicate slot.
+struct NumericSlotSpec {
+  std::string relation;
+  std::string attribute;
+  std::string op_word;  ///< e.g. "after" — kept in the keyword text.
+  sql::BinaryOp op = sql::BinaryOp::kGt;
+  int64_t min_value = 0;  ///< Sample range; dataset data generators
+  int64_t max_value = 0;  ///< guarantee non-empty results inside it.
+  /// Optional unit word after the number ("citations" in "with more than
+  /// 100 citations"); part of the keyword text, anchoring word similarity.
+  std::string unit_word;
+};
+
+/// \brief One query template.
+struct Shape {
+  std::string id;
+  double weight = 1.0;  ///< Sampling weight within the benchmark mix.
+  std::string command = "Return the";  ///< NLQ opening phrase.
+  ProjectionSpec projection;
+  std::vector<sql::AggFunc> aggs;  ///< Wraps the projection (outermost 1st).
+  bool group_by = false;           ///< "for each"-style grouping.
+  std::optional<ValueSlotSpec> value;
+  /// A second, independent value slot (for "papers on {kw} in the {domain}
+  /// area"-style queries with two text predicates).
+  std::optional<ValueSlotSpec> value2;
+  std::optional<NumericSlotSpec> numeric;
+  /// Gold join path edges over relation instances; self-join shapes use
+  /// fork-style instance names ("writes#1"). Empty = single relation.
+  std::vector<graph::SchemaEdge> join_edges;
+};
+
+/// \brief Instantiates shapes against a database.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const db::Database* db, uint64_t seed);
+
+  /// \brief One concrete benchmark query from `shape`.
+  Result<BenchmarkQuery> Instantiate(const Shape& shape);
+
+  /// \brief `count` queries drawn from `shapes` by weight; every shape is
+  /// visited at least once when count >= shapes.size().
+  Result<std::vector<BenchmarkQuery>> GenerateBenchmark(
+      const std::vector<Shape>& shapes, size_t count);
+
+  /// \brief `count` log-only SQL strings drawn from `shapes` by weight.
+  Result<std::vector<std::string>> GenerateLog(const std::vector<Shape>& shapes,
+                                               size_t count);
+
+ private:
+  Result<std::vector<std::string>> SampleValues(const ValueSlotSpec& slot,
+                                                int count);
+
+  const db::Database* db_;
+  Rng rng_;
+};
+
+}  // namespace templar::datasets
+
+#endif  // TEMPLAR_DATASETS_WORKLOAD_H_

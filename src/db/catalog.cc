@@ -1,0 +1,80 @@
+#include "db/catalog.h"
+
+namespace templar::db {
+
+const AttributeDef* RelationDef::FindAttribute(
+    const std::string& attr_name) const {
+  for (const auto& a : attributes) {
+    if (a.name == attr_name) return &a;
+  }
+  return nullptr;
+}
+
+std::optional<size_t> RelationDef::AttributeIndex(
+    const std::string& attr_name) const {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name == attr_name) return i;
+  }
+  return std::nullopt;
+}
+
+Status Catalog::AddRelation(RelationDef relation) {
+  if (FindRelation(relation.name) != nullptr) {
+    return Status::AlreadyExists("relation '" + relation.name + "'");
+  }
+  relations_.push_back(std::move(relation));
+  return Status::OK();
+}
+
+Status Catalog::AddForeignKey(ForeignKeyDef fk) {
+  const RelationDef* from = FindRelation(fk.from_relation);
+  const RelationDef* to = FindRelation(fk.to_relation);
+  if (from == nullptr) {
+    return Status::NotFound("FK source relation '" + fk.from_relation + "'");
+  }
+  if (to == nullptr) {
+    return Status::NotFound("FK target relation '" + fk.to_relation + "'");
+  }
+  if (from->FindAttribute(fk.from_attribute) == nullptr) {
+    return Status::NotFound("FK source attribute '" + fk.from_relation + "." +
+                            fk.from_attribute + "'");
+  }
+  if (to->FindAttribute(fk.to_attribute) == nullptr) {
+    return Status::NotFound("FK target attribute '" + fk.to_relation + "." +
+                            fk.to_attribute + "'");
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+const RelationDef* Catalog::FindRelation(const std::string& name) const {
+  for (const auto& r : relations_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+bool Catalog::HasAttribute(const std::string& relation,
+                           const std::string& attribute) const {
+  const RelationDef* r = FindRelation(relation);
+  return r != nullptr && r->FindAttribute(attribute) != nullptr;
+}
+
+std::vector<std::pair<std::string, std::string>> Catalog::AllAttributes()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& r : relations_) {
+    for (const auto& a : r.attributes) {
+      out.emplace_back(r.name, a.name);
+    }
+  }
+  return out;
+}
+
+size_t Catalog::attribute_count() const {
+  size_t n = 0;
+  for (const auto& r : relations_) n += r.attributes.size();
+  return n;
+}
+
+}  // namespace templar::db

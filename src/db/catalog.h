@@ -1,0 +1,92 @@
+#ifndef TEMPLAR_DB_CATALOG_H_
+#define TEMPLAR_DB_CATALOG_H_
+
+/// \file catalog.h
+/// \brief Schema metadata: relations, attributes, and FK-PK links.
+///
+/// The catalog is the source from which the schema graph (Def. 1 in the
+/// paper) is built, and what KEYWORDCANDS introspects when a keyword's
+/// context is FROM (all relations) or SELECT (all attributes).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/value.h"
+
+namespace templar::db {
+
+/// \brief One attribute (column) of a relation.
+struct AttributeDef {
+  std::string name;
+  DataType type = DataType::kText;
+  bool is_primary_key = false;
+  bool fulltext_indexed = false;  ///< Text attributes searchable by FTS.
+
+  bool operator==(const AttributeDef&) const = default;
+};
+
+/// \brief A foreign-key to primary-key link between two relations.
+struct ForeignKeyDef {
+  std::string from_relation;  ///< Relation holding the FK attribute.
+  std::string from_attribute;
+  std::string to_relation;  ///< Relation holding the referenced PK.
+  std::string to_attribute;
+
+  bool operator==(const ForeignKeyDef&) const = default;
+  std::string ToString() const {
+    return from_relation + "." + from_attribute + " -> " + to_relation + "." +
+           to_attribute;
+  }
+};
+
+/// \brief One relation (table) definition.
+struct RelationDef {
+  std::string name;
+  std::vector<AttributeDef> attributes;
+
+  bool operator==(const RelationDef&) const = default;
+
+  /// \brief Finds an attribute by name; nullptr if absent.
+  const AttributeDef* FindAttribute(const std::string& attr_name) const;
+  /// \brief Position of an attribute; nullopt if absent.
+  std::optional<size_t> AttributeIndex(const std::string& attr_name) const;
+};
+
+/// \brief The full schema of a database.
+class Catalog {
+ public:
+  /// \brief Registers a relation. Fails if the name already exists.
+  Status AddRelation(RelationDef relation);
+
+  /// \brief Registers an FK-PK link. Both endpoints must exist.
+  Status AddForeignKey(ForeignKeyDef fk);
+
+  /// \brief Looks up a relation; nullptr if absent.
+  const RelationDef* FindRelation(const std::string& name) const;
+
+  /// \brief True iff `relation.attribute` exists.
+  bool HasAttribute(const std::string& relation,
+                    const std::string& attribute) const;
+
+  const std::vector<RelationDef>& relations() const { return relations_; }
+  const std::vector<ForeignKeyDef>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  /// \brief All (relation, attribute) pairs, in declaration order.
+  std::vector<std::pair<std::string, std::string>> AllAttributes() const;
+
+  /// \brief Total attribute count across relations.
+  size_t attribute_count() const;
+
+ private:
+  std::vector<RelationDef> relations_;
+  std::vector<ForeignKeyDef> foreign_keys_;
+};
+
+}  // namespace templar::db
+
+#endif  // TEMPLAR_DB_CATALOG_H_

@@ -1,0 +1,51 @@
+#include "db/database.h"
+
+namespace templar::db {
+
+Status Database::CreateRelation(RelationDef def) {
+  TEMPLAR_RETURN_NOT_OK(catalog_.AddRelation(def));
+  // Copy the key before moving `def` into the table: the evaluation order of
+  // the map subscript vs. the constructor argument is unspecified.
+  std::string name = def.name;
+  tables_[name] = std::make_unique<Table>(std::move(def));
+  return Status::OK();
+}
+
+Status Database::Insert(const std::string& relation, Row row) {
+  auto it = tables_.find(relation);
+  if (it == tables_.end()) {
+    return Status::NotFound("relation '" + relation + "'");
+  }
+  return it->second->Insert(std::move(row));
+}
+
+const Table* Database::FindTable(const std::string& relation) const {
+  auto it = tables_.find(relation);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+size_t Database::total_rows() const {
+  size_t n = 0;
+  for (const auto& [name, table] : tables_) n += table->row_count();
+  return n;
+}
+
+size_t Database::ApproximateSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, table] : tables_) {
+    for (const auto& row : table->rows()) {
+      for (const auto& cell : row) {
+        if (cell.is_null()) {
+          bytes += 1;
+        } else if (cell.is_text()) {
+          bytes += cell.as_text().size() + 8;
+        } else {
+          bytes += 8;
+        }
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace templar::db

@@ -1,0 +1,59 @@
+#ifndef TEMPLAR_DB_DATABASE_H_
+#define TEMPLAR_DB_DATABASE_H_
+
+/// \file database.h
+/// \brief The in-memory relational database: catalog + tables.
+///
+/// Stands in for the MySQL 5.7 instance of the paper's experiments. Templar
+/// needs three capabilities from the DBMS: schema introspection (catalog.h),
+/// executing candidate predicates for non-emptiness (executor.h), and
+/// stemmed boolean full-text search (text/fulltext_index.h, attached by the
+/// dataset loaders).
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "db/catalog.h"
+#include "db/table.h"
+
+namespace templar::db {
+
+/// \brief Catalog plus row storage for every relation.
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  /// \brief Creates a relation (catalog entry + empty table).
+  Status CreateRelation(RelationDef def);
+
+  /// \brief Registers an FK-PK link in the catalog.
+  Status AddForeignKey(ForeignKeyDef fk) {
+    return catalog_.AddForeignKey(std::move(fk));
+  }
+
+  /// \brief Inserts a row into `relation`.
+  Status Insert(const std::string& relation, Row row);
+
+  /// \brief Table lookup; nullptr when the relation does not exist.
+  const Table* FindTable(const std::string& relation) const;
+
+  const Catalog& catalog() const { return catalog_; }
+  const std::string& name() const { return name_; }
+
+  /// \brief Total row count over all relations.
+  size_t total_rows() const;
+
+  /// \brief Approximate payload size in bytes (for Table II-style stats).
+  size_t ApproximateSizeBytes() const;
+
+ private:
+  std::string name_;
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace templar::db
+
+#endif  // TEMPLAR_DB_DATABASE_H_

@@ -1,0 +1,163 @@
+#include "db/executor.h"
+
+#include <algorithm>
+#include <set>
+
+namespace templar::db {
+
+namespace {
+
+/// Glob-style match where '%' matches any run of characters.
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Dynamic programming over (text pos, pattern pos); inputs are short.
+  const size_t n = text.size();
+  const size_t m = pattern.size();
+  std::vector<std::vector<bool>> dp(n + 1, std::vector<bool>(m + 1, false));
+  dp[0][0] = true;
+  for (size_t j = 1; j <= m; ++j) {
+    if (pattern[j - 1] == '%') dp[0][j] = dp[0][j - 1];
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (pattern[j - 1] == '%') {
+        dp[i][j] = dp[i][j - 1] || dp[i - 1][j];
+      } else if (pattern[j - 1] == '_' || pattern[j - 1] == text[i - 1]) {
+        dp[i][j] = dp[i - 1][j - 1];
+      }
+    }
+  }
+  return dp[n][m];
+}
+
+Value LiteralToValue(const sql::Literal& lit) {
+  switch (lit.kind) {
+    case sql::Literal::Kind::kInt:
+      return Value::Int(lit.int_value);
+    case sql::Literal::Kind::kDouble:
+      return Value::Double(lit.double_value);
+    case sql::Literal::Kind::kString:
+      return Value::Text(lit.string_value);
+    default:
+      return Value::Null();
+  }
+}
+
+}  // namespace
+
+bool CellSatisfies(const Value& cell, sql::BinaryOp op,
+                   const sql::Literal& rhs) {
+  if (cell.is_null()) return false;
+  if (rhs.kind == sql::Literal::Kind::kNull ||
+      rhs.kind == sql::Literal::Kind::kPlaceholder) {
+    return false;
+  }
+  if (op == sql::BinaryOp::kLike) {
+    if (!cell.is_text() || rhs.kind != sql::Literal::Kind::kString) {
+      return false;
+    }
+    return LikeMatch(cell.as_text(), rhs.string_value);
+  }
+  const Value rv = LiteralToValue(rhs);
+  switch (op) {
+    case sql::BinaryOp::kEq:
+      return cell.Equals(rv);
+    case sql::BinaryOp::kNeq:
+      return cell.Comparable(rv) && !cell.Equals(rv);
+    case sql::BinaryOp::kLt:
+      return cell.Comparable(rv) && cell.Compare(rv) < 0;
+    case sql::BinaryOp::kLte:
+      return cell.Comparable(rv) && cell.Compare(rv) <= 0;
+    case sql::BinaryOp::kGt:
+      return cell.Comparable(rv) && cell.Compare(rv) > 0;
+    case sql::BinaryOp::kGte:
+      return cell.Comparable(rv) && cell.Compare(rv) >= 0;
+    default:
+      return false;
+  }
+}
+
+Result<size_t> Executor::CountMatching(const std::string& relation,
+                                       const std::string& attribute,
+                                       sql::BinaryOp op,
+                                       const sql::Literal& rhs) const {
+  const Table* table = db_->FindTable(relation);
+  if (table == nullptr) return Status::NotFound("relation '" + relation + "'");
+  auto idx = table->definition().AttributeIndex(attribute);
+  if (!idx) {
+    return Status::NotFound("attribute '" + relation + "." + attribute + "'");
+  }
+  size_t count = 0;
+  for (const auto& row : table->rows()) {
+    if (CellSatisfies(row[*idx], op, rhs)) ++count;
+  }
+  return count;
+}
+
+Result<bool> Executor::PredicateNonEmpty(const sql::Predicate& pred) const {
+  if (pred.IsJoin()) {
+    return Status::InvalidArgument(
+        "PredicateNonEmpty expects a value predicate, got join condition " +
+        pred.ToString());
+  }
+  TEMPLAR_ASSIGN_OR_RETURN(
+      size_t count, CountMatching(pred.lhs.relation, pred.lhs.column, pred.op,
+                                  pred.rhs_literal()));
+  return count > 0;
+}
+
+std::vector<std::pair<std::string, std::string>> Executor::FindNumericAttrs(
+    double value, sql::BinaryOp op) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  const sql::Literal rhs = sql::Literal::Double(value);
+  // Key columns (primary keys and both endpoints of FK-PK links) are join
+  // plumbing, never the target of a user's numeric constraint; skip them,
+  // matching NLIDB practice.
+  std::set<std::string> key_attrs;
+  for (const auto& fk : db_->catalog().foreign_keys()) {
+    key_attrs.insert(fk.from_relation + "." + fk.from_attribute);
+    key_attrs.insert(fk.to_relation + "." + fk.to_attribute);
+  }
+  for (const auto& rel : db_->catalog().relations()) {
+    const Table* table = db_->FindTable(rel.name);
+    for (size_t col = 0; col < rel.attributes.size(); ++col) {
+      const auto& attr = rel.attributes[col];
+      if (attr.type == DataType::kText) continue;
+      if (attr.is_primary_key) continue;
+      if (key_attrs.count(rel.name + "." + attr.name)) continue;
+      bool any = false;
+      for (const auto& row : table->rows()) {
+        if (CellSatisfies(row[col], op, rhs)) {
+          any = true;
+          break;
+        }
+      }
+      if (any) out.emplace_back(rel.name, attr.name);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Value>> Executor::DistinctValues(
+    const std::string& relation, const std::string& attribute,
+    size_t limit) const {
+  const Table* table = db_->FindTable(relation);
+  if (table == nullptr) return Status::NotFound("relation '" + relation + "'");
+  auto idx = table->definition().AttributeIndex(attribute);
+  if (!idx) {
+    return Status::NotFound("attribute '" + relation + "." + attribute + "'");
+  }
+  std::vector<Value> out;
+  std::set<std::string> seen;
+  for (const auto& row : table->rows()) {
+    const Value& v = row[*idx];
+    if (v.is_null()) continue;
+    std::string key = v.ToString();
+    if (seen.insert(std::move(key)).second) {
+      out.push_back(v);
+      if (limit > 0 && out.size() >= limit) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace templar::db

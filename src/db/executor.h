@@ -1,0 +1,60 @@
+#ifndef TEMPLAR_DB_EXECUTOR_H_
+#define TEMPLAR_DB_EXECUTOR_H_
+
+/// \file executor.h
+/// \brief The minimal query-execution surface Templar relies on.
+///
+/// Sec. V-B of the paper scores numeric keyword mappings by executing the
+/// candidate predicate against the database (`exec(c)`), keeping the
+/// similarity score only when the predicate returns a non-empty result.
+/// Sec. V-A's KEYWORDCANDS retrieves "all numeric attributes containing at
+/// least one value that satisfies the predicate" (findNumericAttrs). This
+/// executor implements both, plus small scan utilities used by dataset
+/// generators and tests.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "sql/ast.h"
+
+namespace templar::db {
+
+/// \brief Evaluates `lhs op rhs` for a single cell against a SQL literal.
+/// NULL cells never satisfy any predicate. LIKE supports '%' wildcards.
+bool CellSatisfies(const Value& cell, sql::BinaryOp op,
+                   const sql::Literal& rhs);
+
+/// \brief Scan-based evaluation helpers over one database.
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  /// \brief Number of rows of `relation` whose `attribute` satisfies the
+  /// predicate. NotFound if the relation or attribute is missing.
+  Result<size_t> CountMatching(const std::string& relation,
+                               const std::string& attribute, sql::BinaryOp op,
+                               const sql::Literal& rhs) const;
+
+  /// \brief `exec(c)` from the paper: true iff at least one row satisfies
+  /// the single-attribute predicate.
+  Result<bool> PredicateNonEmpty(const sql::Predicate& pred) const;
+
+  /// \brief findNumericAttrs: every numeric (relation, attribute) with at
+  /// least one value satisfying `op value` (e.g. `> 2000` for "after 2000").
+  std::vector<std::pair<std::string, std::string>> FindNumericAttrs(
+      double value, sql::BinaryOp op) const;
+
+  /// \brief Distinct non-null values of `relation.attribute` (scan order).
+  Result<std::vector<Value>> DistinctValues(const std::string& relation,
+                                            const std::string& attribute,
+                                            size_t limit = 0) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace templar::db
+
+#endif  // TEMPLAR_DB_EXECUTOR_H_

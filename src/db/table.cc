@@ -1,0 +1,30 @@
+#include "db/table.h"
+
+namespace templar::db {
+
+Status Table::Insert(Row row) {
+  if (row.size() != def_.attributes.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(def_.attributes.size()) + " for relation '" +
+        def_.name + "'");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    const DataType t = def_.attributes[i].type;
+    const bool ok = (t == DataType::kInt && v.is_int()) ||
+                    (t == DataType::kDouble && v.is_numeric()) ||
+                    (t == DataType::kText && v.is_text());
+    if (!ok) {
+      return Status::TypeError("cell " + std::to_string(i) + " ('" +
+                               def_.attributes[i].name + "') of relation '" +
+                               def_.name + "' expects " +
+                               DataTypeToString(t) + ", got " + v.ToString());
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+}  // namespace templar::db

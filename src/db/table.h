@@ -1,0 +1,40 @@
+#ifndef TEMPLAR_DB_TABLE_H_
+#define TEMPLAR_DB_TABLE_H_
+
+/// \file table.h
+/// \brief Row storage for one relation.
+
+#include <vector>
+
+#include "common/result.h"
+#include "db/catalog.h"
+#include "db/value.h"
+
+namespace templar::db {
+
+/// \brief A row is a vector of cells aligned with the relation's attributes.
+using Row = std::vector<Value>;
+
+/// \brief In-memory row store for one relation.
+class Table {
+ public:
+  explicit Table(RelationDef def) : def_(std::move(def)) {}
+
+  /// \brief Appends a row after checking arity and cell types.
+  Status Insert(Row row);
+
+  const RelationDef& definition() const { return def_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+
+  /// \brief Cell accessor; caller guarantees bounds.
+  const Value& At(size_t row, size_t col) const { return rows_[row][col]; }
+
+ private:
+  RelationDef def_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace templar::db
+
+#endif  // TEMPLAR_DB_TABLE_H_

@@ -1,0 +1,60 @@
+#include "db/value.h"
+
+#include <sstream>
+
+namespace templar::db {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kInt:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kText:
+      return "TEXT";
+  }
+  return "?";
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) return as_int() == other.as_int();
+    return as_double() == other.as_double();
+  }
+  if (is_text() && other.is_text()) return as_text() == other.as_text();
+  return false;
+}
+
+bool Value::Comparable(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (is_numeric() && other.is_numeric()) return true;
+  return is_text() && other.is_text();
+}
+
+int Value::Compare(const Value& other) const {
+  if (!Comparable(other)) return 0;
+  if (is_numeric()) {
+    double a = as_double();
+    double b = other.as_double();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  return as_text().compare(other.as_text()) < 0
+             ? -1
+             : (as_text() == other.as_text() ? 0 : 1);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) {
+    std::ostringstream os;
+    os << as_double();
+    return os.str();
+  }
+  return as_text();
+}
+
+}  // namespace templar::db

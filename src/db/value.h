@@ -1,0 +1,70 @@
+#ifndef TEMPLAR_DB_VALUE_H_
+#define TEMPLAR_DB_VALUE_H_
+
+/// \file value.h
+/// \brief Typed cell values for the in-memory relational store.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace templar::db {
+
+/// \brief Column data types supported by the store.
+enum class DataType {
+  kInt,
+  kDouble,
+  kText,
+};
+
+/// \brief Returns "INT", "DOUBLE" or "TEXT".
+const char* DataTypeToString(DataType t);
+
+/// \brief A single cell: NULL, integer, double, or text.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value Text(std::string v) { return Value(Repr(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_text() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  double as_double() const {
+    if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+    return std::get<double>(v_);
+  }
+  const std::string& as_text() const { return std::get<std::string>(v_); }
+
+  /// \brief SQL-style three-valued-free comparison used by the executor:
+  /// NULL never compares equal to anything (including NULL).
+  bool Equals(const Value& other) const;
+
+  /// \brief Ordering for numeric values; text compares lexicographically.
+  /// Returns <0, 0, >0; comparing NULL or mixed text/number returns 0 via
+  /// `comparable()==false` — check `Comparable` first.
+  int Compare(const Value& other) const;
+
+  /// \brief True when `Compare` is meaningful for this pair.
+  bool Comparable(const Value& other) const;
+
+  /// \brief Display form; NULL prints as "NULL", text unquoted.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+
+ private:
+  using Repr = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Repr v) : v_(std::move(v)) {}
+  Repr v_;
+};
+
+}  // namespace templar::db
+
+#endif  // TEMPLAR_DB_VALUE_H_

@@ -1,0 +1,127 @@
+#include "embed/embedding_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace templar::embed {
+
+double Cosine(const Vector& a, const Vector& b) {
+  if (a.size() != b.size() || a.empty()) return 0;
+  double dot = 0;
+  double na = 0;
+  double nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0 || nb == 0) return 0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+EmbeddingModel::EmbeddingModel(size_t dims, uint64_t seed)
+    : dims_(dims), seed_(seed) {}
+
+std::string EmbeddingModel::PairKey(std::string_view a, std::string_view b) {
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  if (lb < la) std::swap(la, lb);
+  return la + "\x1f" + lb;
+}
+
+void EmbeddingModel::AddSynonym(std::string_view a, std::string_view b,
+                                double similarity) {
+  synonyms_[PairKey(a, b)] = similarity;
+  // Also index the stemmed pair so inflected forms ("papers", "reviews")
+  // inherit the entry; the raw entry wins on exact lookup.
+  std::string sa = text::PorterStem(ToLower(a));
+  std::string sb = text::PorterStem(ToLower(b));
+  synonyms_.emplace(PairKey(sa, sb), similarity);
+}
+
+Vector EmbeddingModel::WordVector(std::string_view word) const {
+  // Character n-gram (n = 2..4) hashed random projection: each n-gram
+  // deterministically contributes a +-1 pattern across the dimensions.
+  // Morphologically close words share n-grams, hence direction.
+  std::string w = "<" + ToLower(word) + ">";
+  Vector v(dims_, 0.0f);
+  for (size_t n = 2; n <= 4; ++n) {
+    if (w.size() < n) break;
+    for (size_t i = 0; i + n <= w.size(); ++i) {
+      uint64_t h = Fnv1aHash(std::string_view(w).substr(i, n), seed_);
+      for (size_t d = 0; d < dims_; ++d) {
+        // Two independent bits per dimension via multiplicative re-hash.
+        uint64_t bit = (h * (d * 2 + 3) * 0x9e3779b97f4a7c15ULL) >> 63;
+        v[d] += bit ? 1.0f : -1.0f;
+      }
+    }
+  }
+  return v;
+}
+
+double EmbeddingModel::WordSimilarity(std::string_view a,
+                                      std::string_view b) const {
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  if (la == lb) return 1.0;
+
+  // Stems equal (papers vs paper) counts as an exact lexical match.
+  if (text::PorterStem(la) == text::PorterStem(lb)) return 0.98;
+
+  auto it = synonyms_.find(PairKey(la, lb));
+  if (it != synonyms_.end()) return it->second;
+
+  // Also honor lexicon entries between stems, so "papers" inherits the
+  // curated similarities of "paper".
+  auto it2 = synonyms_.find(PairKey(text::PorterStem(la), text::PorterStem(lb)));
+  if (it2 != synonyms_.end()) return it2->second;
+
+  double cos = Cosine(WordVector(la), WordVector(lb));
+  // Normalize [-1,1] -> [0,1] as Pipeline does with word2vec cosines, then
+  // compress: unrelated random words have cosine near 0 (-> 0.5), which
+  // would drown curated signals; squash toward [0, ~0.45] while preserving
+  // order so morphological overlap still ranks candidates.
+  double normalized = (cos + 1.0) / 2.0;
+  return 0.9 * normalized * normalized;
+}
+
+double EmbeddingModel::PhraseSimilarity(std::string_view a,
+                                        std::string_view b) const {
+  std::vector<std::string> ta = text::Tokenize(a);
+  std::vector<std::string> tb = text::Tokenize(b);
+  // Drop stopwords unless that would empty a side.
+  auto content = [](std::vector<std::string> t) {
+    std::vector<std::string> out;
+    for (auto& w : t) {
+      if (!text::IsStopword(w)) out.push_back(std::move(w));
+    }
+    return out;
+  };
+  std::vector<std::string> ca = content(ta);
+  std::vector<std::string> cb = content(tb);
+  if (ca.empty()) ca = std::move(ta);
+  if (cb.empty()) cb = std::move(tb);
+  if (ca.empty() || cb.empty()) return 0;
+
+  // Greedy best-match alignment, averaged over the left side; symmetric by
+  // taking the mean of both directions.
+  auto directional = [this](const std::vector<std::string>& xs,
+                            const std::vector<std::string>& ys) {
+    double total = 0;
+    for (const auto& x : xs) {
+      double best = 0;
+      for (const auto& y : ys) {
+        best = std::max(best, WordSimilarity(x, y));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(xs.size());
+  };
+  return 0.5 * (directional(ca, cb) + directional(cb, ca));
+}
+
+}  // namespace templar::embed

@@ -1,0 +1,64 @@
+#include "embed/lexicon_model.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace templar::embed {
+
+double LexiconModel::WordSimilarity(std::string_view a,
+                                    std::string_view b) const {
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  if (la == lb) return 1.0;
+  if (text::PorterStem(la) == text::PorterStem(lb)) return 0.98;
+
+  // Lexicon probe via the shared model; EmbeddingModel returns curated
+  // entries verbatim, and synthetic-vector fallbacks are capped at 0.45 by
+  // construction, safely below any sensible synset threshold.
+  double curated = base_->WordSimilarity(a, b);
+  if (curated >= synset_threshold_) return synonym_score_;
+
+  // Weak lexical-overlap fallback: shared prefix ratio.
+  size_t common = 0;
+  while (common < la.size() && common < lb.size() && la[common] == lb[common]) {
+    ++common;
+  }
+  double denom = static_cast<double>(std::max(la.size(), lb.size()));
+  double overlap = denom == 0 ? 0 : static_cast<double>(common) / denom;
+  return overlap >= 0.5 ? 0.3 * overlap : 0.0;
+}
+
+double LexiconModel::PhraseSimilarity(std::string_view a,
+                                      std::string_view b) const {
+  std::vector<std::string> ta = text::Tokenize(a);
+  std::vector<std::string> tb = text::Tokenize(b);
+  auto content = [](std::vector<std::string> t) {
+    std::vector<std::string> out;
+    for (auto& w : t) {
+      if (!text::IsStopword(w)) out.push_back(std::move(w));
+    }
+    return out;
+  };
+  std::vector<std::string> ca = content(ta);
+  std::vector<std::string> cb = content(tb);
+  if (ca.empty()) ca = std::move(ta);
+  if (cb.empty()) cb = std::move(tb);
+  if (ca.empty() || cb.empty()) return 0;
+
+  auto directional = [this](const std::vector<std::string>& xs,
+                            const std::vector<std::string>& ys) {
+    double total = 0;
+    for (const auto& x : xs) {
+      double best = 0;
+      for (const auto& y : ys) best = std::max(best, WordSimilarity(x, y));
+      total += best;
+    }
+    return total / static_cast<double>(xs.size());
+  };
+  return 0.5 * (directional(ca, cb) + directional(cb, ca));
+}
+
+}  // namespace templar::embed

@@ -1,0 +1,47 @@
+#ifndef TEMPLAR_EMBED_LEXICON_MODEL_H_
+#define TEMPLAR_EMBED_LEXICON_MODEL_H_
+
+/// \file lexicon_model.h
+/// \brief WordNet-style lexical similarity (the NaLIR/Precise column of
+/// Table I).
+///
+/// WordNet-based NLIDBs treat similarity nearly binarily: a word either
+/// shares a synset with the target (synonym) or it does not, with lexical
+/// overlap as a weak fallback. This model wraps the same curated synonym
+/// lexicon as EmbeddingModel but thresholds it: entries at or above
+/// `synset_threshold` count as synonyms (fixed high similarity), weaker
+/// entries are invisible — which is precisely why lexicon systems are more
+/// precise but lower-recall than embedding systems, reproducing the mixed
+/// NaLIR-vs-Pipeline baseline ordering of Table III.
+
+#include "embed/embedding_model.h"
+#include "embed/similarity_model.h"
+
+namespace templar::embed {
+
+/// \brief Thresholded, lexicon-only similarity.
+class LexiconModel : public SimilarityModel {
+ public:
+  /// \param base the shared lexicon (its synthetic vectors are ignored).
+  /// \param synset_threshold lexicon entries >= this count as synonyms.
+  /// \param synonym_score similarity assigned to a synonym hit.
+  explicit LexiconModel(const EmbeddingModel* base,
+                        double synset_threshold = 0.70,
+                        double synonym_score = 0.85)
+      : base_(base),
+        synset_threshold_(synset_threshold),
+        synonym_score_(synonym_score) {}
+
+  double WordSimilarity(std::string_view a, std::string_view b) const override;
+  double PhraseSimilarity(std::string_view a,
+                          std::string_view b) const override;
+
+ private:
+  const EmbeddingModel* base_;
+  double synset_threshold_;
+  double synonym_score_;
+};
+
+}  // namespace templar::embed
+
+#endif  // TEMPLAR_EMBED_LEXICON_MODEL_H_

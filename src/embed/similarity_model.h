@@ -1,0 +1,32 @@
+#ifndef TEMPLAR_EMBED_SIMILARITY_MODEL_H_
+#define TEMPLAR_EMBED_SIMILARITY_MODEL_H_
+
+/// \file similarity_model.h
+/// \brief Abstract word/phrase similarity interface.
+///
+/// Table I of the paper shows NLIDBs using different similarity sources:
+/// word embeddings (word2vec/GloVe) for SQLizer-style systems and the
+/// WordNet lexical database for NaLIR/Precise. The keyword mapper is
+/// written against this interface so both styles plug in.
+
+#include <string_view>
+
+namespace templar::embed {
+
+/// \brief Scores similarity of words/phrases in [0, 1].
+class SimilarityModel {
+ public:
+  virtual ~SimilarityModel() = default;
+
+  /// \brief Similarity of two single words in [0,1].
+  virtual double WordSimilarity(std::string_view a,
+                                std::string_view b) const = 0;
+
+  /// \brief Similarity of two multi-word phrases in [0,1].
+  virtual double PhraseSimilarity(std::string_view a,
+                                  std::string_view b) const = 0;
+};
+
+}  // namespace templar::embed
+
+#endif  // TEMPLAR_EMBED_SIMILARITY_MODEL_H_

@@ -1,0 +1,152 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "sql/equivalence.h"
+
+namespace templar::eval {
+
+const char* SystemKindToString(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kNalir:
+      return "NaLIR";
+    case SystemKind::kNalirPlus:
+      return "NaLIR+";
+    case SystemKind::kPipeline:
+      return "Pipeline";
+    case SystemKind::kPipelinePlus:
+      return "Pipeline+";
+  }
+  return "?";
+}
+
+std::vector<std::vector<size_t>> MakeFolds(size_t n, size_t folds,
+                                           uint64_t seed) {
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&indices);
+  std::vector<std::vector<size_t>> out(folds);
+  for (size_t i = 0; i < n; ++i) {
+    out[i % folds].push_back(indices[i]);
+  }
+  return out;
+}
+
+QueryOutcome JudgeTranslation(const datasets::BenchmarkQuery& gold,
+                              const Result<nlidb::Translation>& translation) {
+  QueryOutcome outcome;
+  outcome.nlq = gold.nlq;
+  outcome.shape_id = gold.shape_id;
+  if (!translation.ok()) {
+    return outcome;  // Failed translation: KW and FQ both wrong.
+  }
+  const nlidb::Translation& t = *translation;
+  outcome.predicted_sql = t.query.ToString();
+  outcome.tie = t.tie_for_first;
+
+  // KW: every non-relation keyword must map to its gold fragment. Keywords
+  // are matched by text (NaLIR's noise model perturbs metadata, not text).
+  bool kw_ok = true;
+  for (const auto& [kw_text, gold_fragment_key] : gold.gold_fragments) {
+    bool found = false;
+    for (const auto& m : t.configuration.mappings) {
+      if (m.keyword.text != kw_text) continue;
+      if (m.candidate.fragment.context == qfg::FragmentContext::kFrom) {
+        continue;  // Relation keywords excluded from the KW metric.
+      }
+      found = m.candidate.fragment.Key() == gold_fragment_key;
+      break;
+    }
+    if (!found) {
+      kw_ok = false;
+      break;
+    }
+  }
+  outcome.kw_correct = kw_ok;
+
+  // FQ: semantic equivalence, ties count as wrong (Sec. VII-A5).
+  outcome.fq_correct =
+      !t.tie_for_first && sql::QueriesEquivalent(t.query, gold.gold_sql);
+  return outcome;
+}
+
+namespace {
+
+/// Builds the query log for one trial: gold SQL of the training folds plus
+/// the dataset's workload-consistent extra log.
+std::vector<std::string> TrialLog(const datasets::Dataset& dataset,
+                                  const std::vector<std::vector<size_t>>& folds,
+                                  size_t test_fold, bool use_extra_log) {
+  std::vector<std::string> log;
+  for (size_t f = 0; f < folds.size(); ++f) {
+    if (f == test_fold) continue;
+    for (size_t idx : folds[f]) {
+      log.push_back(dataset.benchmark[idx].gold_sql.ToString());
+    }
+  }
+  if (use_extra_log) {
+    log.insert(log.end(), dataset.extra_log.begin(), dataset.extra_log.end());
+  }
+  return log;
+}
+
+}  // namespace
+
+Result<EvalResult> EvaluateSystem(const datasets::Dataset& dataset,
+                                  SystemKind kind,
+                                  const EvalOptions& options) {
+  EvalResult result;
+  result.system = kind;
+  result.dataset = dataset.name;
+
+  const auto folds =
+      MakeFolds(dataset.benchmark.size(), options.folds, options.shuffle_seed);
+
+  for (size_t test_fold = 0; test_fold < folds.size(); ++test_fold) {
+    std::vector<std::string> log =
+        TrialLog(dataset, folds, test_fold, options.use_extra_log);
+
+    // Build the system under test for this trial.
+    std::unique_ptr<nlidb::PipelineSystem> pipeline;
+    std::unique_ptr<nlidb::NalirSystem> nalir;
+    if (kind == SystemKind::kPipeline || kind == SystemKind::kPipelinePlus) {
+      nlidb::PipelineConfig config;
+      config.templar = options.templar;
+      config.templar_keywords = kind == SystemKind::kPipelinePlus;
+      config.templar_joins =
+          kind == SystemKind::kPipelinePlus && options.logjoin;
+      TEMPLAR_ASSIGN_OR_RETURN(
+          pipeline, nlidb::PipelineSystem::Build(
+                        dataset.database.get(), dataset.lexicon.get(), log,
+                        config));
+    } else {
+      nlidb::NalirConfig config;
+      config.templar = options.templar;
+      config.templar_keywords = kind == SystemKind::kNalirPlus;
+      config.templar_joins = kind == SystemKind::kNalirPlus && options.logjoin;
+      config.parser_noise = options.nalir_parser_noise;
+      TEMPLAR_ASSIGN_OR_RETURN(
+          nalir, nlidb::NalirSystem::Build(dataset.database.get(),
+                                           dataset.wordnet.get(), log, config));
+    }
+
+    for (size_t idx : folds[test_fold]) {
+      const datasets::BenchmarkQuery& gold = dataset.benchmark[idx];
+      Result<nlidb::Translation> translation =
+          pipeline ? pipeline->Translate(gold.gold_parse)
+                   : nalir->TranslateParsed(gold.gold_parse);
+      QueryOutcome outcome = JudgeTranslation(gold, translation);
+      result.scores.total++;
+      if (!translation.ok()) result.scores.errors++;
+      if (outcome.kw_correct) result.scores.kw_correct++;
+      if (outcome.fq_correct) result.scores.fq_correct++;
+      result.outcomes.push_back(std::move(outcome));
+    }
+  }
+  return result;
+}
+
+}  // namespace templar::eval

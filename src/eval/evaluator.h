@@ -1,0 +1,99 @@
+#ifndef TEMPLAR_EVAL_EVALUATOR_H_
+#define TEMPLAR_EVAL_EVALUATOR_H_
+
+/// \file evaluator.h
+/// \brief The experimental protocol of Sec. VII: 4-fold cross validation
+/// over each benchmark, measuring top-1 keyword-mapping (KW) and full-query
+/// (FQ) accuracy for each system.
+///
+/// KW (Sec. VII-B2): correct iff every non-relation keyword of the NLQ is
+/// mapped to its gold fragment by the top-ranked configuration.
+/// FQ (Sec. VII-B1): correct iff the top-ranked SQL is semantically
+/// equivalent to the gold SQL, with any tie for first place counted as
+/// incorrect (Sec. VII-A5).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datasets/dataset.h"
+#include "nlidb/nlidb.h"
+
+namespace templar::eval {
+
+/// \brief The four evaluated systems of Table III.
+enum class SystemKind {
+  kNalir,
+  kNalirPlus,
+  kPipeline,
+  kPipelinePlus,
+};
+
+/// \brief Returns "NaLIR", "NaLIR+", "Pipeline" or "Pipeline+".
+const char* SystemKindToString(SystemKind kind);
+
+/// \brief Protocol + system tunables for one evaluation run.
+struct EvalOptions {
+  size_t folds = 4;           ///< Cross-validation folds (Sec. VII-A4).
+  uint64_t shuffle_seed = 17; ///< Fold assignment shuffle.
+  /// Templar settings (κ=5, λ=0.8, NoConstOp by default, as in Sec. VII-B).
+  core::TemplarOptions templar;
+  /// Pipeline+ LogJoin toggle (Table IV rows); keyword side stays on.
+  bool logjoin = true;
+  /// NaLIR parser noise (Sec. VII-C error model).
+  double nalir_parser_noise = 0.45;
+  /// Include the workload-consistent extra log (Sec. VII-A3 assumption).
+  bool use_extra_log = true;
+};
+
+/// \brief Aggregate accuracy over all folds.
+struct Scores {
+  int total = 0;
+  int kw_correct = 0;
+  int fq_correct = 0;
+  int errors = 0;  ///< Translations that failed outright (count as wrong).
+
+  double KwPct() const {
+    return total == 0 ? 0 : 100.0 * kw_correct / total;
+  }
+  double FqPct() const {
+    return total == 0 ? 0 : 100.0 * fq_correct / total;
+  }
+};
+
+/// \brief Per-query outcome, for error analysis.
+struct QueryOutcome {
+  std::string nlq;
+  std::string shape_id;
+  bool kw_correct = false;
+  bool fq_correct = false;
+  bool tie = false;
+  std::string predicted_sql;  ///< Empty when translation failed.
+};
+
+/// \brief Detailed result of one evaluation run.
+struct EvalResult {
+  SystemKind system;
+  std::string dataset;
+  Scores scores;
+  std::vector<QueryOutcome> outcomes;
+};
+
+/// \brief Runs the full cross-validated protocol for one system on one
+/// dataset.
+Result<EvalResult> EvaluateSystem(const datasets::Dataset& dataset,
+                                  SystemKind kind, const EvalOptions& options);
+
+/// \brief Judges one translation against the gold annotation.
+QueryOutcome JudgeTranslation(const datasets::BenchmarkQuery& gold,
+                              const Result<nlidb::Translation>& translation);
+
+/// \brief Splits [0, n) into `folds` disjoint index sets after a seeded
+/// shuffle; every index lands in exactly one fold.
+std::vector<std::vector<size_t>> MakeFolds(size_t n, size_t folds,
+                                           uint64_t seed);
+
+}  // namespace templar::eval
+
+#endif  // TEMPLAR_EVAL_EVALUATOR_H_

@@ -1,0 +1,62 @@
+#include "graph/fork.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace templar::graph {
+
+Result<std::string> ForkRelation(SchemaGraph* graph, const std::string& base,
+                                 int copy_index) {
+  if (!graph->HasRelation(base)) {
+    return Status::NotFound("relation '" + base + "' not in schema graph");
+  }
+  const std::string clone_suffix = "#" + std::to_string(copy_index);
+  const std::string clone_root = base + clone_suffix;
+  if (graph->HasRelation(clone_root)) {
+    return Status::AlreadyExists("instance '" + clone_root + "'");
+  }
+
+  // Mirrors Algorithm 4's two stacks: pairs of (original vertex, its clone).
+  std::vector<std::pair<std::string, std::string>> stack;
+  std::set<std::string> visited;
+  graph->AddRelation(clone_root);
+  stack.emplace_back(base, clone_root);
+
+  // Snapshot edges up front: AddEdge invalidates IncidentEdges pointers.
+  const std::vector<SchemaEdge> original_edges = graph->edges();
+
+  while (!stack.empty()) {
+    auto [v_old, v_new] = stack.back();
+    stack.pop_back();
+    if (!visited.insert(v_old).second) continue;
+
+    for (const SchemaEdge& e : original_edges) {
+      auto other = e.Other(v_old);
+      if (!other) continue;
+      const std::string& v_conn = *other;
+      if (visited.count(v_conn)) continue;
+      // Never traverse into previously forked instances; forks always grow
+      // from the original (un-suffixed) region of the graph.
+      if (v_conn.find('#') != std::string::npos) continue;
+
+      if (e.fk_relation == v_old) {
+        // FK-PK edge in direction v_old -> v_conn: terminate the branch by
+        // connecting the clone to the *original* v_conn (Line 13-14).
+        graph->AddEdge(SchemaEdge{v_new, e.fk_attribute, v_conn,
+                                  e.pk_attribute});
+      } else {
+        // Edge arrives at v_old's primary key: clone v_conn and continue
+        // traversal (Lines 16-20).
+        const std::string v_cloned = v_conn + clone_suffix;
+        graph->AddRelation(v_cloned);
+        graph->AddEdge(SchemaEdge{v_cloned, e.fk_attribute, v_new,
+                                  e.pk_attribute});
+        stack.emplace_back(v_conn, v_cloned);
+      }
+    }
+  }
+  return clone_root;
+}
+
+}  // namespace templar::graph

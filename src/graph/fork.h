@@ -1,0 +1,36 @@
+#ifndef TEMPLAR_GRAPH_FORK_H_
+#define TEMPLAR_GRAPH_FORK_H_
+
+/// \file fork.h
+/// \brief Schema-graph forking for self-joins (Algorithm 4, Sec. VI-C).
+///
+/// When the keyword-mapping bag references the same attribute (hence the
+/// same relation) d times — "papers written by both John and Jane" hits
+/// `author.name` twice — the join path must contain d instances of that
+/// relation, a SQL self-join. Algorithm 4 "forks" the schema graph: starting
+/// from the duplicated vertex it clones vertices and edges outward,
+/// terminating a branch when it would cross an FK-PK edge *in the direction
+/// FK -> PK away from the clone region* — at that point the clone connects
+/// to the original (shared) vertex. For the running example this yields
+/// author#1 - writes#1 - publication, sharing publication with the original
+/// author - writes - publication chain (Fig. 4b).
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/schema_graph.h"
+
+namespace templar::graph {
+
+/// \brief Forks `graph` in place around relation `base`, creating instance
+/// `base#copy_index` plus cloned neighbors per Algorithm 4.
+///
+/// Returns the name of the new instance. Fails when `base` is not a vertex
+/// or `copy_index` collides with an existing instance. Call with
+/// copy_index = 1..d-1 for d duplicate references.
+Result<std::string> ForkRelation(SchemaGraph* graph, const std::string& base,
+                                 int copy_index);
+
+}  // namespace templar::graph
+
+#endif  // TEMPLAR_GRAPH_FORK_H_

@@ -1,0 +1,81 @@
+#include "graph/schema_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace templar::graph {
+
+std::string BaseRelationName(const std::string& instance) {
+  auto pos = instance.find('#');
+  return pos == std::string::npos ? instance : instance.substr(0, pos);
+}
+
+std::string JoinPath::ToString() const {
+  if (edges.empty()) {
+    return relations.empty() ? "(empty)" : relations.front();
+  }
+  std::vector<std::string> parts;
+  parts.reserve(edges.size());
+  for (const auto& e : edges) parts.push_back(e.ToString());
+  std::sort(parts.begin(), parts.end());
+  std::string out = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) out += " | " + parts[i];
+  return out;
+}
+
+std::string JoinPath::Key() const {
+  std::vector<std::string> parts;
+  for (const auto& e : edges) parts.push_back(e.ToString());
+  std::sort(parts.begin(), parts.end());
+  std::vector<std::string> rels = relations;
+  std::sort(rels.begin(), rels.end());
+  std::string out;
+  for (const auto& r : rels) out += r + ",";
+  out += "|";
+  for (const auto& p : parts) out += p + ";";
+  return out;
+}
+
+SchemaGraph SchemaGraph::FromCatalog(const db::Catalog& catalog) {
+  SchemaGraph g;
+  for (const auto& rel : catalog.relations()) {
+    g.AddRelation(rel.name);
+  }
+  for (const auto& fk : catalog.foreign_keys()) {
+    g.AddEdge(SchemaEdge{fk.from_relation, fk.from_attribute, fk.to_relation,
+                         fk.to_attribute});
+  }
+  return g;
+}
+
+bool SchemaGraph::HasRelation(const std::string& instance) const {
+  return std::find(relations_.begin(), relations_.end(), instance) !=
+         relations_.end();
+}
+
+std::vector<const SchemaEdge*> SchemaGraph::IncidentEdges(
+    const std::string& instance) const {
+  std::vector<const SchemaEdge*> out;
+  auto it = incident_.find(instance);
+  if (it == incident_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t id : it->second) out.push_back(&edges_[id]);
+  return out;
+}
+
+void SchemaGraph::AddRelation(const std::string& instance) {
+  if (!HasRelation(instance)) relations_.push_back(instance);
+}
+
+void SchemaGraph::AddEdge(SchemaEdge edge) {
+  AddRelation(edge.fk_relation);
+  AddRelation(edge.pk_relation);
+  size_t id = edges_.size();
+  incident_[edge.fk_relation].push_back(id);
+  if (edge.pk_relation != edge.fk_relation) {
+    incident_[edge.pk_relation].push_back(id);
+  }
+  edges_.push_back(std::move(edge));
+}
+
+}  // namespace templar::graph

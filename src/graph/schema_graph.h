@@ -1,0 +1,114 @@
+#ifndef TEMPLAR_GRAPH_SCHEMA_GRAPH_H_
+#define TEMPLAR_GRAPH_SCHEMA_GRAPH_H_
+
+/// \file schema_graph.h
+/// \brief The schema graph of Definition 1 and join paths of Definition 2.
+///
+/// Definition 1 has two vertex granularities (relations and attributes) with
+/// projection and FK-PK edges. Join-path search only ever moves between
+/// relations across FK-PK links, so this class keeps the attribute level
+/// implicit in the edge labels: each `SchemaEdge` records which FK attribute
+/// joins to which PK attribute. The full bipartite structure is recoverable
+/// (projection edges are the catalog's relation->attribute containment), and
+/// the self-join FORK of Algorithm 4 operates on the same representation
+/// (see fork.h).
+///
+/// Vertices are *relation instances*: plain relation names, plus forked
+/// copies named `rel#1`, `rel#2`, ... introduced for self-joins. Weight
+/// functions are keyed by base relation names (instance suffixes stripped),
+/// matching the paper's w_L which is defined on schema-graph vertices.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/catalog.h"
+
+namespace templar::graph {
+
+/// \brief One FK-PK link between two relation instances.
+struct SchemaEdge {
+  std::string fk_relation;  ///< Instance holding the foreign key.
+  std::string fk_attribute;
+  std::string pk_relation;  ///< Instance holding the referenced primary key.
+  std::string pk_attribute;
+
+  bool operator==(const SchemaEdge&) const = default;
+  /// \brief The instance across the edge from `relation`; nullopt when the
+  /// edge does not touch `relation`.
+  std::optional<std::string> Other(const std::string& relation) const {
+    if (relation == fk_relation) return pk_relation;
+    if (relation == pk_relation) return fk_relation;
+    return std::nullopt;
+  }
+  std::string ToString() const {
+    return fk_relation + "." + fk_attribute + " -> " + pk_relation + "." +
+           pk_attribute;
+  }
+};
+
+/// \brief Strips a fork suffix: "author#1" -> "author".
+std::string BaseRelationName(const std::string& instance);
+
+/// \brief Weight of an edge between two base relations, in [0,1].
+/// The default weight function returns 1 for every edge (Sec. VI-A1).
+using EdgeWeightFn =
+    std::function<double(const std::string& base_rel_a,
+                         const std::string& base_rel_b)>;
+
+/// \brief A join path (Def. 2): a tree of relation instances spanning the
+/// terminal instances, with the FK-PK edges used.
+struct JoinPath {
+  std::vector<std::string> relations;  ///< All instances, terminals included.
+  std::vector<SchemaEdge> edges;
+  std::vector<std::string> terminals;
+  double score = 0;  ///< Scorej; higher is better. See steiner.h.
+
+  /// \brief Canonical text like "author-writes-publication" (sorted edges).
+  std::string ToString() const;
+  /// \brief Stable identity key used for deduplication.
+  std::string Key() const;
+};
+
+/// \brief Relation-instance graph built from a catalog, supporting forking.
+class SchemaGraph {
+ public:
+  /// \brief Builds the graph: one vertex per relation, one edge per FK-PK
+  /// link in the catalog.
+  static SchemaGraph FromCatalog(const db::Catalog& catalog);
+
+  /// \brief All relation instances currently in the graph.
+  const std::vector<std::string>& relations() const { return relations_; }
+
+  /// \brief All FK-PK edges.
+  const std::vector<SchemaEdge>& edges() const { return edges_; }
+
+  /// \brief True iff `instance` is a vertex.
+  bool HasRelation(const std::string& instance) const;
+
+  /// \brief Edges incident to `instance`.
+  std::vector<const SchemaEdge*> IncidentEdges(
+      const std::string& instance) const;
+
+  /// \brief Adds a vertex (used by FORK). No-op if present.
+  void AddRelation(const std::string& instance);
+
+  /// \brief Adds an edge (used by FORK and tests).
+  void AddEdge(SchemaEdge edge);
+
+  /// \brief Number of vertices / edges.
+  size_t relation_count() const { return relations_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+
+ private:
+  std::vector<std::string> relations_;
+  std::vector<SchemaEdge> edges_;
+  std::map<std::string, std::vector<size_t>> incident_;  // instance -> edge ids
+};
+
+}  // namespace templar::graph
+
+#endif  // TEMPLAR_GRAPH_SCHEMA_GRAPH_H_

@@ -1,0 +1,226 @@
+#include "graph/steiner.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace templar::graph {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double EdgeWeight(const SchemaEdge& e, const EdgeWeightFn& fn) {
+  if (!fn) return 1.0;
+  return fn(BaseRelationName(e.fk_relation), BaseRelationName(e.pk_relation));
+}
+
+/// Identity of an edge for banning/dedup.
+std::string EdgeKey(const SchemaEdge& e) { return e.ToString(); }
+
+struct ShortestPath {
+  double cost = kInf;
+  std::vector<const SchemaEdge*> edges;
+};
+
+/// Dijkstra from `source` over the instance graph, skipping banned edges.
+std::map<std::string, ShortestPath> Dijkstra(
+    const SchemaGraph& graph, const std::string& source,
+    const EdgeWeightFn& weight_fn, const std::set<std::string>& banned) {
+  std::map<std::string, ShortestPath> best;
+  using QItem = std::pair<double, std::string>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  best[source] = {0.0, {}};
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    auto [cost, node] = pq.top();
+    pq.pop();
+    auto it = best.find(node);
+    if (it != best.end() && cost > it->second.cost) continue;
+    for (const SchemaEdge* e : graph.IncidentEdges(node)) {
+      if (banned.count(EdgeKey(*e))) continue;
+      auto other = e->Other(node);
+      if (!other) continue;
+      double w = EdgeWeight(*e, weight_fn);
+      double next_cost = cost + w;
+      auto jt = best.find(*other);
+      if (jt == best.end() || next_cost < jt->second.cost - 1e-12) {
+        ShortestPath sp = best[node];
+        sp.cost = next_cost;
+        sp.edges.push_back(e);
+        best[*other] = std::move(sp);
+        pq.push({next_cost, *other});
+      }
+    }
+  }
+  return best;
+}
+
+/// One KMB run; returns nullopt when terminals are disconnected.
+std::optional<JoinPath> RunKmb(const SchemaGraph& graph,
+                               const std::vector<std::string>& terminals,
+                               const EdgeWeightFn& weight_fn,
+                               const std::set<std::string>& banned) {
+  // Unique terminals, deterministic order.
+  std::vector<std::string> ts = terminals;
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+
+  if (ts.size() == 1) {
+    JoinPath jp;
+    jp.relations = {ts[0]};
+    jp.terminals = {ts[0]};
+    jp.score = 1.0;
+    return jp;
+  }
+
+  // 1. Shortest paths from every terminal.
+  std::vector<std::map<std::string, ShortestPath>> sp(ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    sp[i] = Dijkstra(graph, ts[i], weight_fn, banned);
+  }
+
+  // 2. MST over the metric closure (Prim).
+  const size_t n = ts.size();
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> dist(n, kInf);
+  std::vector<int> parent(n, -1);
+  dist[0] = 0;
+  std::set<std::pair<size_t, size_t>> closure_edges;  // (parent idx, idx)
+  for (size_t iter = 0; iter < n; ++iter) {
+    size_t u = n;
+    double best = kInf;
+    for (size_t i = 0; i < n; ++i) {
+      if (!in_tree[i] && dist[i] < best) {
+        best = dist[i];
+        u = i;
+      }
+    }
+    if (u == n) return std::nullopt;  // Disconnected.
+    in_tree[u] = true;
+    if (parent[u] >= 0) {
+      closure_edges.insert({static_cast<size_t>(parent[u]), u});
+    }
+    for (size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      auto it = sp[u].find(ts[v]);
+      double w = it == sp[u].end() ? kInf : it->second.cost;
+      if (w < dist[v]) {
+        dist[v] = w;
+        parent[v] = static_cast<int>(u);
+      }
+    }
+  }
+
+  // 3. Expand closure edges into actual schema edges (dedup by key).
+  std::map<std::string, const SchemaEdge*> tree_edges;
+  for (auto [u, v] : closure_edges) {
+    auto it = sp[u].find(ts[v]);
+    if (it == sp[u].end()) return std::nullopt;
+    for (const SchemaEdge* e : it->second.edges) {
+      tree_edges[EdgeKey(*e)] = e;
+    }
+  }
+
+  // 4. Prune: repeatedly drop non-terminal leaves. (The KMB expansion can
+  // produce redundant branches when shortest paths overlap.)
+  std::set<std::string> terminal_set(ts.begin(), ts.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::string, int> degree;
+    for (auto& [key, e] : tree_edges) {
+      degree[e->fk_relation]++;
+      degree[e->pk_relation]++;
+    }
+    for (auto it = tree_edges.begin(); it != tree_edges.end();) {
+      const SchemaEdge* e = it->second;
+      bool fk_leaf =
+          degree[e->fk_relation] == 1 && !terminal_set.count(e->fk_relation);
+      bool pk_leaf =
+          degree[e->pk_relation] == 1 && !terminal_set.count(e->pk_relation);
+      if (fk_leaf || pk_leaf) {
+        it = tree_edges.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  JoinPath jp;
+  jp.terminals = ts;
+  std::set<std::string> rels(ts.begin(), ts.end());
+  for (auto& [key, e] : tree_edges) {
+    jp.edges.push_back(*e);
+    rels.insert(e->fk_relation);
+    rels.insert(e->pk_relation);
+  }
+  jp.relations.assign(rels.begin(), rels.end());
+  jp.score = ScoreJoinPath(jp.edges, weight_fn);
+  return jp;
+}
+
+}  // namespace
+
+double ScoreJoinPath(const std::vector<SchemaEdge>& edges,
+                     const EdgeWeightFn& weight_fn) {
+  double sum = 0;
+  for (const auto& e : edges) sum += EdgeWeight(e, weight_fn);
+  return 1.0 / (1.0 + sum);
+}
+
+Result<std::vector<JoinPath>> FindJoinPaths(
+    const SchemaGraph& graph, const std::vector<std::string>& terminals,
+    const SteinerOptions& options) {
+  if (terminals.empty()) {
+    return Status::InvalidArgument("no terminal relations given");
+  }
+  for (const auto& t : terminals) {
+    if (!graph.HasRelation(t)) {
+      return Status::NotFound("terminal relation '" + t +
+                              "' not in schema graph");
+    }
+  }
+
+  std::map<std::string, JoinPath> found;  // Key() -> path
+  std::optional<JoinPath> base = RunKmb(graph, terminals, options.weight_fn, {});
+  if (!base) {
+    return Status::NotFound("terminals are disconnected in the schema graph");
+  }
+  found[base->Key()] = *base;
+
+  // Alternatives: ban each edge of every discovered tree and re-solve, in
+  // best-first waves, until we have top_k distinct trees or run dry.
+  std::vector<JoinPath> frontier = {*base};
+  size_t wave = 0;
+  while (!frontier.empty() && found.size() < options.top_k * 3 && wave < 3) {
+    std::vector<JoinPath> next;
+    for (const auto& jp : frontier) {
+      for (const auto& edge : jp.edges) {
+        std::set<std::string> banned = {EdgeKey(edge)};
+        auto alt = RunKmb(graph, terminals, options.weight_fn, banned);
+        if (alt && !found.count(alt->Key())) {
+          found[alt->Key()] = *alt;
+          next.push_back(*alt);
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++wave;
+  }
+
+  std::vector<JoinPath> out;
+  out.reserve(found.size());
+  for (auto& [key, jp] : found) out.push_back(std::move(jp));
+  std::sort(out.begin(), out.end(), [](const JoinPath& a, const JoinPath& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.Key() < b.Key();  // Deterministic tie-break.
+  });
+  if (out.size() > options.top_k) out.resize(options.top_k);
+  return out;
+}
+
+}  // namespace templar::graph

@@ -1,0 +1,154 @@
+#include "nlidb/nlidb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nlidb/sql_assembler.h"
+#include "sql/equivalence.h"
+
+namespace templar::nlidb {
+
+namespace {
+
+/// One scored (configuration, join path) candidate before assembly.
+struct RankedCandidate {
+  core::Configuration config;
+  graph::JoinPath join_path;
+  double combined = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Translation>> TranslateAllWithTemplar(
+    const core::Templar& templar, const nlq::ParsedNlq& parsed) {
+  TEMPLAR_ASSIGN_OR_RETURN(std::vector<core::Configuration> configs,
+                           templar.MapKeywords(parsed));
+
+  std::vector<RankedCandidate> candidates;
+  for (const auto& config : configs) {
+    auto paths = templar.InferJoins(config.RelationBag());
+    if (!paths.ok() || paths->empty()) continue;  // Disconnected mapping.
+    for (const auto& jp : *paths) {
+      RankedCandidate rc;
+      rc.config = config;
+      rc.join_path = jp;
+      // Configuration score dominates; the join-path score breaks ties
+      // among join paths of the chosen configuration (Sec. III-F ordering:
+      // keyword mapping first, then join inference per candidate).
+      rc.combined = config.score + 1e-3 * jp.score;
+      candidates.push_back(std::move(rc));
+    }
+  }
+  if (candidates.empty()) {
+    return Status::NotFound("no assemblable candidate for NLQ '" +
+                            parsed.original + "'");
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const RankedCandidate& a, const RankedCandidate& b) {
+                     return a.combined > b.combined;
+                   });
+
+  std::vector<Translation> out;
+  for (const auto& rc : candidates) {
+    auto assembled = AssembleSql(rc.config, rc.join_path);
+    if (!assembled.ok()) continue;
+    Translation t;
+    t.query = std::move(*assembled);
+    t.configuration = rc.config;
+    t.join_path = rc.join_path;
+    t.score = rc.combined;
+    out.push_back(std::move(t));
+  }
+  if (out.empty()) {
+    return Status::NotFound("assembly failed for every candidate of NLQ '" +
+                            parsed.original + "'");
+  }
+  // Tie detection on the top slot: a *distinct* query with an equal score.
+  for (size_t i = 1; i < out.size(); ++i) {
+    if (std::abs(out[i].score - out[0].score) > 1e-12) break;
+    if (!sql::QueriesEquivalent(out[i].query, out[0].query)) {
+      out[0].tie_for_first = true;
+      break;
+    }
+  }
+  return out;
+}
+
+Result<Translation> TranslateWithTemplar(const core::Templar& templar,
+                                         const nlq::ParsedNlq& parsed) {
+  TEMPLAR_ASSIGN_OR_RETURN(std::vector<Translation> all,
+                           TranslateAllWithTemplar(templar, parsed));
+  return std::move(all.front());
+}
+
+// ---------------------------------------------------------------------------
+// PipelineSystem
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<PipelineSystem>> PipelineSystem::Build(
+    const db::Database* db, const embed::SimilarityModel* model,
+    const std::vector<std::string>& query_log, PipelineConfig config) {
+  std::unique_ptr<PipelineSystem> sys(new PipelineSystem(config));
+  core::TemplarOptions options = config.templar;
+  options.mapper.use_qfg = config.templar_keywords;
+  options.joins.use_log_weights = config.templar_joins;
+  TEMPLAR_ASSIGN_OR_RETURN(sys->templar_,
+                           core::Templar::Build(db, model, query_log, options));
+  return sys;
+}
+
+Result<Translation> PipelineSystem::Translate(
+    const nlq::ParsedNlq& parsed) const {
+  return TranslateWithTemplar(*templar_, parsed);
+}
+
+Result<std::vector<Translation>> PipelineSystem::TranslateAll(
+    const nlq::ParsedNlq& parsed) const {
+  return TranslateAllWithTemplar(*templar_, parsed);
+}
+
+// ---------------------------------------------------------------------------
+// NalirSystem
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<NalirSystem>> NalirSystem::Build(
+    const db::Database* db, const embed::EmbeddingModel* lexicon,
+    const std::vector<std::string>& query_log, NalirConfig config) {
+  std::unique_ptr<NalirSystem> sys(new NalirSystem(config));
+  sys->model_ = std::make_unique<embed::LexiconModel>(lexicon);
+
+  core::TemplarOptions options = config.templar;
+  options.mapper.use_qfg = config.templar_keywords;
+  options.joins.use_log_weights = config.templar_joins;
+  TEMPLAR_ASSIGN_OR_RETURN(
+      sys->templar_,
+      core::Templar::Build(db, sys->model_.get(), query_log, options));
+
+  nlq::NlqParserOptions parser_options;
+  parser_options.noise = config.parser_noise;
+  parser_options.seed = config.parser_seed;
+  sys->parser_ = std::make_unique<nlq::NlqParser>(parser_options);
+  return sys;
+}
+
+nlq::ParsedNlq NalirSystem::ParseNlq(const std::string& nlq) const {
+  return parser_->Parse(nlq);
+}
+
+Result<Translation> NalirSystem::Translate(const std::string& nlq) const {
+  nlq::ParsedNlq parsed = ParseNlq(nlq);
+  if (parsed.keywords.empty()) {
+    return Status::ParseError("NaLIR parser extracted no keywords from '" +
+                              nlq + "'");
+  }
+  return TranslateWithTemplar(*templar_, parsed);
+}
+
+Result<Translation> NalirSystem::TranslateParsed(
+    const nlq::ParsedNlq& gold) const {
+  nlq::ParsedNlq noisy = nlq::CorruptAnnotations(gold, config_.parser_noise,
+                                                 config_.parser_seed);
+  return TranslateWithTemplar(*templar_, noisy);
+}
+
+}  // namespace templar::nlidb

@@ -1,0 +1,169 @@
+#include "nlidb/sql_assembler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace templar::nlidb {
+
+namespace {
+
+/// Deterministic alias for a relation instance: unique instances keep their
+/// relation name as qualifier (no alias); duplicated relations get
+/// "<initial><index>" aliases (author -> a0, a1) so the self-join is valid.
+struct AliasTable {
+  std::map<std::string, std::string> qualifier;  // instance -> SQL qualifier
+  std::vector<sql::TableRef> from;
+};
+
+AliasTable BuildAliases(const std::vector<std::string>& instances) {
+  // Count instances per base relation.
+  std::map<std::string, int> base_count;
+  for (const auto& inst : instances) {
+    base_count[graph::BaseRelationName(inst)]++;
+  }
+  // Assign each self-joined base a unique prefix tag: growing prefixes of
+  // the relation name until distinct ("domain" -> "d", "domain_keyword" ->
+  // "do", ...), so aliases never collide across relations.
+  std::map<std::string, std::string> tag;
+  std::set<std::string> used_tags;
+  for (const auto& [base, count] : base_count) {
+    if (count <= 1) continue;
+    std::string candidate;
+    for (size_t len = 1; len <= base.size(); ++len) {
+      candidate = base.substr(0, len);
+      if (!used_tags.count(candidate)) break;
+    }
+    while (used_tags.count(candidate)) candidate += "x";
+    used_tags.insert(candidate);
+    tag[base] = candidate;
+  }
+  AliasTable out;
+  std::map<std::string, int> next_index;
+  for (const auto& inst : instances) {
+    std::string base = graph::BaseRelationName(inst);
+    sql::TableRef t;
+    t.table = base;
+    if (base_count[base] > 1) {
+      int idx = next_index[base]++;
+      t.alias = tag[base] + std::to_string(idx);
+      out.qualifier[inst] = t.alias;
+    } else {
+      out.qualifier[inst] = base;
+    }
+    out.from.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<sql::SelectQuery> AssembleSql(const core::Configuration& config,
+                                     const graph::JoinPath& join_path) {
+  // Relation instances in deterministic order: join path relations sorted.
+  std::vector<std::string> instances = join_path.relations;
+  std::sort(instances.begin(), instances.end());
+  if (instances.empty()) {
+    return Status::InvalidArgument("join path has no relations");
+  }
+  AliasTable aliases = BuildAliases(instances);
+
+  auto qualifier_for =
+      [&aliases](const std::string& instance) -> Result<std::string> {
+    auto it = aliases.qualifier.find(instance);
+    if (it == aliases.qualifier.end()) {
+      return Status::NotFound("relation instance '" + instance +
+                              "' not covered by the join path");
+    }
+    return it->second;
+  };
+
+  sql::SelectQuery q;
+  q.from = aliases.from;
+
+  // Assign instances to predicate mappings exactly as RelationBag() did:
+  // the i-th predicate on (rel, attr) rides instance i of rel.
+  std::map<std::string, int> attr_occurrence;  // "rel.attr" -> count so far
+
+  bool any_aggregate = false;
+  std::vector<sql::ColumnRef> bare_projections;
+
+  for (const auto& m : config.mappings) {
+    const core::CandidateMapping& c = m.candidate;
+    switch (c.kind) {
+      case core::CandidateMapping::Kind::kRelation:
+        // Presence only; the join path already covers it.
+        break;
+      case core::CandidateMapping::Kind::kAttribute: {
+        TEMPLAR_ASSIGN_OR_RETURN(std::string qual, qualifier_for(c.relation));
+        sql::SelectItem item;
+        item.column = sql::ColumnRef{qual, c.attribute};
+        item.aggs = c.aggs;
+        item.distinct = c.distinct;
+        q.select.push_back(item);
+        if (!c.aggs.empty()) {
+          any_aggregate = true;
+        } else {
+          bare_projections.push_back(item.column);
+        }
+        if (c.group_by) q.group_by.push_back(item.column);
+        break;
+      }
+      case core::CandidateMapping::Kind::kPredicate: {
+        std::string key = c.relation + "." + c.attribute;
+        int idx = attr_occurrence[key]++;
+        std::string instance =
+            idx == 0 ? c.relation : c.relation + "#" + std::to_string(idx);
+        TEMPLAR_ASSIGN_OR_RETURN(std::string qual, qualifier_for(instance));
+        sql::Predicate p;
+        p.lhs = sql::ColumnRef{qual, c.attribute};
+        p.op = c.op;
+        p.rhs = c.value;
+        q.where.push_back(std::move(p));
+        break;
+      }
+    }
+  }
+
+  if (q.select.empty()) {
+    // Every keyword was a predicate; project the first terminal relation
+    // wholesale (the NLIDB's only sensible default).
+    TEMPLAR_ASSIGN_OR_RETURN(
+        std::string qual,
+        qualifier_for(join_path.terminals.empty() ? instances.front()
+                                                  : join_path.terminals.front()));
+    sql::SelectItem item;
+    item.column = sql::ColumnRef{qual, "*"};
+    q.select.push_back(item);
+  }
+
+  // Join conditions from the path's FK-PK edges.
+  for (const auto& e : join_path.edges) {
+    TEMPLAR_ASSIGN_OR_RETURN(std::string fk_qual, qualifier_for(e.fk_relation));
+    TEMPLAR_ASSIGN_OR_RETURN(std::string pk_qual, qualifier_for(e.pk_relation));
+    sql::Predicate p;
+    p.lhs = sql::ColumnRef{fk_qual, e.fk_attribute};
+    p.op = sql::BinaryOp::kEq;
+    p.rhs = sql::ColumnRef{pk_qual, e.pk_attribute};
+    q.where.push_back(std::move(p));
+  }
+
+  // SQL validity: mixing aggregates with bare columns requires grouping the
+  // bare columns.
+  if (any_aggregate) {
+    for (const auto& col : bare_projections) {
+      if (std::find(q.group_by.begin(), q.group_by.end(), col) ==
+          q.group_by.end()) {
+        q.group_by.push_back(col);
+      }
+    }
+  } else if (!q.group_by.empty()) {
+    // GROUP BY without aggregates is legal but never intended here; an
+    // explicitly grouped projection without an aggregate elsewhere
+    // degenerates to DISTINCT semantics. Keep the grouping (harmless).
+  }
+
+  return q;
+}
+
+}  // namespace templar::nlidb

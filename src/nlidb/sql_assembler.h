@@ -1,0 +1,35 @@
+#ifndef TEMPLAR_NLIDB_SQL_ASSEMBLER_H_
+#define TEMPLAR_NLIDB_SQL_ASSEMBLER_H_
+
+/// \file sql_assembler.h
+/// \brief Final SQL construction from a configuration + join path.
+///
+/// Sec. III-E: "[the NLIDB] is responsible for constructing a SQL query
+/// given the keyword mappings and join paths provided by TEMPLAR". This is
+/// that shared construction step, used by every NLIDB in this repo:
+///  - FROM: every relation instance of the join path, aliased;
+///  - SELECT: attribute mappings (with aggregates/DISTINCT);
+///  - WHERE: predicate mappings bound to their instances, plus the join
+///    conditions of the join path's FK-PK edges;
+///  - GROUP BY: explicitly grouped attributes, plus automatic grouping of
+///    bare projections when the select list mixes aggregates and columns.
+
+#include "common/result.h"
+#include "core/mapping.h"
+#include "graph/schema_graph.h"
+#include "sql/ast.h"
+
+namespace templar::nlidb {
+
+/// \brief Builds the final SelectQuery.
+///
+/// The join path must span every relation instance in
+/// `config.RelationBag()`; instances the join path adds (intermediate hop
+/// relations) appear in FROM with join conditions only. Fails when a mapped
+/// relation instance is missing from the join path.
+Result<sql::SelectQuery> AssembleSql(const core::Configuration& config,
+                                     const graph::JoinPath& join_path);
+
+}  // namespace templar::nlidb
+
+#endif  // TEMPLAR_NLIDB_SQL_ASSEMBLER_H_

@@ -1,0 +1,21 @@
+#include "nlq/keyword.h"
+
+namespace templar::nlq {
+
+std::string AnnotatedKeyword::ToString() const {
+  std::string out = "\"" + text + "\" [";
+  out += qfg::FragmentContextToString(metadata.context);
+  if (metadata.op) {
+    out += ", op=";
+    out += sql::BinaryOpToString(*metadata.op);
+  }
+  for (auto f : metadata.aggs) {
+    out += ", ";
+    out += sql::AggFuncToString(f);
+  }
+  if (metadata.group_by) out += ", GROUP";
+  out += "]";
+  return out;
+}
+
+}  // namespace templar::nlq

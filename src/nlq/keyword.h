@@ -1,0 +1,56 @@
+#ifndef TEMPLAR_NLQ_KEYWORD_H_
+#define TEMPLAR_NLQ_KEYWORD_H_
+
+/// \file keyword.h
+/// \brief NLQ keywords and the parser metadata of MAPKEYWORDS (Sec. III-C1).
+///
+/// The keyword-mapping problem takes keywords S = {s1..sn} plus metadata
+/// M_k = (τ_k, ω_k, F_k, g_k): the clause context the mapped fragment should
+/// live in, an optional predicate comparison operator, an optional ordered
+/// aggregation-function list, and a group-by flag. NLIDBs obtain these with
+/// their own parsers; Templar consumes them as given.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qfg/fragment.h"
+#include "sql/ast.h"
+
+namespace templar::nlq {
+
+/// \brief M_k: parser metadata for one keyword.
+struct KeywordMetadata {
+  /// τ: context of the query fragment that should be mapped to the keyword.
+  qfg::FragmentContext context = qfg::FragmentContext::kSelect;
+  /// ω: predicate comparison operator, when the keyword implies one
+  /// ("after 2000" -> kGt).
+  std::optional<sql::BinaryOp> op;
+  /// F: ordered aggregation functions ("number of papers" -> {kCount}).
+  std::vector<sql::AggFunc> aggs;
+  /// g: whether the mapped attribute should be grouped.
+  bool group_by = false;
+
+  bool operator==(const KeywordMetadata&) const = default;
+};
+
+/// \brief One keyword with its metadata.
+struct AnnotatedKeyword {
+  std::string text;  ///< May span multiple words: "after 2000", "Bob Dylan".
+  KeywordMetadata metadata;
+
+  bool operator==(const AnnotatedKeyword&) const = default;
+  std::string ToString() const;
+};
+
+/// \brief A fully parsed NLQ: the keyword set S with metadata M.
+struct ParsedNlq {
+  std::string original;  ///< The raw NLQ text, for diagnostics.
+  std::vector<AnnotatedKeyword> keywords;
+
+  bool operator==(const ParsedNlq&) const = default;
+};
+
+}  // namespace templar::nlq
+
+#endif  // TEMPLAR_NLQ_KEYWORD_H_

@@ -1,0 +1,284 @@
+#include "nlq/nlq_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace templar::nlq {
+
+namespace {
+
+struct RawToken {
+  std::string text;        // Original casing.
+  std::string lower;
+  bool capitalized = false;
+  bool quoted = false;
+  bool numeric = false;
+};
+
+std::vector<RawToken> RawTokenize(const std::string& nlq) {
+  std::vector<RawToken> out;
+  size_t i = 0;
+  const size_t n = nlq.size();
+  while (i < n) {
+    unsigned char c = nlq[i];
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = static_cast<char>(c);
+      size_t j = i + 1;
+      std::string text;
+      while (j < n && nlq[j] != quote) text.push_back(nlq[j++]);
+      if (j < n) ++j;  // Closing quote.
+      RawToken t;
+      t.text = text;
+      t.lower = ToLower(text);
+      t.quoted = true;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isalnum(c)) {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(nlq[j])) ||
+                       nlq[j] == '\'' || nlq[j] == '.')) {
+        ++j;
+      }
+      // Trim a trailing sentence period.
+      size_t end = j;
+      while (end > i && nlq[end - 1] == '.') --end;
+      RawToken t;
+      t.text = nlq.substr(i, end - i);
+      t.lower = ToLower(t.text);
+      t.capitalized = std::isupper(c) != 0;
+      t.numeric = IsNumber(t.text);
+      if (!t.text.empty()) out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    ++i;  // Punctuation.
+  }
+  return out;
+}
+
+struct OpWord {
+  const char* phrase;
+  sql::BinaryOp op;
+};
+
+// Multi-word phrases first so greedy matching prefers them.
+const OpWord kOpLexicon[] = {
+    {"more than", sql::BinaryOp::kGt},   {"greater than", sql::BinaryOp::kGt},
+    {"larger than", sql::BinaryOp::kGt}, {"less than", sql::BinaryOp::kLt},
+    {"fewer than", sql::BinaryOp::kLt},  {"smaller than", sql::BinaryOp::kLt},
+    {"at least", sql::BinaryOp::kGte},   {"at most", sql::BinaryOp::kLte},
+    {"after", sql::BinaryOp::kGt},       {"since", sql::BinaryOp::kGte},
+    {"before", sql::BinaryOp::kLt},      {"over", sql::BinaryOp::kGt},
+    {"above", sql::BinaryOp::kGt},       {"under", sql::BinaryOp::kLt},
+    {"below", sql::BinaryOp::kLt},       {"exactly", sql::BinaryOp::kEq},
+    {"in", sql::BinaryOp::kEq},
+};
+
+struct AggWord {
+  const char* phrase;
+  sql::AggFunc func;
+};
+
+const AggWord kAggLexicon[] = {
+    {"number of", sql::AggFunc::kCount}, {"how many", sql::AggFunc::kCount},
+    {"count of", sql::AggFunc::kCount},  {"total", sql::AggFunc::kSum},
+    {"sum of", sql::AggFunc::kSum},      {"average", sql::AggFunc::kAvg},
+    {"mean", sql::AggFunc::kAvg},        {"maximum", sql::AggFunc::kMax},
+    {"highest", sql::AggFunc::kMax},     {"most", sql::AggFunc::kMax},
+    {"minimum", sql::AggFunc::kMin},     {"lowest", sql::AggFunc::kMin},
+    {"least", sql::AggFunc::kMin},
+};
+
+bool IsCommandWord(const std::string& w) {
+  return w == "return" || w == "show" || w == "find" || w == "list" ||
+         w == "give" || w == "what" || w == "which" || w == "who" ||
+         w == "select" || w == "get" || w == "display";
+}
+
+// Matches a multi-word phrase starting at `i`; returns words consumed or 0.
+size_t MatchPhrase(const std::vector<RawToken>& tokens, size_t i,
+                   const char* phrase) {
+  std::vector<std::string> words = SplitWhitespace(phrase);
+  if (i + words.size() > tokens.size()) return 0;
+  for (size_t k = 0; k < words.size(); ++k) {
+    if (tokens[i + k].lower != words[k]) return 0;
+  }
+  return words.size();
+}
+
+}  // namespace
+
+ParsedNlq NlqParser::Parse(const std::string& nlq) const {
+  std::vector<RawToken> tokens = RawTokenize(nlq);
+  ParsedNlq out;
+  out.original = nlq;
+
+  std::vector<sql::AggFunc> pending_aggs;
+  bool pending_group = false;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    const RawToken& t = tokens[i];
+
+    // Command words: skip (they signal SELECT context, which is our default).
+    if (IsCommandWord(t.lower) && !t.quoted) {
+      ++i;
+      continue;
+    }
+
+    // Group-by markers.
+    if (!t.quoted &&
+        (MatchPhrase(tokens, i, "for each") || MatchPhrase(tokens, i, "by each"))) {
+      pending_group = true;
+      i += 2;
+      continue;
+    }
+    if (!t.quoted && t.lower == "per") {
+      pending_group = true;
+      ++i;
+      continue;
+    }
+
+    // Aggregation phrases.
+    {
+      bool matched = false;
+      for (const auto& aw : kAggLexicon) {
+        size_t n = MatchPhrase(tokens, i, aw.phrase);
+        if (n > 0) {
+          pending_aggs.push_back(aw.func);
+          i += n;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+
+    // Comparison phrases followed by a number: a WHERE numeric keyword.
+    {
+      bool matched = false;
+      for (const auto& ow : kOpLexicon) {
+        size_t n = MatchPhrase(tokens, i, ow.phrase);
+        if (n > 0 && i + n < tokens.size() && tokens[i + n].numeric) {
+          AnnotatedKeyword kw;
+          // Keep the operator word in the keyword text, as the paper's
+          // examples do ("after 2000").
+          kw.text = std::string(ow.phrase) + " " + tokens[i + n].text;
+          kw.metadata.context = qfg::FragmentContext::kWhere;
+          kw.metadata.op = ow.op;
+          out.keywords.push_back(std::move(kw));
+          i += n + 1;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+
+    // Bare numbers become equality WHERE keywords.
+    if (t.numeric) {
+      AnnotatedKeyword kw;
+      kw.text = t.text;
+      kw.metadata.context = qfg::FragmentContext::kWhere;
+      kw.metadata.op = sql::BinaryOp::kEq;
+      out.keywords.push_back(std::move(kw));
+      ++i;
+      continue;
+    }
+
+    // Quoted spans or Capitalized runs (not sentence-initial) are value
+    // keywords in the WHERE context; consume the full capitalized run.
+    if (t.quoted || (t.capitalized && i > 0)) {
+      std::string text = t.text;
+      size_t j = i + 1;
+      if (!t.quoted) {
+        while (j < tokens.size() && tokens[j].capitalized &&
+               !tokens[j].numeric) {
+          text += " " + tokens[j].text;
+          ++j;
+        }
+      }
+      AnnotatedKeyword kw;
+      kw.text = text;
+      kw.metadata.context = qfg::FragmentContext::kWhere;
+      kw.metadata.op = sql::BinaryOp::kEq;
+      out.keywords.push_back(std::move(kw));
+      i = j;
+      continue;
+    }
+
+    // Plain content word: a SELECT-context keyword carrying any pending
+    // aggregates / grouping. Consecutive lowercase content words merge into
+    // one keyword phrase ("restaurant businesses").
+    if (!text::IsStopword(t.lower)) {
+      std::string text = t.text;
+      size_t j = i + 1;
+      while (j < tokens.size() && !tokens[j].quoted && !tokens[j].numeric &&
+             !tokens[j].capitalized && !text::IsStopword(tokens[j].lower) &&
+             !IsCommandWord(tokens[j].lower)) {
+        bool is_op_or_agg = false;
+        for (const auto& ow : kOpLexicon) {
+          if (MatchPhrase(tokens, j, ow.phrase)) is_op_or_agg = true;
+        }
+        for (const auto& aw : kAggLexicon) {
+          if (MatchPhrase(tokens, j, aw.phrase)) is_op_or_agg = true;
+        }
+        if (is_op_or_agg || tokens[j].lower == "per") break;
+        text += " " + tokens[j].text;
+        ++j;
+      }
+      AnnotatedKeyword kw;
+      kw.text = text;
+      kw.metadata.context = qfg::FragmentContext::kSelect;
+      kw.metadata.aggs = pending_aggs;
+      kw.metadata.group_by = pending_group;
+      pending_aggs.clear();
+      pending_group = false;
+      out.keywords.push_back(std::move(kw));
+      i = j;
+      continue;
+    }
+    ++i;  // Stopword.
+  }
+
+  if (options_.noise > 0) {
+    return CorruptAnnotations(out, options_.noise, options_.seed);
+  }
+  return out;
+}
+
+ParsedNlq CorruptAnnotations(const ParsedNlq& gold, double noise,
+                             uint64_t seed) {
+  ParsedNlq out = gold;
+  for (auto& kw : out.keywords) {
+    // Deterministic per-keyword draw: stable across runs and independent of
+    // evaluation order.
+    Rng rng(Fnv1aHash(gold.original + "\x1f" + kw.text, seed));
+    if (!rng.NextBool(noise)) continue;
+    switch (rng.NextBounded(3)) {
+      case 0:  // Context flip: the "papers as relation reference" failure.
+        kw.metadata.context =
+            kw.metadata.context == qfg::FragmentContext::kSelect
+                ? qfg::FragmentContext::kWhere
+                : qfg::FragmentContext::kSelect;
+        break;
+      case 1:  // Drop the comparison operator (falls back to equality).
+        kw.metadata.op.reset();
+        break;
+      case 2:  // Lose aggregates and grouping.
+        kw.metadata.aggs.clear();
+        kw.metadata.group_by = false;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace templar::nlq

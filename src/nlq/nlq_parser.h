@@ -1,0 +1,64 @@
+#ifndef TEMPLAR_NLQ_NLQ_PARSER_H_
+#define TEMPLAR_NLQ_NLQ_PARSER_H_
+
+/// \file nlq_parser.h
+/// \brief A lexicon-driven NLQ parser producing keywords + metadata.
+///
+/// Substitutes for the Stanford-parser front ends of NaLIR/SQLizer (see
+/// DESIGN.md): a command-word/operator/aggregation lexicon plus simple
+/// phrase chunking. It is deliberately imperfect — Sec. VII-C attributes
+/// NaLIR's modest gains to parser errors, and `noise` lets experiments dial
+/// that in reproducibly on top of the heuristics' natural mistakes.
+
+#include <string>
+
+#include "common/rng.h"
+#include "nlq/keyword.h"
+
+namespace templar::nlq {
+
+/// \brief Tunables for the heuristic parser.
+struct NlqParserOptions {
+  /// Probability of corrupting one keyword's metadata (context flip or
+  /// dropped operator/aggregate), drawn deterministically from the NLQ text.
+  double noise = 0.0;
+  /// Seed namespace for the noise draws.
+  uint64_t seed = 0x5eed;
+};
+
+/// \brief Heuristic NLQ -> (keywords, metadata) parser.
+class NlqParser {
+ public:
+  explicit NlqParser(NlqParserOptions options = {}) : options_(options) {}
+
+  /// \brief Parses a natural-language question into annotated keywords.
+  ///
+  /// Heuristics:
+  ///  - command words (return/show/find/list/give/what/which/who) introduce
+  ///    SELECT-context noun phrases;
+  ///  - "number of"/"how many" prepend COUNT; "total" SUM; "average" AVG;
+  ///    "most"/"maximum" MAX; "least"/"minimum" MIN;
+  ///  - comparison words (after/before/over/under/at least/at most/more
+  ///    than/less than/since/exactly) start WHERE-context numeric keywords,
+  ///    consuming the following number;
+  ///  - quoted spans and Capitalized runs become WHERE-context value
+  ///    keywords (multi-word entities kept whole);
+  ///  - "for each"/"per"/"by each" marks the following keyword group-by;
+  ///  - everything else that is not a stopword becomes a SELECT keyword.
+  ParsedNlq Parse(const std::string& nlq) const;
+
+ private:
+  NlqParserOptions options_;
+};
+
+/// \brief Applies the NaLIR-style noise model to already-correct
+/// annotations: with probability `noise` per keyword (deterministic in
+/// `seed` and the keyword), flips the context between SELECT and WHERE or
+/// drops operators/aggregates. Used to model the parser failures of
+/// Sec. VII-C when feeding gold parses to the NaLIR baseline.
+ParsedNlq CorruptAnnotations(const ParsedNlq& gold, double noise,
+                             uint64_t seed);
+
+}  // namespace templar::nlq
+
+#endif  // TEMPLAR_NLQ_NLQ_PARSER_H_

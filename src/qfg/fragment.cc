@@ -1,0 +1,127 @@
+#include "qfg/fragment.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/schema_graph.h"
+
+namespace templar::qfg {
+
+const char* FragmentContextToString(FragmentContext c) {
+  switch (c) {
+    case FragmentContext::kSelect:
+      return "SELECT";
+    case FragmentContext::kFrom:
+      return "FROM";
+    case FragmentContext::kWhere:
+      return "WHERE";
+    case FragmentContext::kGroupBy:
+      return "GROUP BY";
+    case FragmentContext::kHaving:
+      return "HAVING";
+    case FragmentContext::kOrderBy:
+      return "ORDER BY";
+  }
+  return "?";
+}
+
+const char* ObscurityLevelToString(ObscurityLevel level) {
+  switch (level) {
+    case ObscurityLevel::kFull:
+      return "Full";
+    case ObscurityLevel::kNoConst:
+      return "NoConst";
+    case ObscurityLevel::kNoConstOp:
+      return "NoConstOp";
+  }
+  return "?";
+}
+
+std::string QueryFragment::ToString() const {
+  return "(" + expression + ", " + FragmentContextToString(context) + ")";
+}
+
+std::string QueryFragment::Key() const {
+  return expression + "\x1f" + FragmentContextToString(context);
+}
+
+sql::Predicate ObscurePredicate(sql::Predicate pred, ObscurityLevel level) {
+  if (level == ObscurityLevel::kNoConst || level == ObscurityLevel::kNoConstOp) {
+    pred.rhs = sql::Literal::Placeholder();
+  }
+  if (level == ObscurityLevel::kNoConstOp) {
+    pred.op = sql::BinaryOp::kPlaceholder;
+  }
+  return pred;
+}
+
+namespace {
+
+/// Rewrites instance-suffixed qualifiers ("author#1") back to base names so
+/// fragments from self-joined queries coincide with single-instance ones.
+sql::ColumnRef StripInstance(sql::ColumnRef c) {
+  c.relation = graph::BaseRelationName(c.relation);
+  return c;
+}
+
+}  // namespace
+
+std::vector<QueryFragment> ExtractFragments(const sql::SelectQuery& query,
+                                            ObscurityLevel level) {
+  sql::SelectQuery q = query.ResolveAliases();
+  std::set<QueryFragment> out;
+
+  for (const auto& item : q.select) {
+    sql::SelectItem s = item;
+    s.column = StripInstance(s.column);
+    out.insert(QueryFragment{FragmentContext::kSelect, s.ToString()});
+  }
+  for (const auto& t : q.from) {
+    out.insert(RelationFragment(graph::BaseRelationName(t.table)));
+  }
+  for (const auto& p : q.where) {
+    if (p.IsJoin()) continue;  // Join conditions belong to the join path.
+    sql::Predicate vp = p;
+    vp.lhs = StripInstance(vp.lhs);
+    out.insert(WhereFragment(vp, level));
+  }
+  for (const auto& g : q.group_by) {
+    out.insert(
+        QueryFragment{FragmentContext::kGroupBy, StripInstance(g).ToString()});
+  }
+  for (const auto& h : q.having) {
+    sql::HavingPredicate hp = h;
+    hp.expr.column = StripInstance(hp.expr.column);
+    if (level != ObscurityLevel::kFull) hp.rhs = sql::Literal::Placeholder();
+    if (level == ObscurityLevel::kNoConstOp) hp.op = sql::BinaryOp::kPlaceholder;
+    out.insert(QueryFragment{FragmentContext::kHaving, hp.ToString()});
+  }
+  for (const auto& o : q.order_by) {
+    sql::OrderByItem ob = o;
+    ob.expr.column = StripInstance(ob.expr.column);
+    out.insert(QueryFragment{FragmentContext::kOrderBy, ob.ToString()});
+  }
+  return std::vector<QueryFragment>(out.begin(), out.end());
+}
+
+QueryFragment RelationFragment(const std::string& relation) {
+  return QueryFragment{FragmentContext::kFrom, relation};
+}
+
+QueryFragment SelectFragment(const std::string& relation,
+                             const std::string& attribute,
+                             const std::vector<sql::AggFunc>& aggs,
+                             bool distinct) {
+  sql::SelectItem item;
+  item.column = sql::ColumnRef{relation, attribute};
+  item.aggs = aggs;
+  item.distinct = distinct;
+  return QueryFragment{FragmentContext::kSelect, item.ToString()};
+}
+
+QueryFragment WhereFragment(const sql::Predicate& pred, ObscurityLevel level) {
+  sql::Predicate p = ObscurePredicate(pred, level);
+  return QueryFragment{FragmentContext::kWhere, p.ToString()};
+}
+
+}  // namespace templar::qfg

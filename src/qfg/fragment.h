@@ -1,0 +1,98 @@
+#ifndef TEMPLAR_QFG_FRAGMENT_H_
+#define TEMPLAR_QFG_FRAGMENT_H_
+
+/// \file fragment.h
+/// \brief Query fragments (Definition 3) and obscurity levels (Sec. IV).
+///
+/// A query fragment c = (χ, τ) pairs a SQL expression or non-join predicate
+/// χ with the clause context τ it appears in. Fragments are the atomic unit
+/// the Query Fragment Graph counts: fine-grained enough to mix and match
+/// into unseen queries, coarse enough to recur across a log.
+///
+/// Three obscurity levels trade specificity for recall (Sec. IV):
+///  - Full:       `publication.year > 2000`
+///  - NoConst:    `publication.year > ?val`
+///  - NoConstOp:  `publication.year ?op ?val`
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace templar::qfg {
+
+/// \brief The clause a fragment lives in.
+enum class FragmentContext {
+  kSelect,
+  kFrom,
+  kWhere,
+  kGroupBy,
+  kHaving,
+  kOrderBy,
+};
+
+/// \brief Returns "SELECT", "FROM", ... for display.
+const char* FragmentContextToString(FragmentContext c);
+
+/// \brief How much of a predicate's specifics are blanked out.
+enum class ObscurityLevel {
+  kFull,
+  kNoConst,
+  kNoConstOp,
+};
+
+/// \brief Returns "Full" / "NoConst" / "NoConstOp".
+const char* ObscurityLevelToString(ObscurityLevel level);
+
+/// \brief One query fragment: canonical expression text + context.
+///
+/// Expressions use base relation names (alias-resolved, self-join instance
+/// suffixes stripped) so that logically identical fragments from different
+/// queries coincide.
+struct QueryFragment {
+  FragmentContext context = FragmentContext::kSelect;
+  std::string expression;
+
+  bool operator==(const QueryFragment&) const = default;
+  bool operator<(const QueryFragment& other) const {
+    if (context != other.context) return context < other.context;
+    return expression < other.expression;
+  }
+  /// \brief Display form "(expression, CONTEXT)".
+  std::string ToString() const;
+  /// \brief Stable map key.
+  std::string Key() const;
+};
+
+/// \brief Obscures a value predicate per `level`. Join conditions are never
+/// fragments, so the input must be a value predicate.
+sql::Predicate ObscurePredicate(sql::Predicate pred, ObscurityLevel level);
+
+/// \brief Extracts all fragments of `query` at `level`.
+///
+/// Aliases are resolved first; relation instances are collapsed to base
+/// names; join conditions are skipped (they are represented by the join
+/// path, not by fragments — Sec. V-C2 likewise excludes FROM fragments from
+/// scoring). Duplicate fragments within one query are collapsed: the QFG
+/// counts "appears in this query", not multiplicity.
+std::vector<QueryFragment> ExtractFragments(const sql::SelectQuery& query,
+                                            ObscurityLevel level);
+
+/// \brief Builds the FROM-context fragment for a relation name.
+QueryFragment RelationFragment(const std::string& relation);
+
+/// \brief Builds a SELECT-context fragment for an attribute (with optional
+/// aggregates applied, outermost first).
+QueryFragment SelectFragment(const std::string& relation,
+                             const std::string& attribute,
+                             const std::vector<sql::AggFunc>& aggs = {},
+                             bool distinct = false);
+
+/// \brief Builds a WHERE-context fragment from a value predicate, obscured
+/// at `level`.
+QueryFragment WhereFragment(const sql::Predicate& pred, ObscurityLevel level);
+
+}  // namespace templar::qfg
+
+#endif  // TEMPLAR_QFG_FRAGMENT_H_

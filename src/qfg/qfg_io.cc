@@ -1,0 +1,157 @@
+#include "qfg/qfg_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace templar::qfg {
+
+namespace {
+
+/// Escapes tab, newline and '%' so fields survive the line format.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case '\t':
+        out += "%09";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) return Status::ParseError("truncated escape");
+    std::string hex = s.substr(i + 1, 2);
+    if (hex == "25") {
+      out += '%';
+    } else if (hex == "09") {
+      out += '\t';
+    } else if (hex == "0A") {
+      out += '\n';
+    } else {
+      return Status::ParseError("unknown escape %" + hex);
+    }
+    i += 2;
+  }
+  return out;
+}
+
+Result<FragmentContext> ContextFromString(const std::string& s) {
+  if (s == "SELECT") return FragmentContext::kSelect;
+  if (s == "FROM") return FragmentContext::kFrom;
+  if (s == "WHERE") return FragmentContext::kWhere;
+  if (s == "GROUP BY") return FragmentContext::kGroupBy;
+  if (s == "HAVING") return FragmentContext::kHaving;
+  if (s == "ORDER BY") return FragmentContext::kOrderBy;
+  return Status::ParseError("unknown fragment context '" + s + "'");
+}
+
+Result<ObscurityLevel> LevelFromString(const std::string& s) {
+  if (s == "Full") return ObscurityLevel::kFull;
+  if (s == "NoConst") return ObscurityLevel::kNoConst;
+  if (s == "NoConstOp") return ObscurityLevel::kNoConstOp;
+  return Status::ParseError("unknown obscurity level '" + s + "'");
+}
+
+}  // namespace
+
+Status SaveQfg(const QueryFragmentGraph& graph, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  *out << "templar-qfg\tv1\t" << ObscurityLevelToString(graph.level()) << '\t'
+       << graph.query_count() << '\n';
+  for (const auto& [fragment, count] : graph.TopFragments()) {
+    *out << "V\t" << count << '\t'
+         << FragmentContextToString(fragment.context) << '\t'
+         << Escape(fragment.expression) << '\n';
+  }
+  for (const auto& [a, b, count] : graph.CoOccurrenceRecords()) {
+    *out << "E\t" << count << '\t' << FragmentContextToString(a.context)
+         << '\t' << Escape(a.expression) << '\t'
+         << FragmentContextToString(b.context) << '\t'
+         << Escape(b.expression) << '\n';
+  }
+  if (!out->good()) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status SaveQfgToFile(const QueryFragmentGraph& graph,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open '" + path + "'");
+  return SaveQfg(graph, &out);
+}
+
+Result<QueryFragmentGraph> LoadQfg(std::istream* in) {
+  if (in == nullptr) return Status::InvalidArgument("null stream");
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::ParseError("empty QFG snapshot");
+  }
+  std::vector<std::string> header = Split(line, '\t');
+  if (header.size() != 4 || header[0] != "templar-qfg" || header[1] != "v1") {
+    return Status::ParseError("bad QFG snapshot header: " + line);
+  }
+  TEMPLAR_ASSIGN_OR_RETURN(ObscurityLevel level, LevelFromString(header[2]));
+  QueryFragmentGraph graph(level);
+  graph.set_query_count(std::stoull(header[3]));
+
+  size_t line_no = 1;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    auto err = [&](const std::string& msg) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                msg);
+    };
+    if (fields[0] == "V") {
+      if (fields.size() != 4) return err("V record needs 4 fields");
+      TEMPLAR_ASSIGN_OR_RETURN(FragmentContext ctx,
+                               ContextFromString(fields[2]));
+      TEMPLAR_ASSIGN_OR_RETURN(std::string expr, Unescape(fields[3]));
+      graph.RestoreVertex(QueryFragment{ctx, std::move(expr)},
+                          std::stoull(fields[1]));
+    } else if (fields[0] == "E") {
+      if (fields.size() != 6) return err("E record needs 6 fields");
+      TEMPLAR_ASSIGN_OR_RETURN(FragmentContext ca,
+                               ContextFromString(fields[2]));
+      TEMPLAR_ASSIGN_OR_RETURN(std::string ea, Unescape(fields[3]));
+      TEMPLAR_ASSIGN_OR_RETURN(FragmentContext cb,
+                               ContextFromString(fields[4]));
+      TEMPLAR_ASSIGN_OR_RETURN(std::string eb, Unescape(fields[5]));
+      TEMPLAR_RETURN_NOT_OK(graph.RestoreEdge(QueryFragment{ca, std::move(ea)},
+                                              QueryFragment{cb, std::move(eb)},
+                                              std::stoull(fields[1])));
+    } else {
+      return err("unknown record type '" + fields[0] + "'");
+    }
+  }
+  return graph;
+}
+
+Result<QueryFragmentGraph> LoadQfgFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open '" + path + "'");
+  return LoadQfg(&in);
+}
+
+}  // namespace templar::qfg

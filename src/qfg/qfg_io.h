@@ -1,0 +1,40 @@
+#ifndef TEMPLAR_QFG_QFG_IO_H_
+#define TEMPLAR_QFG_QFG_IO_H_
+
+/// \file qfg_io.h
+/// \brief Serialization of the Query Fragment Graph.
+///
+/// Production query logs run to millions of statements; re-parsing them on
+/// every process start is wasteful. These helpers snapshot a built QFG to a
+/// line-oriented text format and restore it without touching the original
+/// log. Format (one record per line, tab-separated, '%'-escaped fields):
+///
+///   templar-qfg v1 <level> <query_count>
+///   V <count> <context> <expression>
+///   E <count> <context1> <expression1> <context2> <expression2>
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "qfg/query_fragment_graph.h"
+
+namespace templar::qfg {
+
+/// \brief Writes `graph` to `out` in the v1 text format.
+Status SaveQfg(const QueryFragmentGraph& graph, std::ostream* out);
+
+/// \brief Writes `graph` to a file; overwrites.
+Status SaveQfgToFile(const QueryFragmentGraph& graph,
+                     const std::string& path);
+
+/// \brief Reads a graph previously written by SaveQfg. ParseError on any
+/// malformed record; the obscurity level is restored from the header.
+Result<QueryFragmentGraph> LoadQfg(std::istream* in);
+
+/// \brief Reads a graph from a file.
+Result<QueryFragmentGraph> LoadQfgFromFile(const std::string& path);
+
+}  // namespace templar::qfg
+
+#endif  // TEMPLAR_QFG_QFG_IO_H_

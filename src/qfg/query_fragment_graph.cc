@@ -1,0 +1,138 @@
+#include "qfg/query_fragment_graph.h"
+
+#include <algorithm>
+
+#include "sql/parser.h"
+
+namespace templar::qfg {
+
+std::string QueryFragmentGraph::PairKey(const std::string& ka,
+                                        const std::string& kb) {
+  return ka <= kb ? ka + "\x1e" + kb : kb + "\x1e" + ka;
+}
+
+void QueryFragmentGraph::AddQuery(const sql::SelectQuery& query) {
+  std::vector<QueryFragment> frags = ExtractFragments(query, level_);
+  ++query_count_;
+  std::vector<std::string> keys;
+  keys.reserve(frags.size());
+  for (const auto& f : frags) {
+    std::string key = f.Key();
+    occurrences_[key]++;
+    fragments_.emplace(key, f);
+    keys.push_back(std::move(key));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = i + 1; j < keys.size(); ++j) {
+      co_occurrences_[PairKey(keys[i], keys[j])]++;
+    }
+  }
+}
+
+Status QueryFragmentGraph::AddQuerySql(const std::string& sql_text) {
+  TEMPLAR_ASSIGN_OR_RETURN(sql::SelectQuery q, sql::Parse(sql_text));
+  AddQuery(q);
+  return Status::OK();
+}
+
+namespace {
+
+/// WHERE/HAVING fragments offered by the keyword mapper are built at kFull;
+/// re-obscure them to the graph's level before lookup so callers don't have
+/// to know the log's configuration.
+QueryFragment Normalize(const QueryFragment& c, ObscurityLevel level) {
+  if (level == ObscurityLevel::kFull) return c;
+  if (c.context != FragmentContext::kWhere) return c;
+  auto parsed = sql::ParsePredicate(c.expression);
+  if (!parsed.ok()) return c;
+  return WhereFragment(*parsed, level);
+}
+
+}  // namespace
+
+QueryFragment QueryFragmentGraph::Normalized(const QueryFragment& c) const {
+  return Normalize(c, level_);
+}
+
+uint64_t QueryFragmentGraph::Occurrences(const QueryFragment& c) const {
+  auto it = occurrences_.find(Normalize(c, level_).Key());
+  return it == occurrences_.end() ? 0 : it->second;
+}
+
+uint64_t QueryFragmentGraph::CoOccurrences(const QueryFragment& a,
+                                           const QueryFragment& b) const {
+  auto it = co_occurrences_.find(
+      PairKey(Normalize(a, level_).Key(), Normalize(b, level_).Key()));
+  return it == co_occurrences_.end() ? 0 : it->second;
+}
+
+double QueryFragmentGraph::Dice(const QueryFragment& a,
+                                const QueryFragment& b) const {
+  uint64_t na = Occurrences(a);
+  uint64_t nb = Occurrences(b);
+  if (na + nb == 0) return 0;
+  uint64_t ne = CoOccurrences(a, b);
+  return 2.0 * static_cast<double>(ne) / static_cast<double>(na + nb);
+}
+
+double QueryFragmentGraph::RelationDice(const std::string& rel_a,
+                                        const std::string& rel_b) const {
+  return Dice(RelationFragment(rel_a), RelationFragment(rel_b));
+}
+
+std::vector<std::tuple<QueryFragment, QueryFragment, uint64_t>>
+QueryFragmentGraph::CoOccurrenceRecords() const {
+  std::vector<std::tuple<QueryFragment, QueryFragment, uint64_t>> out;
+  out.reserve(co_occurrences_.size());
+  for (const auto& [pair_key, count] : co_occurrences_) {
+    auto sep = pair_key.find('\x1e');
+    if (sep == std::string::npos) continue;
+    auto a = fragments_.find(pair_key.substr(0, sep));
+    auto b = fragments_.find(pair_key.substr(sep + 1));
+    if (a == fragments_.end() || b == fragments_.end()) continue;
+    out.emplace_back(a->second, b->second, count);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    if (std::get<0>(x).Key() != std::get<0>(y).Key()) {
+      return std::get<0>(x).Key() < std::get<0>(y).Key();
+    }
+    return std::get<1>(x).Key() < std::get<1>(y).Key();
+  });
+  return out;
+}
+
+void QueryFragmentGraph::RestoreVertex(const QueryFragment& fragment,
+                                       uint64_t count) {
+  std::string key = fragment.Key();
+  occurrences_[key] = count;
+  fragments_.emplace(std::move(key), fragment);
+}
+
+Status QueryFragmentGraph::RestoreEdge(const QueryFragment& a,
+                                       const QueryFragment& b,
+                                       uint64_t count) {
+  if (!occurrences_.count(a.Key()) || !occurrences_.count(b.Key())) {
+    return Status::InvalidArgument(
+        "RestoreEdge endpoints must be restored first: " + a.ToString() +
+        " / " + b.ToString());
+  }
+  co_occurrences_[PairKey(a.Key(), b.Key())] = count;
+  return Status::OK();
+}
+
+std::vector<std::pair<QueryFragment, uint64_t>>
+QueryFragmentGraph::TopFragments(size_t limit) const {
+  std::vector<std::pair<QueryFragment, uint64_t>> out;
+  out.reserve(occurrences_.size());
+  for (const auto& [key, count] : occurrences_) {
+    out.emplace_back(fragments_.at(key), count);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first.Key() < b.first.Key();
+  });
+  if (limit > 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
+
+}  // namespace templar::qfg

@@ -1,0 +1,99 @@
+#ifndef TEMPLAR_QFG_QUERY_FRAGMENT_GRAPH_H_
+#define TEMPLAR_QFG_QUERY_FRAGMENT_GRAPH_H_
+
+/// \file query_fragment_graph.h
+/// \brief The Query Fragment Graph (Definition 6, Sec. IV-A).
+///
+/// The QFG summarizes a SQL query log L as a graph over query fragments:
+/// n_v(c) counts the queries of L containing fragment c, and n_e(c1,c2)
+/// counts the queries containing both. The Dice similarity coefficient
+///
+///     Dice(c1, c2) = 2 * n_e(c1,c2) / (n_v(c1) + n_v(c2))
+///
+/// is the co-occurrence evidence used both for configuration ranking
+/// (Sec. V-C2) and for log-driven join edge weights (Sec. VI-A2).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "qfg/fragment.h"
+#include "sql/ast.h"
+
+namespace templar::qfg {
+
+/// \brief Occurrence and co-occurrence counts over a SQL log at a fixed
+/// obscurity level.
+class QueryFragmentGraph {
+ public:
+  explicit QueryFragmentGraph(ObscurityLevel level = ObscurityLevel::kNoConstOp)
+      : level_(level) {}
+
+  /// \brief Adds one log entry (already parsed). Fragments within a query
+  /// are counted once each; every unordered pair of distinct fragments in
+  /// the query increments an edge.
+  void AddQuery(const sql::SelectQuery& query);
+
+  /// \brief Parses `sql_text` and adds it. ParseError when malformed.
+  Status AddQuerySql(const std::string& sql_text);
+
+  /// \brief n_v: number of log queries containing `c` (after obscuring `c`
+  /// to this graph's level if it is a WHERE/HAVING fragment built at kFull).
+  uint64_t Occurrences(const QueryFragment& c) const;
+
+  /// \brief n_e: number of log queries containing both fragments.
+  uint64_t CoOccurrences(const QueryFragment& a, const QueryFragment& b) const;
+
+  /// \brief Dice coefficient in [0,1]; 0 when either fragment is unseen.
+  double Dice(const QueryFragment& a, const QueryFragment& b) const;
+
+  /// \brief Dice between two relations' FROM fragments — the quantity behind
+  /// the log-driven join weight w_L (Sec. VI-A2).
+  double RelationDice(const std::string& rel_a, const std::string& rel_b) const;
+
+  /// \brief The fragment as this graph indexes it: WHERE/HAVING expressions
+  /// re-obscured to the graph's level. Two fragments with equal normalized
+  /// keys are indistinguishable to the log (e.g. two author.name predicates
+  /// with different constants at NoConstOp).
+  QueryFragment Normalized(const QueryFragment& c) const;
+
+  ObscurityLevel level() const { return level_; }
+  size_t vertex_count() const { return occurrences_.size(); }
+  size_t edge_count() const { return co_occurrences_.size(); }
+  uint64_t query_count() const { return query_count_; }
+
+  /// \brief All fragments with their counts, sorted by descending count then
+  /// key (for diagnostics and the log_explorer example).
+  std::vector<std::pair<QueryFragment, uint64_t>> TopFragments(
+      size_t limit = 0) const;
+
+  /// \brief Every co-occurrence edge as (fragment, fragment, n_e), in
+  /// deterministic key order. Used by snapshot serialization (qfg_io.h).
+  std::vector<std::tuple<QueryFragment, QueryFragment, uint64_t>>
+  CoOccurrenceRecords() const;
+
+  /// \name Snapshot restoration (qfg_io.h)
+  /// Rebuild a graph from serialized records without re-parsing a log.
+  /// RestoreEdge requires both endpoints to have been restored first.
+  ///@{
+  void RestoreVertex(const QueryFragment& fragment, uint64_t count);
+  Status RestoreEdge(const QueryFragment& a, const QueryFragment& b,
+                     uint64_t count);
+  void set_query_count(uint64_t count) { query_count_ = count; }
+  ///@}
+
+ private:
+  static std::string PairKey(const std::string& ka, const std::string& kb);
+
+  ObscurityLevel level_;
+  uint64_t query_count_ = 0;
+  std::unordered_map<std::string, uint64_t> occurrences_;      // Key -> n_v
+  std::unordered_map<std::string, uint64_t> co_occurrences_;   // PairKey -> n_e
+  std::unordered_map<std::string, QueryFragment> fragments_;   // Key -> frag
+};
+
+}  // namespace templar::qfg
+
+#endif  // TEMPLAR_QFG_QUERY_FRAGMENT_GRAPH_H_

@@ -1,0 +1,177 @@
+#include "sql/ast.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace templar::sql {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNeq:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLte:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGte:
+      return ">=";
+    case BinaryOp::kLike:
+      return "LIKE";
+    case BinaryOp::kPlaceholder:
+      return "?op";
+  }
+  return "?";
+}
+
+std::optional<BinaryOp> BinaryOpFromString(const std::string& s) {
+  std::string u = ToUpper(s);
+  if (u == "=" || u == "==") return BinaryOp::kEq;
+  if (u == "<>" || u == "!=") return BinaryOp::kNeq;
+  if (u == "<") return BinaryOp::kLt;
+  if (u == "<=") return BinaryOp::kLte;
+  if (u == ">") return BinaryOp::kGt;
+  if (u == ">=") return BinaryOp::kGte;
+  if (u == "LIKE") return BinaryOp::kLike;
+  if (u == "?OP") return BinaryOp::kPlaceholder;
+  return std::nullopt;
+}
+
+BinaryOp FlipBinaryOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLte:
+      return BinaryOp::kGte;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGte:
+      return BinaryOp::kLte;
+    default:
+      return op;
+  }
+}
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::optional<AggFunc> AggFuncFromString(const std::string& s) {
+  std::string u = ToUpper(s);
+  if (u == "COUNT") return AggFunc::kCount;
+  if (u == "SUM") return AggFunc::kSum;
+  if (u == "AVG") return AggFunc::kAvg;
+  if (u == "MIN") return AggFunc::kMin;
+  if (u == "MAX") return AggFunc::kMax;
+  return std::nullopt;
+}
+
+std::string ColumnRef::ToString() const {
+  if (relation.empty()) return column;
+  return relation + "." + column;
+}
+
+std::string Literal::ToString() const {
+  switch (kind) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kInt:
+      return std::to_string(int_value);
+    case Kind::kDouble: {
+      std::ostringstream os;
+      os << double_value;
+      return os.str();
+    }
+    case Kind::kString: {
+      std::string out = "'";
+      for (char c : string_value) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+    case Kind::kPlaceholder:
+      return "?val";
+  }
+  return "NULL";
+}
+
+std::string SelectItem::ToString() const {
+  std::string inner = column.ToString();
+  if (distinct) inner = "DISTINCT " + inner;
+  for (auto it = aggs.rbegin(); it != aggs.rend(); ++it) {
+    inner = std::string(AggFuncToString(*it)) + "(" + inner + ")";
+  }
+  return inner;
+}
+
+std::string TableRef::ToString() const {
+  if (alias.empty()) return table;
+  return table + " " + alias;
+}
+
+std::string Predicate::ToString() const {
+  std::string rhs_str = IsJoin() ? rhs_column().ToString() : rhs_literal().ToString();
+  return lhs.ToString() + " " + BinaryOpToString(op) + " " + rhs_str;
+}
+
+std::string HavingPredicate::ToString() const {
+  return expr.ToString() + " " + BinaryOpToString(op) + " " + rhs.ToString();
+}
+
+std::string OrderByItem::ToString() const {
+  return expr.ToString() + (descending ? " DESC" : " ASC");
+}
+
+SelectQuery SelectQuery::ResolveAliases() const {
+  // Count instances per relation to decide whether to disambiguate.
+  std::map<std::string, int> instance_count;
+  for (const auto& t : from) instance_count[t.table]++;
+
+  std::map<std::string, std::string> rename;  // effective name -> resolved
+  std::map<std::string, int> seen;
+  SelectQuery out = *this;
+  for (auto& t : out.from) {
+    std::string resolved = t.table;
+    if (instance_count[t.table] > 1) {
+      resolved += "#" + std::to_string(seen[t.table]++);
+    }
+    rename[t.EffectiveName()] = resolved;
+    t.alias.clear();
+    t.table = resolved;
+  }
+  auto fix = [&rename](ColumnRef* c) {
+    if (c->relation.empty()) return;
+    auto it = rename.find(c->relation);
+    if (it != rename.end()) c->relation = it->second;
+  };
+  for (auto& s : out.select) fix(&s.column);
+  for (auto& p : out.where) {
+    fix(&p.lhs);
+    if (p.IsJoin()) fix(&std::get<ColumnRef>(p.rhs));
+  }
+  for (auto& g : out.group_by) fix(&g);
+  for (auto& h : out.having) fix(&h.expr.column);
+  for (auto& o : out.order_by) fix(&o.expr.column);
+  return out;
+}
+
+}  // namespace templar::sql

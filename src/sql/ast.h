@@ -1,0 +1,213 @@
+#ifndef TEMPLAR_SQL_AST_H_
+#define TEMPLAR_SQL_AST_H_
+
+/// \file ast.h
+/// \brief Abstract syntax tree for the conjunctive SELECT subset of SQL that
+/// the Templar benchmarks exercise.
+///
+/// The paper's benchmark queries (after the authors removed correlated nested
+/// subqueries, Sec. VII-A4) are single-block SELECT queries: a projection
+/// list with optional (possibly nested) aggregates, a FROM list of aliased
+/// relations, a conjunctive WHERE clause mixing value predicates and FK-PK
+/// join conditions, and optional GROUP BY / HAVING / ORDER BY / LIMIT.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace templar::sql {
+
+/// \brief Comparison operators allowed in predicates.
+enum class BinaryOp {
+  kEq,
+  kNeq,
+  kLt,
+  kLte,
+  kGt,
+  kGte,
+  kLike,
+  kPlaceholder,  ///< `?op` — the NoConstOp obscurity level (Sec. IV).
+};
+
+/// \brief Returns the SQL spelling of `op` ("=", "<>", "<", ...).
+const char* BinaryOpToString(BinaryOp op);
+
+/// \brief Parses an operator spelling; returns std::nullopt if unknown.
+std::optional<BinaryOp> BinaryOpFromString(const std::string& s);
+
+/// \brief Flips an operator across its operands (e.g. `<` becomes `>`).
+BinaryOp FlipBinaryOp(BinaryOp op);
+
+/// \brief Aggregation functions; kept as an ordered list per SELECT item so
+/// that nested aggregates like MAX(COUNT(x)) round-trip.
+enum class AggFunc {
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+/// \brief Returns the SQL spelling of `f` ("COUNT", "SUM", ...).
+const char* AggFuncToString(AggFunc f);
+
+/// \brief Parses an aggregate name (case-insensitive); nullopt if unknown.
+std::optional<AggFunc> AggFuncFromString(const std::string& s);
+
+/// \brief A (possibly qualified) column reference, e.g. `p.title`.
+///
+/// `relation` holds whatever qualifier appeared in the text — an alias until
+/// `SelectQuery::ResolveAliases()` rewrites it to the base relation name.
+struct ColumnRef {
+  std::string relation;  ///< Alias or relation name; empty if unqualified.
+  std::string column;    ///< Column name, or "*" for COUNT(*).
+
+  bool operator==(const ColumnRef&) const = default;
+  /// Formats as "relation.column" (or just "column").
+  std::string ToString() const;
+};
+
+/// \brief A literal constant in a predicate.
+struct Literal {
+  enum class Kind {
+    kNull,
+    kInt,
+    kDouble,
+    kString,
+    kPlaceholder,  ///< `?val` — NoConst/NoConstOp obscurity levels.
+  };
+  Kind kind = Kind::kNull;
+  int64_t int_value = 0;
+  double double_value = 0;
+  std::string string_value;
+
+  static Literal Null() { return Literal{}; }
+  static Literal Int(int64_t v) {
+    Literal l;
+    l.kind = Kind::kInt;
+    l.int_value = v;
+    return l;
+  }
+  static Literal Double(double v) {
+    Literal l;
+    l.kind = Kind::kDouble;
+    l.double_value = v;
+    return l;
+  }
+  static Literal String(std::string v) {
+    Literal l;
+    l.kind = Kind::kString;
+    l.string_value = std::move(v);
+    return l;
+  }
+  static Literal Placeholder() {
+    Literal l;
+    l.kind = Kind::kPlaceholder;
+    return l;
+  }
+
+  bool operator==(const Literal&) const = default;
+  /// \brief True for kInt or kDouble literals.
+  bool IsNumeric() const { return kind == Kind::kInt || kind == Kind::kDouble; }
+  /// \brief Numeric value as a double (0 for non-numeric kinds).
+  double AsDouble() const {
+    if (kind == Kind::kInt) return static_cast<double>(int_value);
+    if (kind == Kind::kDouble) return double_value;
+    return 0;
+  }
+  /// Formats with SQL quoting ('abc' for strings, NULL for null).
+  std::string ToString() const;
+};
+
+/// \brief One item in the SELECT list: a column wrapped in zero or more
+/// aggregates, e.g. `MAX(COUNT(p.pid))` has aggs = {kMax, kCount}
+/// (outermost first).
+struct SelectItem {
+  ColumnRef column;
+  std::vector<AggFunc> aggs;  ///< Outermost aggregate first; empty = bare col.
+  bool distinct = false;      ///< DISTINCT inside the innermost aggregate.
+
+  bool operator==(const SelectItem&) const = default;
+  /// \brief True if any aggregate wraps the column.
+  bool IsAggregate() const { return !aggs.empty(); }
+  std::string ToString() const;
+};
+
+/// \brief One relation instance in the FROM clause.
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< Empty when the relation is used unaliased.
+
+  bool operator==(const TableRef&) const = default;
+  /// \brief The name WHERE/SELECT items refer to this instance by.
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+  std::string ToString() const;
+};
+
+/// \brief A conjunct of the WHERE clause: `lhs op rhs` where rhs is either a
+/// literal (value predicate) or a column (join condition).
+struct Predicate {
+  ColumnRef lhs;
+  BinaryOp op = BinaryOp::kEq;
+  std::variant<Literal, ColumnRef> rhs;
+
+  bool operator==(const Predicate&) const = default;
+  /// \brief True when the right-hand side is a column (a join condition).
+  bool IsJoin() const { return std::holds_alternative<ColumnRef>(rhs); }
+  const Literal& rhs_literal() const { return std::get<Literal>(rhs); }
+  const ColumnRef& rhs_column() const { return std::get<ColumnRef>(rhs); }
+  std::string ToString() const;
+};
+
+/// \brief A HAVING conjunct: `agg(col) op literal`.
+struct HavingPredicate {
+  SelectItem expr;
+  BinaryOp op = BinaryOp::kEq;
+  Literal rhs;
+
+  bool operator==(const HavingPredicate&) const = default;
+  std::string ToString() const;
+};
+
+/// \brief One ORDER BY key.
+struct OrderByItem {
+  SelectItem expr;
+  bool descending = false;
+
+  bool operator==(const OrderByItem&) const = default;
+  std::string ToString() const;
+};
+
+/// \brief A single-block SELECT query.
+struct SelectQuery {
+  std::vector<SelectItem> select;
+  bool select_distinct = false;  ///< SELECT DISTINCT ...
+  std::vector<TableRef> from;
+  std::vector<Predicate> where;  ///< Implicit conjunction.
+  std::vector<ColumnRef> group_by;
+  std::vector<HavingPredicate> having;
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+
+  bool operator==(const SelectQuery&) const = default;
+
+  /// \brief Rewrites every qualifier so it names the base relation directly.
+  ///
+  /// Aliases that are the unique instance of their relation are replaced by
+  /// the relation name; when a relation appears multiple times (self-join)
+  /// instances are renamed `rel#0`, `rel#1`, ... in FROM order so that
+  /// distinct instances stay distinguishable. Unqualified columns are left
+  /// untouched (the resolver has no catalog).
+  SelectQuery ResolveAliases() const;
+
+  /// \brief Prints canonical SQL text (see printer.cc for the conventions).
+  std::string ToString() const;
+};
+
+}  // namespace templar::sql
+
+#endif  // TEMPLAR_SQL_AST_H_

@@ -1,0 +1,220 @@
+#include "sql/equivalence.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace templar::sql {
+
+namespace {
+
+// Orients a predicate canonically: join conditions put the lexicographically
+// smaller column on the left; value predicates already have the literal on
+// the right by construction of the AST.
+Predicate OrientPredicate(Predicate p) {
+  if (p.IsJoin()) {
+    const ColumnRef& l = p.lhs;
+    const ColumnRef& r = p.rhs_column();
+    if (r.ToString() < l.ToString()) {
+      ColumnRef tmp = l;
+      p.lhs = r;
+      p.rhs = tmp;
+      p.op = FlipBinaryOp(p.op);
+    }
+  }
+  return p;
+}
+
+// Lowercases all identifiers in-place so equivalence is case-insensitive.
+void LowercaseIdentifiers(SelectQuery* q) {
+  auto fix = [](ColumnRef* c) {
+    c->relation = ToLower(c->relation);
+    c->column = ToLower(c->column);
+  };
+  for (auto& t : q->from) {
+    t.table = ToLower(t.table);
+    t.alias = ToLower(t.alias);
+  }
+  for (auto& s : q->select) fix(&s.column);
+  for (auto& p : q->where) {
+    fix(&p.lhs);
+    if (p.IsJoin()) fix(&std::get<ColumnRef>(p.rhs));
+  }
+  for (auto& g : q->group_by) fix(&g);
+  for (auto& h : q->having) fix(&h.expr.column);
+  for (auto& o : q->order_by) fix(&o.expr.column);
+}
+
+// With a single FROM relation, bare column references are unambiguous:
+// qualify them so `SELECT title FROM publication` matches the qualified
+// spelling.
+void QualifyBareColumns(SelectQuery* q) {
+  if (q->from.size() != 1) return;
+  const std::string qualifier = q->from[0].EffectiveName();
+  auto fix = [&qualifier](ColumnRef* c) {
+    if (c->relation.empty() && c->column != "*") c->relation = qualifier;
+  };
+  for (auto& s : q->select) fix(&s.column);
+  for (auto& p : q->where) {
+    fix(&p.lhs);
+    if (p.IsJoin()) fix(&std::get<ColumnRef>(p.rhs));
+  }
+  for (auto& g : q->group_by) fix(&g);
+  for (auto& h : q->having) fix(&h.expr.column);
+  for (auto& o : q->order_by) fix(&o.expr.column);
+}
+
+SelectQuery Normalize(const SelectQuery& in) {
+  SelectQuery q = in;
+  LowercaseIdentifiers(&q);
+  QualifyBareColumns(&q);
+  q = q.ResolveAliases();
+  for (auto& p : q.where) p = OrientPredicate(std::move(p));
+  return q;
+}
+
+std::vector<std::string> SortedPredStrings(const SelectQuery& q) {
+  std::vector<std::string> preds;
+  preds.reserve(q.where.size());
+  for (const auto& p : q.where) preds.push_back(p.ToString());
+  std::sort(preds.begin(), preds.end());
+  return preds;
+}
+
+// Applies an instance renaming (e.g. author#1 -> author#0) to all column
+// qualifiers in the query.
+void RenameInstances(SelectQuery* q,
+                     const std::map<std::string, std::string>& rename) {
+  auto fix = [&rename](ColumnRef* c) {
+    auto it = rename.find(c->relation);
+    if (it != rename.end()) c->relation = it->second;
+  };
+  for (auto& t : q->from) {
+    auto it = rename.find(t.table);
+    if (it != rename.end()) t.table = it->second;
+  }
+  for (auto& s : q->select) fix(&s.column);
+  for (auto& p : q->where) {
+    fix(&p.lhs);
+    if (p.IsJoin()) fix(&std::get<ColumnRef>(p.rhs));
+  }
+  for (auto& g : q->group_by) fix(&g);
+  for (auto& h : q->having) fix(&h.expr.column);
+  for (auto& o : q->order_by) fix(&o.expr.column);
+}
+
+// Fingerprint of everything except WHERE orientation details; used as a fast
+// pre-filter and as the comparison key under a candidate bijection.
+std::string Fingerprint(const SelectQuery& q) {
+  SelectQuery c = q;
+  for (auto& p : c.where) p = OrientPredicate(std::move(p));
+
+  std::string out = "S:";
+  std::vector<std::string> sel;
+  for (const auto& s : c.select) sel.push_back(s.ToString());
+  // SELECT list order matters to users but not to correctness judgments in
+  // the paper's benchmarks; sort for stability.
+  std::sort(sel.begin(), sel.end());
+  out += Join(sel, ",");
+  out += c.select_distinct ? "|D" : "";
+
+  std::vector<std::string> tables;
+  for (const auto& t : c.from) tables.push_back(t.table);
+  std::sort(tables.begin(), tables.end());
+  out += "|F:" + Join(tables, ",");
+
+  out += "|W:" + Join(SortedPredStrings(c), " AND ");
+
+  std::vector<std::string> gb;
+  for (const auto& g : c.group_by) gb.push_back(g.ToString());
+  std::sort(gb.begin(), gb.end());
+  out += "|G:" + Join(gb, ",");
+
+  std::vector<std::string> hv;
+  for (const auto& h : c.having) hv.push_back(h.ToString());
+  std::sort(hv.begin(), hv.end());
+  out += "|H:" + Join(hv, ",");
+
+  std::vector<std::string> ob;
+  for (const auto& o : c.order_by) ob.push_back(o.ToString());
+  out += "|O:" + Join(ob, ",");  // ORDER BY order is significant.
+
+  out += "|L:" + (c.limit ? std::to_string(*c.limit) : std::string("-"));
+  return out;
+}
+
+// Enumerates permutations of instance indices for each self-joined relation
+// in `b`, testing the fingerprint against `a` for each bijection.
+bool MatchWithBijections(const SelectQuery& a, const SelectQuery& b) {
+  // Gather relations with multiple instances (names look like "rel#i").
+  std::map<std::string, std::vector<std::string>> groups;  // rel -> instances
+  for (const auto& t : b.from) {
+    auto pos = t.table.find('#');
+    if (pos != std::string::npos) {
+      groups[t.table.substr(0, pos)].push_back(t.table);
+    }
+  }
+  const std::string target = Fingerprint(a);
+  if (groups.empty()) return Fingerprint(b) == target;
+
+  // Build the list of (relation, permutation domain) and iterate the cross
+  // product of permutations. Benchmarks have at most one self-joined relation
+  // with 2-3 instances, so this is tiny.
+  std::vector<std::vector<std::string>> domains;
+  for (auto& [rel, instances] : groups) {
+    std::sort(instances.begin(), instances.end());
+    domains.push_back(instances);
+  }
+
+  // Recursive permutation search.
+  std::vector<std::vector<std::string>> perms(domains.size());
+  for (size_t i = 0; i < domains.size(); ++i) perms[i] = domains[i];
+
+  // Iterate permutations of each domain via std::next_permutation chained.
+  std::function<bool(size_t, std::map<std::string, std::string>&)> rec =
+      [&](size_t level, std::map<std::string, std::string>& rename) -> bool {
+    if (level == domains.size()) {
+      SelectQuery renamed = b;
+      RenameInstances(&renamed, rename);
+      return Fingerprint(renamed) == target;
+    }
+    std::vector<std::string> perm = domains[level];
+    std::sort(perm.begin(), perm.end());
+    do {
+      for (size_t i = 0; i < perm.size(); ++i) {
+        rename[domains[level][i]] = perm[i];
+      }
+      if (rec(level + 1, rename)) return true;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return false;
+  };
+  std::map<std::string, std::string> rename;
+  return rec(0, rename);
+}
+
+}  // namespace
+
+bool QueriesEquivalent(const SelectQuery& a, const SelectQuery& b) {
+  SelectQuery na = Normalize(a);
+  SelectQuery nb = Normalize(b);
+  // Fast path: identical canonical multisets of relations required.
+  std::multiset<std::string> ra;
+  std::multiset<std::string> rb;
+  for (const auto& t : na.from) {
+    auto pos = t.table.find('#');
+    ra.insert(pos == std::string::npos ? t.table : t.table.substr(0, pos));
+  }
+  for (const auto& t : nb.from) {
+    auto pos = t.table.find('#');
+    rb.insert(pos == std::string::npos ? t.table : t.table.substr(0, pos));
+  }
+  if (ra != rb) return false;
+  return MatchWithBijections(na, nb);
+}
+
+std::string CanonicalForm(const SelectQuery& q) { return Fingerprint(Normalize(q)); }
+
+}  // namespace templar::sql

@@ -1,0 +1,182 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace templar::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "DISTINCT", "FROM", "WHERE",  "AND",   "OR",    "GROUP",
+      "BY",     "HAVING",   "ORDER", "ASC",   "DESC",  "LIMIT", "AS",
+      "JOIN",   "INNER",    "ON",    "LIKE",  "NULL",  "COUNT", "SUM",
+      "AVG",    "MIN",      "MAX",   "NOT",   "IN",
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(unsigned char c) { return std::isalpha(c) || c == '_'; }
+bool IsIdentChar(unsigned char c) {
+  return std::isalnum(c) || c == '_' || c == '#';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    unsigned char c = sql[i];
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == '?') {
+      // Placeholder: ?val or ?op (obscured fragments).
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word = ToLower(sql.substr(i, j - i));
+      if (word == "?val") {
+        tokens.push_back({TokenKind::kString, "?val", start});
+      } else if (word == "?op") {
+        tokens.push_back({TokenKind::kOperator, "?op", start});
+      } else {
+        return Status::ParseError("unknown placeholder '" + word +
+                                  "' at offset " + std::to_string(start));
+      }
+      i = j;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word = sql.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper)) {
+        tokens.push_back({TokenKind::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenKind::kIdentifier, word, start});
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(c) ||
+        (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])) &&
+         (tokens.empty() || tokens.back().kind == TokenKind::kOperator ||
+          tokens.back().kind == TokenKind::kComma ||
+          tokens.back().kind == TokenKind::kLParen ||
+          tokens.back().IsKeyword("LIMIT")))) {
+      size_t j = i + 1;
+      bool seen_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       (sql[j] == '.' && !seen_dot &&
+                        j + 1 < n && std::isdigit(static_cast<unsigned char>(sql[j + 1]))))) {
+        if (sql[j] == '.') seen_dot = true;
+        ++j;
+      }
+      tokens.push_back({TokenKind::kNumber, sql.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = static_cast<char>(c);
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == quote) {
+          if (j + 1 < n && sql[j + 1] == quote) {  // Doubled-quote escape.
+            value += quote;
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value += sql[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenKind::kString, value, start});
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        tokens.push_back({TokenKind::kComma, ",", start});
+        ++i;
+        break;
+      case '.':
+        tokens.push_back({TokenKind::kDot, ".", start});
+        ++i;
+        break;
+      case '(':
+        tokens.push_back({TokenKind::kLParen, "(", start});
+        ++i;
+        break;
+      case ')':
+        tokens.push_back({TokenKind::kRParen, ")", start});
+        ++i;
+        break;
+      case '*':
+        tokens.push_back({TokenKind::kStar, "*", start});
+        ++i;
+        break;
+      case '=':
+        tokens.push_back({TokenKind::kOperator, "=", start});
+        ++i;
+        break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenKind::kOperator, "<=", start});
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          tokens.push_back({TokenKind::kOperator, "<>", start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenKind::kOperator, "<", start});
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenKind::kOperator, ">=", start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenKind::kOperator, ">", start});
+          ++i;
+        }
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenKind::kOperator, "<>", start});
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case ';':
+        ++i;  // Statement terminator: ignored.
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") +
+                                  static_cast<char>(c) + "' at offset " +
+                                  std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace templar::sql

@@ -1,0 +1,52 @@
+#ifndef TEMPLAR_SQL_LEXER_H_
+#define TEMPLAR_SQL_LEXER_H_
+
+/// \file lexer.h
+/// \brief Tokenizer for the SQL subset used throughout the library.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace templar::sql {
+
+/// \brief Lexical token categories.
+enum class TokenKind {
+  kIdentifier,   ///< table, t1, publication_keyword (also `?val` placeholders)
+  kKeyword,      ///< SELECT, FROM, ... (uppercased in `text`)
+  kNumber,       ///< 42, 3.14, -7
+  kString,       ///< 'TKDE' (unquoted in `text`)
+  kOperator,     ///< = <> < <= > >= ?op
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kEnd,
+};
+
+/// \brief One lexical token with its source offset (for error messages).
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t offset = 0;
+
+  bool Is(TokenKind k) const { return kind == k; }
+  /// \brief True iff this is the keyword `kw` (pass uppercase).
+  bool IsKeyword(const std::string& kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+};
+
+/// \brief Splits `sql` into tokens.
+///
+/// Keywords are recognized case-insensitively and normalized to uppercase.
+/// The placeholder tokens `?val` (lexed as a string) and `?op` (lexed as an
+/// operator) are accepted so that obscured query fragments (NoConst /
+/// NoConstOp levels, Sec. IV) can round-trip through the parser.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace templar::sql
+
+#endif  // TEMPLAR_SQL_LEXER_H_

@@ -1,0 +1,312 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace templar::sql {
+
+namespace {
+
+/// Recursive-descent parser over a pre-lexed token stream.
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectQuery> ParseQuery() {
+    SelectQuery q;
+    TEMPLAR_RETURN_NOT_OK(Expect("SELECT"));
+    if (Peek().IsKeyword("DISTINCT")) {
+      Advance();
+      q.select_distinct = true;
+    }
+    TEMPLAR_RETURN_NOT_OK(ParseSelectList(&q));
+    TEMPLAR_RETURN_NOT_OK(Expect("FROM"));
+    TEMPLAR_RETURN_NOT_OK(ParseFrom(&q));
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      TEMPLAR_RETURN_NOT_OK(ParseConjunction(&q.where));
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      TEMPLAR_RETURN_NOT_OK(Expect("BY"));
+      while (true) {
+        TEMPLAR_ASSIGN_OR_RETURN(ColumnRef c, ParseColumnRef());
+        q.group_by.push_back(std::move(c));
+        if (!Peek().Is(TokenKind::kComma)) break;
+        Advance();
+      }
+    }
+    if (Peek().IsKeyword("HAVING")) {
+      Advance();
+      while (true) {
+        TEMPLAR_ASSIGN_OR_RETURN(HavingPredicate h, ParseHavingPredicate());
+        q.having.push_back(std::move(h));
+        if (!Peek().IsKeyword("AND")) break;
+        Advance();
+      }
+    }
+    if (Peek().IsKeyword("ORDER")) {
+      Advance();
+      TEMPLAR_RETURN_NOT_OK(Expect("BY"));
+      while (true) {
+        OrderByItem item;
+        TEMPLAR_ASSIGN_OR_RETURN(item.expr, ParseSelectItem());
+        if (Peek().IsKeyword("DESC")) {
+          Advance();
+          item.descending = true;
+        } else if (Peek().IsKeyword("ASC")) {
+          Advance();
+        }
+        q.order_by.push_back(std::move(item));
+        if (!Peek().Is(TokenKind::kComma)) break;
+        Advance();
+      }
+    }
+    if (Peek().IsKeyword("LIMIT")) {
+      Advance();
+      if (!Peek().Is(TokenKind::kNumber)) {
+        return Err("expected number after LIMIT");
+      }
+      q.limit = std::stoll(Peek().text);
+      Advance();
+    }
+    if (!Peek().Is(TokenKind::kEnd)) {
+      return Err("unexpected trailing token '" + Peek().text + "'");
+    }
+    return q;
+  }
+
+  Result<Predicate> ParseSinglePredicate() {
+    TEMPLAR_ASSIGN_OR_RETURN(Predicate p, ParsePred());
+    if (!Peek().Is(TokenKind::kEnd)) {
+      return Err("unexpected trailing token '" + Peek().text + "'");
+    }
+    return p;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+  Status Expect(const std::string& kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Err("expected " + kw + ", found '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<SelectQuery> Fail(const std::string& msg) { return Err(msg); }
+
+  Status ParseSelectList(SelectQuery* q) {
+    while (true) {
+      TEMPLAR_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      q->select.push_back(std::move(item));
+      if (!Peek().Is(TokenKind::kComma)) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  /// Parses `agg(...)`, `[DISTINCT] col`, or `*`.
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    // Collect nesting of aggregate functions.
+    while (Peek().Is(TokenKind::kKeyword) &&
+           AggFuncFromString(Peek().text).has_value() &&
+           Peek(1).Is(TokenKind::kLParen)) {
+      item.aggs.push_back(*AggFuncFromString(Peek().text));
+      Advance();  // agg name
+      Advance();  // (
+    }
+    if (Peek().IsKeyword("DISTINCT")) {
+      Advance();
+      item.distinct = true;
+    }
+    if (Peek().Is(TokenKind::kStar)) {
+      Advance();
+      item.column = ColumnRef{"", "*"};
+    } else {
+      TEMPLAR_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+    }
+    for (size_t i = 0; i < item.aggs.size(); ++i) {
+      if (!Peek().Is(TokenKind::kRParen)) {
+        return Status::ParseError("expected ')' closing aggregate at offset " +
+                                  std::to_string(Peek().offset));
+      }
+      Advance();
+    }
+    return item;
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    if (!Peek().Is(TokenKind::kIdentifier)) {
+      return Status::ParseError("expected identifier, found '" + Peek().text +
+                                "' at offset " + std::to_string(Peek().offset));
+    }
+    std::string first = Peek().text;
+    Advance();
+    if (Peek().Is(TokenKind::kDot)) {
+      Advance();
+      if (Peek().Is(TokenKind::kStar)) {
+        Advance();
+        return ColumnRef{first, "*"};
+      }
+      if (!Peek().Is(TokenKind::kIdentifier)) {
+        return Status::ParseError("expected column name after '.' at offset " +
+                                  std::to_string(Peek().offset));
+      }
+      std::string col = Peek().text;
+      Advance();
+      return ColumnRef{first, col};
+    }
+    return ColumnRef{"", first};
+  }
+
+  Status ParseFrom(SelectQuery* q) {
+    TEMPLAR_RETURN_NOT_OK(ParseTableRef(q));
+    while (true) {
+      if (Peek().Is(TokenKind::kComma)) {
+        Advance();
+        TEMPLAR_RETURN_NOT_OK(ParseTableRef(q));
+      } else if (Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER")) {
+        if (Peek().IsKeyword("INNER")) Advance();
+        TEMPLAR_RETURN_NOT_OK(ExpectJoin());
+        TEMPLAR_RETURN_NOT_OK(ParseTableRef(q));
+        TEMPLAR_RETURN_NOT_OK(Expect("ON"));
+        // JOIN..ON conditions are folded into the WHERE conjunction.
+        TEMPLAR_RETURN_NOT_OK(ParseConjunction(&q->where));
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ExpectJoin() { return Expect("JOIN"); }
+
+  Status ParseTableRef(SelectQuery* q) {
+    if (!Peek().Is(TokenKind::kIdentifier)) {
+      return Status::ParseError("expected table name, found '" + Peek().text +
+                                "' at offset " + std::to_string(Peek().offset));
+    }
+    TableRef t;
+    t.table = Peek().text;
+    Advance();
+    if (Peek().IsKeyword("AS")) Advance();
+    if (Peek().Is(TokenKind::kIdentifier)) {
+      t.alias = Peek().text;
+      Advance();
+    }
+    q->from.push_back(std::move(t));
+    return Status::OK();
+  }
+
+  Status ParseConjunction(std::vector<Predicate>* out) {
+    while (true) {
+      TEMPLAR_ASSIGN_OR_RETURN(Predicate p, ParsePred());
+      out->push_back(std::move(p));
+      if (!Peek().IsKeyword("AND")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<Predicate> ParsePred() {
+    Predicate p;
+    TEMPLAR_ASSIGN_OR_RETURN(p.lhs, ParseColumnRef());
+    TEMPLAR_ASSIGN_OR_RETURN(p.op, ParseOp());
+    if (Peek().Is(TokenKind::kNumber)) {
+      std::string num = Peek().text;
+      Advance();
+      if (num.find('.') != std::string::npos) {
+        p.rhs = Literal::Double(std::stod(num));
+      } else {
+        p.rhs = Literal::Int(std::stoll(num));
+      }
+    } else if (Peek().Is(TokenKind::kString)) {
+      if (Peek().text == "?val") {
+        p.rhs = Literal::Placeholder();
+      } else {
+        p.rhs = Literal::String(Peek().text);
+      }
+      Advance();
+    } else if (Peek().IsKeyword("NULL")) {
+      Advance();
+      p.rhs = Literal::Null();
+    } else if (Peek().Is(TokenKind::kIdentifier)) {
+      TEMPLAR_ASSIGN_OR_RETURN(ColumnRef rhs, ParseColumnRef());
+      p.rhs = rhs;
+    } else {
+      return Status::ParseError("expected predicate right-hand side at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return p;
+  }
+
+  Result<BinaryOp> ParseOp() {
+    if (Peek().Is(TokenKind::kOperator)) {
+      auto op = BinaryOpFromString(Peek().text);
+      if (!op) {
+        return Status::ParseError("unknown operator '" + Peek().text + "'");
+      }
+      Advance();
+      return *op;
+    }
+    if (Peek().IsKeyword("LIKE")) {
+      Advance();
+      return BinaryOp::kLike;
+    }
+    return Status::ParseError("expected comparison operator, found '" +
+                              Peek().text + "' at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  Result<HavingPredicate> ParseHavingPredicate() {
+    HavingPredicate h;
+    TEMPLAR_ASSIGN_OR_RETURN(h.expr, ParseSelectItem());
+    TEMPLAR_ASSIGN_OR_RETURN(h.op, ParseOp());
+    if (Peek().Is(TokenKind::kNumber)) {
+      std::string num = Peek().text;
+      Advance();
+      h.rhs = num.find('.') != std::string::npos
+                  ? Literal::Double(std::stod(num))
+                  : Literal::Int(std::stoll(num));
+    } else if (Peek().Is(TokenKind::kString)) {
+      h.rhs = Peek().text == "?val" ? Literal::Placeholder()
+                                    : Literal::String(Peek().text);
+      Advance();
+    } else {
+      return Status::ParseError("expected literal in HAVING at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return h;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectQuery> Parse(const std::string& text) {
+  TEMPLAR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  ParserImpl parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<Predicate> ParsePredicate(const std::string& text) {
+  TEMPLAR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  ParserImpl parser(std::move(tokens));
+  return parser.ParseSinglePredicate();
+}
+
+}  // namespace templar::sql

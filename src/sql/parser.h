@@ -1,0 +1,38 @@
+#ifndef TEMPLAR_SQL_PARSER_H_
+#define TEMPLAR_SQL_PARSER_H_
+
+/// \file parser.h
+/// \brief Recursive-descent parser for the single-block SELECT subset.
+///
+/// Grammar (conjunctive; OR and subqueries are out of scope per the paper's
+/// benchmark pruning):
+///
+///   query    := SELECT [DISTINCT] items FROM tables [WHERE conj]
+///               [GROUP BY cols] [HAVING hconj] [ORDER BY okeys] [LIMIT n]
+///   items    := item (',' item)*
+///   item     := agg | [DISTINCT] colref | '*'
+///   agg      := AGGNAME '(' (agg | [DISTINCT] colref | '*') ')'
+///   tables   := tref (',' tref)* (JOIN tref ON pred)*
+///   conj     := pred (AND pred)*
+///   pred     := colref OP (literal | colref)
+///
+/// `JOIN ... ON` is normalized into the FROM list plus WHERE join conditions,
+/// so downstream code only ever sees one representation.
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace templar::sql {
+
+/// \brief Parses `text` into a SelectQuery; ParseError status on failure.
+Result<SelectQuery> Parse(const std::string& text);
+
+/// \brief Parses a standalone predicate such as "p.year > 2000" or an
+/// obscured one such as "p.year ?op ?val". Used by fragment round-tripping.
+Result<Predicate> ParsePredicate(const std::string& text);
+
+}  // namespace templar::sql
+
+#endif  // TEMPLAR_SQL_PARSER_H_

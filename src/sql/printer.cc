@@ -1,0 +1,54 @@
+#include "sql/ast.h"
+
+namespace templar::sql {
+
+// Canonical printing conventions: single spaces, uppercase keywords,
+// FROM items comma-separated with aliases as written, WHERE conjuncts joined
+// with AND in declaration order. Round-trips through Parse().
+std::string SelectQuery::ToString() const {
+  std::string out = "SELECT ";
+  if (select_distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select[i].ToString();
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].ToString();
+  }
+  if (!where.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += where[i].ToString();
+    }
+  }
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i].ToString();
+    }
+  }
+  if (!having.empty()) {
+    out += " HAVING ";
+    for (size_t i = 0; i < having.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += having[i].ToString();
+    }
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].ToString();
+    }
+  }
+  if (limit.has_value()) {
+    out += " LIMIT " + std::to_string(*limit);
+  }
+  return out;
+}
+
+}  // namespace templar::sql

@@ -1,0 +1,86 @@
+#include "text/fulltext_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/tokenizer.h"
+
+namespace templar::text {
+
+FulltextIndex FulltextIndex::Build(const db::Database& db) {
+  FulltextIndex index;
+  std::set<std::string> seen;  // Dedup (rel, attr, value) triples.
+  for (const auto& rel : db.catalog().relations()) {
+    const db::Table* table = db.FindTable(rel.name);
+    for (size_t col = 0; col < rel.attributes.size(); ++col) {
+      const auto& attr = rel.attributes[col];
+      if (!attr.fulltext_indexed || attr.type != db::DataType::kText) continue;
+      for (const auto& row : table->rows()) {
+        const db::Value& cell = row[col];
+        if (cell.is_null()) continue;
+        const std::string& value = cell.as_text();
+        std::string key = rel.name + "\x1f" + attr.name + "\x1f" + value;
+        if (!seen.insert(std::move(key)).second) continue;
+
+        Entry entry;
+        entry.relation = rel.name;
+        entry.attribute = attr.name;
+        entry.value = value;
+        entry.stems = TokenizeAndStem(value);
+        std::sort(entry.stems.begin(), entry.stems.end());
+        entry.stems.erase(
+            std::unique(entry.stems.begin(), entry.stems.end()),
+            entry.stems.end());
+        size_t id = index.entries_.size();
+        for (const auto& stem : entry.stems) {
+          index.postings_[stem].push_back(id);
+        }
+        index.entries_.push_back(std::move(entry));
+      }
+    }
+  }
+  return index;
+}
+
+std::vector<FulltextMatch> FulltextIndex::Search(
+    const std::vector<std::string>& stemmed_tokens,
+    const std::string& restrict_relation,
+    const std::string& restrict_attribute) const {
+  if (stemmed_tokens.empty()) return {};
+
+  // Gather candidate entry ids for each token via prefix range scan, then
+  // intersect (boolean AND).
+  std::vector<size_t> candidates;
+  bool first = true;
+  for (const auto& token : stemmed_tokens) {
+    std::set<size_t> ids;
+    auto lo = postings_.lower_bound(token);
+    for (auto it = lo; it != postings_.end(); ++it) {
+      if (it->first.compare(0, token.size(), token) != 0) break;
+      ids.insert(it->second.begin(), it->second.end());
+    }
+    if (first) {
+      candidates.assign(ids.begin(), ids.end());
+      first = false;
+    } else {
+      std::vector<size_t> merged;
+      std::set_intersection(candidates.begin(), candidates.end(), ids.begin(),
+                            ids.end(), std::back_inserter(merged));
+      candidates = std::move(merged);
+    }
+    if (candidates.empty()) return {};
+  }
+
+  std::vector<FulltextMatch> out;
+  for (size_t id : candidates) {
+    const Entry& e = entries_[id];
+    if (!restrict_relation.empty() && e.relation != restrict_relation) continue;
+    if (!restrict_attribute.empty() && e.attribute != restrict_attribute) {
+      continue;
+    }
+    out.push_back({e.relation, e.attribute, e.value});
+  }
+  return out;
+}
+
+}  // namespace templar::text

@@ -1,0 +1,69 @@
+#ifndef TEMPLAR_TEXT_FULLTEXT_INDEX_H_
+#define TEMPLAR_TEXT_FULLTEXT_INDEX_H_
+
+/// \file fulltext_index.h
+/// \brief Boolean-mode full-text search over the text attributes of a
+/// database.
+///
+/// Substitutes for the MySQL `MATCH(attr) AGAINST('+tok1* +tok2*' IN BOOLEAN
+/// MODE)` query the paper issues in KEYWORDCANDS (Sec. V-A): each stemmed
+/// keyword token must match, as a prefix, some stemmed token of the cell
+/// value. The index is an inverted map from stemmed tokens to postings per
+/// (relation, attribute).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/database.h"
+
+namespace templar::text {
+
+/// \brief A matching cell: which attribute matched and the matched value.
+struct FulltextMatch {
+  std::string relation;
+  std::string attribute;
+  std::string value;  ///< The cell's full text.
+
+  bool operator==(const FulltextMatch&) const = default;
+};
+
+/// \brief Inverted index over every `fulltext_indexed` text attribute.
+class FulltextIndex {
+ public:
+  /// \brief Builds the index by scanning `db`. The database must outlive
+  /// calls to Search only in the sense that results copy their strings.
+  static FulltextIndex Build(const db::Database& db);
+
+  /// \brief Boolean AND-of-prefixes search, mirroring `+tok*` semantics.
+  ///
+  /// `stemmed_tokens` are the Porter-stemmed tokens of the keyword. A cell
+  /// matches when every query token is a prefix of at least one stemmed cell
+  /// token. Results are deduplicated per (relation, attribute, value) and
+  /// returned in deterministic (index) order. If `restrict_attr` is
+  /// non-empty, only that relation.attribute is searched.
+  std::vector<FulltextMatch> Search(
+      const std::vector<std::string>& stemmed_tokens,
+      const std::string& restrict_relation = "",
+      const std::string& restrict_attribute = "") const;
+
+  /// \brief Number of distinct indexed (relation, attribute, value) entries.
+  size_t entry_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string relation;
+    std::string attribute;
+    std::string value;
+    std::vector<std::string> stems;  ///< Sorted stemmed tokens of the value.
+  };
+  // token -> entry ids (postings). Keys are full stems; prefix queries walk
+  // the map range [prefix, prefix+0xff).
+  std::map<std::string, std::vector<size_t>> postings_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace templar::text
+
+#endif  // TEMPLAR_TEXT_FULLTEXT_INDEX_H_

@@ -1,0 +1,228 @@
+#include "text/porter_stemmer.h"
+
+#include <cctype>
+
+namespace templar::text {
+
+namespace {
+
+/// Working buffer with the measure/vowel helpers the Porter algorithm needs.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word) : w_(word) {}
+
+  std::string Run() {
+    if (w_.size() <= 2) return w_;
+    Step1a();
+    Step1b();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5a();
+    Step5b();
+    return w_;
+  }
+
+ private:
+  // True if w_[i] is a consonant in Porter's sense ('y' after a consonant is
+  // a vowel).
+  bool IsConsonant(size_t i) const {
+    char c = w_[i];
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') return false;
+    if (c == 'y') return i == 0 ? true : !IsConsonant(i - 1);
+    return true;
+  }
+
+  // Porter's measure m of the prefix w_[0..len): the number of VC sequences.
+  int Measure(size_t len) const {
+    int m = 0;
+    size_t i = 0;
+    // Skip the initial consonant run.
+    while (i < len && IsConsonant(i)) ++i;
+    while (i < len) {
+      // Vowel run.
+      while (i < len && !IsConsonant(i)) ++i;
+      if (i >= len) break;
+      // Consonant run: closes one VC.
+      ++m;
+      while (i < len && IsConsonant(i)) ++i;
+    }
+    return m;
+  }
+
+  bool HasVowel(size_t len) const {
+    for (size_t i = 0; i < len; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool EndsWith(std::string_view suffix) const {
+    return w_.size() >= suffix.size() &&
+           std::string_view(w_).substr(w_.size() - suffix.size()) == suffix;
+  }
+
+  // Stem length if `suffix` were removed.
+  size_t StemLen(std::string_view suffix) const {
+    return w_.size() - suffix.size();
+  }
+
+  // True if the stem before `suffix` ends in a double consonant.
+  bool DoubleConsonant(size_t len) const {
+    if (len < 2) return false;
+    return w_[len - 1] == w_[len - 2] && IsConsonant(len - 1);
+  }
+
+  // Consonant-vowel-consonant ending where the final consonant is not
+  // w, x or y. Used by the *o condition.
+  bool CvcEnding(size_t len) const {
+    if (len < 3) return false;
+    if (!IsConsonant(len - 3) || IsConsonant(len - 2) || !IsConsonant(len - 1)) {
+      return false;
+    }
+    char c = w_[len - 1];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  void Replace(std::string_view suffix, std::string_view replacement) {
+    w_.erase(w_.size() - suffix.size());
+    w_.append(replacement);
+  }
+
+  // Replaces `suffix` with `repl` when the remaining stem has measure > m.
+  bool ReplaceIfMeasure(std::string_view suffix, std::string_view repl,
+                        int m) {
+    if (!EndsWith(suffix)) return false;
+    if (Measure(StemLen(suffix)) > m) Replace(suffix, repl);
+    return true;  // Suffix matched (even if condition failed): stop scanning.
+  }
+
+  void Step1a() {
+    if (EndsWith("sses")) {
+      Replace("sses", "ss");
+    } else if (EndsWith("ies")) {
+      Replace("ies", "i");
+    } else if (EndsWith("ss")) {
+      // Unchanged.
+    } else if (EndsWith("s")) {
+      Replace("s", "");
+    }
+  }
+
+  void Step1b() {
+    if (EndsWith("eed")) {
+      if (Measure(StemLen("eed")) > 0) Replace("eed", "ee");
+      return;
+    }
+    bool stripped = false;
+    if (EndsWith("ed") && HasVowel(StemLen("ed"))) {
+      Replace("ed", "");
+      stripped = true;
+    } else if (EndsWith("ing") && HasVowel(StemLen("ing"))) {
+      Replace("ing", "");
+      stripped = true;
+    }
+    if (!stripped) return;
+    if (EndsWith("at")) {
+      Replace("at", "ate");
+    } else if (EndsWith("bl")) {
+      Replace("bl", "ble");
+    } else if (EndsWith("iz")) {
+      Replace("iz", "ize");
+    } else if (DoubleConsonant(w_.size())) {
+      char last = w_.back();
+      if (last != 'l' && last != 's' && last != 'z') w_.pop_back();
+    } else if (Measure(w_.size()) == 1 && CvcEnding(w_.size())) {
+      w_.push_back('e');
+    }
+  }
+
+  void Step1c() {
+    if (EndsWith("y") && HasVowel(StemLen("y"))) {
+      w_.back() = 'i';
+    }
+  }
+
+  void Step2() {
+    static const std::pair<std::string_view, std::string_view> kRules[] = {
+        {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+        {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+        {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+        {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+        {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+        {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+        {"iviti", "ive"},   {"biliti", "ble"},
+    };
+    for (const auto& [suffix, repl] : kRules) {
+      if (EndsWith(suffix)) {
+        ReplaceIfMeasure(suffix, repl, 0);
+        return;
+      }
+    }
+  }
+
+  void Step3() {
+    static const std::pair<std::string_view, std::string_view> kRules[] = {
+        {"icate", "ic"}, {"ative", ""},  {"alize", "al"}, {"iciti", "ic"},
+        {"ical", "ic"},  {"ful", ""},    {"ness", ""},
+    };
+    for (const auto& [suffix, repl] : kRules) {
+      if (EndsWith(suffix)) {
+        ReplaceIfMeasure(suffix, repl, 0);
+        return;
+      }
+    }
+  }
+
+  void Step4() {
+    static const std::string_view kSuffixes[] = {
+        "al",   "ance", "ence", "er",  "ic",  "able", "ible", "ant",
+        "ement", "ment", "ent",  "ou",  "ism", "ate",  "iti",  "ous",
+        "ive",  "ize",
+    };
+    for (std::string_view suffix : kSuffixes) {
+      if (EndsWith(suffix)) {
+        if (Measure(StemLen(suffix)) > 1) Replace(suffix, "");
+        return;
+      }
+    }
+    // "(m>1 and (*S or *T)) ION ->" special case.
+    if (EndsWith("ion")) {
+      size_t len = StemLen("ion");
+      if (Measure(len) > 1 && len > 0 && (w_[len - 1] == 's' || w_[len - 1] == 't')) {
+        Replace("ion", "");
+      }
+    }
+  }
+
+  void Step5a() {
+    if (!EndsWith("e")) return;
+    size_t len = StemLen("e");
+    int m = Measure(len);
+    if (m > 1 || (m == 1 && !CvcEnding(len))) {
+      Replace("e", "");
+    }
+  }
+
+  void Step5b() {
+    if (Measure(w_.size()) > 1 && DoubleConsonant(w_.size()) &&
+        w_.back() == 'l') {
+      w_.pop_back();
+    }
+  }
+
+  std::string w_;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  // Pass non-alphabetic tokens through unchanged (numbers, placeholders).
+  for (char c : word) {
+    if (!std::islower(static_cast<unsigned char>(c))) return std::string(word);
+  }
+  return Stemmer(word).Run();
+}
+
+}  // namespace templar::text

@@ -1,0 +1,23 @@
+#ifndef TEMPLAR_TEXT_PORTER_STEMMER_H_
+#define TEMPLAR_TEXT_PORTER_STEMMER_H_
+
+/// \file porter_stemmer.h
+/// \brief The Porter stemming algorithm (Porter, 1980).
+///
+/// Sec. V-A of the paper runs "a full-text search with every Porter-stemmed
+/// whitespace-separated token" of a keyword. This is a from-scratch
+/// implementation of the classic 5-step suffix-stripping algorithm; e.g.
+/// "restaurant" -> "restaur", "businesses" -> "busi".
+
+#include <string>
+#include <string_view>
+
+namespace templar::text {
+
+/// \brief Returns the Porter stem of `word` (expects lowercase ASCII; other
+/// characters pass through untouched and disable stemming for that word).
+std::string PorterStem(std::string_view word);
+
+}  // namespace templar::text
+
+#endif  // TEMPLAR_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,53 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "text/porter_stemmer.h"
+
+namespace templar::text {
+
+std::vector<std::string> Tokenize(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (unsigned char c : s) {
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::vector<std::string> TokenizeAndStem(std::string_view s) {
+  std::vector<std::string> tokens = Tokenize(s);
+  for (auto& t : tokens) t = PorterStem(t);
+  return tokens;
+}
+
+bool IsStopword(std::string_view token) {
+  static const std::unordered_set<std::string_view> kStopwords = {
+      "a",    "an",  "and", "are", "as",   "at",   "be",   "by",   "for",
+      "from", "has", "have", "in", "is",   "it",   "of",   "on",   "or",
+      "that", "the", "to",  "was", "were", "with", "who",  "what", "which",
+      "all",  "any", "each", "every", "me", "show", "find", "list", "give",
+      "return", "than", "how", "many", "much", "most", "both",
+  };
+  return kStopwords.count(token) > 0;
+}
+
+std::vector<std::string> ContentStems(std::string_view s) {
+  std::vector<std::string> out;
+  for (const auto& t : Tokenize(s)) {
+    if (IsStopword(t)) continue;
+    out.push_back(PorterStem(t));
+  }
+  return out;
+}
+
+}  // namespace templar::text

@@ -1,0 +1,30 @@
+#ifndef TEMPLAR_TEXT_TOKENIZER_H_
+#define TEMPLAR_TEXT_TOKENIZER_H_
+
+/// \file tokenizer.h
+/// \brief Word tokenization for NLQ keywords and database text values.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace templar::text {
+
+/// \brief Lowercases and splits `s` into alphanumeric word tokens; every
+/// other character is a separator. "Saving Private Ryan!" -> {saving,
+/// private, ryan}.
+std::vector<std::string> Tokenize(std::string_view s);
+
+/// \brief Tokenize + Porter-stem each token.
+std::vector<std::string> TokenizeAndStem(std::string_view s);
+
+/// \brief True iff `token` is an English stopword (small curated list
+/// matching what NLIDB keyword pre-processing drops).
+bool IsStopword(std::string_view token);
+
+/// \brief Tokenize, drop stopwords, then stem.
+std::vector<std::string> ContentStems(std::string_view s);
+
+}  // namespace templar::text
+
+#endif  // TEMPLAR_TEXT_TOKENIZER_H_

@@ -1,0 +1,228 @@
+// Unit tests for common/: Status, Result, string utilities, Rng.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace templar {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("relation 'x'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "relation 'x'");
+  EXPECT_EQ(s.ToString(), "NotFound: relation 'x'");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("m").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("m").IsAlreadyExists());
+  EXPECT_TRUE(Status::ParseError("m").IsParseError());
+  EXPECT_TRUE(Status::TypeError("m").IsTypeError());
+  EXPECT_TRUE(Status::OutOfRange("m").IsOutOfRange());
+  EXPECT_TRUE(Status::NotImplemented("m").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("m").IsInternal());
+  EXPECT_TRUE(Status::IOError("m").IsIOError());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_TRUE(b.IsInternal());
+  EXPECT_EQ(b.message(), "boom");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  TEMPLAR_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = Half(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.ValueOr(-1), 5);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = Half(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(8 + 1).ok());
+  EXPECT_FALSE(Quarter(6).ok());  // Second Half fails (3 is odd).
+}
+
+TEST(StringUtilTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("AbC123"), "abc123");
+  EXPECT_EQ(ToUpper("AbC123"), "ABC123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a  b\tc\n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, SplitIdentifierWords) {
+  EXPECT_EQ(SplitIdentifierWords("domain_keyword"),
+            (std::vector<std::string>{"domain", "keyword"}));
+  EXPECT_EQ(SplitIdentifierWords("citationNum"),
+            (std::vector<std::string>{"citation", "num"}));
+  EXPECT_EQ(SplitIdentifierWords("publication.title"),
+            (std::vector<std::string>{"publication", "title"}));
+}
+
+TEST(StringUtilTest, JoinStartsEndsWith) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_TRUE(StartsWith("publication", "pub"));
+  EXPECT_FALSE(StartsWith("pub", "publication"));
+  EXPECT_TRUE(EndsWith("publication", "tion"));
+  EXPECT_FALSE(EndsWith("tion", "publication"));
+}
+
+TEST(StringUtilTest, NumberPredicates) {
+  EXPECT_TRUE(ContainsDigit("after 2000"));
+  EXPECT_FALSE(ContainsDigit("after"));
+  EXPECT_TRUE(IsNumber("2000"));
+  EXPECT_TRUE(IsNumber("-3.5"));
+  EXPECT_TRUE(IsNumber("+7"));
+  EXPECT_FALSE(IsNumber("20a"));
+  EXPECT_FALSE(IsNumber("."));
+  EXPECT_FALSE(IsNumber(""));
+  EXPECT_FALSE(IsNumber("-"));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a.b.c", ".", "::"), "a::b::c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("x", "", "y"), "x");
+}
+
+struct EditDistanceCase {
+  const char* a;
+  const char* b;
+  size_t expected;
+};
+
+class EditDistanceTest : public ::testing::TestWithParam<EditDistanceCase> {};
+
+TEST_P(EditDistanceTest, MatchesExpected) {
+  const auto& c = GetParam();
+  EXPECT_EQ(EditDistance(c.a, c.b), c.expected);
+  // Symmetry property.
+  EXPECT_EQ(EditDistance(c.b, c.a), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EditDistanceTest,
+    ::testing::Values(EditDistanceCase{"", "", 0},
+                      EditDistanceCase{"abc", "", 3},
+                      EditDistanceCase{"abc", "abc", 0},
+                      EditDistanceCase{"kitten", "sitting", 3},
+                      EditDistanceCase{"paper", "papers", 1},
+                      EditDistanceCase{"journal", "journey", 2}));
+
+TEST(Fnv1aTest, StableAndSensitive) {
+  EXPECT_EQ(Fnv1aHash("publication"), Fnv1aHash("publication"));
+  EXPECT_NE(Fnv1aHash("publication"), Fnv1aHash("publications"));
+  EXPECT_NE(Fnv1aHash("x", 1), Fnv1aHash("x", 2));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(10), 10u);
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, WeightedPickFavorsHeavyWeights) {
+  Rng rng(11);
+  std::vector<double> weights{1.0, 0.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 2000; ++i) counts[rng.NextWeighted(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 3);
+}
+
+TEST(RngTest, GaussianRoughlyCentered) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) sum += rng.NextGaussian();
+  EXPECT_NEAR(sum / 5000.0, 0.0, 0.1);
+}
+
+}  // namespace
+}  // namespace templar

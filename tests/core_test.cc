@@ -1,0 +1,378 @@
+// Unit tests for core/: keyword mapper (Algorithms 1-3), configuration
+// scoring, join path generator, Templar facade.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/join_path_generator.h"
+#include "core/keyword_mapper.h"
+#include "core/templar.h"
+#include "sql/parser.h"
+#include "test_fixtures.h"
+#include "text/fulltext_index.h"
+
+namespace templar::core {
+namespace {
+
+class KeywordMapperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniAcademicDb();
+    fts_ = std::make_unique<text::FulltextIndex>(
+        text::FulltextIndex::Build(*db_));
+    model_ = testing::MakeMiniLexicon();
+    qfg_ = std::make_unique<qfg::QueryFragmentGraph>(
+        qfg::ObscurityLevel::kNoConstOp);
+    for (const auto& sql_text : testing::MakeMiniLog()) {
+      ASSERT_TRUE(qfg_->AddQuerySql(sql_text).ok());
+    }
+    mapper_ = std::make_unique<KeywordMapper>(db_.get(), fts_.get(),
+                                              model_.get(), qfg_.get());
+  }
+
+  nlq::AnnotatedKeyword SelectKeyword(const std::string& text) {
+    nlq::AnnotatedKeyword kw;
+    kw.text = text;
+    kw.metadata.context = qfg::FragmentContext::kSelect;
+    return kw;
+  }
+  nlq::AnnotatedKeyword WhereKeyword(const std::string& text,
+                                     sql::BinaryOp op = sql::BinaryOp::kEq) {
+    nlq::AnnotatedKeyword kw;
+    kw.text = text;
+    kw.metadata.context = qfg::FragmentContext::kWhere;
+    kw.metadata.op = op;
+    return kw;
+  }
+
+  std::unique_ptr<db::Database> db_;
+  std::unique_ptr<text::FulltextIndex> fts_;
+  std::unique_ptr<embed::EmbeddingModel> model_;
+  std::unique_ptr<qfg::QueryFragmentGraph> qfg_;
+  std::unique_ptr<KeywordMapper> mapper_;
+};
+
+TEST_F(KeywordMapperTest, SelectContextYieldsAttributes) {
+  auto cands = mapper_->KeywordCands(SelectKeyword("papers"));
+  EXPECT_FALSE(cands.empty());
+  bool has_title = false;
+  for (const auto& c : cands) {
+    EXPECT_EQ(c.kind, CandidateMapping::Kind::kAttribute);
+    // Key attributes are excluded for non-count projections.
+    EXPECT_NE(c.attribute, "pid");
+    EXPECT_NE(c.attribute, "jid");
+    if (c.relation == "publication" && c.attribute == "title") {
+      has_title = true;
+    }
+  }
+  EXPECT_TRUE(has_title);
+}
+
+TEST_F(KeywordMapperTest, CountAggregationAllowsKeyAttributes) {
+  nlq::AnnotatedKeyword kw = SelectKeyword("papers");
+  kw.metadata.aggs = {sql::AggFunc::kCount};
+  auto cands = mapper_->KeywordCands(kw);
+  bool has_pid = false;
+  for (const auto& c : cands) {
+    if (c.relation == "publication" && c.attribute == "pid") has_pid = true;
+    EXPECT_EQ(c.aggs, kw.metadata.aggs);
+  }
+  EXPECT_TRUE(has_pid);
+}
+
+TEST_F(KeywordMapperTest, FromContextYieldsRelations) {
+  nlq::AnnotatedKeyword kw;
+  kw.text = "papers";
+  kw.metadata.context = qfg::FragmentContext::kFrom;
+  auto cands = mapper_->KeywordCands(kw);
+  EXPECT_EQ(cands.size(), db_->catalog().relations().size());
+  for (const auto& c : cands) {
+    EXPECT_EQ(c.kind, CandidateMapping::Kind::kRelation);
+  }
+}
+
+TEST_F(KeywordMapperTest, NumericKeywordYieldsPredicates) {
+  auto cands =
+      mapper_->KeywordCands(WhereKeyword("after 2000", sql::BinaryOp::kGt));
+  ASSERT_FALSE(cands.empty());
+  bool has_year = false;
+  for (const auto& c : cands) {
+    EXPECT_EQ(c.kind, CandidateMapping::Kind::kPredicate);
+    EXPECT_EQ(c.op, sql::BinaryOp::kGt);
+    if (c.relation == "publication" && c.attribute == "year") has_year = true;
+  }
+  EXPECT_TRUE(has_year);
+}
+
+TEST_F(KeywordMapperTest, TextKeywordYieldsFulltextPredicates) {
+  auto cands = mapper_->KeywordCands(WhereKeyword("TKDE"));
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].relation, "journal");
+  EXPECT_EQ(cands[0].value.string_value, "TKDE");
+}
+
+TEST_F(KeywordMapperTest, AmbiguousValueYieldsMultipleCandidates) {
+  auto cands = mapper_->KeywordCands(WhereKeyword("Databases"));
+  std::set<std::string> rels;
+  for (const auto& c : cands) rels.insert(c.relation);
+  EXPECT_TRUE(rels.count("domain"));
+  EXPECT_TRUE(rels.count("keyword"));
+  EXPECT_TRUE(rels.count("publication"));  // Title containing the token.
+}
+
+TEST_F(KeywordMapperTest, ScoreAndPruneExactMatchesCrowdOut) {
+  auto kw = WhereKeyword("Databases");
+  auto pruned = mapper_->ScoreAndPrune(kw, mapper_->KeywordCands(kw));
+  // domain.name and keyword.keyword are exact (sigma ~ 1); the partial
+  // title match must be pruned away.
+  ASSERT_EQ(pruned.size(), 2u);
+  for (const auto& c : pruned) {
+    EXPECT_GE(c.similarity, 0.98);
+    EXPECT_NE(c.relation, "publication");
+  }
+}
+
+TEST_F(KeywordMapperTest, ScoreAndPruneKeepsTopKappa) {
+  auto kw = SelectKeyword("papers");
+  auto cands = mapper_->KeywordCands(kw);
+  auto pruned = mapper_->ScoreAndPrune(kw, cands);
+  EXPECT_LE(pruned.size(), cands.size());
+  EXPECT_LE(pruned.size(),
+            mapper_->options().kappa + 3);  // Allow tie extension.
+  // Sorted by descending similarity.
+  for (size_t i = 1; i < pruned.size(); ++i) {
+    EXPECT_LE(pruned[i].similarity, pruned[i - 1].similarity);
+  }
+}
+
+TEST_F(KeywordMapperTest, EmptyNumericPredicateGetsEpsilon) {
+  auto kw = WhereKeyword("after 2050", sql::BinaryOp::kGt);
+  auto cands = mapper_->KeywordCands(kw);
+  // No rows satisfy year > 2050, so either no candidate exists or all score
+  // at epsilon.
+  auto pruned = mapper_->ScoreAndPrune(kw, cands);
+  for (const auto& c : pruned) {
+    if (c.relation == "publication" && c.attribute == "year") {
+      EXPECT_LE(c.similarity, mapper_->options().epsilon + 1e-9);
+    }
+  }
+}
+
+TEST_F(KeywordMapperTest, MapKeywordsRanksTrapCorrectlyWithLog) {
+  // The Example 1 flow: "papers" + "Databases" with the journal trap in the
+  // lexicon. The log-driven score must put publication.title on top.
+  nlq::ParsedNlq parsed;
+  parsed.original = "Return the papers in the Databases domain";
+  parsed.keywords = {SelectKeyword("papers"), WhereKeyword("Databases")};
+  auto configs = mapper_->MapKeywords(parsed);
+  ASSERT_TRUE(configs.ok());
+  ASSERT_FALSE(configs->empty());
+  const Configuration& top = (*configs)[0];
+  EXPECT_EQ(top.mappings[0].candidate.relation, "publication");
+  EXPECT_EQ(top.mappings[0].candidate.attribute, "title");
+}
+
+TEST_F(KeywordMapperTest, WithoutLogTrapWins) {
+  KeywordMapperOptions options;
+  options.use_qfg = false;
+  KeywordMapper baseline(db_.get(), fts_.get(), model_.get(), nullptr,
+                         options);
+  nlq::ParsedNlq parsed;
+  parsed.original = "papers databases";
+  nlq::AnnotatedKeyword papers = SelectKeyword("papers");
+  parsed.keywords = {papers, WhereKeyword("Databases")};
+  auto configs = baseline.MapKeywords(parsed);
+  ASSERT_TRUE(configs.ok());
+  EXPECT_EQ((*configs)[0].mappings[0].candidate.relation, "journal");
+}
+
+TEST_F(KeywordMapperTest, MapKeywordsFailsOnUnmappableKeyword) {
+  nlq::ParsedNlq parsed;
+  parsed.original = "zzz";
+  parsed.keywords = {WhereKeyword("unmatchable zebra phrase")};
+  EXPECT_TRUE(mapper_->MapKeywords(parsed).status().IsNotFound());
+  nlq::ParsedNlq empty;
+  EXPECT_TRUE(mapper_->MapKeywords(empty).status().IsInvalidArgument());
+}
+
+TEST_F(KeywordMapperTest, SigmaScoreIsGeometricMean) {
+  Configuration config;
+  FragmentMapping m1;
+  m1.candidate.similarity = 0.5;
+  FragmentMapping m2;
+  m2.candidate.similarity = 0.125;
+  config.mappings = {m1, m2};
+  EXPECT_NEAR(KeywordMapper::SigmaScore(config), 0.25, 1e-9);
+}
+
+TEST_F(KeywordMapperTest, QfgScoreUsesDicePairs) {
+  Configuration config;
+  FragmentMapping select;
+  select.candidate.fragment = qfg::SelectFragment("publication", "title");
+  FragmentMapping pred;
+  pred.candidate.kind = CandidateMapping::Kind::kPredicate;
+  sql::Predicate p;
+  p.lhs = {"publication", "year"};
+  p.op = sql::BinaryOp::kGt;
+  p.rhs = sql::Literal::Int(2001);
+  pred.candidate.fragment = qfg::WhereFragment(p, qfg::ObscurityLevel::kFull);
+  config.mappings = {select, pred};
+  double score = KeywordMapper::QfgScore(config, *qfg_);
+  EXPECT_GT(score, 0.0);
+  EXPECT_LE(score, 1.0);
+}
+
+TEST_F(KeywordMapperTest, QfgScoreSkipsFromFragments) {
+  Configuration config;
+  FragmentMapping rel;
+  rel.candidate.kind = CandidateMapping::Kind::kRelation;
+  rel.candidate.fragment = qfg::RelationFragment("journal");
+  config.mappings = {rel};
+  // Only a FROM fragment: no pair and no non-FROM occurrence -> 0.
+  EXPECT_DOUBLE_EQ(KeywordMapper::QfgScore(config, *qfg_), 0.0);
+}
+
+TEST_F(KeywordMapperTest, QfgScoreDuplicateFragmentsFallBack) {
+  // Two predicates identical at NoConstOp: no pair signal; occurrence
+  // frequency fallback keeps the score non-zero.
+  Configuration config;
+  for (const char* name : {"'John'", "'Jane'"}) {
+    FragmentMapping m;
+    m.candidate.kind = CandidateMapping::Kind::kPredicate;
+    auto pred = sql::ParsePredicate(std::string("journal.name = ") + name);
+    ASSERT_TRUE(pred.ok());
+    m.candidate.fragment =
+        qfg::WhereFragment(*pred, qfg::ObscurityLevel::kFull);
+    config.mappings.push_back(m);
+  }
+  double score = KeywordMapper::QfgScore(config, *qfg_);
+  EXPECT_GT(score, 0.0);
+}
+
+TEST(RelationBagTest, ProjectionsCollapsePredicatesSplit) {
+  Configuration config;
+  auto attr = [](const char* rel, const char* a) {
+    FragmentMapping m;
+    m.candidate.kind = CandidateMapping::Kind::kAttribute;
+    m.candidate.relation = rel;
+    m.candidate.attribute = a;
+    return m;
+  };
+  auto pred = [](const char* rel, const char* a, const char* v) {
+    FragmentMapping m;
+    m.candidate.kind = CandidateMapping::Kind::kPredicate;
+    m.candidate.relation = rel;
+    m.candidate.attribute = a;
+    m.candidate.value = sql::Literal::String(v);
+    return m;
+  };
+  // Projection + two predicates on the same attribute -> self-join bag.
+  config.mappings = {attr("publication", "title"),
+                     pred("author", "name", "John"),
+                     pred("author", "name", "Jane")};
+  EXPECT_EQ(config.RelationBag(),
+            (std::vector<std::string>{"author", "author#1", "publication"}));
+
+  // Predicates on different attributes share one instance.
+  config.mappings = {attr("publication", "title"),
+                     pred("publication", "year", "2000"),
+                     pred("publication", "title", "X")};
+  EXPECT_EQ(config.RelationBag(),
+            (std::vector<std::string>{"publication"}));
+}
+
+class JoinPathGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniAcademicDb();
+    schema_ = graph::SchemaGraph::FromCatalog(db_->catalog());
+    qfg_ = std::make_unique<qfg::QueryFragmentGraph>(
+        qfg::ObscurityLevel::kNoConstOp);
+    for (const auto& sql_text : testing::MakeMiniLog()) {
+      ASSERT_TRUE(qfg_->AddQuerySql(sql_text).ok());
+    }
+  }
+
+  std::unique_ptr<db::Database> db_;
+  graph::SchemaGraph schema_;
+  std::unique_ptr<qfg::QueryFragmentGraph> qfg_;
+};
+
+TEST_F(JoinPathGeneratorTest, DefaultWeightsPickShortDecoy) {
+  JoinPathGeneratorOptions options;
+  options.use_log_weights = false;
+  JoinPathGenerator gen(&schema_, qfg_.get(), options);
+  auto paths = gen.InferJoins({"publication", "domain"});
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ((*paths)[0].edges.size(), 3u);  // Via conference or journal.
+}
+
+TEST_F(JoinPathGeneratorTest, LogWeightsPickKeywordRoute) {
+  // The mini log contains publication-keyword-domain joins (Example 6's
+  // desired route) and no conference joins.
+  JoinPathGenerator gen(&schema_, qfg_.get());
+  auto paths = gen.InferJoins({"publication", "domain"});
+  ASSERT_TRUE(paths.ok());
+  std::set<std::string> rels((*paths)[0].relations.begin(),
+                             (*paths)[0].relations.end());
+  EXPECT_TRUE(rels.count("keyword")) << (*paths)[0].ToString();
+  EXPECT_TRUE(rels.count("publication_keyword"));
+  EXPECT_EQ((*paths)[0].edges.size(), 4u);
+}
+
+TEST_F(JoinPathGeneratorTest, SelfJoinBagForksAutomatically) {
+  JoinPathGenerator gen(&schema_, qfg_.get());
+  auto paths = gen.InferJoins({"author", "author#1", "publication"});
+  ASSERT_TRUE(paths.ok());
+  std::set<std::string> rels((*paths)[0].relations.begin(),
+                             (*paths)[0].relations.end());
+  EXPECT_TRUE(rels.count("author#1"));
+  EXPECT_TRUE(rels.count("writes#1") || rels.count("writes"));
+}
+
+TEST_F(JoinPathGeneratorTest, ErrorsOnBadBag) {
+  JoinPathGenerator gen(&schema_, qfg_.get());
+  EXPECT_TRUE(gen.InferJoins({}).status().IsInvalidArgument());
+  EXPECT_TRUE(gen.InferJoins({"nope"}).status().IsNotFound());
+}
+
+TEST(TemplarFacadeTest, BuildAndQuery) {
+  auto db = testing::MakeMiniAcademicDb();
+  auto model = testing::MakeMiniLexicon();
+  auto log = testing::MakeMiniLog();
+  log.push_back("THIS IS NOT SQL");
+  auto templar = Templar::Build(db.get(), model.get(), log);
+  ASSERT_TRUE(templar.ok());
+  EXPECT_EQ((*templar)->skipped_log_entries(), 1u);
+  EXPECT_GT((*templar)->query_fragment_graph().query_count(), 30u);
+
+  nlq::ParsedNlq parsed;
+  parsed.original = "Return the papers in the Databases domain";
+  nlq::AnnotatedKeyword papers;
+  papers.text = "papers";
+  papers.metadata.context = qfg::FragmentContext::kSelect;
+  nlq::AnnotatedKeyword value;
+  value.text = "Databases";
+  value.metadata.context = qfg::FragmentContext::kWhere;
+  value.metadata.op = sql::BinaryOp::kEq;
+  parsed.keywords = {papers, value};
+
+  auto configs = (*templar)->MapKeywords(parsed);
+  ASSERT_TRUE(configs.ok());
+  auto paths = (*templar)->InferJoins((*configs)[0].RelationBag());
+  ASSERT_TRUE(paths.ok());
+  EXPECT_FALSE(paths->empty());
+}
+
+TEST(TemplarFacadeTest, NullArgsRejected) {
+  auto db = testing::MakeMiniAcademicDb();
+  auto model = testing::MakeMiniLexicon();
+  EXPECT_TRUE(
+      Templar::Build(nullptr, model.get(), {}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Templar::Build(db.get(), nullptr, {}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace templar::core

@@ -1,0 +1,205 @@
+// Tests for datasets/: schema statistics (Table II), benchmark generation
+// invariants, and a parameterized sweep validating every generated gold
+// query across all three datasets.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/dataset.h"
+#include "datasets/name_pools.h"
+#include "common/string_util.h"
+#include "datasets/workload.h"
+#include "qfg/fragment.h"
+#include "sql/equivalence.h"
+#include "sql/parser.h"
+
+namespace templar::datasets {
+namespace {
+
+// Datasets are expensive to build; share one instance per suite.
+const Dataset& GetDataset(const std::string& name) {
+  static std::map<std::string, Dataset>* cache = [] {
+    auto* m = new std::map<std::string, Dataset>();
+    for (const char* n : {"mas", "yelp", "imdb"}) {
+      auto ds = BuildByName(n);
+      if (ds.ok()) m->emplace(n, std::move(*ds));
+    }
+    return m;
+  }();
+  auto it = cache->find(name);
+  EXPECT_NE(it, cache->end()) << "dataset " << name << " failed to build";
+  return it->second;
+}
+
+struct TableTwoCase {
+  const char* name;
+  int relations;
+  int attributes;
+  int fks;
+  int queries;
+};
+
+class TableTwoTest : public ::testing::TestWithParam<TableTwoCase> {};
+
+TEST_P(TableTwoTest, SchemaMatchesPaperStatistics) {
+  const auto& c = GetParam();
+  const Dataset& ds = GetDataset(c.name);
+  EXPECT_EQ(static_cast<int>(ds.database->catalog().relations().size()),
+            c.relations);
+  EXPECT_EQ(static_cast<int>(ds.database->catalog().attribute_count()),
+            c.attributes);
+  EXPECT_EQ(static_cast<int>(ds.database->catalog().foreign_keys().size()),
+            c.fks);
+  EXPECT_EQ(static_cast<int>(ds.benchmark.size()), c.queries);
+  EXPECT_EQ(ds.paper.relations, c.relations);
+  EXPECT_EQ(ds.paper.attributes, c.attributes);
+  EXPECT_EQ(ds.paper.fk_pk, c.fks);
+  EXPECT_EQ(ds.paper.queries, c.queries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTableTwo, TableTwoTest,
+    ::testing::Values(TableTwoCase{"mas", 17, 53, 19, 194},
+                      TableTwoCase{"yelp", 7, 38, 7, 127},
+                      TableTwoCase{"imdb", 16, 65, 20, 128}));
+
+class DatasetInvariantsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetInvariantsTest, BenchmarkQueriesAreDistinct) {
+  const Dataset& ds = GetDataset(GetParam());
+  std::set<std::string> sqls;
+  for (const auto& q : ds.benchmark) {
+    EXPECT_TRUE(sqls.insert(q.gold_sql.ToString()).second)
+        << "duplicate gold SQL: " << q.gold_sql.ToString();
+  }
+}
+
+TEST_P(DatasetInvariantsTest, GoldSqlRoundTripsThroughParser) {
+  const Dataset& ds = GetDataset(GetParam());
+  for (const auto& q : ds.benchmark) {
+    auto reparsed = sql::Parse(q.gold_sql.ToString());
+    ASSERT_TRUE(reparsed.ok())
+        << q.gold_sql.ToString() << " :: " << reparsed.status().ToString();
+    EXPECT_TRUE(sql::QueriesEquivalent(*reparsed, q.gold_sql));
+  }
+}
+
+TEST_P(DatasetInvariantsTest, GoldParseHasKeywordsAndFragments) {
+  const Dataset& ds = GetDataset(GetParam());
+  for (const auto& q : ds.benchmark) {
+    EXPECT_FALSE(q.nlq.empty());
+    EXPECT_FALSE(q.gold_parse.keywords.empty()) << q.nlq;
+    EXPECT_EQ(q.gold_parse.keywords.size(), q.gold_fragments.size()) << q.nlq;
+    for (const auto& kw : q.gold_parse.keywords) {
+      EXPECT_TRUE(q.gold_fragments.count(kw.text))
+          << q.nlq << " missing fragment for " << kw.text;
+    }
+  }
+}
+
+TEST_P(DatasetInvariantsTest, ValueKeywordsAreDigitFree) {
+  // A digit inside a text-value keyword would reroute it into the numeric
+  // mapping path; generators must keep entity names digit-free.
+  const Dataset& ds = GetDataset(GetParam());
+  for (const auto& q : ds.benchmark) {
+    for (const auto& kw : q.gold_parse.keywords) {
+      if (kw.metadata.context != qfg::FragmentContext::kWhere) continue;
+      auto frag = q.gold_fragments.at(kw.text);
+      if (frag.find('\'') == std::string::npos) continue;  // Numeric slot.
+      EXPECT_FALSE(ContainsDigit(kw.text))
+          << "value keyword with digit: '" << kw.text << "' in " << q.nlq;
+    }
+  }
+}
+
+TEST_P(DatasetInvariantsTest, ExtraLogParses) {
+  const Dataset& ds = GetDataset(GetParam());
+  EXPECT_GT(ds.extra_log.size(), 100u);
+  for (const auto& entry : ds.extra_log) {
+    EXPECT_TRUE(sql::Parse(entry).ok()) << entry;
+  }
+}
+
+TEST_P(DatasetInvariantsTest, GoldFragmentsExtractableFromGoldSql) {
+  // Every gold fragment must be present in the fragments of the gold SQL —
+  // the consistency that makes the KW metric meaningful.
+  const Dataset& ds = GetDataset(GetParam());
+  for (const auto& q : ds.benchmark) {
+    auto frags = qfg::ExtractFragments(q.gold_sql, qfg::ObscurityLevel::kFull);
+    std::set<std::string> keys;
+    for (const auto& f : frags) keys.insert(f.Key());
+    for (const auto& [kw, frag_key] : q.gold_fragments) {
+      EXPECT_TRUE(keys.count(frag_key))
+          << "fragment " << frag_key << " for keyword '" << kw
+          << "' not in gold SQL " << q.gold_sql.ToString();
+    }
+  }
+}
+
+TEST_P(DatasetInvariantsTest, DeterministicForSeed) {
+  const char* name = GetParam();
+  auto a = BuildByName(name);
+  auto b = BuildByName(name);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->benchmark.size(), b->benchmark.size());
+  for (size_t i = 0; i < a->benchmark.size(); ++i) {
+    EXPECT_EQ(a->benchmark[i].nlq, b->benchmark[i].nlq);
+    EXPECT_EQ(a->benchmark[i].gold_sql.ToString(),
+              b->benchmark[i].gold_sql.ToString());
+  }
+  EXPECT_EQ(a->extra_log, b->extra_log);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetInvariantsTest,
+                         ::testing::Values("mas", "yelp", "imdb"));
+
+TEST(RegistryTest, UnknownNameRejected) {
+  EXPECT_TRUE(BuildByName("oracle").status().IsNotFound());
+}
+
+TEST(RegistryTest, CaseInsensitiveLookup) {
+  EXPECT_TRUE(BuildByName("MAS").ok());
+}
+
+TEST(NamePoolsTest, GeneratorsAreDigitFree) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(ContainsDigit(NamePools::PersonName(&rng)));
+    EXPECT_FALSE(ContainsDigit(NamePools::PaperTitle(&rng)));
+    EXPECT_FALSE(ContainsDigit(NamePools::MovieTitle(&rng)));
+    EXPECT_FALSE(ContainsDigit(NamePools::BusinessName(&rng)));
+  }
+}
+
+TEST(WorkloadGeneratorTest, SelfJoinShapeEmitsTwoValueKeywords) {
+  const Dataset& ds = GetDataset("mas");
+  bool found = false;
+  for (const auto& q : ds.benchmark) {
+    if (q.shape_id != "mas_papers_by_two_authors") continue;
+    found = true;
+    int where_keywords = 0;
+    for (const auto& kw : q.gold_parse.keywords) {
+      if (kw.metadata.context == qfg::FragmentContext::kWhere) {
+        ++where_keywords;
+      }
+    }
+    EXPECT_EQ(where_keywords, 2) << q.nlq;
+    // The gold SQL must contain a genuine self-join (author twice).
+    int author_count = 0;
+    for (const auto& t : q.gold_sql.from) {
+      if (t.table == "author") ++author_count;
+    }
+    EXPECT_EQ(author_count, 2) << q.gold_sql.ToString();
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WorkloadGeneratorTest, RejectsEmptyShapeList) {
+  const Dataset& ds = GetDataset("mas");
+  WorkloadGenerator gen(ds.database.get(), 1);
+  EXPECT_TRUE(gen.GenerateBenchmark({}, 5).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace templar::datasets

@@ -1,0 +1,251 @@
+// Unit tests for db/: values, catalog, tables, executor.
+
+#include <gtest/gtest.h>
+
+#include "db/catalog.h"
+#include "db/database.h"
+#include "db/executor.h"
+#include "db/table.h"
+#include "db/value.h"
+#include "test_fixtures.h"
+
+namespace templar::db {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Double(1.5).is_double());
+  EXPECT_TRUE(Value::Text("x").is_text());
+  EXPECT_TRUE(Value::Int(3).is_numeric());
+  EXPECT_TRUE(Value::Double(3).is_numeric());
+  EXPECT_FALSE(Value::Text("3").is_numeric());
+  EXPECT_EQ(Value::Int(3).as_int(), 3);
+  EXPECT_DOUBLE_EQ(Value::Int(3).as_double(), 3.0);
+  EXPECT_EQ(Value::Text("abc").as_text(), "abc");
+}
+
+TEST(ValueTest, NullNeverEqualsAnything) {
+  EXPECT_FALSE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+  EXPECT_FALSE(Value::Int(0).Equals(Value::Null()));
+}
+
+TEST(ValueTest, CrossNumericComparison) {
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Double(3.0)));
+  EXPECT_TRUE(Value::Int(2).Comparable(Value::Double(2.5)));
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.5).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, TextComparison) {
+  EXPECT_TRUE(Value::Text("a").Comparable(Value::Text("b")));
+  EXPECT_LT(Value::Text("a").Compare(Value::Text("b")), 0);
+  EXPECT_FALSE(Value::Text("1").Comparable(Value::Int(1)));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Text("hi").ToString(), "hi");
+}
+
+TEST(CatalogTest, AddAndFindRelation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddRelation({"t", {{"id", DataType::kInt, true, false}}})
+                  .ok());
+  EXPECT_NE(catalog.FindRelation("t"), nullptr);
+  EXPECT_EQ(catalog.FindRelation("missing"), nullptr);
+  EXPECT_TRUE(catalog.HasAttribute("t", "id"));
+  EXPECT_FALSE(catalog.HasAttribute("t", "nope"));
+}
+
+TEST(CatalogTest, DuplicateRelationRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation({"t", {}}).ok());
+  EXPECT_TRUE(catalog.AddRelation({"t", {}}).IsAlreadyExists());
+}
+
+TEST(CatalogTest, ForeignKeyValidation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddRelation({"a", {{"x", DataType::kInt, false, false}}})
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .AddRelation({"b", {{"y", DataType::kInt, true, false}}})
+                  .ok());
+  EXPECT_TRUE(catalog.AddForeignKey({"a", "x", "b", "y"}).ok());
+  EXPECT_TRUE(catalog.AddForeignKey({"missing", "x", "b", "y"})
+                  .IsNotFound());
+  EXPECT_TRUE(catalog.AddForeignKey({"a", "missing", "b", "y"}).IsNotFound());
+  EXPECT_TRUE(catalog.AddForeignKey({"a", "x", "b", "missing"}).IsNotFound());
+}
+
+TEST(CatalogTest, AttributeEnumeration) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddRelation({"a",
+                                {{"x", DataType::kInt, false, false},
+                                 {"y", DataType::kText, false, false}}})
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .AddRelation({"b", {{"z", DataType::kInt, false, false}}})
+                  .ok());
+  EXPECT_EQ(catalog.attribute_count(), 3u);
+  EXPECT_EQ(catalog.AllAttributes().size(), 3u);
+}
+
+TEST(TableTest, ArityChecked) {
+  Table table({"t",
+               {{"id", DataType::kInt, true, false},
+                {"name", DataType::kText, false, false}}});
+  EXPECT_TRUE(table.Insert({Value::Int(1)}).IsInvalidArgument());
+  EXPECT_TRUE(table.Insert({Value::Int(1), Value::Text("x")}).ok());
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TableTest, TypeChecked) {
+  Table table({"t", {{"id", DataType::kInt, true, false}}});
+  EXPECT_TRUE(table.Insert({Value::Text("oops")}).IsTypeError());
+  // NULL is allowed in any column.
+  EXPECT_TRUE(table.Insert({Value::Null()}).ok());
+  // Ints are accepted into DOUBLE columns but not vice versa.
+  Table dbl({"d", {{"v", DataType::kDouble, false, false}}});
+  EXPECT_TRUE(dbl.Insert({Value::Int(3)}).ok());
+  Table intcol({"i", {{"v", DataType::kInt, false, false}}});
+  EXPECT_TRUE(intcol.Insert({Value::Double(3.5)}).IsTypeError());
+}
+
+TEST(DatabaseTest, InsertAndLookup) {
+  auto db = testing::MakeMiniAcademicDb();
+  EXPECT_NE(db->FindTable("publication"), nullptr);
+  EXPECT_EQ(db->FindTable("nope"), nullptr);
+  EXPECT_GT(db->total_rows(), 10u);
+  EXPECT_GT(db->ApproximateSizeBytes(), 100u);
+  EXPECT_TRUE(db->Insert("nope", {}).IsNotFound());
+}
+
+struct CellCase {
+  double cell;
+  sql::BinaryOp op;
+  int64_t rhs;
+  bool expected;
+};
+
+class CellSatisfiesTest : public ::testing::TestWithParam<CellCase> {};
+
+TEST_P(CellSatisfiesTest, NumericComparisons) {
+  const auto& c = GetParam();
+  EXPECT_EQ(CellSatisfies(Value::Double(c.cell), c.op, sql::Literal::Int(c.rhs)),
+            c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CellSatisfiesTest,
+    ::testing::Values(CellCase{5, sql::BinaryOp::kEq, 5, true},
+                      CellCase{5, sql::BinaryOp::kEq, 6, false},
+                      CellCase{5, sql::BinaryOp::kNeq, 6, true},
+                      CellCase{5, sql::BinaryOp::kLt, 6, true},
+                      CellCase{5, sql::BinaryOp::kLt, 5, false},
+                      CellCase{5, sql::BinaryOp::kLte, 5, true},
+                      CellCase{5, sql::BinaryOp::kGt, 4, true},
+                      CellCase{5, sql::BinaryOp::kGt, 5, false},
+                      CellCase{5, sql::BinaryOp::kGte, 5, true},
+                      CellCase{5, sql::BinaryOp::kGte, 6, false}));
+
+TEST(CellSatisfiesTest, NullCellNeverMatches) {
+  EXPECT_FALSE(CellSatisfies(Value::Null(), sql::BinaryOp::kEq,
+                             sql::Literal::Int(0)));
+  EXPECT_FALSE(CellSatisfies(Value::Null(), sql::BinaryOp::kNeq,
+                             sql::Literal::Int(0)));
+}
+
+TEST(CellSatisfiesTest, PlaceholderNeverMatches) {
+  EXPECT_FALSE(CellSatisfies(Value::Int(1), sql::BinaryOp::kEq,
+                             sql::Literal::Placeholder()));
+}
+
+TEST(CellSatisfiesTest, LikeWildcards) {
+  auto like = [](const char* text, const char* pattern) {
+    return CellSatisfies(Value::Text(text), sql::BinaryOp::kLike,
+                         sql::Literal::String(pattern));
+  };
+  EXPECT_TRUE(like("Scalable Indexing", "%Index%"));
+  EXPECT_TRUE(like("Scalable Indexing", "Scalable%"));
+  EXPECT_FALSE(like("Scalable Indexing", "Index%"));
+  EXPECT_TRUE(like("abc", "a_c"));
+  EXPECT_FALSE(like("abc", "a_d"));
+  EXPECT_TRUE(like("", "%"));
+}
+
+TEST(ExecutorTest, CountMatching) {
+  auto db = testing::MakeMiniAcademicDb();
+  Executor ex(db.get());
+  auto count = ex.CountMatching("publication", "year", sql::BinaryOp::kGt,
+                                sql::Literal::Int(2000));
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+  EXPECT_TRUE(ex.CountMatching("nope", "year", sql::BinaryOp::kGt,
+                               sql::Literal::Int(0))
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(ex.CountMatching("publication", "nope", sql::BinaryOp::kGt,
+                               sql::Literal::Int(0))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(ExecutorTest, PredicateNonEmpty) {
+  auto db = testing::MakeMiniAcademicDb();
+  Executor ex(db.get());
+  sql::Predicate p;
+  p.lhs = {"publication", "year"};
+  p.op = sql::BinaryOp::kGt;
+  p.rhs = sql::Literal::Int(1990);
+  EXPECT_TRUE(*ex.PredicateNonEmpty(p));
+  p.rhs = sql::Literal::Int(2050);
+  EXPECT_FALSE(*ex.PredicateNonEmpty(p));
+  // Join conditions are rejected.
+  p.rhs = sql::ColumnRef{"journal", "jid"};
+  EXPECT_TRUE(ex.PredicateNonEmpty(p).status().IsInvalidArgument());
+}
+
+TEST(ExecutorTest, FindNumericAttrsSkipsKeys) {
+  auto db = testing::MakeMiniAcademicDb();
+  Executor ex(db.get());
+  auto attrs = ex.FindNumericAttrs(1990, sql::BinaryOp::kGt);
+  // year and citation_num qualify; pid/cid/jid/aid/oid/kid/did are keys.
+  bool has_year = false;
+  for (const auto& [rel, attr] : attrs) {
+    EXPECT_NE(attr, "pid");
+    EXPECT_NE(attr, "jid");
+    EXPECT_NE(attr, "aid");
+    if (rel == "publication" && attr == "year") has_year = true;
+  }
+  EXPECT_TRUE(has_year);
+}
+
+TEST(ExecutorTest, FindNumericAttrsRespectsPredicate) {
+  auto db = testing::MakeMiniAcademicDb();
+  Executor ex(db.get());
+  // No publication has year > 2050.
+  for (const auto& [rel, attr] : ex.FindNumericAttrs(2050, sql::BinaryOp::kGt)) {
+    EXPECT_FALSE(rel == "publication" && attr == "year");
+  }
+}
+
+TEST(ExecutorTest, DistinctValues) {
+  auto db = testing::MakeMiniAcademicDb();
+  Executor ex(db.get());
+  auto values = ex.DistinctValues("domain", "name");
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values->size(), 2u);
+  auto limited = ex.DistinctValues("domain", "name", 1);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->size(), 1u);
+  EXPECT_TRUE(ex.DistinctValues("nope", "x").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace templar::db

@@ -1,0 +1,153 @@
+// Unit tests for embed/: embedding model, lexicon model, cosine.
+
+#include <gtest/gtest.h>
+
+#include "embed/embedding_model.h"
+#include "embed/lexicon_model.h"
+
+namespace templar::embed {
+namespace {
+
+TEST(CosineTest, BasicProperties) {
+  Vector a{1, 0, 0};
+  Vector b{0, 1, 0};
+  Vector c{2, 0, 0};
+  EXPECT_DOUBLE_EQ(Cosine(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(Cosine(a, c), 1.0);
+  EXPECT_DOUBLE_EQ(Cosine(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(Cosine({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Cosine(a, {1, 0}), 0.0);  // Dim mismatch -> 0.
+  EXPECT_DOUBLE_EQ(Cosine({0, 0}, {1, 1}), 0.0);  // Zero norm -> 0.
+}
+
+TEST(EmbeddingModelTest, IdenticalWordsScoreOne) {
+  EmbeddingModel model;
+  EXPECT_DOUBLE_EQ(model.WordSimilarity("paper", "paper"), 1.0);
+  EXPECT_DOUBLE_EQ(model.WordSimilarity("Paper", "paper"), 1.0);
+}
+
+TEST(EmbeddingModelTest, StemEqualityNearOne) {
+  EmbeddingModel model;
+  EXPECT_DOUBLE_EQ(model.WordSimilarity("papers", "paper"), 0.98);
+  EXPECT_DOUBLE_EQ(model.WordSimilarity("reviews", "review"), 0.98);
+}
+
+TEST(EmbeddingModelTest, CuratedSynonymsReturned) {
+  EmbeddingModel model;
+  model.AddSynonym("paper", "journal", 0.64);
+  EXPECT_DOUBLE_EQ(model.WordSimilarity("paper", "journal"), 0.64);
+  EXPECT_DOUBLE_EQ(model.WordSimilarity("journal", "paper"), 0.64);
+}
+
+TEST(EmbeddingModelTest, StemmedLookupCoversInflections) {
+  EmbeddingModel model;
+  model.AddSynonym("paper", "journal", 0.64);
+  // "papers" inherits the entry through the stemmed pair index.
+  EXPECT_DOUBLE_EQ(model.WordSimilarity("papers", "journal"), 0.64);
+  EXPECT_DOUBLE_EQ(model.WordSimilarity("papers", "journals"), 0.64);
+}
+
+TEST(EmbeddingModelTest, FallbackBoundedBelowCurated) {
+  EmbeddingModel model;
+  // Unrelated word pairs must stay in the squashed fallback band so they
+  // never outrank curated entries.
+  const char* words[] = {"zebra", "quartz", "melon", "harbor", "title"};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      if (std::string(a) == b) continue;
+      double sim = model.WordSimilarity(a, b);
+      EXPECT_GE(sim, 0.0);
+      EXPECT_LT(sim, 0.5) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(EmbeddingModelTest, FallbackDeterministic) {
+  EmbeddingModel a;
+  EmbeddingModel b;
+  EXPECT_DOUBLE_EQ(a.WordSimilarity("harbor", "title"),
+                   b.WordSimilarity("harbor", "title"));
+}
+
+TEST(EmbeddingModelTest, DifferentSeedsChangeFallback) {
+  EmbeddingModel a(64, 1);
+  EmbeddingModel b(64, 2);
+  EXPECT_NE(a.WordSimilarity("harbor", "title"),
+            b.WordSimilarity("harbor", "title"));
+}
+
+TEST(EmbeddingModelTest, MorphologicalOverlapRanksHigher) {
+  EmbeddingModel model;
+  // Char-n-gram vectors reward shared substrings.
+  EXPECT_GT(model.WordSimilarity("citation", "citations"),
+            model.WordSimilarity("citation", "zebra"));
+}
+
+TEST(EmbeddingModelTest, PhraseSimilarityBestMatchAlignment) {
+  EmbeddingModel model;
+  model.AddSynonym("paper", "publication", 0.6);
+  double sim = model.PhraseSimilarity("papers", "publication title");
+  EXPECT_GT(sim, 0.25);
+  EXPECT_LT(sim, 0.7);
+  // Exact phrase equality.
+  EXPECT_DOUBLE_EQ(model.PhraseSimilarity("databases", "Databases"), 1.0);
+}
+
+TEST(EmbeddingModelTest, PhraseSimilarityDropsStopwords) {
+  EmbeddingModel model;
+  EXPECT_DOUBLE_EQ(model.PhraseSimilarity("the databases", "databases"), 1.0);
+}
+
+TEST(EmbeddingModelTest, ExtraWordsDiluteSimilarity) {
+  EmbeddingModel model;
+  model.AddSynonym("paper", "journal", 0.64);
+  double name = model.PhraseSimilarity("papers", "journal name");
+  double full_name = model.PhraseSimilarity("papers", "journal full name");
+  EXPECT_GT(name, full_name);
+}
+
+TEST(EmbeddingModelTest, WordVectorDims) {
+  EmbeddingModel model(32);
+  EXPECT_EQ(model.WordVector("anything").size(), 32u);
+}
+
+TEST(LexiconModelTest, SynsetThresholding) {
+  EmbeddingModel base;
+  base.AddSynonym("paper", "publication", 0.85);  // In synset.
+  base.AddSynonym("paper", "journal", 0.64);      // Below threshold.
+  LexiconModel lexicon(&base);
+  EXPECT_DOUBLE_EQ(lexicon.WordSimilarity("paper", "publication"), 0.85);
+  // Sub-threshold entries are invisible: falls to the weak lexical overlap.
+  EXPECT_LT(lexicon.WordSimilarity("paper", "journal"), 0.4);
+}
+
+TEST(LexiconModelTest, ExactAndStemMatchesSurvive) {
+  EmbeddingModel base;
+  LexiconModel lexicon(&base);
+  EXPECT_DOUBLE_EQ(lexicon.WordSimilarity("name", "name"), 1.0);
+  EXPECT_DOUBLE_EQ(lexicon.WordSimilarity("papers", "paper"), 0.98);
+}
+
+TEST(LexiconModelTest, PrefixOverlapFallbackIsWeak) {
+  EmbeddingModel base;
+  LexiconModel lexicon(&base);
+  // >= 50% shared prefix earns a weak score; less earns nothing.
+  // ("organization"/"organizer" would stem-match; pick stem-distinct words.)
+  double sim = lexicon.WordSimilarity("database", "dataset");
+  EXPECT_GT(sim, 0.0);
+  EXPECT_LT(sim, 0.31);
+  EXPECT_DOUBLE_EQ(lexicon.WordSimilarity("citation", "citing"), 0.0);
+  EXPECT_DOUBLE_EQ(lexicon.WordSimilarity("zebra", "title"), 0.0);
+}
+
+TEST(LexiconModelTest, PhraseSimilarityUsesThresholdedWords) {
+  EmbeddingModel base;
+  base.AddSynonym("paper", "publication", 0.85);
+  LexiconModel lexicon(&base);
+  double via_synset = lexicon.PhraseSimilarity("papers", "publication title");
+  double no_synset = lexicon.PhraseSimilarity("papers", "journal name");
+  EXPECT_GT(via_synset, no_synset);
+}
+
+}  // namespace
+}  // namespace templar::embed

@@ -1,0 +1,166 @@
+// Unit tests for eval/: fold construction, translation judging, and a small
+// cross-validated evaluation smoke run.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/evaluator.h"
+#include "sql/parser.h"
+#include "test_fixtures.h"
+
+namespace templar::eval {
+namespace {
+
+TEST(MakeFoldsTest, PartitionProperties) {
+  for (size_t n : {1u, 7u, 100u, 194u}) {
+    auto folds = MakeFolds(n, 4, 17);
+    EXPECT_EQ(folds.size(), 4u);
+    std::set<size_t> seen;
+    size_t total = 0;
+    for (const auto& fold : folds) {
+      total += fold.size();
+      for (size_t idx : fold) {
+        EXPECT_LT(idx, n);
+        EXPECT_TRUE(seen.insert(idx).second) << "index in two folds";
+      }
+    }
+    EXPECT_EQ(total, n);
+    // Balanced to within one element.
+    for (const auto& fold : folds) {
+      EXPECT_LE(folds[0].size() - fold.size(), 1u);
+    }
+  }
+}
+
+TEST(MakeFoldsTest, DeterministicInSeed) {
+  EXPECT_EQ(MakeFolds(50, 4, 9), MakeFolds(50, 4, 9));
+  EXPECT_NE(MakeFolds(50, 4, 9), MakeFolds(50, 4, 10));
+}
+
+datasets::BenchmarkQuery GoldFixture() {
+  datasets::BenchmarkQuery gold;
+  gold.nlq = "Return the papers after 2000";
+  gold.gold_sql = *sql::Parse(
+      "SELECT publication.title FROM publication WHERE publication.year > "
+      "2000");
+  nlq::AnnotatedKeyword papers;
+  papers.text = "papers";
+  gold.gold_parse.keywords.push_back(papers);
+  gold.gold_fragments["papers"] =
+      qfg::SelectFragment("publication", "title").Key();
+  return gold;
+}
+
+nlidb::Translation TranslationFixture(bool correct_mapping) {
+  nlidb::Translation t;
+  t.query = *sql::Parse(
+      "SELECT publication.title FROM publication WHERE publication.year > "
+      "2000");
+  core::FragmentMapping m;
+  m.keyword.text = "papers";
+  m.candidate.kind = core::CandidateMapping::Kind::kAttribute;
+  m.candidate.relation = correct_mapping ? "publication" : "journal";
+  m.candidate.attribute = correct_mapping ? "title" : "name";
+  m.candidate.fragment = qfg::SelectFragment(m.candidate.relation,
+                                             m.candidate.attribute);
+  t.configuration.mappings.push_back(m);
+  return t;
+}
+
+TEST(JudgeTranslationTest, CorrectTranslationScoresBoth) {
+  auto outcome = JudgeTranslation(GoldFixture(), TranslationFixture(true));
+  EXPECT_TRUE(outcome.kw_correct);
+  EXPECT_TRUE(outcome.fq_correct);
+}
+
+TEST(JudgeTranslationTest, WrongMappingFailsKw) {
+  auto outcome = JudgeTranslation(GoldFixture(), TranslationFixture(false));
+  EXPECT_FALSE(outcome.kw_correct);
+  // FQ can still pass if the final SQL happens to be right.
+  EXPECT_TRUE(outcome.fq_correct);
+}
+
+TEST(JudgeTranslationTest, TieCountsAsIncorrectFq) {
+  nlidb::Translation t = TranslationFixture(true);
+  t.tie_for_first = true;
+  auto outcome = JudgeTranslation(GoldFixture(), Result<nlidb::Translation>(t));
+  EXPECT_FALSE(outcome.fq_correct);
+  EXPECT_TRUE(outcome.tie);
+}
+
+TEST(JudgeTranslationTest, WrongSqlFailsFq) {
+  nlidb::Translation t = TranslationFixture(true);
+  t.query = *sql::Parse("SELECT journal.name FROM journal");
+  auto outcome = JudgeTranslation(GoldFixture(), Result<nlidb::Translation>(t));
+  EXPECT_FALSE(outcome.fq_correct);
+}
+
+TEST(JudgeTranslationTest, FailedTranslationFailsBoth) {
+  auto outcome = JudgeTranslation(
+      GoldFixture(), Result<nlidb::Translation>(Status::NotFound("x")));
+  EXPECT_FALSE(outcome.kw_correct);
+  EXPECT_FALSE(outcome.fq_correct);
+  EXPECT_TRUE(outcome.predicted_sql.empty());
+}
+
+TEST(SystemKindTest, Names) {
+  EXPECT_STREQ(SystemKindToString(SystemKind::kNalir), "NaLIR");
+  EXPECT_STREQ(SystemKindToString(SystemKind::kNalirPlus), "NaLIR+");
+  EXPECT_STREQ(SystemKindToString(SystemKind::kPipeline), "Pipeline");
+  EXPECT_STREQ(SystemKindToString(SystemKind::kPipelinePlus), "Pipeline+");
+}
+
+TEST(EvaluateSystemTest, SmokeRunOnMiniDataset) {
+  // A tiny synthetic dataset around the mini academic DB: 8 queries.
+  datasets::Dataset ds;
+  ds.name = "mini";
+  ds.database = testing::MakeMiniAcademicDb();
+  ds.lexicon = testing::MakeMiniLexicon();
+  ds.wordnet = testing::MakeMiniLexicon();
+  ds.extra_log = testing::MakeMiniLog();
+  for (int year : {1991, 1992, 1995, 1997, 2001, 2002}) {
+    datasets::BenchmarkQuery q;
+    q.nlq = "Return the papers after " + std::to_string(year);
+    q.gold_sql = *sql::Parse(
+        "SELECT publication.title FROM publication WHERE publication.year > " +
+        std::to_string(year));
+    nlq::AnnotatedKeyword papers;
+    papers.text = "papers";
+    papers.metadata.context = qfg::FragmentContext::kSelect;
+    nlq::AnnotatedKeyword num;
+    num.text = "after " + std::to_string(year);
+    num.metadata.context = qfg::FragmentContext::kWhere;
+    num.metadata.op = sql::BinaryOp::kGt;
+    q.gold_parse.original = q.nlq;
+    q.gold_parse.keywords = {papers, num};
+    q.gold_fragments["papers"] =
+        qfg::SelectFragment("publication", "title").Key();
+    sql::Predicate p;
+    p.lhs = {"publication", "year"};
+    p.op = sql::BinaryOp::kGt;
+    p.rhs = sql::Literal::Int(year);
+    q.gold_fragments[num.text] =
+        qfg::WhereFragment(p, qfg::ObscurityLevel::kFull).Key();
+    ds.benchmark.push_back(std::move(q));
+  }
+
+  EvalOptions options;
+  options.folds = 2;
+  auto plus = EvaluateSystem(ds, SystemKind::kPipelinePlus, options);
+  ASSERT_TRUE(plus.ok()) << plus.status().ToString();
+  EXPECT_EQ(plus->scores.total, 6);
+  // The log heavily supports publication.title with year predicates:
+  // Pipeline+ should translate all of these.
+  EXPECT_EQ(plus->scores.fq_correct, 6) << [&] {
+    std::string s;
+    for (const auto& o : plus->outcomes) s += o.predicted_sql + "\n";
+    return s;
+  }();
+  auto base = EvaluateSystem(ds, SystemKind::kPipeline, options);
+  ASSERT_TRUE(base.ok());
+  EXPECT_LE(base->scores.fq_correct, plus->scores.fq_correct);
+}
+
+}  // namespace
+}  // namespace templar::eval

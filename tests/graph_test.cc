@@ -1,0 +1,235 @@
+// Unit tests for graph/: schema graph, Steiner search, self-join forking.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/fork.h"
+#include "graph/schema_graph.h"
+#include "graph/steiner.h"
+#include "test_fixtures.h"
+
+namespace templar::graph {
+namespace {
+
+SchemaGraph MiniGraph() {
+  auto db = testing::MakeMiniAcademicDb();
+  return SchemaGraph::FromCatalog(db->catalog());
+}
+
+TEST(SchemaGraphTest, BuiltFromCatalog) {
+  SchemaGraph g = MiniGraph();
+  EXPECT_EQ(g.relation_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 13u);
+  EXPECT_TRUE(g.HasRelation("publication"));
+  EXPECT_FALSE(g.HasRelation("nope"));
+}
+
+TEST(SchemaGraphTest, IncidentEdges) {
+  SchemaGraph g = MiniGraph();
+  auto edges = g.IncidentEdges("publication");
+  // cid->conference, jid->journal, writes.pid->, publication_keyword.pid->.
+  EXPECT_EQ(edges.size(), 4u);
+  EXPECT_TRUE(g.IncidentEdges("nope").empty());
+}
+
+TEST(SchemaGraphTest, EdgeOther) {
+  SchemaEdge e{"writes", "aid", "author", "aid"};
+  EXPECT_EQ(*e.Other("writes"), "author");
+  EXPECT_EQ(*e.Other("author"), "writes");
+  EXPECT_FALSE(e.Other("publication").has_value());
+}
+
+TEST(SchemaGraphTest, BaseRelationName) {
+  EXPECT_EQ(BaseRelationName("author"), "author");
+  EXPECT_EQ(BaseRelationName("author#1"), "author");
+}
+
+TEST(SteinerTest, SingleTerminalTrivial) {
+  SchemaGraph g = MiniGraph();
+  auto paths = FindJoinPaths(g, {"publication"});
+  ASSERT_TRUE(paths.ok());
+  ASSERT_GE(paths->size(), 1u);
+  EXPECT_TRUE((*paths)[0].edges.empty());
+  EXPECT_DOUBLE_EQ((*paths)[0].score, 1.0);
+}
+
+TEST(SteinerTest, TwoTerminalsShortestPathUnderUnitWeights) {
+  SchemaGraph g = MiniGraph();
+  auto paths = FindJoinPaths(g, {"author", "publication"});
+  ASSERT_TRUE(paths.ok());
+  // author-writes-publication: 2 edges.
+  EXPECT_EQ((*paths)[0].edges.size(), 2u);
+  EXPECT_DOUBLE_EQ((*paths)[0].score, 1.0 / 3.0);
+}
+
+TEST(SteinerTest, DefaultWeightsPreferConferenceDecoy) {
+  // Example 6's failure mode: publication->domain has a 3-edge route via
+  // conference (or journal) and the 4-edge gold route via keyword; unit
+  // weights pick a short decoy.
+  SchemaGraph g = MiniGraph();
+  auto paths = FindJoinPaths(g, {"publication", "domain"});
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ((*paths)[0].edges.size(), 3u);
+}
+
+TEST(SteinerTest, LogWeightsCanPreferLongerRoute) {
+  SchemaGraph g = MiniGraph();
+  // Make keyword-route edges nearly free, conference/journal routes pricey.
+  EdgeWeightFn fn = [](const std::string& a, const std::string& b) {
+    std::set<std::string> pair{a, b};
+    auto has = [&pair](const char* x) { return pair.count(x) > 0; };
+    if (has("publication_keyword") || has("domain_keyword")) return 0.05;
+    return 1.0;
+  };
+  SteinerOptions options;
+  options.weight_fn = fn;
+  auto paths = FindJoinPaths(g, {"publication", "domain"}, options);
+  ASSERT_TRUE(paths.ok());
+  // Gold: publication - publication_keyword - keyword - domain_keyword -
+  // domain (4 edges, total weight 0.2 < 3.0).
+  EXPECT_EQ((*paths)[0].edges.size(), 4u);
+  std::set<std::string> rels((*paths)[0].relations.begin(),
+                             (*paths)[0].relations.end());
+  EXPECT_TRUE(rels.count("keyword"));
+  EXPECT_FALSE(rels.count("conference"));
+}
+
+TEST(SteinerTest, RankedAlternativesAreDistinct) {
+  SchemaGraph g = MiniGraph();
+  SteinerOptions options;
+  options.top_k = 4;
+  auto paths = FindJoinPaths(g, {"publication", "domain"}, options);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_GE(paths->size(), 2u);
+  std::set<std::string> keys;
+  for (const auto& p : *paths) keys.insert(p.Key());
+  EXPECT_EQ(keys.size(), paths->size());
+  // Scores are non-increasing.
+  for (size_t i = 1; i < paths->size(); ++i) {
+    EXPECT_LE((*paths)[i].score, (*paths)[i - 1].score);
+  }
+}
+
+TEST(SteinerTest, ThreeTerminalsSpanningTree) {
+  SchemaGraph g = MiniGraph();
+  auto paths = FindJoinPaths(g, {"author", "publication", "journal"});
+  ASSERT_TRUE(paths.ok());
+  const JoinPath& jp = (*paths)[0];
+  // writes(x2 edges) + publication-journal: 3 edges.
+  EXPECT_EQ(jp.edges.size(), 3u);
+  std::set<std::string> rels(jp.relations.begin(), jp.relations.end());
+  EXPECT_TRUE(rels.count("author"));
+  EXPECT_TRUE(rels.count("journal"));
+  EXPECT_TRUE(rels.count("writes"));
+}
+
+TEST(SteinerTest, MissingTerminalFails) {
+  SchemaGraph g = MiniGraph();
+  EXPECT_TRUE(FindJoinPaths(g, {"publication", "nope"}).status().IsNotFound());
+  EXPECT_TRUE(FindJoinPaths(g, {}).status().IsInvalidArgument());
+}
+
+TEST(SteinerTest, DisconnectedTerminalsFail) {
+  SchemaGraph g;
+  g.AddRelation("island_a");
+  g.AddRelation("island_b");
+  EXPECT_TRUE(
+      FindJoinPaths(g, {"island_a", "island_b"}).status().IsNotFound());
+}
+
+TEST(SteinerTest, ScoreFormula) {
+  EdgeWeightFn unit;  // null -> weight 1 everywhere
+  std::vector<SchemaEdge> two = {{"a", "x", "b", "x"}, {"b", "y", "c", "y"}};
+  EXPECT_DOUBLE_EQ(ScoreJoinPath({}, unit), 1.0);
+  EXPECT_DOUBLE_EQ(ScoreJoinPath(two, unit), 1.0 / 3.0);
+  EdgeWeightFn cheap = [](const std::string&, const std::string&) {
+    return 0.0;
+  };
+  EXPECT_DOUBLE_EQ(ScoreJoinPath(two, cheap), 1.0);
+}
+
+TEST(ForkTest, Example7Shape) {
+  // Forking author must clone writes (FK arrives at author's PK) and stop
+  // at publication (writes' FK points away), reproducing Fig. 4b.
+  SchemaGraph g;
+  g.AddEdge({"writes", "aid", "author", "aid"});
+  g.AddEdge({"writes", "pid", "publication", "pid"});
+  auto instance = ForkRelation(&g, "author", 1);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(*instance, "author#1");
+  EXPECT_TRUE(g.HasRelation("author#1"));
+  EXPECT_TRUE(g.HasRelation("writes#1"));
+  EXPECT_FALSE(g.HasRelation("publication#1"));  // Shared, not cloned.
+  // writes#1 connects to the original publication.
+  bool shared_edge = false;
+  for (const auto& e : g.edges()) {
+    if (e.fk_relation == "writes#1" && e.pk_relation == "publication") {
+      shared_edge = true;
+    }
+  }
+  EXPECT_TRUE(shared_edge);
+}
+
+TEST(ForkTest, FkSideForkConnectsToOriginal) {
+  // Forking a relation that is on the FK side: publication's fork connects
+  // directly to conference/journal without cloning them.
+  SchemaGraph g = MiniGraph();
+  auto instance = ForkRelation(&g, "publication", 1);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_TRUE(g.HasRelation("publication#1"));
+  EXPECT_FALSE(g.HasRelation("conference#1"));
+  EXPECT_FALSE(g.HasRelation("journal#1"));
+  // Link tables arriving at publication are cloned.
+  EXPECT_TRUE(g.HasRelation("writes#1"));
+  EXPECT_TRUE(g.HasRelation("publication_keyword#1"));
+}
+
+TEST(ForkTest, SteinerOverForkedGraphSolvesSelfJoin) {
+  SchemaGraph g;
+  g.AddEdge({"writes", "aid", "author", "aid"});
+  g.AddEdge({"writes", "pid", "publication", "pid"});
+  ASSERT_TRUE(ForkRelation(&g, "author", 1).ok());
+  auto paths = FindJoinPaths(g, {"author", "author#1", "publication"});
+  ASSERT_TRUE(paths.ok());
+  const JoinPath& jp = (*paths)[0];
+  EXPECT_EQ(jp.edges.size(), 4u);
+  std::set<std::string> rels(jp.relations.begin(), jp.relations.end());
+  EXPECT_TRUE(rels.count("writes"));
+  EXPECT_TRUE(rels.count("writes#1"));
+  EXPECT_EQ(rels.count("publication"), 1u);
+}
+
+TEST(ForkTest, ErrorsOnBadInput) {
+  SchemaGraph g = MiniGraph();
+  EXPECT_TRUE(ForkRelation(&g, "nope", 1).status().IsNotFound());
+  ASSERT_TRUE(ForkRelation(&g, "author", 1).ok());
+  EXPECT_TRUE(ForkRelation(&g, "author", 1).status().IsAlreadyExists());
+}
+
+TEST(ForkTest, MultipleForksCoexist) {
+  SchemaGraph g;
+  g.AddEdge({"writes", "aid", "author", "aid"});
+  g.AddEdge({"writes", "pid", "publication", "pid"});
+  ASSERT_TRUE(ForkRelation(&g, "author", 1).ok());
+  ASSERT_TRUE(ForkRelation(&g, "author", 2).ok());
+  EXPECT_TRUE(g.HasRelation("author#2"));
+  EXPECT_TRUE(g.HasRelation("writes#2"));
+  auto paths =
+      FindJoinPaths(g, {"author", "author#1", "author#2", "publication"});
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ((*paths)[0].edges.size(), 6u);
+}
+
+TEST(JoinPathTest, KeyIsOrderInsensitive) {
+  JoinPath a;
+  a.relations = {"x", "y"};
+  a.edges = {{"x", "i", "y", "i"}};
+  JoinPath b;
+  b.relations = {"y", "x"};
+  b.edges = {{"x", "i", "y", "i"}};
+  EXPECT_EQ(a.Key(), b.Key());
+}
+
+}  // namespace
+}  // namespace templar::graph

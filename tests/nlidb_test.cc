@@ -1,0 +1,275 @@
+// Unit tests for nlidb/: SQL assembly and the Pipeline / NaLIR systems.
+
+#include <gtest/gtest.h>
+
+#include "nlidb/nlidb.h"
+#include "nlidb/sql_assembler.h"
+#include "sql/equivalence.h"
+#include "sql/parser.h"
+#include "test_fixtures.h"
+
+namespace templar::nlidb {
+namespace {
+
+core::FragmentMapping AttrMapping(const char* rel, const char* attr,
+                                  std::vector<sql::AggFunc> aggs = {},
+                                  bool group_by = false) {
+  core::FragmentMapping m;
+  m.candidate.kind = core::CandidateMapping::Kind::kAttribute;
+  m.candidate.relation = rel;
+  m.candidate.attribute = attr;
+  m.candidate.aggs = std::move(aggs);
+  m.candidate.group_by = group_by;
+  m.candidate.fragment = qfg::SelectFragment(rel, attr, m.candidate.aggs);
+  return m;
+}
+
+core::FragmentMapping PredMapping(const char* rel, const char* attr,
+                                  sql::Literal value,
+                                  sql::BinaryOp op = sql::BinaryOp::kEq) {
+  core::FragmentMapping m;
+  m.candidate.kind = core::CandidateMapping::Kind::kPredicate;
+  m.candidate.relation = rel;
+  m.candidate.attribute = attr;
+  m.candidate.op = op;
+  m.candidate.value = std::move(value);
+  m.candidate.fragment = qfg::WhereFragment(m.candidate.ToPredicate(),
+                                            qfg::ObscurityLevel::kFull);
+  return m;
+}
+
+graph::JoinPath PathOf(std::vector<graph::SchemaEdge> edges,
+                       std::vector<std::string> relations) {
+  graph::JoinPath jp;
+  jp.edges = std::move(edges);
+  jp.relations = std::move(relations);
+  return jp;
+}
+
+TEST(SqlAssemblerTest, SimpleProjectionAndPredicate) {
+  core::Configuration config;
+  config.mappings = {AttrMapping("publication", "title"),
+                     PredMapping("publication", "year",
+                                 sql::Literal::Int(2000), sql::BinaryOp::kGt)};
+  auto q = AssembleSql(config, PathOf({}, {"publication"}));
+  ASSERT_TRUE(q.ok());
+  auto expected =
+      sql::Parse("SELECT publication.title FROM publication WHERE "
+                 "publication.year > 2000");
+  EXPECT_TRUE(sql::QueriesEquivalent(*q, *expected)) << q->ToString();
+}
+
+TEST(SqlAssemblerTest, JoinConditionsEmitted) {
+  core::Configuration config;
+  config.mappings = {AttrMapping("publication", "title"),
+                     PredMapping("journal", "name",
+                                 sql::Literal::String("TKDE"))};
+  auto q = AssembleSql(
+      config, PathOf({{"publication", "jid", "journal", "jid"}},
+                     {"journal", "publication"}));
+  ASSERT_TRUE(q.ok());
+  auto expected = sql::Parse(
+      "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' "
+      "AND p.jid = j.jid");
+  EXPECT_TRUE(sql::QueriesEquivalent(*q, *expected)) << q->ToString();
+}
+
+TEST(SqlAssemblerTest, SelfJoinAliasesUniqueAndWiredCorrectly) {
+  core::Configuration config;
+  config.mappings = {AttrMapping("publication", "title"),
+                     PredMapping("author", "name", sql::Literal::String("John")),
+                     PredMapping("author", "name", sql::Literal::String("Jane"))};
+  auto q = AssembleSql(
+      config,
+      PathOf({{"writes", "aid", "author", "aid"},
+              {"writes", "pid", "publication", "pid"},
+              {"writes#1", "aid", "author#1", "aid"},
+              {"writes#1", "pid", "publication", "pid"}},
+             {"author", "author#1", "publication", "writes", "writes#1"}));
+  ASSERT_TRUE(q.ok());
+  auto expected = sql::Parse(
+      "SELECT p.title FROM author a1, author a2, publication p, writes w1, "
+      "writes w2 WHERE a1.name = 'John' AND a2.name = 'Jane' AND a1.aid = "
+      "w1.aid AND a2.aid = w2.aid AND p.pid = w1.pid AND p.pid = w2.pid");
+  EXPECT_TRUE(sql::QueriesEquivalent(*q, *expected)) << q->ToString();
+  // Every alias distinct.
+  std::set<std::string> names;
+  for (const auto& t : q->from) {
+    EXPECT_TRUE(names.insert(t.EffectiveName()).second) << q->ToString();
+  }
+}
+
+TEST(SqlAssemblerTest, AliasPrefixesNeverCollideAcrossRelations) {
+  // domain and domain_keyword both duplicated: tags must differ.
+  core::Configuration config;
+  config.mappings = {AttrMapping("keyword", "keyword"),
+                     PredMapping("domain", "name", sql::Literal::String("A")),
+                     PredMapping("domain", "name", sql::Literal::String("B"))};
+  auto q = AssembleSql(
+      config,
+      PathOf({{"domain_keyword", "did", "domain", "did"},
+              {"domain_keyword", "kid", "keyword", "kid"},
+              {"domain_keyword#1", "did", "domain#1", "did"},
+              {"domain_keyword#1", "kid", "keyword", "kid"}},
+             {"domain", "domain#1", "domain_keyword", "domain_keyword#1",
+              "keyword"}));
+  ASSERT_TRUE(q.ok());
+  std::set<std::string> names;
+  for (const auto& t : q->from) {
+    EXPECT_TRUE(names.insert(t.EffectiveName()).second) << q->ToString();
+  }
+  // No degenerate self-equality join predicates.
+  for (const auto& p : q->where) {
+    if (p.IsJoin()) {
+      EXPECT_NE(p.lhs.ToString(), p.rhs_column().ToString()) << q->ToString();
+    }
+  }
+}
+
+TEST(SqlAssemblerTest, AggregateTriggersAutoGrouping) {
+  core::Configuration config;
+  config.mappings = {AttrMapping("author", "name"),
+                     AttrMapping("publication", "pid",
+                                 {sql::AggFunc::kCount})};
+  auto q = AssembleSql(
+      config, PathOf({{"writes", "aid", "author", "aid"},
+                      {"writes", "pid", "publication", "pid"}},
+                     {"author", "publication", "writes"}));
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->group_by.size(), 1u);
+  EXPECT_EQ(q->group_by[0].column, "name");
+}
+
+TEST(SqlAssemblerTest, PredicatesOnlyProjectsStar) {
+  core::Configuration config;
+  config.mappings = {PredMapping("journal", "name",
+                                 sql::Literal::String("TKDE"))};
+  graph::JoinPath jp = PathOf({}, {"journal"});
+  jp.terminals = {"journal"};
+  auto q = AssembleSql(config, jp);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select[0].column.column, "*");
+}
+
+TEST(SqlAssemblerTest, MissingInstanceFails) {
+  core::Configuration config;
+  config.mappings = {AttrMapping("publication", "title")};
+  EXPECT_TRUE(
+      AssembleSql(config, PathOf({}, {"journal"})).status().IsNotFound());
+  EXPECT_TRUE(AssembleSql(config, PathOf({}, {}))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+class SystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniAcademicDb();
+    lexicon_ = testing::MakeMiniLexicon();
+    log_ = testing::MakeMiniLog();
+  }
+
+  nlq::ParsedNlq PapersInDatabases() {
+    nlq::ParsedNlq parsed;
+    parsed.original = "Return the papers in the Databases domain";
+    nlq::AnnotatedKeyword papers;
+    papers.text = "papers";
+    papers.metadata.context = qfg::FragmentContext::kSelect;
+    nlq::AnnotatedKeyword value;
+    value.text = "Databases";
+    value.metadata.context = qfg::FragmentContext::kWhere;
+    value.metadata.op = sql::BinaryOp::kEq;
+    parsed.keywords = {papers, value};
+    return parsed;
+  }
+
+  std::unique_ptr<db::Database> db_;
+  std::unique_ptr<embed::EmbeddingModel> lexicon_;
+  std::vector<std::string> log_;
+};
+
+TEST_F(SystemTest, BaselineFallsIntoTrap) {
+  PipelineConfig config;  // Baseline: no Templar.
+  auto sys = PipelineSystem::Build(db_.get(), lexicon_.get(), log_, config);
+  ASSERT_TRUE(sys.ok());
+  auto t = (*sys)->Translate(PapersInDatabases());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->configuration.mappings[0].candidate.relation, "journal");
+}
+
+TEST_F(SystemTest, AugmentedRecoversExample1) {
+  PipelineConfig config;
+  config.templar_keywords = true;
+  config.templar_joins = true;
+  auto sys = PipelineSystem::Build(db_.get(), lexicon_.get(), log_, config);
+  ASSERT_TRUE(sys.ok());
+  auto t = (*sys)->Translate(PapersInDatabases());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->configuration.mappings[0].candidate.relation, "publication");
+  // Join path must use the keyword route (Example 6's gold).
+  std::set<std::string> rels(t->join_path.relations.begin(),
+                             t->join_path.relations.end());
+  EXPECT_TRUE(rels.count("keyword")) << t->join_path.ToString();
+  auto expected = sql::Parse(
+      "SELECT p.title FROM publication p, publication_keyword pk, keyword "
+      "k, domain_keyword dk, domain d WHERE d.name = 'Databases' AND p.pid "
+      "= pk.pid AND k.kid = pk.kid AND dk.kid = k.kid AND dk.did = d.did");
+  EXPECT_TRUE(sql::QueriesEquivalent(t->query, *expected)) << t->query.ToString();
+}
+
+TEST_F(SystemTest, TranslateAllRanksDescending) {
+  PipelineConfig config;
+  config.templar_keywords = true;
+  auto sys = PipelineSystem::Build(db_.get(), lexicon_.get(), log_, config);
+  ASSERT_TRUE(sys.ok());
+  auto all = (*sys)->TranslateAll(PapersInDatabases());
+  ASSERT_TRUE(all.ok());
+  ASSERT_GE(all->size(), 2u);
+  for (size_t i = 1; i < all->size(); ++i) {
+    EXPECT_LE((*all)[i].score, (*all)[i - 1].score);
+  }
+}
+
+TEST_F(SystemTest, NalirParsesAndTranslates) {
+  NalirConfig config;
+  config.parser_noise = 0.0;  // Clean parser for determinism here.
+  auto sys = NalirSystem::Build(db_.get(), lexicon_.get(), log_, config);
+  ASSERT_TRUE(sys.ok());
+  auto t = (*sys)->Translate("Return the authors");
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(t->query.select.empty());
+}
+
+TEST_F(SystemTest, NalirNoiseIsDeterministic) {
+  NalirConfig config;
+  config.parser_noise = 0.5;
+  auto sys = NalirSystem::Build(db_.get(), lexicon_.get(), log_, config);
+  ASSERT_TRUE(sys.ok());
+  auto a = (*sys)->TranslateParsed(PapersInDatabases());
+  auto b = (*sys)->TranslateParsed(PapersInDatabases());
+  ASSERT_EQ(a.ok(), b.ok());
+  if (a.ok()) {
+    EXPECT_EQ(a->query.ToString(), b->query.ToString());
+  }
+}
+
+TEST_F(SystemTest, TieDetectionOnSymmetricAmbiguity) {
+  // Two exact-match candidates with symmetric log evidence and identical
+  // join shapes tie for first; the paper counts that as incorrect.
+  PipelineConfig config;
+  auto sys = PipelineSystem::Build(db_.get(), lexicon_.get(), {}, config);
+  ASSERT_TRUE(sys.ok());
+  nlq::ParsedNlq parsed;
+  parsed.original = "databases";
+  nlq::AnnotatedKeyword kw;
+  kw.text = "Databases";
+  kw.metadata.context = qfg::FragmentContext::kWhere;
+  kw.metadata.op = sql::BinaryOp::kEq;
+  parsed.keywords = {kw};
+  auto t = (*sys)->Translate(parsed);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->tie_for_first);
+}
+
+}  // namespace
+}  // namespace templar::nlidb

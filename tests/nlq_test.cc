@@ -1,0 +1,172 @@
+// Unit tests for nlq/: keyword metadata model, heuristic parser, noise.
+
+#include <gtest/gtest.h>
+
+#include "nlq/keyword.h"
+#include "nlq/nlq_parser.h"
+
+namespace templar::nlq {
+namespace {
+
+const AnnotatedKeyword* FindKeyword(const ParsedNlq& parsed,
+                                    const std::string& text) {
+  for (const auto& kw : parsed.keywords) {
+    if (kw.text == text) return &kw;
+  }
+  return nullptr;
+}
+
+TEST(NlqParserTest, CommandWordSkippedProjectionFound) {
+  NlqParser parser;
+  ParsedNlq parsed = parser.Parse("Return the papers");
+  ASSERT_EQ(parsed.keywords.size(), 1u);
+  EXPECT_EQ(parsed.keywords[0].text, "papers");
+  EXPECT_EQ(parsed.keywords[0].metadata.context,
+            qfg::FragmentContext::kSelect);
+}
+
+TEST(NlqParserTest, ComparisonPhraseWithNumber) {
+  NlqParser parser;
+  ParsedNlq parsed = parser.Parse("Return the papers after 2000");
+  const AnnotatedKeyword* kw = FindKeyword(parsed, "after 2000");
+  ASSERT_NE(kw, nullptr);
+  EXPECT_EQ(kw->metadata.context, qfg::FragmentContext::kWhere);
+  EXPECT_EQ(kw->metadata.op, sql::BinaryOp::kGt);
+}
+
+TEST(NlqParserTest, MultiWordOperatorPhrases) {
+  NlqParser parser;
+  ParsedNlq parsed =
+      parser.Parse("Show businesses with more than 100 reviews");
+  const AnnotatedKeyword* kw = FindKeyword(parsed, "more than 100");
+  ASSERT_NE(kw, nullptr);
+  EXPECT_EQ(kw->metadata.op, sql::BinaryOp::kGt);
+}
+
+TEST(NlqParserTest, AggregationPhrases) {
+  NlqParser parser;
+  ParsedNlq parsed = parser.Parse("Return the number of papers");
+  const AnnotatedKeyword* kw = FindKeyword(parsed, "papers");
+  ASSERT_NE(kw, nullptr);
+  ASSERT_EQ(kw->metadata.aggs.size(), 1u);
+  EXPECT_EQ(kw->metadata.aggs[0], sql::AggFunc::kCount);
+
+  parsed = parser.Parse("Show the average rating");
+  kw = FindKeyword(parsed, "rating");
+  ASSERT_NE(kw, nullptr);
+  ASSERT_EQ(kw->metadata.aggs.size(), 1u);
+  EXPECT_EQ(kw->metadata.aggs[0], sql::AggFunc::kAvg);
+}
+
+TEST(NlqParserTest, QuotedValueBecomesWhereKeyword) {
+  NlqParser parser;
+  ParsedNlq parsed = parser.Parse("Return the papers in 'TKDE'");
+  const AnnotatedKeyword* kw = FindKeyword(parsed, "TKDE");
+  ASSERT_NE(kw, nullptr);
+  EXPECT_EQ(kw->metadata.context, qfg::FragmentContext::kWhere);
+  EXPECT_EQ(kw->metadata.op, sql::BinaryOp::kEq);
+}
+
+TEST(NlqParserTest, CapitalizedRunIsOneEntity) {
+  NlqParser parser;
+  ParsedNlq parsed = parser.Parse("Return the papers written by John Smith");
+  const AnnotatedKeyword* kw = FindKeyword(parsed, "John Smith");
+  ASSERT_NE(kw, nullptr);
+  EXPECT_EQ(kw->metadata.context, qfg::FragmentContext::kWhere);
+}
+
+TEST(NlqParserTest, GroupByMarker) {
+  NlqParser parser;
+  ParsedNlq parsed =
+      parser.Parse("Return the number of papers for each venue");
+  const AnnotatedKeyword* kw = FindKeyword(parsed, "venue");
+  ASSERT_NE(kw, nullptr);
+  EXPECT_TRUE(kw->metadata.group_by);
+}
+
+TEST(NlqParserTest, ConsecutiveContentWordsMerge) {
+  NlqParser parser;
+  ParsedNlq parsed = parser.Parse("Show the restaurant businesses");
+  ASSERT_EQ(parsed.keywords.size(), 1u);
+  EXPECT_EQ(parsed.keywords[0].text, "restaurant businesses");
+}
+
+TEST(NlqParserTest, BareNumberIsEqualityKeyword) {
+  NlqParser parser;
+  ParsedNlq parsed = parser.Parse("Return the papers from 2005");
+  // "from" is a stopword; 2005 stands alone.
+  const AnnotatedKeyword* kw = FindKeyword(parsed, "2005");
+  ASSERT_NE(kw, nullptr);
+  EXPECT_EQ(kw->metadata.op, sql::BinaryOp::kEq);
+}
+
+TEST(NlqParserTest, DeterministicAcrossCalls) {
+  NlqParser parser;
+  const std::string nlq = "Find papers in the Databases domain after 1995";
+  EXPECT_EQ(parser.Parse(nlq), parser.Parse(nlq));
+}
+
+TEST(CorruptAnnotationsTest, ZeroNoiseIsIdentity) {
+  ParsedNlq gold;
+  gold.original = "test";
+  AnnotatedKeyword kw;
+  kw.text = "papers";
+  kw.metadata.context = qfg::FragmentContext::kSelect;
+  gold.keywords.push_back(kw);
+  EXPECT_EQ(CorruptAnnotations(gold, 0.0, 1), gold);
+}
+
+TEST(CorruptAnnotationsTest, FullNoiseAltersSomething) {
+  ParsedNlq gold;
+  gold.original = "Return the papers after 2000";
+  AnnotatedKeyword a;
+  a.text = "papers";
+  a.metadata.context = qfg::FragmentContext::kSelect;
+  a.metadata.aggs = {sql::AggFunc::kCount};
+  AnnotatedKeyword b;
+  b.text = "after 2000";
+  b.metadata.context = qfg::FragmentContext::kWhere;
+  b.metadata.op = sql::BinaryOp::kGt;
+  gold.keywords = {a, b};
+  ParsedNlq noisy = CorruptAnnotations(gold, 1.0, 7);
+  EXPECT_NE(noisy, gold);
+  // Texts are never corrupted, only metadata.
+  EXPECT_EQ(noisy.keywords[0].text, "papers");
+  EXPECT_EQ(noisy.keywords[1].text, "after 2000");
+}
+
+TEST(CorruptAnnotationsTest, DeterministicPerSeed) {
+  ParsedNlq gold;
+  gold.original = "Return the papers after 2000";
+  AnnotatedKeyword a;
+  a.text = "papers";
+  gold.keywords.push_back(a);
+  EXPECT_EQ(CorruptAnnotations(gold, 0.5, 42), CorruptAnnotations(gold, 0.5, 42));
+}
+
+TEST(CorruptAnnotationsTest, SeedChangesOutcomeDistribution) {
+  ParsedNlq gold;
+  gold.original = "q";
+  for (int i = 0; i < 20; ++i) {
+    AnnotatedKeyword kw;
+    kw.text = "kw" + std::to_string(i);
+    kw.metadata.op = sql::BinaryOp::kGt;
+    kw.metadata.aggs = {sql::AggFunc::kCount};
+    gold.keywords.push_back(kw);
+  }
+  EXPECT_NE(CorruptAnnotations(gold, 0.8, 1), CorruptAnnotations(gold, 0.8, 2));
+}
+
+TEST(KeywordTest, ToStringIncludesMetadata) {
+  AnnotatedKeyword kw;
+  kw.text = "after 2000";
+  kw.metadata.context = qfg::FragmentContext::kWhere;
+  kw.metadata.op = sql::BinaryOp::kGt;
+  std::string s = kw.ToString();
+  EXPECT_NE(s.find("after 2000"), std::string::npos);
+  EXPECT_NE(s.find("WHERE"), std::string::npos);
+  EXPECT_NE(s.find(">"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace templar::nlq

@@ -1,0 +1,309 @@
+// Property-based tests: invariants that must hold for *every* query, checked
+// over a seeded random query generator (TEST_P sweep across generator seeds).
+//
+//  - Parse(ToString(q)) is the identity on the AST.
+//  - QueriesEquivalent is reflexive, symmetric, and invariant under alias
+//    renaming, FROM reordering, WHERE conjunct shuffling, and join operand
+//    flipping.
+//  - Fragment extraction is stable under those same rewrites and never emits
+//    join conditions.
+//  - QFG counts are permutation-invariant in log order; Dice is symmetric
+//    and bounded.
+//  - Steiner join-path scores are in (0,1] and non-increasing down the
+//    ranked list.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/steiner.h"
+#include "qfg/fragment.h"
+#include "qfg/query_fragment_graph.h"
+#include "sql/equivalence.h"
+#include "sql/parser.h"
+#include "test_fixtures.h"
+
+namespace templar {
+namespace {
+
+/// Generates random single-block queries over the mini academic schema.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
+
+  sql::SelectQuery Next() {
+    static const struct {
+      const char* rel;
+      const char* text_attr;
+      const char* num_attr;
+    } kRels[] = {
+        {"publication", "title", "year"},
+        {"journal", "name", "jid"},
+        {"conference", "name", "cid"},
+        {"author", "name", "aid"},
+        {"domain", "name", "did"},
+    };
+    sql::SelectQuery q;
+    size_t n_tables = 1 + rng_.NextBounded(3);
+    std::set<size_t> chosen;
+    for (size_t i = 0; i < n_tables; ++i) {
+      size_t r = rng_.NextBounded(std::size(kRels));
+      if (!chosen.insert(r).second) continue;
+      sql::TableRef t;
+      t.table = kRels[r].rel;
+      if (rng_.NextBool(0.5)) {
+        t.alias = std::string(1, 'a' + static_cast<char>(q.from.size()));
+      }
+      q.from.push_back(t);
+    }
+    auto qualifier = [&](size_t i) {
+      return q.from[i].EffectiveName();
+    };
+    // Projection(s).
+    size_t n_select = 1 + rng_.NextBounded(2);
+    for (size_t i = 0; i < n_select; ++i) {
+      size_t t = rng_.NextBounded(q.from.size());
+      sql::SelectItem item;
+      item.column =
+          sql::ColumnRef{qualifier(t), TextAttrOf(q.from[t].table)};
+      if (rng_.NextBool(0.2)) item.aggs = {sql::AggFunc::kCount};
+      q.select.push_back(item);
+    }
+    // Value / numeric predicates.
+    size_t n_preds = rng_.NextBounded(3);
+    for (size_t i = 0; i < n_preds; ++i) {
+      size_t t = rng_.NextBounded(q.from.size());
+      sql::Predicate p;
+      if (rng_.NextBool(0.5)) {
+        p.lhs = sql::ColumnRef{qualifier(t), TextAttrOf(q.from[t].table)};
+        p.op = sql::BinaryOp::kEq;
+        p.rhs = sql::Literal::String("v" + std::to_string(rng_.NextBounded(9)));
+      } else {
+        p.lhs = sql::ColumnRef{qualifier(t), NumAttrOf(q.from[t].table)};
+        p.op = rng_.NextBool() ? sql::BinaryOp::kGt : sql::BinaryOp::kLte;
+        p.rhs = sql::Literal::Int(rng_.NextInt(0, 2020));
+      }
+      q.where.push_back(p);
+    }
+    // Chain join conditions between consecutive FROM entries.
+    for (size_t i = 1; i < q.from.size(); ++i) {
+      sql::Predicate j;
+      j.lhs = sql::ColumnRef{qualifier(i - 1), "id"};
+      j.op = sql::BinaryOp::kEq;
+      j.rhs = sql::ColumnRef{qualifier(i), "id"};
+      q.where.push_back(j);
+    }
+    if (rng_.NextBool(0.2)) q.limit = rng_.NextInt(1, 50);
+    return q;
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  static const char* TextAttrOf(const std::string& rel) {
+    if (rel == "publication") return "title";
+    if (rel == "keyword") return "keyword";
+    return "name";
+  }
+  static const char* NumAttrOf(const std::string& rel) {
+    if (rel == "publication") return "year";
+    return "id";
+  }
+
+  Rng rng_;
+};
+
+class QueryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryPropertyTest, PrintParseRoundTrip) {
+  QueryGenerator gen(GetParam());
+  for (int i = 0; i < 25; ++i) {
+    sql::SelectQuery q = gen.Next();
+    auto reparsed = sql::Parse(q.ToString());
+    ASSERT_TRUE(reparsed.ok()) << q.ToString() << " :: "
+                               << reparsed.status().ToString();
+    EXPECT_EQ(*reparsed, q) << q.ToString();
+  }
+}
+
+TEST_P(QueryPropertyTest, EquivalenceReflexiveAndAliasInvariant) {
+  QueryGenerator gen(GetParam());
+  for (int i = 0; i < 25; ++i) {
+    sql::SelectQuery q = gen.Next();
+    EXPECT_TRUE(sql::QueriesEquivalent(q, q)) << q.ToString();
+
+    // Rename every alias; rewrite references.
+    sql::SelectQuery renamed = q;
+    std::map<std::string, std::string> rename;
+    for (size_t t = 0; t < renamed.from.size(); ++t) {
+      std::string fresh = "t" + std::to_string(t);
+      rename[renamed.from[t].EffectiveName()] = fresh;
+      renamed.from[t].alias = fresh;
+    }
+    auto fix = [&rename](sql::ColumnRef* c) {
+      auto it = rename.find(c->relation);
+      if (it != rename.end()) c->relation = it->second;
+    };
+    for (auto& s : renamed.select) fix(&s.column);
+    for (auto& p : renamed.where) {
+      fix(&p.lhs);
+      if (p.IsJoin()) fix(&std::get<sql::ColumnRef>(p.rhs));
+    }
+    EXPECT_TRUE(sql::QueriesEquivalent(q, renamed))
+        << q.ToString() << "\nvs\n"
+        << renamed.ToString();
+    EXPECT_TRUE(sql::QueriesEquivalent(renamed, q));  // Symmetry.
+  }
+}
+
+TEST_P(QueryPropertyTest, EquivalenceInvariantUnderClauseShuffles) {
+  QueryGenerator gen(GetParam());
+  for (int i = 0; i < 25; ++i) {
+    sql::SelectQuery q = gen.Next();
+    sql::SelectQuery shuffled = q;
+    gen.rng().Shuffle(&shuffled.where);
+    for (auto& p : shuffled.where) {
+      if (p.IsJoin() && gen.rng().NextBool()) {
+        sql::ColumnRef tmp = p.lhs;
+        p.lhs = p.rhs_column();
+        p.rhs = tmp;
+        p.op = sql::FlipBinaryOp(p.op);
+      }
+    }
+    EXPECT_TRUE(sql::QueriesEquivalent(q, shuffled))
+        << q.ToString() << "\nvs\n"
+        << shuffled.ToString();
+  }
+}
+
+TEST_P(QueryPropertyTest, ChangedLiteralBreaksEquivalence) {
+  QueryGenerator gen(GetParam());
+  for (int i = 0; i < 25; ++i) {
+    sql::SelectQuery q = gen.Next();
+    // Find a value predicate to mutate.
+    for (auto& p : q.where) {
+      if (p.IsJoin()) continue;
+      sql::SelectQuery mutated = q;
+      for (auto& mp : mutated.where) {
+        if (!mp.IsJoin() && mp.ToString() == p.ToString()) {
+          mp.rhs = sql::Literal::String("definitely different value");
+          break;
+        }
+      }
+      EXPECT_FALSE(sql::QueriesEquivalent(q, mutated)) << q.ToString();
+      break;
+    }
+  }
+}
+
+TEST_P(QueryPropertyTest, FragmentsNeverContainJoinConditions) {
+  QueryGenerator gen(GetParam());
+  for (int i = 0; i < 25; ++i) {
+    sql::SelectQuery q = gen.Next();
+    for (auto level :
+         {qfg::ObscurityLevel::kFull, qfg::ObscurityLevel::kNoConst,
+          qfg::ObscurityLevel::kNoConstOp}) {
+      for (const auto& f : qfg::ExtractFragments(q, level)) {
+        if (f.context != qfg::FragmentContext::kWhere) continue;
+        auto parsed = sql::ParsePredicate(f.expression);
+        ASSERT_TRUE(parsed.ok()) << f.expression;
+        EXPECT_FALSE(parsed->IsJoin()) << f.expression;
+      }
+    }
+  }
+}
+
+TEST_P(QueryPropertyTest, FragmentsStableUnderAliasRenaming) {
+  QueryGenerator gen(GetParam());
+  for (int i = 0; i < 25; ++i) {
+    sql::SelectQuery q = gen.Next();
+    sql::SelectQuery renamed = q;
+    std::map<std::string, std::string> rename;
+    for (size_t t = 0; t < renamed.from.size(); ++t) {
+      std::string fresh = "x" + std::to_string(t);
+      rename[renamed.from[t].EffectiveName()] = fresh;
+      renamed.from[t].alias = fresh;
+    }
+    auto fix = [&rename](sql::ColumnRef* c) {
+      auto it = rename.find(c->relation);
+      if (it != rename.end()) c->relation = it->second;
+    };
+    for (auto& s : renamed.select) fix(&s.column);
+    for (auto& p : renamed.where) {
+      fix(&p.lhs);
+      if (p.IsJoin()) fix(&std::get<sql::ColumnRef>(p.rhs));
+    }
+    EXPECT_EQ(qfg::ExtractFragments(q, qfg::ObscurityLevel::kNoConstOp),
+              qfg::ExtractFragments(renamed, qfg::ObscurityLevel::kNoConstOp))
+        << q.ToString();
+  }
+}
+
+TEST_P(QueryPropertyTest, QfgOrderInvariantAndDiceBounded) {
+  QueryGenerator gen(GetParam());
+  std::vector<sql::SelectQuery> log;
+  for (int i = 0; i < 30; ++i) log.push_back(gen.Next());
+
+  qfg::QueryFragmentGraph forward(qfg::ObscurityLevel::kNoConstOp);
+  for (const auto& q : log) forward.AddQuery(q);
+  qfg::QueryFragmentGraph backward(qfg::ObscurityLevel::kNoConstOp);
+  for (auto it = log.rbegin(); it != log.rend(); ++it) backward.AddQuery(*it);
+
+  EXPECT_EQ(forward.vertex_count(), backward.vertex_count());
+  EXPECT_EQ(forward.edge_count(), backward.edge_count());
+  auto fragments = forward.TopFragments();
+  for (const auto& [fragment, count] : fragments) {
+    EXPECT_EQ(backward.Occurrences(fragment), count);
+  }
+  // Dice symmetric and within [0,1]; Dice against self-query bound.
+  for (size_t i = 0; i + 1 < fragments.size() && i < 10; ++i) {
+    const auto& a = fragments[i].first;
+    const auto& b = fragments[i + 1].first;
+    double dice = forward.Dice(a, b);
+    EXPECT_GE(dice, 0.0);
+    EXPECT_LE(dice, 1.0);
+    EXPECT_DOUBLE_EQ(dice, forward.Dice(b, a));
+  }
+}
+
+TEST_P(QueryPropertyTest, SteinerRankedScoresMonotoneAndBounded) {
+  auto db = testing::MakeMiniAcademicDb();
+  auto schema = graph::SchemaGraph::FromCatalog(db->catalog());
+  Rng rng(GetParam());
+  std::vector<std::string> all_rels = schema.relations();
+  for (int trial = 0; trial < 10; ++trial) {
+    // 1-3 random terminal relations.
+    std::vector<std::string> terminals;
+    size_t n = 1 + rng.NextBounded(3);
+    for (size_t i = 0; i < n; ++i) {
+      terminals.push_back(all_rels[rng.NextBounded(all_rels.size())]);
+    }
+    graph::SteinerOptions options;
+    options.top_k = 5;
+    auto paths = graph::FindJoinPaths(schema, terminals, options);
+    ASSERT_TRUE(paths.ok());
+    for (size_t i = 0; i < paths->size(); ++i) {
+      const auto& jp = (*paths)[i];
+      EXPECT_GT(jp.score, 0.0);
+      EXPECT_LE(jp.score, 1.0);
+      if (i > 0) {
+        EXPECT_LE(jp.score, (*paths)[i - 1].score);
+      }
+      // Tree property: |edges| >= |relations| - 1 is exact for trees.
+      EXPECT_EQ(jp.edges.size() + 1, jp.relations.size()) << jp.ToString();
+      // Every terminal covered.
+      for (const auto& t : terminals) {
+        EXPECT_NE(std::find(jp.relations.begin(), jp.relations.end(), t),
+                  jp.relations.end());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace templar

@@ -1,0 +1,129 @@
+// Tests for qfg_io: QFG snapshot serialization round-trips.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qfg/qfg_io.h"
+#include "qfg/query_fragment_graph.h"
+
+namespace templar::qfg {
+namespace {
+
+QueryFragmentGraph SampleGraph() {
+  QueryFragmentGraph graph(ObscurityLevel::kNoConstOp);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(graph
+                    .AddQuerySql("SELECT p.title FROM publication p WHERE "
+                                 "p.year > 2003")
+                    .ok());
+  }
+  EXPECT_TRUE(graph
+                  .AddQuerySql("SELECT p.title FROM journal j, publication p "
+                               "WHERE j.name = 'TMC' AND p.pid = j.pid")
+                  .ok());
+  EXPECT_TRUE(graph.AddQuerySql("SELECT j.name FROM journal j").ok());
+  return graph;
+}
+
+TEST(QfgIoTest, RoundTripPreservesEverything) {
+  QueryFragmentGraph original = SampleGraph();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveQfg(original, &buffer).ok());
+  auto restored = LoadQfg(&buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->level(), original.level());
+  EXPECT_EQ(restored->query_count(), original.query_count());
+  EXPECT_EQ(restored->vertex_count(), original.vertex_count());
+  EXPECT_EQ(restored->edge_count(), original.edge_count());
+
+  // Every count and Dice score identical.
+  for (const auto& [fragment, count] : original.TopFragments()) {
+    EXPECT_EQ(restored->Occurrences(fragment), count) << fragment.ToString();
+  }
+  for (const auto& [a, b, count] : original.CoOccurrenceRecords()) {
+    EXPECT_EQ(restored->CoOccurrences(a, b), count);
+    EXPECT_DOUBLE_EQ(restored->Dice(a, b), original.Dice(a, b));
+  }
+}
+
+TEST(QfgIoTest, RoundTripThroughSecondSave) {
+  // Save(Load(Save(g))) must be byte-identical (canonical ordering).
+  QueryFragmentGraph original = SampleGraph();
+  std::stringstream first;
+  ASSERT_TRUE(SaveQfg(original, &first).ok());
+  std::string first_text = first.str();
+  std::stringstream reread(first_text);
+  auto restored = LoadQfg(&reread);
+  ASSERT_TRUE(restored.ok());
+  std::stringstream second;
+  ASSERT_TRUE(SaveQfg(*restored, &second).ok());
+  EXPECT_EQ(first_text, second.str());
+}
+
+TEST(QfgIoTest, EscapesHostileExpressionText) {
+  QueryFragmentGraph graph(ObscurityLevel::kFull);
+  // A value containing tab, percent and newline-ish content.
+  ASSERT_TRUE(graph
+                  .AddQuerySql("SELECT b.name FROM business b WHERE b.name = "
+                               "'50% off\tdeal'")
+                  .ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveQfg(graph, &buffer).ok());
+  auto restored = LoadQfg(&buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  QueryFragment pred{FragmentContext::kWhere,
+                     "business.name = '50% off\tdeal'"};
+  EXPECT_EQ(restored->Occurrences(pred), 1u);
+}
+
+TEST(QfgIoTest, FileRoundTrip) {
+  QueryFragmentGraph original = SampleGraph();
+  const std::string path = ::testing::TempDir() + "/qfg_snapshot.txt";
+  ASSERT_TRUE(SaveQfgToFile(original, path).ok());
+  auto restored = LoadQfgFromFile(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->vertex_count(), original.vertex_count());
+}
+
+TEST(QfgIoTest, RejectsMalformedInput) {
+  {
+    std::stringstream empty;
+    EXPECT_TRUE(LoadQfg(&empty).status().IsParseError());
+  }
+  {
+    std::stringstream bad_header("not-a-qfg\tv1\tFull\t0\n");
+    EXPECT_TRUE(LoadQfg(&bad_header).status().IsParseError());
+  }
+  {
+    std::stringstream bad_level("templar-qfg\tv1\tSuperSecret\t0\n");
+    EXPECT_TRUE(LoadQfg(&bad_level).status().IsParseError());
+  }
+  {
+    std::stringstream bad_record(
+        "templar-qfg\tv1\tFull\t1\nX\t1\tSELECT\tfoo\n");
+    EXPECT_TRUE(LoadQfg(&bad_record).status().IsParseError());
+  }
+  {
+    // Edge referencing a vertex that was never restored.
+    std::stringstream dangling(
+        "templar-qfg\tv1\tFull\t1\n"
+        "V\t1\tSELECT\ta.b\n"
+        "E\t1\tSELECT\ta.b\tWHERE\tmissing\n");
+    EXPECT_TRUE(LoadQfg(&dangling).status().IsInvalidArgument());
+  }
+}
+
+TEST(QfgIoTest, NullStreamRejected) {
+  QueryFragmentGraph graph;
+  EXPECT_TRUE(SaveQfg(graph, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(LoadQfg(nullptr).status().IsInvalidArgument());
+}
+
+TEST(QfgIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadQfgFromFile("/nonexistent/path/x.qfg").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace templar::qfg

@@ -1,0 +1,252 @@
+// Unit tests for qfg/: fragment extraction, obscurity levels, the Query
+// Fragment Graph's counts and Dice coefficient — including the paper's
+// Fig. 3 worked example.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "qfg/fragment.h"
+#include "qfg/query_fragment_graph.h"
+#include "sql/parser.h"
+
+namespace templar::qfg {
+namespace {
+
+sql::SelectQuery MustParse(const std::string& text) {
+  auto q = sql::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+bool HasFragment(const std::vector<QueryFragment>& frags,
+                 FragmentContext context, const std::string& expr) {
+  return std::find(frags.begin(), frags.end(),
+                   QueryFragment{context, expr}) != frags.end();
+}
+
+TEST(FragmentTest, Definition3Example) {
+  // The paper's Definition 3 example query.
+  auto q = MustParse(
+      "SELECT t.a FROM table1 t, table2 u WHERE t.b = 15 AND t.id = u.id");
+  auto frags = ExtractFragments(q, ObscurityLevel::kFull);
+  EXPECT_EQ(frags.size(), 4u);
+  EXPECT_TRUE(HasFragment(frags, FragmentContext::kSelect, "table1.a"));
+  EXPECT_TRUE(HasFragment(frags, FragmentContext::kFrom, "table1"));
+  EXPECT_TRUE(HasFragment(frags, FragmentContext::kFrom, "table2"));
+  EXPECT_TRUE(HasFragment(frags, FragmentContext::kWhere, "table1.b = 15"));
+  // The join condition t.id = u.id is NOT a fragment.
+  for (const auto& f : frags) {
+    EXPECT_EQ(f.expression.find("id"), std::string::npos) << f.ToString();
+  }
+}
+
+TEST(FragmentTest, ObscurityLevels) {
+  sql::Predicate pred;
+  pred.lhs = {"publication", "year"};
+  pred.op = sql::BinaryOp::kGt;
+  pred.rhs = sql::Literal::Int(2000);
+  EXPECT_EQ(WhereFragment(pred, ObscurityLevel::kFull).expression,
+            "publication.year > 2000");
+  EXPECT_EQ(WhereFragment(pred, ObscurityLevel::kNoConst).expression,
+            "publication.year > ?val");
+  EXPECT_EQ(WhereFragment(pred, ObscurityLevel::kNoConstOp).expression,
+            "publication.year ?op ?val");
+}
+
+TEST(FragmentTest, SelectFragmentWithAggregates) {
+  QueryFragment f = SelectFragment("publication", "pid",
+                                   {sql::AggFunc::kCount}, true);
+  EXPECT_EQ(f.expression, "COUNT(DISTINCT publication.pid)");
+  EXPECT_EQ(f.context, FragmentContext::kSelect);
+}
+
+TEST(FragmentTest, AliasResolutionInExtraction) {
+  auto q = MustParse(
+      "SELECT p.title FROM publication p WHERE p.year > 2000");
+  auto frags = ExtractFragments(q, ObscurityLevel::kNoConstOp);
+  EXPECT_TRUE(HasFragment(frags, FragmentContext::kSelect,
+                          "publication.title"));
+  EXPECT_TRUE(HasFragment(frags, FragmentContext::kWhere,
+                          "publication.year ?op ?val"));
+}
+
+TEST(FragmentTest, SelfJoinInstancesCollapse) {
+  auto q = MustParse(
+      "SELECT p.title FROM author a1, author a2, publication p, writes w1, "
+      "writes w2 WHERE a1.name = 'X' AND a2.name = 'Y' AND a1.aid = w1.aid "
+      "AND a2.aid = w2.aid AND p.pid = w1.pid AND p.pid = w2.pid");
+  auto frags = ExtractFragments(q, ObscurityLevel::kNoConstOp);
+  // The two author predicates collapse into one obscured fragment; FROM
+  // fragments are one per base relation.
+  int author_from = 0;
+  int author_pred = 0;
+  for (const auto& f : frags) {
+    if (f.context == FragmentContext::kFrom && f.expression == "author") {
+      ++author_from;
+    }
+    if (f.context == FragmentContext::kWhere &&
+        f.expression == "author.name ?op ?val") {
+      ++author_pred;
+    }
+  }
+  EXPECT_EQ(author_from, 1);
+  EXPECT_EQ(author_pred, 1);
+}
+
+TEST(FragmentTest, GroupByHavingOrderByContexts) {
+  auto q = MustParse(
+      "SELECT a.name, COUNT(p.pid) FROM author a, publication p GROUP BY "
+      "a.name HAVING COUNT(p.pid) > 5 ORDER BY a.name DESC");
+  auto frags = ExtractFragments(q, ObscurityLevel::kNoConstOp);
+  EXPECT_TRUE(HasFragment(frags, FragmentContext::kGroupBy, "author.name"));
+  EXPECT_TRUE(HasFragment(frags, FragmentContext::kHaving,
+                          "COUNT(publication.pid) ?op ?val"));
+  EXPECT_TRUE(
+      HasFragment(frags, FragmentContext::kOrderBy, "author.name DESC"));
+}
+
+TEST(FragmentTest, KeyAndDisplayForms) {
+  QueryFragment f{FragmentContext::kWhere, "x.y = 1"};
+  EXPECT_EQ(f.ToString(), "(x.y = 1, WHERE)");
+  QueryFragment g{FragmentContext::kSelect, "x.y = 1"};
+  EXPECT_NE(f.Key(), g.Key());  // Same expression, different context.
+}
+
+// --- Fig. 3 worked example ------------------------------------------------
+
+class Fig3Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 25x: SELECT j.name FROM journal j
+    for (int i = 0; i < 25; ++i) {
+      ASSERT_TRUE(graph_.AddQuerySql("SELECT j.name FROM journal j").ok());
+    }
+    // 5x: SELECT p.title FROM publication p WHERE p.year > 2003
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(graph_
+                      .AddQuerySql("SELECT p.title FROM publication p WHERE "
+                                   "p.year > 2003")
+                      .ok());
+    }
+    // 3x: SELECT p.title FROM journal j, publication p WHERE
+    //     j.name = 'TMC' AND p.pid = j.pid
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(graph_
+                      .AddQuerySql("SELECT p.title FROM journal j, "
+                                   "publication p WHERE j.name = 'TMC' AND "
+                                   "p.pid = j.pid")
+                      .ok());
+    }
+  }
+
+  QueryFragmentGraph graph_{ObscurityLevel::kNoConstOp};
+};
+
+TEST_F(Fig3Test, OccurrenceCountsMatchPaper) {
+  // Fig. 3b: 25x j.name, 8x p.title, 28x journal, 8x publication,
+  // 5x p.year ?op ?val, 3x j.name ?op ?val.
+  EXPECT_EQ(graph_.Occurrences({FragmentContext::kSelect, "journal.name"}),
+            25u);
+  EXPECT_EQ(
+      graph_.Occurrences({FragmentContext::kSelect, "publication.title"}),
+      8u);
+  EXPECT_EQ(graph_.Occurrences(RelationFragment("journal")), 28u);
+  EXPECT_EQ(graph_.Occurrences(RelationFragment("publication")), 8u);
+  EXPECT_EQ(graph_.Occurrences(
+                {FragmentContext::kWhere, "publication.year ?op ?val"}),
+            5u);
+  EXPECT_EQ(graph_.Occurrences(
+                {FragmentContext::kWhere, "journal.name ?op ?val"}),
+            3u);
+  EXPECT_EQ(graph_.query_count(), 33u);
+}
+
+TEST_F(Fig3Test, CoOccurrenceEdges) {
+  // Fig. 3c: p.title co-occurs 5x with the year predicate and 3x with the
+  // journal-name predicate; j.name (SELECT) never co-occurs with either.
+  QueryFragment p_title{FragmentContext::kSelect, "publication.title"};
+  QueryFragment year_pred{FragmentContext::kWhere,
+                          "publication.year ?op ?val"};
+  QueryFragment jname_pred{FragmentContext::kWhere, "journal.name ?op ?val"};
+  QueryFragment j_name{FragmentContext::kSelect, "journal.name"};
+  EXPECT_EQ(graph_.CoOccurrences(p_title, year_pred), 5u);
+  EXPECT_EQ(graph_.CoOccurrences(p_title, jname_pred), 3u);
+  EXPECT_EQ(graph_.CoOccurrences(j_name, year_pred), 0u);
+  EXPECT_EQ(graph_.CoOccurrences(j_name, jname_pred), 0u);
+}
+
+TEST_F(Fig3Test, DiceCoefficient) {
+  QueryFragment p_title{FragmentContext::kSelect, "publication.title"};
+  QueryFragment year_pred{FragmentContext::kWhere,
+                          "publication.year ?op ?val"};
+  // Dice = 2*5 / (8 + 5).
+  EXPECT_DOUBLE_EQ(graph_.Dice(p_title, year_pred), 10.0 / 13.0);
+  // Unseen fragment: Dice 0.
+  QueryFragment unseen{FragmentContext::kSelect, "author.name"};
+  EXPECT_DOUBLE_EQ(graph_.Dice(p_title, unseen), 0.0);
+}
+
+TEST_F(Fig3Test, FullLevelFragmentsAreNormalizedOnLookup) {
+  // Callers hold Full-level fragments; the graph re-obscures them.
+  QueryFragment full_pred{FragmentContext::kWhere,
+                          "publication.year > 2003"};
+  EXPECT_EQ(graph_.Occurrences(full_pred), 5u);
+  QueryFragment other_const{FragmentContext::kWhere,
+                            "publication.year > 1999"};
+  EXPECT_EQ(graph_.Occurrences(other_const), 5u);  // Same at NoConstOp.
+  EXPECT_EQ(graph_.Normalized(full_pred).Key(),
+            graph_.Normalized(other_const).Key());
+}
+
+TEST_F(Fig3Test, RelationDice) {
+  // journal & publication co-occur in 3 queries; nv = 28 and 8.
+  EXPECT_DOUBLE_EQ(graph_.RelationDice("journal", "publication"),
+                   6.0 / 36.0);
+  EXPECT_DOUBLE_EQ(graph_.RelationDice("journal", "journal"), 0.0);
+}
+
+TEST_F(Fig3Test, TopFragmentsSorted) {
+  auto top = graph_.TopFragments(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].second, 28u);  // (journal, FROM)
+  EXPECT_GE(top[0].second, top[1].second);
+  EXPECT_GE(top[1].second, top[2].second);
+}
+
+TEST(QfgLevelTest, FullLevelDistinguishesConstants) {
+  QueryFragmentGraph graph(ObscurityLevel::kFull);
+  ASSERT_TRUE(graph.AddQuerySql(
+      "SELECT p.title FROM publication p WHERE p.year > 2003").ok());
+  EXPECT_EQ(graph.Occurrences({FragmentContext::kWhere,
+                               "publication.year > 2003"}), 1u);
+  EXPECT_EQ(graph.Occurrences({FragmentContext::kWhere,
+                               "publication.year > 1999"}), 0u);
+}
+
+TEST(QfgLevelTest, NoConstKeepsOperator) {
+  QueryFragmentGraph graph(ObscurityLevel::kNoConst);
+  ASSERT_TRUE(graph.AddQuerySql(
+      "SELECT p.title FROM publication p WHERE p.year > 2003").ok());
+  EXPECT_EQ(graph.Occurrences({FragmentContext::kWhere,
+                               "publication.year > ?val"}), 1u);
+  // A different operator does not match at NoConst.
+  EXPECT_EQ(graph.Occurrences({FragmentContext::kWhere,
+                               "publication.year < ?val"}), 0u);
+  // But any operator matches at NoConstOp via normalization of the query --
+  // build a second graph to confirm the distinction.
+  QueryFragmentGraph loose(ObscurityLevel::kNoConstOp);
+  ASSERT_TRUE(loose.AddQuerySql(
+      "SELECT p.title FROM publication p WHERE p.year > 2003").ok());
+  EXPECT_EQ(loose.Occurrences({FragmentContext::kWhere,
+                               "publication.year < 1990"}), 1u);
+}
+
+TEST(QfgTest, MalformedLogEntryRejected) {
+  QueryFragmentGraph graph;
+  EXPECT_TRUE(graph.AddQuerySql("SELEC nope").IsParseError());
+  EXPECT_EQ(graph.query_count(), 0u);
+}
+
+}  // namespace
+}  // namespace templar::qfg

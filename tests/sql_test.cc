@@ -1,0 +1,332 @@
+// Unit tests for sql/: lexer, parser, printer round-trips, equivalence.
+
+#include <gtest/gtest.h>
+
+#include "sql/ast.h"
+#include "sql/equivalence.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace templar::sql {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Lex("SELECT t.a FROM table1 t WHERE t.b = 15");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 12u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kDot);
+  EXPECT_TRUE(tokens->back().Is(TokenKind::kEnd));
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Lex("select FROM Where and");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("WHERE"));
+  EXPECT_TRUE((*tokens)[3].IsKeyword("AND"));
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Lex("'O''Brien'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "O'Brien");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("SELECT 'abc").ok());
+}
+
+TEST(LexerTest, NumbersIncludingDecimals) {
+  auto tokens = Lex("3.5 42");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[0].text, "3.5");
+  EXPECT_EQ((*tokens)[1].text, "42");
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Lex("= <> <= >= < > !=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "=");
+  EXPECT_EQ((*tokens)[1].text, "<>");
+  EXPECT_EQ((*tokens)[2].text, "<=");
+  EXPECT_EQ((*tokens)[3].text, ">=");
+  EXPECT_EQ((*tokens)[4].text, "<");
+  EXPECT_EQ((*tokens)[5].text, ">");
+  EXPECT_EQ((*tokens)[6].text, "<>");  // != normalizes.
+}
+
+TEST(LexerTest, Placeholders) {
+  auto tokens = Lex("p.year ?op ?val");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kOperator);
+  EXPECT_EQ((*tokens)[3].text, "?op");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[4].text, "?val");
+}
+
+TEST(LexerTest, UnknownPlaceholderFails) {
+  EXPECT_FALSE(Lex("?bogus").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto q = Parse("SELECT title FROM publication");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->select.size(), 1u);
+  EXPECT_EQ(q->select[0].column.column, "title");
+  ASSERT_EQ(q->from.size(), 1u);
+  EXPECT_EQ(q->from[0].table, "publication");
+  EXPECT_TRUE(q->where.empty());
+}
+
+TEST(ParserTest, AliasesAndPredicates) {
+  auto q = Parse(
+      "SELECT p.title FROM publication p, journal j "
+      "WHERE j.name = 'TKDE' AND p.year > 1995 AND p.jid = j.jid");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->from[0].alias, "p");
+  ASSERT_EQ(q->where.size(), 3u);
+  EXPECT_FALSE(q->where[0].IsJoin());
+  EXPECT_EQ(q->where[0].rhs_literal().string_value, "TKDE");
+  EXPECT_EQ(q->where[1].op, BinaryOp::kGt);
+  EXPECT_EQ(q->where[1].rhs_literal().int_value, 1995);
+  EXPECT_TRUE(q->where[2].IsJoin());
+  EXPECT_EQ(q->where[2].rhs_column().ToString(), "j.jid");
+}
+
+TEST(ParserTest, AggregatesAndDistinct) {
+  auto q = Parse("SELECT COUNT(DISTINCT p.pid) FROM publication p");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->select[0].aggs.size(), 1u);
+  EXPECT_EQ(q->select[0].aggs[0], AggFunc::kCount);
+  EXPECT_TRUE(q->select[0].distinct);
+}
+
+TEST(ParserTest, NestedAggregates) {
+  auto q = Parse("SELECT MAX(COUNT(p.pid)) FROM publication p");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->select[0].aggs.size(), 2u);
+  EXPECT_EQ(q->select[0].aggs[0], AggFunc::kMax);
+  EXPECT_EQ(q->select[0].aggs[1], AggFunc::kCount);
+}
+
+TEST(ParserTest, CountStar) {
+  auto q = Parse("SELECT COUNT(*) FROM publication");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select[0].column.column, "*");
+}
+
+TEST(ParserTest, GroupByHavingOrderByLimit) {
+  auto q = Parse(
+      "SELECT a.name, COUNT(p.pid) FROM author a, publication p "
+      "GROUP BY a.name HAVING COUNT(p.pid) > 5 "
+      "ORDER BY COUNT(p.pid) DESC LIMIT 10");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->group_by.size(), 1u);
+  EXPECT_EQ(q->group_by[0].ToString(), "a.name");
+  ASSERT_EQ(q->having.size(), 1u);
+  EXPECT_EQ(q->having[0].op, BinaryOp::kGt);
+  ASSERT_EQ(q->order_by.size(), 1u);
+  EXPECT_TRUE(q->order_by[0].descending);
+  EXPECT_EQ(q->limit, 10);
+}
+
+TEST(ParserTest, ExplicitJoinFoldsIntoWhere) {
+  auto q = Parse(
+      "SELECT p.title FROM publication p JOIN journal j ON p.jid = j.jid "
+      "WHERE j.name = 'TKDE'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->from.size(), 2u);
+  ASSERT_EQ(q->where.size(), 2u);
+  EXPECT_TRUE(q->where[0].IsJoin());
+}
+
+TEST(ParserTest, SelectDistinct) {
+  auto q = Parse("SELECT DISTINCT name FROM author");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->select_distinct);
+}
+
+TEST(ParserTest, ErrorsAreParseErrors) {
+  EXPECT_TRUE(Parse("SELECT").status().IsParseError());
+  EXPECT_TRUE(Parse("FROM t").status().IsParseError());
+  EXPECT_TRUE(Parse("SELECT a FROM t WHERE").status().IsParseError());
+  EXPECT_TRUE(Parse("SELECT a FROM t trailing garbage tokens =").status()
+                  .IsParseError());
+}
+
+TEST(ParserTest, ObscuredPredicateRoundTrip) {
+  auto p = ParsePredicate("p.year ?op ?val");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->op, BinaryOp::kPlaceholder);
+  EXPECT_EQ(p->rhs_literal().kind, Literal::Kind::kPlaceholder);
+  EXPECT_EQ(p->ToString(), "p.year ?op ?val");
+}
+
+// Printer round-trip property: Parse(ToString(Parse(q))) == Parse(q).
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParsePrintParseIsIdentity) {
+  auto q1 = Parse(GetParam());
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  auto q2 = Parse(q1->ToString());
+  ASSERT_TRUE(q2.ok()) << "reprinted: " << q1->ToString();
+  EXPECT_EQ(*q1, *q2) << q1->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTripTest,
+    ::testing::Values(
+        "SELECT title FROM publication",
+        "SELECT p.title FROM publication p WHERE p.year > 2000",
+        "SELECT j.name FROM journal j, domain_journal o, domain d WHERE "
+        "d.name = 'Databases' AND j.jid = o.jid AND o.did = d.did",
+        "SELECT COUNT(p.pid) FROM publication p, writes w, author a WHERE "
+        "a.name = 'Jane' AND w.aid = a.aid AND w.pid = p.pid",
+        "SELECT a.name, COUNT(p.pid) FROM author a, publication p GROUP BY "
+        "a.name HAVING COUNT(p.pid) >= 3 ORDER BY a.name ASC LIMIT 5",
+        "SELECT DISTINCT b.city FROM business b WHERE b.rating >= 4.5",
+        "SELECT p.title FROM author a1, author a2, publication p, writes "
+        "w1, writes w2 WHERE a1.name = 'John' AND a2.name = 'Jane' AND "
+        "a1.aid = w1.aid AND a2.aid = w2.aid AND p.pid = w1.pid AND p.pid = "
+        "w2.pid",
+        "SELECT p.title FROM publication p WHERE p.title LIKE '%Index%'",
+        "SELECT t.a FROM table1 t, table2 u WHERE t.b = 15 AND t.id = u.id"));
+
+TEST(EquivalenceTest, AliasInsensitive) {
+  auto a = Parse("SELECT p.title FROM publication p WHERE p.year > 2000");
+  auto b = Parse("SELECT x.title FROM publication x WHERE x.year > 2000");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(QueriesEquivalent(*a, *b));
+}
+
+TEST(EquivalenceTest, ConjunctOrderInsensitive) {
+  auto a = Parse(
+      "SELECT p.title FROM publication p, journal j WHERE j.name = 'TKDE' "
+      "AND p.jid = j.jid");
+  auto b = Parse(
+      "SELECT p.title FROM journal j, publication p WHERE p.jid = j.jid AND "
+      "j.name = 'TKDE'");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(QueriesEquivalent(*a, *b));
+}
+
+TEST(EquivalenceTest, JoinOrientationInsensitive) {
+  auto a = Parse("SELECT p.title FROM publication p, journal j WHERE "
+                 "p.jid = j.jid");
+  auto b = Parse("SELECT p.title FROM publication p, journal j WHERE "
+                 "j.jid = p.jid");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(QueriesEquivalent(*a, *b));
+}
+
+TEST(EquivalenceTest, CaseInsensitiveIdentifiers) {
+  auto a = Parse("SELECT P.Title FROM Publication P");
+  auto b = Parse("SELECT p.title FROM publication p");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(QueriesEquivalent(*a, *b));
+}
+
+TEST(EquivalenceTest, DifferentLiteralNotEquivalent) {
+  auto a = Parse("SELECT p.title FROM publication p WHERE p.year > 2000");
+  auto b = Parse("SELECT p.title FROM publication p WHERE p.year > 2001");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(QueriesEquivalent(*a, *b));
+}
+
+TEST(EquivalenceTest, DifferentOperatorNotEquivalent) {
+  auto a = Parse("SELECT p.title FROM publication p WHERE p.year > 2000");
+  auto b = Parse("SELECT p.title FROM publication p WHERE p.year >= 2000");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(QueriesEquivalent(*a, *b));
+}
+
+TEST(EquivalenceTest, DifferentRelationsNotEquivalent) {
+  auto a = Parse("SELECT p.title FROM publication p");
+  auto b = Parse("SELECT j.name FROM journal j");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(QueriesEquivalent(*a, *b));
+}
+
+TEST(EquivalenceTest, SelfJoinInstanceRenaming) {
+  // Example 7 with the two author instances swapped.
+  auto a = Parse(
+      "SELECT p.title FROM author a1, author a2, publication p, writes w1, "
+      "writes w2 WHERE a1.name = 'John' AND a2.name = 'Jane' AND a1.aid = "
+      "w1.aid AND a2.aid = w2.aid AND p.pid = w1.pid AND p.pid = w2.pid");
+  auto b = Parse(
+      "SELECT p.title FROM author x, author y, publication p, writes u, "
+      "writes v WHERE y.name = 'John' AND x.name = 'Jane' AND y.aid = u.aid "
+      "AND x.aid = v.aid AND p.pid = u.pid AND p.pid = v.pid");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(QueriesEquivalent(*a, *b));
+}
+
+TEST(EquivalenceTest, SelfJoinDifferentWiringNotEquivalent) {
+  auto a = Parse(
+      "SELECT p.title FROM author a1, author a2, publication p, writes w1, "
+      "writes w2 WHERE a1.name = 'John' AND a2.name = 'Jane' AND a1.aid = "
+      "w1.aid AND a2.aid = w2.aid AND p.pid = w1.pid AND p.pid = w2.pid");
+  // Both predicates wired to the same instance: different semantics.
+  auto b = Parse(
+      "SELECT p.title FROM author a1, author a2, publication p, writes w1, "
+      "writes w2 WHERE a1.name = 'John' AND a1.name = 'Jane' AND a1.aid = "
+      "w1.aid AND a2.aid = w2.aid AND p.pid = w1.pid AND p.pid = w2.pid");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(QueriesEquivalent(*a, *b));
+}
+
+TEST(EquivalenceTest, CanonicalFormStableForEquivalentQueries) {
+  auto a = Parse("SELECT p.title FROM publication p WHERE p.year > 2000");
+  auto b = Parse("SELECT q.title FROM publication q WHERE q.year > 2000");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(CanonicalForm(*a), CanonicalForm(*b));
+}
+
+TEST(AstTest, OperatorHelpers) {
+  EXPECT_EQ(FlipBinaryOp(BinaryOp::kLt), BinaryOp::kGt);
+  EXPECT_EQ(FlipBinaryOp(BinaryOp::kGte), BinaryOp::kLte);
+  EXPECT_EQ(FlipBinaryOp(BinaryOp::kEq), BinaryOp::kEq);
+  EXPECT_EQ(BinaryOpFromString("<="), BinaryOp::kLte);
+  EXPECT_EQ(BinaryOpFromString("like"), BinaryOp::kLike);
+  EXPECT_FALSE(BinaryOpFromString("=>").has_value());
+  EXPECT_EQ(AggFuncFromString("count"), AggFunc::kCount);
+  EXPECT_FALSE(AggFuncFromString("median").has_value());
+}
+
+TEST(AstTest, LiteralToString) {
+  EXPECT_EQ(Literal::Int(42).ToString(), "42");
+  EXPECT_EQ(Literal::String("O'Brien").ToString(), "'O''Brien'");
+  EXPECT_EQ(Literal::Null().ToString(), "NULL");
+  EXPECT_EQ(Literal::Placeholder().ToString(), "?val");
+  EXPECT_TRUE(Literal::Double(1.5).IsNumeric());
+  EXPECT_DOUBLE_EQ(Literal::Int(3).AsDouble(), 3.0);
+}
+
+TEST(AstTest, ResolveAliasesSimple) {
+  auto q = Parse("SELECT p.title FROM publication p WHERE p.year > 2000");
+  ASSERT_TRUE(q.ok());
+  sql::SelectQuery r = q->ResolveAliases();
+  EXPECT_EQ(r.select[0].column.relation, "publication");
+  EXPECT_EQ(r.from[0].table, "publication");
+  EXPECT_TRUE(r.from[0].alias.empty());
+}
+
+TEST(AstTest, ResolveAliasesSelfJoinNumbersInstances) {
+  auto q = Parse(
+      "SELECT p.title FROM author a1, author a2, publication p WHERE "
+      "a1.name = 'X' AND a2.name = 'Y'");
+  ASSERT_TRUE(q.ok());
+  sql::SelectQuery r = q->ResolveAliases();
+  EXPECT_EQ(r.from[0].table, "author#0");
+  EXPECT_EQ(r.from[1].table, "author#1");
+  EXPECT_EQ(r.where[0].lhs.relation, "author#0");
+  EXPECT_EQ(r.where[1].lhs.relation, "author#1");
+}
+
+}  // namespace
+}  // namespace templar::sql

@@ -1,0 +1,139 @@
+#ifndef TEMPLAR_TESTS_TEST_FIXTURES_H_
+#define TEMPLAR_TESTS_TEST_FIXTURES_H_
+
+/// \file test_fixtures.h
+/// \brief A miniature academic database shared by core/nlidb/integration
+/// tests: a cut-down MAS with publication/journal/conference/domain/keyword
+/// and the decoy-vs-gold join routes from the paper's Examples 1-7.
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "embed/embedding_model.h"
+
+namespace templar::testing {
+
+/// \brief Builds the mini academic schema + a handful of rows.
+///
+/// Relations: author(aid,name,oid), organization(oid,name),
+/// publication(pid,title,year,cid,jid,citation_num), conference(cid,name),
+/// journal(jid,name), keyword(kid,keyword), domain(did,name),
+/// writes(aid,pid), publication_keyword(pid,kid), domain_keyword(did,kid),
+/// domain_conference(did,cid), domain_journal(did,jid).
+/// The publication->domain gold route runs through keyword (4 edges) while
+/// a shorter decoy runs through conference (3 edges), as in Example 6.
+inline std::unique_ptr<db::Database> MakeMiniAcademicDb() {
+  using db::AttributeDef;
+  using db::DataType;
+  using db::Value;
+  auto FT = [](const char* n) {
+    return AttributeDef{n, DataType::kText, false, true};
+  };
+  auto I = [](const char* n) {
+    return AttributeDef{n, DataType::kInt, false, false};
+  };
+  auto PK = [](const char* n) {
+    return AttributeDef{n, DataType::kInt, true, false};
+  };
+
+  auto db = std::make_unique<db::Database>("mini_academic");
+  auto check = [](const Status& s) { assert(s.ok()); (void)s; };
+  check(db->CreateRelation({"author", {PK("aid"), FT("name"), I("oid")}}));
+  check(db->CreateRelation({"organization", {PK("oid"), FT("name")}}));
+  check(db->CreateRelation(
+      {"publication", {PK("pid"), FT("title"), I("year"), I("cid"), I("jid"),
+                       I("citation_num")}}));
+  check(db->CreateRelation({"conference", {PK("cid"), FT("name")}}));
+  check(db->CreateRelation({"journal", {PK("jid"), FT("name")}}));
+  check(db->CreateRelation({"keyword", {PK("kid"), FT("keyword")}}));
+  check(db->CreateRelation({"domain", {PK("did"), FT("name")}}));
+  check(db->CreateRelation({"writes", {I("aid"), I("pid")}}));
+  check(db->CreateRelation({"publication_keyword", {I("pid"), I("kid")}}));
+  check(db->CreateRelation({"domain_keyword", {I("did"), I("kid")}}));
+  check(db->CreateRelation({"domain_conference", {I("did"), I("cid")}}));
+  check(db->CreateRelation({"domain_journal", {I("did"), I("jid")}}));
+  check(db->AddForeignKey({"author", "oid", "organization", "oid"}));
+  check(db->AddForeignKey({"publication", "cid", "conference", "cid"}));
+  check(db->AddForeignKey({"publication", "jid", "journal", "jid"}));
+  check(db->AddForeignKey({"writes", "aid", "author", "aid"}));
+  check(db->AddForeignKey({"writes", "pid", "publication", "pid"}));
+  check(db->AddForeignKey({"publication_keyword", "pid", "publication", "pid"}));
+  check(db->AddForeignKey({"publication_keyword", "kid", "keyword", "kid"}));
+  check(db->AddForeignKey({"domain_keyword", "did", "domain", "did"}));
+  check(db->AddForeignKey({"domain_keyword", "kid", "keyword", "kid"}));
+  check(db->AddForeignKey({"domain_conference", "did", "domain", "did"}));
+  check(db->AddForeignKey({"domain_conference", "cid", "conference", "cid"}));
+  check(db->AddForeignKey({"domain_journal", "did", "domain", "did"}));
+  check(db->AddForeignKey({"domain_journal", "jid", "journal", "jid"}));
+
+  check(db->Insert("organization", {Value::Int(0), Value::Text("Northgate University")}));
+  check(db->Insert("author", {Value::Int(0), Value::Text("John Fontaine"), Value::Int(0)}));
+  check(db->Insert("author", {Value::Int(1), Value::Text("Jane Petrov"), Value::Int(0)}));
+  check(db->Insert("conference", {Value::Int(0), Value::Text("ICDE")}));
+  check(db->Insert("journal", {Value::Int(0), Value::Text("TKDE")}));
+  check(db->Insert("domain", {Value::Int(0), Value::Text("Databases")}));
+  check(db->Insert("domain", {Value::Int(1), Value::Text("Graphics")}));
+  check(db->Insert("keyword", {Value::Int(0), Value::Text("Databases")}));
+  check(db->Insert("keyword", {Value::Int(1), Value::Text("indexing")}));
+  check(db->Insert("publication",
+                   {Value::Int(0), Value::Text("Scalable Indexing for Databases"),
+                    Value::Int(2003), Value::Int(0), Value::Null(), Value::Int(120)}));
+  check(db->Insert("publication",
+                   {Value::Int(1), Value::Text("Robust Query Processing"),
+                    Value::Int(1998), Value::Null(), Value::Int(0), Value::Int(40)}));
+  check(db->Insert("writes", {Value::Int(0), Value::Int(0)}));
+  check(db->Insert("writes", {Value::Int(1), Value::Int(0)}));
+  check(db->Insert("writes", {Value::Int(1), Value::Int(1)}));
+  check(db->Insert("publication_keyword", {Value::Int(0), Value::Int(0)}));
+  check(db->Insert("publication_keyword", {Value::Int(1), Value::Int(1)}));
+  check(db->Insert("domain_keyword", {Value::Int(0), Value::Int(0)}));
+  check(db->Insert("domain_keyword", {Value::Int(0), Value::Int(1)}));
+  check(db->Insert("domain_conference", {Value::Int(1), Value::Int(0)}));
+  check(db->Insert("domain_journal", {Value::Int(0), Value::Int(0)}));
+  return db;
+}
+
+/// \brief A small lexicon with the Example-1 trap (papers ~ journal >
+/// publication).
+inline std::unique_ptr<embed::EmbeddingModel> MakeMiniLexicon() {
+  auto model = std::make_unique<embed::EmbeddingModel>();
+  model->AddSynonym("paper", "journal", 0.64);
+  model->AddSynonym("paper", "publication", 0.58);
+  model->AddSynonym("author", "name", 0.55);
+  model->AddSynonym("after", "year", 0.50);
+  return model;
+}
+
+/// \brief Log entries mirroring the paper's Fig. 3 workload: publication
+/// titles frequently selected alongside journal-name and year predicates.
+inline std::vector<std::string> MakeMiniLog() {
+  std::vector<std::string> log;
+  for (int i = 0; i < 5; ++i) {
+    log.push_back(
+        "SELECT p.title FROM publication p WHERE p.year > " +
+        std::to_string(2000 + i));
+  }
+  for (int i = 0; i < 3; ++i) {
+    log.push_back(
+        "SELECT p.title FROM journal j, publication p WHERE j.name = 'TKDE' "
+        "AND p.jid = j.jid AND p.year > 199" + std::to_string(i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    log.push_back(
+        "SELECT p.title FROM publication p, publication_keyword pk, keyword "
+        "k, domain_keyword dk, domain d WHERE d.name = 'Databases' AND "
+        "pk.pid = p.pid AND pk.kid = k.kid AND dk.kid = k.kid AND dk.did = "
+        "d.did");
+  }
+  for (int i = 0; i < 25; ++i) {
+    log.push_back("SELECT j.name FROM journal j");
+  }
+  return log;
+}
+
+}  // namespace templar::testing
+
+#endif  // TEMPLAR_TESTS_TEST_FIXTURES_H_

@@ -1,0 +1,177 @@
+// Unit tests for text/: Porter stemmer, tokenizer, full-text index.
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+#include "text/fulltext_index.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace templar::text {
+namespace {
+
+struct StemCase {
+  const char* word;
+  const char* stem;
+};
+
+class PorterStemTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemTest, MatchesExpected) {
+  EXPECT_EQ(PorterStem(GetParam().word), GetParam().stem)
+      << "word: " << GetParam().word;
+}
+
+// Expected outputs verified against the canonical Porter algorithm
+// behaviour; includes the paper's own examples (restaurant -> restaur,
+// businesses -> busi, Sec. V-A).
+INSTANTIATE_TEST_SUITE_P(
+    Classic, PorterStemTest,
+    ::testing::Values(StemCase{"restaurant", "restaur"},
+                      StemCase{"businesses", "busi"},
+                      StemCase{"caresses", "caress"},
+                      StemCase{"ponies", "poni"},
+                      StemCase{"cats", "cat"},
+                      StemCase{"feed", "feed"},
+                      StemCase{"agreed", "agre"},
+                      StemCase{"plastered", "plaster"},
+                      StemCase{"motoring", "motor"},
+                      StemCase{"conflated", "conflat"},
+                      StemCase{"troubled", "troubl"},
+                      StemCase{"sized", "size"},
+                      StemCase{"hopping", "hop"},
+                      StemCase{"falling", "fall"},
+                      StemCase{"hissing", "hiss"},
+                      StemCase{"failing", "fail"},
+                      StemCase{"happy", "happi"},
+                      StemCase{"relational", "relat"},
+                      StemCase{"conditional", "condit"},
+                      StemCase{"valency", "valenc"},
+                      StemCase{"digitizer", "digit"},
+                      StemCase{"operator", "oper"},
+                      StemCase{"feudalism", "feudal"},
+                      StemCase{"hopefulness", "hope"},
+                      StemCase{"formality", "formal"},
+                      StemCase{"triplicate", "triplic"},
+                      StemCase{"formative", "form"},
+                      StemCase{"formalize", "formal"},
+                      StemCase{"revival", "reviv"},
+                      StemCase{"allowance", "allow"},
+                      StemCase{"inference", "infer"},
+                      StemCase{"adjustment", "adjust"},
+                      StemCase{"dependent", "depend"},
+                      StemCase{"adoption", "adopt"},
+                      StemCase{"probate", "probat"},
+                      StemCase{"controller", "control"},
+                      StemCase{"papers", "paper"},
+                      StemCase{"publication", "public"}));
+
+TEST(PorterStemTest, ShortWordsUntouched) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("be"), "be");
+}
+
+TEST(PorterStemTest, NonAlphaPassThrough) {
+  EXPECT_EQ(PorterStem("2000"), "2000");
+  EXPECT_EQ(PorterStem("?val"), "?val");
+  EXPECT_EQ(PorterStem("TKDE"), "TKDE");  // Uppercase: untouched.
+}
+
+TEST(PorterStemTest, IdempotentOnCommonWords) {
+  // (Porter is not idempotent in general — "databases" -> "databas" ->
+  // "databa" — so only known fixed-point stems are checked here.)
+  for (const char* w : {"citations", "reviews", "movies", "restaurants"}) {
+    std::string once = PorterStem(w);
+    EXPECT_EQ(PorterStem(once), once) << w;
+  }
+}
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  EXPECT_EQ(Tokenize("Saving Private Ryan!"),
+            (std::vector<std::string>{"saving", "private", "ryan"}));
+  EXPECT_EQ(Tokenize("O'Brien-Smith"),
+            (std::vector<std::string>{"o", "brien", "smith"}));
+  EXPECT_TRUE(Tokenize("  ...  ").empty());
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  EXPECT_EQ(Tokenize("after 2000"),
+            (std::vector<std::string>{"after", "2000"}));
+}
+
+TEST(TokenizerTest, TokenizeAndStem) {
+  EXPECT_EQ(TokenizeAndStem("restaurant businesses"),
+            (std::vector<std::string>{"restaur", "busi"}));
+}
+
+TEST(TokenizerTest, Stopwords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("return"));
+  EXPECT_FALSE(IsStopword("publication"));
+}
+
+TEST(TokenizerTest, ContentStemsDropStopwords) {
+  auto stems = ContentStems("Return the papers in the Databases domain");
+  EXPECT_EQ(stems,
+            (std::vector<std::string>{"paper", "databas", "domain"}));
+}
+
+TEST(FulltextIndexTest, BuildsOverMarkedAttributes) {
+  auto db = testing::MakeMiniAcademicDb();
+  FulltextIndex index = FulltextIndex::Build(*db);
+  EXPECT_GT(index.entry_count(), 5u);
+}
+
+TEST(FulltextIndexTest, ExactTokenSearch) {
+  auto db = testing::MakeMiniAcademicDb();
+  FulltextIndex index = FulltextIndex::Build(*db);
+  auto matches = index.Search({"tkde"});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].relation, "journal");
+  EXPECT_EQ(matches[0].value, "TKDE");
+}
+
+TEST(FulltextIndexTest, StemmedMultiTokenAnd) {
+  auto db = testing::MakeMiniAcademicDb();
+  FulltextIndex index = FulltextIndex::Build(*db);
+  // "Scalable Indexing for Databases" must match both stems.
+  auto matches = index.Search(TokenizeAndStem("scalable indexing"));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].attribute, "title");
+  // A token with no match anywhere ANDs to empty.
+  EXPECT_TRUE(index.Search(TokenizeAndStem("scalable zebra")).empty());
+}
+
+TEST(FulltextIndexTest, PrefixSemantics) {
+  auto db = testing::MakeMiniAcademicDb();
+  FulltextIndex index = FulltextIndex::Build(*db);
+  // "databas" (stem of databases) prefix-matches domain, keyword and the
+  // publication title containing "Databases".
+  auto matches = index.Search({"databas"});
+  EXPECT_GE(matches.size(), 3u);
+}
+
+TEST(FulltextIndexTest, AttributeRestriction) {
+  auto db = testing::MakeMiniAcademicDb();
+  FulltextIndex index = FulltextIndex::Build(*db);
+  auto matches = index.Search({"databas"}, "domain", "name");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].relation, "domain");
+}
+
+TEST(FulltextIndexTest, EmptyQueryReturnsNothing) {
+  auto db = testing::MakeMiniAcademicDb();
+  FulltextIndex index = FulltextIndex::Build(*db);
+  EXPECT_TRUE(index.Search({}).empty());
+}
+
+TEST(FulltextIndexTest, NonIndexedAttributesInvisible) {
+  // author.homepage is not fulltext_indexed in the mini schema; search for
+  // a URL token should find nothing.
+  auto db = testing::MakeMiniAcademicDb();
+  FulltextIndex index = FulltextIndex::Build(*db);
+  EXPECT_TRUE(index.Search({"http"}).empty());
+}
+
+}  // namespace
+}  // namespace templar::text

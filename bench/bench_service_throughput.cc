@@ -1,0 +1,171 @@
+// Serving-layer throughput: QPS of TemplarService at 1/4/8 client threads,
+// cold cache (every request computed) vs warm cache (every request a hit).
+//
+//   $ ./build/bench/bench_service_throughput [seconds-per-cell]
+//
+// Clients issue the synchronous MapKeywords/InferJoins calls directly from
+// their own threads, cycling over the MAS benchmark's hand parses; a warm
+// run first touches every distinct request once. Scaling headroom depends
+// on the hardware: warm-cache hits are lock-light (sharded LRU, shared QFG
+// lock never taken), so QPS should scale near-linearly with cores.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "datasets/dataset.h"
+#include "service/templar_service.h"
+
+using namespace templar;
+
+namespace {
+
+struct Request {
+  bool is_map = true;
+  nlq::ParsedNlq nlq;
+  std::vector<std::string> bag;
+};
+
+std::vector<Request> BuildWorkload(const datasets::Dataset& dataset,
+                                   size_t max_requests) {
+  std::vector<Request> requests;
+  for (const auto& item : dataset.benchmark) {
+    if (requests.size() >= max_requests) break;
+    Request map_request;
+    map_request.is_map = true;
+    map_request.nlq = item.gold_parse;
+    requests.push_back(std::move(map_request));
+
+    Request join_request;
+    join_request.is_map = false;
+    for (const auto& rel : item.gold_sql.from) {
+      // Deduplicate: the bag API names self-join duplicates "rel#1", which
+      // the gold FROM clause expresses via aliases instead.
+      if (std::find(join_request.bag.begin(), join_request.bag.end(),
+                    rel.table) == join_request.bag.end()) {
+        join_request.bag.push_back(rel.table);
+      }
+    }
+    if (!join_request.bag.empty()) requests.push_back(std::move(join_request));
+  }
+  return requests;
+}
+
+double RunCell(service::TemplarService& service,
+               const std::vector<Request>& requests, int threads,
+               double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> errors{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Request& request = requests[i % requests.size()];
+        i += 1;
+        bool ok;
+        if (request.is_map) {
+          ok = service.MapKeywords(request.nlq).ok();
+        } else {
+          ok = service.InferJoins(request.bag).ok();
+        }
+        if (!ok) errors.fetch_add(1, std::memory_order_relaxed);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& client : clients) client.join();
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (errors.load() > 0) {
+    std::fprintf(stderr, "warning: %llu request errors\n",
+                 static_cast<unsigned long long>(errors.load()));
+  }
+  return static_cast<double>(completed.load()) / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = argc > 1 ? std::atof(argv[1]) : 2.0;
+  if (seconds <= 0) seconds = 2.0;
+
+  std::printf("== TemplarService throughput ==\n");
+  std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
+
+  auto dataset = datasets::BuildMas();
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Request> requests = BuildWorkload(*dataset, 64);
+  std::printf("workload: %zu distinct requests (MAS gold parses + bags)\n",
+              requests.size());
+
+  const int thread_counts[] = {1, 4, 8};
+  double warm_qps[3] = {0, 0, 0};
+
+  for (int warm = 0; warm <= 1; ++warm) {
+    std::printf("\n-- %s cache --\n", warm ? "warm" : "cold");
+    for (int cell = 0; cell < 3; ++cell) {
+      int threads = thread_counts[cell];
+      // Fresh service per cell so one cell's cache state never leaks into
+      // another. Cold cells use a degenerate 1-entry cache: the workload
+      // cycles, so a real capacity would be fully warm after one lap —
+      // this way every cold request exercises the compute path.
+      service::ServiceOptions options;
+      options.worker_threads = static_cast<size_t>(threads);
+      options.map_cache_capacity = warm ? 4096 : 1;
+      options.join_cache_capacity = warm ? 4096 : 1;
+      options.cache_shards = warm ? 32 : 1;
+      auto service = service::TemplarService::Create(
+          dataset->database.get(), dataset->lexicon.get(),
+          dataset->extra_log, options);
+      if (!service.ok()) {
+        std::fprintf(stderr, "service: %s\n",
+                     service.status().ToString().c_str());
+        return 1;
+      }
+      if (warm) {
+        for (const auto& request : requests) {
+          if (request.is_map) {
+            (void)(*service)->MapKeywords(request.nlq);
+          } else {
+            (void)(*service)->InferJoins(request.bag);
+          }
+        }
+      }
+      double qps = RunCell(**service, requests, threads, seconds);
+      if (warm) warm_qps[cell] = qps;
+      service::ServiceStats stats = (*service)->Stats();
+      double hit_rate =
+          (stats.map_cache.HitRate() + stats.join_cache.HitRate()) / 2;
+      std::printf("  %d thread%s: %10.0f QPS  (cache hit rate %.2f)\n",
+                  threads, threads == 1 ? " " : "s", qps, hit_rate);
+    }
+  }
+
+  if (warm_qps[0] > 0) {
+    double speedup = warm_qps[2] / warm_qps[0];
+    std::printf("\nwarm-cache speedup, 8 threads vs 1: %.2fx", speedup);
+    if (std::thread::hardware_concurrency() < 8) {
+      std::printf("  (only %u hardware threads available)",
+                  std::thread::hardware_concurrency());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

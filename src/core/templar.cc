@@ -28,4 +28,24 @@ Result<std::unique_ptr<Templar>> Templar::Build(
   return t;
 }
 
+Result<std::unique_ptr<Templar>> Templar::BuildFromQfg(
+    const db::Database* db, const embed::SimilarityModel* model,
+    qfg::QueryFragmentGraph qfg, TemplarOptions options) {
+  if (db == nullptr || model == nullptr) {
+    return Status::InvalidArgument("db and model must be non-null");
+  }
+  options.obscurity = qfg.level();
+  std::unique_ptr<Templar> t(new Templar(db, model, options));
+  // qfg_'s address is stable across this move-assign, so the mapper and
+  // join generator pointers taken in the constructor stay valid.
+  t->qfg_ = std::move(qfg);
+  return t;
+}
+
+Status Templar::AppendLogQuery(const std::string& sql_text) {
+  Status st = qfg_.AddQuerySql(sql_text);
+  if (!st.ok()) ++skipped_log_entries_;
+  return st;
+}
+
 }  // namespace templar::core

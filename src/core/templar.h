@@ -45,6 +45,13 @@ class Templar {
       const db::Database* db, const embed::SimilarityModel* model,
       const std::vector<std::string>& query_log, TemplarOptions options = {});
 
+  /// \brief Warm-start Build: adopts an already-populated QFG (e.g. restored
+  /// from a qfg_io snapshot) instead of re-parsing the log. The graph's
+  /// obscurity level overrides `options.obscurity`.
+  static Result<std::unique_ptr<Templar>> BuildFromQfg(
+      const db::Database* db, const embed::SimilarityModel* model,
+      qfg::QueryFragmentGraph qfg, TemplarOptions options = {});
+
   /// \brief Interface call 1: MAPKEYWORDS (Sec. III-C1).
   Result<std::vector<Configuration>> MapKeywords(
       const nlq::ParsedNlq& nlq) const {
@@ -56,6 +63,19 @@ class Templar {
       const std::vector<std::string>& relation_bag) const {
     return joins_->InferJoins(relation_bag);
   }
+
+  /// \brief Folds one additional log entry into the QFG (online ingestion).
+  ///
+  /// NOT thread-safe against concurrent MapKeywords/InferJoins: both score
+  /// against the QFG. Callers that serve concurrently must hold an exclusive
+  /// lock over this call and a shared lock over the two interface calls —
+  /// service::TemplarService implements exactly that protocol. Unparseable
+  /// entries are counted in skipped_log_entries() and returned as ParseError.
+  Status AppendLogQuery(const std::string& sql_text);
+
+  /// \brief Same, for an entry the caller has already parsed (lets services
+  /// parse outside their write lock).
+  void AppendLogQuery(const sql::SelectQuery& query) { qfg_.AddQuery(query); }
 
   const qfg::QueryFragmentGraph& query_fragment_graph() const { return qfg_; }
   const graph::SchemaGraph& schema_graph() const { return schema_graph_; }

@@ -65,6 +65,25 @@ Result<FragmentContext> ContextFromString(const std::string& s) {
   return Status::ParseError("unknown fragment context '" + s + "'");
 }
 
+/// Strict count parse: std::stoull would throw (escaping as an exception
+/// rather than a ParseError) on corrupt digits and silently accepts
+/// trailing garbage ("12abc").
+Result<uint64_t> CountFromString(const std::string& s) {
+  if (s.empty()) return Status::ParseError("empty count");
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError("bad count '" + s + "'");
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::ParseError("count overflow '" + s + "'");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
 Result<ObscurityLevel> LevelFromString(const std::string& s) {
   if (s == "Full") return ObscurityLevel::kFull;
   if (s == "NoConst") return ObscurityLevel::kNoConst;
@@ -112,7 +131,8 @@ Result<QueryFragmentGraph> LoadQfg(std::istream* in) {
   }
   TEMPLAR_ASSIGN_OR_RETURN(ObscurityLevel level, LevelFromString(header[2]));
   QueryFragmentGraph graph(level);
-  graph.set_query_count(std::stoull(header[3]));
+  TEMPLAR_ASSIGN_OR_RETURN(uint64_t query_count, CountFromString(header[3]));
+  graph.set_query_count(query_count);
 
   size_t line_no = 1;
   while (std::getline(*in, line)) {
@@ -128,8 +148,8 @@ Result<QueryFragmentGraph> LoadQfg(std::istream* in) {
       TEMPLAR_ASSIGN_OR_RETURN(FragmentContext ctx,
                                ContextFromString(fields[2]));
       TEMPLAR_ASSIGN_OR_RETURN(std::string expr, Unescape(fields[3]));
-      graph.RestoreVertex(QueryFragment{ctx, std::move(expr)},
-                          std::stoull(fields[1]));
+      TEMPLAR_ASSIGN_OR_RETURN(uint64_t count, CountFromString(fields[1]));
+      graph.RestoreVertex(QueryFragment{ctx, std::move(expr)}, count);
     } else if (fields[0] == "E") {
       if (fields.size() != 6) return err("E record needs 6 fields");
       TEMPLAR_ASSIGN_OR_RETURN(FragmentContext ca,
@@ -138,9 +158,10 @@ Result<QueryFragmentGraph> LoadQfg(std::istream* in) {
       TEMPLAR_ASSIGN_OR_RETURN(FragmentContext cb,
                                ContextFromString(fields[4]));
       TEMPLAR_ASSIGN_OR_RETURN(std::string eb, Unescape(fields[5]));
+      TEMPLAR_ASSIGN_OR_RETURN(uint64_t count, CountFromString(fields[1]));
       TEMPLAR_RETURN_NOT_OK(graph.RestoreEdge(QueryFragment{ca, std::move(ea)},
                                               QueryFragment{cb, std::move(eb)},
-                                              std::stoull(fields[1])));
+                                              count));
     } else {
       return err("unknown record type '" + fields[0] + "'");
     }

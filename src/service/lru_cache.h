@@ -1,0 +1,167 @@
+#ifndef TEMPLAR_SERVICE_LRU_CACHE_H_
+#define TEMPLAR_SERVICE_LRU_CACHE_H_
+
+/// \file lru_cache.h
+/// \brief A sharded, thread-safe LRU cache with epoch-based invalidation.
+///
+/// The serving layer answers repeated MAPKEYWORDS / INFERJOINS requests from
+/// this cache. Keys are canonicalized request strings; values are the ranked
+/// result vectors, held by shared_ptr so the shard's critical section only
+/// copies a pointer (the service copies the vector out after releasing the
+/// lock, to keep its API a drop-in for core::Templar's by-value returns).
+/// The key space is split across independent shards, each with its
+/// own mutex and LRU list, so concurrent clients touching different keys do
+/// not serialize on one lock.
+///
+/// Staleness: every entry is stamped with the QFG *epoch* current when it
+/// was computed. `Get` takes the caller's current epoch and treats any entry
+/// from an older epoch as a miss (dropping it), so cached rankings computed
+/// before an `AppendLogQueries` batch are never served afterwards. This
+/// makes invalidation O(1) per append — no cache sweep — at the cost of
+/// lazily shedding stale entries on their next touch.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace templar::service {
+
+/// \brief Counters describing one cache (aggregated over shards).
+struct LruCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;       ///< Includes stale drops.
+  uint64_t stale_drops = 0;  ///< Misses caused by an epoch change.
+  uint64_t evictions = 0;    ///< Capacity evictions (LRU tail).
+  size_t entries = 0;
+  size_t capacity = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// \brief Sharded LRU map from std::string keys to `Value`.
+///
+/// `Value` should be cheap to copy (the service uses
+/// `std::shared_ptr<const std::vector<...>>`). All methods are thread-safe.
+template <typename Value>
+class ShardedLruCache {
+ public:
+  /// \param capacity total entry budget, split evenly across shards
+  ///        (rounded up; each shard holds at least one entry).
+  /// \param num_shards number of independent shards; clamped to >= 1.
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8)
+      : per_shard_capacity_(
+            std::max<size_t>(1, (capacity + std::max<size_t>(1, num_shards) -
+                                 1) /
+                                    std::max<size_t>(1, num_shards))),
+        shards_(std::max<size_t>(1, num_shards)) {}
+
+  /// \brief Looks up `key`. An entry stamped with an epoch older than
+  /// `epoch` is dropped and reported as a miss.
+  std::optional<Value> Get(const std::string& key, uint64_t epoch) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.misses;
+      return std::nullopt;
+    }
+    // Only an OLDER entry is stale. A newer-stamped entry (another thread
+    // recomputed after an append this caller hasn't observed yet) is fresher
+    // than what the caller would compute — serving it is always safe.
+    if (it->second->epoch < epoch) {
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      ++shard.misses;
+      ++shard.stale_drops;
+      return std::nullopt;
+    }
+    // Move to front (most recently used).
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    return it->second->value;
+  }
+
+  /// \brief Inserts or refreshes `key`, stamped with `epoch`. Evicts the
+  /// least-recently-used entry of the shard when over budget.
+  void Put(const std::string& key, Value value, uint64_t epoch) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->value = std::move(value);
+      it->second->epoch = epoch;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    shard.lru.push_front(Entry{key, std::move(value), epoch});
+    shard.index.emplace(key, shard.lru.begin());
+    if (shard.lru.size() > per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+  }
+
+  /// \brief Drops every entry (counters are kept).
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.lru.clear();
+      shard.index.clear();
+    }
+  }
+
+  /// \brief Aggregated counters over all shards.
+  LruCacheStats Stats() const {
+    LruCacheStats stats;
+    stats.capacity = per_shard_capacity_ * shards_.size();
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      stats.hits += shard.hits;
+      stats.misses += shard.misses;
+      stats.stale_drops += shard.stale_drops;
+      stats.evictions += shard.evictions;
+      stats.entries += shard.lru.size();
+    }
+    return stats;
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    Value value;
+    uint64_t epoch;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, typename std::list<Entry>::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t stale_drops = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace templar::service
+
+#endif  // TEMPLAR_SERVICE_LRU_CACHE_H_

@@ -1,0 +1,63 @@
+#ifndef TEMPLAR_SERVICE_SERVICE_STATS_H_
+#define TEMPLAR_SERVICE_SERVICE_STATS_H_
+
+/// \file service_stats.h
+/// \brief Point-in-time observability snapshot of a TemplarService.
+
+#include <cstdint>
+#include <string>
+
+#include "service/lru_cache.h"
+
+namespace templar::service {
+
+/// \brief A consistent snapshot of the service counters, suitable for
+/// logging or a metrics endpoint. Obtained from TemplarService::Stats().
+struct ServiceStats {
+  // Request counters (cumulative since service start).
+  uint64_t map_requests = 0;
+  uint64_t join_requests = 0;
+
+  // Result caches.
+  LruCacheStats map_cache;
+  LruCacheStats join_cache;
+
+  // Online ingestion.
+  uint64_t epoch = 0;              ///< Bumped once per AppendLogQueries batch.
+  uint64_t append_batches = 0;
+  uint64_t appended_queries = 0;   ///< Log entries folded into the QFG.
+  uint64_t skipped_log_entries = 0;  ///< Unparseable entries (Build + append).
+
+  // QFG shape at snapshot time.
+  uint64_t qfg_query_count = 0;
+  size_t qfg_vertices = 0;
+  size_t qfg_edges = 0;
+
+  size_t worker_threads = 0;
+
+  std::string ToString() const {
+    auto cache_line = [](const char* name, const LruCacheStats& c) {
+      return std::string(name) + ": " + std::to_string(c.entries) + "/" +
+             std::to_string(c.capacity) + " entries, " +
+             std::to_string(c.hits) + " hits, " + std::to_string(c.misses) +
+             " misses (" + std::to_string(c.stale_drops) + " stale), " +
+             std::to_string(c.evictions) + " evictions";
+    };
+    return "requests: map=" + std::to_string(map_requests) +
+           " join=" + std::to_string(join_requests) + "\n" +
+           cache_line("map_cache", map_cache) + "\n" +
+           cache_line("join_cache", join_cache) + "\n" +
+           "ingestion: epoch=" + std::to_string(epoch) +
+           " batches=" + std::to_string(append_batches) +
+           " appended=" + std::to_string(appended_queries) +
+           " skipped=" + std::to_string(skipped_log_entries) + "\n" +
+           "qfg: " + std::to_string(qfg_query_count) + " queries, " +
+           std::to_string(qfg_vertices) + " vertices, " +
+           std::to_string(qfg_edges) + " edges\n" +
+           "workers: " + std::to_string(worker_threads);
+  }
+};
+
+}  // namespace templar::service
+
+#endif  // TEMPLAR_SERVICE_SERVICE_STATS_H_

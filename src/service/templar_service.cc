@@ -1,0 +1,270 @@
+#include "service/templar_service.h"
+
+#include <algorithm>
+
+#include "qfg/qfg_io.h"
+#include "sql/parser.h"
+
+namespace templar::service {
+
+namespace {
+
+/// Collapses runs of whitespace to single spaces and trims the ends, so two
+/// NLQs differing only in spacing share a cache entry.
+std::string NormalizeSpace(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = true;  // Leading whitespace is dropped.
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      in_space = true;
+      continue;
+    }
+    if (in_space && !out.empty()) out += ' ';
+    in_space = false;
+    out += c;
+  }
+  return out;
+}
+
+constexpr char kFieldSep = '\x1f';   // Within one keyword record.
+constexpr char kRecordSep = '\x1e';  // Between keyword records.
+
+/// Escapes the separator bytes (and the escape char itself) in free-form
+/// fields: keyword text and relation names are user/NLIDB input, and an
+/// embedded \x1e/\x1f would otherwise let two distinct requests collide on
+/// one cache key and serve each other's rankings.
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case kFieldSep:
+        out += "%1F";
+        break;
+      case kRecordSep:
+        out += "%1E";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TemplarService::MapCacheKey(const nlq::ParsedNlq& nlq) {
+  std::string key;
+  for (const auto& kw : nlq.keywords) {
+    key += EscapeField(NormalizeSpace(kw.text));
+    key += kFieldSep;
+    key += qfg::FragmentContextToString(kw.metadata.context);
+    key += kFieldSep;
+    key += kw.metadata.op ? sql::BinaryOpToString(*kw.metadata.op) : "-";
+    key += kFieldSep;
+    for (sql::AggFunc f : kw.metadata.aggs) {
+      key += sql::AggFuncToString(f);
+      key += ',';
+    }
+    key += kFieldSep;
+    key += kw.metadata.group_by ? '1' : '0';
+    key += kRecordSep;
+  }
+  return key;
+}
+
+std::string TemplarService::JoinCacheKey(const std::vector<std::string>& bag) {
+  // Terminal order does not change the Steiner problem; sort so permuted
+  // bags share an entry.
+  std::vector<std::string> sorted = bag;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& instance : sorted) {
+    key += EscapeField(instance);
+    key += kRecordSep;
+  }
+  return key;
+}
+
+Result<std::unique_ptr<TemplarService>> TemplarService::Create(
+    const db::Database* db, const embed::SimilarityModel* model,
+    const std::vector<std::string>& query_log, ServiceOptions options) {
+  Result<std::unique_ptr<core::Templar>> templar = [&] {
+    if (!options.warm_start_path.empty()) {
+      auto snapshot = qfg::LoadQfgFromFile(options.warm_start_path);
+      if (!snapshot.ok()) {
+        return Result<std::unique_ptr<core::Templar>>(snapshot.status());
+      }
+      return core::Templar::BuildFromQfg(db, model, std::move(*snapshot),
+                                         options.templar);
+    }
+    return core::Templar::Build(db, model, query_log, options.templar);
+  }();
+  if (!templar.ok()) return templar.status();
+  return std::unique_ptr<TemplarService>(
+      new TemplarService(std::move(*templar), options));
+}
+
+TemplarService::TemplarService(std::unique_ptr<core::Templar> templar,
+                               const ServiceOptions& options)
+    : templar_(std::move(templar)),
+      map_cache_(options.map_cache_capacity, options.cache_shards),
+      join_cache_(options.join_cache_capacity, options.cache_shards),
+      pool_(options.worker_threads) {}
+
+TemplarService::~TemplarService() = default;
+
+Result<std::vector<core::Configuration>> TemplarService::MapKeywords(
+    const nlq::ParsedNlq& nlq) {
+  map_requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string key = MapCacheKey(nlq);
+  if (auto hit = map_cache_.Get(key, epoch())) return **hit;
+
+  std::shared_lock<std::shared_mutex> lock(qfg_mutex_);
+  // Re-read under the lock: this is exactly the QFG state being scored, so
+  // the entry is stamped with the epoch it was computed in.
+  const uint64_t computed_at = epoch();
+  auto result = templar_->MapKeywords(nlq);
+  lock.unlock();
+
+  if (!result.ok()) return result.status();
+  auto value = std::make_shared<const std::vector<core::Configuration>>(
+      std::move(*result));
+  map_cache_.Put(key, value, computed_at);
+  return *value;
+}
+
+Result<std::vector<graph::JoinPath>> TemplarService::InferJoins(
+    const std::vector<std::string>& relation_bag) {
+  join_requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string key = JoinCacheKey(relation_bag);
+  if (auto hit = join_cache_.Get(key, epoch())) return **hit;
+
+  std::shared_lock<std::shared_mutex> lock(qfg_mutex_);
+  const uint64_t computed_at = epoch();
+  auto result = templar_->InferJoins(relation_bag);
+  lock.unlock();
+
+  if (!result.ok()) return result.status();
+  auto value = std::make_shared<const std::vector<graph::JoinPath>>(
+      std::move(*result));
+  join_cache_.Put(key, value, computed_at);
+  return *value;
+}
+
+std::future<Result<std::vector<core::Configuration>>>
+TemplarService::MapKeywordsAsync(nlq::ParsedNlq nlq) {
+  return pool_.Submit(
+      [this, nlq = std::move(nlq)] { return MapKeywords(nlq); });
+}
+
+std::future<Result<std::vector<graph::JoinPath>>>
+TemplarService::InferJoinsAsync(std::vector<std::string> relation_bag) {
+  return pool_.Submit([this, relation_bag = std::move(relation_bag)] {
+    return InferJoins(relation_bag);
+  });
+}
+
+std::vector<Result<std::vector<core::Configuration>>>
+TemplarService::MapKeywordsBatch(const std::vector<nlq::ParsedNlq>& nlqs) {
+  std::vector<std::future<Result<std::vector<core::Configuration>>>> futures;
+  futures.reserve(nlqs.size());
+  for (const auto& nlq : nlqs) {
+    futures.push_back(
+        pool_.Submit([this, &nlq] { return MapKeywords(nlq); }));
+  }
+  std::vector<Result<std::vector<core::Configuration>>> results;
+  results.reserve(nlqs.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+std::vector<Result<std::vector<graph::JoinPath>>>
+TemplarService::InferJoinsBatch(
+    const std::vector<std::vector<std::string>>& relation_bags) {
+  std::vector<std::future<Result<std::vector<graph::JoinPath>>>> futures;
+  futures.reserve(relation_bags.size());
+  for (const auto& bag : relation_bags) {
+    futures.push_back(pool_.Submit([this, &bag] { return InferJoins(bag); }));
+  }
+  std::vector<Result<std::vector<graph::JoinPath>>> results;
+  results.reserve(relation_bags.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+AppendOutcome TemplarService::AppendLogQueries(
+    const std::vector<std::string>& sql_entries) {
+  // Parse outside any lock — parsing dominates ingestion cost and must not
+  // block readers.
+  std::vector<sql::SelectQuery> parsed;
+  parsed.reserve(sql_entries.size());
+  size_t skipped = 0;
+  for (const auto& entry : sql_entries) {
+    auto query = sql::Parse(entry);
+    if (query.ok()) {
+      parsed.push_back(std::move(*query));
+    } else {
+      ++skipped;
+    }
+  }
+
+  AppendOutcome outcome;
+  outcome.skipped = skipped;
+  outcome.appended = parsed.size();
+  append_batches_.fetch_add(1, std::memory_order_relaxed);
+  skipped_appends_.fetch_add(skipped, std::memory_order_relaxed);
+
+  if (parsed.empty()) {
+    // Nothing changed; existing cache entries remain valid.
+    outcome.epoch = epoch();
+    return outcome;
+  }
+
+  {
+    std::unique_lock<std::shared_mutex> lock(qfg_mutex_);
+    for (const auto& query : parsed) templar_->AppendLogQuery(query);
+    // Bump inside the exclusive section: readers acquiring the shared lock
+    // afterwards observe both the new counts and the new epoch.
+    outcome.epoch =
+        epoch_.fetch_add(1, std::memory_order_release) + 1;
+  }
+  appended_queries_.fetch_add(parsed.size(), std::memory_order_relaxed);
+  return outcome;
+}
+
+Status TemplarService::SaveSnapshot(const std::string& path) const {
+  std::shared_lock<std::shared_mutex> lock(qfg_mutex_);
+  return qfg::SaveQfgToFile(templar_->query_fragment_graph(), path);
+}
+
+ServiceStats TemplarService::Stats() const {
+  ServiceStats stats;
+  stats.map_requests = map_requests_.load(std::memory_order_relaxed);
+  stats.join_requests = join_requests_.load(std::memory_order_relaxed);
+  stats.map_cache = map_cache_.Stats();
+  stats.join_cache = join_cache_.Stats();
+  stats.append_batches = append_batches_.load(std::memory_order_relaxed);
+  stats.appended_queries = appended_queries_.load(std::memory_order_relaxed);
+  stats.worker_threads = pool_.size();
+  {
+    std::shared_lock<std::shared_mutex> lock(qfg_mutex_);
+    // Under the lock so the reported epoch matches the QFG counts (appends
+    // hold the exclusive lock while bumping).
+    stats.epoch = epoch();
+    const auto& qfg = templar_->query_fragment_graph();
+    stats.qfg_query_count = qfg.query_count();
+    stats.qfg_vertices = qfg.vertex_count();
+    stats.qfg_edges = qfg.edge_count();
+    stats.skipped_log_entries =
+        templar_->skipped_log_entries() +
+        skipped_appends_.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+}  // namespace templar::service

@@ -1,0 +1,159 @@
+#ifndef TEMPLAR_SERVICE_TEMPLAR_SERVICE_H_
+#define TEMPLAR_SERVICE_TEMPLAR_SERVICE_H_
+
+/// \file templar_service.h
+/// \brief The concurrent Templar serving layer.
+///
+/// The core library (core/templar.h) is a single-threaded facade: an
+/// instance is frozen at Build time and its two interface calls are const.
+/// TemplarService turns that into a servable system:
+///
+///  - **Concurrency.** Synchronous MapKeywords/InferJoins may be called from
+///    any number of client threads; Async/Batch variants run on an internal
+///    fixed-size worker pool (thread_pool.h).
+///  - **Result caching.** Repeated requests are answered from two sharded
+///    LRU caches (lru_cache.h) keyed on the canonicalized NLQ / relation
+///    bag. Hit/miss/eviction counters surface via Stats().
+///  - **Online QFG ingestion.** AppendLogQueries folds freshly-observed SQL
+///    into the QueryFragmentGraph while the service keeps answering:
+///    entries are parsed outside any lock, then applied under an exclusive
+///    `std::shared_mutex` writer section; readers score configurations under
+///    shared locks. Each append batch bumps an *epoch*; cache entries are
+///    stamped with the epoch they were computed in and are dropped on their
+///    next touch once it changes, so cached rankings never go stale.
+///  - **Warm start / checkpoint.** SaveSnapshot writes the QFG in the
+///    qfg_io v1 format; ServiceOptions::warm_start_path restores it at
+///    Create time, skipping the log re-parse.
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/templar.h"
+#include "service/lru_cache.h"
+#include "service/service_stats.h"
+#include "service/thread_pool.h"
+
+namespace templar::service {
+
+/// \brief Serving-layer tunables on top of the core TemplarOptions.
+struct ServiceOptions {
+  core::TemplarOptions templar;
+  /// Worker threads for Async/Batch requests; 0 = hardware concurrency.
+  size_t worker_threads = 4;
+  /// Total entries per result cache (split across shards).
+  size_t map_cache_capacity = 4096;
+  size_t join_cache_capacity = 4096;
+  /// Independent lock shards per cache.
+  size_t cache_shards = 8;
+  /// When non-empty, restore the QFG from this qfg_io snapshot instead of
+  /// parsing `query_log` (which is then ignored).
+  std::string warm_start_path;
+};
+
+/// \brief Outcome of one AppendLogQueries batch.
+struct AppendOutcome {
+  size_t appended = 0;  ///< Entries folded into the QFG.
+  size_t skipped = 0;   ///< Unparseable entries.
+  uint64_t epoch = 0;   ///< Epoch after the batch (caches older than this
+                        ///  are stale).
+};
+
+/// \brief A thread-safe, caching Templar server bound to one database.
+///
+/// All public methods are safe to call concurrently from any thread.
+class TemplarService {
+ public:
+  /// \brief Builds the service. `db` and `model` must outlive it.
+  static Result<std::unique_ptr<TemplarService>> Create(
+      const db::Database* db, const embed::SimilarityModel* model,
+      const std::vector<std::string>& query_log, ServiceOptions options = {});
+
+  ~TemplarService();
+
+  TemplarService(const TemplarService&) = delete;
+  TemplarService& operator=(const TemplarService&) = delete;
+
+  /// \name Synchronous request API (runs on the caller's thread)
+  ///@{
+  Result<std::vector<core::Configuration>> MapKeywords(
+      const nlq::ParsedNlq& nlq);
+  Result<std::vector<graph::JoinPath>> InferJoins(
+      const std::vector<std::string>& relation_bag);
+  ///@}
+
+  /// \name Asynchronous request API (runs on the worker pool)
+  ///@{
+  std::future<Result<std::vector<core::Configuration>>> MapKeywordsAsync(
+      nlq::ParsedNlq nlq);
+  std::future<Result<std::vector<graph::JoinPath>>> InferJoinsAsync(
+      std::vector<std::string> relation_bag);
+  ///@}
+
+  /// \name Batched request API
+  /// Fans the batch out over the worker pool and waits for every element;
+  /// results are positionally aligned with the inputs.
+  ///@{
+  std::vector<Result<std::vector<core::Configuration>>> MapKeywordsBatch(
+      const std::vector<nlq::ParsedNlq>& nlqs);
+  std::vector<Result<std::vector<graph::JoinPath>>> InferJoinsBatch(
+      const std::vector<std::vector<std::string>>& relation_bags);
+  ///@}
+
+  /// \brief Folds new SQL log entries into the QFG while serving continues.
+  ///
+  /// Entries are parsed outside the write lock; the exclusive section only
+  /// applies pre-parsed queries and bumps the epoch, so readers are blocked
+  /// for the minimum time. Unparseable entries are skipped and counted.
+  AppendOutcome AppendLogQueries(const std::vector<std::string>& sql_entries);
+
+  /// \brief Checkpoints the current QFG in the qfg_io v1 snapshot format
+  /// (restorable via ServiceOptions::warm_start_path).
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// \brief Consistent counter snapshot.
+  ServiceStats Stats() const;
+
+  /// \brief Current ingestion epoch (bumped once per append batch).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// \brief Canonical cache key for an NLQ: whitespace-normalized keyword
+  /// texts with their metadata, order-preserving. Exposed for tests.
+  static std::string MapCacheKey(const nlq::ParsedNlq& nlq);
+  /// \brief Canonical cache key for a relation bag: sorted instance names
+  /// (bag order does not affect the Steiner terminals). Exposed for tests.
+  static std::string JoinCacheKey(const std::vector<std::string>& bag);
+
+ private:
+  TemplarService(std::unique_ptr<core::Templar> templar,
+                 const ServiceOptions& options);
+
+  using ConfigResult = std::shared_ptr<const std::vector<core::Configuration>>;
+  using JoinResult = std::shared_ptr<const std::vector<graph::JoinPath>>;
+
+  std::unique_ptr<core::Templar> templar_;
+
+  /// Guards the QFG: shared for scoring reads, exclusive for ingestion.
+  mutable std::shared_mutex qfg_mutex_;
+  std::atomic<uint64_t> epoch_{0};
+
+  ShardedLruCache<ConfigResult> map_cache_;
+  ShardedLruCache<JoinResult> join_cache_;
+
+  std::atomic<uint64_t> map_requests_{0};
+  std::atomic<uint64_t> join_requests_{0};
+  std::atomic<uint64_t> append_batches_{0};
+  std::atomic<uint64_t> appended_queries_{0};
+  std::atomic<uint64_t> skipped_appends_{0};
+
+  // Declared last: workers must stop before members they touch are torn down.
+  ThreadPool pool_;
+};
+
+}  // namespace templar::service
+
+#endif  // TEMPLAR_SERVICE_TEMPLAR_SERVICE_H_

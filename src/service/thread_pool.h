@@ -1,0 +1,69 @@
+#ifndef TEMPLAR_SERVICE_THREAD_POOL_H_
+#define TEMPLAR_SERVICE_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// \brief A fixed-size worker pool for the Templar serving layer.
+///
+/// Tasks are submitted as callables and executed FIFO by a fixed set of
+/// worker threads; `Submit` hands back a `std::future` for the result. The
+/// pool is deliberately minimal — no work stealing, no priorities — because
+/// service requests are coarse-grained (a full MAPKEYWORDS / INFERJOINS call
+/// each) and fairness matters more than scheduling cleverness.
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace templar::service {
+
+/// \brief Fixed-size FIFO thread pool. Destruction drains queued tasks
+/// (every submitted future is eventually satisfied) and joins the workers.
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; 0 means `hardware_concurrency()`
+  /// (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues `fn` and returns a future for its result. Submitting
+  /// after shutdown has begun is a programming error (the task is dropped
+  /// and the future holds a broken_promise).
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Post([task]() { (*task)(); });
+    return result;
+  }
+
+  /// \brief Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// \brief Tasks currently queued (diagnostics; racy by nature).
+  size_t QueueDepth() const;
+
+ private:
+  void Post(std::function<void()> task);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace templar::service
+
+#endif  // TEMPLAR_SERVICE_THREAD_POOL_H_

@@ -115,6 +115,65 @@ TEST(QfgIoTest, RejectsMalformedInput) {
   }
 }
 
+TEST(QfgIoTest, HostileCharactersRoundTripByteIdentical) {
+  // Fragment expressions carrying literal tab, newline AND percent — the
+  // three characters the '%'-escape must cover — injected directly via the
+  // restore API (the SQL parser cannot produce a newline inside a literal,
+  // but snapshots of hand-restored graphs can).
+  QueryFragmentGraph graph(ObscurityLevel::kFull);
+  QueryFragment tabby{FragmentContext::kWhere, "a.b = 'x\ty'"};
+  QueryFragment liney{FragmentContext::kWhere, "a.c = 'line1\nline2'"};
+  QueryFragment pct{FragmentContext::kWhere, "a.d LIKE '100%\t%0A\n%'"};
+  graph.RestoreVertex(tabby, 3);
+  graph.RestoreVertex(liney, 2);
+  graph.RestoreVertex(pct, 5);
+  ASSERT_TRUE(graph.RestoreEdge(tabby, liney, 1).ok());
+  ASSERT_TRUE(graph.RestoreEdge(liney, pct, 2).ok());
+  graph.set_query_count(5);
+
+  std::stringstream first;
+  ASSERT_TRUE(SaveQfg(graph, &first).ok());
+  std::string first_text = first.str();
+  std::stringstream reread(first_text);
+  auto restored = LoadQfg(&reread);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // Save -> load -> save is byte-identical.
+  std::stringstream second;
+  ASSERT_TRUE(SaveQfg(*restored, &second).ok());
+  EXPECT_EQ(first_text, second.str());
+
+  // And the hostile expressions restore verbatim, including the "%0A" that
+  // must not be double-unescaped.
+  EXPECT_EQ(restored->Occurrences(tabby), 3u);
+  EXPECT_EQ(restored->Occurrences(liney), 2u);
+  EXPECT_EQ(restored->Occurrences(pct), 5u);
+  EXPECT_EQ(restored->CoOccurrences(tabby, liney), 1u);
+  EXPECT_EQ(restored->CoOccurrences(liney, pct), 2u);
+}
+
+TEST(QfgIoTest, RejectsCorruptCounts) {
+  // Non-numeric counts must be ParseError, not an uncaught exception.
+  {
+    std::stringstream bad_header_count("templar-qfg\tv1\tFull\tbanana\n");
+    EXPECT_TRUE(LoadQfg(&bad_header_count).status().IsParseError());
+  }
+  {
+    std::stringstream trailing_garbage(
+        "templar-qfg\tv1\tFull\t1\nV\t12abc\tSELECT\ta.b\n");
+    EXPECT_TRUE(LoadQfg(&trailing_garbage).status().IsParseError());
+  }
+  {
+    std::stringstream overflow(
+        "templar-qfg\tv1\tFull\t99999999999999999999999\n");
+    EXPECT_TRUE(LoadQfg(&overflow).status().IsParseError());
+  }
+  {
+    std::stringstream empty_count("templar-qfg\tv1\tFull\t\n");
+    EXPECT_TRUE(LoadQfg(&empty_count).status().IsParseError());
+  }
+}
+
 TEST(QfgIoTest, NullStreamRejected) {
   QueryFragmentGraph graph;
   EXPECT_TRUE(SaveQfg(graph, nullptr).IsInvalidArgument());

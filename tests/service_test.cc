@@ -1,0 +1,383 @@
+// Tests for the serving layer: the sharded LRU cache (capacity, eviction
+// order, sharding, epoch invalidation) and TemplarService behaviour (cache
+// hits, batch/async APIs, online ingestion, warm start).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/lru_cache.h"
+#include "service/templar_service.h"
+#include "test_fixtures.h"
+
+namespace templar::service {
+namespace {
+
+using core::Configuration;
+using graph::JoinPath;
+
+// ---------------------------------------------------------------------------
+// ShardedLruCache
+
+TEST(LruCacheTest, HitAfterPut) {
+  ShardedLruCache<int> cache(/*capacity=*/4, /*num_shards=*/1);
+  cache.Put("a", 1, /*epoch=*/0);
+  auto hit = cache.Get("a", 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 1);
+  EXPECT_FALSE(cache.Get("b", 0).has_value());
+  LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  ShardedLruCache<int> cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put("a", 1, 0);
+  cache.Put("b", 2, 0);
+  // Touch "a" so "b" becomes the LRU entry.
+  EXPECT_TRUE(cache.Get("a", 0).has_value());
+  cache.Put("c", 3, 0);
+  EXPECT_TRUE(cache.Get("a", 0).has_value());
+  EXPECT_FALSE(cache.Get("b", 0).has_value()) << "LRU entry should be gone";
+  EXPECT_TRUE(cache.Get("c", 0).has_value());
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  ShardedLruCache<int> cache(2, 1);
+  cache.Put("a", 1, 0);
+  cache.Put("b", 2, 0);
+  cache.Put("a", 10, 0);  // Refresh, not insert: no eviction.
+  cache.Put("c", 3, 0);   // Evicts "b" (LRU), not "a".
+  EXPECT_EQ(cache.Get("a", 0).value_or(-1), 10);
+  EXPECT_FALSE(cache.Get("b", 0).has_value());
+}
+
+TEST(LruCacheTest, StaleEpochIsDroppedAsMiss) {
+  ShardedLruCache<int> cache(4, 2);
+  cache.Put("a", 1, /*epoch=*/0);
+  EXPECT_FALSE(cache.Get("a", /*epoch=*/1).has_value());
+  LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.stale_drops, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 0u) << "stale entry must be removed";
+  // Re-inserting at the new epoch works.
+  cache.Put("a", 2, 1);
+  EXPECT_EQ(cache.Get("a", 1).value_or(-1), 2);
+}
+
+TEST(LruCacheTest, NewerEpochEntryIsServedNotDropped) {
+  // A caller that read the epoch just before a concurrent append may ask
+  // with an older epoch than a freshly recomputed entry carries; the newer
+  // entry is fresher than anything the caller would compute.
+  ShardedLruCache<int> cache(4, 1);
+  cache.Put("a", 7, /*epoch=*/2);
+  EXPECT_EQ(cache.Get("a", /*epoch=*/1).value_or(-1), 7);
+  EXPECT_EQ(cache.Stats().stale_drops, 0u);
+}
+
+TEST(LruCacheTest, ShardingSplitsCapacityAndNeverLosesKeys) {
+  ShardedLruCache<int> cache(/*capacity=*/64, /*num_shards=*/8);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  EXPECT_EQ(cache.capacity(), 64u);
+  for (int i = 0; i < 64; ++i) cache.Put("key" + std::to_string(i), i, 0);
+  // Each shard holds its own LRU list; nothing evicted until a single shard
+  // exceeds its budget, and every present key round-trips.
+  size_t present = 0;
+  for (int i = 0; i < 64; ++i) {
+    auto hit = cache.Get("key" + std::to_string(i), 0);
+    if (hit) {
+      EXPECT_EQ(*hit, i);
+      ++present;
+    }
+  }
+  EXPECT_EQ(present + cache.Stats().evictions, 64u);
+}
+
+TEST(LruCacheTest, ZeroShardAndCapacityClamped) {
+  ShardedLruCache<int> cache(/*capacity=*/0, /*num_shards=*/0);
+  EXPECT_EQ(cache.shard_count(), 1u);
+  cache.Put("a", 1, 0);
+  EXPECT_TRUE(cache.Get("a", 0).has_value()) << "minimum capacity is 1";
+}
+
+TEST(LruCacheTest, ClearDropsEntriesKeepsCounters) {
+  ShardedLruCache<int> cache(4, 2);
+  cache.Put("a", 1, 0);
+  EXPECT_TRUE(cache.Get("a", 0).has_value());
+  cache.Clear();
+  EXPECT_FALSE(cache.Get("a", 0).has_value());
+  EXPECT_EQ(cache.Stats().hits, 1u);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TemplarService
+
+nlq::ParsedNlq PapersInDatabasesNlq() {
+  nlq::ParsedNlq parsed;
+  parsed.original = "Return the papers in the Databases domain";
+  nlq::AnnotatedKeyword papers;
+  papers.text = "papers";
+  papers.metadata.context = qfg::FragmentContext::kSelect;
+  nlq::AnnotatedKeyword databases;
+  databases.text = "Databases";
+  databases.metadata.context = qfg::FragmentContext::kWhere;
+  databases.metadata.op = sql::BinaryOp::kEq;
+  parsed.keywords = {papers, databases};
+  return parsed;
+}
+
+class TemplarServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniAcademicDb();
+    model_ = testing::MakeMiniLexicon();
+    ServiceOptions options;
+    options.worker_threads = 2;
+    options.map_cache_capacity = 64;
+    options.join_cache_capacity = 64;
+    options.cache_shards = 4;
+    auto service = TemplarService::Create(db_.get(), model_.get(),
+                                          testing::MakeMiniLog(), options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    service_ = std::move(*service);
+  }
+
+  std::unique_ptr<db::Database> db_;
+  std::unique_ptr<embed::EmbeddingModel> model_;
+  std::unique_ptr<TemplarService> service_;
+};
+
+TEST_F(TemplarServiceTest, MapKeywordsCachesRepeatedRequests) {
+  auto first = service_->MapKeywords(PapersInDatabasesNlq());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_FALSE(first->empty());
+  auto second = service_->MapKeywords(PapersInDatabasesNlq());
+  ASSERT_TRUE(second.ok());
+
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.map_requests, 2u);
+  EXPECT_EQ(stats.map_cache.hits, 1u);
+  EXPECT_EQ(stats.map_cache.misses, 1u);
+
+  // The cached ranking is identical to the computed one.
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*first)[i].score, (*second)[i].score);
+    EXPECT_EQ((*first)[i].ToString(), (*second)[i].ToString());
+  }
+}
+
+TEST_F(TemplarServiceTest, InferJoinsCachesAndIgnoresBagOrder) {
+  std::vector<std::string> bag = {"publication", "domain"};
+  std::vector<std::string> reversed = {"domain", "publication"};
+  auto first = service_->InferJoins(bag);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = service_->InferJoins(reversed);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(service_->Stats().join_cache.hits, 1u)
+      << "permuted bag should share the cache entry";
+}
+
+TEST_F(TemplarServiceTest, MapCacheKeyNormalizesWhitespaceOnly) {
+  nlq::ParsedNlq a = PapersInDatabasesNlq();
+  nlq::ParsedNlq b = PapersInDatabasesNlq();
+  b.keywords[0].text = "  papers \t";
+  b.original = "different surface phrasing, same keywords";
+  EXPECT_EQ(TemplarService::MapCacheKey(a), TemplarService::MapCacheKey(b));
+  b.keywords[0].text = "journals";
+  EXPECT_NE(TemplarService::MapCacheKey(a), TemplarService::MapCacheKey(b));
+  // Metadata is part of the key.
+  nlq::ParsedNlq c = PapersInDatabasesNlq();
+  c.keywords[1].metadata.op = sql::BinaryOp::kGt;
+  EXPECT_NE(TemplarService::MapCacheKey(a), TemplarService::MapCacheKey(c));
+}
+
+TEST_F(TemplarServiceTest, JoinCacheKeySortsBag) {
+  EXPECT_EQ(TemplarService::JoinCacheKey({"b", "a", "a#1"}),
+            TemplarService::JoinCacheKey({"a", "a#1", "b"}));
+  EXPECT_NE(TemplarService::JoinCacheKey({"a"}),
+            TemplarService::JoinCacheKey({"a", "b"}));
+}
+
+TEST_F(TemplarServiceTest, CacheKeysEscapeSeparatorBytes) {
+  // Keyword text is user input; embedded separator bytes must not let two
+  // distinct requests collide on one key (cache poisoning).
+  nlq::ParsedNlq two_keywords;
+  nlq::AnnotatedKeyword a, b;
+  a.text = "a";
+  a.metadata.context = qfg::FragmentContext::kSelect;
+  b.text = "b";
+  b.metadata.context = qfg::FragmentContext::kSelect;
+  two_keywords.keywords = {a, b};
+
+  nlq::ParsedNlq one_hostile_keyword;
+  nlq::AnnotatedKeyword hostile;
+  // Crafted to reproduce the two-keyword serialization verbatim if the
+  // separators were left unescaped. Literals are split so "\x1f" is never
+  // followed by a hex digit (maximal-munch would swallow it).
+  hostile.text = std::string("a\x1f") + "SELECT\x1f-\x1f\x1f" + "0\x1e" + "b";
+  hostile.metadata.context = qfg::FragmentContext::kSelect;
+  one_hostile_keyword.keywords = {hostile};
+
+  EXPECT_NE(TemplarService::MapCacheKey(two_keywords),
+            TemplarService::MapCacheKey(one_hostile_keyword));
+
+  EXPECT_NE(TemplarService::JoinCacheKey({std::string("a\x1e") + "b"}),
+            TemplarService::JoinCacheKey({"a", "b"}));
+  // '%' in real input must not alias an escape sequence.
+  EXPECT_NE(TemplarService::JoinCacheKey({"a%1E"}),
+            TemplarService::JoinCacheKey({std::string("a\x1e")}));
+}
+
+TEST_F(TemplarServiceTest, AsyncMatchesSync) {
+  auto sync = service_->MapKeywords(PapersInDatabasesNlq());
+  ASSERT_TRUE(sync.ok());
+  auto async = service_->MapKeywordsAsync(PapersInDatabasesNlq()).get();
+  ASSERT_TRUE(async.ok());
+  ASSERT_EQ(sync->size(), async->size());
+  EXPECT_EQ(sync->front().ToString(), async->front().ToString());
+
+  auto join_async = service_->InferJoinsAsync({"publication", "domain"}).get();
+  ASSERT_TRUE(join_async.ok());
+  EXPECT_FALSE(join_async->empty());
+}
+
+TEST_F(TemplarServiceTest, BatchResultsAlignWithInputs) {
+  std::vector<nlq::ParsedNlq> nlqs(5, PapersInDatabasesNlq());
+  nlqs[3].keywords.clear();  // An empty request fails; slots must align.
+  auto results = service_->MapKeywordsBatch(nlqs);
+  ASSERT_EQ(results.size(), 5u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i == 3) continue;
+    EXPECT_TRUE(results[i].ok()) << i;
+  }
+
+  std::vector<std::vector<std::string>> bags = {
+      {"publication", "domain"}, {"author"}, {"journal", "publication"}};
+  auto join_results = service_->InferJoinsBatch(bags);
+  ASSERT_EQ(join_results.size(), 3u);
+  for (size_t i = 0; i < join_results.size(); ++i) {
+    EXPECT_TRUE(join_results[i].ok()) << i;
+  }
+}
+
+TEST_F(TemplarServiceTest, AppendLogQueriesBumpsEpochAndInvalidates) {
+  ASSERT_TRUE(service_->MapKeywords(PapersInDatabasesNlq()).ok());
+  ASSERT_TRUE(service_->InferJoins({"publication", "domain"}).ok());
+  uint64_t epoch_before = service_->epoch();
+  uint64_t qfg_before = service_->Stats().qfg_query_count;
+
+  AppendOutcome outcome = service_->AppendLogQueries(
+      {"SELECT a.name FROM author a WHERE a.aid = 1",
+       "THIS IS NOT SQL",
+       "SELECT o.name FROM organization o"});
+  EXPECT_EQ(outcome.appended, 2u);
+  EXPECT_EQ(outcome.skipped, 1u);
+  EXPECT_EQ(outcome.epoch, epoch_before + 1);
+  EXPECT_EQ(service_->epoch(), epoch_before + 1);
+
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.qfg_query_count, qfg_before + 2);
+  EXPECT_EQ(stats.appended_queries, 2u);
+  EXPECT_EQ(stats.skipped_log_entries, 1u);
+
+  // Cached results from the old epoch are recomputed, not served.
+  ASSERT_TRUE(service_->MapKeywords(PapersInDatabasesNlq()).ok());
+  ASSERT_TRUE(service_->InferJoins({"publication", "domain"}).ok());
+  stats = service_->Stats();
+  EXPECT_EQ(stats.map_cache.stale_drops, 1u);
+  EXPECT_EQ(stats.join_cache.stale_drops, 1u);
+
+  // And the refreshed entries serve hits again at the new epoch.
+  ASSERT_TRUE(service_->MapKeywords(PapersInDatabasesNlq()).ok());
+  EXPECT_EQ(service_->Stats().map_cache.hits, 1u);
+}
+
+TEST_F(TemplarServiceTest, AppendOfOnlyUnparseableEntriesKeepsEpoch) {
+  uint64_t epoch_before = service_->epoch();
+  AppendOutcome outcome = service_->AppendLogQueries({"garbage", ""});
+  EXPECT_EQ(outcome.appended, 0u);
+  EXPECT_EQ(outcome.skipped, 2u);
+  EXPECT_EQ(outcome.epoch, epoch_before) << "no QFG change, no invalidation";
+}
+
+TEST_F(TemplarServiceTest, IngestionChangesJoinRanking) {
+  // Before ingestion the mini log never joins author with publication, so
+  // the direct writes route and any alternative rank purely by length.
+  std::vector<std::string> bag = {"author", "publication"};
+  auto before = service_->InferJoins(bag);
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before->empty());
+  double score_before = before->front().score;
+
+  // Flood the log with author-writes-publication joins: the log-driven edge
+  // weights w_L = 1 - Dice drop, so the same path scores strictly higher.
+  std::vector<std::string> burst(
+      50,
+      "SELECT a.name FROM author a, writes w, publication p "
+      "WHERE a.aid = w.aid AND w.pid = p.pid");
+  AppendOutcome outcome = service_->AppendLogQueries(burst);
+  ASSERT_EQ(outcome.appended, 50u);
+
+  auto after = service_->InferJoins(bag);
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->front().score, score_before)
+      << "log evidence should cheapen the frequently-joined route";
+}
+
+TEST_F(TemplarServiceTest, SnapshotWarmStartRoundTrip) {
+  // Ingest something so the snapshot differs from the initial log.
+  ASSERT_EQ(service_
+                ->AppendLogQueries(
+                    {"SELECT a.name FROM author a WHERE a.aid = 1"})
+                .appended,
+            1u);
+  const std::string path = ::testing::TempDir() + "/service_snapshot.qfg";
+  ASSERT_TRUE(service_->SaveSnapshot(path).ok());
+
+  ServiceOptions options;
+  options.worker_threads = 1;
+  options.warm_start_path = path;
+  auto warm = TemplarService::Create(db_.get(), model_.get(),
+                                     /*query_log=*/{}, options);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  ServiceStats original = service_->Stats();
+  ServiceStats restored = (*warm)->Stats();
+  EXPECT_EQ(restored.qfg_query_count, original.qfg_query_count);
+  EXPECT_EQ(restored.qfg_vertices, original.qfg_vertices);
+  EXPECT_EQ(restored.qfg_edges, original.qfg_edges);
+
+  // Rankings from the warm-started service match the live one.
+  auto live = service_->MapKeywords(PapersInDatabasesNlq());
+  auto warmres = (*warm)->MapKeywords(PapersInDatabasesNlq());
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(warmres.ok());
+  ASSERT_EQ(live->size(), warmres->size());
+  for (size_t i = 0; i < live->size(); ++i) {
+    EXPECT_EQ((*live)[i].ToString(), (*warmres)[i].ToString());
+    EXPECT_DOUBLE_EQ((*live)[i].score, (*warmres)[i].score);
+  }
+}
+
+TEST_F(TemplarServiceTest, WarmStartWithMissingSnapshotFails) {
+  ServiceOptions options;
+  options.warm_start_path = "/nonexistent/dir/snapshot.qfg";
+  auto service =
+      TemplarService::Create(db_.get(), model_.get(), {}, options);
+  EXPECT_FALSE(service.ok());
+}
+
+TEST_F(TemplarServiceTest, CreateRejectsNullDependencies) {
+  auto service = TemplarService::Create(nullptr, model_.get(), {});
+  EXPECT_FALSE(service.ok());
+  EXPECT_TRUE(service.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace templar::service

@@ -1,0 +1,297 @@
+// Cache invalidation under online ingestion: interleaves AppendLogQueries
+// batches with the MAS request workload and measures how much of the warm
+// cache each invalidation policy preserves across an append, plus the
+// single-flight coalescing behaviour on a duplicate burst.
+//
+//   $ ./build/bench/bench_invalidation [rounds] [--json <path>]
+//
+// Old behaviour (kEpochDrop): every append invalidates the entire result
+// cache, so the post-append pass recomputes everything — hit rate 0. New
+// behaviour (kPerFragment): only entries whose fragment footprint intersects
+// the append's delta are evicted, so requests whose evidence the append did
+// not touch keep hitting. Two append streams bound the effect: a *narrow*
+// stream of key-only queries that almost no ranking depends on, and the
+// *workload* stream of realistic MAS log entries.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datasets/dataset.h"
+#include "service/templar_service.h"
+
+using namespace templar;
+
+namespace {
+
+struct Request {
+  bool is_map = true;
+  nlq::ParsedNlq nlq;
+  std::vector<std::string> bag;
+};
+
+/// Distinct-by-cache-key requests: duplicates would hit the cache even under
+/// kEpochDrop (within one replay pass) and blur the policy comparison — with
+/// every request distinct, the legacy policy's post-append hit rate is
+/// exactly its retained-entry rate: zero.
+std::vector<Request> BuildWorkload(const datasets::Dataset& dataset,
+                                   size_t max_requests) {
+  std::vector<Request> requests;
+  std::set<std::string> seen;
+  for (const auto& item : dataset.benchmark) {
+    if (requests.size() >= max_requests) break;
+    Request map_request;
+    map_request.is_map = true;
+    map_request.nlq = item.gold_parse;
+    if (seen.insert("m" + service::TemplarService::MapCacheKey(
+                              map_request.nlq)).second) {
+      requests.push_back(std::move(map_request));
+    }
+
+    Request join_request;
+    join_request.is_map = false;
+    for (const auto& rel : item.gold_sql.from) {
+      if (std::find(join_request.bag.begin(), join_request.bag.end(),
+                    rel.table) == join_request.bag.end()) {
+        join_request.bag.push_back(rel.table);
+      }
+    }
+    if (!join_request.bag.empty() &&
+        seen.insert("j" + service::TemplarService::JoinCacheKey(
+                              join_request.bag)).second) {
+      requests.push_back(std::move(join_request));
+    }
+  }
+  return requests;
+}
+
+void IssueAll(service::TemplarService& service,
+              const std::vector<Request>& requests) {
+  for (const auto& request : requests) {
+    if (request.is_map) {
+      (void)service.MapKeywords(request.nlq);
+    } else {
+      (void)service.InferJoins(request.bag);
+    }
+  }
+}
+
+uint64_t TotalHits(const service::ServiceStats& stats) {
+  return stats.map_cache.hits + stats.join_cache.hits;
+}
+
+struct PolicyResult {
+  double post_append_hit_rate = 0;  // Hits per request in post-append passes.
+  uint64_t invalidated = 0;
+  uint64_t retained = 0;
+  uint64_t computations = 0;
+};
+
+/// Warm every request once, then `rounds` times: append a batch, replay the
+/// whole request set, and count how many replies still came from the cache.
+PolicyResult RunPolicy(const datasets::Dataset& dataset,
+                       const std::vector<Request>& requests,
+                       const std::vector<std::string>& append_stream,
+                       service::InvalidationPolicy policy, int rounds,
+                       size_t append_batch) {
+  if (append_stream.empty()) return {};
+  service::ServiceOptions options;
+  options.worker_threads = 2;
+  options.invalidation = policy;
+  auto service = service::TemplarService::Create(
+      dataset.database.get(), dataset.lexicon.get(), dataset.extra_log,
+      options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());
+    std::exit(1);
+  }
+  IssueAll(**service, requests);  // Warm pass.
+
+  uint64_t post_append_hits = 0;
+  uint64_t post_append_requests = 0;
+  size_t stream_pos = 0;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::string> batch;
+    for (size_t i = 0; i < append_batch; ++i) {
+      batch.push_back(append_stream[stream_pos++ % append_stream.size()]);
+    }
+    (void)(*service)->AppendLogQueries(batch);
+
+    uint64_t hits_before = TotalHits((*service)->Stats());
+    IssueAll(**service, requests);
+    post_append_hits += TotalHits((*service)->Stats()) - hits_before;
+    post_append_requests += requests.size();
+  }
+
+  service::ServiceStats stats = (*service)->Stats();
+  PolicyResult result;
+  result.post_append_hit_rate =
+      post_append_requests == 0
+          ? 0
+          : static_cast<double>(post_append_hits) /
+                static_cast<double>(post_append_requests);
+  result.invalidated = stats.map_cache.invalidated + stats.join_cache.invalidated;
+  result.retained = stats.map_cache.retained + stats.join_cache.retained;
+  result.computations = stats.map_computations + stats.join_computations;
+  return result;
+}
+
+struct CoalesceResult {
+  int clients = 0;
+  uint64_t computations = 0;
+  uint64_t coalesced_hits = 0;
+  uint64_t cache_hits = 0;
+};
+
+/// Duplicate burst on a cold key: all clients request the same NLQ at once.
+CoalesceResult RunCoalesceBurst(const datasets::Dataset& dataset,
+                                const std::vector<Request>& requests) {
+  CoalesceResult result;
+  result.clients = 8;
+  service::ServiceOptions options;
+  options.worker_threads = 2;
+  auto service = service::TemplarService::Create(
+      dataset.database.get(), dataset.lexicon.get(), dataset.extra_log,
+      options);
+  if (!service.ok()) std::exit(1);
+
+  const Request* map_request = nullptr;
+  for (const auto& r : requests) {
+    if (r.is_map) {
+      map_request = &r;
+      break;
+    }
+  }
+  if (map_request == nullptr) return result;
+
+  std::atomic<int> ready{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < result.clients; ++c) {
+    clients.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < result.clients) std::this_thread::yield();
+      (void)(*service)->MapKeywords(map_request->nlq);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  service::ServiceStats stats = (*service)->Stats();
+  result.computations = stats.map_computations;
+  result.coalesced_hits = stats.map_coalesced_hits;
+  result.cache_hits = stats.map_cache.hits;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rounds = 8;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      int parsed = std::atoi(argv[i]);
+      if (parsed > 0) rounds = parsed;
+    }
+  }
+
+  std::printf("== TemplarService cache invalidation ==\n");
+  auto dataset = datasets::BuildMas();
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Request> requests = BuildWorkload(*dataset, 64);
+  std::printf("workload: %zu distinct requests, %d append rounds\n\n",
+              requests.size(), rounds);
+
+  // Narrow stream: junction-table key scans almost no ranking consults.
+  // Workload stream: realistic MAS log entries that overlap many footprints.
+  std::vector<std::string> narrow_stream;
+  for (int i = 0; i < 16; ++i) {
+    narrow_stream.push_back("SELECT c.citing FROM cite c WHERE c.cited = " +
+                            std::to_string(i));
+  }
+  const std::vector<std::string>& workload_stream = dataset->extra_log;
+
+  struct Cell {
+    const char* stream;
+    const char* policy;
+    PolicyResult result;
+  };
+  std::vector<Cell> cells;
+  const std::pair<const char*, const std::vector<std::string>*> streams[] = {
+      {"narrow", &narrow_stream}, {"workload", &workload_stream}};
+  const std::pair<const char*, service::InvalidationPolicy> policies[] = {
+      {"epoch_drop", service::InvalidationPolicy::kEpochDrop},
+      {"per_fragment", service::InvalidationPolicy::kPerFragment}};
+  for (const auto& [stream_name, stream] : streams) {
+    for (const auto& [policy_name, policy] : policies) {
+      PolicyResult r = RunPolicy(*dataset, requests, *stream, policy, rounds,
+                                 /*append_batch=*/4);
+      std::printf(
+          "  %-8s appends, %-12s: post-append hit rate %.3f  "
+          "(invalidated %llu, retained %llu, computations %llu)\n",
+          stream_name, policy_name, r.post_append_hit_rate,
+          static_cast<unsigned long long>(r.invalidated),
+          static_cast<unsigned long long>(r.retained),
+          static_cast<unsigned long long>(r.computations));
+      cells.push_back({stream_name, policy_name, r});
+    }
+  }
+
+  CoalesceResult burst = RunCoalesceBurst(*dataset, requests);
+  std::printf(
+      "\nduplicate burst (%d clients, 1 cold key): %llu computation(s), "
+      "%llu coalesced, %llu cache hits\n",
+      burst.clients, static_cast<unsigned long long>(burst.computations),
+      static_cast<unsigned long long>(burst.coalesced_hits),
+      static_cast<unsigned long long>(burst.cache_hits));
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"invalidation\",\n  \"rounds\": %d,\n"
+                 "  \"requests\": %zu,\n  \"cells\": [\n",
+                 rounds, requests.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(
+          f,
+          "    {\"append_stream\": \"%s\", \"policy\": \"%s\", "
+          "\"post_append_hit_rate\": %.4f, \"invalidated\": %llu, "
+          "\"retained\": %llu, \"computations\": %llu}%s\n",
+          c.stream, c.policy, c.result.post_append_hit_rate,
+          static_cast<unsigned long long>(c.result.invalidated),
+          static_cast<unsigned long long>(c.result.retained),
+          static_cast<unsigned long long>(c.result.computations),
+          i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"coalescing\": {\"clients\": %d, "
+                 "\"computations\": %llu, \"coalesced_hits\": %llu, "
+                 "\"cache_hits\": %llu}\n}\n",
+                 burst.clients,
+                 static_cast<unsigned long long>(burst.computations),
+                 static_cast<unsigned long long>(burst.coalesced_hits),
+                 static_cast<unsigned long long>(burst.cache_hits));
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,7 +1,7 @@
 // Serving-layer throughput: QPS of TemplarService at 1/4/8 client threads,
 // cold cache (every request computed) vs warm cache (every request a hit).
 //
-//   $ ./build/bench/bench_service_throughput [seconds-per-cell]
+//   $ ./build/bench/bench_service_throughput [seconds-per-cell] [--json <path>]
 //
 // Clients issue the synchronous MapKeywords/InferJoins calls directly from
 // their own threads, cycling over the MAS benchmark's hand parses; a warm
@@ -14,6 +14,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -100,8 +102,19 @@ double RunCell(service::TemplarService& service,
 }  // namespace
 
 int main(int argc, char** argv) {
-  double seconds = argc > 1 ? std::atof(argv[1]) : 2.0;
-  if (seconds <= 0) seconds = 2.0;
+  double seconds = 2.0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (std::atof(argv[i]) > 0) {
+      seconds = std::atof(argv[i]);
+    }
+  }
 
   std::printf("== TemplarService throughput ==\n");
   std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
@@ -117,6 +130,7 @@ int main(int argc, char** argv) {
 
   const int thread_counts[] = {1, 4, 8};
   double warm_qps[3] = {0, 0, 0};
+  double cold_qps[3] = {0, 0, 0};
 
   for (int warm = 0; warm <= 1; ++warm) {
     std::printf("\n-- %s cache --\n", warm ? "warm" : "cold");
@@ -149,7 +163,11 @@ int main(int argc, char** argv) {
         }
       }
       double qps = RunCell(**service, requests, threads, seconds);
-      if (warm) warm_qps[cell] = qps;
+      if (warm) {
+        warm_qps[cell] = qps;
+      } else {
+        cold_qps[cell] = qps;
+      }
       service::ServiceStats stats = (*service)->Stats();
       double hit_rate =
           (stats.map_cache.HitRate() + stats.join_cache.HitRate()) / 2;
@@ -166,6 +184,29 @@ int main(int argc, char** argv) {
                   std::thread::hardware_concurrency());
     }
     std::printf("\n");
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"service_throughput\",\n"
+                 "  \"seconds_per_cell\": %.3f,\n"
+                 "  \"hardware_threads\": %u,\n  \"cells\": [\n",
+                 seconds, std::thread::hardware_concurrency());
+    for (int cell = 0; cell < 3; ++cell) {
+      std::fprintf(f,
+                   "    {\"threads\": %d, \"cold_qps\": %.1f, "
+                   "\"warm_qps\": %.1f}%s\n",
+                   thread_counts[cell], cold_qps[cell], warm_qps[cell],
+                   cell < 2 ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,29 @@
+#ifndef TEMPLAR_COMMON_SORTED_INTERSECT_H_
+#define TEMPLAR_COMMON_SORTED_INTERSECT_H_
+
+/// \file sorted_intersect.h
+/// \brief Shared merge-walk intersection test over sorted ranges.
+
+namespace templar {
+
+/// \brief True when two sorted, deduplicated ranges share an element.
+/// O(|a| + |b|), no allocation. Both ranges must be sorted ascending.
+template <typename Container>
+bool SortedRangesIntersect(const Container& a, const Container& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace templar
+
+#endif  // TEMPLAR_COMMON_SORTED_INTERSECT_H_

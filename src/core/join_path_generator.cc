@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "graph/fork.h"
 
@@ -23,7 +24,8 @@ graph::EdgeWeightFn JoinPathGenerator::WeightFunction() const {
 }
 
 Result<std::vector<graph::JoinPath>> JoinPathGenerator::InferJoins(
-    const std::vector<std::string>& relation_bag) const {
+    const std::vector<std::string>& relation_bag,
+    qfg::QfgFootprint* footprint) const {
   if (relation_bag.empty()) {
     return Status::InvalidArgument("empty relation bag");
   }
@@ -57,7 +59,30 @@ Result<std::vector<graph::JoinPath>> JoinPathGenerator::InferJoins(
   graph::SteinerOptions steiner_options;
   steiner_options.top_k = options_.top_k;
   steiner_options.weight_fn = WeightFunction();
-  return graph::FindJoinPaths(working, relation_bag, steiner_options);
+
+  // Record which relations' Dice values the search reads by interposing on
+  // the weight function. The Steiner solver hands it base relation names
+  // already, so the recorded set keys directly into the QFG's FROM
+  // fragments. A null weight function (unit weights) reads nothing.
+  std::set<std::string> consulted;
+  if (footprint != nullptr && steiner_options.weight_fn) {
+    graph::EdgeWeightFn inner = std::move(steiner_options.weight_fn);
+    steiner_options.weight_fn = [&consulted, inner](const std::string& a,
+                                                    const std::string& b) {
+      consulted.insert(a);
+      consulted.insert(b);
+      return inner(a, b);
+    };
+  }
+
+  auto paths = graph::FindJoinPaths(working, relation_bag, steiner_options);
+  if (footprint != nullptr) {
+    for (const auto& relation : consulted) {
+      footprint->fragment_keys.push_back(
+          qfg::RelationFragment(relation).Key());
+    }
+  }
+  return paths;
 }
 
 }  // namespace templar::core

@@ -20,6 +20,7 @@
 #include "common/result.h"
 #include "graph/schema_graph.h"
 #include "graph/steiner.h"
+#include "qfg/fragment_delta.h"
 #include "qfg/query_fragment_graph.h"
 
 namespace templar::core {
@@ -48,8 +49,18 @@ class JoinPathGenerator {
   /// relation and "rel#1", "rel#2", ... for duplicates (as produced by
   /// Configuration::RelationBag). Duplicates cause (d-1) forks of the
   /// schema graph before the Steiner search.
+  ///
+  /// When `footprint` is non-null it receives the FROM-fragment keys of
+  /// every base relation whose log-driven edge weight the search actually
+  /// consulted. An append containing none of those relations cannot change
+  /// any consulted w_L, so the ranking is provably unchanged. The search is
+  /// exhaustive over the terminals' component, so on a connected schema this
+  /// set is broad — but it collapses to empty exactly when the ranking has
+  /// no log dependency at all (single-terminal bags, log weights disabled,
+  /// null QFG), letting those cache entries survive every append.
   Result<std::vector<graph::JoinPath>> InferJoins(
-      const std::vector<std::string>& relation_bag) const;
+      const std::vector<std::string>& relation_bag,
+      qfg::QfgFootprint* footprint = nullptr) const;
 
   /// \brief The weight function currently in effect (for diagnostics).
   graph::EdgeWeightFn WeightFunction() const;

@@ -289,7 +289,8 @@ double KeywordMapper::SigmaScore(const Configuration& config) {
 }
 
 double KeywordMapper::QfgScore(const Configuration& config,
-                               const qfg::QueryFragmentGraph& graph) {
+                               const qfg::QueryFragmentGraph& graph,
+                               bool* used_query_count) {
   // Non-FROM fragments only (Sec. V-C2): relations are implied by the rest
   // of the query and handled by join inference.
   std::vector<const qfg::QueryFragment*> frags;
@@ -328,14 +329,20 @@ double KeywordMapper::QfgScore(const Configuration& config,
   // identical after obscuring): fall back to occurrence frequency so the
   // log still votes (documented deviation; the paper leaves this case open).
   if (!frags.empty() && graph.query_count() > 0) {
-    return static_cast<double>(graph.Occurrences(*frags[0])) /
+    uint64_t occurrences = graph.Occurrences(*frags[0]);
+    // A zero numerator stays zero however query_count grows; only a non-zero
+    // ratio makes the score move on appends that miss the fragment itself.
+    if (occurrences > 0 && used_query_count != nullptr) {
+      *used_query_count = true;
+    }
+    return static_cast<double>(occurrences) /
            static_cast<double>(graph.query_count());
   }
   return 0;
 }
 
 Result<std::vector<Configuration>> KeywordMapper::MapKeywords(
-    const nlq::ParsedNlq& nlq) const {
+    const nlq::ParsedNlq& nlq, qfg::QfgFootprint* footprint) const {
   if (nlq.keywords.empty()) {
     return Status::InvalidArgument("NLQ has no keywords");
   }
@@ -374,9 +381,24 @@ Result<std::vector<Configuration>> KeywordMapper::MapKeywords(
 
   // Score and rank.
   const bool use_log = options_.use_qfg && qfg_ != nullptr;
+  if (footprint != nullptr && use_log) {
+    // Every configuration draws its fragments from the pruned candidates,
+    // so their union bounds what scoring can consult. FROM fragments are
+    // excluded from ScoreQFG and contribute no dependency.
+    for (const auto& cands : per_keyword) {
+      for (const auto& c : cands) {
+        if (c.fragment.context == qfg::FragmentContext::kFrom) continue;
+        footprint->fragment_keys.push_back(qfg_->Normalized(c.fragment).Key());
+      }
+    }
+  }
   for (auto& config : configs) {
     config.sigma_score = SigmaScore(config);
-    config.qfg_score = use_log ? QfgScore(config, *qfg_) : 0;
+    config.qfg_score =
+        use_log ? QfgScore(config, *qfg_,
+                           footprint ? &footprint->query_count_sensitive
+                                     : nullptr)
+                : 0;
     config.score = use_log ? options_.lambda * config.sigma_score +
                                  (1 - options_.lambda) * config.qfg_score
                            : config.sigma_score;

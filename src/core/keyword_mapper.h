@@ -20,6 +20,7 @@
 #include "db/executor.h"
 #include "embed/similarity_model.h"
 #include "nlq/keyword.h"
+#include "qfg/fragment_delta.h"
 #include "qfg/query_fragment_graph.h"
 #include "text/fulltext_index.h"
 
@@ -58,8 +59,17 @@ class KeywordMapper {
 
   /// \brief Algorithm 1: full MAPKEYWORDS — returns configurations ranked
   /// by descending Score(φ).
+  ///
+  /// When `footprint` is non-null it receives the QFG dependency set of the
+  /// returned ranking: the normalized keys of every non-FROM candidate
+  /// fragment that entered configuration scoring (a superset of the
+  /// fragments whose Dice/occurrence counts the scores read), plus the
+  /// query-count-sensitivity flag when any configuration used the occurrence
+  /// fallback with a non-zero numerator. An append that touches none of
+  /// these fragments provably leaves the ranking unchanged, which is what
+  /// lets the serving layer keep such cache entries warm.
   Result<std::vector<Configuration>> MapKeywords(
-      const nlq::ParsedNlq& nlq) const;
+      const nlq::ParsedNlq& nlq, qfg::QfgFootprint* footprint = nullptr) const;
 
   /// \brief Algorithm 2: KEYWORDCANDS — unscored candidate retrieval.
   /// Exposed for tests and diagnostics.
@@ -79,8 +89,15 @@ class KeywordMapper {
   /// of Dice over unordered pairs of non-FROM fragments, taken to the
   /// 1/|φ| power; falls back to normalized fragment occurrence when the
   /// configuration has fewer than two non-FROM fragments.
+  ///
+  /// `used_query_count` (optional) is set to true when the occurrence
+  /// fallback divided a non-zero count by query_count() — the one code path
+  /// whose value shifts on appends that touch none of the configuration's
+  /// own fragments. It is left untouched otherwise, so callers can OR it
+  /// across configurations.
   static double QfgScore(const Configuration& config,
-                         const qfg::QueryFragmentGraph& qfg);
+                         const qfg::QueryFragmentGraph& qfg,
+                         bool* used_query_count = nullptr);
 
   const KeywordMapperOptions& options() const { return options_; }
 

@@ -53,15 +53,23 @@ class Templar {
       qfg::QueryFragmentGraph qfg, TemplarOptions options = {});
 
   /// \brief Interface call 1: MAPKEYWORDS (Sec. III-C1).
+  ///
+  /// `footprint` (optional) receives the QFG dependency set of the ranking —
+  /// see KeywordMapper::MapKeywords. Serving layers use it for selective
+  /// cache invalidation.
   Result<std::vector<Configuration>> MapKeywords(
-      const nlq::ParsedNlq& nlq) const {
-    return mapper_->MapKeywords(nlq);
+      const nlq::ParsedNlq& nlq, qfg::QfgFootprint* footprint = nullptr) const {
+    return mapper_->MapKeywords(nlq, footprint);
   }
 
   /// \brief Interface call 2: INFERJOINS (Sec. III-C2).
+  ///
+  /// `footprint` (optional) receives the FROM fragments whose log-driven
+  /// weights the search consulted — see JoinPathGenerator::InferJoins.
   Result<std::vector<graph::JoinPath>> InferJoins(
-      const std::vector<std::string>& relation_bag) const {
-    return joins_->InferJoins(relation_bag);
+      const std::vector<std::string>& relation_bag,
+      qfg::QfgFootprint* footprint = nullptr) const {
+    return joins_->InferJoins(relation_bag, footprint);
   }
 
   /// \brief Folds one additional log entry into the QFG (online ingestion).

@@ -1,0 +1,49 @@
+#include "qfg/fragment_delta.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/sorted_intersect.h"
+
+namespace templar::qfg {
+
+FragmentFingerprint FingerprintFragmentKey(const std::string& normalized_key) {
+  return std::hash<std::string>{}(normalized_key);
+}
+
+std::vector<FragmentFingerprint> QfgFootprint::Fingerprints() const {
+  std::vector<FragmentFingerprint> out;
+  out.reserve(fragment_keys.size() + 1);
+  for (const auto& key : fragment_keys) {
+    out.push_back(FingerprintFragmentKey(key));
+  }
+  if (query_count_sensitive) out.push_back(kQueryCountFingerprint);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void FragmentDelta::AddQuery(const sql::SelectQuery& query,
+                             ObscurityLevel level) {
+  for (const QueryFragment& fragment : ExtractFragments(query, level)) {
+    fingerprints_.push_back(FingerprintFragmentKey(fragment.Key()));
+  }
+  any_query_ = true;
+  sealed_ = false;
+}
+
+void FragmentDelta::Seal() {
+  if (sealed_) return;
+  if (any_query_) fingerprints_.push_back(kQueryCountFingerprint);
+  std::sort(fingerprints_.begin(), fingerprints_.end());
+  fingerprints_.erase(std::unique(fingerprints_.begin(), fingerprints_.end()),
+                      fingerprints_.end());
+  sealed_ = true;
+}
+
+bool FingerprintsIntersect(const std::vector<FragmentFingerprint>& a,
+                           const std::vector<FragmentFingerprint>& b) {
+  return SortedRangesIntersect(a, b);
+}
+
+}  // namespace templar::qfg

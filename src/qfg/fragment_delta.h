@@ -1,0 +1,96 @@
+#ifndef TEMPLAR_QFG_FRAGMENT_DELTA_H_
+#define TEMPLAR_QFG_FRAGMENT_DELTA_H_
+
+/// \file fragment_delta.h
+/// \brief Fragment footprints and append deltas for selective cache
+/// invalidation.
+///
+/// The QFG only ever changes by *adding* log queries, and a query only
+/// changes the counts of the fragments it contains: n_v(c) moves iff c is in
+/// the query, n_e(c1,c2) moves iff both are. A cached ranking therefore
+/// stays correct across an append unless the appended queries touch one of
+/// the fragments the ranking consulted. This header provides the two halves
+/// of that test:
+///
+///  - QfgFootprint — the set of (normalized) fragment keys a single
+///    MapKeywords / InferJoins computation depended on, recorded while the
+///    ranking is produced.
+///  - FragmentDelta — the set of fragment keys touched by one
+///    AppendLogQueries batch, extracted from the already-parsed entries.
+///
+/// Both sides are reduced to sorted, deduplicated 64-bit fingerprints so the
+/// cache's intersection test is a cheap merge walk. Fingerprints are
+/// process-local (std::hash) — they are never serialized. A hash collision
+/// can only make two distinct fragments *look* shared, which evicts a cache
+/// entry that could have been kept: the failure mode is a spurious recompute,
+/// never a stale answer.
+///
+/// One global counter also matters: ScoreQFG's occurrence fallback divides
+/// by query_count(), which every append bumps. Rankings that used that
+/// fallback (with a non-zero occurrence) are flagged query_count_sensitive
+/// and carry the reserved kQueryCountFingerprint, which every non-empty
+/// delta includes — such entries are honestly evicted on any append.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qfg/fragment.h"
+#include "sql/ast.h"
+
+namespace templar::qfg {
+
+/// \brief Process-local fingerprint of a normalized fragment key.
+using FragmentFingerprint = uint64_t;
+
+/// \brief Reserved fingerprint representing the QFG's query_count(); part of
+/// every non-empty delta, and of every footprint whose score consulted it.
+inline constexpr FragmentFingerprint kQueryCountFingerprint =
+    0x7145'4c06'c047'f00dULL;
+
+/// \brief Fingerprints a normalized fragment key (see QueryFragment::Key).
+FragmentFingerprint FingerprintFragmentKey(const std::string& normalized_key);
+
+/// \brief The QFG state one served ranking depended on.
+struct QfgFootprint {
+  /// Fragment keys normalized to the graph's obscurity level.
+  std::vector<std::string> fragment_keys;
+  /// True when the score consulted query_count() (occurrence fallback with a
+  /// non-zero numerator) — such a ranking can shift on *any* append.
+  bool query_count_sensitive = false;
+
+  /// \brief Sorted, deduplicated fingerprints (plus kQueryCountFingerprint
+  /// when query_count_sensitive), ready for ShardedLruCache::Put.
+  std::vector<FragmentFingerprint> Fingerprints() const;
+};
+
+/// \brief Accumulates the fragment set of one append batch.
+class FragmentDelta {
+ public:
+  /// \brief Folds in every fragment of `query`, extracted at `level` (use
+  /// the QFG's own level so keys line up with footprint normalization).
+  void AddQuery(const sql::SelectQuery& query, ObscurityLevel level);
+
+  /// \brief Sorts and deduplicates; adds kQueryCountFingerprint when at
+  /// least one query was folded in (query_count() will move). Idempotent.
+  void Seal();
+
+  bool empty() const { return fingerprints_.empty(); }
+  /// \brief Sealed fingerprints (call Seal() first).
+  const std::vector<FragmentFingerprint>& fingerprints() const {
+    return fingerprints_;
+  }
+
+ private:
+  std::vector<FragmentFingerprint> fingerprints_;
+  bool any_query_ = false;
+  bool sealed_ = false;
+};
+
+/// \brief True when two sorted fingerprint sets share an element.
+bool FingerprintsIntersect(const std::vector<FragmentFingerprint>& a,
+                           const std::vector<FragmentFingerprint>& b);
+
+}  // namespace templar::qfg
+
+#endif  // TEMPLAR_QFG_FRAGMENT_DELTA_H_

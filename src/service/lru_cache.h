@@ -2,7 +2,7 @@
 #define TEMPLAR_SERVICE_LRU_CACHE_H_
 
 /// \file lru_cache.h
-/// \brief A sharded, thread-safe LRU cache with epoch-based invalidation.
+/// \brief A sharded, thread-safe LRU cache with fragment-aware invalidation.
 ///
 /// The serving layer answers repeated MAPKEYWORDS / INFERJOINS requests from
 /// this cache. Keys are canonicalized request strings; values are the ranked
@@ -13,13 +13,29 @@
 /// own mutex and LRU list, so concurrent clients touching different keys do
 /// not serialize on one lock.
 ///
-/// Staleness: every entry is stamped with the QFG *epoch* current when it
-/// was computed. `Get` takes the caller's current epoch and treats any entry
-/// from an older epoch as a miss (dropping it), so cached rankings computed
-/// before an `AppendLogQueries` batch are never served afterwards. This
-/// makes invalidation O(1) per append — no cache sweep — at the cost of
-/// lazily shedding stale entries on their next touch.
+/// Staleness: the QFG only changes at AppendLogQueries epochs, and a cached
+/// ranking only depends on the fragment counts it consulted (its
+/// *footprint*, recorded at Put as sorted 64-bit fingerprints). On each
+/// append the service calls ApplyDelta with the fingerprint set the batch
+/// touched; behaviour then depends on the policy:
+///
+///  - kPerFragment (default): entries whose footprint intersects the delta
+///    are evicted immediately (`invalidated`); every other entry is
+///    re-stamped to the new epoch and stays warm (`retained`). An online
+///    ingestion workload keeps its hit rate instead of going cold.
+///  - kEpochDrop: the legacy behaviour — ApplyDelta only advances the shard
+///    epoch, and every older entry is lazily dropped on its next touch
+///    (`stale_drops`). Kept for comparison (bench_invalidation) and as a
+///    safety valve.
+///
+/// In both policies a Put whose `computed_at` epoch is behind the shard is
+/// rejected (`stale_put_drops`): the value was computed against a QFG that
+/// an append has since changed, and the sweep that would have vetted it has
+/// already run. Entries present in a shard are therefore always valid for
+/// the shard's epoch, and Get never serves a ranking across an append that
+/// could have changed it.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -30,14 +46,25 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sorted_intersect.h"
+
 namespace templar::service {
+
+/// \brief How ApplyDelta treats entries that predate an append.
+enum class InvalidationPolicy {
+  kEpochDrop,    ///< Any append invalidates every older entry (legacy).
+  kPerFragment,  ///< Only entries whose footprint intersects the delta.
+};
 
 /// \brief Counters describing one cache (aggregated over shards).
 struct LruCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;       ///< Includes stale drops.
-  uint64_t stale_drops = 0;  ///< Misses caused by an epoch change.
+  uint64_t stale_drops = 0;  ///< Lazy epoch-drop misses (kEpochDrop only).
+  uint64_t stale_put_drops = 0;  ///< Puts rejected for predating an append.
   uint64_t evictions = 0;    ///< Capacity evictions (LRU tail).
+  uint64_t invalidated = 0;  ///< Selective evictions: footprint hit a delta.
+  uint64_t retained = 0;     ///< Entries kept warm across an append.
   size_t entries = 0;
   size_t capacity = 0;
 
@@ -54,34 +81,46 @@ struct LruCacheStats {
 template <typename Value>
 class ShardedLruCache {
  public:
+  using Footprint = std::vector<uint64_t>;  ///< Sorted, deduplicated.
+
   /// \param capacity total entry budget, split evenly across shards
   ///        (rounded up; each shard holds at least one entry).
   /// \param num_shards number of independent shards; clamped to >= 1.
-  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8)
+  /// \param policy how ApplyDelta invalidates (see InvalidationPolicy).
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8,
+                           InvalidationPolicy policy =
+                               InvalidationPolicy::kPerFragment)
       : per_shard_capacity_(
             std::max<size_t>(1, (capacity + std::max<size_t>(1, num_shards) -
                                  1) /
                                     std::max<size_t>(1, num_shards))),
+        policy_(policy),
         shards_(std::max<size_t>(1, num_shards)) {}
 
-  /// \brief Looks up `key`. An entry stamped with an epoch older than
-  /// `epoch` is dropped and reported as a miss.
-  std::optional<Value> Get(const std::string& key, uint64_t epoch) {
+  /// \brief Looks up `key`. Under kEpochDrop, an entry stamped before the
+  /// shard's epoch is dropped and reported as a stale miss; under
+  /// kPerFragment the sweep keeps shard entries current, so no such drop
+  /// occurs.
+  ///
+  /// `record_miss=false` suppresses the miss-side counters (hits still
+  /// count): the service's single-flight double-check re-probes a key whose
+  /// miss was already recorded, and counting it twice would halve the
+  /// reported hit rate of a cold workload.
+  std::optional<Value> Get(const std::string& key, bool record_miss = true) {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
-      ++shard.misses;
+      if (record_miss) ++shard.misses;
       return std::nullopt;
     }
-    // Only an OLDER entry is stale. A newer-stamped entry (another thread
-    // recomputed after an append this caller hasn't observed yet) is fresher
-    // than what the caller would compute — serving it is always safe.
-    if (it->second->epoch < epoch) {
+    if (it->second->epoch < shard.epoch) {
       shard.lru.erase(it->second);
       shard.index.erase(it);
-      ++shard.misses;
-      ++shard.stale_drops;
+      if (record_miss) {
+        ++shard.misses;
+        ++shard.stale_drops;
+      }
       return std::nullopt;
     }
     // Move to front (most recently used).
@@ -90,24 +129,67 @@ class ShardedLruCache {
     return it->second->value;
   }
 
-  /// \brief Inserts or refreshes `key`, stamped with `epoch`. Evicts the
+  /// \brief Inserts or refreshes `key`, computed at epoch `computed_at` with
+  /// the given fragment footprint. Rejected when the shard has already moved
+  /// past `computed_at` (the value may reflect a pre-append QFG and the
+  /// sweep that would have vetted its footprint already ran). Evicts the
   /// least-recently-used entry of the shard when over budget.
-  void Put(const std::string& key, Value value, uint64_t epoch) {
+  void Put(const std::string& key, Value value, uint64_t computed_at,
+           Footprint footprint = {}) {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
+    if (computed_at < shard.epoch) {
+      ++shard.stale_put_drops;
+      return;
+    }
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       it->second->value = std::move(value);
-      it->second->epoch = epoch;
+      it->second->epoch = computed_at;
+      it->second->footprint = std::move(footprint);
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return;
     }
-    shard.lru.push_front(Entry{key, std::move(value), epoch});
+    shard.lru.push_front(
+        Entry{key, std::move(value), computed_at, std::move(footprint)});
     shard.index.emplace(key, shard.lru.begin());
     if (shard.lru.size() > per_shard_capacity_) {
       shard.index.erase(shard.lru.back().key);
       shard.lru.pop_back();
       ++shard.evictions;
+    }
+  }
+
+  /// \brief Applies one append's fragment delta (sorted fingerprints) and
+  /// advances every shard to `new_epoch`. Under kPerFragment, entries whose
+  /// footprint intersects `delta` are evicted and the rest re-stamped; under
+  /// kEpochDrop the epoch alone advances and staleness is shed lazily.
+  ///
+  /// The caller (TemplarService) invokes this inside the same exclusive
+  /// section that mutated the QFG, so by the time the append returns, no
+  /// shard can serve a ranking the append invalidated.
+  void ApplyDelta(const Footprint& delta, uint64_t new_epoch) {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (new_epoch <= shard.epoch) continue;
+      if (policy_ == InvalidationPolicy::kPerFragment) {
+        for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+          if (it->epoch >= new_epoch) {  // Already computed post-append.
+            ++it;
+            continue;
+          }
+          if (SortedRangesIntersect(it->footprint, delta)) {
+            shard.index.erase(it->key);
+            it = shard.lru.erase(it);
+            ++shard.invalidated;
+          } else {
+            it->epoch = new_epoch;
+            ++shard.retained;
+            ++it;
+          }
+        }
+      }
+      shard.epoch = new_epoch;
     }
   }
 
@@ -129,7 +211,10 @@ class ShardedLruCache {
       stats.hits += shard.hits;
       stats.misses += shard.misses;
       stats.stale_drops += shard.stale_drops;
+      stats.stale_put_drops += shard.stale_put_drops;
       stats.evictions += shard.evictions;
+      stats.invalidated += shard.invalidated;
+      stats.retained += shard.retained;
       stats.entries += shard.lru.size();
     }
     return stats;
@@ -137,21 +222,27 @@ class ShardedLruCache {
 
   size_t shard_count() const { return shards_.size(); }
   size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  InvalidationPolicy policy() const { return policy_; }
 
  private:
   struct Entry {
     std::string key;
     Value value;
     uint64_t epoch;
+    Footprint footprint;  // Sorted fingerprints; empty = no QFG dependency.
   };
   struct Shard {
     mutable std::mutex mu;
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<std::string, typename std::list<Entry>::iterator> index;
+    uint64_t epoch = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t stale_drops = 0;
+    uint64_t stale_put_drops = 0;
     uint64_t evictions = 0;
+    uint64_t invalidated = 0;
+    uint64_t retained = 0;
   };
 
   Shard& ShardFor(const std::string& key) {
@@ -159,6 +250,7 @@ class ShardedLruCache {
   }
 
   size_t per_shard_capacity_;
+  InvalidationPolicy policy_;
   std::vector<Shard> shards_;
 };
 

@@ -18,6 +18,15 @@ struct ServiceStats {
   uint64_t map_requests = 0;
   uint64_t join_requests = 0;
 
+  // Single-flight coalescing: `*_computations` counts how many requests ran
+  // the underlying Templar call; `*_coalesced_hits` counts requests served
+  // by another thread's in-flight computation of the same key. Requests =
+  // cache hits + coalesced hits + computations.
+  uint64_t map_computations = 0;
+  uint64_t join_computations = 0;
+  uint64_t map_coalesced_hits = 0;
+  uint64_t join_coalesced_hits = 0;
+
   // Result caches.
   LruCacheStats map_cache;
   LruCacheStats join_cache;
@@ -41,10 +50,17 @@ struct ServiceStats {
              std::to_string(c.capacity) + " entries, " +
              std::to_string(c.hits) + " hits, " + std::to_string(c.misses) +
              " misses (" + std::to_string(c.stale_drops) + " stale), " +
-             std::to_string(c.evictions) + " evictions";
+             std::to_string(c.evictions) + " evictions, " +
+             std::to_string(c.invalidated) + " invalidated, " +
+             std::to_string(c.retained) + " retained, " +
+             std::to_string(c.stale_put_drops) + " stale puts";
     };
     return "requests: map=" + std::to_string(map_requests) +
            " join=" + std::to_string(join_requests) + "\n" +
+           "single-flight: map_computed=" + std::to_string(map_computations) +
+           " map_coalesced=" + std::to_string(map_coalesced_hits) +
+           " join_computed=" + std::to_string(join_computations) +
+           " join_coalesced=" + std::to_string(join_coalesced_hits) + "\n" +
            cache_line("map_cache", map_cache) + "\n" +
            cache_line("join_cache", join_cache) + "\n" +
            "ingestion: epoch=" + std::to_string(epoch) +

@@ -1,0 +1,101 @@
+#ifndef TEMPLAR_SERVICE_SINGLE_FLIGHT_H_
+#define TEMPLAR_SERVICE_SINGLE_FLIGHT_H_
+
+/// \file single_flight.h
+/// \brief Per-key request coalescing: identical in-flight requests share one
+/// computation.
+///
+/// A cache only absorbs duplicates *after* the first computation finishes;
+/// under heavy concurrent traffic the expensive window is the miss itself,
+/// when N clients asking the same cold key would all recompute it. The
+/// single-flight table closes that window: the first caller of a key (the
+/// *leader*) runs the computation, every concurrent caller of the same key
+/// (a *follower*) blocks on a shared future and receives the leader's
+/// result. The name and semantics follow Go's golang.org/x/sync/singleflight.
+///
+/// The leader removes the key before publishing the result, so a caller
+/// arriving after completion starts a fresh flight rather than being served
+/// an arbitrarily old value — between flights, the result cache is what
+/// answers duplicates. Values must be copyable (the service coalesces
+/// {Status, shared_ptr-to-results} pairs, so fan-out copies a pointer).
+
+#include <exception>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace templar::service {
+
+/// \brief Groups concurrent calls per string key so each key has at most one
+/// computation in flight. Thread-safe; `Value` must be copyable.
+template <typename Value>
+class SingleFlight {
+ public:
+  /// \brief The result of one Do call.
+  struct Outcome {
+    Value value;
+    /// True when this caller was a follower served by another thread's
+    /// computation; false when it ran `compute` itself.
+    bool coalesced = false;
+  };
+
+  /// \brief Returns `compute()`'s value for `key`, running it on this thread
+  /// if no flight for `key` exists, else waiting for the existing flight.
+  ///
+  /// `compute` is invoked without any SingleFlight lock held, so it may be
+  /// arbitrarily slow and may itself use other keys. If it throws, the
+  /// exception propagates to the leader and every waiting follower, and the
+  /// flight is cleaned up.
+  template <typename Fn>
+  Outcome Do(const std::string& key, Fn&& compute) {
+    std::promise<Value> promise;
+    std::shared_future<Value> flight;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto [it, inserted] = inflight_.try_emplace(key);
+      if (inserted) {
+        it->second = promise.get_future().share();
+        leader = true;
+      }
+      flight = it->second;
+    }
+    if (!leader) {
+      return Outcome{flight.get(), /*coalesced=*/true};
+    }
+    try {
+      Value value = compute();
+      Land(key);
+      promise.set_value(value);
+      return Outcome{std::move(value), /*coalesced=*/false};
+    } catch (...) {
+      Land(key);
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+  }
+
+  /// \brief Keys currently in flight (diagnostics; racy by nature).
+  size_t InFlight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inflight_.size();
+  }
+
+ private:
+  /// Removes the key before the promise is fulfilled: once a result exists,
+  /// new arrivals must consult the cache / start a fresh flight instead of
+  /// attaching to a completed one.
+  void Land(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_future<Value>> inflight_;
+};
+
+}  // namespace templar::service
+
+#endif  // TEMPLAR_SERVICE_SINGLE_FLIGHT_H_

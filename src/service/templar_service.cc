@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "qfg/fragment_delta.h"
 #include "qfg/qfg_io.h"
 #include "sql/parser.h"
 
@@ -112,48 +113,92 @@ Result<std::unique_ptr<TemplarService>> TemplarService::Create(
 TemplarService::TemplarService(std::unique_ptr<core::Templar> templar,
                                const ServiceOptions& options)
     : templar_(std::move(templar)),
-      map_cache_(options.map_cache_capacity, options.cache_shards),
-      join_cache_(options.join_cache_capacity, options.cache_shards),
+      map_cache_(options.map_cache_capacity, options.cache_shards,
+                 options.invalidation),
+      join_cache_(options.join_cache_capacity, options.cache_shards,
+                  options.invalidation),
       pool_(options.worker_threads) {}
 
 TemplarService::~TemplarService() = default;
 
+template <typename V, typename CoreFn>
+Result<std::remove_const_t<typename V::element_type>>
+TemplarService::ServeCached(const std::string& key, ShardedLruCache<V>& cache,
+                            SingleFlight<FlightValue<V>>& flight,
+                            std::atomic<uint64_t>& computations,
+                            std::atomic<uint64_t>& coalesced_hits,
+                            CoreFn&& core_call) {
+  // Only the first probe records a miss: retries (stale-follower loop) and
+  // the in-flight double-check are re-probes of one logical request, and
+  // counting them would deflate the reported hit rate.
+  for (bool first_probe = true;; first_probe = false) {
+    if (auto hit = cache.Get(key, /*record_miss=*/first_probe)) return **hit;
+
+    // Cache miss: coalesce with any identical in-flight request; the leader
+    // computes under a shared QFG lock, records the ranking's fragment
+    // footprint, and publishes to the cache.
+    auto outcome = flight.Do(key, [&]() -> FlightValue<V> {
+      // Double check under the flight: a previous flight may have landed
+      // between this caller's miss and its takeoff — serve its (current)
+      // entry instead of recomputing. The stamp is read *before* the probe:
+      // an append completing in between would make a fresher stamp claim
+      // validity the entry no longer has; the conservative stamp at worst
+      // sends a follower back around the retry loop.
+      const uint64_t probed_at = epoch();
+      if (auto hit = cache.Get(key, /*record_miss=*/false)) {
+        return {Status::OK(), *hit, probed_at};
+      }
+      computations.fetch_add(1, std::memory_order_relaxed);
+      std::shared_lock<std::shared_mutex> lock(qfg_mutex_);
+      // Read under the lock: this is exactly the QFG state being scored, so
+      // the entry is stamped with the epoch it was computed in.
+      const uint64_t computed_at = epoch();
+      qfg::QfgFootprint footprint;
+      auto result = core_call(&footprint);
+      lock.unlock();
+
+      if (!result.ok()) return {result.status(), nullptr, computed_at};
+      auto value = std::make_shared<typename V::element_type>(
+          std::move(*result));
+      cache.Put(key, value, computed_at, footprint.Fingerprints());
+      return {Status::OK(), value, computed_at};
+    });
+    // A follower may have joined a flight whose computation predates an
+    // append that *completed before this request began* — serving it would
+    // hand out a ranking the append already invalidated. Retry: if the
+    // append retained the entry the cache answers, otherwise a fresh flight
+    // recomputes. (The leader itself is always linearizable: its request
+    // overlaps any append that races its computation.)
+    if (outcome.coalesced && outcome.value.status.ok() &&
+        outcome.value.computed_at < epoch()) {
+      continue;
+    }
+    if (outcome.coalesced) {
+      coalesced_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!outcome.value.status.ok()) return outcome.value.status;
+    return *outcome.value.result;
+  }
+}
+
 Result<std::vector<core::Configuration>> TemplarService::MapKeywords(
     const nlq::ParsedNlq& nlq) {
   map_requests_.fetch_add(1, std::memory_order_relaxed);
-  const std::string key = MapCacheKey(nlq);
-  if (auto hit = map_cache_.Get(key, epoch())) return **hit;
-
-  std::shared_lock<std::shared_mutex> lock(qfg_mutex_);
-  // Re-read under the lock: this is exactly the QFG state being scored, so
-  // the entry is stamped with the epoch it was computed in.
-  const uint64_t computed_at = epoch();
-  auto result = templar_->MapKeywords(nlq);
-  lock.unlock();
-
-  if (!result.ok()) return result.status();
-  auto value = std::make_shared<const std::vector<core::Configuration>>(
-      std::move(*result));
-  map_cache_.Put(key, value, computed_at);
-  return *value;
+  return ServeCached(MapCacheKey(nlq), map_cache_, map_flight_,
+                     map_computations_, map_coalesced_,
+                     [&](qfg::QfgFootprint* footprint) {
+                       return templar_->MapKeywords(nlq, footprint);
+                     });
 }
 
 Result<std::vector<graph::JoinPath>> TemplarService::InferJoins(
     const std::vector<std::string>& relation_bag) {
   join_requests_.fetch_add(1, std::memory_order_relaxed);
-  const std::string key = JoinCacheKey(relation_bag);
-  if (auto hit = join_cache_.Get(key, epoch())) return **hit;
-
-  std::shared_lock<std::shared_mutex> lock(qfg_mutex_);
-  const uint64_t computed_at = epoch();
-  auto result = templar_->InferJoins(relation_bag);
-  lock.unlock();
-
-  if (!result.ok()) return result.status();
-  auto value = std::make_shared<const std::vector<graph::JoinPath>>(
-      std::move(*result));
-  join_cache_.Put(key, value, computed_at);
-  return *value;
+  return ServeCached(JoinCacheKey(relation_bag), join_cache_, join_flight_,
+                     join_computations_, join_coalesced_,
+                     [&](qfg::QfgFootprint* footprint) {
+                       return templar_->InferJoins(relation_bag, footprint);
+                     });
 }
 
 std::future<Result<std::vector<core::Configuration>>>
@@ -199,19 +244,25 @@ TemplarService::InferJoinsBatch(
 
 AppendOutcome TemplarService::AppendLogQueries(
     const std::vector<std::string>& sql_entries) {
-  // Parse outside any lock — parsing dominates ingestion cost and must not
-  // block readers.
+  // Parse — and extract the fragment delta — outside any lock: both dominate
+  // ingestion cost and must not block readers. The delta is computed at the
+  // QFG's obscurity level (immutable after Create) so its keys line up with
+  // the normalized footprints recorded at cache-fill time.
+  const qfg::ObscurityLevel level = templar_->query_fragment_graph().level();
   std::vector<sql::SelectQuery> parsed;
   parsed.reserve(sql_entries.size());
+  qfg::FragmentDelta delta;
   size_t skipped = 0;
   for (const auto& entry : sql_entries) {
     auto query = sql::Parse(entry);
     if (query.ok()) {
+      delta.AddQuery(*query, level);
       parsed.push_back(std::move(*query));
     } else {
       ++skipped;
     }
   }
+  delta.Seal();
 
   AppendOutcome outcome;
   outcome.skipped = skipped;
@@ -232,6 +283,14 @@ AppendOutcome TemplarService::AppendLogQueries(
     // afterwards observe both the new counts and the new epoch.
     outcome.epoch =
         epoch_.fetch_add(1, std::memory_order_release) + 1;
+    // Sweep the caches before releasing the writer lock: entries the delta
+    // touches are evicted (or, under kEpochDrop, everything is aged out),
+    // the rest re-stamped to the new epoch — so once this append returns, no
+    // ranking it could have changed is ever served. In-flight computations
+    // that started before the bump publish with an older epoch and are
+    // rejected by the cache's stale-put check.
+    map_cache_.ApplyDelta(delta.fingerprints(), outcome.epoch);
+    join_cache_.ApplyDelta(delta.fingerprints(), outcome.epoch);
   }
   appended_queries_.fetch_add(parsed.size(), std::memory_order_relaxed);
   return outcome;
@@ -246,6 +305,10 @@ ServiceStats TemplarService::Stats() const {
   ServiceStats stats;
   stats.map_requests = map_requests_.load(std::memory_order_relaxed);
   stats.join_requests = join_requests_.load(std::memory_order_relaxed);
+  stats.map_computations = map_computations_.load(std::memory_order_relaxed);
+  stats.join_computations = join_computations_.load(std::memory_order_relaxed);
+  stats.map_coalesced_hits = map_coalesced_.load(std::memory_order_relaxed);
+  stats.join_coalesced_hits = join_coalesced_.load(std::memory_order_relaxed);
   stats.map_cache = map_cache_.Stats();
   stats.join_cache = join_cache_.Stats();
   stats.append_batches = append_batches_.load(std::memory_order_relaxed);

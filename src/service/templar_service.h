@@ -14,13 +14,21 @@
 ///  - **Result caching.** Repeated requests are answered from two sharded
 ///    LRU caches (lru_cache.h) keyed on the canonicalized NLQ / relation
 ///    bag. Hit/miss/eviction counters surface via Stats().
-///  - **Online QFG ingestion.** AppendLogQueries folds freshly-observed SQL
-///    into the QueryFragmentGraph while the service keeps answering:
-///    entries are parsed outside any lock, then applied under an exclusive
+///  - **Single-flight coalescing.** Identical requests that miss the cache
+///    *concurrently* share one underlying computation (single_flight.h): the
+///    first caller computes, everyone else waits on its result. A thundering
+///    herd on a cold key costs one Templar call, not N.
+///  - **Online QFG ingestion with per-fragment invalidation.**
+///    AppendLogQueries folds freshly-observed SQL into the
+///    QueryFragmentGraph while the service keeps answering: entries are
+///    parsed outside any lock, then applied under an exclusive
 ///    `std::shared_mutex` writer section; readers score configurations under
-///    shared locks. Each append batch bumps an *epoch*; cache entries are
-///    stamped with the epoch they were computed in and are dropped on their
-///    next touch once it changes, so cached rankings never go stale.
+///    shared locks. Each append batch bumps an *epoch* and carries the
+///    fragment delta the batch touched (qfg/fragment_delta.h); cache entries
+///    record the fragment footprint their ranking consulted, so the append
+///    evicts exactly the entries the new evidence could change — everything
+///    else stays warm (ServiceOptions::invalidation selects the legacy
+///    drop-everything behaviour instead).
 ///  - **Warm start / checkpoint.** SaveSnapshot writes the QFG in the
 ///    qfg_io v1 format; ServiceOptions::warm_start_path restores it at
 ///    Create time, skipping the log re-parse.
@@ -30,12 +38,15 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "core/templar.h"
 #include "service/lru_cache.h"
 #include "service/service_stats.h"
+#include "service/single_flight.h"
 #include "service/thread_pool.h"
 
 namespace templar::service {
@@ -50,6 +61,10 @@ struct ServiceOptions {
   size_t join_cache_capacity = 4096;
   /// Independent lock shards per cache.
   size_t cache_shards = 8;
+  /// How appends invalidate cached rankings (see lru_cache.h). kPerFragment
+  /// keeps entries whose fragment footprint the append did not touch;
+  /// kEpochDrop is the legacy cold-cache-per-append behaviour.
+  InvalidationPolicy invalidation = InvalidationPolicy::kPerFragment;
   /// When non-empty, restore the QFG from this qfg_io snapshot instead of
   /// parsing `query_log` (which is then ignored).
   std::string warm_start_path;
@@ -106,9 +121,12 @@ class TemplarService {
 
   /// \brief Folds new SQL log entries into the QFG while serving continues.
   ///
-  /// Entries are parsed outside the write lock; the exclusive section only
-  /// applies pre-parsed queries and bumps the epoch, so readers are blocked
-  /// for the minimum time. Unparseable entries are skipped and counted.
+  /// Entries are parsed — and their fragment delta extracted — outside the
+  /// write lock; the exclusive section applies the pre-parsed queries, bumps
+  /// the epoch, and sweeps both caches against the delta, so readers are
+  /// blocked for the minimum time and an entry the append could have changed
+  /// is never served afterwards. Unparseable entries are skipped and
+  /// counted.
   AppendOutcome AppendLogQueries(const std::vector<std::string>& sql_entries);
 
   /// \brief Checkpoints the current QFG in the qfg_io v1 snapshot format
@@ -134,6 +152,27 @@ class TemplarService {
 
   using ConfigResult = std::shared_ptr<const std::vector<core::Configuration>>;
   using JoinResult = std::shared_ptr<const std::vector<graph::JoinPath>>;
+  /// What a single flight lands with: an error status or a shared pointer
+  /// to the result vector (fan-out to followers copies the pointer), plus
+  /// the epoch it was computed at — a follower that joined the flight after
+  /// an intervening append re-checks freshness against it.
+  template <typename V>
+  struct FlightValue {
+    Status status;
+    V result;
+    uint64_t computed_at = 0;
+  };
+
+  /// Shared cache → single-flight → compute path of both request endpoints
+  /// (defined in the .cc; only instantiated there). `core_call(&footprint)`
+  /// runs the underlying Templar call; it is invoked under the shared QFG
+  /// lock with the footprint recorder to fill.
+  template <typename V, typename CoreFn>
+  Result<std::remove_const_t<typename V::element_type>> ServeCached(
+      const std::string& key, ShardedLruCache<V>& cache,
+      SingleFlight<FlightValue<V>>& flight,
+      std::atomic<uint64_t>& computations,
+      std::atomic<uint64_t>& coalesced_hits, CoreFn&& core_call);
 
   std::unique_ptr<core::Templar> templar_;
 
@@ -144,8 +183,15 @@ class TemplarService {
   ShardedLruCache<ConfigResult> map_cache_;
   ShardedLruCache<JoinResult> join_cache_;
 
+  SingleFlight<FlightValue<ConfigResult>> map_flight_;
+  SingleFlight<FlightValue<JoinResult>> join_flight_;
+
   std::atomic<uint64_t> map_requests_{0};
   std::atomic<uint64_t> join_requests_{0};
+  std::atomic<uint64_t> map_computations_{0};
+  std::atomic<uint64_t> join_computations_{0};
+  std::atomic<uint64_t> map_coalesced_{0};
+  std::atomic<uint64_t> join_coalesced_{0};
   std::atomic<uint64_t> append_batches_{0};
   std::atomic<uint64_t> appended_queries_{0};
   std::atomic<uint64_t> skipped_appends_{0};

@@ -1,12 +1,15 @@
 #include "service/thread_pool.h"
 
+#include <algorithm>
+
 namespace templar::service {
 
 ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::thread::hardware_concurrency();
-    if (num_threads == 0) num_threads = 1;
-  }
+  if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
+  // hardware_concurrency() is allowed to return 0 ("not computable"). A pool
+  // with zero workers would accept submissions that nothing ever drains —
+  // every future would block forever — so always run at least one worker.
+  num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

@@ -132,6 +132,105 @@ TEST(ServiceStressTest, ConcurrentRequestsWithOnlineIngestion) {
   EXPECT_FALSE(final_result->empty());
 }
 
+TEST(ServiceStressTest, ThunderingHerdCoalescesToOneComputation) {
+  auto db = testing::MakeMiniAcademicDb();
+  auto model = testing::MakeMiniLexicon();
+  ServiceOptions options;
+  options.worker_threads = 2;
+  auto built = TemplarService::Create(db.get(), model.get(),
+                                      testing::MakeMiniLog(), options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  TemplarService& service = **built;
+
+  constexpr int kClients = 8;
+  const nlq::ParsedNlq nlq = MakeNlq("papers", "Databases");
+
+  // Spin barrier: all clients issue the same cold-key request in the same
+  // instant, so every one of them misses the cache while the first is still
+  // computing — the single-flight table must fan one computation out to all.
+  std::atomic<int> ready{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < kClients) std::this_thread::yield();
+      auto result = service.MapKeywords(nlq);
+      if (!result.ok() || result->empty()) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.map_requests, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.map_computations, 1u)
+      << "duplicate concurrent requests must share one computation";
+  // Everyone else was served without computing: coalesced onto the flight,
+  // or (having arrived a hair late) from the cache the flight filled.
+  EXPECT_EQ(stats.map_coalesced_hits + stats.map_cache.hits,
+            static_cast<uint64_t>(kClients - 1));
+  // All clients received the same shared result object semantics: a second,
+  // sequential request is now a plain cache hit.
+  ASSERT_TRUE(service.MapKeywords(nlq).ok());
+  EXPECT_EQ(service.Stats().map_computations, 1u);
+}
+
+TEST(ServiceStressTest, AppendsRetainEntriesForUntouchedFragments) {
+  auto db = testing::MakeMiniAcademicDb();
+  auto model = testing::MakeMiniLexicon();
+  ServiceOptions options;
+  options.worker_threads = 2;
+  auto built = TemplarService::Create(db.get(), model.get(),
+                                      testing::MakeMiniLog(), options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  TemplarService& service = **built;
+
+  constexpr int kReaders = 4;
+  constexpr int kIterations = 50;
+  constexpr int kAppendBatches = 12;
+
+  // The papers/Databases footprint never names an organization fragment, so
+  // a pure-organization ingestion stream must leave its cache entry warm
+  // through every append.
+  const nlq::ParsedNlq nlq = MakeNlq("papers", "Databases");
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    for (int i = 0; i < kAppendBatches; ++i) {
+      AppendOutcome outcome = service.AppendLogQueries(
+          {"SELECT o.name FROM organization o WHERE o.oid = " +
+           std::to_string(i)});
+      if (outcome.appended != 1) failures.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        auto result = service.MapKeywords(nlq);
+        if (!result.ok() || result->empty()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.epoch, static_cast<uint64_t>(kAppendBatches));
+  EXPECT_EQ(stats.map_cache.invalidated, 0u)
+      << "organization appends must not evict the papers ranking";
+  EXPECT_EQ(stats.map_cache.stale_drops, 0u);
+  EXPECT_GT(stats.map_cache.hits, 0u);
+  // The entry can be recomputed at most when an append races a fill (the
+  // stale-put guard rejects the racing value); it must never be recomputed
+  // because of an invalidation.
+  EXPECT_LE(stats.map_computations,
+            static_cast<uint64_t>(kAppendBatches + 1));
+}
+
 TEST(ServiceStressTest, DestructionWithInFlightAsyncWork) {
   auto db = testing::MakeMiniAcademicDb();
   auto model = testing::MakeMiniLexicon();

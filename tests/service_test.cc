@@ -1,14 +1,21 @@
 // Tests for the serving layer: the sharded LRU cache (capacity, eviction
-// order, sharding, epoch invalidation) and TemplarService behaviour (cache
-// hits, batch/async APIs, online ingestion, warm start).
+// order, sharding, footprint/epoch invalidation), single-flight coalescing,
+// the fragment-delta extraction, and TemplarService behaviour (cache hits,
+// batch/async APIs, online ingestion with selective invalidation, warm
+// start).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
+#include "qfg/fragment_delta.h"
 #include "service/lru_cache.h"
+#include "service/single_flight.h"
 #include "service/templar_service.h"
+#include "service/thread_pool.h"
+#include "sql/parser.h"
 #include "test_fixtures.h"
 
 namespace templar::service {
@@ -22,11 +29,11 @@ using graph::JoinPath;
 
 TEST(LruCacheTest, HitAfterPut) {
   ShardedLruCache<int> cache(/*capacity=*/4, /*num_shards=*/1);
-  cache.Put("a", 1, /*epoch=*/0);
-  auto hit = cache.Get("a", 0);
+  cache.Put("a", 1, /*computed_at=*/0);
+  auto hit = cache.Get("a");
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(*hit, 1);
-  EXPECT_FALSE(cache.Get("b", 0).has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
   LruCacheStats stats = cache.Stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
@@ -38,11 +45,11 @@ TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
   cache.Put("a", 1, 0);
   cache.Put("b", 2, 0);
   // Touch "a" so "b" becomes the LRU entry.
-  EXPECT_TRUE(cache.Get("a", 0).has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
   cache.Put("c", 3, 0);
-  EXPECT_TRUE(cache.Get("a", 0).has_value());
-  EXPECT_FALSE(cache.Get("b", 0).has_value()) << "LRU entry should be gone";
-  EXPECT_TRUE(cache.Get("c", 0).has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value()) << "LRU entry should be gone";
+  EXPECT_TRUE(cache.Get("c").has_value());
   EXPECT_EQ(cache.Stats().evictions, 1u);
 }
 
@@ -52,31 +59,72 @@ TEST(LruCacheTest, PutRefreshesExistingKey) {
   cache.Put("b", 2, 0);
   cache.Put("a", 10, 0);  // Refresh, not insert: no eviction.
   cache.Put("c", 3, 0);   // Evicts "b" (LRU), not "a".
-  EXPECT_EQ(cache.Get("a", 0).value_or(-1), 10);
-  EXPECT_FALSE(cache.Get("b", 0).has_value());
+  EXPECT_EQ(cache.Get("a").value_or(-1), 10);
+  EXPECT_FALSE(cache.Get("b").has_value());
 }
 
-TEST(LruCacheTest, StaleEpochIsDroppedAsMiss) {
-  ShardedLruCache<int> cache(4, 2);
-  cache.Put("a", 1, /*epoch=*/0);
-  EXPECT_FALSE(cache.Get("a", /*epoch=*/1).has_value());
+TEST(LruCacheTest, PerFragmentDeltaEvictsOnlyIntersectingFootprints) {
+  ShardedLruCache<int> cache(8, 2, InvalidationPolicy::kPerFragment);
+  cache.Put("touched", 1, /*computed_at=*/0, /*footprint=*/{10, 20, 30});
+  cache.Put("untouched", 2, 0, {40, 50});
+  cache.Put("no_deps", 3, 0, {});  // Empty footprint: no QFG dependency.
+
+  cache.ApplyDelta(/*delta=*/{20, 60}, /*new_epoch=*/1);
+
+  EXPECT_FALSE(cache.Get("touched").has_value())
+      << "footprint {10,20,30} intersects delta {20,60}";
+  EXPECT_EQ(cache.Get("untouched").value_or(-1), 2);
+  EXPECT_EQ(cache.Get("no_deps").value_or(-1), 3);
   LruCacheStats stats = cache.Stats();
-  EXPECT_EQ(stats.stale_drops, 1u);
-  EXPECT_EQ(stats.misses, 1u);
-  EXPECT_EQ(stats.entries, 0u) << "stale entry must be removed";
+  EXPECT_EQ(stats.invalidated, 1u);
+  EXPECT_EQ(stats.retained, 2u);
+  EXPECT_EQ(stats.stale_drops, 0u) << "selective eviction is eager";
+
+  // Survivors were re-stamped: they keep serving at the new epoch, and a
+  // second non-intersecting delta retains them again.
+  cache.ApplyDelta({999}, 2);
+  EXPECT_EQ(cache.Get("untouched").value_or(-1), 2);
+  EXPECT_EQ(cache.Stats().retained, 4u);
+}
+
+TEST(LruCacheTest, EpochDropPolicyDropsEverythingLazily) {
+  ShardedLruCache<int> cache(8, 2, InvalidationPolicy::kEpochDrop);
+  cache.Put("a", 1, 0, {10});
+  cache.Put("b", 2, 0, {40});
+  cache.ApplyDelta({999}, 1);  // Delta intersects neither footprint.
+  EXPECT_FALSE(cache.Get("a").has_value())
+      << "kEpochDrop ignores footprints: any append invalidates everything";
+  EXPECT_FALSE(cache.Get("b").has_value());
+  LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.stale_drops, 2u);
+  EXPECT_EQ(stats.invalidated, 0u);
+  EXPECT_EQ(stats.retained, 0u);
   // Re-inserting at the new epoch works.
   cache.Put("a", 2, 1);
-  EXPECT_EQ(cache.Get("a", 1).value_or(-1), 2);
+  EXPECT_EQ(cache.Get("a").value_or(-1), 2);
 }
 
-TEST(LruCacheTest, NewerEpochEntryIsServedNotDropped) {
-  // A caller that read the epoch just before a concurrent append may ask
-  // with an older epoch than a freshly recomputed entry carries; the newer
-  // entry is fresher than anything the caller would compute.
+TEST(LruCacheTest, StalePutIsRejectedAfterDelta) {
+  // A value computed against the pre-append QFG must not enter the cache
+  // after the append's sweep already ran — the sweep can no longer vet it.
   ShardedLruCache<int> cache(4, 1);
-  cache.Put("a", 7, /*epoch=*/2);
-  EXPECT_EQ(cache.Get("a", /*epoch=*/1).value_or(-1), 7);
-  EXPECT_EQ(cache.Stats().stale_drops, 0u);
+  cache.ApplyDelta({10}, /*new_epoch=*/1);
+  cache.Put("late", 1, /*computed_at=*/0, {40});
+  EXPECT_FALSE(cache.Get("late").has_value());
+  EXPECT_EQ(cache.Stats().stale_put_drops, 1u);
+  // A value computed at (or after) the current epoch is accepted.
+  cache.Put("fresh", 2, 1);
+  EXPECT_EQ(cache.Get("fresh").value_or(-1), 2);
+}
+
+TEST(LruCacheTest, PrePutEntrySweptByLaterDelta) {
+  // Put lands before the sweep: the sweep itself must vet the footprint.
+  ShardedLruCache<int> cache(4, 1);
+  cache.Put("a", 1, 0, {10});
+  cache.Put("b", 2, 0, {20});
+  cache.ApplyDelta({10}, 1);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.Get("b").value_or(-1), 2);
 }
 
 TEST(LruCacheTest, ShardingSplitsCapacityAndNeverLosesKeys) {
@@ -88,7 +136,7 @@ TEST(LruCacheTest, ShardingSplitsCapacityAndNeverLosesKeys) {
   // exceeds its budget, and every present key round-trips.
   size_t present = 0;
   for (int i = 0; i < 64; ++i) {
-    auto hit = cache.Get("key" + std::to_string(i), 0);
+    auto hit = cache.Get("key" + std::to_string(i));
     if (hit) {
       EXPECT_EQ(*hit, i);
       ++present;
@@ -101,17 +149,104 @@ TEST(LruCacheTest, ZeroShardAndCapacityClamped) {
   ShardedLruCache<int> cache(/*capacity=*/0, /*num_shards=*/0);
   EXPECT_EQ(cache.shard_count(), 1u);
   cache.Put("a", 1, 0);
-  EXPECT_TRUE(cache.Get("a", 0).has_value()) << "minimum capacity is 1";
+  EXPECT_TRUE(cache.Get("a").has_value()) << "minimum capacity is 1";
 }
 
 TEST(LruCacheTest, ClearDropsEntriesKeepsCounters) {
   ShardedLruCache<int> cache(4, 2);
   cache.Put("a", 1, 0);
-  EXPECT_TRUE(cache.Get("a", 0).has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
   cache.Clear();
-  EXPECT_FALSE(cache.Get("a", 0).has_value());
+  EXPECT_FALSE(cache.Get("a").has_value());
   EXPECT_EQ(cache.Stats().hits, 1u);
   EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FragmentDelta / QfgFootprint
+
+TEST(FragmentDeltaTest, DeltaIntersectsFootprintsOfTouchedFragmentsOnly) {
+  auto query = sql::Parse("SELECT a.name FROM author a WHERE a.aid = 1");
+  ASSERT_TRUE(query.ok());
+  qfg::FragmentDelta delta;
+  delta.AddQuery(*query, qfg::ObscurityLevel::kNoConstOp);
+  delta.Seal();
+  ASSERT_FALSE(delta.empty());
+
+  // A footprint naming one of the query's fragments intersects...
+  qfg::QfgFootprint touched;
+  touched.fragment_keys = {
+      qfg::SelectFragment("author", "name").Key(),
+      qfg::SelectFragment("publication", "title").Key()};
+  EXPECT_TRUE(
+      qfg::FingerprintsIntersect(delta.fingerprints(),
+                                 touched.Fingerprints()));
+
+  // ...one naming only other fragments does not...
+  qfg::QfgFootprint untouched;
+  untouched.fragment_keys = {qfg::SelectFragment("journal", "name").Key(),
+                             qfg::RelationFragment("publication").Key()};
+  EXPECT_FALSE(
+      qfg::FingerprintsIntersect(delta.fingerprints(),
+                                 untouched.Fingerprints()));
+
+  // ...unless it is query-count sensitive, which every delta touches.
+  untouched.query_count_sensitive = true;
+  EXPECT_TRUE(
+      qfg::FingerprintsIntersect(delta.fingerprints(),
+                                 untouched.Fingerprints()));
+}
+
+TEST(FragmentDeltaTest, SealIsIdempotentAndDeduplicates) {
+  auto query = sql::Parse("SELECT j.name FROM journal j");
+  ASSERT_TRUE(query.ok());
+  qfg::FragmentDelta delta;
+  delta.AddQuery(*query, qfg::ObscurityLevel::kNoConstOp);
+  delta.AddQuery(*query, qfg::ObscurityLevel::kNoConstOp);  // Same fragments.
+  delta.Seal();
+  size_t size_once = delta.fingerprints().size();
+  delta.Seal();
+  EXPECT_EQ(delta.fingerprints().size(), size_once);
+  // SELECT j.name, FROM journal, plus the query-count sentinel.
+  EXPECT_EQ(size_once, 3u);
+  EXPECT_TRUE(std::is_sorted(delta.fingerprints().begin(),
+                             delta.fingerprints().end()));
+}
+
+// ---------------------------------------------------------------------------
+// SingleFlight
+
+TEST(SingleFlightTest, LeaderComputesFollowerNever) {
+  SingleFlight<int> flight;
+  int computations = 0;
+  auto outcome = flight.Do("k", [&] {
+    ++computations;
+    return 42;
+  });
+  EXPECT_EQ(outcome.value, 42);
+  EXPECT_FALSE(outcome.coalesced);
+  EXPECT_EQ(computations, 1);
+  EXPECT_EQ(flight.InFlight(), 0u) << "flight must land after completion";
+  // A later call is a fresh flight, not a stale fan-out.
+  auto second = flight.Do("k", [&] {
+    ++computations;
+    return 43;
+  });
+  EXPECT_EQ(second.value, 43);
+  EXPECT_EQ(computations, 2);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, ZeroRequestedThreadsClampsToAtLeastOneWorker) {
+  // worker_threads=0 means "use hardware_concurrency()", which is itself
+  // allowed to be 0; either way the pool must end up with a worker, or every
+  // submitted future would block forever.
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  auto result = pool.Submit([] { return 7; });
+  EXPECT_EQ(result.get(), 7);
 }
 
 // ---------------------------------------------------------------------------
@@ -162,7 +297,10 @@ TEST_F(TemplarServiceTest, MapKeywordsCachesRepeatedRequests) {
   ServiceStats stats = service_->Stats();
   EXPECT_EQ(stats.map_requests, 2u);
   EXPECT_EQ(stats.map_cache.hits, 1u);
+  // One miss per cold request: the single-flight double-check re-probe does
+  // not count a second miss.
   EXPECT_EQ(stats.map_cache.misses, 1u);
+  EXPECT_EQ(stats.map_computations, 1u);
 
   // The cached ranking is identical to the computed one.
   ASSERT_EQ(first->size(), second->size());
@@ -272,10 +410,14 @@ TEST_F(TemplarServiceTest, AppendLogQueriesBumpsEpochAndInvalidates) {
   uint64_t epoch_before = service_->epoch();
   uint64_t qfg_before = service_->Stats().qfg_query_count;
 
+  // "author.name" is among the papers-NLQ candidate fragments, so this
+  // append's delta intersects the cached map ranking's footprint; the join
+  // search consulted author's log weight while exploring the schema, so the
+  // join entry is touched too.
   AppendOutcome outcome = service_->AppendLogQueries(
       {"SELECT a.name FROM author a WHERE a.aid = 1",
        "THIS IS NOT SQL",
-       "SELECT o.name FROM organization o"});
+       "SELECT p.title FROM publication p"});
   EXPECT_EQ(outcome.appended, 2u);
   EXPECT_EQ(outcome.skipped, 1u);
   EXPECT_EQ(outcome.epoch, epoch_before + 1);
@@ -285,17 +427,114 @@ TEST_F(TemplarServiceTest, AppendLogQueriesBumpsEpochAndInvalidates) {
   EXPECT_EQ(stats.qfg_query_count, qfg_before + 2);
   EXPECT_EQ(stats.appended_queries, 2u);
   EXPECT_EQ(stats.skipped_log_entries, 1u);
+  // Invalidation is eager (the append's sweep), not lazy.
+  EXPECT_EQ(stats.map_cache.invalidated, 1u);
+  EXPECT_EQ(stats.join_cache.invalidated, 1u);
 
-  // Cached results from the old epoch are recomputed, not served.
+  // Cached results the append touched are recomputed, not served.
   ASSERT_TRUE(service_->MapKeywords(PapersInDatabasesNlq()).ok());
   ASSERT_TRUE(service_->InferJoins({"publication", "domain"}).ok());
   stats = service_->Stats();
-  EXPECT_EQ(stats.map_cache.stale_drops, 1u);
-  EXPECT_EQ(stats.join_cache.stale_drops, 1u);
+  EXPECT_EQ(stats.map_cache.hits, 0u);
+  EXPECT_EQ(stats.join_cache.hits, 0u);
+  EXPECT_EQ(stats.map_computations, 2u);
+  EXPECT_EQ(stats.join_computations, 2u);
 
   // And the refreshed entries serve hits again at the new epoch.
   ASSERT_TRUE(service_->MapKeywords(PapersInDatabasesNlq()).ok());
   EXPECT_EQ(service_->Stats().map_cache.hits, 1u);
+}
+
+TEST_F(TemplarServiceTest, AppendKeepsEntriesForUntouchedFragmentsWarm) {
+  ASSERT_TRUE(service_->MapKeywords(PapersInDatabasesNlq()).ok());
+
+  // The papers-NLQ footprint covers its candidate fragments (journal.name,
+  // publication.title, ... plus the Databases text predicates); an
+  // organization-only query shares none of them.
+  AppendOutcome outcome =
+      service_->AppendLogQueries({"SELECT o.name FROM organization o"});
+  ASSERT_EQ(outcome.appended, 1u);
+
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.map_cache.invalidated, 0u);
+  EXPECT_EQ(stats.map_cache.retained, 1u);
+
+  // The entry survives the append: served as a hit, not recomputed.
+  ASSERT_TRUE(service_->MapKeywords(PapersInDatabasesNlq()).ok());
+  stats = service_->Stats();
+  EXPECT_EQ(stats.map_cache.hits, 1u);
+  EXPECT_EQ(stats.map_cache.stale_drops, 0u);
+  EXPECT_EQ(stats.map_computations, 1u) << "no recompute after the append";
+}
+
+TEST_F(TemplarServiceTest, SingleRelationJoinSurvivesEveryAppend) {
+  // A one-terminal bag needs no Steiner search, consults no log weight, and
+  // therefore has an empty footprint — no append can change its answer.
+  ASSERT_TRUE(service_->InferJoins({"author"}).ok());
+  ASSERT_EQ(service_
+                ->AppendLogQueries(
+                    {"SELECT a.name FROM author a WHERE a.aid = 1"})
+                .appended,
+            1u);
+  ASSERT_TRUE(service_->InferJoins({"author"}).ok());
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.join_cache.hits, 1u);
+  EXPECT_EQ(stats.join_cache.invalidated, 0u);
+  EXPECT_EQ(stats.join_computations, 1u);
+}
+
+TEST_F(TemplarServiceTest, JoinCacheWithoutLogWeightsIgnoresAppends) {
+  ServiceOptions options;
+  options.worker_threads = 1;
+  options.templar.joins.use_log_weights = false;
+  auto service = TemplarService::Create(db_.get(), model_.get(),
+                                        testing::MakeMiniLog(), options);
+  ASSERT_TRUE(service.ok());
+  // Unit weights read nothing from the QFG: every join entry has an empty
+  // footprint and stays warm across arbitrary ingestion.
+  ASSERT_TRUE((*service)->InferJoins({"publication", "domain"}).ok());
+  ASSERT_EQ((*service)
+                ->AppendLogQueries({"SELECT p.title FROM publication p",
+                                    "SELECT d.name FROM domain d"})
+                .appended,
+            2u);
+  ASSERT_TRUE((*service)->InferJoins({"publication", "domain"}).ok());
+  ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.join_cache.hits, 1u);
+  EXPECT_EQ(stats.join_cache.retained, 1u);
+  EXPECT_EQ(stats.join_computations, 1u);
+}
+
+TEST_F(TemplarServiceTest, EpochDropPolicyInvalidatesEverythingPerAppend) {
+  ServiceOptions options;
+  options.worker_threads = 1;
+  options.invalidation = InvalidationPolicy::kEpochDrop;
+  auto service = TemplarService::Create(db_.get(), model_.get(),
+                                        testing::MakeMiniLog(), options);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->MapKeywords(PapersInDatabasesNlq()).ok());
+  // The same organization append that kPerFragment retains across...
+  ASSERT_EQ((*service)
+                ->AppendLogQueries({"SELECT o.name FROM organization o"})
+                .appended,
+            1u);
+  ASSERT_TRUE((*service)->MapKeywords(PapersInDatabasesNlq()).ok());
+  ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.map_cache.hits, 0u);
+  EXPECT_EQ(stats.map_cache.stale_drops, 1u);
+  EXPECT_EQ(stats.map_computations, 2u) << "legacy policy always recomputes";
+}
+
+TEST_F(TemplarServiceTest, StatsReportCoalescingCountersInToString) {
+  ASSERT_TRUE(service_->MapKeywords(PapersInDatabasesNlq()).ok());
+  ASSERT_TRUE(service_->MapKeywords(PapersInDatabasesNlq()).ok());
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.map_computations, 1u);
+  EXPECT_EQ(stats.map_coalesced_hits, 0u);
+  std::string rendered = stats.ToString();
+  EXPECT_NE(rendered.find("map_computed=1"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("invalidated"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("retained"), std::string::npos) << rendered;
 }
 
 TEST_F(TemplarServiceTest, AppendOfOnlyUnparseableEntriesKeepsEpoch) {

@@ -1,0 +1,86 @@
+#ifndef TEMPLAR_BENCH_BENCH_COMMON_H_
+#define TEMPLAR_BENCH_BENCH_COMMON_H_
+
+/// \file bench_common.h
+/// \brief Workload setup shared by the serving-layer benches
+/// (bench_service_throughput, bench_invalidation, bench_multitenant): the
+/// request representation, benchmark-derived workload construction, and a
+/// replay helper.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datasets/dataset.h"
+#include "service/templar_service.h"
+
+namespace templar::bench {
+
+/// \brief One serving-layer request: a MAPKEYWORDS NLQ or an INFERJOINS bag.
+struct Request {
+  bool is_map = true;
+  nlq::ParsedNlq nlq;
+  std::vector<std::string> bag;
+};
+
+/// \brief Builds a request workload from a dataset's benchmark items: the
+/// gold hand-parse as a map request plus the gold FROM clause (deduplicated
+/// — the bag API names self-join duplicates "rel#1", which the gold SQL
+/// expresses via aliases) as a join request.
+///
+/// With `distinct_cache_keys`, requests that would share a serving-layer
+/// cache key are emitted once: duplicates would hit the cache even under
+/// kEpochDrop (within one replay pass) and blur invalidation-policy
+/// comparisons — with every request distinct, the legacy policy's
+/// post-append hit rate is exactly its retained-entry rate: zero.
+inline std::vector<Request> BuildWorkload(const datasets::Dataset& dataset,
+                                          size_t max_requests,
+                                          bool distinct_cache_keys = false) {
+  std::vector<Request> requests;
+  std::set<std::string> seen;
+  auto admit = [&](const std::string& key) {
+    return !distinct_cache_keys || seen.insert(key).second;
+  };
+  for (const auto& item : dataset.benchmark) {
+    if (requests.size() >= max_requests) break;
+    Request map_request;
+    map_request.is_map = true;
+    map_request.nlq = item.gold_parse;
+    if (admit("m" + service::TemplarService::MapCacheKey(map_request.nlq))) {
+      requests.push_back(std::move(map_request));
+    }
+
+    Request join_request;
+    join_request.is_map = false;
+    for (const auto& rel : item.gold_sql.from) {
+      if (std::find(join_request.bag.begin(), join_request.bag.end(),
+                    rel.table) == join_request.bag.end()) {
+        join_request.bag.push_back(rel.table);
+      }
+    }
+    if (!join_request.bag.empty() &&
+        admit("j" + service::TemplarService::JoinCacheKey(join_request.bag))) {
+      requests.push_back(std::move(join_request));
+    }
+  }
+  return requests;
+}
+
+/// \brief Replays every request once, synchronously, discarding results.
+/// Works against anything with the MapKeywords/InferJoins request API
+/// (TemplarService, ServiceCore, TenantHandle).
+template <typename ServiceT>
+void IssueAll(ServiceT& service, const std::vector<Request>& requests) {
+  for (const auto& request : requests) {
+    if (request.is_map) {
+      (void)service.MapKeywords(request.nlq);
+    } else {
+      (void)service.InferJoins(request.bag);
+    }
+  }
+}
+
+}  // namespace templar::bench
+
+#endif  // TEMPLAR_BENCH_BENCH_COMMON_H_

@@ -13,74 +13,24 @@
 // stream of key-only queries that almost no ranking depends on, and the
 // *workload* stream of realistic MAS log entries.
 
-#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "datasets/dataset.h"
 #include "service/templar_service.h"
 
 using namespace templar;
+using bench::BuildWorkload;
+using bench::IssueAll;
+using bench::Request;
 
 namespace {
-
-struct Request {
-  bool is_map = true;
-  nlq::ParsedNlq nlq;
-  std::vector<std::string> bag;
-};
-
-/// Distinct-by-cache-key requests: duplicates would hit the cache even under
-/// kEpochDrop (within one replay pass) and blur the policy comparison — with
-/// every request distinct, the legacy policy's post-append hit rate is
-/// exactly its retained-entry rate: zero.
-std::vector<Request> BuildWorkload(const datasets::Dataset& dataset,
-                                   size_t max_requests) {
-  std::vector<Request> requests;
-  std::set<std::string> seen;
-  for (const auto& item : dataset.benchmark) {
-    if (requests.size() >= max_requests) break;
-    Request map_request;
-    map_request.is_map = true;
-    map_request.nlq = item.gold_parse;
-    if (seen.insert("m" + service::TemplarService::MapCacheKey(
-                              map_request.nlq)).second) {
-      requests.push_back(std::move(map_request));
-    }
-
-    Request join_request;
-    join_request.is_map = false;
-    for (const auto& rel : item.gold_sql.from) {
-      if (std::find(join_request.bag.begin(), join_request.bag.end(),
-                    rel.table) == join_request.bag.end()) {
-        join_request.bag.push_back(rel.table);
-      }
-    }
-    if (!join_request.bag.empty() &&
-        seen.insert("j" + service::TemplarService::JoinCacheKey(
-                              join_request.bag)).second) {
-      requests.push_back(std::move(join_request));
-    }
-  }
-  return requests;
-}
-
-void IssueAll(service::TemplarService& service,
-              const std::vector<Request>& requests) {
-  for (const auto& request : requests) {
-    if (request.is_map) {
-      (void)service.MapKeywords(request.nlq);
-    } else {
-      (void)service.InferJoins(request.bag);
-    }
-  }
-}
 
 uint64_t TotalHits(const service::ServiceStats& stats) {
   return stats.map_cache.hits + stats.join_cache.hits;
@@ -212,7 +162,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
     return 1;
   }
-  std::vector<Request> requests = BuildWorkload(*dataset, 64);
+  // Distinct-by-cache-key: see bench_common.h on why duplicates would blur
+  // the policy comparison.
+  std::vector<Request> requests =
+      BuildWorkload(*dataset, 64, /*distinct_cache_keys=*/true);
   std::printf("workload: %zu distinct requests, %d append rounds\n\n",
               requests.size(), rounds);
 

@@ -1,0 +1,320 @@
+// Multi-tenant serving: aggregate QPS and p99 latency of a ServiceHost at
+// 1/4/8 tenants sharing one worker pool and cache budget, plus a hot-tenant
+// isolation cell: a victim tenant's latency and success rate while a
+// neighbour floods the host, with admission control capping the aggressor.
+//
+//   $ ./build/bench/bench_multitenant [seconds-per-cell] [--json <path>]
+//
+// Every tenant serves the same MAS workload (one client thread each,
+// synchronous requests, warm caches), so aggregate throughput across the
+// tenant counts shows the cost of tenancy itself: per-tenant caches stay
+// independent, the pool and cache budget are shared. The isolation cell
+// runs two tenants — a victim issuing steady sync traffic and an aggressor
+// burst-submitting async work under a small admission cap — and reports the
+// victim's p99 against its tenants=1 baseline plus the aggressor's
+// admitted/rejected split.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "datasets/dataset.h"
+#include "service/tenant_registry.h"
+
+using namespace templar;
+using bench::BuildWorkload;
+using bench::IssueAll;
+using bench::Request;
+
+namespace {
+
+double Percentile(std::vector<double>& latencies_us, double p) {
+  if (latencies_us.empty()) return 0;
+  const size_t rank = std::min(
+      latencies_us.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(latencies_us.size())));
+  std::nth_element(latencies_us.begin(), latencies_us.begin() + rank,
+                   latencies_us.end());
+  return latencies_us[rank];
+}
+
+struct CellResult {
+  int tenants = 0;
+  double aggregate_qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// One client thread per tenant, each replaying the workload against its
+/// own handle for `seconds`; returns aggregate QPS plus pooled latency
+/// percentiles.
+CellResult RunTenantCell(const datasets::Dataset& dataset,
+                         const std::vector<Request>& requests, int tenants,
+                         double seconds) {
+  service::HostOptions options;
+  options.worker_threads = 4;
+  options.map_cache_budget = 4096;
+  options.join_cache_budget = 4096;
+  service::ServiceHost host(options);
+  std::vector<service::TenantHandle> handles;
+  for (int t = 0; t < tenants; ++t) {
+    std::string id = "tenant" + std::to_string(t);
+    Status status = host.RegisterTenant(id, dataset.database.get(),
+                                        dataset.lexicon.get(),
+                                        dataset.extra_log);
+    if (!status.ok()) {
+      std::fprintf(stderr, "register: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+    auto handle = host.Tenant(id);
+    if (!handle.ok()) std::exit(1);
+    IssueAll(*handle, requests);  // Warm this tenant's cache share.
+    handles.push_back(*handle);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::vector<std::vector<double>> latencies(tenants);
+  std::vector<std::thread> clients;
+  clients.reserve(tenants);
+  for (int t = 0; t < tenants; ++t) {
+    clients.emplace_back([&, t] {
+      auto& local = latencies[t];
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Request& request = requests[i++ % requests.size()];
+        auto begin = std::chrono::steady_clock::now();
+        if (request.is_map) {
+          (void)handles[t].MapKeywords(request.nlq);
+        } else {
+          (void)handles[t].InferJoins(request.bag);
+        }
+        local.push_back(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - begin)
+                            .count());
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& client : clients) client.join();
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<double> pooled;
+  for (auto& local : latencies) {
+    pooled.insert(pooled.end(), local.begin(), local.end());
+  }
+  CellResult result;
+  result.tenants = tenants;
+  result.aggregate_qps = static_cast<double>(completed.load()) / elapsed;
+  result.p50_us = Percentile(pooled, 0.50);
+  result.p99_us = Percentile(pooled, 0.99);
+  return result;
+}
+
+struct IsolationResult {
+  double victim_alone_p99_us = 0;  ///< Victim's p99 with no neighbour.
+  double victim_p99_us = 0;        ///< Victim's p99 under the flood.
+  uint64_t victim_errors = 0;
+  uint64_t aggressor_admitted = 0;
+  uint64_t aggressor_rejected = 0;
+};
+
+/// Victim: steady sync traffic. Aggressor: a flood of async submissions
+/// under a tight admission cap. Reported: the victim's p99 (vs running
+/// alone) and how much of the flood admission control turned away.
+IsolationResult RunIsolationCell(const datasets::Dataset& dataset,
+                                 const std::vector<Request>& requests,
+                                 double seconds) {
+  IsolationResult result;
+  for (int with_aggressor = 0; with_aggressor <= 1; ++with_aggressor) {
+    service::HostOptions options;
+    options.worker_threads = 2;
+    service::ServiceHost host(options);
+    if (!host.RegisterTenant("victim", dataset.database.get(),
+                             dataset.lexicon.get(), dataset.extra_log)
+             .ok()) {
+      std::exit(1);
+    }
+    service::TenantOptions aggressor_options;
+    aggressor_options.admission = service::AdmissionOptions{
+        /*max_inflight=*/1, /*max_queued=*/8};
+    if (with_aggressor &&
+        !host.RegisterTenant("aggressor", dataset.database.get(),
+                             dataset.lexicon.get(), dataset.extra_log,
+                             aggressor_options)
+             .ok()) {
+      std::exit(1);
+    }
+    auto victim = host.Tenant("victim");
+    if (!victim.ok()) std::exit(1);
+    IssueAll(*victim, requests);
+
+    std::atomic<bool> stop{false};
+    std::thread aggressor_thread;
+    if (with_aggressor) {
+      aggressor_thread = std::thread([&] {
+        auto handle = host.Tenant("aggressor");
+        if (!handle.ok()) return;
+        size_t i = 0;
+        std::vector<std::future<Result<std::vector<core::Configuration>>>>
+            inflight;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const Request& request = requests[i++ % requests.size()];
+          if (request.is_map) {
+            inflight.push_back(handle->MapKeywordsAsync(request.nlq));
+          }
+          if (inflight.size() >= 16) {
+            for (auto& f : inflight) (void)f.get();
+            inflight.clear();
+            // Keep the flood expensive: appending to *itself* sweeps the
+            // aggressor's caches (and only those — invalidation is
+            // tenant-scoped), so admitted requests keep recomputing while
+            // the victim's cache stays warm next door.
+            (void)handle->AppendLogQueries(
+                {dataset.extra_log[i % dataset.extra_log.size()]});
+          }
+        }
+        for (auto& f : inflight) (void)f.get();
+      });
+    }
+
+    std::vector<double> victim_latencies;
+    uint64_t errors = 0;
+    std::thread victim_thread([&] {
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Request& request = requests[i++ % requests.size()];
+        auto begin = std::chrono::steady_clock::now();
+        bool ok = request.is_map
+                      ? victim->MapKeywords(request.nlq).ok()
+                      : victim->InferJoins(request.bag).ok();
+        victim_latencies.push_back(std::chrono::duration<double, std::micro>(
+                                       std::chrono::steady_clock::now() -
+                                       begin)
+                                       .count());
+        if (!ok) ++errors;
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    stop.store(true);
+    victim_thread.join();
+    if (aggressor_thread.joinable()) aggressor_thread.join();
+
+    if (with_aggressor) {
+      result.victim_p99_us = Percentile(victim_latencies, 0.99);
+      result.victim_errors = errors;
+      auto aggressor = host.Tenant("aggressor");
+      if (aggressor.ok()) {
+        service::AdmissionStats stats = aggressor->Stats().admission;
+        result.aggressor_admitted = stats.admitted;
+        result.aggressor_rejected = stats.rejected;
+      }
+    } else {
+      result.victim_alone_p99_us = Percentile(victim_latencies, 0.99);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 2.0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (std::atof(argv[i]) > 0) {
+      seconds = std::atof(argv[i]);
+    }
+  }
+
+  std::printf("== ServiceHost multi-tenant throughput ==\n");
+  std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
+
+  auto dataset = datasets::BuildMas();
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Request> requests = BuildWorkload(*dataset, 64);
+  std::printf("workload: %zu requests (MAS gold parses + bags), "
+              "%.2fs per cell\n\n",
+              requests.size(), seconds);
+
+  const int tenant_counts[] = {1, 4, 8};
+  std::vector<CellResult> cells;
+  for (int tenants : tenant_counts) {
+    CellResult cell = RunTenantCell(*dataset, requests, tenants, seconds);
+    std::printf(
+        "  %d tenant%s: %10.0f aggregate QPS   p50 %7.1f us   p99 %8.1f us\n",
+        tenants, tenants == 1 ? " " : "s", cell.aggregate_qps, cell.p50_us,
+        cell.p99_us);
+    cells.push_back(cell);
+  }
+
+  IsolationResult isolation = RunIsolationCell(*dataset, requests, seconds);
+  std::printf(
+      "\nhot-tenant isolation (victim p99, cap on aggressor 1 in-flight / "
+      "8 queued):\n"
+      "  alone %8.1f us | flooded %8.1f us | victim errors %llu\n"
+      "  aggressor admitted %llu, rejected %llu (%.0f%% turned away)\n",
+      isolation.victim_alone_p99_us, isolation.victim_p99_us,
+      static_cast<unsigned long long>(isolation.victim_errors),
+      static_cast<unsigned long long>(isolation.aggressor_admitted),
+      static_cast<unsigned long long>(isolation.aggressor_rejected),
+      isolation.aggressor_admitted + isolation.aggressor_rejected == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(isolation.aggressor_rejected) /
+                static_cast<double>(isolation.aggressor_admitted +
+                                    isolation.aggressor_rejected));
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"multitenant\",\n"
+                 "  \"seconds_per_cell\": %.3f,\n"
+                 "  \"hardware_threads\": %u,\n  \"cells\": [\n",
+                 seconds, std::thread::hardware_concurrency());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"tenants\": %d, \"aggregate_qps\": %.1f, "
+                   "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                   cells[i].tenants, cells[i].aggregate_qps, cells[i].p50_us,
+                   cells[i].p99_us, i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"isolation\": {\"victim_alone_p99_us\": %.1f, "
+                 "\"victim_flooded_p99_us\": %.1f, \"victim_errors\": %llu, "
+                 "\"aggressor_admitted\": %llu, \"aggressor_rejected\": "
+                 "%llu}\n}\n",
+                 isolation.victim_alone_p99_us, isolation.victim_p99_us,
+                 static_cast<unsigned long long>(isolation.victim_errors),
+                 static_cast<unsigned long long>(isolation.aggressor_admitted),
+                 static_cast<unsigned long long>(isolation.aggressor_rejected));
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

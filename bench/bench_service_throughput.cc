@@ -9,7 +9,6 @@
 // on the hardware: warm-cache hits are lock-light (sharded LRU, shared QFG
 // lock never taken), so QPS should scale near-linearly with cores.
 
-#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -19,43 +18,15 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "datasets/dataset.h"
 #include "service/templar_service.h"
 
 using namespace templar;
+using bench::BuildWorkload;
+using bench::Request;
 
 namespace {
-
-struct Request {
-  bool is_map = true;
-  nlq::ParsedNlq nlq;
-  std::vector<std::string> bag;
-};
-
-std::vector<Request> BuildWorkload(const datasets::Dataset& dataset,
-                                   size_t max_requests) {
-  std::vector<Request> requests;
-  for (const auto& item : dataset.benchmark) {
-    if (requests.size() >= max_requests) break;
-    Request map_request;
-    map_request.is_map = true;
-    map_request.nlq = item.gold_parse;
-    requests.push_back(std::move(map_request));
-
-    Request join_request;
-    join_request.is_map = false;
-    for (const auto& rel : item.gold_sql.from) {
-      // Deduplicate: the bag API names self-join duplicates "rel#1", which
-      // the gold FROM clause expresses via aliases instead.
-      if (std::find(join_request.bag.begin(), join_request.bag.end(),
-                    rel.table) == join_request.bag.end()) {
-        join_request.bag.push_back(rel.table);
-      }
-    }
-    if (!join_request.bag.empty()) requests.push_back(std::move(join_request));
-  }
-  return requests;
-}
 
 double RunCell(service::TemplarService& service,
                const std::vector<Request>& requests, int threads,
@@ -153,15 +124,7 @@ int main(int argc, char** argv) {
                      service.status().ToString().c_str());
         return 1;
       }
-      if (warm) {
-        for (const auto& request : requests) {
-          if (request.is_map) {
-            (void)(*service)->MapKeywords(request.nlq);
-          } else {
-            (void)(*service)->InferJoins(request.bag);
-          }
-        }
-      }
+      if (warm) bench::IssueAll(**service, requests);
       double qps = RunCell(**service, requests, threads, seconds);
       if (warm) {
         warm_qps[cell] = qps;

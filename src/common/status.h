@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kNotImplemented = 7,
   kInternal = 8,
   kIOError = 9,
+  kOverloaded = 10,
 };
 
 /// \brief Returns a human-readable name for a status code (e.g. "ParseError").
@@ -76,6 +77,7 @@ class Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {
@@ -104,6 +106,11 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// Admission-control rejection: the serving layer is at its configured
+  /// in-flight or queue-depth limit. Retryable by the caller after backoff.
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
  private:

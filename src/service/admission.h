@@ -1,0 +1,289 @@
+#ifndef TEMPLAR_SERVICE_ADMISSION_H_
+#define TEMPLAR_SERVICE_ADMISSION_H_
+
+/// \file admission.h
+/// \brief Per-tenant admission control and fair-share scheduling for the
+/// multi-tenant serving host.
+///
+/// A ServiceHost runs many tenants over ONE worker pool, so two failure
+/// modes must be engineered away:
+///
+///  - **Overload.** Unbounded acceptance turns a traffic spike into
+///    unbounded queueing (memory growth + latency collapse). Each tenant
+///    gets an AdmissionController with two limits: `max_inflight` bounds
+///    requests executing at once (sync calls on client threads plus
+///    dispatched async tasks), `max_queued` bounds async tasks waiting for
+///    a worker. A request over either limit is *rejected immediately* with
+///    a typed Status (kOverloaded) — never silently dropped, never blocked.
+///  - **Starvation.** A FIFO pool queue lets one hot tenant's burst bury
+///    every other tenant's requests behind it. The FairShareScheduler keeps
+///    a separate FIFO per tenant and dispatches round-robin across tenants
+///    that have runnable work, skipping tenants at their in-flight cap. A
+///    cold tenant's request therefore waits behind at most one task per
+///    *tenant*, not per queued request.
+///
+/// Counter contract (verified by the admission unit tests): every request
+/// increments `submitted` exactly once and then exactly one of `admitted` or
+/// `rejected`; every admitted request eventually increments `completed`.
+/// So `admitted + rejected == submitted` at every quiescent point, and
+/// `admitted == completed` once all work has drained.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "service/thread_pool.h"
+
+namespace templar::service {
+
+/// \brief Per-tenant admission limits.
+struct AdmissionOptions {
+  /// Requests allowed to execute concurrently (sync + dispatched async).
+  /// 0 rejects everything, async included (a task that could never acquire
+  /// an execution slot must not be queued) — useful for draining a tenant
+  /// before retire.
+  size_t max_inflight = 32;
+  /// Async requests allowed to wait for a worker. 0 rejects every async
+  /// request (sync requests only contend for in-flight slots).
+  size_t max_queued = 128;
+};
+
+/// \brief Point-in-time admission counters for one tenant.
+struct AdmissionStats {
+  uint64_t submitted = 0;  ///< Every request that reached the gate.
+  uint64_t admitted = 0;   ///< Granted a slot (executing or queued).
+  uint64_t rejected = 0;   ///< Turned away with kOverloaded.
+  uint64_t completed = 0;  ///< Admitted requests that finished executing.
+  size_t inflight = 0;     ///< Currently executing (instantaneous).
+  size_t queued = 0;       ///< Currently waiting for a worker (instantaneous).
+  size_t max_inflight = 0;
+  size_t max_queued = 0;
+};
+
+/// \brief One tenant's admission gate: lock-free slot counters sized by
+/// AdmissionOptions. Thread-safe; shared between the tenant's sync request
+/// paths and the FairShareScheduler's dispatch loop.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options) : options_(options) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// \brief Full admission check for a synchronous request: counts the
+  /// submission and either takes an in-flight slot (true) or counts a
+  /// rejection (false). Pair with Release().
+  bool AdmitInflight() {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (!TryAcquireSlot()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// \brief Full admission check for an asynchronous request: counts the
+  /// submission and either takes a queue slot (true) or counts a rejection
+  /// (false). The scheduler later moves the task from queued to in-flight.
+  bool AdmitQueued() {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    // max_inflight == 0 rejects here too: a queued task can only ever run
+    // by acquiring an in-flight slot, so admitting one would park it (and
+    // its future) forever instead of draining.
+    if (options_.max_inflight > 0) {
+      size_t cur = queued_.load(std::memory_order_relaxed);
+      while (cur < options_.max_queued) {
+        if (queued_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_acq_rel)) {
+          admitted_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// \brief Takes an in-flight slot without submission accounting (the
+  /// scheduler's dispatch step: the request was already admitted into the
+  /// queue). Returns false when the tenant is at its in-flight cap.
+  bool TryAcquireSlot() {
+    size_t cur = inflight_.load(std::memory_order_relaxed);
+    while (cur < options_.max_inflight) {
+      if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// \brief Moves an admitted task from queued to executing (slot already
+  /// acquired via TryAcquireSlot).
+  void MarkDequeued() { queued_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// \brief Releases an in-flight slot and counts the completion.
+  void Release() {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  size_t queued() const { return queued_.load(std::memory_order_acquire); }
+  size_t inflight() const { return inflight_.load(std::memory_order_acquire); }
+  const AdmissionOptions& options() const { return options_; }
+
+  AdmissionStats Stats() const {
+    AdmissionStats stats;
+    stats.submitted = submitted_.load(std::memory_order_relaxed);
+    stats.admitted = admitted_.load(std::memory_order_relaxed);
+    stats.rejected = rejected_.load(std::memory_order_relaxed);
+    stats.completed = completed_.load(std::memory_order_relaxed);
+    stats.inflight = inflight_.load(std::memory_order_relaxed);
+    stats.queued = queued_.load(std::memory_order_relaxed);
+    stats.max_inflight = options_.max_inflight;
+    stats.max_queued = options_.max_queued;
+    return stats;
+  }
+
+ private:
+  const AdmissionOptions options_;
+  std::atomic<size_t> inflight_{0};
+  std::atomic<size_t> queued_{0};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+};
+
+/// \brief Round-robin dispatcher of per-tenant task queues onto a shared
+/// ThreadPool.
+///
+/// Submit() admission-checks against the tenant's queue-depth limit, parks
+/// the task in the tenant's FIFO, and posts a dispatch trampoline to the
+/// pool. Each trampoline repeatedly picks the next tenant in rotation that
+/// has queued work *and* a free in-flight slot, runs one of its tasks, and
+/// releases the slot — so a saturating tenant never executes more than its
+/// cap concurrently and never starves other tenants' queues, regardless of
+/// submission order.
+class FairShareScheduler {
+ public:
+  using Task = std::function<void()>;
+
+  explicit FairShareScheduler(ThreadPool* pool) : pool_(pool) {}
+
+  FairShareScheduler(const FairShareScheduler&) = delete;
+  FairShareScheduler& operator=(const FairShareScheduler&) = delete;
+
+  /// \brief Admission-checks and enqueues `task` for `tenant`. Returns false
+  /// — with the rejection counted in the tenant's stats — when the tenant's
+  /// queue is at capacity. The task will run on the shared pool once the
+  /// round-robin rotation reaches the tenant and it has in-flight headroom;
+  /// the scheduler holds `tenant` alive until then.
+  bool Submit(const std::shared_ptr<AdmissionController>& tenant, Task task) {
+    if (!tenant->AdmitQueued()) return false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto [it, inserted] = queues_.try_emplace(tenant.get());
+      TenantQueue& queue = it->second;
+      if (inserted) queue.tenant = tenant;
+      if (!queue.in_rotation) {
+        rotation_.push_back(tenant.get());
+        queue.in_rotation = true;
+      }
+      queue.tasks.push_back(std::move(task));
+    }
+    pool_->Execute([this] { DispatchLoop(); });
+    return true;
+  }
+
+  /// \brief Wakes the dispatcher when external slot release may have made
+  /// queued work runnable (a *sync* request of the tenant finished while its
+  /// async queue was blocked on the in-flight cap — the trampolines all
+  /// exited, so nothing else would ever re-scan the queue).
+  void Poke(const AdmissionController& tenant) {
+    if (tenant.queued() > 0) {
+      pool_->Execute([this] { DispatchLoop(); });
+    }
+  }
+
+  /// \brief Tasks parked across all tenant queues (diagnostics; racy).
+  size_t QueuedTasks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const auto& [_, queue] : queues_) total += queue.tasks.size();
+    return total;
+  }
+
+ private:
+  struct TenantQueue {
+    /// Keeps the controller (and whatever its owner ties to its lifetime)
+    /// alive while tasks are parked, including across a tenant retire.
+    std::shared_ptr<AdmissionController> tenant;
+    std::deque<Task> tasks;
+    bool in_rotation = false;
+  };
+
+  /// Runs parked tasks until no tenant has runnable work. Over-posting is
+  /// benign: a trampoline that finds nothing runnable returns immediately.
+  void DispatchLoop() {
+    for (;;) {
+      Task task;
+      std::shared_ptr<AdmissionController> tenant;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        // One full rotation at most: every tenant currently in rotation is
+        // examined once; at-cap tenants go back to the rotation tail so a
+        // later pass (after a Release) can serve them.
+        const size_t attempts = rotation_.size();
+        for (size_t i = 0; i < attempts; ++i) {
+          AdmissionController* key = rotation_.front();
+          rotation_.pop_front();
+          auto it = queues_.find(key);
+          if (it == queues_.end() || it->second.tasks.empty()) {
+            // Drained while parked in the rotation; drop it. (Submit
+            // re-inserts the tenant when new work arrives.)
+            if (it != queues_.end()) {
+              it->second.in_rotation = false;
+              queues_.erase(it);
+            }
+            continue;
+          }
+          if (!key->TryAcquireSlot()) {
+            rotation_.push_back(key);  // At in-flight cap: not its turn.
+            continue;
+          }
+          task = std::move(it->second.tasks.front());
+          it->second.tasks.pop_front();
+          key->MarkDequeued();
+          tenant = it->second.tenant;
+          if (it->second.tasks.empty()) {
+            it->second.in_rotation = false;
+            queues_.erase(it);
+          } else {
+            rotation_.push_back(key);
+          }
+          break;
+        }
+      }
+      if (!task) return;
+      task();
+      tenant->Release();
+      // Loop: the released slot (or work queued meanwhile) may be runnable.
+    }
+  }
+
+  ThreadPool* pool_;
+  mutable std::mutex mu_;
+  std::unordered_map<AdmissionController*, TenantQueue> queues_;
+  std::deque<AdmissionController*> rotation_;
+};
+
+}  // namespace templar::service
+
+#endif  // TEMPLAR_SERVICE_ADMISSION_H_

@@ -36,6 +36,7 @@
 /// could have changed it.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -153,11 +154,8 @@ class ShardedLruCache {
     shard.lru.push_front(
         Entry{key, std::move(value), computed_at, std::move(footprint)});
     shard.index.emplace(key, shard.lru.begin());
-    if (shard.lru.size() > per_shard_capacity_) {
-      shard.index.erase(shard.lru.back().key);
-      shard.lru.pop_back();
-      ++shard.evictions;
-    }
+    EvictOverflowLocked(shard,
+                        per_shard_capacity_.load(std::memory_order_relaxed));
   }
 
   /// \brief Applies one append's fragment delta (sorted fingerprints) and
@@ -193,6 +191,22 @@ class ShardedLruCache {
     }
   }
 
+  /// \brief Re-budgets the cache to at most `capacity` total entries.
+  /// Unlike the constructor's round-up split, the per-shard share rounds
+  /// *down* (clamped to one entry per shard), so re-budgeted caches never
+  /// exceed `capacity` — the multi-tenant host partitions one global entry
+  /// budget across live tenants on every register/retire, and the tenant
+  /// shares must not sum past it. Shards over the new budget evict from
+  /// their LRU tail immediately.
+  void SetCapacity(size_t capacity) {
+    const size_t per_shard = std::max<size_t>(1, capacity / shards_.size());
+    per_shard_capacity_.store(per_shard, std::memory_order_relaxed);
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      EvictOverflowLocked(shard, per_shard);
+    }
+  }
+
   /// \brief Drops every entry (counters are kept).
   void Clear() {
     for (Shard& shard : shards_) {
@@ -205,7 +219,8 @@ class ShardedLruCache {
   /// \brief Aggregated counters over all shards.
   LruCacheStats Stats() const {
     LruCacheStats stats;
-    stats.capacity = per_shard_capacity_ * shards_.size();
+    stats.capacity =
+        per_shard_capacity_.load(std::memory_order_relaxed) * shards_.size();
     for (const Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
       stats.hits += shard.hits;
@@ -221,7 +236,10 @@ class ShardedLruCache {
   }
 
   size_t shard_count() const { return shards_.size(); }
-  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  size_t capacity() const {
+    return per_shard_capacity_.load(std::memory_order_relaxed) *
+           shards_.size();
+  }
   InvalidationPolicy policy() const { return policy_; }
 
  private:
@@ -249,7 +267,19 @@ class ShardedLruCache {
     return shards_[std::hash<std::string>{}(key) % shards_.size()];
   }
 
-  size_t per_shard_capacity_;
+  /// Evicts `shard`'s LRU tail down to `limit` entries. Caller holds the
+  /// shard lock.
+  static void EvictOverflowLocked(Shard& shard, size_t limit) {
+    while (shard.lru.size() > limit) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+  }
+
+  /// Atomic: SetCapacity re-budgets at runtime while Puts on other shards
+  /// read the limit without any shared lock.
+  std::atomic<size_t> per_shard_capacity_;
   InvalidationPolicy policy_;
   std::vector<Shard> shards_;
 };

@@ -2,18 +2,25 @@
 #define TEMPLAR_SERVICE_SERVICE_STATS_H_
 
 /// \file service_stats.h
-/// \brief Point-in-time observability snapshot of a TemplarService.
+/// \brief Point-in-time observability snapshots of a TemplarService, one
+/// ServiceHost tenant, or a whole ServiceHost.
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "service/admission.h"
 #include "service/lru_cache.h"
 
 namespace templar::service {
 
-/// \brief A consistent snapshot of the service counters, suitable for
-/// logging or a metrics endpoint. Obtained from TemplarService::Stats().
+/// \brief A consistent snapshot of one serving engine's counters, suitable
+/// for logging or a metrics endpoint. Obtained from TemplarService::Stats()
+/// (tenant_id/admission stay default) or TenantHandle::Stats() (filled).
 struct ServiceStats {
+  /// Registry id when the engine is a ServiceHost tenant; empty standalone.
+  std::string tenant_id;
+
   // Request counters (cumulative since service start).
   uint64_t map_requests = 0;
   uint64_t join_requests = 0;
@@ -30,6 +37,9 @@ struct ServiceStats {
   // Result caches.
   LruCacheStats map_cache;
   LruCacheStats join_cache;
+
+  // Admission control (multi-tenant hosts only; zero standalone).
+  AdmissionStats admission;
 
   // Online ingestion.
   uint64_t epoch = 0;              ///< Bumped once per AppendLogQueries batch.
@@ -55,15 +65,27 @@ struct ServiceStats {
              std::to_string(c.retained) + " retained, " +
              std::to_string(c.stale_put_drops) + " stale puts";
     };
-    return "requests: map=" + std::to_string(map_requests) +
+    std::string out;
+    if (!tenant_id.empty()) out += "tenant: " + tenant_id + "\n";
+    out += "requests: map=" + std::to_string(map_requests) +
            " join=" + std::to_string(join_requests) + "\n" +
            "single-flight: map_computed=" + std::to_string(map_computations) +
            " map_coalesced=" + std::to_string(map_coalesced_hits) +
            " join_computed=" + std::to_string(join_computations) +
            " join_coalesced=" + std::to_string(join_coalesced_hits) + "\n" +
            cache_line("map_cache", map_cache) + "\n" +
-           cache_line("join_cache", join_cache) + "\n" +
-           "ingestion: epoch=" + std::to_string(epoch) +
+           cache_line("join_cache", join_cache) + "\n";
+    if (admission.max_inflight > 0 || admission.submitted > 0) {
+      out += "admission: submitted=" + std::to_string(admission.submitted) +
+             " admitted=" + std::to_string(admission.admitted) +
+             " rejected=" + std::to_string(admission.rejected) +
+             " completed=" + std::to_string(admission.completed) +
+             " inflight=" + std::to_string(admission.inflight) + "/" +
+             std::to_string(admission.max_inflight) +
+             " queued=" + std::to_string(admission.queued) + "/" +
+             std::to_string(admission.max_queued) + "\n";
+    }
+    out += "ingestion: epoch=" + std::to_string(epoch) +
            " batches=" + std::to_string(append_batches) +
            " appended=" + std::to_string(appended_queries) +
            " skipped=" + std::to_string(skipped_log_entries) + "\n" +
@@ -71,6 +93,29 @@ struct ServiceStats {
            std::to_string(qfg_vertices) + " vertices, " +
            std::to_string(qfg_edges) + " edges\n" +
            "workers: " + std::to_string(worker_threads);
+    return out;
+  }
+};
+
+/// \brief Snapshot of a whole ServiceHost: pool shape plus one ServiceStats
+/// per live tenant (sorted by tenant id).
+struct HostStats {
+  size_t worker_threads = 0;
+  size_t tenant_count = 0;
+  /// Host-wide cache entry budgets, partitioned across tenants.
+  size_t map_cache_budget = 0;
+  size_t join_cache_budget = 0;
+  std::vector<ServiceStats> tenants;
+
+  std::string ToString() const {
+    std::string out = "host: " + std::to_string(tenant_count) + " tenant(s), " +
+                      std::to_string(worker_threads) + " shared worker(s), " +
+                      "cache budget map=" + std::to_string(map_cache_budget) +
+                      " join=" + std::to_string(join_cache_budget) + "\n";
+    for (const auto& tenant : tenants) {
+      out += "---\n" + tenant.ToString() + "\n";
+    }
+    return out;
   }
 };
 

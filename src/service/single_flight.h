@@ -18,6 +18,12 @@
 /// an arbitrarily old value — between flights, the result cache is what
 /// answers duplicates. Values must be copyable (the service coalesces
 /// {Status, shared_ptr-to-results} pairs, so fan-out copies a pointer).
+///
+/// Scoping: keys are meaningful only within one table. Each ServiceCore
+/// owns its own SingleFlight instances, so in a multi-tenant ServiceHost
+/// identical request keys from different tenants never coalesce onto one
+/// computation — they would otherwise serve one tenant's ranking to another
+/// whenever two schemas share relation names.
 
 #include <exception>
 #include <future>

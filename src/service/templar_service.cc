@@ -58,7 +58,10 @@ std::string EscapeField(const std::string& s) {
 
 }  // namespace
 
-std::string TemplarService::MapCacheKey(const nlq::ParsedNlq& nlq) {
+// ---------------------------------------------------------------------------
+// ServiceCore
+
+std::string ServiceCore::MapCacheKey(const nlq::ParsedNlq& nlq) {
   std::string key;
   for (const auto& kw : nlq.keywords) {
     key += EscapeField(NormalizeSpace(kw.text));
@@ -78,7 +81,7 @@ std::string TemplarService::MapCacheKey(const nlq::ParsedNlq& nlq) {
   return key;
 }
 
-std::string TemplarService::JoinCacheKey(const std::vector<std::string>& bag) {
+std::string ServiceCore::JoinCacheKey(const std::vector<std::string>& bag) {
   // Terminal order does not change the Steiner problem; sort so permuted
   // bags share an entry.
   std::vector<std::string> sorted = bag;
@@ -91,9 +94,9 @@ std::string TemplarService::JoinCacheKey(const std::vector<std::string>& bag) {
   return key;
 }
 
-Result<std::unique_ptr<TemplarService>> TemplarService::Create(
+Result<std::unique_ptr<ServiceCore>> ServiceCore::Create(
     const db::Database* db, const embed::SimilarityModel* model,
-    const std::vector<std::string>& query_log, ServiceOptions options) {
+    const std::vector<std::string>& query_log, const ServiceOptions& options) {
   Result<std::unique_ptr<core::Templar>> templar = [&] {
     if (!options.warm_start_path.empty()) {
       auto snapshot = qfg::LoadQfgFromFile(options.warm_start_path);
@@ -106,28 +109,30 @@ Result<std::unique_ptr<TemplarService>> TemplarService::Create(
     return core::Templar::Build(db, model, query_log, options.templar);
   }();
   if (!templar.ok()) return templar.status();
-  return std::unique_ptr<TemplarService>(
-      new TemplarService(std::move(*templar), options));
+  return std::unique_ptr<ServiceCore>(
+      new ServiceCore(std::move(*templar), options));
 }
 
-TemplarService::TemplarService(std::unique_ptr<core::Templar> templar,
-                               const ServiceOptions& options)
+ServiceCore::ServiceCore(std::unique_ptr<core::Templar> templar,
+                         const ServiceOptions& options)
     : templar_(std::move(templar)),
       map_cache_(options.map_cache_capacity, options.cache_shards,
                  options.invalidation),
       join_cache_(options.join_cache_capacity, options.cache_shards,
-                  options.invalidation),
-      pool_(options.worker_threads) {}
+                  options.invalidation) {}
 
-TemplarService::~TemplarService() = default;
+void ServiceCore::SetCacheCapacities(size_t map_entries, size_t join_entries) {
+  map_cache_.SetCapacity(map_entries);
+  join_cache_.SetCapacity(join_entries);
+}
 
 template <typename V, typename CoreFn>
 Result<std::remove_const_t<typename V::element_type>>
-TemplarService::ServeCached(const std::string& key, ShardedLruCache<V>& cache,
-                            SingleFlight<FlightValue<V>>& flight,
-                            std::atomic<uint64_t>& computations,
-                            std::atomic<uint64_t>& coalesced_hits,
-                            CoreFn&& core_call) {
+ServiceCore::ServeCached(const std::string& key, ShardedLruCache<V>& cache,
+                         SingleFlight<FlightValue<V>>& flight,
+                         std::atomic<uint64_t>& computations,
+                         std::atomic<uint64_t>& coalesced_hits,
+                         CoreFn&& core_call) {
   // Only the first probe records a miss: retries (stale-follower loop) and
   // the in-flight double-check are re-probes of one logical request, and
   // counting them would deflate the reported hit rate.
@@ -181,7 +186,7 @@ TemplarService::ServeCached(const std::string& key, ShardedLruCache<V>& cache,
   }
 }
 
-Result<std::vector<core::Configuration>> TemplarService::MapKeywords(
+Result<std::vector<core::Configuration>> ServiceCore::MapKeywords(
     const nlq::ParsedNlq& nlq) {
   map_requests_.fetch_add(1, std::memory_order_relaxed);
   return ServeCached(MapCacheKey(nlq), map_cache_, map_flight_,
@@ -191,7 +196,7 @@ Result<std::vector<core::Configuration>> TemplarService::MapKeywords(
                      });
 }
 
-Result<std::vector<graph::JoinPath>> TemplarService::InferJoins(
+Result<std::vector<graph::JoinPath>> ServiceCore::InferJoins(
     const std::vector<std::string>& relation_bag) {
   join_requests_.fetch_add(1, std::memory_order_relaxed);
   return ServeCached(JoinCacheKey(relation_bag), join_cache_, join_flight_,
@@ -201,48 +206,7 @@ Result<std::vector<graph::JoinPath>> TemplarService::InferJoins(
                      });
 }
 
-std::future<Result<std::vector<core::Configuration>>>
-TemplarService::MapKeywordsAsync(nlq::ParsedNlq nlq) {
-  return pool_.Submit(
-      [this, nlq = std::move(nlq)] { return MapKeywords(nlq); });
-}
-
-std::future<Result<std::vector<graph::JoinPath>>>
-TemplarService::InferJoinsAsync(std::vector<std::string> relation_bag) {
-  return pool_.Submit([this, relation_bag = std::move(relation_bag)] {
-    return InferJoins(relation_bag);
-  });
-}
-
-std::vector<Result<std::vector<core::Configuration>>>
-TemplarService::MapKeywordsBatch(const std::vector<nlq::ParsedNlq>& nlqs) {
-  std::vector<std::future<Result<std::vector<core::Configuration>>>> futures;
-  futures.reserve(nlqs.size());
-  for (const auto& nlq : nlqs) {
-    futures.push_back(
-        pool_.Submit([this, &nlq] { return MapKeywords(nlq); }));
-  }
-  std::vector<Result<std::vector<core::Configuration>>> results;
-  results.reserve(nlqs.size());
-  for (auto& f : futures) results.push_back(f.get());
-  return results;
-}
-
-std::vector<Result<std::vector<graph::JoinPath>>>
-TemplarService::InferJoinsBatch(
-    const std::vector<std::vector<std::string>>& relation_bags) {
-  std::vector<std::future<Result<std::vector<graph::JoinPath>>>> futures;
-  futures.reserve(relation_bags.size());
-  for (const auto& bag : relation_bags) {
-    futures.push_back(pool_.Submit([this, &bag] { return InferJoins(bag); }));
-  }
-  std::vector<Result<std::vector<graph::JoinPath>>> results;
-  results.reserve(relation_bags.size());
-  for (auto& f : futures) results.push_back(f.get());
-  return results;
-}
-
-AppendOutcome TemplarService::AppendLogQueries(
+AppendOutcome ServiceCore::AppendLogQueries(
     const std::vector<std::string>& sql_entries) {
   // Parse — and extract the fragment delta — outside any lock: both dominate
   // ingestion cost and must not block readers. The delta is computed at the
@@ -296,12 +260,12 @@ AppendOutcome TemplarService::AppendLogQueries(
   return outcome;
 }
 
-Status TemplarService::SaveSnapshot(const std::string& path) const {
+Status ServiceCore::SaveSnapshot(const std::string& path) const {
   std::shared_lock<std::shared_mutex> lock(qfg_mutex_);
   return qfg::SaveQfgToFile(templar_->query_fragment_graph(), path);
 }
 
-ServiceStats TemplarService::Stats() const {
+ServiceStats ServiceCore::Stats() const {
   ServiceStats stats;
   stats.map_requests = map_requests_.load(std::memory_order_relaxed);
   stats.join_requests = join_requests_.load(std::memory_order_relaxed);
@@ -313,7 +277,6 @@ ServiceStats TemplarService::Stats() const {
   stats.join_cache = join_cache_.Stats();
   stats.append_batches = append_batches_.load(std::memory_order_relaxed);
   stats.appended_queries = appended_queries_.load(std::memory_order_relaxed);
-  stats.worker_threads = pool_.size();
   {
     std::shared_lock<std::shared_mutex> lock(qfg_mutex_);
     // Under the lock so the reported epoch matches the QFG counts (appends
@@ -327,6 +290,59 @@ ServiceStats TemplarService::Stats() const {
         templar_->skipped_log_entries() +
         skipped_appends_.load(std::memory_order_relaxed);
   }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// TemplarService
+
+Result<std::unique_ptr<TemplarService>> TemplarService::Create(
+    const db::Database* db, const embed::SimilarityModel* model,
+    const std::vector<std::string>& query_log, ServiceOptions options) {
+  auto core = ServiceCore::Create(db, model, query_log, options);
+  if (!core.ok()) return core.status();
+  return std::unique_ptr<TemplarService>(
+      new TemplarService(std::move(*core), options.worker_threads));
+}
+
+TemplarService::TemplarService(std::unique_ptr<ServiceCore> core,
+                               size_t worker_threads)
+    : core_(std::move(core)), pool_(worker_threads) {}
+
+TemplarService::~TemplarService() = default;
+
+std::future<Result<std::vector<core::Configuration>>>
+TemplarService::MapKeywordsAsync(nlq::ParsedNlq nlq) {
+  return pool_.Submit(
+      [this, nlq = std::move(nlq)] { return core_->MapKeywords(nlq); });
+}
+
+std::future<Result<std::vector<graph::JoinPath>>>
+TemplarService::InferJoinsAsync(std::vector<std::string> relation_bag) {
+  return pool_.Submit([this, relation_bag = std::move(relation_bag)] {
+    return core_->InferJoins(relation_bag);
+  });
+}
+
+std::vector<Result<std::vector<core::Configuration>>>
+TemplarService::MapKeywordsBatch(const std::vector<nlq::ParsedNlq>& nlqs) {
+  return internal::FanOutAligned(nlqs, [&](const nlq::ParsedNlq& nlq) {
+    return pool_.Submit([this, &nlq] { return core_->MapKeywords(nlq); });
+  });
+}
+
+std::vector<Result<std::vector<graph::JoinPath>>>
+TemplarService::InferJoinsBatch(
+    const std::vector<std::vector<std::string>>& relation_bags) {
+  return internal::FanOutAligned(
+      relation_bags, [&](const std::vector<std::string>& bag) {
+        return pool_.Submit([this, &bag] { return core_->InferJoins(bag); });
+      });
+}
+
+ServiceStats TemplarService::Stats() const {
+  ServiceStats stats = core_->Stats();
+  stats.worker_threads = pool_.size();
   return stats;
 }
 

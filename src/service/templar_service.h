@@ -6,11 +6,13 @@
 ///
 /// The core library (core/templar.h) is a single-threaded facade: an
 /// instance is frozen at Build time and its two interface calls are const.
-/// TemplarService turns that into a servable system:
+/// This file turns that into a servable system, split into two layers:
 ///
-///  - **Concurrency.** Synchronous MapKeywords/InferJoins may be called from
-///    any number of client threads; Async/Batch variants run on an internal
-///    fixed-size worker pool (thread_pool.h).
+/// **ServiceCore** is the per-(database, query-log) serving engine — exactly
+/// the state a multi-tenant host replicates per tenant (tenant_registry.h):
+///
+///  - **Concurrency.** MapKeywords/InferJoins may be called from any number
+///    of threads; readers score under a shared `std::shared_mutex` lock.
 ///  - **Result caching.** Repeated requests are answered from two sharded
 ///    LRU caches (lru_cache.h) keyed on the canonicalized NLQ / relation
 ///    bag. Hit/miss/eviction counters surface via Stats().
@@ -21,17 +23,23 @@
 ///  - **Online QFG ingestion with per-fragment invalidation.**
 ///    AppendLogQueries folds freshly-observed SQL into the
 ///    QueryFragmentGraph while the service keeps answering: entries are
-///    parsed outside any lock, then applied under an exclusive
-///    `std::shared_mutex` writer section; readers score configurations under
-///    shared locks. Each append batch bumps an *epoch* and carries the
-///    fragment delta the batch touched (qfg/fragment_delta.h); cache entries
-///    record the fragment footprint their ranking consulted, so the append
-///    evicts exactly the entries the new evidence could change — everything
-///    else stays warm (ServiceOptions::invalidation selects the legacy
-///    drop-everything behaviour instead).
+///    parsed outside any lock, then applied under an exclusive writer
+///    section. Each append batch bumps an *epoch* and carries the fragment
+///    delta the batch touched (qfg/fragment_delta.h); cache entries record
+///    the fragment footprint their ranking consulted, so the append evicts
+///    exactly the entries the new evidence could change — everything else
+///    stays warm (ServiceOptions::invalidation selects the legacy
+///    drop-everything behaviour instead). Caches, single-flight tables, and
+///    epochs are all owned by the core, so in a multi-tenant host every one
+///    of them is tenant-scoped by construction.
 ///  - **Warm start / checkpoint.** SaveSnapshot writes the QFG in the
 ///    qfg_io v1 format; ServiceOptions::warm_start_path restores it at
 ///    Create time, skipping the log re-parse.
+///
+/// **TemplarService** is the standalone single-tenant server: a ServiceCore
+/// plus its own fixed-size worker pool for the Async/Batch request variants.
+/// Multi-tenant deployments use ServiceHost instead, which shares one pool
+/// (and one cache-memory budget) across many cores.
 
 #include <atomic>
 #include <future>
@@ -51,10 +59,30 @@
 
 namespace templar::service {
 
+namespace internal {
+
+/// Shared batch shape of TemplarService and TenantHandle: fan each input
+/// out through `submit` (which returns a future), then join in order, so
+/// results are positionally aligned with the inputs.
+template <typename Input, typename SubmitFn>
+auto FanOutAligned(const std::vector<Input>& inputs, SubmitFn&& submit) {
+  using Future = std::invoke_result_t<SubmitFn, const Input&>;
+  std::vector<Future> futures;
+  futures.reserve(inputs.size());
+  for (const auto& input : inputs) futures.push_back(submit(input));
+  std::vector<decltype(futures.front().get())> results;
+  results.reserve(inputs.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+}  // namespace internal
+
 /// \brief Serving-layer tunables on top of the core TemplarOptions.
 struct ServiceOptions {
   core::TemplarOptions templar;
   /// Worker threads for Async/Batch requests; 0 = hardware concurrency.
+  /// (TemplarService only — a ServiceCore runs on its callers' threads.)
   size_t worker_threads = 4;
   /// Total entries per result cache (split across shards).
   size_t map_cache_capacity = 4096;
@@ -78,46 +106,28 @@ struct AppendOutcome {
                         ///  are stale).
 };
 
-/// \brief A thread-safe, caching Templar server bound to one database.
+/// \brief The per-tenant serving engine: one Templar instance behind
+/// tenant-scoped caches, single-flight tables, and an ingestion epoch.
 ///
-/// All public methods are safe to call concurrently from any thread.
-class TemplarService {
+/// All public methods are safe to call concurrently from any thread. The
+/// core owns no threads — callers (client threads, a TemplarService pool,
+/// or a ServiceHost's shared pool) bring their own.
+class ServiceCore {
  public:
-  /// \brief Builds the service. `db` and `model` must outlive it.
-  static Result<std::unique_ptr<TemplarService>> Create(
+  /// \brief Builds the engine. `db` and `model` must outlive it.
+  /// `options.worker_threads` is ignored (the core owns no pool).
+  static Result<std::unique_ptr<ServiceCore>> Create(
       const db::Database* db, const embed::SimilarityModel* model,
-      const std::vector<std::string>& query_log, ServiceOptions options = {});
+      const std::vector<std::string>& query_log,
+      const ServiceOptions& options = {});
 
-  ~TemplarService();
+  ServiceCore(const ServiceCore&) = delete;
+  ServiceCore& operator=(const ServiceCore&) = delete;
 
-  TemplarService(const TemplarService&) = delete;
-  TemplarService& operator=(const TemplarService&) = delete;
-
-  /// \name Synchronous request API (runs on the caller's thread)
-  ///@{
   Result<std::vector<core::Configuration>> MapKeywords(
       const nlq::ParsedNlq& nlq);
   Result<std::vector<graph::JoinPath>> InferJoins(
       const std::vector<std::string>& relation_bag);
-  ///@}
-
-  /// \name Asynchronous request API (runs on the worker pool)
-  ///@{
-  std::future<Result<std::vector<core::Configuration>>> MapKeywordsAsync(
-      nlq::ParsedNlq nlq);
-  std::future<Result<std::vector<graph::JoinPath>>> InferJoinsAsync(
-      std::vector<std::string> relation_bag);
-  ///@}
-
-  /// \name Batched request API
-  /// Fans the batch out over the worker pool and waits for every element;
-  /// results are positionally aligned with the inputs.
-  ///@{
-  std::vector<Result<std::vector<core::Configuration>>> MapKeywordsBatch(
-      const std::vector<nlq::ParsedNlq>& nlqs);
-  std::vector<Result<std::vector<graph::JoinPath>>> InferJoinsBatch(
-      const std::vector<std::vector<std::string>>& relation_bags);
-  ///@}
 
   /// \brief Folds new SQL log entries into the QFG while serving continues.
   ///
@@ -133,11 +143,17 @@ class TemplarService {
   /// (restorable via ServiceOptions::warm_start_path).
   Status SaveSnapshot(const std::string& path) const;
 
-  /// \brief Consistent counter snapshot.
+  /// \brief Consistent counter snapshot (worker/tenant/admission fields are
+  /// left for the owning layer to fill).
   ServiceStats Stats() const;
 
   /// \brief Current ingestion epoch (bumped once per append batch).
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// \brief Re-budgets both result caches (multi-tenant hosts partition one
+  /// global entry budget across live tenants). Over-budget entries are
+  /// evicted LRU-first.
+  void SetCacheCapacities(size_t map_entries, size_t join_entries);
 
   /// \brief Canonical cache key for an NLQ: whitespace-normalized keyword
   /// texts with their metadata, order-preserving. Exposed for tests.
@@ -147,8 +163,8 @@ class TemplarService {
   static std::string JoinCacheKey(const std::vector<std::string>& bag);
 
  private:
-  TemplarService(std::unique_ptr<core::Templar> templar,
-                 const ServiceOptions& options);
+  ServiceCore(std::unique_ptr<core::Templar> templar,
+              const ServiceOptions& options);
 
   using ConfigResult = std::shared_ptr<const std::vector<core::Configuration>>;
   using JoinResult = std::shared_ptr<const std::vector<graph::JoinPath>>;
@@ -195,7 +211,82 @@ class TemplarService {
   std::atomic<uint64_t> append_batches_{0};
   std::atomic<uint64_t> appended_queries_{0};
   std::atomic<uint64_t> skipped_appends_{0};
+};
 
+/// \brief A thread-safe, caching Templar server bound to one database: a
+/// ServiceCore plus a private worker pool for Async/Batch requests.
+///
+/// All public methods are safe to call concurrently from any thread.
+class TemplarService {
+ public:
+  /// \brief Builds the service. `db` and `model` must outlive it.
+  static Result<std::unique_ptr<TemplarService>> Create(
+      const db::Database* db, const embed::SimilarityModel* model,
+      const std::vector<std::string>& query_log, ServiceOptions options = {});
+
+  ~TemplarService();
+
+  TemplarService(const TemplarService&) = delete;
+  TemplarService& operator=(const TemplarService&) = delete;
+
+  /// \name Synchronous request API (runs on the caller's thread)
+  ///@{
+  Result<std::vector<core::Configuration>> MapKeywords(
+      const nlq::ParsedNlq& nlq) {
+    return core_->MapKeywords(nlq);
+  }
+  Result<std::vector<graph::JoinPath>> InferJoins(
+      const std::vector<std::string>& relation_bag) {
+    return core_->InferJoins(relation_bag);
+  }
+  ///@}
+
+  /// \name Asynchronous request API (runs on the worker pool)
+  ///@{
+  std::future<Result<std::vector<core::Configuration>>> MapKeywordsAsync(
+      nlq::ParsedNlq nlq);
+  std::future<Result<std::vector<graph::JoinPath>>> InferJoinsAsync(
+      std::vector<std::string> relation_bag);
+  ///@}
+
+  /// \name Batched request API
+  /// Fans the batch out over the worker pool and waits for every element;
+  /// results are positionally aligned with the inputs.
+  ///@{
+  std::vector<Result<std::vector<core::Configuration>>> MapKeywordsBatch(
+      const std::vector<nlq::ParsedNlq>& nlqs);
+  std::vector<Result<std::vector<graph::JoinPath>>> InferJoinsBatch(
+      const std::vector<std::vector<std::string>>& relation_bags);
+  ///@}
+
+  /// \brief See ServiceCore::AppendLogQueries.
+  AppendOutcome AppendLogQueries(const std::vector<std::string>& sql_entries) {
+    return core_->AppendLogQueries(sql_entries);
+  }
+
+  /// \brief See ServiceCore::SaveSnapshot.
+  Status SaveSnapshot(const std::string& path) const {
+    return core_->SaveSnapshot(path);
+  }
+
+  /// \brief Consistent counter snapshot.
+  ServiceStats Stats() const;
+
+  /// \brief Current ingestion epoch (bumped once per append batch).
+  uint64_t epoch() const { return core_->epoch(); }
+
+  /// \brief See ServiceCore::MapCacheKey / JoinCacheKey.
+  static std::string MapCacheKey(const nlq::ParsedNlq& nlq) {
+    return ServiceCore::MapCacheKey(nlq);
+  }
+  static std::string JoinCacheKey(const std::vector<std::string>& bag) {
+    return ServiceCore::JoinCacheKey(bag);
+  }
+
+ private:
+  TemplarService(std::unique_ptr<ServiceCore> core, size_t worker_threads);
+
+  std::unique_ptr<ServiceCore> core_;
   // Declared last: workers must stop before members they touch are torn down.
   ThreadPool pool_;
 };

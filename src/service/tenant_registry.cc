@@ -1,0 +1,349 @@
+#include "service/tenant_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace templar::service {
+
+namespace internal {
+
+/// \brief Everything the host replicates per tenant: the serving engine,
+/// the admission gate, and the retire flag. Held by shared_ptr from the
+/// registry, every TenantHandle, and every queued task — so a retire (or
+/// even a host teardown) never frees state a request still touches.
+struct TenantState {
+  std::string id;
+  std::unique_ptr<ServiceCore> core;
+  std::shared_ptr<AdmissionController> admission;
+  FairShareScheduler* scheduler = nullptr;
+  size_t host_workers = 0;
+  std::atomic<bool> retired{false};
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::TenantState;
+
+template <typename T>
+std::future<Result<T>> ReadyFuture(Status status) {
+  std::promise<Result<T>> promise;
+  promise.set_value(Result<T>(std::move(status)));
+  return promise.get_future();
+}
+
+Status RetiredError(const TenantState& state) {
+  return Status::NotFound("tenant '" + state.id + "' has been retired");
+}
+
+Status OverloadedError(const TenantState& state, const char* what) {
+  return Status::Overloaded("tenant '" + state.id + "': " + what +
+                            " limit reached");
+}
+
+/// The core's counters decorated with the tenant-level fields — the single
+/// definition of "one tenant's ServiceStats", so TenantHandle::Stats() and
+/// the same tenant's entry in ServiceHost::Stats() cannot drift apart.
+ServiceStats TenantStatsSnapshot(const TenantState& state) {
+  ServiceStats stats = state.core->Stats();
+  stats.tenant_id = state.id;
+  stats.admission = state.admission->Stats();
+  stats.worker_threads = state.host_workers;
+  return stats;
+}
+
+/// Releases the sync-path in-flight slot and, if async work was parked
+/// behind the cap this slot occupied, wakes the dispatcher (the scheduler's
+/// own trampolines re-scan after their tasks, but a slot held by a *sync*
+/// caller is invisible to them).
+class SyncSlotGuard {
+ public:
+  explicit SyncSlotGuard(TenantState& state) : state_(state) {}
+  ~SyncSlotGuard() {
+    state_.admission->Release();
+    state_.scheduler->Poke(*state_.admission);
+  }
+
+ private:
+  TenantState& state_;
+};
+
+/// Shared sync path: retire check, admission gate, then `call` on the
+/// tenant's core.
+template <typename T, typename Fn>
+Result<T> ServeSync(const std::shared_ptr<TenantState>& state, Fn&& call) {
+  if (state == nullptr) return Status::InvalidArgument("empty tenant handle");
+  if (state->retired.load(std::memory_order_acquire)) {
+    return RetiredError(*state);
+  }
+  if (!state->admission->AdmitInflight()) {
+    return OverloadedError(*state, "in-flight");
+  }
+  SyncSlotGuard guard(*state);
+  return call(*state->core);
+}
+
+/// Shared async path: retire check, queue-slot admission, then park the
+/// task with the fair-share scheduler. The task re-checks the retire flag
+/// when it finally runs (the tenant may have been retired while queued) and
+/// keeps `state` alive via its capture either way.
+template <typename T, typename Fn>
+std::future<Result<T>> ServeAsync(const std::shared_ptr<TenantState>& state,
+                                  Fn&& call) {
+  if (state == nullptr) {
+    return ReadyFuture<T>(Status::InvalidArgument("empty tenant handle"));
+  }
+  if (state->retired.load(std::memory_order_acquire)) {
+    return ReadyFuture<T>(RetiredError(*state));
+  }
+  auto task = std::make_shared<std::packaged_task<Result<T>()>>(
+      [state, call = std::forward<Fn>(call)]() -> Result<T> {
+        if (state->retired.load(std::memory_order_acquire)) {
+          return RetiredError(*state);
+        }
+        return call(*state->core);
+      });
+  std::future<Result<T>> future = task->get_future();
+  if (!state->scheduler->Submit(state->admission,
+                                [task] { (*task)(); })) {
+    return ReadyFuture<T>(OverloadedError(*state, "queue-depth"));
+  }
+  return future;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TenantHandle
+
+const std::string& TenantHandle::id() const {
+  static const std::string kEmpty;
+  return state_ ? state_->id : kEmpty;
+}
+
+bool TenantHandle::alive() const {
+  return state_ != nullptr &&
+         !state_->retired.load(std::memory_order_acquire);
+}
+
+Result<std::vector<core::Configuration>> TenantHandle::MapKeywords(
+    const nlq::ParsedNlq& nlq) const {
+  return ServeSync<std::vector<core::Configuration>>(
+      state_, [&](ServiceCore& core) { return core.MapKeywords(nlq); });
+}
+
+Result<std::vector<graph::JoinPath>> TenantHandle::InferJoins(
+    const std::vector<std::string>& relation_bag) const {
+  return ServeSync<std::vector<graph::JoinPath>>(
+      state_,
+      [&](ServiceCore& core) { return core.InferJoins(relation_bag); });
+}
+
+std::future<Result<std::vector<core::Configuration>>>
+TenantHandle::MapKeywordsAsync(nlq::ParsedNlq nlq) const {
+  return ServeAsync<std::vector<core::Configuration>>(
+      state_, [nlq = std::move(nlq)](ServiceCore& core) {
+        return core.MapKeywords(nlq);
+      });
+}
+
+std::future<Result<std::vector<graph::JoinPath>>>
+TenantHandle::InferJoinsAsync(std::vector<std::string> relation_bag) const {
+  return ServeAsync<std::vector<graph::JoinPath>>(
+      state_, [bag = std::move(relation_bag)](ServiceCore& core) {
+        return core.InferJoins(bag);
+      });
+}
+
+std::vector<Result<std::vector<core::Configuration>>>
+TenantHandle::MapKeywordsBatch(const std::vector<nlq::ParsedNlq>& nlqs) const {
+  return internal::FanOutAligned(
+      nlqs, [&](const nlq::ParsedNlq& nlq) { return MapKeywordsAsync(nlq); });
+}
+
+std::vector<Result<std::vector<graph::JoinPath>>>
+TenantHandle::InferJoinsBatch(
+    const std::vector<std::vector<std::string>>& relation_bags) const {
+  return internal::FanOutAligned(relation_bags,
+                                 [&](const std::vector<std::string>& bag) {
+                                   return InferJoinsAsync(bag);
+                                 });
+}
+
+Result<AppendOutcome> TenantHandle::AppendLogQueries(
+    const std::vector<std::string>& sql_entries) const {
+  if (state_ == nullptr) {
+    return Status::InvalidArgument("empty tenant handle");
+  }
+  if (state_->retired.load(std::memory_order_acquire)) {
+    return RetiredError(*state_);
+  }
+  // Ingestion is control-plane traffic: not admission-gated (it must go
+  // through under overload — appends are what refresh the evidence), and
+  // tenant-scoped by construction (it sweeps only this core's caches).
+  return state_->core->AppendLogQueries(sql_entries);
+}
+
+Status TenantHandle::SaveSnapshot(const std::string& path) const {
+  if (state_ == nullptr) {
+    return Status::InvalidArgument("empty tenant handle");
+  }
+  if (state_->retired.load(std::memory_order_acquire)) {
+    return RetiredError(*state_);
+  }
+  return state_->core->SaveSnapshot(path);
+}
+
+ServiceStats TenantHandle::Stats() const {
+  if (state_ == nullptr) return ServiceStats{};
+  return TenantStatsSnapshot(*state_);
+}
+
+uint64_t TenantHandle::epoch() const {
+  return state_ ? state_->core->epoch() : 0;
+}
+
+// ---------------------------------------------------------------------------
+// ServiceHost
+
+ServiceHost::ServiceHost(HostOptions options)
+    : options_(options),
+      scheduler_(&pool_),  // Stores the pointer only; pool_ is built below.
+      pool_(options.worker_threads) {}
+
+ServiceHost::~ServiceHost() {
+  // Retire every tenant before the members a request would touch go away:
+  // a TenantHandle outliving the host holds the tenant state (shared_ptr)
+  // but NOT the host's scheduler/pool, which the state points into. With
+  // the flag set, requests issued through stale handles after this point
+  // fail fast with kNotFound before reaching either. Tasks still parked in
+  // the scheduler short-circuit the same way when the pool destructor
+  // (which runs after this body) drains their trampolines — Submit posted
+  // one per task, so none is abandoned. Requests still *executing* on
+  // other threads here are a caller contract violation (see the header).
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [_, state] : tenants_) {
+    state->retired.store(true, std::memory_order_release);
+  }
+  tenants_.clear();
+}
+
+Status ServiceHost::RegisterTenant(const std::string& id,
+                                   const db::Database* db,
+                                   const embed::SimilarityModel* model,
+                                   const std::vector<std::string>& query_log,
+                                   TenantOptions options) {
+  if (id.empty()) return Status::InvalidArgument("tenant id must not be empty");
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (tenants_.count(id) > 0) {
+      return Status::AlreadyExists("tenant '" + id + "' is already registered");
+    }
+  }
+
+  // Build outside the registry lock: Templar construction parses the whole
+  // query log, and other tenants must keep serving meanwhile. The caches
+  // start at the full host budget and are trimmed to this tenant's share by
+  // the repartition below.
+  ServiceOptions core_options;
+  core_options.templar = options.templar;
+  core_options.map_cache_capacity = std::max<size_t>(1, options_.map_cache_budget);
+  core_options.join_cache_capacity =
+      std::max<size_t>(1, options_.join_cache_budget);
+  core_options.cache_shards = options_.cache_shards;
+  core_options.invalidation = options.invalidation;
+  core_options.warm_start_path = options.warm_start_path;
+  auto core = ServiceCore::Create(db, model, query_log, core_options);
+  if (!core.ok()) return core.status();
+
+  auto state = std::make_shared<internal::TenantState>();
+  state->id = id;
+  state->core = std::move(*core);
+  state->admission = std::make_shared<AdmissionController>(
+      options.admission.value_or(options_.default_admission));
+  state->scheduler = &scheduler_;
+  state->host_workers = pool_.size();
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Re-check under the exclusive lock: a concurrent register of the same id
+  // may have won the race while this one was building.
+  if (!tenants_.emplace(id, std::move(state)).second) {
+    return Status::AlreadyExists("tenant '" + id + "' is already registered");
+  }
+  RepartitionCachesLocked();
+  return Status::OK();
+}
+
+Status ServiceHost::RetireTenant(const std::string& id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    return Status::NotFound("tenant '" + id + "' is not registered");
+  }
+  // Flag first, then unlink: a handle that observes the registry without
+  // the tenant also observes retired==true. In-flight requests (and tasks
+  // still parked in the scheduler) hold the state shared_ptr and complete
+  // safely; queued tasks short-circuit to kNotFound when dispatched.
+  it->second->retired.store(true, std::memory_order_release);
+  tenants_.erase(it);
+  if (!tenants_.empty()) RepartitionCachesLocked();
+  return Status::OK();
+}
+
+Result<TenantHandle> ServiceHost::Tenant(const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    return Status::NotFound("tenant '" + id + "' is not registered");
+  }
+  return TenantHandle(it->second);
+}
+
+std::vector<std::string> ServiceHost::TenantIds() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(tenants_.size());
+  for (const auto& [id, _] : tenants_) ids.push_back(id);
+  return ids;  // std::map iteration order: already sorted.
+}
+
+size_t ServiceHost::tenant_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tenants_.size();
+}
+
+HostStats ServiceHost::Stats() const {
+  HostStats stats;
+  stats.worker_threads = pool_.size();
+  stats.map_cache_budget = options_.map_cache_budget;
+  stats.join_cache_budget = options_.join_cache_budget;
+  std::vector<std::shared_ptr<internal::TenantState>> states;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    stats.tenant_count = tenants_.size();
+    states.reserve(tenants_.size());
+    for (const auto& [_, state] : tenants_) states.push_back(state);
+  }
+  // Snapshot outside the registry lock: per-tenant Stats() takes the
+  // tenant's QFG lock, and holding the registry across that would let one
+  // tenant's writer stall every register/retire.
+  stats.tenants.reserve(states.size());
+  for (const auto& state : states) {
+    stats.tenants.push_back(TenantStatsSnapshot(*state));
+  }
+  return stats;
+}
+
+void ServiceHost::RepartitionCachesLocked() {
+  const size_t count = std::max<size_t>(1, tenants_.size());
+  const size_t map_share =
+      std::max<size_t>(1, options_.map_cache_budget / count);
+  const size_t join_share =
+      std::max<size_t>(1, options_.join_cache_budget / count);
+  for (auto& [_, state] : tenants_) {
+    state->core->SetCacheCapacities(map_share, join_share);
+  }
+}
+
+}  // namespace templar::service

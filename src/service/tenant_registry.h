@@ -1,0 +1,210 @@
+#ifndef TEMPLAR_SERVICE_TENANT_REGISTRY_H_
+#define TEMPLAR_SERVICE_TENANT_REGISTRY_H_
+
+/// \file tenant_registry.h
+/// \brief Multi-tenant Templar serving: many (database, query-log) pairs in
+/// one process, behind one worker pool and one cache-memory budget.
+///
+/// Templar's QFG-driven artifacts are inherently per-(database, log): a
+/// tenant is one such pair, served by its own ServiceCore — so caches,
+/// single-flight tables, fragment-delta invalidation, and append epochs are
+/// tenant-scoped by construction; an append on tenant A can never evict or
+/// stale-drop tenant B's entries, even when their schemas share relation
+/// names. What tenants *share* is capacity:
+///
+///  - **One ThreadPool.** Async/batched requests from every tenant run on
+///    the host's pool, dispatched by a FairShareScheduler (admission.h) that
+///    round-robins across tenants, so a hot tenant's burst cannot bury a
+///    cold tenant's queue.
+///  - **Admission control.** Each tenant has in-flight and queue-depth
+///    limits (AdmissionOptions); requests beyond them are rejected with a
+///    typed kOverloaded Status instead of queueing without bound.
+///  - **One cache budget.** HostOptions fixes the total result-cache
+///    entries; the host partitions it evenly across live tenants and
+///    repartitions on every register/retire (ShardedLruCache::SetCapacity).
+///
+/// Tenants register and retire at runtime under a shared_mutex registry.
+/// Handles are shared_ptr-backed: a retire removes the tenant from the
+/// registry and fails *new* requests with kNotFound, while requests already
+/// admitted (or holding a handle mid-call) complete safely against the
+/// still-alive core — the state is destroyed when the last handle and the
+/// last queued task drop it.
+
+#include <future>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/admission.h"
+#include "service/service_stats.h"
+#include "service/templar_service.h"
+#include "service/thread_pool.h"
+
+namespace templar::service {
+
+/// \brief Host-wide tunables shared by every tenant.
+struct HostOptions {
+  /// Shared worker threads for Async/Batch requests; 0 = hardware
+  /// concurrency.
+  size_t worker_threads = 4;
+  /// Total result-cache entries across ALL tenants, partitioned evenly and
+  /// repartitioned on every register/retire.
+  size_t map_cache_budget = 8192;
+  size_t join_cache_budget = 8192;
+  /// Independent lock shards per tenant cache.
+  size_t cache_shards = 8;
+  /// Admission limits applied to tenants that do not override them.
+  AdmissionOptions default_admission;
+};
+
+/// \brief Per-tenant tunables (the serving knobs of ServiceOptions minus
+/// the pool and cache-capacity fields, which the host owns).
+struct TenantOptions {
+  core::TemplarOptions templar;
+  /// See ServiceOptions::invalidation.
+  InvalidationPolicy invalidation = InvalidationPolicy::kPerFragment;
+  /// See ServiceOptions::warm_start_path.
+  std::string warm_start_path;
+  /// When set, overrides the host's default_admission for this tenant
+  /// (an explicit {0, 0} rejects every request — drain mode).
+  std::optional<AdmissionOptions> admission;
+};
+
+namespace internal {
+struct TenantState;
+}  // namespace internal
+
+/// \brief A client-side handle to one registered tenant. Cheap to copy;
+/// safe to use from any thread. All request traffic — sync, async, batched,
+/// and appends — routes through a handle, so it is admission-checked and
+/// tenant-scoped. After the tenant is retired, every method fails fast with
+/// kNotFound (requests already in flight still complete).
+class TenantHandle {
+ public:
+  TenantHandle() = default;
+
+  /// \brief The registry id this handle serves.
+  const std::string& id() const;
+  /// \brief False once the tenant has been retired from its host.
+  bool alive() const;
+
+  /// \name Synchronous request API (caller's thread; admission-gated)
+  ///@{
+  Result<std::vector<core::Configuration>> MapKeywords(
+      const nlq::ParsedNlq& nlq) const;
+  Result<std::vector<graph::JoinPath>> InferJoins(
+      const std::vector<std::string>& relation_bag) const;
+  ///@}
+
+  /// \name Asynchronous request API (shared pool, fair-share scheduled)
+  /// A rejected submission returns an already-satisfied future holding
+  /// kOverloaded.
+  ///@{
+  std::future<Result<std::vector<core::Configuration>>> MapKeywordsAsync(
+      nlq::ParsedNlq nlq) const;
+  std::future<Result<std::vector<graph::JoinPath>>> InferJoinsAsync(
+      std::vector<std::string> relation_bag) const;
+  ///@}
+
+  /// \name Batched request API
+  /// Fans out over the shared pool; results are positionally aligned with
+  /// the inputs, with per-element kOverloaded on admission rejection.
+  ///@{
+  std::vector<Result<std::vector<core::Configuration>>> MapKeywordsBatch(
+      const std::vector<nlq::ParsedNlq>& nlqs) const;
+  std::vector<Result<std::vector<graph::JoinPath>>> InferJoinsBatch(
+      const std::vector<std::vector<std::string>>& relation_bags) const;
+  ///@}
+
+  /// \brief Tenant-scoped online ingestion: sweeps only THIS tenant's
+  /// caches (see ServiceCore::AppendLogQueries).
+  Result<AppendOutcome> AppendLogQueries(
+      const std::vector<std::string>& sql_entries) const;
+
+  /// \brief Checkpoints this tenant's QFG (see ServiceCore::SaveSnapshot).
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// \brief This tenant's counters: cache hit rates, append epoch, and
+  /// admission admitted/rejected/queued.
+  ServiceStats Stats() const;
+
+  /// \brief This tenant's current append epoch.
+  uint64_t epoch() const;
+
+ private:
+  friend class ServiceHost;
+  explicit TenantHandle(std::shared_ptr<internal::TenantState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::TenantState> state_;
+};
+
+/// \brief Owns N tenants, the worker pool and fair-share scheduler they
+/// share, and the partitioned cache budget. All methods are thread-safe.
+class ServiceHost {
+ public:
+  explicit ServiceHost(HostOptions options = {});
+  /// Retires every tenant, then blocks until queued tasks drain (ThreadPool
+  /// destruction semantics; each parked task has a dispatch trampoline in
+  /// the pool queue, so none is abandoned). A TenantHandle outliving the
+  /// host stays safe to call — every request issued after destruction fails
+  /// fast with kNotFound, exactly as after RetireTenant, because the
+  /// shared_ptr-kept tenant state never touches the destroyed
+  /// scheduler/pool once the retired flag is set. As with any C++ object,
+  /// destruction must not *race* calls still executing on other threads
+  /// (quiesce or join your client threads first); it is the calls that
+  /// begin after the destructor that are guaranteed safe.
+  ~ServiceHost();
+
+  ServiceHost(const ServiceHost&) = delete;
+  ServiceHost& operator=(const ServiceHost&) = delete;
+
+  /// \brief Builds and registers a tenant under `id`. `db` and `model` must
+  /// outlive the tenant. Fails with kAlreadyExists on a duplicate id; the
+  /// (expensive) Templar build runs outside the registry lock, so other
+  /// tenants keep serving during a register.
+  Status RegisterTenant(const std::string& id, const db::Database* db,
+                        const embed::SimilarityModel* model,
+                        const std::vector<std::string>& query_log,
+                        TenantOptions options = {});
+
+  /// \brief Removes `id` from the registry. New requests through existing
+  /// handles fail with kNotFound; admitted/in-flight requests complete
+  /// safely. Fails with kNotFound when `id` is not registered.
+  Status RetireTenant(const std::string& id);
+
+  /// \brief Looks up a handle for `id` (kNotFound when absent).
+  Result<TenantHandle> Tenant(const std::string& id) const;
+
+  /// \brief Live tenant ids, sorted.
+  std::vector<std::string> TenantIds() const;
+
+  size_t tenant_count() const;
+  size_t worker_threads() const { return pool_.size(); }
+
+  /// \brief Per-tenant ServiceStats plus host shape, tenants sorted by id.
+  HostStats Stats() const;
+
+ private:
+  /// Splits the host cache budget evenly over live tenants. Caller holds
+  /// the registry lock (exclusively).
+  void RepartitionCachesLocked();
+
+  HostOptions options_;
+  FairShareScheduler scheduler_;
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<internal::TenantState>> tenants_;
+
+  // Declared last: workers must stop before the scheduler/tenants they
+  // touch are torn down.
+  ThreadPool pool_;
+};
+
+}  // namespace templar::service
+
+#endif  // TEMPLAR_SERVICE_TENANT_REGISTRY_H_

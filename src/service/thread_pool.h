@@ -47,6 +47,12 @@ class ThreadPool {
     return result;
   }
 
+  /// \brief Fire-and-forget variant of Submit: enqueues `task` with no
+  /// future (and thus no packaged_task allocation). Used by schedulers whose
+  /// tasks carry their own completion signalling; after shutdown has begun
+  /// the task is silently dropped, like Submit's.
+  void Execute(std::function<void()> task) { Post(std::move(task)); }
+
   /// \brief Number of worker threads.
   size_t size() const { return workers_.size(); }
 

@@ -1,19 +1,26 @@
-// Concurrency stress test for TemplarService: N client threads issue mixed
-// MapKeywords / InferJoins requests while a writer thread appends new log
-// queries and another thread snapshots stats and checkpoints the QFG.
+// Concurrency stress tests for the serving layer: N client threads issue
+// mixed MapKeywords / InferJoins requests while a writer thread appends new
+// log queries and another thread snapshots stats and checkpoints the QFG —
+// against a standalone TemplarService and against a multi-tenant
+// ServiceHost (concurrent map/join/append/register/retire across tenants,
+// including a retire-while-in-flight race regression test).
 //
 // Built as its own binary so the dedicated TSan CMake config
 // (-DTEMPLAR_SANITIZE=thread) can exercise exactly this code; it also runs
-// in the normal test suite as a (weaker) functional check.
+// in the normal test suite as a (weaker) functional check, and in the
+// ASan/UBSan CI jobs.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/templar_service.h"
+#include "service/tenant_registry.h"
 #include "test_fixtures.h"
 
 namespace templar::service {
@@ -229,6 +236,222 @@ TEST(ServiceStressTest, AppendsRetainEntriesForUntouchedFragments) {
   // because of an invalidation.
   EXPECT_LE(stats.map_computations,
             static_cast<uint64_t>(kAppendBatches + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant host under concurrent map/join/append/register/retire.
+
+TEST(ServiceStressTest, MultiTenantMixedOpsWithRegistryChurn) {
+  constexpr int kTenants = 3;
+  constexpr int kIterations = 40;
+  constexpr int kChurnRounds = 8;
+
+  std::vector<std::unique_ptr<db::Database>> dbs;
+  std::vector<std::unique_ptr<embed::EmbeddingModel>> models;
+  for (int t = 0; t <= kTenants; ++t) {  // One extra pair for the churn slot.
+    dbs.push_back(testing::MakeMiniAcademicDb());
+    models.push_back(testing::MakeMiniLexicon());
+  }
+
+  HostOptions options;
+  options.worker_threads = 3;
+  options.map_cache_budget = 96;
+  options.join_cache_budget = 96;
+  options.cache_shards = 4;
+  options.default_admission = AdmissionOptions{/*max_inflight=*/16,
+                                               /*max_queued=*/128};
+  ServiceHost host(options);
+
+  std::vector<TenantHandle> handles;
+  for (int t = 0; t < kTenants; ++t) {
+    std::string id = "tenant" + std::to_string(t);
+    ASSERT_TRUE(host.RegisterTenant(id, dbs[t].get(), models[t].get(),
+                                    testing::MakeMiniLog())
+                    .ok());
+    auto handle = host.Tenant(id);
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+  // Benign-status helper: churn makes Overloaded/NotFound legitimate; any
+  // other failure (or a crash/sanitizer report) is a real bug.
+  auto acceptable = [](const Status& status) {
+    return status.ok() || status.IsOverloaded() || status.IsNotFound();
+  };
+
+  std::vector<std::thread> threads;
+  // Per-tenant readers mixing sync, async, and batched traffic.
+  for (int t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t] {
+      const std::vector<std::string> bags[] = {
+          {"publication", "domain"}, {"author", "publication"}};
+      for (int i = 0; i < kIterations; ++i) {
+        if (i % 2 == 0) {
+          auto result = handles[t].MapKeywords(MakeNlq("papers", "Databases"));
+          if (!acceptable(result.status())) failures.fetch_add(1);
+        } else {
+          auto result = handles[t].InferJoins(bags[i % 2]);
+          if (!acceptable(result.status())) failures.fetch_add(1);
+        }
+        if (i % 8 == 0) {
+          auto future =
+              handles[t].MapKeywordsAsync(MakeNlq("authors", "ICDE"));
+          if (!acceptable(future.get().status())) failures.fetch_add(1);
+        }
+        if (i % 16 == 0) {
+          auto batch = handles[t].InferJoinsBatch({bags[0], bags[1]});
+          if (batch.size() != 2) failures.fetch_add(1);
+          for (const auto& r : batch) {
+            if (!acceptable(r.status())) failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  // Per-tenant appenders: each tenant ingests a distinct number of batches
+  // so the final epochs prove appends stayed tenant-scoped.
+  for (int t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 5 + t; ++i) {
+        auto outcome = handles[t].AppendLogQueries(
+            {"SELECT a.name FROM author a WHERE a.aid = " +
+             std::to_string(i)});
+        if (!outcome.ok() || outcome->appended != 1) failures.fetch_add(1);
+        std::this_thread::yield();
+      }
+    });
+  }
+  // Registry churn: register/serve/retire an ephemeral tenant in a loop
+  // while everything above keeps running.
+  threads.emplace_back([&] {
+    for (int round = 0; round < kChurnRounds; ++round) {
+      Status reg = host.RegisterTenant("ephemeral", dbs[kTenants].get(),
+                                       models[kTenants].get(),
+                                       testing::MakeMiniLog());
+      if (!reg.ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      auto handle = host.Tenant("ephemeral");
+      if (!handle.ok()) {
+        failures.fetch_add(1);
+      } else {
+        auto future = handle->MapKeywordsAsync(MakeNlq("papers", "indexing"));
+        auto sync = handle->InferJoins({"journal", "publication"});
+        if (!acceptable(sync.status())) failures.fetch_add(1);
+        if (!acceptable(future.get().status())) failures.fetch_add(1);
+      }
+      if (!host.RetireTenant("ephemeral").ok()) failures.fetch_add(1);
+    }
+  });
+  // Observer: host-wide stats (tenant list changes under it) + snapshots.
+  threads.emplace_back([&] {
+    const std::string path = ::testing::TempDir() + "/mt_stress_snapshot.qfg";
+    while (!done.load()) {
+      HostStats stats = host.Stats();
+      if (stats.worker_threads != 3) failures.fetch_add(1);
+      for (const auto& tenant : stats.tenants) {
+        if (tenant.tenant_id.empty()) failures.fetch_add(1);
+      }
+      if (!handles[0].SaveSnapshot(path).ok()) failures.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+
+  for (size_t i = 0; i + 1 < threads.size(); ++i) threads[i].join();
+  done.store(true);
+  threads.back().join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(host.tenant_count(), static_cast<size_t>(kTenants));
+
+  // A future can become ready a hair before the dispatcher releases its
+  // in-flight slot; wait for the admission ledger to quiesce.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (int t = 0; t < kTenants; ++t) {
+    while (std::chrono::steady_clock::now() < deadline) {
+      AdmissionStats a = handles[t].Stats().admission;
+      if (a.completed == a.admitted && a.inflight == 0) break;
+      std::this_thread::yield();
+    }
+  }
+
+  for (int t = 0; t < kTenants; ++t) {
+    // Appends stayed tenant-scoped: each epoch counts only its own batches.
+    EXPECT_EQ(handles[t].epoch(), static_cast<uint64_t>(5 + t)) << t;
+    ServiceStats stats = handles[t].Stats();
+    EXPECT_EQ(stats.admission.admitted + stats.admission.rejected,
+              stats.admission.submitted)
+        << t;
+    EXPECT_EQ(stats.admission.completed, stats.admission.admitted) << t;
+    // Every tenant still answers after the storm.
+    EXPECT_TRUE(handles[t].MapKeywords(MakeNlq("papers", "Databases")).ok())
+        << t;
+  }
+}
+
+TEST(ServiceStressTest, RetireWhileRequestsInFlight) {
+  // Regression for the retire race: a tenant retired while async requests
+  // are queued/executing must satisfy every future (ok or a typed error —
+  // never a crash, a use-after-free, or a broken promise), and its id must
+  // be immediately reusable.
+  auto db = testing::MakeMiniAcademicDb();
+  auto db2 = testing::MakeMiniAcademicDb();
+  auto model = testing::MakeMiniLexicon();
+
+  HostOptions options;
+  options.worker_threads = 2;
+  ServiceHost host(options);
+
+  constexpr int kRounds = 6;
+  constexpr int kBurst = 16;
+  for (int round = 0; round < kRounds; ++round) {
+    ASSERT_TRUE(host.RegisterTenant("victim", db.get(), model.get(),
+                                    testing::MakeMiniLog())
+                    .ok());
+    auto handle = host.Tenant("victim");
+    ASSERT_TRUE(handle.ok());
+
+    std::vector<std::future<Result<std::vector<core::Configuration>>>>
+        futures;
+    futures.reserve(kBurst);
+    for (int i = 0; i < kBurst; ++i) {
+      futures.push_back(handle->MapKeywordsAsync(
+          MakeNlq("papers", i % 2 == 0 ? "Databases" : "indexing")));
+    }
+    // Retire with the burst still in the queue/worker pool.
+    ASSERT_TRUE(host.RetireTenant("victim").ok());
+
+    int ok_count = 0;
+    for (auto& future : futures) {
+      ASSERT_TRUE(future.valid());
+      auto result = future.get();  // Must not hang or throw.
+      if (result.ok()) {
+        ++ok_count;
+        EXPECT_FALSE(result->empty());
+      } else {
+        EXPECT_TRUE(result.status().IsNotFound() ||
+                    result.status().IsOverloaded())
+            << result.status().ToString();
+      }
+    }
+    // Sync traffic through the stale handle fails typed, not undefined.
+    EXPECT_TRUE(handle->MapKeywords(MakeNlq("papers", "Databases"))
+                    .status()
+                    .IsNotFound());
+    (void)ok_count;  // Any split between ok and NotFound is legal.
+
+    // The id is reusable right away, with fresh per-tenant state.
+    ASSERT_TRUE(host.RegisterTenant("victim", db2.get(), model.get(),
+                                    testing::MakeMiniLog())
+                    .ok());
+    auto reborn = host.Tenant("victim");
+    ASSERT_TRUE(reborn.ok());
+    EXPECT_TRUE(reborn->MapKeywords(MakeNlq("papers", "Databases")).ok());
+    ASSERT_TRUE(host.RetireTenant("victim").ok());
+  }
 }
 
 TEST(ServiceStressTest, DestructionWithInFlightAsyncWork) {

@@ -1,0 +1,624 @@
+// Tests for the multi-tenant serving layer: AdmissionController counter
+// contracts, FairShareScheduler dispatch (queue-depth rejection, in-flight
+// caps, hot-tenant non-starvation), ServiceHost registry lifecycle and
+// cache-budget partitioning, typed kOverloaded rejections, and the
+// cross-tenant isolation differential test (two tenants with overlapping
+// relation names: appends on one never touch the other's caches, and
+// rankings stay byte-identical to isolated single-tenant runs).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/admission.h"
+#include "service/templar_service.h"
+#include "service/tenant_registry.h"
+#include "test_fixtures.h"
+
+namespace templar::service {
+namespace {
+
+using core::Configuration;
+using graph::JoinPath;
+
+// Spin-waits (with a deadline) until `predicate` holds; returns whether it
+// did. Used to cross thread-scheduling boundaries deterministically.
+template <typename Fn>
+bool EventuallyTrue(Fn&& predicate,
+                    std::chrono::milliseconds deadline =
+                        std::chrono::milliseconds(5000)) {
+  auto until = std::chrono::steady_clock::now() + deadline;
+  while (!predicate()) {
+    if (std::chrono::steady_clock::now() > until) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+
+TEST(AdmissionControllerTest, InflightCapRejectsBeyondLimitAndReconciles) {
+  AdmissionController ctl(AdmissionOptions{/*max_inflight=*/2,
+                                           /*max_queued=*/0});
+  EXPECT_TRUE(ctl.AdmitInflight());
+  EXPECT_TRUE(ctl.AdmitInflight());
+  EXPECT_FALSE(ctl.AdmitInflight()) << "third concurrent request is over cap";
+
+  AdmissionStats stats = ctl.Stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.admitted + stats.rejected, stats.submitted);
+  EXPECT_EQ(stats.inflight, 2u);
+
+  ctl.Release();
+  EXPECT_TRUE(ctl.AdmitInflight()) << "released slot is reusable";
+  ctl.Release();
+  ctl.Release();
+  stats = ctl.Stats();
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.completed, stats.admitted);
+}
+
+TEST(AdmissionControllerTest, QueueCapRejectsBeyondLimit) {
+  AdmissionController ctl(AdmissionOptions{/*max_inflight=*/1,
+                                           /*max_queued=*/2});
+  EXPECT_TRUE(ctl.AdmitQueued());
+  EXPECT_TRUE(ctl.AdmitQueued());
+  EXPECT_FALSE(ctl.AdmitQueued());
+  AdmissionStats stats = ctl.Stats();
+  EXPECT_EQ(stats.queued, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.admitted + stats.rejected, stats.submitted);
+}
+
+TEST(AdmissionControllerTest, ZeroCapsRejectEverything) {
+  AdmissionController ctl(AdmissionOptions{0, 0});
+  EXPECT_FALSE(ctl.AdmitInflight());
+  EXPECT_FALSE(ctl.AdmitQueued());
+  AdmissionStats stats = ctl.Stats();
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.admitted + stats.rejected, stats.submitted);
+}
+
+TEST(AdmissionControllerTest, ZeroInflightRejectsQueueAdmissionToo) {
+  // Regression: with max_inflight=0 (drain mode) a queued task could never
+  // acquire an execution slot — admitting it would park it, and its
+  // future, forever. The queue gate must reject even with queue room.
+  AdmissionController ctl(AdmissionOptions{/*max_inflight=*/0,
+                                           /*max_queued=*/128});
+  EXPECT_FALSE(ctl.AdmitQueued());
+  EXPECT_EQ(ctl.Stats().rejected, 1u);
+  EXPECT_EQ(ctl.queued(), 0u);
+}
+
+TEST(AdmissionControllerTest, ConcurrentAdmissionNeverExceedsCapOrLosesCounts) {
+  constexpr size_t kCap = 4;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  AdmissionController ctl(AdmissionOptions{kCap, 0});
+  std::atomic<size_t> max_seen{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (ctl.AdmitInflight()) {
+          size_t cur = ctl.inflight();
+          size_t prev = max_seen.load();
+          while (prev < cur && !max_seen.compare_exchange_weak(prev, cur)) {
+          }
+          ctl.Release();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(max_seen.load(), kCap);
+  AdmissionStats stats = ctl.Stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.admitted + stats.rejected, stats.submitted);
+  EXPECT_EQ(stats.completed, stats.admitted);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FairShareScheduler
+
+TEST(FairShareSchedulerTest, QueueDepthRejectionIsTypedNotSilent) {
+  ThreadPool pool(1);
+  FairShareScheduler scheduler(&pool);
+  auto tenant = std::make_shared<AdmissionController>(
+      AdmissionOptions{/*max_inflight=*/1, /*max_queued=*/2});
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  ASSERT_TRUE(scheduler.Submit(tenant, [opened] { opened.wait(); }));
+  // Wait until the blocker is executing (its queue slot released) so the
+  // next two submissions deterministically fill the queue.
+  ASSERT_TRUE(EventuallyTrue([&] { return tenant->inflight() == 1; }));
+
+  EXPECT_TRUE(scheduler.Submit(tenant, [] {}));
+  EXPECT_TRUE(scheduler.Submit(tenant, [] {}));
+  EXPECT_FALSE(scheduler.Submit(tenant, [] {}))
+      << "queue slot #3 is over max_queued=2";
+
+  AdmissionStats stats = tenant->Stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.queued, 2u);
+
+  gate.set_value();
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return tenant->Stats().completed == tenant->Stats().admitted; }));
+  stats = tenant->Stats();
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.admitted + stats.rejected, stats.submitted);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(FairShareSchedulerTest, SaturatingTenantCappedAndDoesNotStarveOthers) {
+  // Two pool workers, but tenant A may only execute one task at a time: even
+  // while A has a blocked leader plus a full queue, tenant B's task must run
+  // promptly, and A must never exceed its in-flight cap.
+  ThreadPool pool(2);
+  FairShareScheduler scheduler(&pool);
+  auto hot = std::make_shared<AdmissionController>(
+      AdmissionOptions{/*max_inflight=*/1, /*max_queued=*/16});
+  auto cold = std::make_shared<AdmissionController>(
+      AdmissionOptions{/*max_inflight=*/4, /*max_queued=*/16});
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> hot_concurrent{0};
+  std::atomic<int> hot_max{0};
+  std::atomic<int> hot_done{0};
+  constexpr int kHotTasks = 6;
+  for (int i = 0; i < kHotTasks; ++i) {
+    ASSERT_TRUE(scheduler.Submit(hot, [&, opened] {
+      int cur = hot_concurrent.fetch_add(1) + 1;
+      int prev = hot_max.load();
+      while (prev < cur && !hot_max.compare_exchange_weak(prev, cur)) {
+      }
+      opened.wait();
+      hot_concurrent.fetch_sub(1);
+      hot_done.fetch_add(1);
+    }));
+  }
+
+  // The cold tenant's task completes while the hot tenant's leader is still
+  // blocked holding its only slot — round-robin skips the at-cap tenant.
+  std::promise<void> cold_ran;
+  ASSERT_TRUE(scheduler.Submit(cold, [&] { cold_ran.set_value(); }));
+  ASSERT_EQ(cold_ran.get_future().wait_for(std::chrono::seconds(5)),
+            std::future_status::ready)
+      << "hot tenant's queue starved the cold tenant";
+  EXPECT_LE(hot->inflight(), 1u);
+
+  gate.set_value();
+  ASSERT_TRUE(EventuallyTrue([&] { return hot_done.load() == kHotTasks; }));
+  EXPECT_EQ(hot_max.load(), 1)
+      << "saturating tenant executed above its in-flight cap";
+  AdmissionStats stats = hot->Stats();
+  EXPECT_EQ(stats.admitted, static_cast<uint64_t>(kHotTasks));
+  EXPECT_EQ(stats.completed, stats.admitted);
+}
+
+TEST(FairShareSchedulerTest, RoundRobinInterleavesTenantBursts) {
+  // One worker, three tenants, four tasks each, submitted as back-to-back
+  // per-tenant bursts. FIFO would run AAAA BBBB CCCC; round-robin must not
+  // let any tenant finish its burst before every tenant has started.
+  ThreadPool pool(1);
+  FairShareScheduler scheduler(&pool);
+  std::vector<std::shared_ptr<AdmissionController>> tenants;
+  for (int t = 0; t < 3; ++t) {
+    tenants.push_back(std::make_shared<AdmissionController>(
+        AdmissionOptions{/*max_inflight=*/1, /*max_queued=*/8}));
+  }
+
+  // Park the single worker so every burst is queued before dispatch begins.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  ASSERT_TRUE(scheduler.Submit(tenants[0], [opened] { opened.wait(); }));
+  ASSERT_TRUE(EventuallyTrue([&] { return tenants[0]->inflight() == 1; }));
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  constexpr int kPerTenant = 4;
+  for (int t = 0; t < 3; ++t) {
+    for (int i = 0; i < kPerTenant; ++i) {
+      ASSERT_TRUE(scheduler.Submit(tenants[t], [&, t] {
+        std::lock_guard<std::mutex> lock(order_mu);
+        order.push_back(t);
+      }));
+    }
+  }
+  gate.set_value();
+  ASSERT_TRUE(EventuallyTrue([&] {
+    std::lock_guard<std::mutex> lock(order_mu);
+    return order.size() == 3 * kPerTenant;
+  }));
+
+  std::lock_guard<std::mutex> lock(order_mu);
+  // In every window of three consecutive tasks, three distinct tenants ran:
+  // strict round-robin while all queues are non-empty.
+  for (size_t i = 0; i + 2 < order.size(); i += 3) {
+    EXPECT_NE(order[i], order[i + 1]) << "at window " << i;
+    EXPECT_NE(order[i + 1], order[i + 2]) << "at window " << i;
+    EXPECT_NE(order[i], order[i + 2]) << "at window " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ServiceHost registry lifecycle
+
+nlq::ParsedNlq PapersInDatabasesNlq() {
+  nlq::ParsedNlq parsed;
+  parsed.original = "Return the papers in the Databases domain";
+  nlq::AnnotatedKeyword papers;
+  papers.text = "papers";
+  papers.metadata.context = qfg::FragmentContext::kSelect;
+  nlq::AnnotatedKeyword databases;
+  databases.text = "Databases";
+  databases.metadata.context = qfg::FragmentContext::kWhere;
+  databases.metadata.op = sql::BinaryOp::kEq;
+  parsed.keywords = {papers, databases};
+  return parsed;
+}
+
+class ServiceHostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_a_ = testing::MakeMiniAcademicDb();
+    db_b_ = testing::MakeMiniAcademicDb();
+    model_ = testing::MakeMiniLexicon();
+  }
+
+  HostOptions SmallHost() {
+    HostOptions options;
+    options.worker_threads = 2;
+    options.map_cache_budget = 64;
+    options.join_cache_budget = 64;
+    options.cache_shards = 4;
+    return options;
+  }
+
+  std::unique_ptr<db::Database> db_a_;
+  std::unique_ptr<db::Database> db_b_;
+  std::unique_ptr<embed::EmbeddingModel> model_;
+};
+
+TEST_F(ServiceHostTest, RegisterServeRetireLifecycle) {
+  ServiceHost host(SmallHost());
+  EXPECT_EQ(host.tenant_count(), 0u);
+  ASSERT_TRUE(host.RegisterTenant("mas", db_a_.get(), model_.get(),
+                                  testing::MakeMiniLog())
+                  .ok());
+  EXPECT_EQ(host.tenant_count(), 1u);
+  EXPECT_EQ(host.TenantIds(), std::vector<std::string>{"mas"});
+
+  auto handle = host.Tenant("mas");
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_TRUE(handle->alive());
+  EXPECT_EQ(handle->id(), "mas");
+
+  auto result = handle->MapKeywords(PapersInDatabasesNlq());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->empty());
+  auto async = handle->MapKeywordsAsync(PapersInDatabasesNlq()).get();
+  ASSERT_TRUE(async.ok());
+  EXPECT_EQ(result->front().ToString(), async->front().ToString());
+
+  ASSERT_TRUE(host.RetireTenant("mas").ok());
+  EXPECT_EQ(host.tenant_count(), 0u);
+  EXPECT_FALSE(handle->alive());
+  EXPECT_TRUE(host.Tenant("mas").status().IsNotFound());
+  // The stale handle fails fast with a typed error, on every path.
+  EXPECT_TRUE(handle->MapKeywords(PapersInDatabasesNlq())
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(handle->MapKeywordsAsync(PapersInDatabasesNlq())
+                  .get()
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(handle->AppendLogQueries({"SELECT j.name FROM journal j"})
+                  .status()
+                  .IsNotFound());
+
+  // The id is reusable after retire.
+  ASSERT_TRUE(host.RegisterTenant("mas", db_b_.get(), model_.get(),
+                                  testing::MakeMiniLog())
+                  .ok());
+  auto reborn = host.Tenant("mas");
+  ASSERT_TRUE(reborn.ok());
+  EXPECT_TRUE(reborn->MapKeywords(PapersInDatabasesNlq()).ok());
+  EXPECT_EQ(reborn->Stats().map_requests, 1u)
+      << "re-registered tenant starts with fresh state";
+}
+
+TEST_F(ServiceHostTest, DuplicateRegisterAndUnknownRetireAreTypedErrors) {
+  ServiceHost host(SmallHost());
+  ASSERT_TRUE(host.RegisterTenant("t", db_a_.get(), model_.get(), {}).ok());
+  Status dup = host.RegisterTenant("t", db_b_.get(), model_.get(), {});
+  EXPECT_TRUE(dup.IsAlreadyExists()) << dup.ToString();
+  EXPECT_TRUE(host.RetireTenant("missing").IsNotFound());
+  EXPECT_TRUE(host.Tenant("missing").status().IsNotFound());
+  EXPECT_TRUE(
+      host.RegisterTenant("", db_a_.get(), model_.get(), {}).IsInvalidArgument());
+}
+
+TEST_F(ServiceHostTest, CacheBudgetRepartitionsAcrossRegisterAndRetire) {
+  ServiceHost host(SmallHost());  // 64-entry budget, 4 shards.
+  ASSERT_TRUE(host.RegisterTenant("a", db_a_.get(), model_.get(), {}).ok());
+  EXPECT_EQ(host.Tenant("a")->Stats().map_cache.capacity, 64u)
+      << "sole tenant owns the whole budget";
+
+  ASSERT_TRUE(host.RegisterTenant("b", db_b_.get(), model_.get(), {}).ok());
+  EXPECT_EQ(host.Tenant("a")->Stats().map_cache.capacity, 32u)
+      << "budget splits across two tenants";
+  EXPECT_EQ(host.Tenant("b")->Stats().map_cache.capacity, 32u);
+
+  // A non-divisible split (64/3 over 4 shards) rounds DOWN: the per-tenant
+  // shares must never sum past the advertised host-wide budget.
+  ASSERT_TRUE(host.RegisterTenant("c", db_a_.get(), model_.get(), {}).ok());
+  size_t total = 0;
+  for (const auto& id : host.TenantIds()) {
+    total += host.Tenant(id)->Stats().map_cache.capacity;
+  }
+  EXPECT_LE(total, 64u) << "tenant shares exceed the host cache budget";
+  EXPECT_EQ(host.Tenant("c")->Stats().map_cache.capacity, 20u);
+  ASSERT_TRUE(host.RetireTenant("c").ok());
+
+  ASSERT_TRUE(host.RetireTenant("b").ok());
+  EXPECT_EQ(host.Tenant("a")->Stats().map_cache.capacity, 64u)
+      << "survivor reclaims the retired tenant's share";
+
+  HostStats stats = host.Stats();
+  EXPECT_EQ(stats.tenant_count, 1u);
+  EXPECT_EQ(stats.map_cache_budget, 64u);
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].tenant_id, "a");
+  EXPECT_NE(stats.ToString().find("tenant: a"), std::string::npos);
+}
+
+TEST_F(ServiceHostTest, HandleOutlivingHostFailsTypedNotUndefined) {
+  // Regression: the tenant state a handle keeps alive points into the
+  // host's scheduler and pool. Destroying the host must flip the retired
+  // flag so a stale handle's requests fail with kNotFound *before* touching
+  // either — not crash on the dangling pointers.
+  auto host = std::make_unique<ServiceHost>(SmallHost());
+  ASSERT_TRUE(host->RegisterTenant("t", db_a_.get(), model_.get(),
+                                   testing::MakeMiniLog())
+                  .ok());
+  auto handle = host->Tenant("t");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(handle->MapKeywords(PapersInDatabasesNlq()).ok());
+
+  host.reset();
+
+  EXPECT_FALSE(handle->alive());
+  EXPECT_TRUE(handle->MapKeywords(PapersInDatabasesNlq())
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(handle->MapKeywordsAsync(PapersInDatabasesNlq())
+                  .get()
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(handle->AppendLogQueries({"SELECT j.name FROM journal j"})
+                  .status()
+                  .IsNotFound());
+  // Counters remain readable: the handle's shared_ptr keeps the state (and
+  // its ServiceCore) alive past the host.
+  EXPECT_EQ(handle->Stats().map_requests, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission through the host
+
+TEST_F(ServiceHostTest, OverloadIsTypedRejectionNotCrashOrSilentDrop) {
+  ServiceHost host(SmallHost());
+  TenantOptions options;
+  options.admission = AdmissionOptions{/*max_inflight=*/0, /*max_queued=*/0};
+  ASSERT_TRUE(host.RegisterTenant("drained", db_a_.get(), model_.get(),
+                                  testing::MakeMiniLog(), options)
+                  .ok());
+  auto handle = host.Tenant("drained");
+  ASSERT_TRUE(handle.ok());
+
+  Status sync = handle->MapKeywords(PapersInDatabasesNlq()).status();
+  EXPECT_TRUE(sync.IsOverloaded()) << sync.ToString();
+  EXPECT_EQ(sync.code(), StatusCode::kOverloaded);
+
+  auto future = handle->MapKeywordsAsync(PapersInDatabasesNlq());
+  ASSERT_TRUE(future.valid()) << "rejection must still satisfy the future";
+  EXPECT_TRUE(future.get().status().IsOverloaded());
+
+  auto batch = handle->InferJoinsBatch({{"publication"}, {"domain"}});
+  ASSERT_EQ(batch.size(), 2u) << "rejected batch slots stay aligned";
+  EXPECT_TRUE(batch[0].status().IsOverloaded());
+  EXPECT_TRUE(batch[1].status().IsOverloaded());
+
+  ServiceStats stats = handle->Stats();
+  EXPECT_EQ(stats.admission.submitted, 4u);
+  EXPECT_EQ(stats.admission.rejected, 4u);
+  EXPECT_EQ(stats.admission.admitted, 0u);
+  EXPECT_NE(stats.ToString().find("admission:"), std::string::npos);
+}
+
+TEST_F(ServiceHostTest, DrainModeWithQueueRoomStillRejectsAsyncPromptly) {
+  // Regression: {max_inflight=0, max_queued>0} must reject async requests
+  // with kOverloaded immediately — never park a task that no execution
+  // slot could ever dispatch, leaving future.get() to hang forever.
+  ServiceHost host(SmallHost());
+  TenantOptions options;
+  options.admission = AdmissionOptions{/*max_inflight=*/0,
+                                       /*max_queued=*/128};
+  ASSERT_TRUE(host.RegisterTenant("draining", db_a_.get(), model_.get(),
+                                  testing::MakeMiniLog(), options)
+                  .ok());
+  auto handle = host.Tenant("draining");
+  ASSERT_TRUE(handle.ok());
+  auto future = handle->MapKeywordsAsync(PapersInDatabasesNlq());
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready)
+      << "async request parked forever in drain mode";
+  EXPECT_TRUE(future.get().status().IsOverloaded());
+  EXPECT_EQ(handle->Stats().admission.queued, 0u);
+}
+
+TEST_F(ServiceHostTest, AdmissionCountersReconcileUnderMixedTraffic) {
+  HostOptions host_options = SmallHost();
+  host_options.default_admission =
+      AdmissionOptions{/*max_inflight=*/4, /*max_queued=*/64};
+  ServiceHost host(host_options);
+  ASSERT_TRUE(host.RegisterTenant("t", db_a_.get(), model_.get(),
+                                  testing::MakeMiniLog())
+                  .ok());
+  auto handle = host.Tenant("t");
+  ASSERT_TRUE(handle.ok());
+
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(handle->MapKeywords(PapersInDatabasesNlq()).ok());
+  }
+  auto batch = handle->MapKeywordsBatch(
+      std::vector<nlq::ParsedNlq>(6, PapersInDatabasesNlq()));
+  for (const auto& r : batch) EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(handle->InferJoins({"publication", "domain"}).ok());
+
+  // A future can become ready a hair before the dispatcher releases the
+  // task's in-flight slot; wait for quiescence before reconciling.
+  ASSERT_TRUE(EventuallyTrue([&] {
+    AdmissionStats a = handle->Stats().admission;
+    return a.completed == a.admitted && a.inflight == 0;
+  }));
+  ServiceStats stats = handle->Stats();
+  EXPECT_EQ(stats.admission.submitted, 17u);
+  EXPECT_EQ(stats.admission.admitted + stats.admission.rejected,
+            stats.admission.submitted);
+  EXPECT_EQ(stats.admission.rejected, 0u) << "nothing exceeded the caps";
+  EXPECT_EQ(stats.admission.completed, stats.admission.admitted);
+  EXPECT_EQ(stats.admission.queued, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tenant isolation (differential test)
+//
+// Both tenants run the MakeMiniAcademicDb schema — every relation name
+// overlaps — and serve the same requests. Appends streamed into tenant A
+// must neither evict tenant B's cache entries nor perturb its rankings:
+// B's results stay byte-identical to a single-tenant service that never saw
+// an append, and A's results stay byte-identical to a single-tenant service
+// that saw exactly the same appends.
+
+std::vector<std::string> AppendBatch(int i) {
+  return {"SELECT a.name FROM author a WHERE a.aid = " + std::to_string(i),
+          "SELECT p.title FROM publication p WHERE p.year > " +
+              std::to_string(1990 + i)};
+}
+
+void ExpectSameConfigs(const std::vector<Configuration>& lhs,
+                       const std::vector<Configuration>& rhs,
+                       const char* what) {
+  ASSERT_EQ(lhs.size(), rhs.size()) << what;
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].ToString(), rhs[i].ToString()) << what << " rank " << i;
+    EXPECT_DOUBLE_EQ(lhs[i].score, rhs[i].score) << what << " rank " << i;
+  }
+}
+
+void ExpectSameJoins(const std::vector<JoinPath>& lhs,
+                     const std::vector<JoinPath>& rhs, const char* what) {
+  ASSERT_EQ(lhs.size(), rhs.size()) << what;
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].ToString(), rhs[i].ToString()) << what << " rank " << i;
+    EXPECT_DOUBLE_EQ(lhs[i].score, rhs[i].score) << what << " rank " << i;
+  }
+}
+
+TEST_F(ServiceHostTest, AppendsOnOneTenantNeverTouchAnotherDifferential) {
+  constexpr int kRounds = 4;
+  const nlq::ParsedNlq nlq = PapersInDatabasesNlq();
+  const std::vector<std::string> bag = {"publication", "domain"};
+
+  // Isolated single-tenant baselines: B never sees an append; A sees every
+  // batch. (Fresh databases so fulltext state is fully independent too.)
+  auto baseline_b_db = testing::MakeMiniAcademicDb();
+  auto baseline_a_db = testing::MakeMiniAcademicDb();
+  ServiceOptions baseline_options;
+  baseline_options.worker_threads = 1;
+  auto baseline_b = TemplarService::Create(
+      baseline_b_db.get(), model_.get(), testing::MakeMiniLog(),
+      baseline_options);
+  ASSERT_TRUE(baseline_b.ok());
+  auto baseline_a = TemplarService::Create(
+      baseline_a_db.get(), model_.get(), testing::MakeMiniLog(),
+      baseline_options);
+  ASSERT_TRUE(baseline_a.ok());
+
+  ServiceHost host(SmallHost());
+  ASSERT_TRUE(host.RegisterTenant("a", db_a_.get(), model_.get(),
+                                  testing::MakeMiniLog())
+                  .ok());
+  ASSERT_TRUE(host.RegisterTenant("b", db_b_.get(), model_.get(),
+                                  testing::MakeMiniLog())
+                  .ok());
+  auto tenant_a = host.Tenant("a");
+  auto tenant_b = host.Tenant("b");
+  ASSERT_TRUE(tenant_a.ok());
+  ASSERT_TRUE(tenant_b.ok());
+
+  // Warm both tenants and both baselines.
+  for (int round = 0; round < kRounds; ++round) {
+    auto host_a_map = tenant_a->MapKeywords(nlq);
+    auto host_b_map = tenant_b->MapKeywords(nlq);
+    auto host_a_join = tenant_a->InferJoins(bag);
+    auto host_b_join = tenant_b->InferJoins(bag);
+    auto base_a_map = (*baseline_a)->MapKeywords(nlq);
+    auto base_b_map = (*baseline_b)->MapKeywords(nlq);
+    auto base_a_join = (*baseline_a)->InferJoins(bag);
+    auto base_b_join = (*baseline_b)->InferJoins(bag);
+    ASSERT_TRUE(host_a_map.ok() && host_b_map.ok() && host_a_join.ok() &&
+                host_b_join.ok() && base_a_map.ok() && base_b_map.ok() &&
+                base_a_join.ok() && base_b_join.ok());
+
+    ExpectSameConfigs(*host_a_map, *base_a_map, "tenant A map");
+    ExpectSameConfigs(*host_b_map, *base_b_map, "tenant B map");
+    ExpectSameJoins(*host_a_join, *base_a_join, "tenant A join");
+    ExpectSameJoins(*host_b_join, *base_b_join, "tenant B join");
+
+    // Interleave: append to tenant A (and its baseline) only.
+    auto outcome = tenant_a->AppendLogQueries(AppendBatch(round));
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->appended, 2u);
+    (void)(*baseline_a)->AppendLogQueries(AppendBatch(round));
+  }
+
+  // Epochs are tenant-scoped: only A advanced.
+  EXPECT_EQ(tenant_a->epoch(), static_cast<uint64_t>(kRounds));
+  EXPECT_EQ(tenant_b->epoch(), 0u);
+
+  ServiceStats stats_a = tenant_a->Stats();
+  ServiceStats stats_b = tenant_b->Stats();
+  // A's appends touched the papers footprint each round: its entry was
+  // invalidated and recomputed, exactly as in the single-tenant baseline.
+  EXPECT_GT(stats_a.map_cache.invalidated, 0u);
+  EXPECT_EQ(stats_a.map_computations,
+            (*baseline_a)->Stats().map_computations);
+  // B's caches were never swept: every entry computed once, then pure hits.
+  EXPECT_EQ(stats_b.map_cache.invalidated, 0u);
+  EXPECT_EQ(stats_b.map_cache.stale_drops, 0u);
+  EXPECT_EQ(stats_b.map_computations, 1u)
+      << "tenant B recomputed despite only tenant A receiving appends";
+  EXPECT_EQ(stats_b.join_computations, 1u);
+  EXPECT_EQ(stats_b.map_cache.hits, static_cast<uint64_t>(kRounds - 1));
+  EXPECT_EQ(stats_b.append_batches, 0u);
+}
+
+}  // namespace
+}  // namespace templar::service

@@ -1,0 +1,299 @@
+// QFG scoring micro/serving bench for the interned-id refactor:
+//
+//  - dice: raw Dice lookups/sec, string shim (per-call normalize + key
+//    builds + string-hash probes — the seed hot path) vs id-native
+//    (fragments resolved once, then pure id-pair lookups).
+//  - scoreandprune: SCOREANDPRUNE calls/sec — exercises the cached-key sort
+//    comparator (the seed built each tie-break Key() string O(n log n)
+//    times inside the comparator).
+//  - map_keywords: end-to-end MapKeywords through TemplarService at 1/4/8
+//    threads, cold (first pass, all cache misses — every request pays the
+//    id-native scoring loop) vs warm (repeat pass, cache hits).
+//
+//   $ ./build/bench/bench_qfg_scoring [scale] [--json <path>]
+//
+// `scale` (default 1.0) multiplies iteration counts; CI smoke runs use a
+// small scale — absolute numbers there are noisy, the string-vs-id ratio is
+// the stable signal.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "datasets/dataset.h"
+#include "qfg/query_fragment_graph.h"
+#include "service/templar_service.h"
+#include "sql/parser.h"
+
+using namespace templar;
+using bench::BuildWorkload;
+using bench::Request;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Distinct fragments of the dataset's log — the population Dice probes
+/// draw from.
+std::vector<qfg::QueryFragment> LogFragments(const datasets::Dataset& dataset,
+                                             qfg::ObscurityLevel level) {
+  std::set<qfg::QueryFragment> out;
+  for (const auto& entry : dataset.extra_log) {
+    auto q = sql::Parse(entry);
+    if (!q.ok()) continue;
+    for (auto& f : qfg::ExtractFragments(*q, level)) out.insert(f);
+  }
+  return {out.begin(), out.end()};
+}
+
+struct DiceResult {
+  size_t pairs = 0;
+  double string_per_sec = 0;
+  double id_per_sec = 0;
+  double speedup = 0;  // id_per_sec / string_per_sec.
+};
+
+DiceResult RunDice(const qfg::QueryFragmentGraph& graph,
+                   const std::vector<qfg::QueryFragment>& fragments,
+                   size_t pair_count) {
+  DiceResult result;
+  if (fragments.size() < 2) return result;
+  Rng rng(1234);
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(pair_count);
+  for (size_t i = 0; i < pair_count; ++i) {
+    size_t a = rng.NextBounded(fragments.size());
+    size_t b = rng.NextBounded(fragments.size());
+    pairs.emplace_back(a, b);
+  }
+  result.pairs = pairs.size();
+
+  // String shim: what every Dice in the seed's O(k^2) scoring loop cost.
+  double sink = 0;
+  auto start = Clock::now();
+  for (const auto& [a, b] : pairs) {
+    sink += graph.Dice(fragments[a], fragments[b]);
+  }
+  double string_seconds = SecondsSince(start);
+
+  // Id-native: resolve once per fragment, then id-pair lookups only.
+  std::vector<qfg::FragmentId> ids;
+  ids.reserve(fragments.size());
+  for (const auto& f : fragments) ids.push_back(graph.NormalizeToId(f));
+  double id_sink = 0;
+  start = Clock::now();
+  for (const auto& [a, b] : pairs) {
+    id_sink += graph.Dice(ids[a], ids[b]);
+  }
+  double id_seconds = SecondsSince(start);
+
+  if (sink != id_sink) {
+    std::fprintf(stderr, "dice mismatch: string %.17g vs id %.17g\n", sink,
+                 id_sink);
+    std::exit(1);
+  }
+  result.string_per_sec =
+      string_seconds > 0 ? static_cast<double>(pairs.size()) / string_seconds
+                         : 0;
+  result.id_per_sec =
+      id_seconds > 0 ? static_cast<double>(pairs.size()) / id_seconds : 0;
+  result.speedup = result.string_per_sec > 0
+                       ? result.id_per_sec / result.string_per_sec
+                       : 0;
+  return result;
+}
+
+struct ScoreAndPruneResult {
+  size_t calls = 0;
+  double per_sec = 0;
+};
+
+ScoreAndPruneResult RunScoreAndPrune(const core::Templar& templar,
+                                     const datasets::Dataset& dataset,
+                                     size_t rounds) {
+  const core::KeywordMapper& mapper = templar.keyword_mapper();
+  // Pre-retrieve candidates once; the timed loop copies + scores + sorts,
+  // which is exactly the path the cached-key comparator fix targets.
+  std::vector<std::pair<nlq::AnnotatedKeyword,
+                        std::vector<core::CandidateMapping>>> work;
+  for (const auto& item : dataset.benchmark) {
+    if (work.size() >= 24) break;
+    for (const auto& kw : item.gold_parse.keywords) {
+      auto cands = mapper.KeywordCands(kw);
+      if (cands.size() >= 4) work.emplace_back(kw, std::move(cands));
+    }
+  }
+  ScoreAndPruneResult result;
+  if (work.empty()) return result;
+  auto start = Clock::now();
+  size_t sink = 0;
+  for (size_t r = 0; r < rounds; ++r) {
+    for (const auto& [kw, cands] : work) {
+      sink += mapper.ScoreAndPrune(kw, cands).size();
+    }
+  }
+  double seconds = SecondsSince(start);
+  result.calls = rounds * work.size() + (sink == SIZE_MAX ? 1 : 0);
+  result.per_sec =
+      seconds > 0 ? static_cast<double>(result.calls) / seconds : 0;
+  return result;
+}
+
+struct MapCell {
+  int threads = 0;
+  double cold_qps = 0;
+  double warm_qps = 0;
+};
+
+MapCell RunMapKeywords(const datasets::Dataset& dataset,
+                       const std::vector<Request>& requests, int threads,
+                       int warm_passes) {
+  MapCell cell;
+  cell.threads = threads;
+  service::ServiceOptions options;
+  options.worker_threads = static_cast<size_t>(threads);
+  auto service = service::TemplarService::Create(
+      dataset.database.get(), dataset.lexicon.get(), dataset.extra_log,
+      options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  auto replay_pass = [&]() {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (size_t i = static_cast<size_t>(t); i < requests.size();
+             i += static_cast<size_t>(threads)) {
+          const Request& request = requests[i];
+          if (request.is_map) {
+            (void)(*service)->MapKeywords(request.nlq);
+          } else {
+            (void)(*service)->InferJoins(request.bag);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  };
+
+  auto start = Clock::now();
+  replay_pass();
+  double cold_seconds = SecondsSince(start);
+  cell.cold_qps = cold_seconds > 0
+                      ? static_cast<double>(requests.size()) / cold_seconds
+                      : 0;
+
+  start = Clock::now();
+  for (int p = 0; p < warm_passes; ++p) replay_pass();
+  double warm_seconds = SecondsSince(start);
+  cell.warm_qps =
+      warm_seconds > 0
+          ? static_cast<double>(requests.size() * warm_passes) / warm_seconds
+          : 0;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      double parsed = std::atof(argv[i]);
+      if (parsed > 0) scale = parsed;
+    }
+  }
+
+  std::printf("== QFG scoring: string shim vs interned ids ==\n");
+  auto dataset = datasets::BuildMas();
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto templar = core::Templar::Build(dataset->database.get(),
+                                      dataset->lexicon.get(),
+                                      dataset->extra_log);
+  if (!templar.ok()) {
+    std::fprintf(stderr, "templar: %s\n", templar.status().ToString().c_str());
+    return 1;
+  }
+  const qfg::QueryFragmentGraph& graph = (*templar)->query_fragment_graph();
+
+  std::vector<qfg::QueryFragment> fragments =
+      LogFragments(*dataset, graph.level());
+  const size_t pair_count =
+      static_cast<size_t>(200000 * scale) + 1000;
+  DiceResult dice = RunDice(graph, fragments, pair_count);
+  std::printf(
+      "dice (%zu fragments, %zu random pairs):\n"
+      "  string shim: %12.0f lookups/sec\n"
+      "  id-native:   %12.0f lookups/sec   (%.2fx)\n",
+      fragments.size(), dice.pairs, dice.string_per_sec, dice.id_per_sec,
+      dice.speedup);
+
+  const size_t sp_rounds = static_cast<size_t>(40 * scale) + 2;
+  ScoreAndPruneResult sp = RunScoreAndPrune(**templar, *dataset, sp_rounds);
+  std::printf("scoreandprune: %zu calls, %10.0f calls/sec\n", sp.calls,
+              sp.per_sec);
+
+  std::vector<Request> requests =
+      BuildWorkload(*dataset, 64, /*distinct_cache_keys=*/true);
+  const int warm_passes = std::max(1, static_cast<int>(4 * scale));
+  std::vector<MapCell> cells;
+  for (int threads : {1, 4, 8}) {
+    MapCell cell = RunMapKeywords(*dataset, requests, threads, warm_passes);
+    std::printf(
+        "map_keywords %d thread(s): cold %8.1f qps   warm %10.1f qps\n",
+        cell.threads, cell.cold_qps, cell.warm_qps);
+    cells.push_back(cell);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n  \"bench\": \"qfg_scoring\",\n  \"scale\": %.3f,\n"
+        "  \"dice\": {\"fragments\": %zu, \"pairs\": %zu,\n"
+        "    \"string_lookups_per_sec\": %.0f,\n"
+        "    \"id_lookups_per_sec\": %.0f,\n"
+        "    \"id_over_string_speedup\": %.3f},\n"
+        "  \"scoreandprune\": {\"calls\": %zu, \"calls_per_sec\": %.0f},\n"
+        "  \"map_keywords\": [\n",
+        scale, fragments.size(), dice.pairs, dice.string_per_sec,
+        dice.id_per_sec, dice.speedup, sp.calls, sp.per_sec);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"threads\": %d, \"cold_qps\": %.1f, "
+                   "\"warm_qps\": %.1f}%s\n",
+                   cells[i].threads, cells[i].cold_qps, cells[i].warm_qps,
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "graph/fork.h"
 
@@ -12,16 +14,6 @@ JoinPathGenerator::JoinPathGenerator(const graph::SchemaGraph* schema,
                                      const qfg::QueryFragmentGraph* qfg,
                                      JoinPathGeneratorOptions options)
     : schema_(schema), qfg_(qfg), options_(options) {}
-
-graph::EdgeWeightFn JoinPathGenerator::WeightFunction() const {
-  if (!options_.use_log_weights || qfg_ == nullptr) {
-    return nullptr;  // Steiner solver treats null as unit weights.
-  }
-  const qfg::QueryFragmentGraph* qfg = qfg_;
-  return [qfg](const std::string& a, const std::string& b) {
-    return 1.0 - qfg->RelationDice(a, b);
-  };
-}
 
 Result<std::vector<graph::JoinPath>> JoinPathGenerator::InferJoins(
     const std::vector<std::string>& relation_bag,
@@ -58,28 +50,65 @@ Result<std::vector<graph::JoinPath>> JoinPathGenerator::InferJoins(
 
   graph::SteinerOptions steiner_options;
   steiner_options.top_k = options_.top_k;
-  steiner_options.weight_fn = WeightFunction();
 
-  // Record which relations' Dice values the search reads by interposing on
-  // the weight function. The Steiner solver hands it base relation names
-  // already, so the recorded set keys directly into the QFG's FROM
-  // fragments. A null weight function (unit weights) reads nothing.
-  std::set<std::string> consulted;
-  if (footprint != nullptr && steiner_options.weight_fn) {
-    graph::EdgeWeightFn inner = std::move(steiner_options.weight_fn);
-    steiner_options.weight_fn = [&consulted, inner](const std::string& a,
-                                                    const std::string& b) {
-      consulted.insert(a);
-      consulted.insert(b);
-      return inner(a, b);
+  // w_L (Sec. VI-A2) with the relation fragments resolved to interned ids
+  // up front: every base relation of the (forked) working graph is
+  // normalized and looked up exactly once here, so each edge relaxation
+  // inside the Steiner search is one small map probe plus an id-pair Dice —
+  // no FROM-fragment key construction or triple string-hash per weight
+  // read. The resolution also carries the fragment's cache fingerprint,
+  // which is what the footprint records when the search consults a weight.
+  struct ResolvedRelation {
+    qfg::FragmentId id = qfg::kInvalidFragmentId;
+    qfg::FragmentFingerprint fingerprint = 0;
+  };
+  std::unordered_map<std::string, ResolvedRelation> relations;
+  // Raw (possibly duplicated) fingerprints: the footprint sorts and dedups
+  // once at Fingerprints() time, so the hot weight callback below stays a
+  // pair of vector pushes instead of ordered-set inserts.
+  std::vector<qfg::FragmentFingerprint> consulted;
+  const bool log_weights = options_.use_log_weights && qfg_ != nullptr;
+  if (log_weights) {
+    for (const auto& inst : working.relations()) {
+      std::string base = graph::BaseRelationName(inst);
+      if (relations.count(base)) continue;
+      qfg::ResolvedFragment r = qfg_->Resolve(qfg::RelationFragment(base));
+      relations.emplace(std::move(base),
+                        ResolvedRelation{r.id, r.fingerprint});
+    }
+    // The Steiner solver hands the weight function base relation names of
+    // the working graph's own edges, so the lookups below always hit.
+    const qfg::QueryFragmentGraph* qfg = qfg_;
+    const bool record = footprint != nullptr;
+    steiner_options.weight_fn = [qfg, &relations, &consulted, record](
+                                    const std::string& a,
+                                    const std::string& b) {
+      auto ia = relations.find(a);
+      auto ib = relations.find(b);
+      if (ia == relations.end() || ib == relations.end()) {
+        // Unreachable with a well-formed graph; fall back to the shim —
+        // still recording the dependency, so a footprint can never
+        // under-report what the search consulted.
+        if (record) {
+          consulted.push_back(qfg::FingerprintFragmentKey(
+              qfg::RelationFragment(a).Key()));
+          consulted.push_back(qfg::FingerprintFragmentKey(
+              qfg::RelationFragment(b).Key()));
+        }
+        return 1.0 - qfg->RelationDice(a, b);
+      }
+      if (record) {
+        consulted.push_back(ia->second.fingerprint);
+        consulted.push_back(ib->second.fingerprint);
+      }
+      return 1.0 - qfg->Dice(ia->second.id, ib->second.id);
     };
   }
 
   auto paths = graph::FindJoinPaths(working, relation_bag, steiner_options);
   if (footprint != nullptr) {
-    for (const auto& relation : consulted) {
-      footprint->fragment_keys.push_back(
-          qfg::RelationFragment(relation).Key());
+    for (qfg::FragmentFingerprint fingerprint : consulted) {
+      footprint->AddFingerprint(fingerprint);
     }
   }
   return paths;

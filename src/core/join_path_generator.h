@@ -50,9 +50,10 @@ class JoinPathGenerator {
   /// Configuration::RelationBag). Duplicates cause (d-1) forks of the
   /// schema graph before the Steiner search.
   ///
-  /// When `footprint` is non-null it receives the FROM-fragment keys of
-  /// every base relation whose log-driven edge weight the search actually
-  /// consulted. An append containing none of those relations cannot change
+  /// When `footprint` is non-null it receives the FROM-fragment
+  /// fingerprints of every base relation whose log-driven edge weight the
+  /// search actually consulted (O(1) per relation — the fragments are
+  /// resolved to interned ids before the search). An append containing none of those relations cannot change
   /// any consulted w_L, so the ranking is provably unchanged. The search is
   /// exhaustive over the terminals' component, so on a connected schema this
   /// set is broad — but it collapses to empty exactly when the ranking has
@@ -61,9 +62,6 @@ class JoinPathGenerator {
   Result<std::vector<graph::JoinPath>> InferJoins(
       const std::vector<std::string>& relation_bag,
       qfg::QfgFootprint* footprint = nullptr) const;
-
-  /// \brief The weight function currently in effect (for diagnostics).
-  graph::EdgeWeightFn WeightFunction() const;
 
  private:
   const graph::SchemaGraph* schema_;

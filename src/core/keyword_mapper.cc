@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <set>
 
 #include "common/string_util.h"
@@ -244,13 +245,24 @@ std::vector<CandidateMapping> KeywordMapper::ScoreAndPrune(
   for (auto& c : candidates) {
     c.similarity = ScoreCandidate(keyword, c);
   }
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const CandidateMapping& a, const CandidateMapping& b) {
-                     if (a.similarity != b.similarity) {
-                       return a.similarity > b.similarity;
-                     }
-                     return a.fragment.Key() < b.fragment.Key();
-                   });
+  // The tie-break key is a built string; materialize each once instead of
+  // O(n log n) times inside the comparator, and sort an index vector so the
+  // (heavyweight) mappings move exactly once.
+  std::vector<std::string> keys;
+  keys.reserve(candidates.size());
+  for (const auto& c : candidates) keys.push_back(c.fragment.Key());
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (candidates[a].similarity != candidates[b].similarity) {
+      return candidates[a].similarity > candidates[b].similarity;
+    }
+    return keys[a] < keys[b];
+  });
+  std::vector<CandidateMapping> sorted;
+  sorted.reserve(candidates.size());
+  for (size_t idx : order) sorted.push_back(std::move(candidates[idx]));
+  candidates = std::move(sorted);
 
   // PRUNE: exact matches crowd out everything else.
   const double exact = 1.0 - options_.epsilon;
@@ -341,6 +353,37 @@ double KeywordMapper::QfgScore(const Configuration& config,
   return 0;
 }
 
+double KeywordMapper::QfgScoreResolved(
+    const std::vector<const qfg::ResolvedFragment*>& frags,
+    const qfg::QueryFragmentGraph& graph, bool* used_query_count) {
+  if (frags.size() >= 2) {
+    double product = 1;
+    size_t pairs = 0;
+    for (size_t i = 0; i < frags.size(); ++i) {
+      for (size_t j = i + 1; j < frags.size(); ++j) {
+        // Same skip rule as QfgScore: fragments identical after obscuring
+        // carry no co-occurrence signal. Interned fragments compare by id;
+        // fragments the log never saw fall back to their resolved keys.
+        if (frags[i]->SameAs(*frags[j])) continue;
+        product *= graph.Dice(frags[i]->id, frags[j]->id);
+        ++pairs;
+      }
+    }
+    if (pairs > 0) {
+      return std::pow(product, 1.0 / static_cast<double>(pairs));
+    }
+  }
+  if (!frags.empty() && graph.query_count() > 0) {
+    uint64_t occurrences = graph.Occurrences(frags[0]->id);
+    if (occurrences > 0 && used_query_count != nullptr) {
+      *used_query_count = true;
+    }
+    return static_cast<double>(occurrences) /
+           static_cast<double>(graph.query_count());
+  }
+  return 0;
+}
+
 Result<std::vector<Configuration>> KeywordMapper::MapKeywords(
     const nlq::ParsedNlq& nlq, qfg::QfgFootprint* footprint) const {
   if (nlq.keywords.empty()) {
@@ -359,17 +402,49 @@ Result<std::vector<Configuration>> KeywordMapper::MapKeywords(
     per_keyword.push_back(std::move(cands));
   }
 
-  // Cartesian product with a hard cap.
+  // Resolve every pruned candidate's fragment against the QFG exactly once:
+  // one normalize + one intern lookup here, then configuration scoring is
+  // pure id arithmetic — no per-pair string builds or string-hash probes
+  // inside the O(k^2)-per-configuration Dice loop. FROM fragments are
+  // excluded from ScoreQFG (Sec. V-C2) and are never resolved.
+  const bool use_log = options_.use_qfg && qfg_ != nullptr;
+  std::vector<std::vector<qfg::ResolvedFragment>> resolved;
+  if (use_log) {
+    resolved.resize(per_keyword.size());
+    for (size_t k = 0; k < per_keyword.size(); ++k) {
+      resolved[k].resize(per_keyword[k].size());
+      for (size_t i = 0; i < per_keyword[k].size(); ++i) {
+        const CandidateMapping& c = per_keyword[k][i];
+        if (c.fragment.context == qfg::FragmentContext::kFrom) continue;
+        resolved[k][i] = qfg_->Resolve(c.fragment);
+        if (footprint != nullptr) {
+          // Every configuration draws its fragments from the pruned
+          // candidates, so their union bounds what scoring can consult.
+          footprint->AddFingerprint(resolved[k][i].fingerprint);
+        }
+      }
+    }
+  }
+
+  // Cartesian product with a hard cap. Each configuration carries (in
+  // config_fragments) the pre-resolved non-FROM fragments it scores over.
   std::vector<Configuration> configs;
+  std::vector<std::vector<const qfg::ResolvedFragment*>> config_fragments;
   std::vector<size_t> index(per_keyword.size(), 0);
   while (configs.size() < options_.max_configurations) {
     Configuration config;
     config.mappings.reserve(per_keyword.size());
+    std::vector<const qfg::ResolvedFragment*> fragments;
     for (size_t k = 0; k < per_keyword.size(); ++k) {
-      config.mappings.push_back(
-          FragmentMapping{nlq.keywords[k], per_keyword[k][index[k]]});
+      const CandidateMapping& candidate = per_keyword[k][index[k]];
+      if (use_log &&
+          candidate.fragment.context != qfg::FragmentContext::kFrom) {
+        fragments.push_back(&resolved[k][index[k]]);
+      }
+      config.mappings.push_back(FragmentMapping{nlq.keywords[k], candidate});
     }
     configs.push_back(std::move(config));
+    if (use_log) config_fragments.push_back(std::move(fragments));
     // Odometer increment.
     size_t k = 0;
     for (; k < index.size(); ++k) {
@@ -380,24 +455,13 @@ Result<std::vector<Configuration>> KeywordMapper::MapKeywords(
   }
 
   // Score and rank.
-  const bool use_log = options_.use_qfg && qfg_ != nullptr;
-  if (footprint != nullptr && use_log) {
-    // Every configuration draws its fragments from the pruned candidates,
-    // so their union bounds what scoring can consult. FROM fragments are
-    // excluded from ScoreQFG and contribute no dependency.
-    for (const auto& cands : per_keyword) {
-      for (const auto& c : cands) {
-        if (c.fragment.context == qfg::FragmentContext::kFrom) continue;
-        footprint->fragment_keys.push_back(qfg_->Normalized(c.fragment).Key());
-      }
-    }
-  }
-  for (auto& config : configs) {
+  for (size_t i = 0; i < configs.size(); ++i) {
+    Configuration& config = configs[i];
     config.sigma_score = SigmaScore(config);
     config.qfg_score =
-        use_log ? QfgScore(config, *qfg_,
-                           footprint ? &footprint->query_count_sensitive
-                                     : nullptr)
+        use_log ? QfgScoreResolved(config_fragments[i], *qfg_,
+                                   footprint ? &footprint->query_count_sensitive
+                                             : nullptr)
                 : 0;
     config.score = use_log ? options_.lambda * config.sigma_score +
                                  (1 - options_.lambda) * config.qfg_score

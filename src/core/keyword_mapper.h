@@ -95,9 +95,23 @@ class KeywordMapper {
   /// whose value shifts on appends that touch none of the configuration's
   /// own fragments. It is left untouched otherwise, so callers can OR it
   /// across configurations.
+  ///
+  /// This is the string-shim reference path: every Dice re-normalizes both
+  /// fragments through the graph's string API. MapKeywords itself scores
+  /// through QfgScoreResolved; the differential tests assert the two agree
+  /// bit-for-bit.
   static double QfgScore(const Configuration& config,
                          const qfg::QueryFragmentGraph& qfg,
                          bool* used_query_count = nullptr);
+
+  /// \brief Id-native ScoreQFG over pre-resolved non-FROM fragments (in
+  /// configuration order). Identical semantics to QfgScore — including the
+  /// skip of pairs identical after obscuring, which for fragments the log
+  /// has never seen falls back to comparing the resolved normalized keys —
+  /// but each Dice is an id-pair lookup with no string construction.
+  static double QfgScoreResolved(
+      const std::vector<const qfg::ResolvedFragment*>& non_from_fragments,
+      const qfg::QueryFragmentGraph& qfg, bool* used_query_count = nullptr);
 
   const KeywordMapperOptions& options() const { return options_; }
 

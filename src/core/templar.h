@@ -82,8 +82,12 @@ class Templar {
   Status AppendLogQuery(const std::string& sql_text);
 
   /// \brief Same, for an entry the caller has already parsed (lets services
-  /// parse outside their write lock).
-  void AppendLogQuery(const sql::SelectQuery& query) { qfg_.AddQuery(query); }
+  /// parse outside their write lock). Returns the interned ids of the
+  /// query's fragments so the caller can derive the append's fragment delta
+  /// from the interner (O(1) fingerprints, no second extraction).
+  std::vector<qfg::FragmentId> AppendLogQuery(const sql::SelectQuery& query) {
+    return qfg_.AddQueryIds(query);
+  }
 
   const qfg::QueryFragmentGraph& query_fragment_graph() const { return qfg_; }
   const graph::SchemaGraph& schema_graph() const { return schema_graph_; }

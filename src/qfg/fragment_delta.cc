@@ -13,10 +13,8 @@ FragmentFingerprint FingerprintFragmentKey(const std::string& normalized_key) {
 
 std::vector<FragmentFingerprint> QfgFootprint::Fingerprints() const {
   std::vector<FragmentFingerprint> out;
-  out.reserve(fragment_keys.size() + 1);
-  for (const auto& key : fragment_keys) {
-    out.push_back(FingerprintFragmentKey(key));
-  }
+  out.reserve(raw_fingerprints.size() + 1);
+  out.insert(out.end(), raw_fingerprints.begin(), raw_fingerprints.end());
   if (query_count_sensitive) out.push_back(kQueryCountFingerprint);
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

@@ -12,18 +12,23 @@
 /// the fragments the ranking consulted. This header provides the two halves
 /// of that test:
 ///
-///  - QfgFootprint — the set of (normalized) fragment keys a single
+///  - QfgFootprint — the fingerprints of the (normalized) fragments a single
 ///    MapKeywords / InferJoins computation depended on, recorded while the
 ///    ranking is produced.
-///  - FragmentDelta — the set of fragment keys touched by one
-///    AppendLogQueries batch, extracted from the already-parsed entries.
+///  - FragmentDelta — the fingerprints of the fragments touched by one
+///    AppendLogQueries batch.
 ///
 /// Both sides are reduced to sorted, deduplicated 64-bit fingerprints so the
-/// cache's intersection test is a cheap merge walk. Fingerprints are
-/// process-local (std::hash) — they are never serialized. A hash collision
-/// can only make two distinct fragments *look* shared, which evicts a cache
-/// entry that could have been kept: the failure mode is a spurious recompute,
-/// never a stale answer.
+/// cache's intersection test is a cheap merge walk (with a galloping path
+/// for skewed sizes — common/sorted_intersect.h). A fingerprint is a pure
+/// function of the fragment's normalized key string: for fragments the log
+/// has seen, the interner (qfg/fragment_interner.h) computed it once at
+/// intern time and recording it is O(1) with no string traffic; for unseen
+/// fragments (a candidate the log never mentions) the producer hashes the
+/// key once via AddKey. Fingerprints are process-local (std::hash) — they
+/// are never serialized. A hash collision can only make two distinct
+/// fragments *look* shared, which evicts a cache entry that could have been
+/// kept: the failure mode is a spurious recompute, never a stale answer.
 ///
 /// One global counter also matters: ScoreQFG's occurrence fallback divides
 /// by query_count(), which every append bumps. Rankings that used that
@@ -53,11 +58,21 @@ FragmentFingerprint FingerprintFragmentKey(const std::string& normalized_key);
 
 /// \brief The QFG state one served ranking depended on.
 struct QfgFootprint {
-  /// Fragment keys normalized to the graph's obscurity level.
-  std::vector<std::string> fragment_keys;
+  /// Raw fingerprints as recorded (unsorted, may repeat).
+  std::vector<FragmentFingerprint> raw_fingerprints;
   /// True when the score consulted query_count() (occurrence fallback with a
   /// non-zero numerator) — such a ranking can shift on *any* append.
   bool query_count_sensitive = false;
+
+  /// \brief Records an already-computed fingerprint (O(1); the interner
+  /// hands these out for log-seen fragments).
+  void AddFingerprint(FragmentFingerprint fingerprint) {
+    raw_fingerprints.push_back(fingerprint);
+  }
+  /// \brief Records an unseen fragment by its normalized key (one hash).
+  void AddKey(const std::string& normalized_key) {
+    raw_fingerprints.push_back(FingerprintFragmentKey(normalized_key));
+  }
 
   /// \brief Sorted, deduplicated fingerprints (plus kQueryCountFingerprint
   /// when query_count_sensitive), ready for ShardedLruCache::Put.
@@ -69,7 +84,23 @@ class FragmentDelta {
  public:
   /// \brief Folds in every fragment of `query`, extracted at `level` (use
   /// the QFG's own level so keys line up with footprint normalization).
+  /// Extraction-based path for callers without a graph at hand; the serving
+  /// layer instead folds in the interned ids AddQuery returns, via
+  /// AddFingerprint + MarkQueryApplied, skipping the second extraction.
   void AddQuery(const sql::SelectQuery& query, ObscurityLevel level);
+
+  /// \brief Folds in one already-fingerprinted fragment (O(1)).
+  void AddFingerprint(FragmentFingerprint fingerprint) {
+    fingerprints_.push_back(fingerprint);
+    sealed_ = false;
+  }
+
+  /// \brief Notes that a query was applied (query_count() will move), so
+  /// Seal() includes kQueryCountFingerprint. AddQuery implies this.
+  void MarkQueryApplied() {
+    any_query_ = true;
+    sealed_ = false;
+  }
 
   /// \brief Sorts and deduplicates; adds kQueryCountFingerprint when at
   /// least one query was folded in (query_count() will move). Idempotent.

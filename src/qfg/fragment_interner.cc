@@ -1,0 +1,19 @@
+#include "qfg/fragment_interner.h"
+
+#include <utility>
+
+namespace templar::qfg {
+
+FragmentId FragmentInterner::Intern(const QueryFragment& normalized_fragment) {
+  std::string key = normalized_fragment.Key();
+  auto [it, inserted] =
+      id_by_key_.try_emplace(std::move(key), static_cast<FragmentId>(0));
+  if (!inserted) return it->second;
+  const FragmentId id = static_cast<FragmentId>(entries_.size());
+  it->second = id;
+  entries_.push_back(Entry{normalized_fragment, &it->first,
+                           FingerprintFragmentKey(it->first)});
+  return id;
+}
+
+}  // namespace templar::qfg

@@ -1,0 +1,92 @@
+#ifndef TEMPLAR_QFG_FRAGMENT_INTERNER_H_
+#define TEMPLAR_QFG_FRAGMENT_INTERNER_H_
+
+/// \file fragment_interner.h
+/// \brief Dense integer identities for normalized query fragments.
+///
+/// The QFG's hot paths — pairwise Dice in configuration scoring (Sec. V-C2)
+/// and the log-driven join weights w_L (Sec. VI-A2) — only ever compare and
+/// count fragments; the fragment *text* is needed once, to establish
+/// identity. The interner performs that string work exactly once per
+/// distinct normalized fragment, at AddQuery/Restore time, and hands back a
+/// dense `FragmentId` (uint32). Everything downstream — occurrence vectors,
+/// packed co-occurrence keys, footprint fingerprints — indexes by id.
+///
+/// Ids are dense (0, 1, 2, ... in first-seen order), process-local, and
+/// stable for the lifetime of the owning graph: fragments are never removed
+/// (the QFG is append-only), so an id observed under the serving layer's
+/// shared lock stays valid across later appends. Ids are NOT stable across
+/// save/load — snapshots serialize the intern table in canonical order and
+/// a restored graph re-interns in that order — but every id-derived
+/// observable (counts, Dice, fingerprints) is preserved because the
+/// fingerprint is a pure function of the normalized key string.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qfg/fragment.h"
+#include "qfg/fragment_delta.h"
+
+namespace templar::qfg {
+
+/// \brief Dense identity of one normalized fragment within one interner.
+using FragmentId = uint32_t;
+
+/// \brief Sentinel for "fragment not interned" (unseen by the log).
+inline constexpr FragmentId kInvalidFragmentId = UINT32_MAX;
+
+/// \brief Maps normalized fragment keys to dense FragmentIds, exactly once.
+///
+/// Alongside the id, the interner stores the fragment itself, its key
+/// string, and its 64-bit cache fingerprint (FingerprintFragmentKey of the
+/// key) — computed at intern time so footprint recording is O(1) per
+/// fragment with zero string traffic.
+class FragmentInterner {
+ public:
+  /// \brief Returns the id of `normalized_fragment`, interning it first if
+  /// unseen. The fragment must already be normalized to the owner's
+  /// obscurity level — the interner does not re-obscure.
+  FragmentId Intern(const QueryFragment& normalized_fragment);
+
+  /// \brief Id of the fragment with this normalized key, or
+  /// kInvalidFragmentId when never interned. Never inserts.
+  FragmentId Find(const std::string& normalized_key) const {
+    auto it = id_by_key_.find(normalized_key);
+    return it == id_by_key_.end() ? kInvalidFragmentId : it->second;
+  }
+
+  /// \brief The interned fragment. `id` must be valid (< size()).
+  const QueryFragment& Fragment(FragmentId id) const {
+    return entries_[id].fragment;
+  }
+
+  /// \brief The normalized key `id` was interned under. `id` must be valid.
+  const std::string& Key(FragmentId id) const { return *entries_[id].key; }
+
+  /// \brief Fingerprint of `id`'s key, computed once at intern time.
+  /// `id` must be valid.
+  FragmentFingerprint Fingerprint(FragmentId id) const {
+    return entries_[id].fingerprint;
+  }
+
+  /// \brief Number of interned fragments; valid ids are [0, size()).
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    QueryFragment fragment;
+    /// Points at the map node's key (stable: unordered_map never moves
+    /// nodes), so the key string is stored once.
+    const std::string* key = nullptr;
+    FragmentFingerprint fingerprint = 0;
+  };
+
+  std::unordered_map<std::string, FragmentId> id_by_key_;
+  std::vector<Entry> entries_;  // Indexed by FragmentId.
+};
+
+}  // namespace templar::qfg
+
+#endif  // TEMPLAR_QFG_FRAGMENT_INTERNER_H_

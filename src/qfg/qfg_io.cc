@@ -1,7 +1,9 @@
 #include "qfg/qfg_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <tuple>
 
 #include "common/string_util.h"
 
@@ -95,18 +97,32 @@ Result<ObscurityLevel> LevelFromString(const std::string& s) {
 
 Status SaveQfg(const QueryFragmentGraph& graph, std::ostream* out) {
   if (out == nullptr) return Status::InvalidArgument("null stream");
-  *out << "templar-qfg\tv1\t" << ObscurityLevelToString(graph.level()) << '\t'
+  *out << "templar-qfg\tv2\t" << ObscurityLevelToString(graph.level()) << '\t'
        << graph.query_count() << '\n';
-  for (const auto& [fragment, count] : graph.TopFragments()) {
+  // The canonical vertex order (count desc, key asc) is the intern table:
+  // a vertex's 0-based position in the V section is the id edges reference.
+  const std::vector<std::pair<FragmentId, uint64_t>> order =
+      graph.CanonicalVertexOrder();
+  std::vector<uint64_t> file_index(graph.vertex_count(), 0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    const auto& [id, count] = order[i];
+    file_index[id] = i;
+    const QueryFragment& fragment = graph.Fragment(id);
     *out << "V\t" << count << '\t'
          << FragmentContextToString(fragment.context) << '\t'
          << Escape(fragment.expression) << '\n';
   }
-  for (const auto& [a, b, count] : graph.CoOccurrenceRecords()) {
-    *out << "E\t" << count << '\t' << FragmentContextToString(a.context)
-         << '\t' << Escape(a.expression) << '\t'
-         << FragmentContextToString(b.context) << '\t'
-         << Escape(b.expression) << '\n';
+  std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> edges;
+  edges.reserve(graph.edge_count());
+  for (const auto& [a, b, count] : graph.EdgesById()) {
+    uint64_t fa = file_index[a];
+    uint64_t fb = file_index[b];
+    if (fb < fa) std::swap(fa, fb);
+    edges.emplace_back(fa, fb, count);
+  }
+  std::sort(edges.begin(), edges.end());
+  for (const auto& [fa, fb, count] : edges) {
+    *out << "E\t" << count << '\t' << fa << '\t' << fb << '\n';
   }
   if (!out->good()) return Status::IOError("stream write failed");
   return Status::OK();
@@ -126,13 +142,18 @@ Result<QueryFragmentGraph> LoadQfg(std::istream* in) {
     return Status::ParseError("empty QFG snapshot");
   }
   std::vector<std::string> header = Split(line, '\t');
-  if (header.size() != 4 || header[0] != "templar-qfg" || header[1] != "v1") {
+  if (header.size() != 4 || header[0] != "templar-qfg" ||
+      (header[1] != "v1" && header[1] != "v2")) {
     return Status::ParseError("bad QFG snapshot header: " + line);
   }
+  const bool v1 = header[1] == "v1";
   TEMPLAR_ASSIGN_OR_RETURN(ObscurityLevel level, LevelFromString(header[2]));
   QueryFragmentGraph graph(level);
   TEMPLAR_ASSIGN_OR_RETURN(uint64_t query_count, CountFromString(header[3]));
   graph.set_query_count(query_count);
+
+  // v2: ids assigned to V records in file order; E records index into this.
+  std::vector<FragmentId> restored_ids;
 
   size_t line_no = 1;
   while (std::getline(*in, line)) {
@@ -149,8 +170,9 @@ Result<QueryFragmentGraph> LoadQfg(std::istream* in) {
                                ContextFromString(fields[2]));
       TEMPLAR_ASSIGN_OR_RETURN(std::string expr, Unescape(fields[3]));
       TEMPLAR_ASSIGN_OR_RETURN(uint64_t count, CountFromString(fields[1]));
-      graph.RestoreVertex(QueryFragment{ctx, std::move(expr)}, count);
-    } else if (fields[0] == "E") {
+      restored_ids.push_back(
+          graph.RestoreVertex(QueryFragment{ctx, std::move(expr)}, count));
+    } else if (fields[0] == "E" && v1) {
       if (fields.size() != 6) return err("E record needs 6 fields");
       TEMPLAR_ASSIGN_OR_RETURN(FragmentContext ca,
                                ContextFromString(fields[2]));
@@ -162,6 +184,17 @@ Result<QueryFragmentGraph> LoadQfg(std::istream* in) {
       TEMPLAR_RETURN_NOT_OK(graph.RestoreEdge(QueryFragment{ca, std::move(ea)},
                                               QueryFragment{cb, std::move(eb)},
                                               count));
+    } else if (fields[0] == "E") {
+      if (fields.size() != 4) return err("E record needs 4 fields");
+      TEMPLAR_ASSIGN_OR_RETURN(uint64_t count, CountFromString(fields[1]));
+      TEMPLAR_ASSIGN_OR_RETURN(uint64_t fa, CountFromString(fields[2]));
+      TEMPLAR_ASSIGN_OR_RETURN(uint64_t fb, CountFromString(fields[3]));
+      if (fa >= restored_ids.size() || fb >= restored_ids.size()) {
+        return err("E record references vertex index past the V section");
+      }
+      Status st =
+          graph.RestoreEdgeById(restored_ids[fa], restored_ids[fb], count);
+      if (!st.ok()) return err(st.message());
     } else {
       return err("unknown record type '" + fields[0] + "'");
     }

@@ -7,11 +7,22 @@
 /// Production query logs run to millions of statements; re-parsing them on
 /// every process start is wasteful. These helpers snapshot a built QFG to a
 /// line-oriented text format and restore it without touching the original
-/// log. Format (one record per line, tab-separated, '%'-escaped fields):
+/// log. The v2 format serializes the intern table directly: the V section
+/// lists every fragment once in canonical order (count desc, key asc), and
+/// edges reference fragments by their 0-based *position in that section* —
+/// so a restore interns each fragment string exactly once and rebuilds every
+/// edge with two integer parses, no per-edge string hashing. Format (one
+/// record per line, tab-separated, '%'-escaped fields):
 ///
-///   templar-qfg v1 <level> <query_count>
+///   templar-qfg v2 <level> <query_count>
 ///   V <count> <context> <expression>
-///   E <count> <context1> <expression1> <context2> <expression2>
+///   E <count> <vertex_index_a> <vertex_index_b>
+///
+/// The v1 format (edges repeat both endpoint fragments verbatim) is still
+/// read for old checkpoints; SaveQfg always writes v2. FragmentIds are NOT
+/// stored: ids are process-local and a restored graph assigns fresh ones in
+/// file order — all observables (counts, Dice, fingerprints) are preserved
+/// because they derive from the fragment text, not the id value.
 
 #include <iosfwd>
 #include <string>
@@ -21,15 +32,16 @@
 
 namespace templar::qfg {
 
-/// \brief Writes `graph` to `out` in the v1 text format.
+/// \brief Writes `graph` to `out` in the v2 text format.
 Status SaveQfg(const QueryFragmentGraph& graph, std::ostream* out);
 
 /// \brief Writes `graph` to a file; overwrites.
 Status SaveQfgToFile(const QueryFragmentGraph& graph,
                      const std::string& path);
 
-/// \brief Reads a graph previously written by SaveQfg. ParseError on any
-/// malformed record; the obscurity level is restored from the header.
+/// \brief Reads a graph previously written by SaveQfg (v2 or legacy v1).
+/// ParseError on any malformed record; the obscurity level is restored from
+/// the header.
 Result<QueryFragmentGraph> LoadQfg(std::istream* in);
 
 /// \brief Reads a graph from a file.

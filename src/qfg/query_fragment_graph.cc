@@ -1,32 +1,56 @@
 #include "qfg/query_fragment_graph.h"
 
 #include <algorithm>
+#include <tuple>
 
 #include "sql/parser.h"
 
 namespace templar::qfg {
 
-std::string QueryFragmentGraph::PairKey(const std::string& ka,
-                                        const std::string& kb) {
-  return ka <= kb ? ka + "\x1e" + kb : kb + "\x1e" + ka;
+QueryFragmentGraph::QueryFragmentGraph(QueryFragmentGraph&& other) noexcept
+    : level_(other.level_),
+      query_count_(other.query_count_),
+      interner_(std::move(other.interner_)),
+      n_v_(std::move(other.n_v_)),
+      n_e_(std::move(other.n_e_)) {
+  // The adjacency cache is rebuilt on demand; the mutex is not movable.
 }
 
-void QueryFragmentGraph::AddQuery(const sql::SelectQuery& query) {
+QueryFragmentGraph& QueryFragmentGraph::operator=(
+    QueryFragmentGraph&& other) noexcept {
+  if (this == &other) return *this;
+  level_ = other.level_;
+  query_count_ = other.query_count_;
+  interner_ = std::move(other.interner_);
+  n_v_ = std::move(other.n_v_);
+  n_e_ = std::move(other.n_e_);
+  adjacency_valid_ = false;
+  adj_offsets_.clear();
+  adjacency_.clear();
+  return *this;
+}
+
+std::vector<FragmentId> QueryFragmentGraph::AddQueryIds(
+    const sql::SelectQuery& query) {
   std::vector<QueryFragment> frags = ExtractFragments(query, level_);
   ++query_count_;
-  std::vector<std::string> keys;
-  keys.reserve(frags.size());
+  adjacency_valid_ = false;
+  std::vector<FragmentId> ids;
+  ids.reserve(frags.size());
   for (const auto& f : frags) {
-    std::string key = f.Key();
-    occurrences_[key]++;
-    fragments_.emplace(key, f);
-    keys.push_back(std::move(key));
+    // Fragments extracted at level_ are already normalized.
+    FragmentId id = interner_.Intern(f);
+    if (id >= n_v_.size()) n_v_.resize(id + 1, 0);
+    ++n_v_[id];
+    ids.push_back(id);
   }
-  for (size_t i = 0; i < keys.size(); ++i) {
-    for (size_t j = i + 1; j < keys.size(); ++j) {
-      co_occurrences_[PairKey(keys[i], keys[j])]++;
+  // ExtractFragments deduplicates within the query, so all ids are distinct.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      ++n_e_[EdgeKey(ids[i], ids[j])];
     }
   }
+  return ids;
 }
 
 Status QueryFragmentGraph::AddQuerySql(const std::string& sql_text) {
@@ -54,20 +78,26 @@ QueryFragment QueryFragmentGraph::Normalized(const QueryFragment& c) const {
   return Normalize(c, level_);
 }
 
-uint64_t QueryFragmentGraph::Occurrences(const QueryFragment& c) const {
-  auto it = occurrences_.find(Normalize(c, level_).Key());
-  return it == occurrences_.end() ? 0 : it->second;
+ResolvedFragment QueryFragmentGraph::Resolve(const QueryFragment& c) const {
+  ResolvedFragment out;
+  out.key = Normalize(c, level_).Key();
+  out.id = interner_.Find(out.key);
+  out.fingerprint = out.seen() ? interner_.Fingerprint(out.id)
+                               : FingerprintFragmentKey(out.key);
+  return out;
 }
 
-uint64_t QueryFragmentGraph::CoOccurrences(const QueryFragment& a,
-                                           const QueryFragment& b) const {
-  auto it = co_occurrences_.find(
-      PairKey(Normalize(a, level_).Key(), Normalize(b, level_).Key()));
-  return it == co_occurrences_.end() ? 0 : it->second;
+FragmentId QueryFragmentGraph::NormalizeToId(const QueryFragment& c) const {
+  return interner_.Find(Normalize(c, level_).Key());
 }
 
-double QueryFragmentGraph::Dice(const QueryFragment& a,
-                                const QueryFragment& b) const {
+uint64_t QueryFragmentGraph::CoOccurrences(FragmentId a, FragmentId b) const {
+  if (a == kInvalidFragmentId || b == kInvalidFragmentId || a == b) return 0;
+  auto it = n_e_.find(EdgeKey(a, b));
+  return it == n_e_.end() ? 0 : it->second;
+}
+
+double QueryFragmentGraph::Dice(FragmentId a, FragmentId b) const {
   uint64_t na = Occurrences(a);
   uint64_t nb = Occurrences(b);
   if (na + nb == 0) return 0;
@@ -80,57 +110,151 @@ double QueryFragmentGraph::RelationDice(const std::string& rel_a,
   return Dice(RelationFragment(rel_a), RelationFragment(rel_b));
 }
 
-std::vector<std::tuple<QueryFragment, QueryFragment, uint64_t>>
-QueryFragmentGraph::CoOccurrenceRecords() const {
-  std::vector<std::tuple<QueryFragment, QueryFragment, uint64_t>> out;
-  out.reserve(co_occurrences_.size());
-  for (const auto& [pair_key, count] : co_occurrences_) {
-    auto sep = pair_key.find('\x1e');
-    if (sep == std::string::npos) continue;
-    auto a = fragments_.find(pair_key.substr(0, sep));
-    auto b = fragments_.find(pair_key.substr(sep + 1));
-    if (a == fragments_.end() || b == fragments_.end()) continue;
-    out.emplace_back(a->second, b->second, count);
+void QueryFragmentGraph::EnsureAdjacency() const {
+  if (adjacency_valid_) return;
+  const size_t n = interner_.size();
+  std::vector<size_t> degree(n, 0);
+  for (const auto& [packed, count] : n_e_) {
+    (void)count;
+    ++degree[static_cast<FragmentId>(packed >> 32)];
+    ++degree[static_cast<FragmentId>(packed & 0xFFFFFFFFu)];
   }
-  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
-    if (std::get<0>(x).Key() != std::get<0>(y).Key()) {
-      return std::get<0>(x).Key() < std::get<0>(y).Key();
-    }
-    return std::get<1>(x).Key() < std::get<1>(y).Key();
+  adj_offsets_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    adj_offsets_[v + 1] = adj_offsets_[v] + degree[v];
+  }
+  adjacency_.assign(adj_offsets_[n], {0, 0});
+  std::vector<size_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (const auto& [packed, count] : n_e_) {
+    const FragmentId lo = static_cast<FragmentId>(packed >> 32);
+    const FragmentId hi = static_cast<FragmentId>(packed & 0xFFFFFFFFu);
+    adjacency_[cursor[lo]++] = {hi, count};
+    adjacency_[cursor[hi]++] = {lo, count};
+  }
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(adjacency_.begin() + adj_offsets_[v],
+              adjacency_.begin() + adj_offsets_[v + 1]);
+  }
+  adjacency_valid_ = true;
+}
+
+std::pair<const std::pair<FragmentId, uint64_t>*,
+          const std::pair<FragmentId, uint64_t>*>
+QueryFragmentGraph::Neighbors(FragmentId id) const {
+  std::lock_guard<std::mutex> lock(adjacency_mutex_);
+  EnsureAdjacency();
+  if (id >= interner_.size()) return {nullptr, nullptr};
+  const auto* base = adjacency_.data();
+  return {base + adj_offsets_[id], base + adj_offsets_[id + 1]};
+}
+
+std::vector<std::pair<FragmentId, uint64_t>>
+QueryFragmentGraph::CanonicalVertexOrder() const {
+  std::vector<std::pair<FragmentId, uint64_t>> out;
+  out.reserve(interner_.size());
+  for (FragmentId id = 0; id < interner_.size(); ++id) {
+    out.emplace_back(id, Occurrences(id));
+  }
+  std::sort(out.begin(), out.end(), [this](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return interner_.Key(a.first) < interner_.Key(b.first);
   });
   return out;
 }
 
-void QueryFragmentGraph::RestoreVertex(const QueryFragment& fragment,
-                                       uint64_t count) {
-  std::string key = fragment.Key();
-  occurrences_[key] = count;
-  fragments_.emplace(std::move(key), fragment);
+std::vector<std::tuple<FragmentId, FragmentId, uint64_t>>
+QueryFragmentGraph::EdgesById() const {
+  std::vector<std::tuple<FragmentId, FragmentId, uint64_t>> out;
+  out.reserve(n_e_.size());
+  for (const auto& [packed, count] : n_e_) {
+    out.emplace_back(static_cast<FragmentId>(packed >> 32),
+                     static_cast<FragmentId>(packed & 0xFFFFFFFFu), count);
+  }
+  return out;
+}
+
+std::vector<std::tuple<QueryFragment, QueryFragment, uint64_t>>
+QueryFragmentGraph::CoOccurrenceRecords() const {
+  std::vector<std::tuple<QueryFragment, QueryFragment, uint64_t>> out;
+  out.reserve(n_e_.size());
+  // Endpoints in key order within each record; records sorted by key pair.
+  // Interner keys are pre-materialized, so the sort does no string builds,
+  // and the ids ride along so emission is pure indexing.
+  struct KeyedEdge {
+    const std::string* ka;
+    const std::string* kb;
+    FragmentId a;
+    FragmentId b;
+    uint64_t count;
+  };
+  std::vector<KeyedEdge> keyed;
+  keyed.reserve(n_e_.size());
+  for (const auto& [packed, count] : n_e_) {
+    KeyedEdge edge{nullptr, nullptr, static_cast<FragmentId>(packed >> 32),
+                   static_cast<FragmentId>(packed & 0xFFFFFFFFu), count};
+    edge.ka = &interner_.Key(edge.a);
+    edge.kb = &interner_.Key(edge.b);
+    if (*edge.kb < *edge.ka) {
+      std::swap(edge.ka, edge.kb);
+      std::swap(edge.a, edge.b);
+    }
+    keyed.push_back(edge);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const KeyedEdge& x, const KeyedEdge& y) {
+              if (*x.ka != *y.ka) return *x.ka < *y.ka;
+              return *x.kb < *y.kb;
+            });
+  for (const KeyedEdge& edge : keyed) {
+    out.emplace_back(interner_.Fragment(edge.a), interner_.Fragment(edge.b),
+                     edge.count);
+  }
+  return out;
+}
+
+FragmentId QueryFragmentGraph::RestoreVertex(const QueryFragment& fragment,
+                                             uint64_t count) {
+  adjacency_valid_ = false;
+  FragmentId id = interner_.Intern(fragment);
+  if (id >= n_v_.size()) n_v_.resize(id + 1, 0);
+  n_v_[id] = count;
+  return id;
 }
 
 Status QueryFragmentGraph::RestoreEdge(const QueryFragment& a,
                                        const QueryFragment& b,
                                        uint64_t count) {
-  if (!occurrences_.count(a.Key()) || !occurrences_.count(b.Key())) {
+  FragmentId ia = interner_.Find(a.Key());
+  FragmentId ib = interner_.Find(b.Key());
+  if (ia == kInvalidFragmentId || ib == kInvalidFragmentId) {
     return Status::InvalidArgument(
         "RestoreEdge endpoints must be restored first: " + a.ToString() +
         " / " + b.ToString());
   }
-  co_occurrences_[PairKey(a.Key(), b.Key())] = count;
+  return RestoreEdgeById(ia, ib, count);
+}
+
+Status QueryFragmentGraph::RestoreEdgeById(FragmentId a, FragmentId b,
+                                           uint64_t count) {
+  if (a >= interner_.size() || b >= interner_.size()) {
+    return Status::InvalidArgument("RestoreEdgeById: id out of range");
+  }
+  if (a == b) {
+    return Status::InvalidArgument("RestoreEdgeById: self-edge");
+  }
+  adjacency_valid_ = false;
+  n_e_[EdgeKey(a, b)] = count;
   return Status::OK();
 }
 
 std::vector<std::pair<QueryFragment, uint64_t>>
 QueryFragmentGraph::TopFragments(size_t limit) const {
   std::vector<std::pair<QueryFragment, uint64_t>> out;
-  out.reserve(occurrences_.size());
-  for (const auto& [key, count] : occurrences_) {
-    out.emplace_back(fragments_.at(key), count);
+  std::vector<std::pair<FragmentId, uint64_t>> order = CanonicalVertexOrder();
+  out.reserve(order.size());
+  for (const auto& [id, count] : order) {
+    out.emplace_back(interner_.Fragment(id), count);
   }
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first.Key() < b.first.Key();
-  });
   if (limit > 0 && out.size() > limit) out.resize(limit);
   return out;
 }

@@ -12,17 +12,49 @@
 ///
 /// is the co-occurrence evidence used both for configuration ranking
 /// (Sec. V-C2) and for log-driven join edge weights (Sec. VI-A2).
+///
+/// Representation: fragments are interned to dense FragmentIds exactly once,
+/// at AddQuery/Restore time (qfg/fragment_interner.h). n_v is a plain
+/// vector indexed by id; n_e is a hash map keyed by the packed
+/// (min_id << 32 | max_id) uint64; a per-vertex CSR-style sorted adjacency
+/// is built lazily for edge iteration. The string-keyed public API survives
+/// as thin shims over a single normalize+lookup, so callers that hold
+/// fragment text keep working; hot paths resolve each fragment to an id
+/// once (Resolve / NormalizeToId) and then score entirely id-to-id with no
+/// string construction or string hashing per comparison.
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "qfg/fragment.h"
+#include "qfg/fragment_interner.h"
 #include "sql/ast.h"
 
 namespace templar::qfg {
+
+/// \brief A fragment resolved against one graph: its id (invalid when the
+/// log never saw it), its cache fingerprint, and the normalized key the
+/// resolution went through. The key doubles as the identity fallback for
+/// unseen fragments (two unseen fragments are "the same" iff their
+/// normalized keys match — ids cannot express that).
+struct ResolvedFragment {
+  FragmentId id = kInvalidFragmentId;
+  FragmentFingerprint fingerprint = 0;
+  std::string key;
+
+  bool seen() const { return id != kInvalidFragmentId; }
+  /// \brief True when the two resolutions denote the same normalized
+  /// fragment of the same graph.
+  bool SameAs(const ResolvedFragment& other) const {
+    if (seen() || other.seen()) return id == other.id;
+    return key == other.key;
+  }
+};
 
 /// \brief Occurrence and co-occurrence counts over a SQL log at a fixed
 /// obscurity level.
@@ -31,23 +63,86 @@ class QueryFragmentGraph {
   explicit QueryFragmentGraph(ObscurityLevel level = ObscurityLevel::kNoConstOp)
       : level_(level) {}
 
+  QueryFragmentGraph(QueryFragmentGraph&& other) noexcept;
+  QueryFragmentGraph& operator=(QueryFragmentGraph&& other) noexcept;
+  QueryFragmentGraph(const QueryFragmentGraph&) = delete;
+  QueryFragmentGraph& operator=(const QueryFragmentGraph&) = delete;
+
   /// \brief Adds one log entry (already parsed). Fragments within a query
   /// are counted once each; every unordered pair of distinct fragments in
   /// the query increments an edge.
-  void AddQuery(const sql::SelectQuery& query);
+  void AddQuery(const sql::SelectQuery& query) { (void)AddQueryIds(query); }
+
+  /// \brief AddQuery returning the interned ids of the query's fragments —
+  /// lets ingestion layers build their fragment delta from the ids they
+  /// just applied (O(1) fingerprints, no second extraction).
+  std::vector<FragmentId> AddQueryIds(const sql::SelectQuery& query);
 
   /// \brief Parses `sql_text` and adds it. ParseError when malformed.
   Status AddQuerySql(const std::string& sql_text);
 
+  /// \name Id-native interface (hot paths)
+  ///@{
+
+  /// \brief Resolves `c` to this graph's id space: normalizes once, looks
+  /// the key up once, and carries the fingerprint (from the interner for
+  /// seen fragments, hashed fresh for unseen ones).
+  ResolvedFragment Resolve(const QueryFragment& c) const;
+
+  /// \brief Just the id of `c` after normalization; kInvalidFragmentId when
+  /// the log never saw it.
+  FragmentId NormalizeToId(const QueryFragment& c) const;
+
+  /// \brief n_v by id; 0 for kInvalidFragmentId.
+  uint64_t Occurrences(FragmentId id) const {
+    return id < n_v_.size() ? n_v_[id] : 0;
+  }
+
+  /// \brief n_e by id pair; 0 for any invalid id.
+  uint64_t CoOccurrences(FragmentId a, FragmentId b) const;
+
+  /// \brief Dice by id pair; 0 when either id is invalid/unseen.
+  double Dice(FragmentId a, FragmentId b) const;
+
+  /// \brief Fingerprint of an interned fragment (O(1); computed at intern
+  /// time). `id` must be valid.
+  FragmentFingerprint Fingerprint(FragmentId id) const {
+    return interner_.Fingerprint(id);
+  }
+
+  /// \brief The interned fragment. `id` must be valid.
+  const QueryFragment& Fragment(FragmentId id) const {
+    return interner_.Fragment(id);
+  }
+
+  const FragmentInterner& interner() const { return interner_; }
+
+  /// \brief Sorted co-occurrence neighbors of `id` as (neighbor, n_e)
+  /// pairs, from the lazily built CSR adjacency. The returned view is
+  /// invalidated by any mutation of the graph.
+  std::pair<const std::pair<FragmentId, uint64_t>*,
+            const std::pair<FragmentId, uint64_t>*>
+  Neighbors(FragmentId id) const;
+  ///@}
+
+  /// \name String-keyed interface (shims over one normalize+lookup each)
+  ///@{
+
   /// \brief n_v: number of log queries containing `c` (after obscuring `c`
   /// to this graph's level if it is a WHERE/HAVING fragment built at kFull).
-  uint64_t Occurrences(const QueryFragment& c) const;
+  uint64_t Occurrences(const QueryFragment& c) const {
+    return Occurrences(NormalizeToId(c));
+  }
 
   /// \brief n_e: number of log queries containing both fragments.
-  uint64_t CoOccurrences(const QueryFragment& a, const QueryFragment& b) const;
+  uint64_t CoOccurrences(const QueryFragment& a, const QueryFragment& b) const {
+    return CoOccurrences(NormalizeToId(a), NormalizeToId(b));
+  }
 
   /// \brief Dice coefficient in [0,1]; 0 when either fragment is unseen.
-  double Dice(const QueryFragment& a, const QueryFragment& b) const;
+  double Dice(const QueryFragment& a, const QueryFragment& b) const {
+    return Dice(NormalizeToId(a), NormalizeToId(b));
+  }
 
   /// \brief Dice between two relations' FROM fragments — the quantity behind
   /// the log-driven join weight w_L (Sec. VI-A2).
@@ -58,16 +153,26 @@ class QueryFragmentGraph {
   /// keys are indistinguishable to the log (e.g. two author.name predicates
   /// with different constants at NoConstOp).
   QueryFragment Normalized(const QueryFragment& c) const;
+  ///@}
 
   ObscurityLevel level() const { return level_; }
-  size_t vertex_count() const { return occurrences_.size(); }
-  size_t edge_count() const { return co_occurrences_.size(); }
+  size_t vertex_count() const { return interner_.size(); }
+  size_t edge_count() const { return n_e_.size(); }
   uint64_t query_count() const { return query_count_; }
 
   /// \brief All fragments with their counts, sorted by descending count then
   /// key (for diagnostics and the log_explorer example).
   std::vector<std::pair<QueryFragment, uint64_t>> TopFragments(
       size_t limit = 0) const;
+
+  /// \brief Vertex ids with counts in the same canonical order as
+  /// TopFragments (count desc, key asc) — the snapshot intern-table order.
+  std::vector<std::pair<FragmentId, uint64_t>> CanonicalVertexOrder() const;
+
+  /// \brief Every co-occurrence edge as (id, id, n_e), unordered. Cheap raw
+  /// access for serialization and benches; pair endpoints satisfy
+  /// first < second (by id).
+  std::vector<std::tuple<FragmentId, FragmentId, uint64_t>> EdgesById() const;
 
   /// \brief Every co-occurrence edge as (fragment, fragment, n_e), in
   /// deterministic key order. Used by snapshot serialization (qfg_io.h).
@@ -78,20 +183,40 @@ class QueryFragmentGraph {
   /// Rebuild a graph from serialized records without re-parsing a log.
   /// RestoreEdge requires both endpoints to have been restored first.
   ///@{
-  void RestoreVertex(const QueryFragment& fragment, uint64_t count);
+  FragmentId RestoreVertex(const QueryFragment& fragment, uint64_t count);
   Status RestoreEdge(const QueryFragment& a, const QueryFragment& b,
                      uint64_t count);
+  /// \brief Id-native restore for v2 snapshots: both ids must come from
+  /// RestoreVertex on this graph.
+  Status RestoreEdgeById(FragmentId a, FragmentId b, uint64_t count);
   void set_query_count(uint64_t count) { query_count_ = count; }
   ///@}
 
  private:
-  static std::string PairKey(const std::string& ka, const std::string& kb);
+  /// Packs an unordered id pair into the n_e_ key: (min << 32) | max.
+  static uint64_t EdgeKey(FragmentId a, FragmentId b) {
+    return a < b ? (static_cast<uint64_t>(a) << 32) | b
+                 : (static_cast<uint64_t>(b) << 32) | a;
+  }
+
+  /// Rebuilds the CSR adjacency if a mutation invalidated it. Thread-safe
+  /// among concurrent readers (the serving layer calls const methods under
+  /// a shared lock); mutations require exclusive access per the service
+  /// locking protocol and merely flip the dirty flag.
+  void EnsureAdjacency() const;
 
   ObscurityLevel level_;
   uint64_t query_count_ = 0;
-  std::unordered_map<std::string, uint64_t> occurrences_;      // Key -> n_v
-  std::unordered_map<std::string, uint64_t> co_occurrences_;   // PairKey -> n_e
-  std::unordered_map<std::string, QueryFragment> fragments_;   // Key -> frag
+  FragmentInterner interner_;
+  std::vector<uint64_t> n_v_;                    // Indexed by FragmentId.
+  std::unordered_map<uint64_t, uint64_t> n_e_;   // EdgeKey -> count.
+
+  /// Lazily built CSR adjacency: adjacency_[adj_offsets_[v] ..
+  /// adj_offsets_[v+1]) are v's (neighbor, count) pairs sorted by neighbor.
+  mutable std::mutex adjacency_mutex_;
+  mutable bool adjacency_valid_ = false;
+  mutable std::vector<size_t> adj_offsets_;
+  mutable std::vector<std::pair<FragmentId, uint64_t>> adjacency_;
 };
 
 }  // namespace templar::qfg

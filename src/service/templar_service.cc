@@ -208,25 +208,24 @@ Result<std::vector<graph::JoinPath>> ServiceCore::InferJoins(
 
 AppendOutcome ServiceCore::AppendLogQueries(
     const std::vector<std::string>& sql_entries) {
-  // Parse — and extract the fragment delta — outside any lock: both dominate
-  // ingestion cost and must not block readers. The delta is computed at the
-  // QFG's obscurity level (immutable after Create) so its keys line up with
-  // the normalized footprints recorded at cache-fill time.
-  const qfg::ObscurityLevel level = templar_->query_fragment_graph().level();
+  // Parse outside any lock: parsing dominates ingestion cost and must not
+  // block readers. The fragment delta is built *inside* the writer section,
+  // from the interned ids each AddQuery returns — the interner already
+  // computed every fingerprint, so the delta costs O(fragments) integer
+  // appends and the batch's fragments are extracted exactly once (the seed
+  // implementation extracted them twice: once for the delta, once to
+  // apply).
   std::vector<sql::SelectQuery> parsed;
   parsed.reserve(sql_entries.size());
-  qfg::FragmentDelta delta;
   size_t skipped = 0;
   for (const auto& entry : sql_entries) {
     auto query = sql::Parse(entry);
     if (query.ok()) {
-      delta.AddQuery(*query, level);
       parsed.push_back(std::move(*query));
     } else {
       ++skipped;
     }
   }
-  delta.Seal();
 
   AppendOutcome outcome;
   outcome.skipped = skipped;
@@ -242,7 +241,15 @@ AppendOutcome ServiceCore::AppendLogQueries(
 
   {
     std::unique_lock<std::shared_mutex> lock(qfg_mutex_);
-    for (const auto& query : parsed) templar_->AppendLogQuery(query);
+    qfg::FragmentDelta delta;
+    const qfg::QueryFragmentGraph& graph = templar_->query_fragment_graph();
+    for (const auto& query : parsed) {
+      for (qfg::FragmentId id : templar_->AppendLogQuery(query)) {
+        delta.AddFingerprint(graph.Fingerprint(id));
+      }
+      delta.MarkQueryApplied();
+    }
+    delta.Seal();
     // Bump inside the exclusive section: readers acquiring the shared lock
     // afterwards observe both the new counts and the new epoch.
     outcome.epoch =

@@ -1,11 +1,16 @@
-// Unit tests for common/: Status, Result, string utilities, Rng.
+// Unit tests for common/: Status, Result, string utilities, sorted
+// intersection, Rng.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/sorted_intersect.h"
 #include "common/status.h"
 #include "common/string_util.h"
 
@@ -160,6 +165,59 @@ INSTANTIATE_TEST_SUITE_P(
                       EditDistanceCase{"kitten", "sitting", 3},
                       EditDistanceCase{"paper", "papers", 1},
                       EditDistanceCase{"journal", "journey", 2}));
+
+// ---------------------------------------------------------------------------
+// SortedRangesIntersect (merge walk + galloping path for skewed sizes)
+
+TEST(SortedIntersectTest, BasicsAndEmpties) {
+  std::vector<uint64_t> empty;
+  std::vector<uint64_t> some = {1, 5, 9};
+  EXPECT_FALSE(SortedRangesIntersect(empty, empty));
+  EXPECT_FALSE(SortedRangesIntersect(empty, some));
+  EXPECT_FALSE(SortedRangesIntersect(some, empty));
+  EXPECT_TRUE(SortedRangesIntersect(some, some));
+  EXPECT_TRUE(SortedRangesIntersect(some, std::vector<uint64_t>{9}));
+  EXPECT_FALSE(SortedRangesIntersect(some, std::vector<uint64_t>{2, 4, 8}));
+}
+
+TEST(SortedIntersectTest, GallopingPathSkewedSizes) {
+  // Large side well past kGallopSkewRatio x the small side, hitting first,
+  // middle, last, and no element.
+  std::vector<uint64_t> large;
+  for (uint64_t i = 0; i < 1000; ++i) large.push_back(i * 3);  // 0,3,...,2997
+  EXPECT_TRUE(SortedRangesIntersect(std::vector<uint64_t>{0}, large));
+  EXPECT_TRUE(SortedRangesIntersect(std::vector<uint64_t>{1500}, large));
+  EXPECT_TRUE(SortedRangesIntersect(std::vector<uint64_t>{2997}, large));
+  EXPECT_FALSE(SortedRangesIntersect(std::vector<uint64_t>{1, 2998}, large));
+  EXPECT_FALSE(SortedRangesIntersect(std::vector<uint64_t>{5000}, large));
+  // Symmetric: small side second.
+  EXPECT_TRUE(SortedRangesIntersect(large, std::vector<uint64_t>{1500}));
+  EXPECT_FALSE(SortedRangesIntersect(large, std::vector<uint64_t>{1}));
+}
+
+TEST(SortedIntersectTest, MatchesBruteForceOnRandomSets) {
+  // Property check across the size-skew boundary: both code paths must agree
+  // with the quadratic reference on random sorted-deduplicated sets.
+  Rng rng(20260727);
+  for (int round = 0; round < 200; ++round) {
+    const size_t na = static_cast<size_t>(rng.NextInt(0, 12));
+    const size_t nb = static_cast<size_t>(rng.NextInt(0, 200));
+    std::set<uint64_t> sa;
+    std::set<uint64_t> sb;
+    for (size_t i = 0; i < na; ++i) {
+      sa.insert(static_cast<uint64_t>(rng.NextInt(0, 300)));
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      sb.insert(static_cast<uint64_t>(rng.NextInt(0, 300)));
+    }
+    std::vector<uint64_t> a(sa.begin(), sa.end());
+    std::vector<uint64_t> b(sb.begin(), sb.end());
+    bool expected = false;
+    for (uint64_t x : a) expected = expected || sb.count(x) > 0;
+    EXPECT_EQ(SortedRangesIntersect(a, b), expected);
+    EXPECT_EQ(SortedRangesIntersect(b, a), expected);
+  }
+}
 
 TEST(Fnv1aTest, StableAndSensitive) {
   EXPECT_EQ(Fnv1aHash("publication"), Fnv1aHash("publication"));

@@ -1,0 +1,243 @@
+// Differential tests for the interned-id QFG refactor: the dense-id
+// QueryFragmentGraph and the id-native scoring path must be observationally
+// identical — counts, Dice, configuration rankings, footprints — to the
+// seed's string-keyed implementation, across the MAS/IMDB/Yelp workloads
+// and across online AppendLogQueries batches.
+//
+// The reference here is a deliberate re-implementation of the seed's
+// string-keyed graph (Key()-keyed hash maps, "\x1e"-joined pair keys), kept
+// in this test so the contract outlives the migration shims.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/templar.h"
+#include "datasets/dataset.h"
+#include "qfg/fragment.h"
+#include "qfg/query_fragment_graph.h"
+#include "sql/parser.h"
+
+namespace templar {
+namespace {
+
+/// The seed PR-1 string-keyed QFG, verbatim semantics: every lookup
+/// normalizes, materializes Key() strings, and probes string-hash maps.
+class ReferenceStringQfg {
+ public:
+  explicit ReferenceStringQfg(qfg::ObscurityLevel level) : level_(level) {}
+
+  void AddQuery(const sql::SelectQuery& query) {
+    std::vector<qfg::QueryFragment> frags =
+        qfg::ExtractFragments(query, level_);
+    ++query_count_;
+    std::vector<std::string> keys;
+    keys.reserve(frags.size());
+    for (const auto& f : frags) {
+      std::string key = f.Key();
+      occurrences_[key]++;
+      keys.push_back(std::move(key));
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
+      for (size_t j = i + 1; j < keys.size(); ++j) {
+        co_occurrences_[PairKey(keys[i], keys[j])]++;
+      }
+    }
+  }
+
+  uint64_t Occurrences(const qfg::QueryFragment& c) const {
+    auto it = occurrences_.find(NormalizedKey(c));
+    return it == occurrences_.end() ? 0 : it->second;
+  }
+
+  uint64_t CoOccurrences(const qfg::QueryFragment& a,
+                         const qfg::QueryFragment& b) const {
+    auto it =
+        co_occurrences_.find(PairKey(NormalizedKey(a), NormalizedKey(b)));
+    return it == co_occurrences_.end() ? 0 : it->second;
+  }
+
+  double Dice(const qfg::QueryFragment& a, const qfg::QueryFragment& b) const {
+    uint64_t na = Occurrences(a);
+    uint64_t nb = Occurrences(b);
+    if (na + nb == 0) return 0;
+    uint64_t ne = CoOccurrences(a, b);
+    return 2.0 * static_cast<double>(ne) / static_cast<double>(na + nb);
+  }
+
+  std::string NormalizedKey(const qfg::QueryFragment& c) const {
+    if (level_ == qfg::ObscurityLevel::kFull ||
+        c.context != qfg::FragmentContext::kWhere) {
+      return c.Key();
+    }
+    auto parsed = sql::ParsePredicate(c.expression);
+    if (!parsed.ok()) return c.Key();
+    return qfg::WhereFragment(*parsed, level_).Key();
+  }
+
+  uint64_t query_count() const { return query_count_; }
+  size_t vertex_count() const { return occurrences_.size(); }
+  size_t edge_count() const { return co_occurrences_.size(); }
+
+ private:
+  static std::string PairKey(const std::string& ka, const std::string& kb) {
+    return ka <= kb ? ka + "\x1e" + kb : kb + "\x1e" + ka;
+  }
+
+  qfg::ObscurityLevel level_;
+  uint64_t query_count_ = 0;
+  std::unordered_map<std::string, uint64_t> occurrences_;
+  std::unordered_map<std::string, uint64_t> co_occurrences_;
+};
+
+/// All distinct fragments the workload can ask the graph about: the
+/// fragments of every log entry plus every benchmark item's gold fragments.
+std::vector<qfg::QueryFragment> ProbeFragments(
+    const datasets::Dataset& dataset, qfg::ObscurityLevel level) {
+  std::vector<qfg::QueryFragment> out;
+  auto add_query = [&](const sql::SelectQuery& q) {
+    for (auto& f : qfg::ExtractFragments(q, level)) out.push_back(f);
+  };
+  for (const auto& entry : dataset.extra_log) {
+    auto q = sql::Parse(entry);
+    if (q.ok()) add_query(*q);
+  }
+  for (const auto& item : dataset.benchmark) add_query(item.gold_sql);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void ExpectGraphsAgree(const qfg::QueryFragmentGraph& graph,
+                       const ReferenceStringQfg& reference,
+                       const std::vector<qfg::QueryFragment>& probes,
+                       const std::string& label) {
+  ASSERT_EQ(graph.query_count(), reference.query_count()) << label;
+  ASSERT_EQ(graph.vertex_count(), reference.vertex_count()) << label;
+  ASSERT_EQ(graph.edge_count(), reference.edge_count()) << label;
+  for (const auto& probe : probes) {
+    EXPECT_EQ(graph.Occurrences(probe), reference.Occurrences(probe))
+        << label << ": " << probe.ToString();
+  }
+  // Pairwise Dice over a bounded window of probes (full quadratic across
+  // hundreds of fragments would dominate test time without adding power —
+  // the window still crosses contexts and co-occurrence structure).
+  const size_t window = std::min<size_t>(probes.size(), 60);
+  for (size_t i = 0; i < window; ++i) {
+    for (size_t j = i + 1; j < window; ++j) {
+      EXPECT_EQ(graph.Dice(probes[i], probes[j]),
+                reference.Dice(probes[i], probes[j]))
+          << label << ": Dice(" << probes[i].ToString() << ", "
+          << probes[j].ToString() << ")";
+    }
+  }
+}
+
+class QfgDifferentialTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(QfgDifferentialTest, IdGraphMatchesStringReferenceAcrossAppends) {
+  auto dataset = datasets::BuildByName(GetParam());
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  const qfg::ObscurityLevel level = qfg::ObscurityLevel::kNoConstOp;
+
+  // Split the log: the first 70% builds both graphs, the rest arrives in
+  // online append batches.
+  std::vector<sql::SelectQuery> parsed;
+  for (const auto& entry : dataset->extra_log) {
+    auto q = sql::Parse(entry);
+    if (q.ok()) parsed.push_back(std::move(*q));
+  }
+  ASSERT_GT(parsed.size(), 10u);
+  const size_t initial = parsed.size() * 7 / 10;
+
+  qfg::QueryFragmentGraph graph(level);
+  ReferenceStringQfg reference(level);
+  for (size_t i = 0; i < initial; ++i) {
+    graph.AddQuery(parsed[i]);
+    reference.AddQuery(parsed[i]);
+  }
+
+  std::vector<qfg::QueryFragment> probes = ProbeFragments(*dataset, level);
+  ExpectGraphsAgree(graph, reference, probes, std::string(GetParam()) +
+                                                  "/initial");
+
+  // Append the tail in small batches, re-checking agreement after each.
+  size_t pos = initial;
+  int batch_no = 0;
+  while (pos < parsed.size()) {
+    const size_t batch_end = std::min(parsed.size(), pos + 7);
+    for (; pos < batch_end; ++pos) {
+      graph.AddQuery(parsed[pos]);
+      reference.AddQuery(parsed[pos]);
+    }
+    ExpectGraphsAgree(graph, reference, probes,
+                      std::string(GetParam()) + "/append-batch-" +
+                          std::to_string(batch_no++));
+  }
+}
+
+TEST_P(QfgDifferentialTest, RankingsMatchStringScoringPath) {
+  auto dataset = datasets::BuildByName(GetParam());
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  auto templar = core::Templar::Build(dataset->database.get(),
+                                      dataset->lexicon.get(),
+                                      dataset->extra_log);
+  ASSERT_TRUE(templar.ok()) << templar.status().ToString();
+  const qfg::QueryFragmentGraph& graph = (*templar)->query_fragment_graph();
+
+  auto check_rankings = [&](const std::string& label) {
+    size_t checked = 0;
+    for (const auto& item : dataset->benchmark) {
+      if (checked >= 25) break;  // Bounded: full sets run in the eval bench.
+      qfg::QfgFootprint footprint;
+      auto configs = (*templar)->MapKeywords(item.gold_parse, &footprint);
+      if (!configs.ok()) continue;
+      ++checked;
+      const std::vector<qfg::FragmentFingerprint> fingerprints =
+          footprint.Fingerprints();
+      double previous_score = 1e300;
+      for (const auto& config : *configs) {
+        // The id-native score each ranking was ordered by must equal the
+        // seed's string-shim QfgScore bit-for-bit.
+        EXPECT_EQ(config.qfg_score,
+                  core::KeywordMapper::QfgScore(config, graph))
+            << label << ": " << item.nlq;
+        EXPECT_LE(config.score, previous_score) << label;
+        previous_score = config.score;
+        // And the footprint must cover every non-FROM fragment the
+        // configuration scored — recorded as interner fingerprints.
+        for (const auto& mapping : config.mappings) {
+          const qfg::QueryFragment& fragment = mapping.candidate.fragment;
+          if (fragment.context == qfg::FragmentContext::kFrom) continue;
+          qfg::ResolvedFragment resolved = graph.Resolve(fragment);
+          EXPECT_TRUE(std::binary_search(fingerprints.begin(),
+                                         fingerprints.end(),
+                                         resolved.fingerprint))
+              << label << ": footprint misses " << fragment.ToString();
+        }
+      }
+    }
+    EXPECT_GT(checked, 0u) << label;
+  };
+
+  check_rankings("cold");
+
+  // Online ingestion: fold the first 20 benchmark gold queries back into
+  // the log (shifting many counts), then re-verify the contract.
+  size_t appended = 0;
+  for (const auto& item : dataset->benchmark) {
+    if (appended >= 20) break;
+    (*templar)->AppendLogQuery(item.gold_sql);
+    ++appended;
+  }
+  check_rankings("post-append");
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, QfgDifferentialTest,
+                         ::testing::Values("mas", "imdb", "yelp"));
+
+}  // namespace
+}  // namespace templar

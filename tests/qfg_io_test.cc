@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <string>
 
 #include "qfg/qfg_io.h"
 #include "qfg/query_fragment_graph.h"
@@ -85,6 +87,126 @@ TEST(QfgIoTest, FileRoundTrip) {
   auto restored = LoadQfgFromFile(path);
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->vertex_count(), original.vertex_count());
+}
+
+TEST(QfgIoTest, WritesV2WithIndexedEdges) {
+  QueryFragmentGraph graph = SampleGraph();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveQfg(graph, &buffer).ok());
+  std::string text = buffer.str();
+  EXPECT_EQ(text.rfind("templar-qfg\tv2\tNoConstOp\t7\n", 0), 0u);
+  // v2 E records are "E <count> <idx> <idx>" — 4 tab-separated fields.
+  std::istringstream lines(text);
+  std::string line;
+  size_t v_records = 0;
+  size_t e_records = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("E\t", 0) == 0) {
+      ++e_records;
+      EXPECT_EQ(std::count(line.begin(), line.end(), '\t'), 3) << line;
+    } else if (line.rfind("V\t", 0) == 0) {
+      ++v_records;
+    }
+  }
+  EXPECT_EQ(v_records, graph.vertex_count());
+  EXPECT_EQ(e_records, graph.edge_count());
+}
+
+TEST(QfgIoTest, LoadsLegacyV1Snapshots) {
+  // A v1 snapshot (edges repeat endpoint fragments verbatim), as written by
+  // the pre-interner serializer. Must keep loading byte-compatibly.
+  std::stringstream v1(
+      "templar-qfg\tv1\tNoConstOp\t5\n"
+      "V\t5\tFROM\tpublication\n"
+      "V\t4\tSELECT\tpublication.title\n"
+      "V\t2\tWHERE\tpublication.year ?op ?val\n"
+      "E\t4\tFROM\tpublication\tSELECT\tpublication.title\n"
+      "E\t2\tSELECT\tpublication.title\tWHERE\tpublication.year ?op ?val\n");
+  auto graph = LoadQfg(&v1);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->query_count(), 5u);
+  EXPECT_EQ(graph->vertex_count(), 3u);
+  EXPECT_EQ(graph->edge_count(), 2u);
+  QueryFragment title{FragmentContext::kSelect, "publication.title"};
+  QueryFragment year{FragmentContext::kWhere, "publication.year ?op ?val"};
+  EXPECT_EQ(graph->Occurrences(title), 4u);
+  EXPECT_EQ(graph->CoOccurrences(title, year), 2u);
+  // Re-saving upgrades to v2 and round-trips.
+  std::stringstream upgraded;
+  ASSERT_TRUE(SaveQfg(*graph, &upgraded).ok());
+  EXPECT_EQ(upgraded.str().rfind("templar-qfg\tv2", 0), 0u);
+  auto reloaded = LoadQfg(&upgraded);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->CoOccurrences(title, year), 2u);
+}
+
+TEST(QfgIoTest, InternTableRoundTripPreservesObservablesNotIds) {
+  // Property-style differential: ids are process-local and may be permuted
+  // by a save/load cycle (the snapshot re-interns in canonical order, not
+  // first-seen order), but every id-derived observable — counts, Dice,
+  // footprint fingerprints — must be identical.
+  QueryFragmentGraph original(ObscurityLevel::kNoConstOp);
+  // Insertion order deliberately different from canonical (count desc, key
+  // asc) order: rare fragments first.
+  ASSERT_TRUE(original.AddQuerySql("SELECT j.name FROM journal j").ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(original
+                    .AddQuerySql("SELECT p.title FROM publication p WHERE "
+                                 "p.year > " +
+                                 std::to_string(1990 + i))
+                    .ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(original
+                    .AddQuerySql("SELECT p.title FROM journal j, "
+                                 "publication p WHERE j.name = 'TMC' AND "
+                                 "p.pid = j.pid")
+                    .ok());
+  }
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveQfg(original, &buffer).ok());
+  auto restored = LoadQfg(&buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  ASSERT_EQ(restored->vertex_count(), original.vertex_count());
+  ASSERT_EQ(restored->edge_count(), original.edge_count());
+
+  bool any_id_differs = false;
+  for (const auto& [fragment, count] : original.TopFragments()) {
+    FragmentId original_id = original.NormalizeToId(fragment);
+    FragmentId restored_id = restored->NormalizeToId(fragment);
+    ASSERT_NE(restored_id, kInvalidFragmentId) << fragment.ToString();
+    any_id_differs = any_id_differs || original_id != restored_id;
+    // Counts and fingerprints agree fragment-by-fragment even where the id
+    // values moved.
+    EXPECT_EQ(restored->Occurrences(restored_id), count);
+    EXPECT_EQ(restored->Fingerprint(restored_id),
+              original.Fingerprint(original_id));
+  }
+  EXPECT_TRUE(any_id_differs)
+      << "construction order was chosen so canonical order permutes ids; "
+         "if this fires the test lost its point";
+  for (const auto& [a, b, count] : original.CoOccurrenceRecords()) {
+    EXPECT_EQ(restored->CoOccurrences(a, b), count);
+    EXPECT_DOUBLE_EQ(restored->Dice(restored->NormalizeToId(a),
+                                    restored->NormalizeToId(b)),
+                     original.Dice(original.NormalizeToId(a),
+                                   original.NormalizeToId(b)));
+  }
+}
+
+TEST(QfgIoTest, RejectsV2EdgeIndexPastVertexSection) {
+  std::stringstream dangling(
+      "templar-qfg\tv2\tFull\t1\n"
+      "V\t1\tSELECT\ta.b\n"
+      "E\t1\t0\t1\n");
+  EXPECT_TRUE(LoadQfg(&dangling).status().IsParseError());
+  std::stringstream self_edge(
+      "templar-qfg\tv2\tFull\t1\n"
+      "V\t1\tSELECT\ta.b\n"
+      "E\t1\t0\t0\n");
+  EXPECT_TRUE(LoadQfg(&self_edge).status().IsParseError());
 }
 
 TEST(QfgIoTest, RejectsMalformedInput) {

@@ -7,6 +7,8 @@
 #include <algorithm>
 
 #include "qfg/fragment.h"
+#include "qfg/fragment_delta.h"
+#include "qfg/fragment_interner.h"
 #include "qfg/query_fragment_graph.h"
 #include "sql/parser.h"
 
@@ -246,6 +248,114 @@ TEST(QfgTest, MalformedLogEntryRejected) {
   QueryFragmentGraph graph;
   EXPECT_TRUE(graph.AddQuerySql("SELEC nope").IsParseError());
   EXPECT_EQ(graph.query_count(), 0u);
+}
+
+// --- FragmentInterner and the id-native interface --------------------------
+
+TEST(FragmentInternerTest, DenseIdsInternOnceAndCarryFingerprints) {
+  FragmentInterner interner;
+  QueryFragment a{FragmentContext::kSelect, "author.name"};
+  QueryFragment b{FragmentContext::kFrom, "author"};
+  FragmentId ia = interner.Intern(a);
+  FragmentId ib = interner.Intern(b);
+  EXPECT_EQ(ia, 0u);
+  EXPECT_EQ(ib, 1u);
+  EXPECT_EQ(interner.Intern(a), ia) << "re-intern returns the same id";
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.Fragment(ia), a);
+  EXPECT_EQ(interner.Key(ib), b.Key());
+  EXPECT_EQ(interner.Fingerprint(ia), FingerprintFragmentKey(a.Key()));
+  EXPECT_EQ(interner.Find(a.Key()), ia);
+  EXPECT_EQ(interner.Find("never interned"), kInvalidFragmentId);
+}
+
+TEST_F(Fig3Test, IdNativeCountsMatchStringShims) {
+  QueryFragment p_title{FragmentContext::kSelect, "publication.title"};
+  QueryFragment year_pred{FragmentContext::kWhere,
+                          "publication.year ?op ?val"};
+  FragmentId id_title = graph_.NormalizeToId(p_title);
+  FragmentId id_year = graph_.NormalizeToId(year_pred);
+  ASSERT_NE(id_title, kInvalidFragmentId);
+  ASSERT_NE(id_year, kInvalidFragmentId);
+  EXPECT_EQ(graph_.Occurrences(id_title), graph_.Occurrences(p_title));
+  EXPECT_EQ(graph_.CoOccurrences(id_title, id_year),
+            graph_.CoOccurrences(p_title, year_pred));
+  EXPECT_DOUBLE_EQ(graph_.Dice(id_title, id_year),
+                   graph_.Dice(p_title, year_pred));
+  // Unseen fragments resolve to the invalid id and score 0.
+  QueryFragment unseen{FragmentContext::kSelect, "author.name"};
+  EXPECT_EQ(graph_.NormalizeToId(unseen), kInvalidFragmentId);
+  EXPECT_EQ(graph_.Occurrences(kInvalidFragmentId), 0u);
+  EXPECT_DOUBLE_EQ(graph_.Dice(id_title, kInvalidFragmentId), 0.0);
+  EXPECT_DOUBLE_EQ(graph_.Dice(kInvalidFragmentId, kInvalidFragmentId), 0.0);
+}
+
+TEST_F(Fig3Test, ResolveNormalizesAndFingerprints) {
+  // A Full-level predicate resolves through the graph's obscurity level.
+  QueryFragment full_pred{FragmentContext::kWhere,
+                          "publication.year > 2003"};
+  ResolvedFragment r = graph_.Resolve(full_pred);
+  ASSERT_TRUE(r.seen());
+  EXPECT_EQ(r.key, "publication.year ?op ?val\x1fWHERE");
+  EXPECT_EQ(r.fingerprint, graph_.Fingerprint(r.id));
+  EXPECT_EQ(r.fingerprint, FingerprintFragmentKey(r.key));
+
+  // Two different constants resolve to the same id at NoConstOp.
+  QueryFragment other_const{FragmentContext::kWhere,
+                            "publication.year > 1999"};
+  ResolvedFragment r2 = graph_.Resolve(other_const);
+  EXPECT_EQ(r2.id, r.id);
+  EXPECT_TRUE(r.SameAs(r2));
+
+  // Unseen fragments: fingerprint still defined (hash of the key), and
+  // SameAs falls back to key equality.
+  ResolvedFragment u1 =
+      graph_.Resolve({FragmentContext::kWhere, "author.name = 'A'"});
+  ResolvedFragment u2 =
+      graph_.Resolve({FragmentContext::kWhere, "author.name = 'B'"});
+  EXPECT_FALSE(u1.seen());
+  EXPECT_TRUE(u1.SameAs(u2)) << "same fragment after obscuring";
+  EXPECT_EQ(u1.fingerprint, FingerprintFragmentKey(u1.key));
+  EXPECT_FALSE(u1.SameAs(r)) << "seen vs unseen are never the same";
+}
+
+TEST_F(Fig3Test, NeighborsExposeCoOccurrenceEdges) {
+  QueryFragment p_title{FragmentContext::kSelect, "publication.title"};
+  FragmentId id_title = graph_.NormalizeToId(p_title);
+  ASSERT_NE(id_title, kInvalidFragmentId);
+  auto [begin, end] = graph_.Neighbors(id_title);
+  ASSERT_NE(begin, nullptr);
+  // p.title co-occurs with: publication, journal, year-pred, jname-pred.
+  EXPECT_EQ(static_cast<size_t>(end - begin), 4u);
+  EXPECT_TRUE(std::is_sorted(begin, end));
+  uint64_t via_neighbors = 0;
+  FragmentId id_year = graph_.NormalizeToId(
+      {FragmentContext::kWhere, "publication.year ?op ?val"});
+  for (auto* it = begin; it != end; ++it) {
+    if (it->first == id_year) via_neighbors = it->second;
+  }
+  EXPECT_EQ(via_neighbors, 5u);
+
+  // Adjacency rebuilds after mutation.
+  ASSERT_TRUE(graph_.AddQuerySql("SELECT p.title FROM publication p WHERE "
+                                 "p.year > 1990")
+                  .ok());
+  auto [begin2, end2] = graph_.Neighbors(id_title);
+  for (auto* it = begin2; it != end2; ++it) {
+    if (it->first == id_year) via_neighbors = it->second;
+  }
+  EXPECT_EQ(via_neighbors, 6u);
+  EXPECT_EQ(graph_.Neighbors(kInvalidFragmentId).first, nullptr);
+}
+
+TEST_F(Fig3Test, CanonicalVertexOrderMatchesTopFragments) {
+  auto order = graph_.CanonicalVertexOrder();
+  auto top = graph_.TopFragments();
+  ASSERT_EQ(order.size(), top.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(graph_.Fragment(order[i].first), top[i].first);
+    EXPECT_EQ(order[i].second, top[i].second);
+  }
 }
 
 }  // namespace

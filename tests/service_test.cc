@@ -175,17 +175,16 @@ TEST(FragmentDeltaTest, DeltaIntersectsFootprintsOfTouchedFragmentsOnly) {
 
   // A footprint naming one of the query's fragments intersects...
   qfg::QfgFootprint touched;
-  touched.fragment_keys = {
-      qfg::SelectFragment("author", "name").Key(),
-      qfg::SelectFragment("publication", "title").Key()};
+  touched.AddKey(qfg::SelectFragment("author", "name").Key());
+  touched.AddKey(qfg::SelectFragment("publication", "title").Key());
   EXPECT_TRUE(
       qfg::FingerprintsIntersect(delta.fingerprints(),
                                  touched.Fingerprints()));
 
   // ...one naming only other fragments does not...
   qfg::QfgFootprint untouched;
-  untouched.fragment_keys = {qfg::SelectFragment("journal", "name").Key(),
-                             qfg::RelationFragment("publication").Key()};
+  untouched.AddKey(qfg::SelectFragment("journal", "name").Key());
+  untouched.AddKey(qfg::RelationFragment("publication").Key());
   EXPECT_FALSE(
       qfg::FingerprintsIntersect(delta.fingerprints(),
                                  untouched.Fingerprints()));

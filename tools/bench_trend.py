@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare two bench-JSON snapshots and flag regressions.
+
+Usage:
+    bench_trend.py <baseline_dir_or_file> <current_dir_or_file>
+                   [--threshold 0.10] [--strict]
+
+Walks every numeric leaf shared by matching JSON files and classifies it by
+key name: throughput-like metrics (qps, *_per_sec, hit_rate, speedup,
+retained) regress when they *drop*; latency-like metrics (p50/p95/p99,
+latency, seconds, ms) regress when they *rise*. Leaves that are neither
+(iteration counts, thread counts, scales) are ignored. A change beyond
+--threshold (default 10%) prints a GitHub Actions ::warning:: annotation;
+--strict turns regressions into a non-zero exit for local gating. Without
+--strict the script always exits 0 — CI smoke runners are noisy, so the
+annotations are advisory trend markers, not gates.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HIGHER_BETTER = ("qps", "per_sec", "hit_rate", "speedup", "retained")
+LOWER_BETTER = ("p50", "p95", "p99", "latency", "seconds", "_ms")
+
+
+def classify(key: str):
+    lowered = key.lower()
+    if any(tag in lowered for tag in HIGHER_BETTER):
+        return "higher"
+    if any(tag in lowered for tag in LOWER_BETTER):
+        return "lower"
+    return None
+
+
+def numeric_leaves(node, prefix=""):
+    """Yields (path, value) for every numeric leaf, dicts and lists walked."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from numeric_leaves(value, f"{prefix}.{key}" if prefix
+                                      else key)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from numeric_leaves(value, f"{prefix}[{index}]")
+    elif isinstance(node, bool):
+        return
+    elif isinstance(node, (int, float)):
+        yield prefix, float(node)
+
+
+def load_snapshots(path):
+    """Maps file name -> parsed JSON for a file or a directory of .json."""
+    if os.path.isfile(path):
+        with open(path) as f:
+            return {os.path.basename(path): json.load(f)}
+    out = {}
+    if not os.path.isdir(path):
+        return out
+    for name in sorted(os.listdir(path)):
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(path, name)) as f:
+                out[name] = json.load(f)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"::notice::bench-trend: skipping {name}: {error}")
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10)
+    parser.add_argument("--strict", action="store_true")
+    args = parser.parse_args()
+
+    baseline = load_snapshots(args.baseline)
+    current = load_snapshots(args.current)
+    if not baseline:
+        print(f"::notice::bench-trend: no baseline at {args.baseline}; "
+              "nothing to compare (first run?)")
+        return 0
+    if not current:
+        print(f"bench-trend: no current results at {args.current}",
+              file=sys.stderr)
+        return 1
+
+    regressions = []
+    improvements = []
+    compared = 0
+    for name, current_doc in sorted(current.items()):
+        if name not in baseline:
+            print(f"::notice::bench-trend: {name} has no baseline; skipping")
+            continue
+        base_leaves = dict(numeric_leaves(baseline[name]))
+        for path, value in numeric_leaves(current_doc):
+            direction = classify(path)
+            if direction is None or path not in base_leaves:
+                continue
+            base = base_leaves[path]
+            if base == 0:
+                continue
+            compared += 1
+            delta = (value - base) / abs(base)
+            regressed = (delta < -args.threshold if direction == "higher"
+                         else delta > args.threshold)
+            improved = (delta > args.threshold if direction == "higher"
+                        else delta < -args.threshold)
+            line = (f"{name}:{path} {base:.4g} -> {value:.4g} "
+                    f"({delta:+.1%}, {direction}-is-better)")
+            if regressed:
+                regressions.append(line)
+            elif improved:
+                improvements.append(line)
+
+    print(f"bench-trend: compared {compared} metric(s), "
+          f"{len(regressions)} regression(s), "
+          f"{len(improvements)} improvement(s) beyond "
+          f"{args.threshold:.0%}")
+    for line in improvements:
+        print(f"  improved: {line}")
+    for line in regressions:
+        print(f"::warning title=bench regression::{line}")
+    if regressions and args.strict:
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

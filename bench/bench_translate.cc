@@ -1,0 +1,227 @@
+// End-to-end translation serving: QPS and p99 latency of the Translate
+// envelope (NLQ -> ranked SQL) at 1/4 client threads, cold cache vs warm
+// cache, with and without per-ranking explanations.
+//
+//   $ ./build/bench/bench_translate [seconds-per-cell] [--json <path>]
+//
+// Clients issue synchronous Translate envelopes from their own threads,
+// cycling over the MAS benchmark's hand parses. Warm cells first touch
+// every distinct request once (the translate cache then answers); cold
+// cells use a degenerate 1-entry cache so every request runs the full
+// KeywordMapper -> JoinPathGenerator -> AssembleSql pipeline. The explain
+// cells quantify what provenance costs: on the warm path it should be
+// ~free (explanations ride the cache entry); on the cold path it adds the
+// evidence-resolution work on top of each pipeline run.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datasets/dataset.h"
+#include "service/templar_service.h"
+
+using namespace templar;
+
+namespace {
+
+struct CellResult {
+  int threads = 0;
+  bool warm = false;
+  bool explain = false;
+  double qps = 0;
+  double p99_ms = 0;
+  double hit_rate = 0;
+};
+
+double Percentile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  size_t index = static_cast<size_t>(q * (sorted_ms.size() - 1));
+  return sorted_ms[index];
+}
+
+CellResult RunCell(const datasets::Dataset& dataset,
+                   const std::vector<nlq::ParsedNlq>& workload, int threads,
+                   bool warm, bool explain, double seconds) {
+  // Fresh service per cell so one cell's cache state never leaks into
+  // another. Cold cells use a degenerate 1-entry cache: the workload
+  // cycles, so a real capacity would be fully warm after one lap.
+  service::ServiceOptions options;
+  options.worker_threads = static_cast<size_t>(threads);
+  options.translate_cache_capacity = warm ? 4096 : 1;
+  options.map_cache_capacity = warm ? 4096 : 1;
+  options.join_cache_capacity = warm ? 4096 : 1;
+  options.cache_shards = warm ? 32 : 1;
+  auto built = service::TemplarService::Create(
+      dataset.database.get(), dataset.lexicon.get(), dataset.extra_log,
+      options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "service: %s\n", built.status().ToString().c_str());
+    std::exit(1);
+  }
+  service::TemplarService& service = **built;
+
+  auto make_request = [&](size_t i) {
+    service::QueryRequest request =
+        service::QueryRequest::Translation(workload[i % workload.size()],
+                                           /*top_k=*/1);
+    request.want_explanation = explain;
+    return request;
+  };
+  if (warm) {
+    for (size_t i = 0; i < workload.size(); ++i) {
+      (void)service.Translate(make_request(i));
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::mutex latencies_mu;
+  std::vector<double> latencies_ms;
+
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<double> local_ms;
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto request = make_request(i);
+        i += 1;
+        auto start = std::chrono::steady_clock::now();
+        auto result = service.Translate(request);
+        local_ms.push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+        if (result.ok()) completed.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::lock_guard<std::mutex> lock(latencies_mu);
+      latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                          local_ms.end());
+    });
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& client : clients) client.join();
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  CellResult cell;
+  cell.threads = threads;
+  cell.warm = warm;
+  cell.explain = explain;
+  cell.qps = static_cast<double>(completed.load()) / elapsed;
+  cell.p99_ms = Percentile(latencies_ms, 0.99);
+  cell.hit_rate = service.Stats().translate_cache.HitRate();
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 2.0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (std::atof(argv[i]) > 0) {
+      seconds = std::atof(argv[i]);
+    }
+  }
+
+  std::printf("== Translate envelope throughput (NLQ -> SQL) ==\n");
+  std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
+
+  auto dataset = datasets::BuildMas();
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  // Distinct translate cache keys only: duplicates would warm the "cold"
+  // cells from inside one workload lap.
+  std::vector<nlq::ParsedNlq> workload;
+  {
+    std::vector<std::string> seen;
+    for (const auto& item : dataset->benchmark) {
+      std::string key =
+          service::TemplarService::TranslateCacheKey(item.gold_parse, false);
+      if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+      seen.push_back(std::move(key));
+      workload.push_back(item.gold_parse);
+      if (workload.size() >= 64) break;
+    }
+  }
+  std::printf("workload: %zu distinct NLQ translations (MAS gold parses)\n\n",
+              workload.size());
+
+  const int thread_counts[] = {1, 4};
+  std::vector<CellResult> cells;
+  for (bool warm : {false, true}) {
+    for (bool explain : {false, true}) {
+      std::printf("-- %s cache, %s explanations --\n",
+                  warm ? "warm" : "cold", explain ? "with" : "without");
+      for (int threads : thread_counts) {
+        CellResult cell =
+            RunCell(*dataset, workload, threads, warm, explain, seconds);
+        cells.push_back(cell);
+        std::printf(
+            "  %d thread%s: %9.0f QPS  p99 %7.3f ms  (hit rate %.2f)\n",
+            threads, threads == 1 ? " " : "s", cell.qps, cell.p99_ms,
+            cell.hit_rate);
+      }
+    }
+  }
+
+  // Headline ratios for the trend diff: what provenance costs.
+  double warm_plain = 0, warm_explain = 0;
+  for (const CellResult& cell : cells) {
+    if (cell.warm && cell.threads == 1) {
+      (cell.explain ? warm_explain : warm_plain) = cell.qps;
+    }
+  }
+  if (warm_explain > 0) {
+    std::printf("\nwarm explanation overhead, 1 thread: %.2fx QPS ratio "
+                "(1.0 = free)\n",
+                warm_plain / warm_explain);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"translate\",\n"
+                 "  \"seconds_per_cell\": %.3f,\n"
+                 "  \"hardware_threads\": %u,\n  \"cells\": [\n",
+                 seconds, std::thread::hardware_concurrency());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const CellResult& cell = cells[i];
+      std::fprintf(f,
+                   "    {\"threads\": %d, \"warm\": %d, \"explain\": %d, "
+                   "\"qps\": %.1f, \"p99_ms\": %.3f, \"hit_rate\": %.3f}%s\n",
+                   cell.threads, cell.warm ? 1 : 0, cell.explain ? 1 : 0,
+                   cell.qps, cell.p99_ms, cell.hit_rate,
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

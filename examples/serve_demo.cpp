@@ -1,21 +1,29 @@
-// Serving-layer demo: a TemplarService under concurrent load.
+// Serving-layer demo: the typed QueryRequest/QueryResponse envelope under
+// concurrent load.
 //
-//   $ ./build/examples/serve_demo                # single-tenant
+//   $ ./build/examples/serve_demo                # single-tenant, Translate
+//   $ ./build/examples/serve_demo --explain      # + per-ranking provenance
 //   $ ./build/examples/serve_demo --multitenant  # MAS + IMDB in one process
 //
-// Default mode spawns four client threads replaying MAS benchmark requests
-// against a shared TemplarService while a fifth thread streams
-// freshly-observed SQL into the Query Fragment Graph (online ingestion).
-// Prints the service stats snapshot — cache hit rates, stale drops from
-// epoch invalidation, ingestion counters — then checkpoints the QFG and
-// warm-starts a second service from the snapshot.
+// Default mode spawns four client threads replaying MAS benchmark NLQs as
+// end-to-end Translate envelopes (NLQ -> ranked SQL) — each with a
+// per-request deadline — against a shared TemplarService, while a fifth
+// thread streams freshly-observed SQL into the Query Fragment Graph (online
+// ingestion). Prints the service stats snapshot — translation cache hit
+// rates, per-fragment invalidation counters, typed control aborts — then
+// checkpoints the QFG and warm-starts a second service from the snapshot.
+//
+// --explain additionally asks the envelope for provenance and prints, for
+// the top-ranked SQL of one NLQ, exactly which interned log fragments and
+// Dice scores supported the ranking.
 //
 // --multitenant hosts the MAS and IMDB datasets as two tenants of one
 // ServiceHost (one shared worker pool, one cache budget), drives concurrent
-// clients against both, streams appends into MAS only, and prints the
-// per-tenant stats: IMDB's cache survives MAS's ingestion untouched.
+// Translate clients against both, streams appends into MAS only, and prints
+// the per-tenant stats: IMDB's caches survive MAS's ingestion untouched.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -35,6 +43,30 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Prints one explained translation: ranked SQL + the log evidence.
+void PrintExplainedTranslation(const std::string& nlq_text,
+                               const service::QueryResponse& response) {
+  std::printf("NLQ: %s\n", nlq_text.c_str());
+  for (size_t i = 0; i < response.translations.size(); ++i) {
+    const auto& t = response.translations[i];
+    std::printf("  #%zu (score %.4f%s): %s\n", i + 1, t.score,
+                t.tie_for_first ? ", tied" : "",
+                t.query.ToString().c_str());
+    if (i < response.explanations.size()) {
+      // Indent the evidence block under its translation, line by line.
+      const std::string evidence = response.explanations[i].ToString();
+      size_t start = 0;
+      while (start < evidence.size()) {
+        size_t end = evidence.find('\n', start);
+        if (end == std::string::npos) end = evidence.size();
+        std::printf("    %.*s\n", static_cast<int>(end - start),
+                    evidence.c_str() + start);
+        start = end + 1;
+      }
+    }
+  }
+}
+
 int RunMultiTenant() {
   std::printf("== Templar multi-tenant serving demo ==\n\n");
 
@@ -47,6 +79,7 @@ int RunMultiTenant() {
   options.worker_threads = 4;
   options.map_cache_budget = 2048;
   options.join_cache_budget = 2048;
+  options.translate_cache_budget = 2048;
   options.default_admission =
       service::AdmissionOptions{/*max_inflight=*/16, /*max_queued=*/128};
   service::ServiceHost host(options);
@@ -64,7 +97,8 @@ int RunMultiTenant() {
   for (const auto& id : host.TenantIds()) std::printf(" %s", id.c_str());
   std::printf(" ), %zu shared workers\n\n", host.worker_threads());
 
-  // Two clients per tenant replay that tenant's benchmark hand parses.
+  // Two clients per tenant replay that tenant's benchmark hand parses as
+  // full NLQ -> SQL envelopes with a generous per-request deadline.
   constexpr int kClientsPerTenant = 2;
   constexpr int kRequestsPerClient = 60;
   std::vector<std::thread> clients;
@@ -76,10 +110,14 @@ int RunMultiTenant() {
         const auto& benchmark = dataset->benchmark;
         for (int i = 0; i < kRequestsPerClient; ++i) {
           const auto& item = benchmark[(c * 8 + i % 16) % benchmark.size()];
-          auto result = handle.MapKeywords(item.gold_parse);
-          if (!result.ok() && result.status().IsOverloaded()) {
-            // Admission pushed back; a real client would retry after
-            // backoff. The demo just moves on.
+          auto request =
+              service::QueryRequest::Translation(item.gold_parse, /*top_k=*/1)
+                  .WithTimeout(std::chrono::milliseconds(250));
+          auto result = handle.Translate(request);
+          if (!result.ok() && (result.status().IsOverloaded() ||
+                               result.status().IsDeadlineExceeded())) {
+            // Admission or the deadline pushed back; a real client would
+            // retry after backoff. The demo just moves on.
           }
         }
       });
@@ -112,11 +150,33 @@ int RunMultiTenant() {
   return 0;
 }
 
+int RunExplain(const datasets::Dataset& dataset,
+               service::TemplarService& service) {
+  std::printf("\n-- explained translations (--explain) --\n\n");
+  size_t shown = 0;
+  for (const auto& item : dataset.benchmark) {
+    auto request =
+        service::QueryRequest::Translation(item.gold_parse, /*top_k=*/2);
+    request.want_explanation = true;
+    auto response = service.Translate(request);
+    if (!response.ok() || response->translations.empty()) continue;
+    PrintExplainedTranslation(item.nlq, *response);
+    if (++shown >= 3) break;
+  }
+  if (shown == 0) {
+    std::fprintf(stderr, "error: no benchmark NLQ produced a translation\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool explain = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--multitenant") == 0) return RunMultiTenant();
+    if (std::strcmp(argv[i], "--explain") == 0) explain = true;
   }
   std::printf("== Templar serving demo ==\n\n");
 
@@ -127,6 +187,7 @@ int main(int argc, char** argv) {
   options.worker_threads = 4;
   options.map_cache_capacity = 1024;
   options.join_cache_capacity = 1024;
+  options.translate_cache_capacity = 1024;
   auto built = service::TemplarService::Create(
       dataset->database.get(), dataset->lexicon.get(), dataset->extra_log,
       options);
@@ -135,8 +196,9 @@ int main(int argc, char** argv) {
   std::printf("service up: %zu workers, epoch %llu\n", size_t{4},
               static_cast<unsigned long long>(service.epoch()));
 
-  // Four clients replay benchmark hand-parses; repetition makes the caches
-  // earn their keep.
+  // Four clients replay benchmark hand-parses as end-to-end translations;
+  // repetition makes the translate cache earn its keep, and every request
+  // carries a deadline the way production traffic would.
   constexpr int kClients = 4;
   constexpr int kRequestsPerClient = 80;
   std::vector<std::thread> clients;
@@ -146,7 +208,10 @@ int main(int argc, char** argv) {
       for (int i = 0; i < kRequestsPerClient; ++i) {
         // Each client cycles a 16-request working set, offset per client.
         const auto& item = benchmark[(c * 4 + i % 16) % benchmark.size()];
-        (void)service.MapKeywords(item.gold_parse);
+        auto request =
+            service::QueryRequest::Translation(item.gold_parse, /*top_k=*/1)
+                .WithTimeout(std::chrono::milliseconds(250));
+        (void)service.Translate(request);
       }
     });
   }
@@ -169,9 +234,13 @@ int main(int argc, char** argv) {
   for (auto& client : clients) client.join();
   ingester.join();
 
-  std::printf("\n-- stats after %d concurrent requests --\n%s\n",
+  std::printf("\n-- stats after %d concurrent translations --\n%s\n",
               kClients * kRequestsPerClient,
               service.Stats().ToString().c_str());
+
+  if (explain) {
+    if (int rc = RunExplain(*dataset, service); rc != 0) return rc;
+  }
 
   // Checkpoint the enriched QFG and warm-start a second service from it.
   const std::string snapshot = "/tmp/templar_serve_demo.qfg";

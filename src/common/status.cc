@@ -26,6 +26,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

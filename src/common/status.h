@@ -27,6 +27,8 @@ enum class StatusCode : int {
   kInternal = 8,
   kIOError = 9,
   kOverloaded = 10,
+  kDeadlineExceeded = 11,
+  kCancelled = 12,
 };
 
 /// \brief Returns a human-readable name for a status code (e.g. "ParseError").
@@ -78,6 +80,10 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {
@@ -111,6 +117,17 @@ class Status {
   /// in-flight or queue-depth limit. Retryable by the caller after backoff.
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  /// The request's deadline passed before (or while) it was served — in the
+  /// admission queue or at a pipeline stage boundary. The partial work is
+  /// discarded; retry with a fresh deadline.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The caller cancelled the request via its CancelToken. Never produced
+  /// spontaneously by the service.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
  private:

@@ -1,6 +1,7 @@
 #include "nlidb/nlidb.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "nlidb/sql_assembler.h"
@@ -17,16 +18,36 @@ struct RankedCandidate {
   double combined = 0;
 };
 
+using Clock = std::chrono::steady_clock;
+
+std::chrono::microseconds Since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start);
+}
+
 }  // namespace
 
 Result<std::vector<Translation>> TranslateAllWithTemplar(
     const core::Templar& templar, const nlq::ParsedNlq& parsed) {
-  TEMPLAR_ASSIGN_OR_RETURN(std::vector<core::Configuration> configs,
-                           templar.MapKeywords(parsed));
+  return TranslateAllWithTemplar(templar, parsed, PipelineHooks{});
+}
 
+Result<std::vector<Translation>> TranslateAllWithTemplar(
+    const core::Templar& templar, const nlq::ParsedNlq& parsed,
+    const PipelineHooks& hooks) {
+  auto stage_start = Clock::now();
+  TEMPLAR_ASSIGN_OR_RETURN(std::vector<core::Configuration> configs,
+                           templar.MapKeywords(parsed, hooks.footprint));
+  if (hooks.timings != nullptr) hooks.timings->map = Since(stage_start);
+
+  stage_start = Clock::now();
   std::vector<RankedCandidate> candidates;
   for (const auto& config : configs) {
-    auto paths = templar.InferJoins(config.RelationBag());
+    // Boundary probe per candidate: join inference is the multiplied stage
+    // (one Steiner search per configuration), so a deadline that expires
+    // mid-join-stage aborts between candidates, not after all of them.
+    if (hooks.checkpoint) TEMPLAR_RETURN_NOT_OK(hooks.checkpoint());
+    auto paths = templar.InferJoins(config.RelationBag(), hooks.footprint);
     if (!paths.ok() || paths->empty()) continue;  // Disconnected mapping.
     for (const auto& jp : *paths) {
       RankedCandidate rc;
@@ -39,10 +60,14 @@ Result<std::vector<Translation>> TranslateAllWithTemplar(
       candidates.push_back(std::move(rc));
     }
   }
+  if (hooks.timings != nullptr) hooks.timings->joins = Since(stage_start);
   if (candidates.empty()) {
     return Status::NotFound("no assemblable candidate for NLQ '" +
                             parsed.original + "'");
   }
+  if (hooks.checkpoint) TEMPLAR_RETURN_NOT_OK(hooks.checkpoint());
+
+  stage_start = Clock::now();
   std::stable_sort(candidates.begin(), candidates.end(),
                    [](const RankedCandidate& a, const RankedCandidate& b) {
                      return a.combined > b.combined;
@@ -71,6 +96,7 @@ Result<std::vector<Translation>> TranslateAllWithTemplar(
       break;
     }
   }
+  if (hooks.timings != nullptr) hooks.timings->assemble = Since(stage_start);
   return out;
 }
 

@@ -14,6 +14,8 @@
 /// architectural choices: its own (imperfect) NLQ parser and a
 /// WordNet-style lexicon model.
 
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -138,6 +140,40 @@ Result<Translation> TranslateWithTemplar(const core::Templar& templar,
 /// \brief As above but returning every scored candidate, best first.
 Result<std::vector<Translation>> TranslateAllWithTemplar(
     const core::Templar& templar, const nlq::ParsedNlq& parsed);
+
+/// \brief Per-stage wall times of one pipeline run (serving observability).
+struct PipelineTimings {
+  std::chrono::microseconds map{0};       ///< MAPKEYWORDS.
+  std::chrono::microseconds joins{0};     ///< INFERJOINS over all candidates.
+  std::chrono::microseconds assemble{0};  ///< SQL assembly + tie detection.
+};
+
+/// \brief Serving-layer hooks into the translation pipeline. All fields are
+/// optional; an empty hooks struct reproduces the plain two-argument
+/// TranslateAllWithTemplar bit for bit.
+struct PipelineHooks {
+  /// Receives (appended, not cleared) the QFG dependency set of the whole
+  /// run: the MAPKEYWORDS footprint united with every INFERJOINS footprint —
+  /// exactly the fragments whose counts an append must touch to change any
+  /// returned translation. Assembly reads nothing from the QFG, so the
+  /// union is complete.
+  qfg::QfgFootprint* footprint = nullptr;
+  /// Probed at stage boundaries: after keyword mapping, before each
+  /// candidate's join inference, and before assembly. A non-OK return
+  /// (kDeadlineExceeded / kCancelled from the serving layer) aborts the
+  /// pipeline and propagates unchanged, so a request that gave up stops
+  /// consuming CPU at the next boundary.
+  std::function<Status()> checkpoint;
+  /// Receives the per-stage wall times of this run.
+  PipelineTimings* timings = nullptr;
+};
+
+/// \brief Hook-aware pipeline: same ranking, assembly, and tie semantics as
+/// the two-argument overload (which delegates here with empty hooks), plus
+/// footprint recording, stage-boundary abort probes, and stage timings.
+Result<std::vector<Translation>> TranslateAllWithTemplar(
+    const core::Templar& templar, const nlq::ParsedNlq& parsed,
+    const PipelineHooks& hooks);
 
 }  // namespace templar::nlidb
 

@@ -1,0 +1,82 @@
+#include "service/request.h"
+
+#include <cstdio>
+
+namespace templar::service {
+
+const char* StageToString(Stage stage) {
+  switch (stage) {
+    case Stage::kMapKeywords:
+      return "MapKeywords";
+    case Stage::kInferJoins:
+      return "InferJoins";
+    case Stage::kTranslate:
+      return "Translate";
+  }
+  return "Unknown";
+}
+
+const char* ServedFromToString(ServedFrom served) {
+  switch (served) {
+    case ServedFrom::kComputed:
+      return "computed";
+    case ServedFrom::kCache:
+      return "cache";
+    case ServedFrom::kCoalesced:
+      return "coalesced";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void AppendFragmentLine(std::string& out, const char* label,
+                        const Explanation::FragmentSupport& support) {
+  out += "  ";
+  out += label;
+  out += ": ";
+  out += support.key;
+  if (support.interned) {
+    out += "  [id " + std::to_string(support.id) +
+           ", n_v=" + std::to_string(support.occurrences) + "]";
+  } else {
+    out += "  [never logged]";
+  }
+  out += '\n';
+}
+
+void AppendPairLine(std::string& out, const char* label,
+                    const Explanation::PairSupport& pair) {
+  char dice[32];
+  std::snprintf(dice, sizeof(dice), "%.4f", pair.dice);
+  out += "  ";
+  out += label;
+  out += ": ";
+  out += pair.a + " x " + pair.b + "  [n_e=" +
+         std::to_string(pair.cooccurrences) + ", Dice=" + dice + "]";
+  out += '\n';
+}
+
+}  // namespace
+
+std::string Explanation::ToString() const {
+  std::string out = "evidence @ " + std::to_string(query_count) +
+                    " log queries";
+  if (used_query_count) out += " (query-count sensitive)";
+  out += '\n';
+  for (const auto& support : map_fragments) {
+    AppendFragmentLine(out, "map fragment", support);
+  }
+  for (const auto& pair : map_pairs) {
+    AppendPairLine(out, "map pair", pair);
+  }
+  for (const auto& support : join_relations) {
+    AppendFragmentLine(out, "join relation", support);
+  }
+  for (const auto& pair : join_edges) {
+    AppendPairLine(out, "join edge", pair);
+  }
+  return out;
+}
+
+}  // namespace templar::service

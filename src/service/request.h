@@ -1,0 +1,254 @@
+#ifndef TEMPLAR_SERVICE_REQUEST_H_
+#define TEMPLAR_SERVICE_REQUEST_H_
+
+/// \file request.h
+/// \brief The typed serving envelope: QueryRequest in, QueryResponse out.
+///
+/// Every request to the serving layer — full NLQ-to-SQL translation or one
+/// of the two mid-pipeline stages the paper exposes as interface calls — is
+/// one `QueryRequest`: the input plus the per-request controls every real
+/// query service needs (deadline, cancellation, top-k, explanation opt-in).
+/// Every answer is one `QueryResponse`: ranked results plus the serving
+/// metadata (per-stage timings, cache/coalescing disposition, epoch) and,
+/// when asked for, an `Explanation` naming the interned log fragments and
+/// Dice evidence behind each ranking — built from the same PR-2/4 footprint
+/// machinery the caches use for selective invalidation, so provenance is
+/// essentially free to surface.
+///
+/// Deadlines and cancellation are *cooperative*: the pipeline probes them at
+/// stage boundaries (map -> per-configuration join inference -> assembly)
+/// and in the admission queue, so an abandoned request stops consuming CPU
+/// at the next boundary and an expired request parked in a queue is rejected
+/// without ever occupying a worker. Both produce typed Status codes
+/// (kDeadlineExceeded / kCancelled) so callers can distinguish "you gave up"
+/// from "the service failed".
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/mapping.h"
+#include "graph/schema_graph.h"
+#include "nlidb/nlidb.h"
+#include "nlq/keyword.h"
+#include "qfg/fragment_interner.h"
+
+namespace templar::service {
+
+/// \brief Which pipeline prefix a request runs. The legacy
+/// MapKeywords/InferJoins surfaces are thin shims over the two stage
+/// selections, so their rankings (and cache entries) are exactly the
+/// pre-envelope ones.
+enum class Stage {
+  kMapKeywords,  ///< MAPKEYWORDS only; response carries `configurations`.
+  kInferJoins,   ///< INFERJOINS only; response carries `join_paths`.
+  kTranslate,    ///< Full NLQ -> SQL; response carries `translations`.
+};
+
+/// \brief Returns "MapKeywords" / "InferJoins" / "Translate".
+const char* StageToString(Stage stage);
+
+/// \brief Cooperative cancellation handle. Copies share one flag: hand one
+/// copy to the request, keep another, call RequestCancel() from any thread.
+///
+/// A default-constructed token is *inert* — cancelled() is always false and
+/// it costs nothing — so requests that never cancel pay no allocation.
+/// Cancellation is a pure flag flip: it never interrupts a running stage,
+/// it makes the next stage-boundary probe return kCancelled.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// \brief An armed token backed by a shared flag.
+  static CancelToken Cancellable() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// \brief Requests cancellation. No-op on an inert token. Idempotent and
+  /// safe from any thread.
+  void RequestCancel() const {
+    if (flag_) flag_->store(true, std::memory_order_release);
+  }
+
+  /// \brief True once RequestCancel() has been called on any copy.
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+  /// \brief True when this token can ever be cancelled (non-inert).
+  bool can_cancel() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// \brief One serving request: the input for the selected stage plus the
+/// per-request controls.
+struct QueryRequest {
+  Stage stage = Stage::kTranslate;
+
+  /// The parsed NLQ (kTranslate / kMapKeywords). NLIDBs hand-parse or run
+  /// their own parser (nlq::NlqParser) — the envelope consumes keywords +
+  /// metadata as the paper's interface calls do.
+  nlq::ParsedNlq nlq;
+  /// The relation-instance bag (kInferJoins only).
+  std::vector<std::string> relation_bag;
+
+  /// Ranked translations returned (kTranslate; clamped to >= 1). The full
+  /// ranking is cached once, so requests differing only in top_k share one
+  /// entry and one computation.
+  size_t top_k = 1;
+  /// Attach per-ranking provenance (kTranslate only; see Explanation).
+  bool want_explanation = false;
+
+  /// Absolute deadline; unset = no deadline. Probed at stage boundaries and
+  /// at queue dispatch.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Cooperative cancellation; inert by default.
+  CancelToken cancel;
+
+  /// \name Envelope constructors
+  ///@{
+  static QueryRequest Translation(nlq::ParsedNlq parsed, size_t top_k = 1) {
+    QueryRequest request;
+    request.stage = Stage::kTranslate;
+    request.nlq = std::move(parsed);
+    request.top_k = top_k;
+    return request;
+  }
+  static QueryRequest MapOnly(nlq::ParsedNlq parsed) {
+    QueryRequest request;
+    request.stage = Stage::kMapKeywords;
+    request.nlq = std::move(parsed);
+    return request;
+  }
+  static QueryRequest JoinsOnly(std::vector<std::string> bag) {
+    QueryRequest request;
+    request.stage = Stage::kInferJoins;
+    request.relation_bag = std::move(bag);
+    return request;
+  }
+  ///@}
+
+  /// \brief Sets the deadline to now + `budget` and returns *this (builder
+  /// style: `QueryRequest::Translation(nlq).WithTimeout(50ms)`).
+  QueryRequest& WithTimeout(std::chrono::nanoseconds budget) {
+    deadline = std::chrono::steady_clock::now() + budget;
+    return *this;
+  }
+
+  /// \brief The stage-boundary / queue-dispatch probe: OK while the request
+  /// should keep running, kCancelled once its token fired, kDeadlineExceeded
+  /// once its deadline passed (cancellation wins when both hold — it is the
+  /// caller's explicit word).
+  Status CheckRunnable() const {
+    if (cancel.cancelled()) {
+      return Status::Cancelled("request cancelled by caller");
+    }
+    if (deadline.has_value() &&
+        std::chrono::steady_clock::now() >= *deadline) {
+      return Status::DeadlineExceeded("request deadline exceeded");
+    }
+    return Status::OK();
+  }
+};
+
+/// \brief Provenance of one ranked translation: the interned log fragments
+/// and Dice evidence its scores consulted, resolved against the QFG at the
+/// epoch the ranking was computed.
+///
+/// The map side mirrors ScoreQFG (Sec. V-C2): the chosen configuration's
+/// non-FROM fragments with their occurrence counts n_v, and every scored
+/// pair with its co-occurrence count n_e and Dice value (pairs identical
+/// after obscuring are skipped, exactly as in scoring). The join side
+/// mirrors the log-driven edge weights w_L = 1 - Dice (Sec. VI-A2): the
+/// FROM fragments of the returned path's base relations and the per-edge
+/// relation Dice. Fragments the log has never seen report interned=false
+/// with zero counts — naming them documents that the ranking ran on
+/// similarity evidence alone there.
+struct Explanation {
+  /// One fragment the ranking depended on.
+  struct FragmentSupport {
+    std::string key;  ///< Normalized fragment key (graph identity).
+    bool interned = false;              ///< Seen by the log (has a dense id).
+    qfg::FragmentId id = qfg::kInvalidFragmentId;
+    uint64_t occurrences = 0;  ///< n_v at explanation time.
+  };
+  /// One scored fragment pair (map) or one path edge (join).
+  struct PairSupport {
+    std::string a;  ///< Normalized keys (join: base relation names).
+    std::string b;
+    uint64_t cooccurrences = 0;  ///< n_e.
+    double dice = 0;             ///< 2*n_e / (n_v(a) + n_v(b)).
+  };
+
+  std::vector<FragmentSupport> map_fragments;
+  std::vector<PairSupport> map_pairs;
+  std::vector<FragmentSupport> join_relations;
+  std::vector<PairSupport> join_edges;
+
+  /// True when the configuration score used the occurrence fallback with a
+  /// non-zero numerator — the ranking then depends on query_count() and is
+  /// honestly invalidated by *any* append.
+  bool used_query_count = false;
+  /// Log size the evidence was read at (the Dice denominators' context).
+  uint64_t query_count = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Where the answer came from: a fresh computation, the result
+/// cache, or another in-flight request's computation (single-flight).
+enum class ServedFrom {
+  kComputed,
+  kCache,
+  kCoalesced,
+};
+
+/// \brief Returns "computed" / "cache" / "coalesced".
+const char* ServedFromToString(ServedFrom served);
+
+/// \brief Wall-clock breakdown of one served request. Stage times are the
+/// *computing* request's (zero on a cache hit — nothing ran); `queue` is
+/// time parked in the admission queue (host/async paths; zero for sync
+/// calls); `total` is always this caller's end-to-end time.
+struct StageTimings {
+  std::chrono::microseconds queue{0};
+  std::chrono::microseconds map{0};
+  std::chrono::microseconds join{0};
+  std::chrono::microseconds assemble{0};
+  std::chrono::microseconds total{0};
+};
+
+/// \brief One serving answer. Exactly one of the three result vectors is
+/// populated, per the request's stage.
+struct QueryResponse {
+  Stage stage = Stage::kTranslate;
+
+  /// Ranked translations, best first (kTranslate; at most top_k).
+  std::vector<nlidb::Translation> translations;
+  /// Per-translation provenance, positionally aligned with `translations`
+  /// (kTranslate with want_explanation only).
+  std::vector<Explanation> explanations;
+  /// Ranked configurations (kMapKeywords).
+  std::vector<core::Configuration> configurations;
+  /// Ranked join paths (kInferJoins).
+  std::vector<graph::JoinPath> join_paths;
+
+  ServedFrom served_from = ServedFrom::kComputed;
+  StageTimings timings;
+  /// Ingestion epoch the answer is valid for.
+  uint64_t epoch = 0;
+};
+
+}  // namespace templar::service
+
+#endif  // TEMPLAR_SERVICE_REQUEST_H_

@@ -21,22 +21,36 @@ struct ServiceStats {
   /// Registry id when the engine is a ServiceHost tenant; empty standalone.
   std::string tenant_id;
 
-  // Request counters (cumulative since service start).
+  // Request counters (cumulative since service start). `translate_requests`
+  // counts full NLQ->SQL envelopes; the legacy stage shims count under
+  // map/join.
   uint64_t map_requests = 0;
   uint64_t join_requests = 0;
+  uint64_t translate_requests = 0;
 
   // Single-flight coalescing: `*_computations` counts how many requests ran
-  // the underlying Templar call; `*_coalesced_hits` counts requests served
-  // by another thread's in-flight computation of the same key. Requests =
-  // cache hits + coalesced hits + computations.
+  // the underlying pipeline; `*_coalesced_hits` counts requests served by
+  // another thread's in-flight computation of the same key. Every request
+  // lands in exactly one of {cache hit, coalesced hit, computation, control
+  // abort} — but a leader whose own deadline/cancellation aborts it
+  // mid-pipeline counts under BOTH a computation and an abort, so the sum
+  // bounds `*_requests` from above rather than equaling it.
   uint64_t map_computations = 0;
   uint64_t join_computations = 0;
+  uint64_t translate_computations = 0;
   uint64_t map_coalesced_hits = 0;
   uint64_t join_coalesced_hits = 0;
+  uint64_t translate_coalesced_hits = 0;
+
+  // Typed control aborts (any stage): requests answered kDeadlineExceeded /
+  // kCancelled by the core's boundary probes.
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
 
   // Result caches.
   LruCacheStats map_cache;
   LruCacheStats join_cache;
+  LruCacheStats translate_cache;
 
   // Admission control (multi-tenant hosts only; zero standalone).
   AdmissionStats admission;
@@ -68,13 +82,23 @@ struct ServiceStats {
     std::string out;
     if (!tenant_id.empty()) out += "tenant: " + tenant_id + "\n";
     out += "requests: map=" + std::to_string(map_requests) +
-           " join=" + std::to_string(join_requests) + "\n" +
+           " join=" + std::to_string(join_requests) +
+           " translate=" + std::to_string(translate_requests) + "\n" +
            "single-flight: map_computed=" + std::to_string(map_computations) +
            " map_coalesced=" + std::to_string(map_coalesced_hits) +
            " join_computed=" + std::to_string(join_computations) +
-           " join_coalesced=" + std::to_string(join_coalesced_hits) + "\n" +
-           cache_line("map_cache", map_cache) + "\n" +
-           cache_line("join_cache", join_cache) + "\n";
+           " join_coalesced=" + std::to_string(join_coalesced_hits) +
+           " translate_computed=" + std::to_string(translate_computations) +
+           " translate_coalesced=" +
+           std::to_string(translate_coalesced_hits) + "\n";
+    if (deadline_exceeded > 0 || cancelled > 0) {
+      out += "control aborts: deadline_exceeded=" +
+             std::to_string(deadline_exceeded) +
+             " cancelled=" + std::to_string(cancelled) + "\n";
+    }
+    out += cache_line("map_cache", map_cache) + "\n" +
+           cache_line("join_cache", join_cache) + "\n" +
+           cache_line("translate_cache", translate_cache) + "\n";
     if (admission.max_inflight > 0 || admission.submitted > 0) {
       out += "admission: submitted=" + std::to_string(admission.submitted) +
              " admitted=" + std::to_string(admission.admitted) +
@@ -105,13 +129,16 @@ struct HostStats {
   /// Host-wide cache entry budgets, partitioned across tenants.
   size_t map_cache_budget = 0;
   size_t join_cache_budget = 0;
+  size_t translate_cache_budget = 0;
   std::vector<ServiceStats> tenants;
 
   std::string ToString() const {
     std::string out = "host: " + std::to_string(tenant_count) + " tenant(s), " +
                       std::to_string(worker_threads) + " shared worker(s), " +
                       "cache budget map=" + std::to_string(map_cache_budget) +
-                      " join=" + std::to_string(join_cache_budget) + "\n";
+                      " join=" + std::to_string(join_cache_budget) +
+                      " translate=" + std::to_string(translate_cache_budget) +
+                      "\n";
     for (const auto& tenant : tenants) {
       out += "---\n" + tenant.ToString() + "\n";
     }

@@ -1,7 +1,9 @@
 #include "service/templar_service.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "graph/schema_graph.h"
 #include "qfg/fragment_delta.h"
 #include "qfg/qfg_io.h"
 #include "sql/parser.h"
@@ -56,6 +58,93 @@ std::string EscapeField(const std::string& s) {
   return out;
 }
 
+std::chrono::microseconds Since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+}
+
+/// True for statuses produced by the *requester's* controls rather than by
+/// the computation itself — a coalesced follower must not inherit them.
+bool IsControlAbort(const Status& status) {
+  return status.IsDeadlineExceeded() || status.IsCancelled();
+}
+
+/// Builds the provenance record of one ranked translation against the QFG
+/// it was scored on. Must run under the shared QFG lock (reads counts and
+/// the interner). Mirrors the scoring semantics exactly: map pairs follow
+/// QfgScore's skip-identical-after-obscuring rule; join evidence is the
+/// relation Dice behind the returned path's edge weights w_L = 1 - Dice.
+Explanation ExplainTranslation(const qfg::QueryFragmentGraph& graph,
+                               const nlidb::Translation& t) {
+  Explanation ex;
+  ex.query_count = graph.query_count();
+
+  // Map side: the chosen configuration's non-FROM fragments, resolved once.
+  std::vector<qfg::ResolvedFragment> resolved;
+  for (const auto& m : t.configuration.mappings) {
+    if (m.candidate.fragment.context == qfg::FragmentContext::kFrom) continue;
+    resolved.push_back(graph.Resolve(m.candidate.fragment));
+  }
+  ex.map_fragments.reserve(resolved.size());
+  for (const auto& r : resolved) {
+    Explanation::FragmentSupport support;
+    support.key = r.key;
+    support.interned = r.seen();
+    support.id = r.id;
+    support.occurrences = graph.Occurrences(r.id);
+    ex.map_fragments.push_back(std::move(support));
+  }
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    for (size_t j = i + 1; j < resolved.size(); ++j) {
+      if (resolved[i].SameAs(resolved[j])) continue;  // Skipped in scoring.
+      Explanation::PairSupport pair;
+      pair.a = resolved[i].key;
+      pair.b = resolved[j].key;
+      pair.cooccurrences = graph.CoOccurrences(resolved[i].id, resolved[j].id);
+      pair.dice = graph.Dice(resolved[i].id, resolved[j].id);
+      ex.map_pairs.push_back(std::move(pair));
+    }
+  }
+  // The occurrence-fallback flag, derived from the evidence just gathered
+  // exactly as QfgScoreResolved computes it: no usable pair (fewer than two
+  // non-FROM fragments, or every pair identical after obscuring) and a
+  // non-zero occurrence of the first fragment divided by query_count().
+  ex.used_query_count = ex.map_pairs.empty() && !resolved.empty() &&
+                        graph.query_count() > 0 &&
+                        graph.Occurrences(resolved[0].id) > 0;
+
+  // Join side: base relations of the returned path and the per-edge Dice.
+  std::vector<std::string> bases;
+  for (const auto& instance : t.join_path.relations) {
+    std::string base = graph::BaseRelationName(instance);
+    if (std::find(bases.begin(), bases.end(), base) == bases.end()) {
+      bases.push_back(std::move(base));
+    }
+  }
+  ex.join_relations.reserve(bases.size());
+  for (const auto& base : bases) {
+    qfg::ResolvedFragment r = graph.Resolve(qfg::RelationFragment(base));
+    Explanation::FragmentSupport support;
+    support.key = r.key;
+    support.interned = r.seen();
+    support.id = r.id;
+    support.occurrences = graph.Occurrences(r.id);
+    ex.join_relations.push_back(std::move(support));
+  }
+  ex.join_edges.reserve(t.join_path.edges.size());
+  for (const auto& edge : t.join_path.edges) {
+    Explanation::PairSupport pair;
+    pair.a = graph::BaseRelationName(edge.fk_relation);
+    pair.b = graph::BaseRelationName(edge.pk_relation);
+    pair.cooccurrences =
+        graph.CoOccurrences(graph.Resolve(qfg::RelationFragment(pair.a)).id,
+                            graph.Resolve(qfg::RelationFragment(pair.b)).id);
+    pair.dice = graph.RelationDice(pair.a, pair.b);
+    ex.join_edges.push_back(std::move(pair));
+  }
+  return ex;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -94,6 +183,16 @@ std::string ServiceCore::JoinCacheKey(const std::vector<std::string>& bag) {
   return key;
 }
 
+std::string ServiceCore::TranslateCacheKey(const nlq::ParsedNlq& nlq,
+                                           bool want_explanation) {
+  // Keys are only meaningful within the translate cache (each cache and
+  // single-flight table is its own object and key space); the prefix keeps
+  // explained and unexplained rankings from sharing an entry.
+  std::string key = want_explanation ? "t1" : "t0";
+  key += MapCacheKey(nlq);
+  return key;
+}
+
 Result<std::unique_ptr<ServiceCore>> ServiceCore::Create(
     const db::Database* db, const embed::SimilarityModel* model,
     const std::vector<std::string>& query_log, const ServiceOptions& options) {
@@ -119,25 +218,38 @@ ServiceCore::ServiceCore(std::unique_ptr<core::Templar> templar,
       map_cache_(options.map_cache_capacity, options.cache_shards,
                  options.invalidation),
       join_cache_(options.join_cache_capacity, options.cache_shards,
-                  options.invalidation) {}
+                  options.invalidation),
+      translate_cache_(options.translate_cache_capacity, options.cache_shards,
+                       options.invalidation) {}
 
-void ServiceCore::SetCacheCapacities(size_t map_entries, size_t join_entries) {
+void ServiceCore::SetCacheCapacities(size_t map_entries, size_t join_entries,
+                                     size_t translate_entries) {
   map_cache_.SetCapacity(map_entries);
   join_cache_.SetCapacity(join_entries);
+  translate_cache_.SetCapacity(translate_entries);
 }
 
 template <typename V, typename CoreFn>
-Result<std::remove_const_t<typename V::element_type>>
-ServiceCore::ServeCached(const std::string& key, ShardedLruCache<V>& cache,
-                         SingleFlight<FlightValue<V>>& flight,
-                         std::atomic<uint64_t>& computations,
-                         std::atomic<uint64_t>& coalesced_hits,
-                         CoreFn&& core_call) {
+Result<V> ServiceCore::ServeCached(const QueryRequest& request,
+                                   const std::string& key,
+                                   ShardedLruCache<V>& cache,
+                                   SingleFlight<FlightValue<V>>& flight,
+                                   std::atomic<uint64_t>& computations,
+                                   std::atomic<uint64_t>& coalesced_hits,
+                                   ServedFrom* served_from,
+                                   CoreFn&& core_call) {
   // Only the first probe records a miss: retries (stale-follower loop) and
   // the in-flight double-check are re-probes of one logical request, and
   // counting them would deflate the reported hit rate.
   for (bool first_probe = true;; first_probe = false) {
-    if (auto hit = cache.Get(key, /*record_miss=*/first_probe)) return **hit;
+    // The request's own controls gate every pass — entry, and each retry a
+    // stale or leader-aborted flight sends it back around — so an expired
+    // or cancelled request never starts (or re-starts) a computation.
+    TEMPLAR_RETURN_NOT_OK(request.CheckRunnable());
+    if (auto hit = cache.Get(key, /*record_miss=*/first_probe)) {
+      *served_from = ServedFrom::kCache;
+      return *hit;
+    }
 
     // Cache miss: coalesce with any identical in-flight request; the leader
     // computes under a shared QFG lock, records the ranking's fragment
@@ -151,7 +263,7 @@ ServiceCore::ServeCached(const std::string& key, ShardedLruCache<V>& cache,
       // sends a follower back around the retry loop.
       const uint64_t probed_at = epoch();
       if (auto hit = cache.Get(key, /*record_miss=*/false)) {
-        return {Status::OK(), *hit, probed_at};
+        return {Status::OK(), *hit, probed_at, /*from_cache=*/true};
       }
       computations.fetch_add(1, std::memory_order_relaxed);
       std::shared_lock<std::shared_mutex> lock(qfg_mutex_);
@@ -162,48 +274,176 @@ ServiceCore::ServeCached(const std::string& key, ShardedLruCache<V>& cache,
       auto result = core_call(&footprint);
       lock.unlock();
 
-      if (!result.ok()) return {result.status(), nullptr, computed_at};
-      auto value = std::make_shared<typename V::element_type>(
-          std::move(*result));
+      if (!result.ok()) {
+        return {result.status(), nullptr, computed_at, /*from_cache=*/false};
+      }
+      auto value =
+          std::make_shared<typename V::element_type>(std::move(*result));
       cache.Put(key, value, computed_at, footprint.Fingerprints());
-      return {Status::OK(), value, computed_at};
+      return {Status::OK(), value, computed_at, /*from_cache=*/false};
     });
-    // A follower may have joined a flight whose computation predates an
-    // append that *completed before this request began* — serving it would
-    // hand out a ranking the append already invalidated. Retry: if the
-    // append retained the entry the cache answers, otherwise a fresh flight
-    // recomputes. (The leader itself is always linearizable: its request
-    // overlaps any append that races its computation.)
-    if (outcome.coalesced && outcome.value.status.ok() &&
-        outcome.value.computed_at < epoch()) {
-      continue;
-    }
     if (outcome.coalesced) {
+      // A leader that aborted on ITS deadline or cancellation says nothing
+      // about this follower's request: retry, re-checking this request's
+      // own controls at the top of the loop — a fresh flight (with this
+      // caller as the likely leader) then computes. This is what lets a
+      // cancelled leader drain its coalesced followers safely instead of
+      // propagating a kCancelled none of them asked for.
+      if (IsControlAbort(outcome.value.status)) continue;
+      // A follower may also have joined a flight whose computation predates
+      // an append that *completed before this request began* — serving it
+      // would hand out a ranking the append already invalidated. Retry: if
+      // the append retained the entry the cache answers, otherwise a fresh
+      // flight recomputes. (The leader itself is always linearizable: its
+      // request overlaps any append that races its computation.)
+      if (outcome.value.status.ok() && outcome.value.computed_at < epoch()) {
+        continue;
+      }
       coalesced_hits.fetch_add(1, std::memory_order_relaxed);
     }
     if (!outcome.value.status.ok()) return outcome.value.status;
-    return *outcome.value.result;
+    *served_from = outcome.coalesced        ? ServedFrom::kCoalesced
+                   : outcome.value.from_cache ? ServedFrom::kCache
+                                              : ServedFrom::kComputed;
+    return outcome.value.result;
   }
+}
+
+Result<QueryResponse> ServiceCore::Translate(const QueryRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  Result<QueryResponse> response = [&]() -> Result<QueryResponse> {
+    switch (request.stage) {
+      case Stage::kMapKeywords:
+        return ServeMapStage(request);
+      case Stage::kInferJoins:
+        return ServeJoinStage(request);
+      case Stage::kTranslate:
+        return ServeTranslateStage(request);
+    }
+    return Status::InvalidArgument("unknown request stage");
+  }();
+  if (response.ok()) {
+    response->timings.total = Since(start);
+  } else if (response.status().IsDeadlineExceeded()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  } else if (response.status().IsCancelled()) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+Result<QueryResponse> ServiceCore::ServeMapStage(const QueryRequest& request) {
+  map_requests_.fetch_add(1, std::memory_order_relaxed);
+  QueryResponse response;
+  response.stage = Stage::kMapKeywords;
+  std::chrono::microseconds map_time{0};
+  auto value = ServeCached(
+      request, MapCacheKey(request.nlq), map_cache_, map_flight_,
+      map_computations_, map_coalesced_, &response.served_from,
+      [&](qfg::QfgFootprint* footprint) {
+        const auto stage_start = std::chrono::steady_clock::now();
+        auto result = templar_->MapKeywords(request.nlq, footprint);
+        map_time = Since(stage_start);
+        return result;
+      });
+  if (!value.ok()) return value.status();
+  response.configurations = **value;
+  response.timings.map = map_time;  // Zero unless this request computed.
+  response.epoch = epoch();
+  return response;
+}
+
+Result<QueryResponse> ServiceCore::ServeJoinStage(const QueryRequest& request) {
+  join_requests_.fetch_add(1, std::memory_order_relaxed);
+  QueryResponse response;
+  response.stage = Stage::kInferJoins;
+  std::chrono::microseconds join_time{0};
+  auto value = ServeCached(
+      request, JoinCacheKey(request.relation_bag), join_cache_, join_flight_,
+      join_computations_, join_coalesced_, &response.served_from,
+      [&](qfg::QfgFootprint* footprint) {
+        const auto stage_start = std::chrono::steady_clock::now();
+        auto result = templar_->InferJoins(request.relation_bag, footprint);
+        join_time = Since(stage_start);
+        return result;
+      });
+  if (!value.ok()) return value.status();
+  response.join_paths = **value;
+  response.timings.join = join_time;  // Zero unless this request computed.
+  response.epoch = epoch();
+  return response;
+}
+
+Result<QueryResponse> ServiceCore::ServeTranslateStage(
+    const QueryRequest& request) {
+  translate_requests_.fetch_add(1, std::memory_order_relaxed);
+  QueryResponse response;
+  response.stage = Stage::kTranslate;
+  auto value = ServeCached(
+      request, TranslateCacheKey(request.nlq, request.want_explanation),
+      translate_cache_, translate_flight_, translate_computations_,
+      translate_coalesced_, &response.served_from,
+      [&](qfg::QfgFootprint* footprint) -> Result<TranslationBundle> {
+        TranslationBundle bundle;
+        nlidb::PipelineHooks hooks;
+        // One footprint accumulates map ∪ join fingerprints: exactly the
+        // QFG dependency set of every returned translation, so the cached
+        // bundle is invalidated by precisely the appends that could change
+        // any of them.
+        hooks.footprint = footprint;
+        hooks.checkpoint = [&request] { return request.CheckRunnable(); };
+        hooks.timings = &bundle.timings;
+        auto ranked =
+            nlidb::TranslateAllWithTemplar(*templar_, request.nlq, hooks);
+        if (!ranked.ok()) return ranked.status();
+        bundle.translations = std::move(*ranked);
+        if (request.want_explanation) {
+          // Built here, under the shared QFG lock ServeCached holds around
+          // this call: the evidence names exactly the graph state the
+          // ranking was scored on, and rides the cache entry so hits get
+          // provenance for free.
+          const qfg::QueryFragmentGraph& graph =
+              templar_->query_fragment_graph();
+          bundle.explanations.reserve(bundle.translations.size());
+          for (const auto& t : bundle.translations) {
+            bundle.explanations.push_back(ExplainTranslation(graph, t));
+          }
+        }
+        return bundle;
+      });
+  if (!value.ok()) return value.status();
+  const TranslationBundle& bundle = **value;
+  const size_t top_k =
+      std::min(std::max<size_t>(1, request.top_k), bundle.translations.size());
+  response.translations.assign(bundle.translations.begin(),
+                               bundle.translations.begin() + top_k);
+  if (!bundle.explanations.empty()) {
+    response.explanations.assign(
+        bundle.explanations.begin(),
+        bundle.explanations.begin() +
+            std::min(top_k, bundle.explanations.size()));
+  }
+  if (response.served_from == ServedFrom::kComputed) {
+    response.timings.map = bundle.timings.map;
+    response.timings.join = bundle.timings.joins;
+    response.timings.assemble = bundle.timings.assemble;
+  }
+  response.epoch = epoch();
+  return response;
 }
 
 Result<std::vector<core::Configuration>> ServiceCore::MapKeywords(
     const nlq::ParsedNlq& nlq) {
-  map_requests_.fetch_add(1, std::memory_order_relaxed);
-  return ServeCached(MapCacheKey(nlq), map_cache_, map_flight_,
-                     map_computations_, map_coalesced_,
-                     [&](qfg::QfgFootprint* footprint) {
-                       return templar_->MapKeywords(nlq, footprint);
-                     });
+  auto response = Translate(QueryRequest::MapOnly(nlq));
+  if (!response.ok()) return response.status();
+  return std::move(response->configurations);
 }
 
 Result<std::vector<graph::JoinPath>> ServiceCore::InferJoins(
     const std::vector<std::string>& relation_bag) {
-  join_requests_.fetch_add(1, std::memory_order_relaxed);
-  return ServeCached(JoinCacheKey(relation_bag), join_cache_, join_flight_,
-                     join_computations_, join_coalesced_,
-                     [&](qfg::QfgFootprint* footprint) {
-                       return templar_->InferJoins(relation_bag, footprint);
-                     });
+  auto response = Translate(QueryRequest::JoinsOnly(relation_bag));
+  if (!response.ok()) return response.status();
+  return std::move(response->join_paths);
 }
 
 AppendOutcome ServiceCore::AppendLogQueries(
@@ -259,9 +499,12 @@ AppendOutcome ServiceCore::AppendLogQueries(
     // the rest re-stamped to the new epoch — so once this append returns, no
     // ranking it could have changed is ever served. In-flight computations
     // that started before the bump publish with an older epoch and are
-    // rejected by the cache's stale-put check.
+    // rejected by the cache's stale-put check. Translation entries carry
+    // the union (map ∪ join) footprint, so the same sweep invalidates them
+    // exactly as precisely.
     map_cache_.ApplyDelta(delta.fingerprints(), outcome.epoch);
     join_cache_.ApplyDelta(delta.fingerprints(), outcome.epoch);
+    translate_cache_.ApplyDelta(delta.fingerprints(), outcome.epoch);
   }
   appended_queries_.fetch_add(parsed.size(), std::memory_order_relaxed);
   return outcome;
@@ -276,12 +519,21 @@ ServiceStats ServiceCore::Stats() const {
   ServiceStats stats;
   stats.map_requests = map_requests_.load(std::memory_order_relaxed);
   stats.join_requests = join_requests_.load(std::memory_order_relaxed);
+  stats.translate_requests =
+      translate_requests_.load(std::memory_order_relaxed);
   stats.map_computations = map_computations_.load(std::memory_order_relaxed);
   stats.join_computations = join_computations_.load(std::memory_order_relaxed);
+  stats.translate_computations =
+      translate_computations_.load(std::memory_order_relaxed);
   stats.map_coalesced_hits = map_coalesced_.load(std::memory_order_relaxed);
   stats.join_coalesced_hits = join_coalesced_.load(std::memory_order_relaxed);
+  stats.translate_coalesced_hits =
+      translate_coalesced_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   stats.map_cache = map_cache_.Stats();
   stats.join_cache = join_cache_.Stats();
+  stats.translate_cache = translate_cache_.Stats();
   stats.append_batches = append_batches_.load(std::memory_order_relaxed);
   stats.appended_queries = appended_queries_.load(std::memory_order_relaxed);
   {
@@ -317,6 +569,27 @@ TemplarService::TemplarService(std::unique_ptr<ServiceCore> core,
     : core_(std::move(core)), pool_(worker_threads) {}
 
 TemplarService::~TemplarService() = default;
+
+std::future<Result<QueryResponse>> TemplarService::TranslateAsync(
+    QueryRequest request) {
+  // Already dead at submission: answer without queueing at all.
+  if (Status gate = request.CheckRunnable(); !gate.ok()) {
+    return internal::ReadyFuture<QueryResponse>(std::move(gate));
+  }
+  const auto submitted = std::chrono::steady_clock::now();
+  return pool_.Submit([this, request = std::move(request), submitted] {
+    return internal::RunDispatched(
+        request, submitted,
+        [this](const QueryRequest& r) { return core_->Translate(r); });
+  });
+}
+
+std::vector<Result<QueryResponse>> TemplarService::TranslateBatch(
+    const std::vector<QueryRequest>& requests) {
+  return internal::FanOutAligned(requests, [&](const QueryRequest& request) {
+    return TranslateAsync(request);
+  });
+}
 
 std::future<Result<std::vector<core::Configuration>>>
 TemplarService::MapKeywordsAsync(nlq::ParsedNlq nlq) {

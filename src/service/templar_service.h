@@ -9,39 +9,60 @@
 /// This file turns that into a servable system, split into two layers:
 ///
 /// **ServiceCore** is the per-(database, query-log) serving engine — exactly
-/// the state a multi-tenant host replicates per tenant (tenant_registry.h):
+/// the state a multi-tenant host replicates per tenant (tenant_registry.h).
+/// Its public request surface is ONE call:
 ///
-///  - **Concurrency.** MapKeywords/InferJoins may be called from any number
-///    of threads; readers score under a shared `std::shared_mutex` lock.
-///  - **Result caching.** Repeated requests are answered from two sharded
+///     Result<QueryResponse> Translate(const QueryRequest&)
+///
+/// which runs the stage the envelope selects — full NLQ -> SQL translation
+/// (KeywordMapper -> JoinPathGenerator -> nlidb::AssembleSql), or one of the
+/// paper's two mid-pipeline interface calls — under the same serving
+/// machinery:
+///
+///  - **Concurrency.** Translate may be called from any number of threads;
+///    readers score under a shared `std::shared_mutex` lock.
+///  - **Result caching.** Repeated requests are answered from three sharded
 ///    LRU caches (lru_cache.h) keyed on the canonicalized NLQ / relation
-///    bag. Hit/miss/eviction counters surface via Stats().
+///    bag: one per stage, plus a translation cache whose entries carry the
+///    *union* footprint (map ∪ join fingerprints), so appends invalidate
+///    cached translations exactly as precisely as stage results.
 ///  - **Single-flight coalescing.** Identical requests that miss the cache
-///    *concurrently* share one underlying computation (single_flight.h): the
-///    first caller computes, everyone else waits on its result. A thundering
-///    herd on a cold key costs one Templar call, not N.
+///    *concurrently* share one underlying computation (single_flight.h). A
+///    leader whose own deadline/cancellation aborts the computation never
+///    poisons its followers: they observe the typed abort, re-check their
+///    own controls, and start a fresh flight — coalesced followers drain
+///    safely.
+///  - **Deadlines & cancellation.** QueryRequest carries an absolute
+///    deadline and a CancelToken; both are probed on entry, on every
+///    single-flight retry, and at pipeline stage boundaries
+///    (nlidb::PipelineHooks), producing typed kDeadlineExceeded/kCancelled
+///    statuses. The multi-tenant host additionally probes at queue dispatch
+///    so an expired parked request never runs the pipeline.
+///  - **Explanations.** want_explanation attaches per-ranking provenance
+///    (request.h Explanation) built from the same interned-fragment
+///    machinery the footprints use: which log fragments and Dice values
+///    supported each returned translation.
 ///  - **Online QFG ingestion with per-fragment invalidation.**
 ///    AppendLogQueries folds freshly-observed SQL into the
-///    QueryFragmentGraph while the service keeps answering: entries are
-///    parsed outside any lock, then applied under an exclusive writer
-///    section. Each append batch bumps an *epoch* and carries the fragment
-///    delta the batch touched (qfg/fragment_delta.h); cache entries record
-///    the fragment footprint their ranking consulted, so the append evicts
-///    exactly the entries the new evidence could change — everything else
-///    stays warm (ServiceOptions::invalidation selects the legacy
-///    drop-everything behaviour instead). Caches, single-flight tables, and
-///    epochs are all owned by the core, so in a multi-tenant host every one
-///    of them is tenant-scoped by construction.
+///    QueryFragmentGraph while the service keeps answering; each batch
+///    bumps an *epoch*, carries its fragment delta (qfg/fragment_delta.h),
+///    and sweeps all three caches, evicting exactly the entries whose
+///    footprint the new evidence could change.
 ///  - **Warm start / checkpoint.** SaveSnapshot writes the QFG in the
-///    qfg_io v1 format; ServiceOptions::warm_start_path restores it at
-///    Create time, skipping the log re-parse.
+///    qfg_io snapshot format; ServiceOptions::warm_start_path restores it
+///    at Create time, skipping the log re-parse.
+///
+/// The pre-envelope surfaces — MapKeywords/InferJoins sync, async, and
+/// batch — survive as thin shims over stage-selected requests: same cache
+/// entries, same single-flight keys, bit-identical rankings.
 ///
 /// **TemplarService** is the standalone single-tenant server: a ServiceCore
-/// plus its own fixed-size worker pool for the Async/Batch request variants.
-/// Multi-tenant deployments use ServiceHost instead, which shares one pool
-/// (and one cache-memory budget) across many cores.
+/// plus its own fixed-size worker pool for the Async/Batch request
+/// variants. Multi-tenant deployments use ServiceHost instead, which shares
+/// one pool (and one cache-memory budget) across many cores.
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <shared_mutex>
@@ -52,7 +73,9 @@
 
 #include "common/result.h"
 #include "core/templar.h"
+#include "nlidb/nlidb.h"
 #include "service/lru_cache.h"
+#include "service/request.h"
 #include "service/service_stats.h"
 #include "service/single_flight.h"
 #include "service/thread_pool.h"
@@ -76,6 +99,35 @@ auto FanOutAligned(const std::vector<Input>& inputs, SubmitFn&& submit) {
   return results;
 }
 
+/// \brief A future already holding `result`.
+template <typename T>
+std::future<Result<T>> ReadyFuture(Result<T> result) {
+  std::promise<Result<T>> promise;
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+/// Shared queue-dispatch shape of TemplarService::TranslateAsync and
+/// TenantHandle::TranslateAsync — runs on the worker at dispatch time:
+/// re-probes the request's controls (a deadline that expired, or a token
+/// that fired, while the task was parked rejects here, before any pipeline
+/// work), then stamps the measured queue wait into the response timings.
+template <typename RunFn>
+Result<QueryResponse> RunDispatched(
+    const QueryRequest& request,
+    std::chrono::steady_clock::time_point submitted, RunFn&& run) {
+  const auto queue_wait =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - submitted);
+  if (Status gate = request.CheckRunnable(); !gate.ok()) return gate;
+  Result<QueryResponse> response = run(request);
+  if (response.ok()) {
+    response->timings.queue = queue_wait;
+    response->timings.total += queue_wait;
+  }
+  return response;
+}
+
 }  // namespace internal
 
 /// \brief Serving-layer tunables on top of the core TemplarOptions.
@@ -87,6 +139,8 @@ struct ServiceOptions {
   /// Total entries per result cache (split across shards).
   size_t map_cache_capacity = 4096;
   size_t join_cache_capacity = 4096;
+  /// End-to-end translation cache (full rankings; top_k slices at serve).
+  size_t translate_cache_capacity = 4096;
   /// Independent lock shards per cache.
   size_t cache_shards = 8;
   /// How appends invalidate cached rankings (see lru_cache.h). kPerFragment
@@ -124,22 +178,32 @@ class ServiceCore {
   ServiceCore(const ServiceCore&) = delete;
   ServiceCore& operator=(const ServiceCore&) = delete;
 
+  /// \brief The single typed entry point: serves the envelope's stage
+  /// through the cache -> single-flight -> compute path, honouring the
+  /// request's deadline/cancellation at every boundary. Runs on the
+  /// caller's thread.
+  Result<QueryResponse> Translate(const QueryRequest& request);
+
+  /// \name Legacy stage surfaces (shims over stage-selected envelopes)
+  /// Same caches, same single-flight keys, bit-identical rankings.
+  ///@{
   Result<std::vector<core::Configuration>> MapKeywords(
       const nlq::ParsedNlq& nlq);
   Result<std::vector<graph::JoinPath>> InferJoins(
       const std::vector<std::string>& relation_bag);
+  ///@}
 
   /// \brief Folds new SQL log entries into the QFG while serving continues.
   ///
   /// Entries are parsed — and their fragment delta extracted — outside the
   /// write lock; the exclusive section applies the pre-parsed queries, bumps
-  /// the epoch, and sweeps both caches against the delta, so readers are
-  /// blocked for the minimum time and an entry the append could have changed
-  /// is never served afterwards. Unparseable entries are skipped and
-  /// counted.
+  /// the epoch, and sweeps all three caches against the delta, so readers
+  /// are blocked for the minimum time and an entry the append could have
+  /// changed is never served afterwards. Unparseable entries are skipped
+  /// and counted.
   AppendOutcome AppendLogQueries(const std::vector<std::string>& sql_entries);
 
-  /// \brief Checkpoints the current QFG in the qfg_io v1 snapshot format
+  /// \brief Checkpoints the current QFG in the qfg_io snapshot format
   /// (restorable via ServiceOptions::warm_start_path).
   Status SaveSnapshot(const std::string& path) const;
 
@@ -150,10 +214,11 @@ class ServiceCore {
   /// \brief Current ingestion epoch (bumped once per append batch).
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
-  /// \brief Re-budgets both result caches (multi-tenant hosts partition one
+  /// \brief Re-budgets the result caches (multi-tenant hosts partition one
   /// global entry budget across live tenants). Over-budget entries are
   /// evicted LRU-first.
-  void SetCacheCapacities(size_t map_entries, size_t join_entries);
+  void SetCacheCapacities(size_t map_entries, size_t join_entries,
+                          size_t translate_entries);
 
   /// \brief Canonical cache key for an NLQ: whitespace-normalized keyword
   /// texts with their metadata, order-preserving. Exposed for tests.
@@ -161,34 +226,59 @@ class ServiceCore {
   /// \brief Canonical cache key for a relation bag: sorted instance names
   /// (bag order does not affect the Steiner terminals). Exposed for tests.
   static std::string JoinCacheKey(const std::vector<std::string>& bag);
+  /// \brief Canonical cache key for a full translation. top_k is NOT part
+  /// of the key (the full ranking is cached once and sliced at serve);
+  /// want_explanation is (explanationless traffic never pays for
+  /// provenance). Exposed for tests.
+  static std::string TranslateCacheKey(const nlq::ParsedNlq& nlq,
+                                       bool want_explanation);
 
  private:
   ServiceCore(std::unique_ptr<core::Templar> templar,
               const ServiceOptions& options);
 
+  /// One cached end-to-end translation: the full ranking plus (when the
+  /// computing request asked) aligned explanations and the compute-time
+  /// stage timings.
+  struct TranslationBundle {
+    std::vector<nlidb::Translation> translations;
+    std::vector<Explanation> explanations;
+    nlidb::PipelineTimings timings;
+  };
+
   using ConfigResult = std::shared_ptr<const std::vector<core::Configuration>>;
   using JoinResult = std::shared_ptr<const std::vector<graph::JoinPath>>;
+  using TranslateResult = std::shared_ptr<const TranslationBundle>;
   /// What a single flight lands with: an error status or a shared pointer
-  /// to the result vector (fan-out to followers copies the pointer), plus
-  /// the epoch it was computed at — a follower that joined the flight after
-  /// an intervening append re-checks freshness against it.
+  /// to the result (fan-out to followers copies the pointer), plus the
+  /// epoch it was computed at — a follower that joined the flight after an
+  /// intervening append re-checks freshness against it — and whether the
+  /// leader's in-flight double-check served it from the cache.
   template <typename V>
   struct FlightValue {
     Status status;
     V result;
     uint64_t computed_at = 0;
+    bool from_cache = false;
   };
 
-  /// Shared cache → single-flight → compute path of both request endpoints
-  /// (defined in the .cc; only instantiated there). `core_call(&footprint)`
-  /// runs the underlying Templar call; it is invoked under the shared QFG
-  /// lock with the footprint recorder to fill.
+  /// Shared cache -> single-flight -> compute path of every stage (defined
+  /// in the .cc; only instantiated there). `core_call(&footprint)` runs the
+  /// underlying computation; it is invoked under the shared QFG lock with
+  /// the footprint recorder to fill. `request` supplies the
+  /// deadline/cancellation probes; `served_from` reports the disposition.
   template <typename V, typename CoreFn>
-  Result<std::remove_const_t<typename V::element_type>> ServeCached(
-      const std::string& key, ShardedLruCache<V>& cache,
-      SingleFlight<FlightValue<V>>& flight,
-      std::atomic<uint64_t>& computations,
-      std::atomic<uint64_t>& coalesced_hits, CoreFn&& core_call);
+  Result<V> ServeCached(const QueryRequest& request, const std::string& key,
+                        ShardedLruCache<V>& cache,
+                        SingleFlight<FlightValue<V>>& flight,
+                        std::atomic<uint64_t>& computations,
+                        std::atomic<uint64_t>& coalesced_hits,
+                        ServedFrom* served_from, CoreFn&& core_call);
+
+  /// Stage bodies of Translate (defined in the .cc).
+  Result<QueryResponse> ServeMapStage(const QueryRequest& request);
+  Result<QueryResponse> ServeJoinStage(const QueryRequest& request);
+  Result<QueryResponse> ServeTranslateStage(const QueryRequest& request);
 
   std::unique_ptr<core::Templar> templar_;
 
@@ -198,16 +288,23 @@ class ServiceCore {
 
   ShardedLruCache<ConfigResult> map_cache_;
   ShardedLruCache<JoinResult> join_cache_;
+  ShardedLruCache<TranslateResult> translate_cache_;
 
   SingleFlight<FlightValue<ConfigResult>> map_flight_;
   SingleFlight<FlightValue<JoinResult>> join_flight_;
+  SingleFlight<FlightValue<TranslateResult>> translate_flight_;
 
   std::atomic<uint64_t> map_requests_{0};
   std::atomic<uint64_t> join_requests_{0};
+  std::atomic<uint64_t> translate_requests_{0};
   std::atomic<uint64_t> map_computations_{0};
   std::atomic<uint64_t> join_computations_{0};
+  std::atomic<uint64_t> translate_computations_{0};
   std::atomic<uint64_t> map_coalesced_{0};
   std::atomic<uint64_t> join_coalesced_{0};
+  std::atomic<uint64_t> translate_coalesced_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> append_batches_{0};
   std::atomic<uint64_t> appended_queries_{0};
   std::atomic<uint64_t> skipped_appends_{0};
@@ -229,7 +326,27 @@ class TemplarService {
   TemplarService(const TemplarService&) = delete;
   TemplarService& operator=(const TemplarService&) = delete;
 
-  /// \name Synchronous request API (runs on the caller's thread)
+  /// \name Typed envelope API
+  ///@{
+
+  /// \brief Synchronous Translate (runs on the caller's thread).
+  Result<QueryResponse> Translate(const QueryRequest& request) {
+    return core_->Translate(request);
+  }
+
+  /// \brief Asynchronous Translate: the request runs on the worker pool. A
+  /// deadline already expired at submission returns a ready future without
+  /// queueing; one expiring while queued is rejected at dispatch before any
+  /// pipeline work. QueryResponse::timings.queue reports the pool wait.
+  std::future<Result<QueryResponse>> TranslateAsync(QueryRequest request);
+
+  /// \brief Batched Translate: fans out over the pool; results are
+  /// positionally aligned with the inputs.
+  std::vector<Result<QueryResponse>> TranslateBatch(
+      const std::vector<QueryRequest>& requests);
+  ///@}
+
+  /// \name Legacy stage surfaces (shims over stage-selected envelopes)
   ///@{
   Result<std::vector<core::Configuration>> MapKeywords(
       const nlq::ParsedNlq& nlq) {
@@ -239,20 +356,12 @@ class TemplarService {
       const std::vector<std::string>& relation_bag) {
     return core_->InferJoins(relation_bag);
   }
-  ///@}
-
-  /// \name Asynchronous request API (runs on the worker pool)
-  ///@{
   std::future<Result<std::vector<core::Configuration>>> MapKeywordsAsync(
       nlq::ParsedNlq nlq);
   std::future<Result<std::vector<graph::JoinPath>>> InferJoinsAsync(
       std::vector<std::string> relation_bag);
-  ///@}
-
-  /// \name Batched request API
   /// Fans the batch out over the worker pool and waits for every element;
   /// results are positionally aligned with the inputs.
-  ///@{
   std::vector<Result<std::vector<core::Configuration>>> MapKeywordsBatch(
       const std::vector<nlq::ParsedNlq>& nlqs);
   std::vector<Result<std::vector<graph::JoinPath>>> InferJoinsBatch(
@@ -275,12 +384,16 @@ class TemplarService {
   /// \brief Current ingestion epoch (bumped once per append batch).
   uint64_t epoch() const { return core_->epoch(); }
 
-  /// \brief See ServiceCore::MapCacheKey / JoinCacheKey.
+  /// \brief See ServiceCore::MapCacheKey / JoinCacheKey / TranslateCacheKey.
   static std::string MapCacheKey(const nlq::ParsedNlq& nlq) {
     return ServiceCore::MapCacheKey(nlq);
   }
   static std::string JoinCacheKey(const std::vector<std::string>& bag) {
     return ServiceCore::JoinCacheKey(bag);
+  }
+  static std::string TranslateCacheKey(const nlq::ParsedNlq& nlq,
+                                       bool want_explanation) {
+    return ServiceCore::TranslateCacheKey(nlq, want_explanation);
   }
 
  private:

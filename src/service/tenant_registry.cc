@@ -1,6 +1,7 @@
 #include "service/tenant_registry.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace templar::service {
@@ -28,9 +29,7 @@ using internal::TenantState;
 
 template <typename T>
 std::future<Result<T>> ReadyFuture(Status status) {
-  std::promise<Result<T>> promise;
-  promise.set_value(Result<T>(std::move(status)));
-  return promise.get_future();
+  return internal::ReadyFuture<T>(Result<T>(std::move(status)));
 }
 
 Status RetiredError(const TenantState& state) {
@@ -116,6 +115,35 @@ std::future<Result<T>> ServeAsync(const std::shared_ptr<TenantState>& state,
 
 // ---------------------------------------------------------------------------
 // TenantHandle
+
+Result<QueryResponse> TenantHandle::Translate(
+    const QueryRequest& request) const {
+  return ServeSync<QueryResponse>(
+      state_, [&](ServiceCore& core) { return core.Translate(request); });
+}
+
+std::future<Result<QueryResponse>> TenantHandle::TranslateAsync(
+    QueryRequest request) const {
+  // A request that is already dead never touches admission: it is answered
+  // on the caller's thread without taking a queue slot or a worker.
+  if (Status gate = request.CheckRunnable(); !gate.ok()) {
+    return ReadyFuture<QueryResponse>(std::move(gate));
+  }
+  const auto submitted = std::chrono::steady_clock::now();
+  return ServeAsync<QueryResponse>(
+      state_, [request = std::move(request), submitted](ServiceCore& core) {
+        return internal::RunDispatched(
+            request, submitted,
+            [&core](const QueryRequest& r) { return core.Translate(r); });
+      });
+}
+
+std::vector<Result<QueryResponse>> TenantHandle::TranslateBatch(
+    const std::vector<QueryRequest>& requests) const {
+  return internal::FanOutAligned(requests, [&](const QueryRequest& request) {
+    return TranslateAsync(request);
+  });
+}
 
 const std::string& TenantHandle::id() const {
   static const std::string kEmpty;
@@ -251,6 +279,8 @@ Status ServiceHost::RegisterTenant(const std::string& id,
   core_options.map_cache_capacity = std::max<size_t>(1, options_.map_cache_budget);
   core_options.join_cache_capacity =
       std::max<size_t>(1, options_.join_cache_budget);
+  core_options.translate_cache_capacity =
+      std::max<size_t>(1, options_.translate_cache_budget);
   core_options.cache_shards = options_.cache_shards;
   core_options.invalidation = options.invalidation;
   core_options.warm_start_path = options.warm_start_path;
@@ -318,6 +348,7 @@ HostStats ServiceHost::Stats() const {
   stats.worker_threads = pool_.size();
   stats.map_cache_budget = options_.map_cache_budget;
   stats.join_cache_budget = options_.join_cache_budget;
+  stats.translate_cache_budget = options_.translate_cache_budget;
   std::vector<std::shared_ptr<internal::TenantState>> states;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
@@ -341,8 +372,10 @@ void ServiceHost::RepartitionCachesLocked() {
       std::max<size_t>(1, options_.map_cache_budget / count);
   const size_t join_share =
       std::max<size_t>(1, options_.join_cache_budget / count);
+  const size_t translate_share =
+      std::max<size_t>(1, options_.translate_cache_budget / count);
   for (auto& [_, state] : tenants_) {
-    state->core->SetCacheCapacities(map_share, join_share);
+    state->core->SetCacheCapacities(map_share, join_share, translate_share);
   }
 }
 

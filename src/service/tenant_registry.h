@@ -55,6 +55,7 @@ struct HostOptions {
   /// repartitioned on every register/retire.
   size_t map_cache_budget = 8192;
   size_t join_cache_budget = 8192;
+  size_t translate_cache_budget = 8192;
   /// Independent lock shards per tenant cache.
   size_t cache_shards = 8;
   /// Admission limits applied to tenants that do not override them.
@@ -92,7 +93,28 @@ class TenantHandle {
   /// \brief False once the tenant has been retired from its host.
   bool alive() const;
 
-  /// \name Synchronous request API (caller's thread; admission-gated)
+  /// \name Typed envelope API (admission-gated)
+  ///@{
+
+  /// \brief Synchronous Translate on the caller's thread.
+  Result<QueryResponse> Translate(const QueryRequest& request) const;
+
+  /// \brief Asynchronous Translate on the shared pool, fair-share
+  /// scheduled. A request already past its deadline (or already cancelled)
+  /// at submission returns a ready future with the typed status *without*
+  /// entering the admission queue or occupying a worker; one expiring while
+  /// queued is rejected at dispatch before any pipeline work.
+  /// QueryResponse::timings.queue reports the time parked in the queue.
+  std::future<Result<QueryResponse>> TranslateAsync(QueryRequest request)
+      const;
+
+  /// \brief Batched Translate over the shared pool; results positionally
+  /// aligned, with per-element kOverloaded on admission rejection.
+  std::vector<Result<QueryResponse>> TranslateBatch(
+      const std::vector<QueryRequest>& requests) const;
+  ///@}
+
+  /// \name Legacy synchronous request API (caller's thread; admission-gated)
   ///@{
   Result<std::vector<core::Configuration>> MapKeywords(
       const nlq::ParsedNlq& nlq) const;
@@ -100,7 +122,8 @@ class TenantHandle {
       const std::vector<std::string>& relation_bag) const;
   ///@}
 
-  /// \name Asynchronous request API (shared pool, fair-share scheduled)
+  /// \name Legacy asynchronous request API (shared pool, fair-share
+  /// scheduled)
   /// A rejected submission returns an already-satisfied future holding
   /// kOverloaded.
   ///@{
@@ -110,7 +133,7 @@ class TenantHandle {
       std::vector<std::string> relation_bag) const;
   ///@}
 
-  /// \name Batched request API
+  /// \name Legacy batched request API
   /// Fans out over the shared pool; results are positionally aligned with
   /// the inputs, with per-element kOverloaded on admission rejection.
   ///@{

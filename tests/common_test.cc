@@ -42,6 +42,27 @@ TEST(StatusTest, AllFactoriesProduceMatchingPredicates) {
   EXPECT_TRUE(Status::NotImplemented("m").IsNotImplemented());
   EXPECT_TRUE(Status::Internal("m").IsInternal());
   EXPECT_TRUE(Status::IOError("m").IsIOError());
+  EXPECT_TRUE(Status::Overloaded("m").IsOverloaded());
+  EXPECT_TRUE(Status::DeadlineExceeded("m").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Cancelled("m").IsCancelled());
+}
+
+TEST(StatusTest, ControlAbortCodesAreDistinctAndNamed) {
+  // The serving layer's typed control aborts: a caller must be able to tell
+  // "you gave up" (deadline/cancel) apart from load shedding (overloaded)
+  // and from real failures.
+  Status deadline = Status::DeadlineExceeded("queue timeout");
+  Status cancelled = Status::Cancelled("caller cancelled");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_NE(deadline.code(), cancelled.code());
+  EXPECT_FALSE(deadline.IsOverloaded());
+  EXPECT_FALSE(cancelled.IsOverloaded());
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: queue timeout");
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: caller cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
 }
 
 TEST(StatusTest, CopyPreservesState) {

@@ -620,5 +620,145 @@ TEST_F(ServiceHostTest, AppendsOnOneTenantNeverTouchAnotherDifferential) {
   EXPECT_EQ(stats_b.append_batches, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// The typed envelope through the multi-tenant host
+
+TEST_F(ServiceHostTest, TranslateThroughHandleIsAdmissionGatedAndRetireSafe) {
+  ServiceHost host(SmallHost());
+  ASSERT_TRUE(host.RegisterTenant("mas", db_a_.get(), model_.get(),
+                                  testing::MakeMiniLog())
+                  .ok());
+  auto handle = host.Tenant("mas");
+  ASSERT_TRUE(handle.ok());
+
+  auto sync = handle->Translate(
+      QueryRequest::Translation(PapersInDatabasesNlq(), /*top_k=*/2));
+  ASSERT_TRUE(sync.ok()) << sync.status().ToString();
+  ASSERT_FALSE(sync->translations.empty());
+  auto async = handle
+                   ->TranslateAsync(
+                       QueryRequest::Translation(PapersInDatabasesNlq(),
+                                                 /*top_k=*/2))
+                   .get();
+  ASSERT_TRUE(async.ok());
+  EXPECT_EQ(async->translations.front().query.ToString(),
+            sync->translations.front().query.ToString());
+  EXPECT_GE(async->timings.queue.count(), 0);
+
+  ServiceStats stats = handle->Stats();
+  EXPECT_EQ(stats.translate_requests, 2u);
+  EXPECT_GE(stats.admission.submitted, 2u);
+
+  auto batch = handle->TranslateBatch(
+      {QueryRequest::Translation(PapersInDatabasesNlq()),
+       QueryRequest::Translation(PapersInDatabasesNlq())});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(batch[0].ok());
+  EXPECT_TRUE(batch[1].ok());
+
+  ASSERT_TRUE(host.RetireTenant("mas").ok());
+  EXPECT_TRUE(handle->Translate(QueryRequest::Translation(PapersInDatabasesNlq()))
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(handle
+                  ->TranslateAsync(
+                      QueryRequest::Translation(PapersInDatabasesNlq()))
+                  .get()
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ServiceHostTest, ExpiredDeadlineNeverEntersQueueOrOccupiesWorker) {
+  ServiceHost host(SmallHost());
+  ASSERT_TRUE(host.RegisterTenant("t", db_a_.get(), model_.get(),
+                                  testing::MakeMiniLog())
+                  .ok());
+  auto handle = host.Tenant("t");
+  ASSERT_TRUE(handle.ok());
+
+  QueryRequest dead = QueryRequest::Translation(PapersInDatabasesNlq());
+  dead.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  auto future = handle->TranslateAsync(std::move(dead));
+  // Answered on the submitting thread: the future is ready immediately.
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_TRUE(future.get().status().IsDeadlineExceeded());
+
+  ServiceStats stats = handle->Stats();
+  EXPECT_EQ(stats.translate_computations, 0u) << "no pipeline work ran";
+  EXPECT_EQ(stats.admission.submitted, 0u)
+      << "a dead request must not consume an admission slot";
+  EXPECT_EQ(stats.admission.queued, 0u);
+
+  // Pre-cancelled requests take the same short-circuit.
+  QueryRequest cancelled = QueryRequest::Translation(PapersInDatabasesNlq());
+  cancelled.cancel = CancelToken::Cancellable();
+  cancelled.cancel.RequestCancel();
+  EXPECT_TRUE(handle->TranslateAsync(std::move(cancelled))
+                  .get()
+                  .status()
+                  .IsCancelled());
+  EXPECT_EQ(handle->Stats().admission.submitted, 0u);
+}
+
+TEST_F(ServiceHostTest, DeadlineExpiringInQueueRejectsAtDispatch) {
+  // One worker, deep queue: park several cold requests ahead of a request
+  // whose deadline can only survive the queue if dispatch is instant. The
+  // parked request must come back kDeadlineExceeded (dispatch probe) or —
+  // if this machine dispatched it in time — complete; either way it must
+  // never run the pipeline after its deadline passed and the admission
+  // ledger must reconcile.
+  HostOptions options = SmallHost();
+  options.worker_threads = 1;
+  ServiceHost host(options);
+  ASSERT_TRUE(host.RegisterTenant("t", db_a_.get(), model_.get(),
+                                  testing::MakeMiniLog())
+                  .ok());
+  auto handle = host.Tenant("t");
+  ASSERT_TRUE(handle.ok());
+
+  // Cold distinct keys so each parked task does real work.
+  std::vector<std::future<Result<QueryResponse>>> blockers;
+  for (int i = 0; i < 4; ++i) {
+    nlq::ParsedNlq nlq = PapersInDatabasesNlq();
+    nlq.keywords[1].text = "value" + std::to_string(i);
+    blockers.push_back(
+        handle->TranslateAsync(QueryRequest::Translation(std::move(nlq))));
+  }
+  QueryRequest parked = QueryRequest::Translation(PapersInDatabasesNlq());
+  parked.deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(50);
+  auto result = handle->TranslateAsync(std::move(parked)).get();
+  if (!result.ok()) {
+    EXPECT_TRUE(result.status().IsDeadlineExceeded())
+        << result.status().ToString();
+  }
+  for (auto& blocker : blockers) (void)blocker.get();
+
+  // The slot release runs on the worker after the future is satisfied;
+  // wait for the ledger to quiesce before checking the contract.
+  ASSERT_TRUE(EventuallyTrue([&] {
+    AdmissionStats admission = handle->Stats().admission;
+    return admission.completed == admission.admitted;
+  }));
+  AdmissionStats admission = handle->Stats().admission;
+  EXPECT_EQ(admission.submitted, admission.admitted + admission.rejected);
+}
+
+TEST_F(ServiceHostTest, TranslateCacheBudgetRepartitionsWithTenantCount) {
+  HostOptions options = SmallHost();
+  options.translate_cache_budget = 64;
+  ServiceHost host(options);
+  ASSERT_TRUE(host.RegisterTenant("a", db_a_.get(), model_.get(), {}).ok());
+  auto solo = host.Tenant("a");
+  ASSERT_TRUE(solo.ok());
+  EXPECT_EQ(solo->Stats().translate_cache.capacity, 64u);
+  ASSERT_TRUE(host.RegisterTenant("b", db_b_.get(), model_.get(), {}).ok());
+  EXPECT_LE(solo->Stats().translate_cache.capacity, 32u);
+  ASSERT_TRUE(host.RetireTenant("b").ok());
+  EXPECT_EQ(solo->Stats().translate_cache.capacity, 64u);
+}
+
 }  // namespace
 }  // namespace templar::service

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -615,6 +616,381 @@ TEST_F(TemplarServiceTest, CreateRejectsNullDependencies) {
   auto service = TemplarService::Create(nullptr, model_.get(), {});
   EXPECT_FALSE(service.ok());
   EXPECT_TRUE(service.status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// The typed envelope: Translate end-to-end
+
+TEST_F(TemplarServiceTest, TranslateServesEndToEndSqlAndCaches) {
+  auto first = service_->Translate(
+      QueryRequest::Translation(PapersInDatabasesNlq(), /*top_k=*/3));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->stage, Stage::kTranslate);
+  ASSERT_FALSE(first->translations.empty());
+  EXPECT_LE(first->translations.size(), 3u);
+  // The top translation is assembled SQL, not a stage artifact.
+  EXPECT_NE(first->translations.front().query.ToString().find("SELECT"),
+            std::string::npos);
+  EXPECT_EQ(first->served_from, ServedFrom::kComputed);
+  EXPECT_GE(first->timings.total.count(), 0);
+
+  auto second = service_->Translate(
+      QueryRequest::Translation(PapersInDatabasesNlq(), /*top_k=*/3));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->served_from, ServedFrom::kCache);
+
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.translate_requests, 2u);
+  EXPECT_EQ(stats.translate_computations, 1u);
+  EXPECT_EQ(stats.translate_cache.hits, 1u);
+  ASSERT_EQ(first->translations.size(), second->translations.size());
+  for (size_t i = 0; i < first->translations.size(); ++i) {
+    EXPECT_EQ(first->translations[i].query.ToString(),
+              second->translations[i].query.ToString());
+    EXPECT_DOUBLE_EQ(first->translations[i].score,
+                     second->translations[i].score);
+  }
+}
+
+TEST_F(TemplarServiceTest, TranslateMatchesDirectNlidbPipeline) {
+  // The envelope must serve exactly what the library pipeline computes: no
+  // reordering, no score drift through the cache/single-flight machinery.
+  auto direct_templar =
+      core::Templar::Build(db_.get(), model_.get(), testing::MakeMiniLog());
+  ASSERT_TRUE(direct_templar.ok());
+  auto direct =
+      nlidb::TranslateAllWithTemplar(**direct_templar, PapersInDatabasesNlq());
+  ASSERT_TRUE(direct.ok());
+
+  auto served = service_->Translate(
+      QueryRequest::Translation(PapersInDatabasesNlq(), direct->size()));
+  ASSERT_TRUE(served.ok());
+  ASSERT_EQ(served->translations.size(), direct->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ(served->translations[i].query.ToString(),
+              (*direct)[i].query.ToString());
+    EXPECT_DOUBLE_EQ(served->translations[i].score, (*direct)[i].score);
+    EXPECT_EQ(served->translations[i].tie_for_first,
+              (*direct)[i].tie_for_first);
+  }
+}
+
+TEST_F(TemplarServiceTest, LegacyShimsMatchDirectTemplarBitForBit) {
+  // The pre-envelope surfaces are shims over stage-selected requests; their
+  // rankings must equal a direct core::Templar call on the same inputs.
+  auto direct =
+      core::Templar::Build(db_.get(), model_.get(), testing::MakeMiniLog());
+  ASSERT_TRUE(direct.ok());
+
+  auto shim_configs = service_->MapKeywords(PapersInDatabasesNlq());
+  auto direct_configs = (*direct)->MapKeywords(PapersInDatabasesNlq());
+  ASSERT_TRUE(shim_configs.ok());
+  ASSERT_TRUE(direct_configs.ok());
+  ASSERT_EQ(shim_configs->size(), direct_configs->size());
+  for (size_t i = 0; i < shim_configs->size(); ++i) {
+    EXPECT_EQ((*shim_configs)[i].ToString(), (*direct_configs)[i].ToString());
+    EXPECT_DOUBLE_EQ((*shim_configs)[i].score, (*direct_configs)[i].score);
+  }
+
+  std::vector<std::string> bag = {"publication", "domain"};
+  auto shim_paths = service_->InferJoins(bag);
+  auto direct_paths = (*direct)->InferJoins(bag);
+  ASSERT_TRUE(shim_paths.ok());
+  ASSERT_TRUE(direct_paths.ok());
+  ASSERT_EQ(shim_paths->size(), direct_paths->size());
+  for (size_t i = 0; i < shim_paths->size(); ++i) {
+    EXPECT_EQ((*shim_paths)[i].ToString(), (*direct_paths)[i].ToString());
+    EXPECT_DOUBLE_EQ((*shim_paths)[i].score, (*direct_paths)[i].score);
+  }
+}
+
+TEST_F(TemplarServiceTest, LegacyStageRequestsShareCachesWithShims) {
+  // A stage-selected envelope and the legacy shim are the same request:
+  // one computation, one cache entry.
+  ASSERT_TRUE(service_->MapKeywords(PapersInDatabasesNlq()).ok());
+  auto enveloped =
+      service_->Translate(QueryRequest::MapOnly(PapersInDatabasesNlq()));
+  ASSERT_TRUE(enveloped.ok());
+  EXPECT_EQ(enveloped->stage, Stage::kMapKeywords);
+  EXPECT_FALSE(enveloped->configurations.empty());
+  EXPECT_EQ(enveloped->served_from, ServedFrom::kCache);
+  EXPECT_EQ(service_->Stats().map_computations, 1u);
+
+  ASSERT_TRUE(service_->InferJoins({"publication", "domain"}).ok());
+  auto joins =
+      service_->Translate(QueryRequest::JoinsOnly({"domain", "publication"}));
+  ASSERT_TRUE(joins.ok());
+  EXPECT_EQ(joins->served_from, ServedFrom::kCache)
+      << "permuted bag shares the legacy entry";
+  EXPECT_EQ(service_->Stats().join_computations, 1u);
+}
+
+TEST_F(TemplarServiceTest, TranslateTopKValuesShareOneCacheEntry) {
+  auto top1 =
+      service_->Translate(QueryRequest::Translation(PapersInDatabasesNlq()));
+  ASSERT_TRUE(top1.ok());
+  EXPECT_EQ(top1->translations.size(), 1u);
+  auto top3 = service_->Translate(
+      QueryRequest::Translation(PapersInDatabasesNlq(), /*top_k=*/3));
+  ASSERT_TRUE(top3.ok());
+  EXPECT_EQ(top3->served_from, ServedFrom::kCache)
+      << "top_k is a serve-time slice, not part of the cache key";
+  EXPECT_EQ(service_->Stats().translate_computations, 1u);
+  ASSERT_FALSE(top3->translations.empty());
+  EXPECT_EQ(top3->translations.front().query.ToString(),
+            top1->translations.front().query.ToString());
+}
+
+TEST_F(TemplarServiceTest, TranslateExplanationsNameFragmentsVerifiedAgainstQfg) {
+  QueryRequest request =
+      QueryRequest::Translation(PapersInDatabasesNlq(), /*top_k=*/3);
+  request.want_explanation = true;
+  auto response = service_->Translate(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->explanations.size(), response->translations.size());
+
+  // Independent reference: the same log indexed by a fresh Templar. Keys
+  // and counts must agree fragment-for-fragment.
+  auto reference =
+      core::Templar::Build(db_.get(), model_.get(), testing::MakeMiniLog());
+  ASSERT_TRUE(reference.ok());
+  const qfg::QueryFragmentGraph& graph = (*reference)->query_fragment_graph();
+
+  for (size_t i = 0; i < response->translations.size(); ++i) {
+    const nlidb::Translation& t = response->translations[i];
+    const Explanation& ex = response->explanations[i];
+    EXPECT_EQ(ex.query_count, graph.query_count());
+
+    // The occurrence-fallback flag agrees with the reference scorer.
+    bool reference_flag = false;
+    (void)core::KeywordMapper::QfgScore(t.configuration, graph,
+                                        &reference_flag);
+    EXPECT_EQ(ex.used_query_count, reference_flag);
+
+    // Exactly the chosen configuration's non-FROM fragments, in order.
+    size_t non_from = 0;
+    for (const auto& m : t.configuration.mappings) {
+      if (m.candidate.fragment.context == qfg::FragmentContext::kFrom) {
+        continue;
+      }
+      ASSERT_LT(non_from, ex.map_fragments.size());
+      EXPECT_EQ(ex.map_fragments[non_from].key,
+                graph.Normalized(m.candidate.fragment).Key());
+      ++non_from;
+    }
+    EXPECT_EQ(ex.map_fragments.size(), non_from);
+
+    for (const auto& support : ex.map_fragments) {
+      qfg::FragmentId id = graph.interner().Find(support.key);
+      if (support.interned) {
+        ASSERT_NE(id, qfg::kInvalidFragmentId)
+            << "explanation names a fragment the log never interned: "
+            << support.key;
+        EXPECT_EQ(support.occurrences, graph.Occurrences(id));
+        EXPECT_GT(support.occurrences, 0u);
+      } else {
+        EXPECT_EQ(id, qfg::kInvalidFragmentId) << support.key;
+        EXPECT_EQ(support.occurrences, 0u);
+      }
+    }
+    for (const auto& pair : ex.map_pairs) {
+      qfg::FragmentId a = graph.interner().Find(pair.a);
+      qfg::FragmentId b = graph.interner().Find(pair.b);
+      EXPECT_EQ(pair.cooccurrences, graph.CoOccurrences(a, b));
+      EXPECT_DOUBLE_EQ(pair.dice, graph.Dice(a, b));
+    }
+
+    // Join evidence covers the returned path: every base relation named
+    // once, every edge with the Dice behind its w_L.
+    EXPECT_EQ(ex.join_edges.size(), t.join_path.edges.size());
+    for (size_t e = 0; e < ex.join_edges.size(); ++e) {
+      const auto& pair = ex.join_edges[e];
+      EXPECT_DOUBLE_EQ(pair.dice, graph.RelationDice(pair.a, pair.b));
+    }
+    EXPECT_FALSE(ex.join_relations.empty());
+    EXPECT_FALSE(ex.ToString().empty());
+  }
+
+  // Provenance rides the cache entry: a repeat is a hit with the same
+  // explanations attached.
+  auto repeat = service_->Translate(request);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(repeat->served_from, ServedFrom::kCache);
+  ASSERT_EQ(repeat->explanations.size(), response->explanations.size());
+  EXPECT_EQ(repeat->explanations.front().ToString(),
+            response->explanations.front().ToString());
+
+  // Explanationless traffic uses its own key: no free ride, no pollution.
+  auto plain = service_->Translate(
+      QueryRequest::Translation(PapersInDatabasesNlq(), /*top_k=*/3));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->explanations.empty());
+}
+
+TEST_F(TemplarServiceTest, TranslateFootprintKeepsUntouchedEntriesWarm) {
+  // Log weights off: the join side has no QFG dependency, so the translate
+  // footprint is exactly the map footprint and retention is predictable.
+  ServiceOptions options;
+  options.worker_threads = 1;
+  options.templar.joins.use_log_weights = false;
+  auto built = TemplarService::Create(db_.get(), model_.get(),
+                                      testing::MakeMiniLog(), options);
+  ASSERT_TRUE(built.ok());
+  TemplarService& service = **built;
+
+  ASSERT_TRUE(
+      service.Translate(QueryRequest::Translation(PapersInDatabasesNlq()))
+          .ok());
+  // An organization-only append touches none of the papers-NLQ candidate
+  // fragments: the cached translation must stay warm.
+  ASSERT_EQ(
+      service.AppendLogQueries({"SELECT o.name FROM organization o"}).appended,
+      1u);
+  auto warm =
+      service.Translate(QueryRequest::Translation(PapersInDatabasesNlq()));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->served_from, ServedFrom::kCache);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.translate_cache.retained, 1u);
+  EXPECT_EQ(stats.translate_cache.invalidated, 0u);
+  EXPECT_EQ(stats.translate_computations, 1u);
+
+  // An append touching a candidate fragment (publication.title is among the
+  // papers-NLQ candidates) invalidates it eagerly and the next request
+  // recomputes.
+  ASSERT_EQ(service.AppendLogQueries({"SELECT p.title FROM publication p"})
+                .appended,
+            1u);
+  EXPECT_EQ(service.Stats().translate_cache.invalidated, 1u);
+  auto recomputed =
+      service.Translate(QueryRequest::Translation(PapersInDatabasesNlq()));
+  ASSERT_TRUE(recomputed.ok());
+  EXPECT_EQ(recomputed->served_from, ServedFrom::kComputed);
+  EXPECT_EQ(service.Stats().translate_computations, 2u);
+}
+
+TEST_F(TemplarServiceTest, ExpiredDeadlineRejectsBeforeAnyComputation) {
+  QueryRequest request = QueryRequest::Translation(PapersInDatabasesNlq());
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  auto response = service_->Translate(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsDeadlineExceeded())
+      << response.status().ToString();
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.translate_computations, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+
+  // Same for the stage shims' envelope path.
+  request.stage = Stage::kMapKeywords;
+  EXPECT_TRUE(service_->Translate(request).status().IsDeadlineExceeded());
+  EXPECT_EQ(service_->Stats().map_computations, 0u);
+}
+
+TEST_F(TemplarServiceTest, CancelledTokenRejectsWithTypedStatus) {
+  QueryRequest request = QueryRequest::Translation(PapersInDatabasesNlq());
+  request.cancel = CancelToken::Cancellable();
+  request.cancel.RequestCancel();
+  auto response = service_->Translate(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsCancelled());
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.translate_computations, 0u);
+  EXPECT_EQ(stats.cancelled, 1u);
+
+  // An inert (default) token never cancels; the same request then serves.
+  QueryRequest inert = QueryRequest::Translation(PapersInDatabasesNlq());
+  EXPECT_FALSE(inert.cancel.can_cancel());
+  EXPECT_TRUE(service_->Translate(inert).ok());
+}
+
+TEST_F(TemplarServiceTest, PipelineCheckpointAbortsBetweenStages) {
+  // Drive the nlidb hooks directly for a deterministic mid-pipeline abort:
+  // the first probe (after keyword mapping) passes, the second — before a
+  // candidate's join inference — cancels.
+  auto templar =
+      core::Templar::Build(db_.get(), model_.get(), testing::MakeMiniLog());
+  ASSERT_TRUE(templar.ok());
+
+  int probes = 0;
+  nlidb::PipelineHooks hooks;
+  hooks.checkpoint = [&probes]() -> Status {
+    return ++probes >= 2 ? Status::Cancelled("mid-stage cancel") : Status::OK();
+  };
+  auto aborted = nlidb::TranslateAllWithTemplar(
+      **templar, PapersInDatabasesNlq(), hooks);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_TRUE(aborted.status().IsCancelled());
+  EXPECT_EQ(probes, 2);
+
+  // With passing probes, the hook-aware overload is bit-identical to the
+  // plain one and reports a non-empty footprint + stage timings.
+  qfg::QfgFootprint footprint;
+  nlidb::PipelineTimings timings;
+  nlidb::PipelineHooks full;
+  full.footprint = &footprint;
+  full.checkpoint = [] { return Status::OK(); };
+  full.timings = &timings;
+  auto hooked = nlidb::TranslateAllWithTemplar(
+      **templar, PapersInDatabasesNlq(), full);
+  auto plain =
+      nlidb::TranslateAllWithTemplar(**templar, PapersInDatabasesNlq());
+  ASSERT_TRUE(hooked.ok());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(hooked->size(), plain->size());
+  for (size_t i = 0; i < hooked->size(); ++i) {
+    EXPECT_EQ((*hooked)[i].query.ToString(), (*plain)[i].query.ToString());
+    EXPECT_DOUBLE_EQ((*hooked)[i].score, (*plain)[i].score);
+  }
+  EXPECT_FALSE(footprint.Fingerprints().empty());
+  EXPECT_GE(timings.map.count(), 0);
+}
+
+TEST_F(TemplarServiceTest, TranslateAsyncMatchesSyncAndReportsQueueWait) {
+  auto sync =
+      service_->Translate(QueryRequest::Translation(PapersInDatabasesNlq()));
+  ASSERT_TRUE(sync.ok());
+  auto async =
+      service_->TranslateAsync(QueryRequest::Translation(PapersInDatabasesNlq()))
+          .get();
+  ASSERT_TRUE(async.ok());
+  ASSERT_EQ(async->translations.size(), sync->translations.size());
+  EXPECT_EQ(async->translations.front().query.ToString(),
+            sync->translations.front().query.ToString());
+  EXPECT_GE(async->timings.queue.count(), 0);
+
+  // An expired deadline never reaches the pool.
+  QueryRequest dead = QueryRequest::Translation(PapersInDatabasesNlq());
+  dead.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  auto rejected = service_->TranslateAsync(std::move(dead)).get();
+  EXPECT_TRUE(rejected.status().IsDeadlineExceeded());
+}
+
+TEST_F(TemplarServiceTest, TranslateBatchAlignsResultsWithRequests) {
+  std::vector<QueryRequest> requests(
+      4, QueryRequest::Translation(PapersInDatabasesNlq()));
+  requests[2].nlq.keywords.clear();  // Fails; slots must align.
+  auto results = service_->TranslateBatch(requests);
+  ASSERT_EQ(results.size(), 4u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i == 2) {
+      EXPECT_FALSE(results[i].ok());
+    } else {
+      EXPECT_TRUE(results[i].ok()) << i << results[i].status().ToString();
+    }
+  }
+}
+
+TEST_F(TemplarServiceTest, StatsToStringReportsTranslateCounters) {
+  ASSERT_TRUE(
+      service_->Translate(QueryRequest::Translation(PapersInDatabasesNlq()))
+          .ok());
+  std::string rendered = service_->Stats().ToString();
+  EXPECT_NE(rendered.find("translate=1"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("translate_computed=1"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("translate_cache"), std::string::npos) << rendered;
 }
 
 }  // namespace

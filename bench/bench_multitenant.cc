@@ -4,6 +4,7 @@
 // neighbour floods the host, with admission control capping the aggressor.
 //
 //   $ ./build/bench/bench_multitenant [seconds-per-cell] [--json <path>]
+//                                     [--mode=static|adaptive|both]
 //
 // Every tenant serves the same MAS workload (one client thread each,
 // synchronous requests, warm caches), so aggregate throughput across the
@@ -13,6 +14,18 @@
 // burst-submitting async work under a small admission cap — and reports the
 // victim's p99 against its tenants=1 baseline plus the aggressor's
 // admitted/rejected split.
+//
+// The hot-tenant *partitioning* cell (--mode) compares static equal cache
+// shares against the measurement-driven adaptive controller: a hot tenant
+// cycles a working set larger than its static half of the cache budget (so
+// equal shares thrash: cyclic LRU over 32 keys in a 24-entry cache never
+// hits), while a throttled victim shares the two-worker pool. Statically,
+// every hot request recomputes and the victim's async requests queue behind
+// those computations; adaptively, the controller grows the hot tenant's
+// share past its working set (the victim's floor share still covers ITS
+// working set), hot traffic collapses to cache hits, and the victim's p99
+// and the aggregate hit rate both improve. Reported per mode so the claim
+// is measured, not asserted.
 
 #include <algorithm>
 #include <atomic>
@@ -229,11 +242,143 @@ IsolationResult RunIsolationCell(const datasets::Dataset& dataset,
   return result;
 }
 
+struct HotTenantResult {
+  bool ran = false;
+  double victim_p99_us = 0;       ///< Victim async p99 over the window.
+  double aggregate_hit_rate = 0;  ///< Both tenants' map-cache delta.
+  double hot_hit_rate = 0;
+  size_t hot_cache_capacity = 0;  ///< Hot tenant's map-cache share at end.
+  uint64_t victim_samples = 0;
+};
+
+/// Runs the hot-tenant partitioning cell in one mode. `map_requests` must
+/// hold distinct-cache-key map requests; the hot tenant cycles the first
+/// `hot_n`, the victim the first `victim_n` (separate tenants, so shared
+/// keys never share cache entries).
+HotTenantResult RunHotTenantCell(const datasets::Dataset& dataset,
+                                 const std::vector<Request>& map_requests,
+                                 bool adaptive, double seconds) {
+  HotTenantResult result;
+  const size_t victim_n = 4;
+  if (map_requests.size() < victim_n + 8) {
+    std::fprintf(stderr, "hot-tenant cell: workload too small (%zu)\n",
+                 map_requests.size());
+    return result;
+  }
+  const size_t hot_n = std::min<size_t>(32, map_requests.size() - victim_n);
+  // Budget chosen so the static half-share thrashes (budget/2 < hot_n) and
+  // the adaptive share clears the working set (floor 25% leaves 75% to
+  // split by traffic; hot traffic dominates, so its share approaches
+  // 0.125*budget + 0.75*budget > hot_n).
+  const size_t budget = hot_n + hot_n / 2;
+
+  service::HostOptions options;
+  options.worker_threads = 2;
+  options.map_cache_budget = budget;
+  options.join_cache_budget = budget;
+  options.translate_cache_budget = budget;
+  // One shard: SetCapacity's per-shard floor (>=1 entry per shard) would
+  // otherwise round tiny shares up and blur the static/adaptive contrast.
+  options.cache_shards = 1;
+  options.default_admission =
+      service::AdmissionOptions{/*max_inflight=*/32, /*max_queued=*/256};
+  if (adaptive) {
+    options.adaptive.period = std::chrono::milliseconds(25);
+    options.adaptive.cache_floor_share = 0.25;
+    options.adaptive.target_queue_wait_p99 = std::chrono::milliseconds(2);
+  }
+  service::ServiceHost host(options);
+  for (const char* id : {"hot", "victim"}) {
+    if (!host.RegisterTenant(id, dataset.database.get(),
+                             dataset.lexicon.get(), dataset.extra_log)
+             .ok()) {
+      std::exit(1);
+    }
+  }
+  auto hot = host.Tenant("hot");
+  auto victim = host.Tenant("victim");
+  if (!hot.ok() || !victim.ok()) std::exit(1);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> measuring{false};
+
+  // Hot tenant: batches of async map requests cycling a working set the
+  // static share cannot hold.
+  std::thread hot_thread([&] {
+    size_t i = 0;
+    std::vector<std::future<Result<std::vector<core::Configuration>>>>
+        inflight;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int b = 0; b < 16; ++b) {
+        inflight.push_back(
+            hot->MapKeywordsAsync(map_requests[i++ % hot_n].nlq));
+      }
+      for (auto& f : inflight) (void)f.get();
+      inflight.clear();
+    }
+  });
+
+  // Victim: one throttled async request at a time; its latency (submit to
+  // future-ready) includes the queue wait behind the hot tenant's work.
+  std::vector<double> victim_latencies;
+  std::thread victim_thread([&] {
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Request& request = map_requests[i++ % victim_n];
+      auto begin = std::chrono::steady_clock::now();
+      (void)victim->MapKeywordsAsync(request.nlq).get();
+      double us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - begin)
+                      .count();
+      if (measuring.load(std::memory_order_relaxed)) {
+        victim_latencies.push_back(us);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // Warm-up: caches fill and (in adaptive mode) the controller converges.
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(std::max(0.5, seconds * 0.5)));
+  auto window_start_hot = hot->Stats().map_cache;
+  auto window_start_victim = victim->Stats().map_cache;
+  measuring.store(true);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  hot_thread.join();
+  victim_thread.join();
+
+  auto window_end_hot = hot->Stats().map_cache;
+  auto window_end_victim = victim->Stats().map_cache;
+  const double hot_hits =
+      static_cast<double>(window_end_hot.hits - window_start_hot.hits);
+  const double hot_misses =
+      static_cast<double>(window_end_hot.misses - window_start_hot.misses);
+  const double victim_hits =
+      static_cast<double>(window_end_victim.hits - window_start_victim.hits);
+  const double victim_misses = static_cast<double>(
+      window_end_victim.misses - window_start_victim.misses);
+  const double total = hot_hits + hot_misses + victim_hits + victim_misses;
+
+  result.ran = true;
+  result.victim_p99_us = Percentile(victim_latencies, 0.99);
+  result.aggregate_hit_rate =
+      total == 0 ? 0.0 : (hot_hits + victim_hits) / total;
+  result.hot_hit_rate = (hot_hits + hot_misses) == 0
+                            ? 0.0
+                            : hot_hits / (hot_hits + hot_misses);
+  result.hot_cache_capacity = window_end_hot.capacity;
+  result.victim_samples = victim_latencies.size();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double seconds = 2.0;
   std::string json_path;
+  bool run_static = true;
+  bool run_adaptive = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       if (i + 1 >= argc) {
@@ -241,6 +386,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      const char* mode = argv[i] + 7;
+      run_static = std::strcmp(mode, "static") == 0 ||
+                   std::strcmp(mode, "both") == 0;
+      run_adaptive = std::strcmp(mode, "adaptive") == 0 ||
+                     std::strcmp(mode, "both") == 0;
+      if (!run_static && !run_adaptive) {
+        std::fprintf(stderr, "--mode must be static, adaptive, or both\n");
+        return 2;
+      }
     } else if (std::atof(argv[i]) > 0) {
       seconds = std::atof(argv[i]);
     }
@@ -268,6 +423,50 @@ int main(int argc, char** argv) {
         tenants, tenants == 1 ? " " : "s", cell.aggregate_qps, cell.p50_us,
         cell.p99_us);
     cells.push_back(cell);
+  }
+
+  // Distinct map-only requests for the partitioning cell: the hot tenant's
+  // thrash construction needs every key to be a distinct cache entry.
+  std::vector<Request> distinct_requests =
+      BuildWorkload(*dataset, 256, /*distinct_cache_keys=*/true);
+  std::vector<Request> map_requests;
+  for (const Request& request : distinct_requests) {
+    if (request.is_map) map_requests.push_back(request);
+  }
+
+  HotTenantResult hot_static;
+  HotTenantResult hot_adaptive;
+  std::printf("\nhot-tenant cache partitioning (hot cycles a working set "
+              "larger than its\nstatic half-share; victim throttled on the "
+              "shared 2-worker pool):\n");
+  auto print_hot = [](const char* label, const HotTenantResult& r) {
+    std::printf("  %-8s victim p99 %9.1f us (%llu samples) | aggregate hit "
+                "rate %5.1f%% | hot hit rate %5.1f%% | hot cache %zu "
+                "entries\n",
+                label, r.victim_p99_us,
+                static_cast<unsigned long long>(r.victim_samples),
+                100.0 * r.aggregate_hit_rate, 100.0 * r.hot_hit_rate,
+                r.hot_cache_capacity);
+  };
+  if (run_static) {
+    hot_static = RunHotTenantCell(*dataset, map_requests,
+                                  /*adaptive=*/false, seconds);
+    if (hot_static.ran) print_hot("static", hot_static);
+  }
+  if (run_adaptive) {
+    hot_adaptive = RunHotTenantCell(*dataset, map_requests,
+                                    /*adaptive=*/true, seconds);
+    if (hot_adaptive.ran) print_hot("adaptive", hot_adaptive);
+  }
+  if (hot_static.ran && hot_adaptive.ran) {
+    const bool p99_better =
+        hot_adaptive.victim_p99_us < hot_static.victim_p99_us;
+    const bool hits_better =
+        hot_adaptive.aggregate_hit_rate > hot_static.aggregate_hit_rate;
+    std::printf("  adaptive vs static: victim p99 %s, aggregate hit rate "
+                "%s\n",
+                p99_better ? "improved" : "NOT improved",
+                hits_better ? "improved" : "NOT improved");
   }
 
   IsolationResult isolation = RunIsolationCell(*dataset, requests, seconds);
@@ -308,11 +507,28 @@ int main(int argc, char** argv) {
                  "  ],\n  \"isolation\": {\"victim_alone_p99_us\": %.1f, "
                  "\"victim_flooded_p99_us\": %.1f, \"victim_errors\": %llu, "
                  "\"aggressor_admitted\": %llu, \"aggressor_rejected\": "
-                 "%llu}\n}\n",
+                 "%llu},\n",
                  isolation.victim_alone_p99_us, isolation.victim_p99_us,
                  static_cast<unsigned long long>(isolation.victim_errors),
                  static_cast<unsigned long long>(isolation.aggressor_admitted),
                  static_cast<unsigned long long>(isolation.aggressor_rejected));
+    std::fprintf(f, "  \"hot_tenant\": {");
+    auto hot_json = [f](const char* mode, const HotTenantResult& r,
+                        const char* suffix) {
+      std::fprintf(f,
+                   "\n    \"%s\": {\"victim_p99_us\": %.1f, "
+                   "\"aggregate_hit_rate\": %.4f, \"hot_hit_rate\": %.4f, "
+                   "\"hot_cache_capacity\": %zu, \"victim_samples\": "
+                   "%llu}%s",
+                   mode, r.victim_p99_us, r.aggregate_hit_rate,
+                   r.hot_hit_rate, r.hot_cache_capacity,
+                   static_cast<unsigned long long>(r.victim_samples), suffix);
+    };
+    if (hot_static.ran) {
+      hot_json("static", hot_static, hot_adaptive.ran ? "," : "");
+    }
+    if (hot_adaptive.ran) hot_json("adaptive", hot_adaptive, "");
+    std::fprintf(f, "\n  }\n}\n");
     std::fclose(f);
     std::printf("json written to %s\n", json_path.c_str());
   }

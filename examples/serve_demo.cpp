@@ -4,6 +4,14 @@
 //   $ ./build/examples/serve_demo                # single-tenant, Translate
 //   $ ./build/examples/serve_demo --explain      # + per-ranking provenance
 //   $ ./build/examples/serve_demo --multitenant  # MAS + IMDB in one process
+//   $ ./build/examples/serve_demo --metrics      # + Prometheus text dump
+//   $ ./build/examples/serve_demo --stats-interval=200   # periodic stats
+//
+// --metrics prints the full Prometheus text exposition (rolling windows,
+// rates, latency quantiles) after the load completes; it composes with both
+// modes. --stats-interval=<ms> starts a reporter thread that prints a stats
+// snapshot every <ms> milliseconds while the clients run — the serving-side
+// equivalent of watching a dashboard during a load test.
 //
 // Default mode spawns four client threads replaying MAS benchmark NLQs as
 // end-to-end Translate envelopes (NLQ -> ranked SQL) — each with a
@@ -23,9 +31,14 @@
 // the per-tenant stats: IMDB's caches survive MAS's ingestion untouched.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,6 +55,54 @@ int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
 }
+
+/// Parsed command line (all flags are parsed before any mode dispatches, so
+/// e.g. `--multitenant --metrics` behaves the same in either order).
+struct DemoFlags {
+  bool multitenant = false;
+  bool explain = false;
+  bool metrics = false;
+  int stats_interval_ms = 0;  ///< 0 = no periodic reporter.
+};
+
+/// Periodically prints `render()` until stopped — the demo's stand-in for a
+/// metrics scrape loop. Stop() is prompt (condition variable, not sleep).
+class PeriodicReporter {
+ public:
+  PeriodicReporter(int interval_ms, std::function<std::string()> render) {
+    if (interval_ms <= 0) return;
+    thread_ = std::thread([this, interval_ms, render = std::move(render)] {
+      std::unique_lock<std::mutex> lock(mu_);
+      int tick = 0;
+      while (!cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                           [this] { return stop_; })) {
+        lock.unlock();
+        std::printf("\n-- periodic stats (tick %d) --\n%s\n", ++tick,
+                    render().c_str());
+        std::fflush(stdout);
+        lock.lock();
+      }
+    });
+  }
+
+  ~PeriodicReporter() { Stop(); }
+
+  void Stop() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 /// Prints one explained translation: ranked SQL + the log evidence.
 void PrintExplainedTranslation(const std::string& nlq_text,
@@ -67,7 +128,7 @@ void PrintExplainedTranslation(const std::string& nlq_text,
   }
 }
 
-int RunMultiTenant() {
+int RunMultiTenant(const DemoFlags& flags) {
   std::printf("== Templar multi-tenant serving demo ==\n\n");
 
   auto mas = datasets::BuildMas();
@@ -96,6 +157,9 @@ int RunMultiTenant() {
   std::printf("host up: %zu tenants (", host.tenant_count());
   for (const auto& id : host.TenantIds()) std::printf(" %s", id.c_str());
   std::printf(" ), %zu shared workers\n\n", host.worker_threads());
+
+  PeriodicReporter reporter(flags.stats_interval_ms,
+                            [&host] { return host.Stats().ToString(); });
 
   // Two clients per tenant replay that tenant's benchmark hand parses as
   // full NLQ -> SQL envelopes with a generous per-request deadline.
@@ -144,9 +208,14 @@ int RunMultiTenant() {
 
   for (auto& client : clients) client.join();
   ingester.join();
+  reporter.Stop();
 
   std::printf("\n-- per-tenant stats: appends touched only '%s' --\n%s\n",
               mas->name.c_str(), host.Stats().ToString().c_str());
+  if (flags.metrics) {
+    std::printf("\n-- metrics (--metrics) --\n%s",
+                host.RenderMetrics().c_str());
+  }
   return 0;
 }
 
@@ -173,11 +242,25 @@ int RunExplain(const datasets::Dataset& dataset,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool explain = false;
+  DemoFlags flags;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--multitenant") == 0) return RunMultiTenant();
-    if (std::strcmp(argv[i], "--explain") == 0) explain = true;
+    if (std::strcmp(argv[i], "--multitenant") == 0) {
+      flags.multitenant = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      flags.explain = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      flags.metrics = true;
+    } else if (std::strncmp(argv[i], "--stats-interval=", 17) == 0) {
+      flags.stats_interval_ms = std::atoi(argv[i] + 17);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag: %s\nusage: serve_demo [--multitenant] "
+                   "[--explain] [--metrics] [--stats-interval=<ms>]\n",
+                   argv[i]);
+      return 2;
+    }
   }
+  if (flags.multitenant) return RunMultiTenant(flags);
   std::printf("== Templar serving demo ==\n\n");
 
   auto dataset = datasets::BuildMas();
@@ -195,6 +278,10 @@ int main(int argc, char** argv) {
   service::TemplarService& service = **built;
   std::printf("service up: %zu workers, epoch %llu\n", size_t{4},
               static_cast<unsigned long long>(service.epoch()));
+
+  PeriodicReporter reporter(flags.stats_interval_ms, [&service] {
+    return service.Stats().ToString();
+  });
 
   // Four clients replay benchmark hand-parses as end-to-end translations;
   // repetition makes the translate cache earn its keep, and every request
@@ -233,12 +320,18 @@ int main(int argc, char** argv) {
 
   for (auto& client : clients) client.join();
   ingester.join();
+  reporter.Stop();
 
   std::printf("\n-- stats after %d concurrent translations --\n%s\n",
               kClients * kRequestsPerClient,
               service.Stats().ToString().c_str());
 
-  if (explain) {
+  if (flags.metrics) {
+    std::printf("\n-- metrics (--metrics) --\n%s",
+                service.RenderMetrics().c_str());
+  }
+
+  if (flags.explain) {
     if (int rc = RunExplain(*dataset, service); rc != 0) return rc;
   }
 

@@ -61,8 +61,13 @@ struct AdmissionStats {
   uint64_t completed = 0;  ///< Admitted requests that finished executing.
   size_t inflight = 0;     ///< Currently executing (instantaneous).
   size_t queued = 0;       ///< Currently waiting for a worker (instantaneous).
+  /// Effective limits — the adaptive controller may have moved them off the
+  /// configured AdmissionOptions (see AdmissionController::SetLimits).
   size_t max_inflight = 0;
   size_t max_queued = 0;
+  /// Tasks parked in the FairShareScheduler's per-tenant FIFO right now
+  /// (instantaneous; filled by the owning host, not the controller itself).
+  size_t scheduler_queued = 0;
 };
 
 /// \brief One tenant's admission gate: lock-free slot counters sized by
@@ -70,7 +75,10 @@ struct AdmissionStats {
 /// paths and the FairShareScheduler's dispatch loop.
 class AdmissionController {
  public:
-  explicit AdmissionController(AdmissionOptions options) : options_(options) {}
+  explicit AdmissionController(AdmissionOptions options)
+      : configured_(options),
+        max_inflight_(options.max_inflight),
+        max_queued_(options.max_queued) {}
 
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
@@ -96,9 +104,10 @@ class AdmissionController {
     // max_inflight == 0 rejects here too: a queued task can only ever run
     // by acquiring an in-flight slot, so admitting one would park it (and
     // its future) forever instead of draining.
-    if (options_.max_inflight > 0) {
+    if (max_inflight_.load(std::memory_order_relaxed) > 0) {
+      const size_t max_queued = max_queued_.load(std::memory_order_relaxed);
       size_t cur = queued_.load(std::memory_order_relaxed);
-      while (cur < options_.max_queued) {
+      while (cur < max_queued) {
         if (queued_.compare_exchange_weak(cur, cur + 1,
                                           std::memory_order_acq_rel)) {
           admitted_.fetch_add(1, std::memory_order_relaxed);
@@ -114,8 +123,9 @@ class AdmissionController {
   /// scheduler's dispatch step: the request was already admitted into the
   /// queue). Returns false when the tenant is at its in-flight cap.
   bool TryAcquireSlot() {
+    const size_t max_inflight = max_inflight_.load(std::memory_order_relaxed);
     size_t cur = inflight_.load(std::memory_order_relaxed);
-    while (cur < options_.max_inflight) {
+    while (cur < max_inflight) {
       if (inflight_.compare_exchange_weak(cur, cur + 1,
                                           std::memory_order_acq_rel)) {
         return true;
@@ -136,7 +146,28 @@ class AdmissionController {
 
   size_t queued() const { return queued_.load(std::memory_order_acquire); }
   size_t inflight() const { return inflight_.load(std::memory_order_acquire); }
-  const AdmissionOptions& options() const { return options_; }
+  /// \brief The limits the tenant was *configured* with (the adaptive
+  /// controller never tunes past them — they are its ceiling).
+  const AdmissionOptions& options() const { return configured_; }
+
+  /// \brief Effective limits right now (== options() unless the adaptive
+  /// controller has moved them).
+  size_t max_inflight() const {
+    return max_inflight_.load(std::memory_order_relaxed);
+  }
+  size_t max_queued() const {
+    return max_queued_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Re-limits the gate (the host's adaptive controller shrinks a
+  /// tenant whose queue-wait p99 blows past target and grows it back toward
+  /// the configured caps when pressure clears). Takes effect for future
+  /// admissions; requests already admitted keep their slots, so in-flight
+  /// may transiently exceed a shrunken cap until they complete.
+  void SetLimits(size_t max_inflight, size_t max_queued) {
+    max_inflight_.store(max_inflight, std::memory_order_relaxed);
+    max_queued_.store(max_queued, std::memory_order_relaxed);
+  }
 
   AdmissionStats Stats() const {
     AdmissionStats stats;
@@ -146,13 +177,15 @@ class AdmissionController {
     stats.completed = completed_.load(std::memory_order_relaxed);
     stats.inflight = inflight_.load(std::memory_order_relaxed);
     stats.queued = queued_.load(std::memory_order_relaxed);
-    stats.max_inflight = options_.max_inflight;
-    stats.max_queued = options_.max_queued;
+    stats.max_inflight = max_inflight_.load(std::memory_order_relaxed);
+    stats.max_queued = max_queued_.load(std::memory_order_relaxed);
     return stats;
   }
 
  private:
-  const AdmissionOptions options_;
+  const AdmissionOptions configured_;
+  std::atomic<size_t> max_inflight_;
+  std::atomic<size_t> max_queued_;
   std::atomic<size_t> inflight_{0};
   std::atomic<size_t> queued_{0};
   std::atomic<uint64_t> submitted_{0};
@@ -218,6 +251,15 @@ class FairShareScheduler {
     size_t total = 0;
     for (const auto& [_, queue] : queues_) total += queue.tasks.size();
     return total;
+  }
+
+  /// \brief Tasks parked in `tenant`'s FIFO right now (diagnostics; racy).
+  /// Surfaced as AdmissionStats::scheduler_queued so the adaptive
+  /// controller and tests can observe per-tenant backlog directly.
+  size_t QueuedTasksFor(const AdmissionController* tenant) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queues_.find(const_cast<AdmissionController*>(tenant));
+    return it == queues_.end() ? 0 : it->second.tasks.size();
   }
 
  private:

@@ -1,0 +1,176 @@
+#ifndef TEMPLAR_SERVICE_HISTOGRAM_H_
+#define TEMPLAR_SERVICE_HISTOGRAM_H_
+
+/// \file histogram.h
+/// \brief Bounded-memory log-linear latency histograms for the serving
+/// layer's telemetry (metrics.h).
+///
+/// A LatencyHistogram records microsecond durations into a fixed array of
+/// buckets laid out log-linearly: values below 2^kSubBucketBits land in
+/// their own exact bucket; above that, each power-of-two magnitude is split
+/// into 2^kSubBucketBits linear sub-buckets. Memory is a compile-time
+/// constant (~4 KB of atomics) regardless of how many samples are recorded,
+/// and any reported percentile is the *upper edge* of the bucket holding
+/// that rank — so it never under-reports, and over-reports by at most the
+/// bucket's relative width:
+///
+///     exact <= ValueAtPercentile(p) <= exact * (1 + 2^-kSubBucketBits)
+///
+/// (with kSubBucketBits = 4: at most 6.25% high — tight enough for p99
+/// dashboards and control loops, verified against a sorted reference in the
+/// metrics tests).
+///
+/// Record() is three relaxed atomic increments — safe from any number of
+/// threads with no locks; Snapshot() copies the counters into a plain
+/// HistogramSnapshot that supports percentile queries and merging (the
+/// multi-tenant host aggregates per-tenant histograms by summing their
+/// snapshots' buckets).
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace templar::service {
+
+namespace internal {
+
+/// Sub-bucket resolution: 2^4 = 16 linear slices per power of two.
+inline constexpr uint32_t kSubBucketBits = 4;
+inline constexpr uint64_t kSubBucketCount = uint64_t{1} << kSubBucketBits;
+/// Largest recordable value (~17.9 minutes in microseconds); larger samples
+/// clamp into the top bucket rather than overflowing the index math.
+inline constexpr uint64_t kHistogramMax = (uint64_t{1} << 30) - 1;
+/// Magnitudes 2^kSubBucketBits .. 2^30, each contributing kSubBucketCount
+/// sub-buckets, plus the exact low range [0, kSubBucketCount).
+inline constexpr size_t kHistogramBuckets =
+    kSubBucketCount + (30 - kSubBucketBits) * kSubBucketCount;
+
+/// Maps a clamped value to its bucket index. Values < kSubBucketCount are
+/// exact; above, the top kSubBucketBits bits below the leading bit select
+/// the linear sub-bucket within the magnitude.
+inline size_t HistogramBucketIndex(uint64_t value) {
+  if (value < kSubBucketCount) return static_cast<size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - static_cast<int>(kSubBucketBits);
+  const uint64_t sub = (value >> shift) & (kSubBucketCount - 1);
+  return static_cast<size_t>(
+      (static_cast<uint64_t>(msb - kSubBucketBits) * kSubBucketCount) +
+      kSubBucketCount + sub);
+}
+
+/// Inclusive upper edge of bucket `index` — the value percentile queries
+/// report for ranks landing in the bucket.
+inline uint64_t HistogramBucketUpper(size_t index) {
+  if (index < kSubBucketCount) return static_cast<uint64_t>(index);
+  const size_t scaled = index - kSubBucketCount;
+  const int msb =
+      static_cast<int>(scaled / kSubBucketCount) + static_cast<int>(kSubBucketBits);
+  const uint64_t sub = scaled % kSubBucketCount;
+  const int shift = msb - static_cast<int>(kSubBucketBits);
+  const uint64_t low =
+      (uint64_t{1} << msb) + (sub << shift);
+  return low + ((uint64_t{1} << shift) - 1);
+}
+
+}  // namespace internal
+
+/// \brief A plain (non-atomic) copy of a histogram's state: percentile
+/// queries, merging, and rendering all work on snapshots.
+struct HistogramSnapshot {
+  std::array<uint64_t, internal::kHistogramBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;  ///< Sum of recorded values (clamped), for averages.
+
+  /// \brief Upper edge of the bucket containing the `p`-th percentile rank
+  /// (p in [0, 1]); 0 when empty. Never below the exact percentile; at most
+  /// (1 + 2^-kSubBucketBits) times it.
+  uint64_t ValueAtPercentile(double p) const {
+    if (count == 0) return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Rank of the percentile sample, 1-based ceiling (nearest-rank method):
+    // p50 of 2 samples is the 1st, p99 of 100 samples the 99th.
+    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
+    if (rank < 1) rank = 1;
+    if (rank > count) rank = count;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      seen += buckets[i];
+      if (seen >= rank) return internal::HistogramBucketUpper(i);
+    }
+    return internal::HistogramBucketUpper(buckets.size() - 1);
+  }
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// \brief Adds `other`'s samples (host-level aggregation across tenants).
+  void MergeFrom(const HistogramSnapshot& other) {
+    for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+    count += other.count;
+    sum += other.sum;
+  }
+
+  /// \brief Samples in `other` but not in this snapshot — valid because
+  /// every counter is monotonic, so an older snapshot of the same histogram
+  /// is a pointwise lower bound. The adaptive controller uses this to get
+  /// interval (not lifetime) queue-wait percentiles.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& older) const {
+    HistogramSnapshot delta;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      delta.buckets[i] = buckets[i] - older.buckets[i];
+    }
+    delta.count = count - older.count;
+    delta.sum = sum - older.sum;
+    return delta;
+  }
+};
+
+/// \brief Lock-free log-linear histogram of microsecond latencies.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// \brief Records one sample. Wait-free; safe from any thread.
+  void Record(uint64_t micros) {
+    const uint64_t clamped = std::min(micros, internal::kHistogramMax);
+    buckets_[internal::HistogramBucketIndex(clamped)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(clamped, std::memory_order_relaxed);
+  }
+
+  /// \brief Copies the counters out. Concurrent Record()s may or may not be
+  /// included (each sample is atomic; the set of included samples is racy by
+  /// design — this is telemetry, not accounting).
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    // A snapshot racing recorders can observe a bucket increment whose
+    // count_ increment it missed (or vice versa). Percentile math divides
+    // by the bucket total, so reconcile count to what the buckets actually
+    // hold.
+    uint64_t total = 0;
+    for (uint64_t b : snap.buckets) total += b;
+    snap.count = total;
+    return snap;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, internal::kHistogramBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace templar::service
+
+#endif  // TEMPLAR_SERVICE_HISTOGRAM_H_

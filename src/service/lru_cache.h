@@ -166,7 +166,12 @@ class ShardedLruCache {
   /// The caller (TemplarService) invokes this inside the same exclusive
   /// section that mutated the QFG, so by the time the append returns, no
   /// shard can serve a ranking the append invalidated.
-  void ApplyDelta(const Footprint& delta, uint64_t new_epoch) {
+  ///
+  /// \return Entries this sweep evicted (0 under kEpochDrop, where
+  /// staleness is shed lazily on later Gets) — the telemetry layer feeds
+  /// this into the invalidated-entries rolling window.
+  size_t ApplyDelta(const Footprint& delta, uint64_t new_epoch) {
+    size_t swept = 0;
     for (Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
       if (new_epoch <= shard.epoch) continue;
@@ -180,6 +185,7 @@ class ShardedLruCache {
             shard.index.erase(it->key);
             it = shard.lru.erase(it);
             ++shard.invalidated;
+            ++swept;
           } else {
             it->epoch = new_epoch;
             ++shard.retained;
@@ -189,6 +195,7 @@ class ShardedLruCache {
       }
       shard.epoch = new_epoch;
     }
+    return swept;
   }
 
   /// \brief Re-budgets the cache to at most `capacity` total entries.

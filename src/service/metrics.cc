@@ -1,0 +1,237 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <iterator>
+
+namespace templar::service {
+
+namespace {
+
+/// The quantiles the exporter publishes for every latency point.
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.9", "0.99", "0.999"};
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min(static_cast<size_t>(n), sizeof(buf)));
+}
+
+/// Escapes a label value per the Prometheus exposition format (backslash,
+/// double quote, newline).
+std::string EscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* CounterName(Counter counter) {
+  switch (counter) {
+    case Counter::kRequests:
+      return "requests";
+    case Counter::kMapComputations:
+      return "map_computations";
+    case Counter::kJoinComputations:
+      return "join_computations";
+    case Counter::kTranslateComputations:
+      return "translate_computations";
+    case Counter::kCacheHits:
+      return "cache_hits";
+    case Counter::kCacheMisses:
+      return "cache_misses";
+    case Counter::kCoalesced:
+      return "coalesced";
+    case Counter::kRejected:
+      return "rejected";
+    case Counter::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Counter::kCancelled:
+      return "cancelled";
+    case Counter::kInvalidationSweeps:
+      return "invalidation_sweeps";
+    case Counter::kInvalidatedEntries:
+      return "invalidated_entries";
+  }
+  return "unknown";
+}
+
+const char* LatencyPointName(LatencyPoint point) {
+  switch (point) {
+    case LatencyPoint::kQueueWait:
+      return "queue_wait";
+    case LatencyPoint::kMapStage:
+      return "map_stage";
+    case LatencyPoint::kJoinStage:
+      return "join_stage";
+    case LatencyPoint::kAssembleStage:
+      return "assemble_stage";
+    case LatencyPoint::kEndToEnd:
+      return "end_to_end";
+  }
+  return "unknown";
+}
+
+TenantMetricsSnapshot TenantMetrics::Collect(MetricClock::time_point now) {
+  TenantMetricsSnapshot snap;
+  for (size_t c = 0; c < kCounterCount; ++c) {
+    snap.windows[c] = counters_[c].Sums(now);
+    snap.totals[c] = counters_[c].Total();
+  }
+  for (size_t p = 0; p < kLatencyPointCount; ++p) {
+    snap.latencies[p] = histograms_[p].Snapshot();
+  }
+  return snap;
+}
+
+std::string RenderPrometheusText(
+    const std::vector<std::pair<std::string, TenantMetricsSnapshot>>&
+        tenants) {
+  // Host aggregate rendered under the reserved "_host" tenant label when
+  // more than one tenant is listed (a single tenant IS the host).
+  std::vector<std::pair<std::string, const TenantMetricsSnapshot*>> rows;
+  rows.reserve(tenants.size() + 1);
+  for (const auto& [id, snap] : tenants) rows.emplace_back(id, &snap);
+  TenantMetricsSnapshot host;
+  if (tenants.size() > 1) {
+    for (const auto& [_, snap] : tenants) host.MergeFrom(snap);
+    rows.emplace_back("_host", &host);
+  }
+
+  std::string out;
+  out.reserve(4096);
+  for (size_t c = 0; c < kCounterCount; ++c) {
+    const char* name = CounterName(static_cast<Counter>(c));
+    AppendF(&out,
+            "# HELP templar_%s_window Events in the trailing window.\n"
+            "# TYPE templar_%s_window gauge\n",
+            name, name);
+    for (const auto& [id, snap] : rows) {
+      const std::string tenant = EscapeLabel(id);
+      for (size_t w = 0; w < kWindowCount; ++w) {
+        AppendF(&out, "templar_%s_window{tenant=\"%s\",window=\"%s\"} %llu\n",
+                name, tenant.c_str(), kWindowSpecs[w].label,
+                static_cast<unsigned long long>(snap->windows[c][w]));
+      }
+    }
+    AppendF(&out,
+            "# HELP templar_%s_rate Events per second over the trailing "
+            "window.\n# TYPE templar_%s_rate gauge\n",
+            name, name);
+    for (const auto& [id, snap] : rows) {
+      const std::string tenant = EscapeLabel(id);
+      for (size_t w = 0; w < kWindowCount; ++w) {
+        AppendF(&out, "templar_%s_rate{tenant=\"%s\",window=\"%s\"} %.6g\n",
+                name, tenant.c_str(), kWindowSpecs[w].label,
+                static_cast<double>(snap->windows[c][w]) /
+                    kWindowSpecs[w].seconds);
+      }
+    }
+    AppendF(&out,
+            "# HELP templar_%s_total Lifetime events.\n"
+            "# TYPE templar_%s_total counter\n",
+            name, name);
+    for (const auto& [id, snap] : rows) {
+      AppendF(&out, "templar_%s_total{tenant=\"%s\"} %llu\n", name,
+              EscapeLabel(id).c_str(),
+              static_cast<unsigned long long>(snap->totals[c]));
+    }
+  }
+
+  AppendF(&out,
+          "# HELP templar_latency_microseconds Serving latency "
+          "distribution by recording point.\n"
+          "# TYPE templar_latency_microseconds summary\n");
+  for (const auto& [id, snap] : rows) {
+    const std::string tenant = EscapeLabel(id);
+    for (size_t p = 0; p < kLatencyPointCount; ++p) {
+      const char* point = LatencyPointName(static_cast<LatencyPoint>(p));
+      const HistogramSnapshot& hist = snap->latencies[p];
+      for (size_t q = 0; q < std::size(kQuantiles); ++q) {
+        AppendF(&out,
+                "templar_latency_microseconds{tenant=\"%s\",point=\"%s\","
+                "quantile=\"%s\"} %llu\n",
+                tenant.c_str(), point, kQuantileLabels[q],
+                static_cast<unsigned long long>(
+                    hist.ValueAtPercentile(kQuantiles[q])));
+      }
+      AppendF(&out,
+              "templar_latency_microseconds_count{tenant=\"%s\","
+              "point=\"%s\"} %llu\n",
+              tenant.c_str(), point,
+              static_cast<unsigned long long>(hist.count));
+      AppendF(&out,
+              "templar_latency_microseconds_sum{tenant=\"%s\","
+              "point=\"%s\"} %llu\n",
+              tenant.c_str(), point,
+              static_cast<unsigned long long>(hist.sum));
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Attach(const std::string& id,
+                             std::shared_ptr<TenantMetrics> metrics) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  tenants_[id] = std::move(metrics);
+}
+
+void MetricsRegistry::Detach(const std::string& id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  tenants_.erase(id);
+}
+
+std::vector<std::string> MetricsRegistry::Ids() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(tenants_.size());
+  for (const auto& [id, _] : tenants_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<std::pair<std::string, TenantMetricsSnapshot>>
+MetricsRegistry::CollectAll(MetricClock::time_point now) const {
+  // Copy the pointers out, then collect without the registry lock: Collect
+  // takes each counter's mutex, and a tenant mid-burst must not stall an
+  // Attach/Detach.
+  std::vector<std::pair<std::string, std::shared_ptr<TenantMetrics>>> live;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    live.reserve(tenants_.size());
+    for (const auto& [id, metrics] : tenants_) live.emplace_back(id, metrics);
+  }
+  std::vector<std::pair<std::string, TenantMetricsSnapshot>> snaps;
+  snaps.reserve(live.size());
+  for (auto& [id, metrics] : live) {
+    snaps.emplace_back(id, metrics->Collect(now));
+  }
+  return snaps;
+}
+
+std::string MetricsRegistry::RenderPrometheus(
+    MetricClock::time_point now) const {
+  return RenderPrometheusText(CollectAll(now));
+}
+
+}  // namespace templar::service

@@ -1,0 +1,319 @@
+#ifndef TEMPLAR_SERVICE_METRICS_H_
+#define TEMPLAR_SERVICE_METRICS_H_
+
+/// \file metrics.h
+/// \brief Windowed telemetry for the serving layer: time-bucketed rolling
+/// counters, per-tenant metric bundles, and a Prometheus text exporter.
+///
+/// ServiceStats (service_stats.h) answers "how much has happened since
+/// start"; this file answers "how much is happening *now*". Every serving
+/// engine (ServiceCore) owns one TenantMetrics, updated inline on the
+/// request path:
+///
+///  - **WindowedCounter** — one event counter observed over three rolling
+///    windows (1s / 1m / 1h). Each window is a ring of fixed time buckets
+///    advanced lazily on every touch (read or write): stepping the ring
+///    zeroes the buckets the elapsed time skipped, so a long-idle counter
+///    reads zero without any background thread. One short-held mutex per
+///    counter covers all three rings — increments are O(1) and readers
+///    never block the request path for more than a ring advance.
+///  - **LatencyHistogram** (histogram.h) — bounded-memory log-linear
+///    latency distributions recorded at queue-dispatch, per-stage, and
+///    end-to-end points; p50/p90/p99/p999 with a proven relative error
+///    bound.
+///  - **MetricsRegistry** — names live TenantMetrics and renders every
+///    window and histogram as Prometheus text exposition, per tenant plus
+///    a host-wide aggregate (windows sum; histograms merge bucket-wise).
+///
+/// All clocks are std::chrono::steady_clock; every read/write entry point
+/// takes an optional explicit time point so tests can drive bucket
+/// rollover and idle-gap semantics deterministically.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "service/histogram.h"
+
+namespace templar::service {
+
+using MetricClock = std::chrono::steady_clock;
+
+/// \brief The three rolling windows every counter is observed over.
+enum class Window : size_t {
+  kOneSecond = 0,
+  kOneMinute = 1,
+  kOneHour = 2,
+};
+inline constexpr size_t kWindowCount = 3;
+
+/// \brief Ring geometry of one window: `buckets` buckets of `width` each
+/// (window length = buckets * width).
+struct WindowSpec {
+  MetricClock::duration width;
+  size_t buckets;
+  const char* label;
+  double seconds;  ///< Window length, for rate computation.
+};
+
+inline constexpr std::array<WindowSpec, kWindowCount> kWindowSpecs = {{
+    {std::chrono::milliseconds(50), 20, "1s", 1.0},
+    {std::chrono::seconds(1), 60, "1m", 60.0},
+    {std::chrono::minutes(1), 60, "1h", 3600.0},
+}};
+
+inline const WindowSpec& SpecOf(Window w) {
+  return kWindowSpecs[static_cast<size_t>(w)];
+}
+
+/// \brief One event counter over the three rolling windows plus a lifetime
+/// total. Thread-safe; the mutex is held only for O(ring) work.
+class WindowedCounter {
+ public:
+  WindowedCounter() {
+    for (size_t w = 0; w < kWindowCount; ++w) {
+      rings_[w].buckets.assign(kWindowSpecs[w].buckets, 0);
+      rings_[w].current = -1;  // First touch initializes the position.
+    }
+  }
+
+  WindowedCounter(const WindowedCounter&) = delete;
+  WindowedCounter& operator=(const WindowedCounter&) = delete;
+
+  /// \brief Counts `n` events at `now`.
+  void Add(uint64_t n, MetricClock::time_point now = MetricClock::now()) {
+    total_.fetch_add(n, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t w = 0; w < kWindowCount; ++w) {
+      Ring& ring = rings_[w];
+      AdvanceLocked(ring, kWindowSpecs[w], now);
+      ring.buckets[static_cast<size_t>(ring.current) %
+                   kWindowSpecs[w].buckets] += n;
+    }
+  }
+
+  /// \brief Events observed within window `w` ending at `now` (the current
+  /// partial bucket included).
+  uint64_t Sum(Window w, MetricClock::time_point now = MetricClock::now()) {
+    const size_t index = static_cast<size_t>(w);
+    std::lock_guard<std::mutex> lock(mu_);
+    Ring& ring = rings_[index];
+    AdvanceLocked(ring, kWindowSpecs[index], now);
+    uint64_t sum = 0;
+    for (uint64_t b : ring.buckets) sum += b;
+    return sum;
+  }
+
+  /// \brief Events per second over window `w` (Sum / window length — an
+  /// underestimate while the process is younger than the window, which is
+  /// the honest reading for a rate).
+  double RatePerSecond(Window w,
+                       MetricClock::time_point now = MetricClock::now()) {
+    return static_cast<double>(Sum(w, now)) / SpecOf(w).seconds;
+  }
+
+  /// \brief All three window sums at one `now` (one lock acquisition).
+  std::array<uint64_t, kWindowCount> Sums(
+      MetricClock::time_point now = MetricClock::now()) {
+    std::array<uint64_t, kWindowCount> sums{};
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t w = 0; w < kWindowCount; ++w) {
+      Ring& ring = rings_[w];
+      AdvanceLocked(ring, kWindowSpecs[w], now);
+      for (uint64_t b : ring.buckets) sums[w] += b;
+    }
+    return sums;
+  }
+
+  /// \brief Lifetime total (monotonic, never windows out).
+  uint64_t Total() const { return total_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Ring {
+    std::vector<uint64_t> buckets;
+    int64_t current = -1;  ///< Absolute bucket number of the newest bucket.
+  };
+
+  /// Steps `ring` forward to the bucket containing `now`, zeroing every
+  /// bucket the elapsed time skipped (capped at one full ring: a gap longer
+  /// than the window clears everything). Time moving "backwards" across
+  /// threads cannot happen under the lock (steady_clock is monotonic and
+  /// the latest toucher advanced under the same mutex); an older explicit
+  /// test time point simply lands in the current bucket.
+  static void AdvanceLocked(Ring& ring, const WindowSpec& spec,
+                            MetricClock::time_point now) {
+    const int64_t target = now.time_since_epoch() / spec.width;
+    if (ring.current < 0) {
+      ring.current = target;
+      return;
+    }
+    if (target <= ring.current) return;
+    const int64_t steps = target - ring.current;
+    if (steps >= static_cast<int64_t>(spec.buckets)) {
+      ring.buckets.assign(spec.buckets, 0);
+    } else {
+      for (int64_t s = 1; s <= steps; ++s) {
+        ring.buckets[static_cast<size_t>(ring.current + s) % spec.buckets] = 0;
+      }
+    }
+    ring.current = target;
+  }
+
+  mutable std::mutex mu_;
+  std::array<Ring, kWindowCount> rings_;
+  std::atomic<uint64_t> total_{0};
+};
+
+/// \brief The windowed counters a serving engine records, in rendering
+/// order.
+enum class Counter : size_t {
+  kRequests = 0,            ///< Envelopes entering the core (any stage).
+  kMapComputations,         ///< Map-stage pipeline executions.
+  kJoinComputations,        ///< Join-stage pipeline executions.
+  kTranslateComputations,   ///< Full-translation pipeline executions.
+  kCacheHits,               ///< Requests answered from a result cache.
+  kCacheMisses,             ///< Requests that had to compute or coalesce.
+  kCoalesced,               ///< Requests served by another's in-flight work.
+  kRejected,                ///< Admission rejections (kOverloaded).
+  kDeadlineExceeded,        ///< Typed deadline aborts.
+  kCancelled,               ///< Typed cancellation aborts.
+  kInvalidationSweeps,      ///< Append batches that swept the caches.
+  kInvalidatedEntries,      ///< Cache entries evicted by those sweeps.
+};
+inline constexpr size_t kCounterCount = 12;
+
+/// \brief Prometheus-safe metric name stem of `counter`.
+const char* CounterName(Counter counter);
+
+/// \brief The latency points histograms are recorded at.
+enum class LatencyPoint : size_t {
+  kQueueWait = 0,  ///< Admission-queue wait, recorded at dispatch.
+  kMapStage,       ///< Map stage compute time (computing requests only).
+  kJoinStage,      ///< Join stage compute time (computing requests only).
+  kAssembleStage,  ///< SQL assembly time (computing requests only).
+  kEndToEnd,       ///< Core-side end-to-end latency of served requests.
+};
+inline constexpr size_t kLatencyPointCount = 5;
+
+/// \brief Prometheus-safe label value of `point`.
+const char* LatencyPointName(LatencyPoint point);
+
+/// \brief A plain copy of one engine's telemetry at a moment: every counter
+/// over every window (plus lifetime totals) and every histogram. Mergeable
+/// for host-level aggregation.
+struct TenantMetricsSnapshot {
+  /// windows[counter][window] = events in that window; totals[counter] =
+  /// lifetime.
+  std::array<std::array<uint64_t, kWindowCount>, kCounterCount> windows{};
+  std::array<uint64_t, kCounterCount> totals{};
+  std::array<HistogramSnapshot, kLatencyPointCount> latencies;
+
+  uint64_t WindowSum(Counter c, Window w) const {
+    return windows[static_cast<size_t>(c)][static_cast<size_t>(w)];
+  }
+  double Rate(Counter c, Window w) const {
+    return static_cast<double>(WindowSum(c, w)) / SpecOf(w).seconds;
+  }
+  const HistogramSnapshot& Latency(LatencyPoint p) const {
+    return latencies[static_cast<size_t>(p)];
+  }
+
+  void MergeFrom(const TenantMetricsSnapshot& other) {
+    for (size_t c = 0; c < kCounterCount; ++c) {
+      for (size_t w = 0; w < kWindowCount; ++w) {
+        windows[c][w] += other.windows[c][w];
+      }
+      totals[c] += other.totals[c];
+    }
+    for (size_t p = 0; p < kLatencyPointCount; ++p) {
+      latencies[p].MergeFrom(other.latencies[p]);
+    }
+  }
+};
+
+/// \brief One serving engine's live telemetry: the counters and histograms
+/// above, recorded inline on the request path. All methods thread-safe.
+class TenantMetrics {
+ public:
+  TenantMetrics() = default;
+  TenantMetrics(const TenantMetrics&) = delete;
+  TenantMetrics& operator=(const TenantMetrics&) = delete;
+
+  void Add(Counter c, uint64_t n,
+           MetricClock::time_point now = MetricClock::now()) {
+    counters_[static_cast<size_t>(c)].Add(n, now);
+  }
+
+  void Record(LatencyPoint p, uint64_t micros) {
+    histograms_[static_cast<size_t>(p)].Record(micros);
+  }
+
+  /// \brief Convenience for recording a duration at a latency point.
+  void Record(LatencyPoint p, std::chrono::microseconds d) {
+    Record(p, d.count() < 0 ? 0 : static_cast<uint64_t>(d.count()));
+  }
+
+  WindowedCounter& counter(Counter c) {
+    return counters_[static_cast<size_t>(c)];
+  }
+  const LatencyHistogram& histogram(LatencyPoint p) const {
+    return histograms_[static_cast<size_t>(p)];
+  }
+
+  /// \brief Consistent-enough copy of everything (each counter snapshots
+  /// atomically; cross-counter skew is bounded by the collection walk).
+  TenantMetricsSnapshot Collect(
+      MetricClock::time_point now = MetricClock::now());
+
+ private:
+  std::array<WindowedCounter, kCounterCount> counters_;
+  std::array<LatencyHistogram, kLatencyPointCount> histograms_;
+};
+
+/// \brief Renders tenant snapshots (sorted by id) as Prometheus text
+/// exposition: every counter's window sums and rates, every histogram's
+/// quantiles/count/sum, plus a host-wide `tenant="_host"` aggregate when
+/// more than one tenant is present.
+std::string RenderPrometheusText(
+    const std::vector<std::pair<std::string, TenantMetricsSnapshot>>&
+        tenants);
+
+/// \brief Names live TenantMetrics instances and renders them. The host
+/// attaches each tenant's metrics at register and detaches at retire;
+/// shared_ptr keeps a render racing a retire safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void Attach(const std::string& id, std::shared_ptr<TenantMetrics> metrics);
+  void Detach(const std::string& id);
+
+  /// \brief Live ids, sorted.
+  std::vector<std::string> Ids() const;
+
+  /// \brief Snapshot of every attached tenant, sorted by id.
+  std::vector<std::pair<std::string, TenantMetricsSnapshot>> CollectAll(
+      MetricClock::time_point now = MetricClock::now()) const;
+
+  /// \brief The text exporter: every window and histogram of every
+  /// attached tenant plus the host aggregate.
+  std::string RenderPrometheus(
+      MetricClock::time_point now = MetricClock::now()) const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<TenantMetrics>> tenants_;
+};
+
+}  // namespace templar::service
+
+#endif  // TEMPLAR_SERVICE_METRICS_H_

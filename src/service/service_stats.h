@@ -68,58 +68,78 @@ struct ServiceStats {
 
   size_t worker_threads = 0;
 
-  std::string ToString() const {
-    auto cache_line = [](const char* name, const LruCacheStats& c) {
-      return std::string(name) + ": " + std::to_string(c.entries) + "/" +
-             std::to_string(c.capacity) + " entries, " +
-             std::to_string(c.hits) + " hits, " + std::to_string(c.misses) +
-             " misses (" + std::to_string(c.stale_drops) + " stale), " +
-             std::to_string(c.evictions) + " evictions, " +
-             std::to_string(c.invalidated) + " invalidated, " +
-             std::to_string(c.retained) + " retained, " +
-             std::to_string(c.stale_put_drops) + " stale puts";
-    };
-    std::string out;
-    if (!tenant_id.empty()) out += "tenant: " + tenant_id + "\n";
-    out += "requests: map=" + std::to_string(map_requests) +
-           " join=" + std::to_string(join_requests) +
-           " translate=" + std::to_string(translate_requests) + "\n" +
-           "single-flight: map_computed=" + std::to_string(map_computations) +
-           " map_coalesced=" + std::to_string(map_coalesced_hits) +
-           " join_computed=" + std::to_string(join_computations) +
-           " join_coalesced=" + std::to_string(join_coalesced_hits) +
-           " translate_computed=" + std::to_string(translate_computations) +
-           " translate_coalesced=" +
-           std::to_string(translate_coalesced_hits) + "\n";
-    if (deadline_exceeded > 0 || cancelled > 0) {
-      out += "control aborts: deadline_exceeded=" +
-             std::to_string(deadline_exceeded) +
-             " cancelled=" + std::to_string(cancelled) + "\n";
-    }
-    out += cache_line("map_cache", map_cache) + "\n" +
-           cache_line("join_cache", join_cache) + "\n" +
-           cache_line("translate_cache", translate_cache) + "\n";
-    if (admission.max_inflight > 0 || admission.submitted > 0) {
-      out += "admission: submitted=" + std::to_string(admission.submitted) +
-             " admitted=" + std::to_string(admission.admitted) +
-             " rejected=" + std::to_string(admission.rejected) +
-             " completed=" + std::to_string(admission.completed) +
-             " inflight=" + std::to_string(admission.inflight) + "/" +
-             std::to_string(admission.max_inflight) +
-             " queued=" + std::to_string(admission.queued) + "/" +
-             std::to_string(admission.max_queued) + "\n";
-    }
-    out += "ingestion: epoch=" + std::to_string(epoch) +
-           " batches=" + std::to_string(append_batches) +
-           " appended=" + std::to_string(appended_queries) +
-           " skipped=" + std::to_string(skipped_log_entries) + "\n" +
-           "qfg: " + std::to_string(qfg_query_count) + " queries, " +
-           std::to_string(qfg_vertices) + " vertices, " +
-           std::to_string(qfg_edges) + " edges\n" +
-           "workers: " + std::to_string(worker_threads);
-    return out;
-  }
+  std::string ToString() const;
 };
+
+namespace internal {
+
+/// The ONE textual rendering of a ServiceStats — TenantHandle::Stats()
+/// output, TemplarService::Stats() output, and every tenant block inside
+/// HostStats::ToString() all come through here, so the standalone and
+/// multi-tenant renderings cannot drift apart. Control aborts are always
+/// printed (a zero is information: "no deadline pressure"), as is the
+/// admission line whenever the engine has a gate (multi-tenant), including
+/// the scheduler backlog the host fills in.
+inline void AppendServiceStats(std::string& out, const ServiceStats& stats) {
+  auto cache_line = [](const char* name, const LruCacheStats& c) {
+    return std::string(name) + ": " + std::to_string(c.entries) + "/" +
+           std::to_string(c.capacity) + " entries, " +
+           std::to_string(c.hits) + " hits, " + std::to_string(c.misses) +
+           " misses (" + std::to_string(c.stale_drops) + " stale), " +
+           std::to_string(c.evictions) + " evictions, " +
+           std::to_string(c.invalidated) + " invalidated, " +
+           std::to_string(c.retained) + " retained, " +
+           std::to_string(c.stale_put_drops) + " stale puts";
+  };
+  if (!stats.tenant_id.empty()) out += "tenant: " + stats.tenant_id + "\n";
+  out += "requests: map=" + std::to_string(stats.map_requests) +
+         " join=" + std::to_string(stats.join_requests) +
+         " translate=" + std::to_string(stats.translate_requests) + "\n" +
+         "single-flight: map_computed=" +
+         std::to_string(stats.map_computations) +
+         " map_coalesced=" + std::to_string(stats.map_coalesced_hits) +
+         " join_computed=" + std::to_string(stats.join_computations) +
+         " join_coalesced=" + std::to_string(stats.join_coalesced_hits) +
+         " translate_computed=" +
+         std::to_string(stats.translate_computations) +
+         " translate_coalesced=" +
+         std::to_string(stats.translate_coalesced_hits) + "\n";
+  out += "control aborts: deadline_exceeded=" +
+         std::to_string(stats.deadline_exceeded) +
+         " cancelled=" + std::to_string(stats.cancelled) + "\n";
+  out += cache_line("map_cache", stats.map_cache) + "\n" +
+         cache_line("join_cache", stats.join_cache) + "\n" +
+         cache_line("translate_cache", stats.translate_cache) + "\n";
+  const AdmissionStats& adm = stats.admission;
+  if (adm.max_inflight > 0 || adm.submitted > 0) {
+    out += "admission: submitted=" + std::to_string(adm.submitted) +
+           " admitted=" + std::to_string(adm.admitted) +
+           " rejected=" + std::to_string(adm.rejected) +
+           " completed=" + std::to_string(adm.completed) +
+           " inflight=" + std::to_string(adm.inflight) + "/" +
+           std::to_string(adm.max_inflight) +
+           " queued=" + std::to_string(adm.queued) + "/" +
+           std::to_string(adm.max_queued) +
+           " scheduler_queued=" + std::to_string(adm.scheduler_queued) +
+           "\n";
+  }
+  out += "ingestion: epoch=" + std::to_string(stats.epoch) +
+         " batches=" + std::to_string(stats.append_batches) +
+         " appended=" + std::to_string(stats.appended_queries) +
+         " skipped=" + std::to_string(stats.skipped_log_entries) + "\n" +
+         "qfg: " + std::to_string(stats.qfg_query_count) + " queries, " +
+         std::to_string(stats.qfg_vertices) + " vertices, " +
+         std::to_string(stats.qfg_edges) + " edges\n" +
+         "workers: " + std::to_string(stats.worker_threads);
+}
+
+}  // namespace internal
+
+inline std::string ServiceStats::ToString() const {
+  std::string out;
+  internal::AppendServiceStats(out, *this);
+  return out;
+}
 
 /// \brief Snapshot of a whole ServiceHost: pool shape plus one ServiceStats
 /// per live tenant (sorted by tenant id).

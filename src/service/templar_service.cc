@@ -311,6 +311,7 @@ Result<V> ServiceCore::ServeCached(const QueryRequest& request,
 
 Result<QueryResponse> ServiceCore::Translate(const QueryRequest& request) {
   const auto start = std::chrono::steady_clock::now();
+  metrics_->Add(Counter::kRequests, 1);
   Result<QueryResponse> response = [&]() -> Result<QueryResponse> {
     switch (request.stage) {
       case Stage::kMapKeywords:
@@ -324,12 +325,52 @@ Result<QueryResponse> ServiceCore::Translate(const QueryRequest& request) {
   }();
   if (response.ok()) {
     response->timings.total = Since(start);
+    RecordServed(request, *response);
   } else if (response.status().IsDeadlineExceeded()) {
     deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->Add(Counter::kDeadlineExceeded, 1);
   } else if (response.status().IsCancelled()) {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->Add(Counter::kCancelled, 1);
   }
   return response;
+}
+
+void ServiceCore::RecordServed(const QueryRequest& request,
+                               const QueryResponse& response) {
+  metrics_->Record(LatencyPoint::kEndToEnd, response.timings.total);
+  switch (response.served_from) {
+    case ServedFrom::kCache:
+      metrics_->Add(Counter::kCacheHits, 1);
+      return;
+    case ServedFrom::kCoalesced:
+      metrics_->Add(Counter::kCacheMisses, 1);
+      metrics_->Add(Counter::kCoalesced, 1);
+      return;
+    case ServedFrom::kComputed:
+      break;
+  }
+  metrics_->Add(Counter::kCacheMisses, 1);
+  // Stage latencies are only meaningful on the computing request (cache and
+  // coalesced answers carry the computing request's numbers or zeros), and
+  // only for the stages the envelope actually ran.
+  switch (request.stage) {
+    case Stage::kMapKeywords:
+      metrics_->Add(Counter::kMapComputations, 1);
+      metrics_->Record(LatencyPoint::kMapStage, response.timings.map);
+      break;
+    case Stage::kInferJoins:
+      metrics_->Add(Counter::kJoinComputations, 1);
+      metrics_->Record(LatencyPoint::kJoinStage, response.timings.join);
+      break;
+    case Stage::kTranslate:
+      metrics_->Add(Counter::kTranslateComputations, 1);
+      metrics_->Record(LatencyPoint::kMapStage, response.timings.map);
+      metrics_->Record(LatencyPoint::kJoinStage, response.timings.join);
+      metrics_->Record(LatencyPoint::kAssembleStage,
+                       response.timings.assemble);
+      break;
+  }
 }
 
 Result<QueryResponse> ServiceCore::ServeMapStage(const QueryRequest& request) {
@@ -502,9 +543,11 @@ AppendOutcome ServiceCore::AppendLogQueries(
     // rejected by the cache's stale-put check. Translation entries carry
     // the union (map ∪ join) footprint, so the same sweep invalidates them
     // exactly as precisely.
-    map_cache_.ApplyDelta(delta.fingerprints(), outcome.epoch);
-    join_cache_.ApplyDelta(delta.fingerprints(), outcome.epoch);
-    translate_cache_.ApplyDelta(delta.fingerprints(), outcome.epoch);
+    size_t swept = map_cache_.ApplyDelta(delta.fingerprints(), outcome.epoch);
+    swept += join_cache_.ApplyDelta(delta.fingerprints(), outcome.epoch);
+    swept += translate_cache_.ApplyDelta(delta.fingerprints(), outcome.epoch);
+    metrics_->Add(Counter::kInvalidationSweeps, 1);
+    metrics_->Add(Counter::kInvalidatedEntries, swept);
   }
   appended_queries_.fetch_add(parsed.size(), std::memory_order_relaxed);
   return outcome;
@@ -579,7 +622,7 @@ std::future<Result<QueryResponse>> TemplarService::TranslateAsync(
   const auto submitted = std::chrono::steady_clock::now();
   return pool_.Submit([this, request = std::move(request), submitted] {
     return internal::RunDispatched(
-        request, submitted,
+        request, submitted, &core_->metrics(),
         [this](const QueryRequest& r) { return core_->Translate(r); });
   });
 }

@@ -75,6 +75,7 @@
 #include "core/templar.h"
 #include "nlidb/nlidb.h"
 #include "service/lru_cache.h"
+#include "service/metrics.h"
 #include "service/request.h"
 #include "service/service_stats.h"
 #include "service/single_flight.h"
@@ -112,14 +113,26 @@ std::future<Result<T>> ReadyFuture(Result<T> result) {
 /// re-probes the request's controls (a deadline that expired, or a token
 /// that fired, while the task was parked rejects here, before any pipeline
 /// work), then stamps the measured queue wait into the response timings.
+/// `metrics` (never null) records the wait into the queue-dispatch latency
+/// histogram — including for requests the gate rejects, whose queue time is
+/// exactly the signal the adaptive controller tunes admission caps from —
+/// and counts gate rejections in the deadline/cancel rolling windows (the
+/// core never sees those requests, so nothing else would).
 template <typename RunFn>
 Result<QueryResponse> RunDispatched(
     const QueryRequest& request,
-    std::chrono::steady_clock::time_point submitted, RunFn&& run) {
+    std::chrono::steady_clock::time_point submitted, TenantMetrics* metrics,
+    RunFn&& run) {
   const auto queue_wait =
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - submitted);
-  if (Status gate = request.CheckRunnable(); !gate.ok()) return gate;
+  metrics->Record(LatencyPoint::kQueueWait, queue_wait);
+  if (Status gate = request.CheckRunnable(); !gate.ok()) {
+    metrics->Add(gate.IsCancelled() ? Counter::kCancelled
+                                    : Counter::kDeadlineExceeded,
+                 1);
+    return gate;
+  }
   Result<QueryResponse> response = run(request);
   if (response.ok()) {
     response->timings.queue = queue_wait;
@@ -211,6 +224,15 @@ class ServiceCore {
   /// left for the owning layer to fill).
   ServiceStats Stats() const;
 
+  /// \brief This engine's windowed telemetry (rolling rates + latency
+  /// histograms), recorded inline on the request path.
+  TenantMetrics& metrics() { return *metrics_; }
+  /// \brief The shared handle a MetricsRegistry attaches (keeps renders
+  /// racing a tenant retire safe).
+  const std::shared_ptr<TenantMetrics>& metrics_ptr() const {
+    return metrics_;
+  }
+
   /// \brief Current ingestion epoch (bumped once per append batch).
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
@@ -275,12 +297,21 @@ class ServiceCore {
                         std::atomic<uint64_t>& coalesced_hits,
                         ServedFrom* served_from, CoreFn&& core_call);
 
+  /// Records the windowed counters and stage histograms for one successful
+  /// Translate (defined in the .cc).
+  void RecordServed(const QueryRequest& request,
+                    const QueryResponse& response);
+
   /// Stage bodies of Translate (defined in the .cc).
   Result<QueryResponse> ServeMapStage(const QueryRequest& request);
   Result<QueryResponse> ServeJoinStage(const QueryRequest& request);
   Result<QueryResponse> ServeTranslateStage(const QueryRequest& request);
 
   std::unique_ptr<core::Templar> templar_;
+
+  /// Windowed rates + latency histograms; shared so a metrics registry can
+  /// keep rendering safely while the core is torn down.
+  std::shared_ptr<TenantMetrics> metrics_ = std::make_shared<TenantMetrics>();
 
   /// Guards the QFG: shared for scoring reads, exclusive for ingestion.
   mutable std::shared_mutex qfg_mutex_;
@@ -380,6 +411,15 @@ class TemplarService {
 
   /// \brief Consistent counter snapshot.
   ServiceStats Stats() const;
+
+  /// \brief Windowed telemetry of this service's core.
+  TenantMetrics& metrics() { return core_->metrics(); }
+
+  /// \brief Prometheus text exposition of every rolling window and latency
+  /// histogram (single tenant, labeled tenant="service").
+  std::string RenderMetrics() const {
+    return RenderPrometheusText({{"service", core_->metrics().Collect()}});
+  }
 
   /// \brief Current ingestion epoch (bumped once per append batch).
   uint64_t epoch() const { return core_->epoch(); }

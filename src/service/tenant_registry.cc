@@ -19,6 +19,10 @@ struct TenantState {
   FairShareScheduler* scheduler = nullptr;
   size_t host_workers = 0;
   std::atomic<bool> retired{false};
+  /// Queue-wait histogram as of the previous adaptive-controller tick, so
+  /// each tick tunes from the p99 of the *interval*, not of all time. Only
+  /// the controller (single-threaded) reads or writes it.
+  HistogramSnapshot last_queue_wait;
 };
 
 }  // namespace internal
@@ -48,6 +52,10 @@ ServiceStats TenantStatsSnapshot(const TenantState& state) {
   ServiceStats stats = state.core->Stats();
   stats.tenant_id = state.id;
   stats.admission = state.admission->Stats();
+  if (state.scheduler != nullptr) {
+    stats.admission.scheduler_queued =
+        state.scheduler->QueuedTasksFor(state.admission.get());
+  }
   stats.worker_threads = state.host_workers;
   return stats;
 }
@@ -77,6 +85,7 @@ Result<T> ServeSync(const std::shared_ptr<TenantState>& state, Fn&& call) {
     return RetiredError(*state);
   }
   if (!state->admission->AdmitInflight()) {
+    state->core->metrics().Add(Counter::kRejected, 1);
     return OverloadedError(*state, "in-flight");
   }
   SyncSlotGuard guard(*state);
@@ -106,6 +115,7 @@ std::future<Result<T>> ServeAsync(const std::shared_ptr<TenantState>& state,
   std::future<Result<T>> future = task->get_future();
   if (!state->scheduler->Submit(state->admission,
                                 [task] { (*task)(); })) {
+    state->core->metrics().Add(Counter::kRejected, 1);
     return ReadyFuture<T>(OverloadedError(*state, "queue-depth"));
   }
   return future;
@@ -133,7 +143,7 @@ std::future<Result<QueryResponse>> TenantHandle::TranslateAsync(
   return ServeAsync<QueryResponse>(
       state_, [request = std::move(request), submitted](ServiceCore& core) {
         return internal::RunDispatched(
-            request, submitted,
+            request, submitted, &core.metrics(),
             [&core](const QueryRequest& r) { return core.Translate(r); });
       });
 }
@@ -232,15 +242,31 @@ uint64_t TenantHandle::epoch() const {
   return state_ ? state_->core->epoch() : 0;
 }
 
+TenantMetrics& TenantHandle::metrics() const { return state_->core->metrics(); }
+
 // ---------------------------------------------------------------------------
 // ServiceHost
 
 ServiceHost::ServiceHost(HostOptions options)
     : options_(options),
       scheduler_(&pool_),  // Stores the pointer only; pool_ is built below.
-      pool_(options.worker_threads) {}
+      pool_(options.worker_threads) {
+  if (options_.adaptive.period.count() > 0) {
+    controller_ = std::thread([this] { AdaptiveControlLoop(); });
+  }
+}
 
 ServiceHost::~ServiceHost() {
+  // Stop the controller before tenants go away: a tick walks the registry
+  // and the per-tenant metrics.
+  if (controller_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(controller_mu_);
+      stop_controller_ = true;
+    }
+    controller_cv_.notify_all();
+    controller_.join();
+  }
   // Retire every tenant before the members a request would touch go away:
   // a TenantHandle outliving the host holds the tenant state (shared_ptr)
   // but NOT the host's scheduler/pool, which the state points into. With
@@ -298,9 +324,11 @@ Status ServiceHost::RegisterTenant(const std::string& id,
   std::unique_lock<std::shared_mutex> lock(mu_);
   // Re-check under the exclusive lock: a concurrent register of the same id
   // may have won the race while this one was building.
-  if (!tenants_.emplace(id, std::move(state)).second) {
+  auto [it, inserted] = tenants_.emplace(id, std::move(state));
+  if (!inserted) {
     return Status::AlreadyExists("tenant '" + id + "' is already registered");
   }
+  metrics_.Attach(id, it->second->core->metrics_ptr());
   RepartitionCachesLocked();
   return Status::OK();
 }
@@ -316,6 +344,7 @@ Status ServiceHost::RetireTenant(const std::string& id) {
   // still parked in the scheduler) hold the state shared_ptr and complete
   // safely; queued tasks short-circuit to kNotFound when dispatched.
   it->second->retired.store(true, std::memory_order_release);
+  metrics_.Detach(id);
   tenants_.erase(it);
   if (!tenants_.empty()) RepartitionCachesLocked();
   return Status::OK();
@@ -376,6 +405,116 @@ void ServiceHost::RepartitionCachesLocked() {
       std::max<size_t>(1, options_.translate_cache_budget / count);
   for (auto& [_, state] : tenants_) {
     state->core->SetCacheCapacities(map_share, join_share, translate_share);
+  }
+}
+
+namespace {
+
+/// Splits `budget` across tenants proportionally to `weights`, after
+/// reserving `floor_share` of the budget as an equal per-tenant floor (so a
+/// quiet tenant keeps enough cache to stay warm). Every share is >= 1.
+std::vector<size_t> ProportionalShares(size_t budget,
+                                       const std::vector<double>& weights,
+                                       double floor_share) {
+  const size_t n = weights.size();
+  std::vector<size_t> shares(n, 1);
+  if (n == 0) return shares;
+  floor_share = std::min(1.0, std::max(0.0, floor_share));
+  const double floor_each =
+      floor_share * static_cast<double>(budget) / static_cast<double>(n);
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+  const double remainder =
+      static_cast<double>(budget) - floor_each * static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double fraction =
+        total_weight > 0.0 ? weights[i] / total_weight
+                           : 1.0 / static_cast<double>(n);
+    shares[i] = std::max<size_t>(
+        1, static_cast<size_t>(floor_each + remainder * fraction));
+  }
+  return shares;
+}
+
+}  // namespace
+
+void ServiceHost::RunAdaptiveControlOnce() {
+  const AdaptiveControlOptions& adaptive = options_.adaptive;
+  // Exclusive registry lock: the tick must not interleave with a
+  // register/retire's own equal-share repartition (the per-call work —
+  // window sums and SetCapacity evictions — is small and bounded).
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (tenants_.empty()) return;
+
+  if (adaptive.repartition_cache) {
+    // Weight each tenant by its trailing-1s request traffic; an idle host
+    // (all zero) falls back to the 1m window, then to equal shares.
+    std::vector<internal::TenantState*> states;
+    std::vector<double> weights;
+    states.reserve(tenants_.size());
+    weights.reserve(tenants_.size());
+    const auto now = MetricClock::now();
+    bool any_traffic = false;
+    for (auto& [_, state] : tenants_) {
+      states.push_back(state.get());
+      WindowedCounter& requests =
+          state->core->metrics().counter(Counter::kRequests);
+      uint64_t sum = requests.Sum(Window::kOneSecond, now);
+      if (sum == 0) sum = requests.Sum(Window::kOneMinute, now);
+      any_traffic = any_traffic || sum > 0;
+      weights.push_back(static_cast<double>(sum));
+    }
+    if (!any_traffic) weights.assign(weights.size(), 1.0);
+    const std::vector<size_t> map_shares = ProportionalShares(
+        options_.map_cache_budget, weights, adaptive.cache_floor_share);
+    const std::vector<size_t> join_shares = ProportionalShares(
+        options_.join_cache_budget, weights, adaptive.cache_floor_share);
+    const std::vector<size_t> translate_shares = ProportionalShares(
+        options_.translate_cache_budget, weights, adaptive.cache_floor_share);
+    for (size_t i = 0; i < states.size(); ++i) {
+      states[i]->core->SetCacheCapacities(map_shares[i], join_shares[i],
+                                          translate_shares[i]);
+    }
+  }
+
+  if (adaptive.tune_admission) {
+    for (auto& [_, state] : tenants_) {
+      const AdmissionOptions& configured = state->admission->options();
+      if (configured.max_inflight == 0) continue;  // Drain mode: never grow.
+      const HistogramSnapshot current =
+          state->core->metrics().histogram(LatencyPoint::kQueueWait).Snapshot();
+      const HistogramSnapshot interval =
+          current.DeltaSince(state->last_queue_wait);
+      state->last_queue_wait = current;
+      if (interval.count < adaptive.min_samples) continue;
+      const uint64_t p99 = interval.ValueAtPercentile(0.99);
+      const uint64_t target = static_cast<uint64_t>(
+          std::max<int64_t>(1, adaptive.target_queue_wait_p99.count()));
+      const size_t limit = state->admission->max_inflight();
+      size_t next = limit;
+      if (p99 > target) {
+        next = std::max<size_t>(1, limit / 2);
+      } else if (p99 < target / 2) {
+        next = std::min(configured.max_inflight,
+                        std::max<size_t>(1, limit) * 2);
+      }
+      if (next != limit) {
+        state->admission->SetLimits(next, configured.max_queued);
+      }
+    }
+  }
+}
+
+void ServiceHost::AdaptiveControlLoop() {
+  std::unique_lock<std::mutex> lock(controller_mu_);
+  while (!stop_controller_) {
+    if (controller_cv_.wait_for(lock, options_.adaptive.period,
+                                [this] { return stop_controller_; })) {
+      return;
+    }
+    lock.unlock();
+    RunAdaptiveControlOnce();
+    lock.lock();
   }
 }
 

@@ -30,21 +30,53 @@
 /// still-alive core — the state is destroyed when the last handle and the
 /// last queued task drop it.
 
+#include <chrono>
+#include <condition_variable>
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
 #include "service/admission.h"
+#include "service/metrics.h"
 #include "service/service_stats.h"
 #include "service/templar_service.h"
 #include "service/thread_pool.h"
 
 namespace templar::service {
+
+/// \brief Knobs of the host's measurement-driven control loop. With
+/// `period == 0` (the default) the loop never runs and the host behaves
+/// statically: equal cache shares per tenant, admission caps fixed at their
+/// configured values. With a period set, a controller thread wakes every
+/// `period` and applies both adaptations from the telemetry windows.
+struct AdaptiveControlOptions {
+  /// Controller wake interval; 0 disables the loop entirely.
+  std::chrono::milliseconds period{0};
+  /// Repartition the shared cache budgets by each tenant's share of the
+  /// trailing-window request traffic (1s window, falling back to 1m, then
+  /// to equal shares when the host is idle) instead of equal N-way splits.
+  bool repartition_cache = true;
+  /// Adapt per-tenant max_inflight from the queue-wait p99 observed since
+  /// the previous controller tick: halve it when p99 exceeds
+  /// `target_queue_wait_p99`, double it back toward the configured cap when
+  /// p99 drops below half the target.
+  bool tune_admission = true;
+  /// Fraction of each cache budget reserved as an equal-share floor so a
+  /// quiet tenant can never be starved to zero cache by a hot neighbour.
+  double cache_floor_share = 0.10;
+  /// Queue-wait p99 the admission tuner steers toward.
+  std::chrono::microseconds target_queue_wait_p99{50000};
+  /// Queue-wait samples required in a tick before the tuner acts (a p99 of
+  /// two requests is noise, not signal).
+  size_t min_samples = 8;
+};
 
 /// \brief Host-wide tunables shared by every tenant.
 struct HostOptions {
@@ -60,6 +92,9 @@ struct HostOptions {
   size_t cache_shards = 8;
   /// Admission limits applied to tenants that do not override them.
   AdmissionOptions default_admission;
+  /// Measurement-driven cache repartitioning and admission tuning
+  /// (disabled by default; see AdaptiveControlOptions).
+  AdaptiveControlOptions adaptive;
 };
 
 /// \brief Per-tenant tunables (the serving knobs of ServiceOptions minus
@@ -155,6 +190,11 @@ class TenantHandle {
   /// admission admitted/rejected/queued.
   ServiceStats Stats() const;
 
+  /// \brief This tenant's live windowed telemetry (also rendered through
+  /// the host's MetricsRegistry). Precondition: non-empty handle; valid for
+  /// the life of the handle, including after a retire.
+  TenantMetrics& metrics() const;
+
   /// \brief This tenant's current append epoch.
   uint64_t epoch() const;
 
@@ -212,16 +252,42 @@ class ServiceHost {
   /// \brief Per-tenant ServiceStats plus host shape, tenants sorted by id.
   HostStats Stats() const;
 
+  /// \brief Registry of every live tenant's rolling windows and latency
+  /// histograms (tenants attach at register, detach at retire).
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// \brief Prometheus text exposition across all live tenants, plus the
+  /// `_host` aggregate row when more than one tenant is registered.
+  std::string RenderMetrics() const { return metrics_.RenderPrometheus(); }
+
+  /// \brief One synchronous tick of the adaptive controller: repartitions
+  /// the cache budgets by measured traffic share and retunes admission caps
+  /// from the queue-wait p99 since the previous tick, per
+  /// HostOptions::adaptive (period is ignored — this IS one tick). Exposed
+  /// so tests and benchmarks can drive the loop deterministically; the
+  /// background controller thread calls exactly this.
+  void RunAdaptiveControlOnce();
+
  private:
   /// Splits the host cache budget evenly over live tenants. Caller holds
   /// the registry lock (exclusively).
   void RepartitionCachesLocked();
 
+  /// Controller thread body: RunAdaptiveControlOnce every adaptive.period
+  /// until stop_controller_ is flagged.
+  void AdaptiveControlLoop();
+
   HostOptions options_;
   FairShareScheduler scheduler_;
+  MetricsRegistry metrics_;
 
   mutable std::shared_mutex mu_;
   std::map<std::string, std::shared_ptr<internal::TenantState>> tenants_;
+
+  std::mutex controller_mu_;
+  std::condition_variable controller_cv_;
+  bool stop_controller_ = false;
+  std::thread controller_;
 
   // Declared last: workers must stop before the scheduler/tenants they
   // touch are torn down.

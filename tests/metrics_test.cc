@@ -1,0 +1,516 @@
+// Tests for the serving-layer telemetry subsystem (metrics.h/histogram.h)
+// and the adaptive control loop it feeds: rolling-window bucket semantics
+// (rollover at exact boundaries, long-idle gap zeroing), log-linear
+// histogram percentile accuracy against a sorted reference with the
+// documented error bound, snapshot merge/delta algebra, the Prometheus text
+// exporter, and the ServiceHost controller (traffic-share cache
+// repartitioning with a floor, queue-wait-driven admission tuning).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/admission.h"
+#include "service/metrics.h"
+#include "service/tenant_registry.h"
+#include "service/thread_pool.h"
+#include "test_fixtures.h"
+
+namespace templar::service {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+// A base instant aligned to every bucket width (50ms, 1s, 1min), so tests
+// can reason about bucket boundaries exactly.
+const MetricClock::time_point kBase{std::chrono::hours(1)};
+
+// ---------------------------------------------------------------------------
+// WindowedCounter
+
+TEST(WindowedCounterTest, CountsWithinWindowAndRollsOverAtExactBoundary) {
+  WindowedCounter counter;
+  counter.Add(5, kBase);
+
+  // Still inside the 1s window right up to the last bucket...
+  EXPECT_EQ(counter.Sum(Window::kOneSecond, kBase), 5u);
+  EXPECT_EQ(counter.Sum(Window::kOneSecond, kBase + milliseconds(950)), 5u);
+  // ...and gone the instant the ring wraps past the recording bucket.
+  EXPECT_EQ(counter.Sum(Window::kOneSecond, kBase + milliseconds(1000)), 0u);
+
+  // The 1m window still holds the events (independent rings).
+  EXPECT_EQ(counter.Sum(Window::kOneMinute, kBase + milliseconds(1000)), 5u);
+  EXPECT_EQ(counter.Sum(Window::kOneMinute, kBase + seconds(59)), 5u);
+  EXPECT_EQ(counter.Sum(Window::kOneMinute, kBase + seconds(60)), 0u);
+}
+
+TEST(WindowedCounterTest, BucketsExpireIndividually) {
+  WindowedCounter counter;
+  counter.Add(5, kBase);
+  counter.Add(3, kBase + milliseconds(500));
+
+  // Both batches visible while both buckets are in the ring.
+  EXPECT_EQ(counter.Sum(Window::kOneSecond, kBase + milliseconds(950)), 8u);
+  // The first batch ages out exactly one window after it was recorded; the
+  // second survives half a window longer.
+  EXPECT_EQ(counter.Sum(Window::kOneSecond, kBase + milliseconds(1000)), 3u);
+  EXPECT_EQ(counter.Sum(Window::kOneSecond, kBase + milliseconds(1450)), 3u);
+  EXPECT_EQ(counter.Sum(Window::kOneSecond, kBase + milliseconds(1500)), 0u);
+}
+
+TEST(WindowedCounterTest, LongIdleGapReadsZeroWithoutBackgroundWork) {
+  WindowedCounter counter;
+  counter.Add(7, kBase);
+  // A gap far longer than every window: each ring is cleared wholesale on
+  // the next touch (steps >= bucket count), with no timer thread involved.
+  const auto later = kBase + std::chrono::hours(3);
+  EXPECT_EQ(counter.Sum(Window::kOneSecond, later), 0u);
+  EXPECT_EQ(counter.Sum(Window::kOneMinute, later), 0u);
+  EXPECT_EQ(counter.Sum(Window::kOneHour, later), 0u);
+  // The lifetime total never windows out.
+  EXPECT_EQ(counter.Total(), 7u);
+}
+
+TEST(WindowedCounterTest, SumsAndRatesAgreeAcrossWindows) {
+  WindowedCounter counter;
+  for (int i = 0; i < 10; ++i) {
+    counter.Add(1, kBase + milliseconds(i * 100));
+  }
+  const auto now = kBase + milliseconds(999);
+  const auto sums = counter.Sums(now);
+  EXPECT_EQ(sums[static_cast<size_t>(Window::kOneSecond)], 10u);
+  EXPECT_EQ(sums[static_cast<size_t>(Window::kOneMinute)], 10u);
+  EXPECT_EQ(sums[static_cast<size_t>(Window::kOneHour)], 10u);
+  EXPECT_DOUBLE_EQ(counter.RatePerSecond(Window::kOneSecond, now), 10.0);
+  EXPECT_DOUBLE_EQ(counter.RatePerSecond(Window::kOneMinute, now),
+                   10.0 / 60.0);
+}
+
+TEST(WindowedCounterTest, StaleTimePointLandsInCurrentBucketNotBackwards) {
+  WindowedCounter counter;
+  counter.Add(1, kBase + seconds(2));
+  // An older explicit time point must not rewind the ring (under real use
+  // the lock serializes advances and steady_clock is monotonic).
+  counter.Add(1, kBase);
+  EXPECT_EQ(counter.Sum(Window::kOneSecond, kBase + seconds(2)), 2u);
+  EXPECT_EQ(counter.Total(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram hist;
+  for (uint64_t v = 0; v < 16; ++v) hist.Record(v);
+  const HistogramSnapshot snap = hist.Snapshot();
+  ASSERT_EQ(snap.count, 16u);
+  // Values below 2^kSubBucketBits each own an exact bucket, so every
+  // nearest-rank percentile is exact: rank r (1-based) -> value r-1.
+  EXPECT_EQ(snap.ValueAtPercentile(0.5), 7u);
+  EXPECT_EQ(snap.ValueAtPercentile(1.0), 15u);
+  EXPECT_EQ(snap.Mean(), 7.5);
+}
+
+TEST(LatencyHistogramTest, PercentilesMatchSortedReferenceWithinBound) {
+  // Deterministic pseudo-random latencies spanning five decades.
+  LatencyHistogram hist;
+  std::vector<uint64_t> reference;
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t value = (state >> 33) % 10'000'000 + 1;
+    hist.Record(value);
+    reference.push_back(value);
+  }
+  std::sort(reference.begin(), reference.end());
+
+  const HistogramSnapshot snap = hist.Snapshot();
+  ASSERT_EQ(snap.count, reference.size());
+  for (double p : {0.5, 0.9, 0.99, 0.999}) {
+    uint64_t rank = static_cast<uint64_t>(p * reference.size());
+    rank = std::clamp<uint64_t>(rank, 1, reference.size());
+    const uint64_t exact = reference[rank - 1];
+    const uint64_t reported = snap.ValueAtPercentile(p);
+    // The documented bound: never below the exact percentile, at most one
+    // sub-bucket width (2^-4 = 6.25%) above it.
+    EXPECT_GE(reported, exact) << "p=" << p;
+    EXPECT_LE(static_cast<double>(reported),
+              static_cast<double>(exact) * (1.0 + 1.0 / 16.0))
+        << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, OversizedSamplesClampIntoTopBucket) {
+  LatencyHistogram hist;
+  hist.Record(uint64_t{1} << 40);  // Far beyond the ~17.9-minute max.
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.ValueAtPercentile(1.0), internal::kHistogramMax);
+  EXPECT_EQ(snap.sum, internal::kHistogramMax);
+}
+
+TEST(LatencyHistogramTest, MergeAndDeltaAreInverse) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 100; ++i) hist.Record(10);
+  const HistogramSnapshot before = hist.Snapshot();
+  for (int i = 0; i < 100; ++i) hist.Record(100'000);
+  const HistogramSnapshot after = hist.Snapshot();
+
+  // The delta holds only the second batch: its p50 is the slow value.
+  const HistogramSnapshot delta = after.DeltaSince(before);
+  EXPECT_EQ(delta.count, 100u);
+  EXPECT_GE(delta.ValueAtPercentile(0.5), 100'000u);
+
+  // Merging the delta back onto the old snapshot reproduces the new one.
+  HistogramSnapshot rebuilt = before;
+  rebuilt.MergeFrom(delta);
+  EXPECT_EQ(rebuilt.count, after.count);
+  EXPECT_EQ(rebuilt.sum, after.sum);
+  EXPECT_EQ(rebuilt.ValueAtPercentile(0.999),
+            after.ValueAtPercentile(0.999));
+}
+
+// ---------------------------------------------------------------------------
+// TenantMetrics + exporter
+
+TEST(TenantMetricsTest, CollectReportsWindowsTotalsAndLatencies) {
+  TenantMetrics metrics;
+  metrics.Add(Counter::kRequests, 3, kBase);
+  metrics.Add(Counter::kCacheHits, 2, kBase);
+  metrics.Record(LatencyPoint::kEndToEnd, uint64_t{250});
+  metrics.Record(LatencyPoint::kEndToEnd, std::chrono::microseconds(750));
+
+  TenantMetricsSnapshot snap = metrics.Collect(kBase + milliseconds(100));
+  EXPECT_EQ(snap.WindowSum(Counter::kRequests, Window::kOneSecond), 3u);
+  EXPECT_EQ(snap.WindowSum(Counter::kCacheHits, Window::kOneMinute), 2u);
+  EXPECT_EQ(snap.totals[static_cast<size_t>(Counter::kRequests)], 3u);
+  EXPECT_DOUBLE_EQ(snap.Rate(Counter::kRequests, Window::kOneSecond), 3.0);
+  EXPECT_EQ(snap.Latency(LatencyPoint::kEndToEnd).count, 2u);
+
+  // One window later the rolling sums are gone, the totals are not.
+  snap = metrics.Collect(kBase + std::chrono::hours(2));
+  EXPECT_EQ(snap.WindowSum(Counter::kRequests, Window::kOneHour), 0u);
+  EXPECT_EQ(snap.totals[static_cast<size_t>(Counter::kRequests)], 3u);
+}
+
+TEST(RenderPrometheusTest, EmitsPerTenantSeriesAndHostAggregate) {
+  TenantMetrics a;
+  TenantMetrics b;
+  a.Add(Counter::kRequests, 3, kBase);
+  b.Add(Counter::kRequests, 4, kBase);
+  a.Record(LatencyPoint::kEndToEnd, uint64_t{100});
+
+  const auto now = kBase + milliseconds(100);
+  const std::string text = RenderPrometheusText(
+      {{"alpha", a.Collect(now)}, {"beta", b.Collect(now)}});
+
+  EXPECT_NE(text.find("# TYPE templar_requests_window gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find(
+                "templar_requests_window{tenant=\"alpha\",window=\"1s\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find(
+                "templar_requests_window{tenant=\"beta\",window=\"1s\"} 4"),
+            std::string::npos);
+  // Host aggregate row sums the tenants.
+  EXPECT_NE(text.find(
+                "templar_requests_window{tenant=\"_host\",window=\"1s\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("templar_requests_total{tenant=\"alpha\"} 3"),
+            std::string::npos);
+  // Latency summary series with quantile labels.
+  EXPECT_NE(
+      text.find("templar_latency_microseconds{tenant=\"alpha\","
+                "point=\"end_to_end\",quantile=\"0.99\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("templar_latency_microseconds_count{tenant=\"alpha\","
+                      "point=\"end_to_end\"} 1"),
+            std::string::npos);
+
+  // A single tenant IS the host: no separate aggregate row.
+  const std::string solo = RenderPrometheusText({{"alpha", a.Collect(now)}});
+  EXPECT_EQ(solo.find("_host"), std::string::npos);
+}
+
+TEST(RenderPrometheusTest, EscapesLabelValues) {
+  TenantMetrics metrics;
+  metrics.Add(Counter::kRequests, 1, kBase);
+  const std::string text = RenderPrometheusText(
+      {{"we\"ird\\id", metrics.Collect(kBase + milliseconds(10))}});
+  EXPECT_NE(text.find("tenant=\"we\\\"ird\\\\id\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, AttachDetachAndRender) {
+  MetricsRegistry registry;
+  auto a = std::make_shared<TenantMetrics>();
+  auto b = std::make_shared<TenantMetrics>();
+  registry.Attach("b", b);
+  registry.Attach("a", a);
+  EXPECT_EQ(registry.Ids(), (std::vector<std::string>{"a", "b"}));
+
+  a->Add(Counter::kRejected, 2);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("templar_rejected_total{tenant=\"a\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("tenant=\"b\""), std::string::npos);
+
+  registry.Detach("b");
+  EXPECT_EQ(registry.Ids(), std::vector<std::string>{"a"});
+  EXPECT_EQ(registry.RenderPrometheus().find("tenant=\"b\""),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Unified stats formatter (service_stats.h)
+
+TEST(ServiceStatsFormatTest, ControlAbortsAlwaysRenderedAndSchedulerQueued) {
+  ServiceStats stats;
+  // Zero aborts are still information — the line must be present.
+  EXPECT_NE(stats.ToString().find(
+                "control aborts: deadline_exceeded=0 cancelled=0"),
+            std::string::npos);
+
+  stats.admission.submitted = 5;
+  stats.admission.max_inflight = 4;
+  stats.admission.scheduler_queued = 3;
+  EXPECT_NE(stats.ToString().find("scheduler_queued=3"), std::string::npos);
+
+  // The host rendering reuses the exact same formatter per tenant.
+  HostStats host;
+  stats.tenant_id = "t1";
+  host.tenants.push_back(stats);
+  EXPECT_NE(host.ToString().find(stats.ToString()), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FairShareScheduler queue-depth exposure
+
+TEST(SchedulerQueueDepthTest, QueuedTasksForTracksBacklogPerTenant) {
+  ThreadPool pool(1);
+  FairShareScheduler scheduler(&pool);
+  auto tenant = std::make_shared<AdmissionController>(
+      AdmissionOptions{/*max_inflight=*/1, /*max_queued=*/8});
+
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  ASSERT_TRUE(scheduler.Submit(tenant, [gate] { gate.wait(); }));
+  // Wait for the blocker to occupy the tenant's single in-flight slot.
+  auto until = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (tenant->inflight() == 0 &&
+         std::chrono::steady_clock::now() < until) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(tenant->inflight(), 1u);
+
+  ASSERT_TRUE(scheduler.Submit(tenant, [] {}));
+  ASSERT_TRUE(scheduler.Submit(tenant, [] {}));
+  ASSERT_TRUE(scheduler.Submit(tenant, [] {}));
+  EXPECT_EQ(scheduler.QueuedTasksFor(tenant.get()), 3u);
+  EXPECT_EQ(scheduler.QueuedTasks(), 3u);
+
+  release.set_value();
+  while (scheduler.QueuedTasksFor(tenant.get()) > 0 &&
+         std::chrono::steady_clock::now() < until) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(scheduler.QueuedTasksFor(tenant.get()), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceHost adaptive control
+
+nlq::ParsedNlq MetricsNlq() {
+  nlq::ParsedNlq parsed;
+  parsed.original = "Return the papers in the Databases domain";
+  nlq::AnnotatedKeyword papers;
+  papers.text = "papers";
+  papers.metadata.context = qfg::FragmentContext::kSelect;
+  nlq::AnnotatedKeyword databases;
+  databases.text = "Databases";
+  databases.metadata.context = qfg::FragmentContext::kWhere;
+  databases.metadata.op = sql::BinaryOp::kEq;
+  parsed.keywords = {papers, databases};
+  return parsed;
+}
+
+class AdaptiveHostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_a_ = testing::MakeMiniAcademicDb();
+    db_b_ = testing::MakeMiniAcademicDb();
+    model_ = testing::MakeMiniLexicon();
+  }
+
+  std::unique_ptr<db::Database> db_a_;
+  std::unique_ptr<db::Database> db_b_;
+  std::unique_ptr<embed::EmbeddingModel> model_;
+};
+
+TEST_F(AdaptiveHostTest, RequestPathFeedsWindowsAndExporter) {
+  HostOptions options;
+  options.worker_threads = 2;
+  ServiceHost host(options);
+  ASSERT_TRUE(host.RegisterTenant("t", db_a_.get(), model_.get(), {}).ok());
+  auto handle = host.Tenant("t");
+  ASSERT_TRUE(handle.ok());
+
+  ASSERT_TRUE(handle->MapKeywords(MetricsNlq()).ok());  // Miss + compute.
+  ASSERT_TRUE(handle->MapKeywords(MetricsNlq()).ok());  // Cache hit.
+
+  TenantMetrics& metrics = handle->metrics();
+  EXPECT_EQ(metrics.counter(Counter::kRequests).Total(), 2u);
+  EXPECT_EQ(metrics.counter(Counter::kCacheHits).Total(), 1u);
+  EXPECT_EQ(metrics.counter(Counter::kCacheMisses).Total(), 1u);
+  EXPECT_EQ(metrics.counter(Counter::kMapComputations).Total(), 1u);
+  EXPECT_EQ(
+      metrics.histogram(LatencyPoint::kEndToEnd).Snapshot().count, 2u);
+
+  const std::string text = host.RenderMetrics();
+  EXPECT_NE(text.find("templar_requests_total{tenant=\"t\"} 2"),
+            std::string::npos);
+
+  // Retire detaches the tenant from the exporter.
+  ASSERT_TRUE(host.RetireTenant("t").ok());
+  EXPECT_EQ(host.RenderMetrics().find("tenant=\"t\""), std::string::npos);
+}
+
+TEST_F(AdaptiveHostTest, AppendSweepsFeedInvalidationWindows) {
+  HostOptions options;
+  ServiceHost host(options);
+  ASSERT_TRUE(host.RegisterTenant("t", db_a_.get(), model_.get(), {}).ok());
+  auto handle = host.Tenant("t");
+  ASSERT_TRUE(handle.ok());
+
+  ASSERT_TRUE(handle->MapKeywords(MetricsNlq()).ok());  // Populate cache.
+  auto outcome = handle->AppendLogQueries(testing::MakeMiniLog());
+  ASSERT_TRUE(outcome.ok());
+
+  TenantMetrics& metrics = handle->metrics();
+  EXPECT_EQ(metrics.counter(Counter::kInvalidationSweeps).Total(), 1u);
+  // The mini log touches the mini schema's fragments, so the cached map
+  // entry's footprint intersects the delta and the sweep evicts it.
+  EXPECT_EQ(metrics.counter(Counter::kInvalidatedEntries).Total(),
+            handle->Stats().map_cache.invalidated +
+                handle->Stats().join_cache.invalidated +
+                handle->Stats().translate_cache.invalidated);
+}
+
+TEST_F(AdaptiveHostTest, RepartitionFollowsTrafficShareWithFloor) {
+  HostOptions options;
+  options.worker_threads = 2;
+  options.map_cache_budget = 64;
+  options.join_cache_budget = 64;
+  options.translate_cache_budget = 64;
+  options.cache_shards = 1;
+  options.adaptive.cache_floor_share = 0.25;
+  ServiceHost host(options);
+  ASSERT_TRUE(host.RegisterTenant("hot", db_a_.get(), model_.get(), {}).ok());
+  ASSERT_TRUE(
+      host.RegisterTenant("cold", db_b_.get(), model_.get(), {}).ok());
+
+  // Equal split at registration.
+  EXPECT_EQ(host.Tenant("hot")->Stats().map_cache.capacity, 32u);
+  EXPECT_EQ(host.Tenant("cold")->Stats().map_cache.capacity, 32u);
+
+  // With no traffic at all, an adaptive tick keeps the equal split.
+  host.RunAdaptiveControlOnce();
+  EXPECT_EQ(host.Tenant("hot")->Stats().map_cache.capacity, 32u);
+  EXPECT_EQ(host.Tenant("cold")->Stats().map_cache.capacity, 32u);
+
+  // All traffic on one tenant: its share grows, the cold tenant keeps at
+  // least its floor (0.25 * 64 / 2 = 8 entries).
+  auto hot = host.Tenant("hot");
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(hot->MapKeywords(MetricsNlq()).ok());
+  host.RunAdaptiveControlOnce();
+  const size_t hot_capacity = host.Tenant("hot")->Stats().map_cache.capacity;
+  const size_t cold_capacity =
+      host.Tenant("cold")->Stats().map_cache.capacity;
+  EXPECT_GT(hot_capacity, 32u);
+  EXPECT_LT(cold_capacity, 32u);
+  EXPECT_GE(cold_capacity, 8u) << "floor share must protect the cold tenant";
+  EXPECT_LE(hot_capacity + cold_capacity, 64u)
+      << "shares must never sum past the budget";
+}
+
+TEST_F(AdaptiveHostTest, AdmissionCapTracksQueueWaitPercentile) {
+  HostOptions options;
+  options.worker_threads = 2;
+  options.default_admission =
+      AdmissionOptions{/*max_inflight=*/32, /*max_queued=*/128};
+  options.adaptive.target_queue_wait_p99 = std::chrono::milliseconds(10);
+  options.adaptive.min_samples = 8;
+  ServiceHost host(options);
+  ASSERT_TRUE(host.RegisterTenant("t", db_a_.get(), model_.get(), {}).ok());
+  auto handle = host.Tenant("t");
+  ASSERT_TRUE(handle.ok());
+  TenantMetrics& metrics = handle->metrics();
+
+  // Too few samples in the interval: the tuner must not act on noise.
+  for (int i = 0; i < 3; ++i) {
+    metrics.Record(LatencyPoint::kQueueWait, uint64_t{100'000});
+  }
+  host.RunAdaptiveControlOnce();
+  EXPECT_EQ(handle->Stats().admission.max_inflight, 32u);
+
+  // Sustained queue waits far past target: halve, then halve again.
+  for (int i = 0; i < 16; ++i) {
+    metrics.Record(LatencyPoint::kQueueWait, uint64_t{100'000});
+  }
+  host.RunAdaptiveControlOnce();
+  EXPECT_EQ(handle->Stats().admission.max_inflight, 16u);
+  for (int i = 0; i < 16; ++i) {
+    metrics.Record(LatencyPoint::kQueueWait, uint64_t{100'000});
+  }
+  host.RunAdaptiveControlOnce();
+  EXPECT_EQ(handle->Stats().admission.max_inflight, 8u);
+
+  // Pressure clears (p99 below half the target): grow back toward — and
+  // never past — the configured cap.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      metrics.Record(LatencyPoint::kQueueWait, uint64_t{10});
+    }
+    host.RunAdaptiveControlOnce();
+  }
+  EXPECT_EQ(handle->Stats().admission.max_inflight, 32u);
+
+  // In-between latencies (target/2 <= p99 <= target): hold steady.
+  for (int i = 0; i < 16; ++i) {
+    metrics.Record(LatencyPoint::kQueueWait, uint64_t{7'000});
+  }
+  host.RunAdaptiveControlOnce();
+  EXPECT_EQ(handle->Stats().admission.max_inflight, 32u);
+}
+
+TEST_F(AdaptiveHostTest, BackgroundControllerRunsWithPeriodSet) {
+  HostOptions options;
+  options.worker_threads = 2;
+  options.map_cache_budget = 64;
+  options.cache_shards = 1;
+  options.adaptive.period = std::chrono::milliseconds(5);
+  options.adaptive.cache_floor_share = 0.25;
+  ServiceHost host(options);
+  ASSERT_TRUE(host.RegisterTenant("hot", db_a_.get(), model_.get(), {}).ok());
+  ASSERT_TRUE(
+      host.RegisterTenant("cold", db_b_.get(), model_.get(), {}).ok());
+  auto hot = host.Tenant("hot");
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(hot->MapKeywords(MetricsNlq()).ok());
+
+  // The controller thread repartitions on its own within a few periods.
+  auto until = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (host.Tenant("hot")->Stats().map_cache.capacity <= 32u &&
+         std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(host.Tenant("hot")->Stats().map_cache.capacity, 32u);
+}  // Destructor joins the controller thread cleanly.
+
+}  // namespace
+}  // namespace templar::service

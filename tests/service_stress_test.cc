@@ -722,5 +722,153 @@ TEST(ServiceStressTest, CancelWhileQueuedInHostRejectsWithoutPipelineWork) {
           .ok());
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry under concurrency: recorders vs readers, exporter vs traffic,
+// and the adaptive controller ticking against live serving.
+
+TEST(ServiceStressTest, MetricsRecordersVersusReaders) {
+  // Raw primitives first: many threads hammering one WindowedCounter and one
+  // LatencyHistogram while readers snapshot continuously. The assertions are
+  // conservation laws (exact totals once writers join); the real payload is
+  // the data-race coverage under -DTEMPLAR_SANITIZE=thread.
+  constexpr int kWriters = 4;
+  constexpr int kIterations = 2000;
+  TenantMetrics metrics;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kIterations; ++i) {
+        metrics.Add(Counter::kRequests, 1);
+        metrics.Record(LatencyPoint::kEndToEnd,
+                       static_cast<uint64_t>((w * kIterations + i) % 5000));
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      // A racy snapshot must still be internally consistent: the reconciled
+      // count equals the bucket total, and windows never exceed lifetime.
+      HistogramSnapshot snap =
+          metrics.histogram(LatencyPoint::kEndToEnd).Snapshot();
+      uint64_t bucket_total = 0;
+      for (uint64_t b : snap.buckets) bucket_total += b;
+      if (snap.count != bucket_total) failures.fetch_add(1);
+      if (snap.count > 0) (void)snap.ValueAtPercentile(0.99);
+      WindowedCounter& counter = metrics.counter(Counter::kRequests);
+      if (counter.Sum(Window::kOneHour, MetricClock::now()) >
+          counter.Total()) {
+        failures.fetch_add(1);
+      }
+      (void)metrics.Collect();
+      std::this_thread::yield();
+    }
+  });
+  for (size_t i = 0; i + 1 < threads.size(); ++i) threads[i].join();
+  stop.store(true);
+  threads.back().join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(metrics.counter(Counter::kRequests).Total(),
+            static_cast<uint64_t>(kWriters * kIterations));
+  EXPECT_EQ(metrics.histogram(LatencyPoint::kEndToEnd).Snapshot().count,
+            static_cast<uint64_t>(kWriters * kIterations));
+}
+
+TEST(ServiceStressTest, ExporterAndAdaptiveControllerUnderLiveTraffic) {
+  // End-to-end: tenants serve mixed traffic while one thread renders the
+  // Prometheus exposition in a loop and the background controller (period
+  // set) repartitions caches and tunes admission against the same windows
+  // the recorders are writing. Registry churn forces attach/detach races
+  // with CollectAll.
+  auto db_a = testing::MakeMiniAcademicDb();
+  auto db_b = testing::MakeMiniAcademicDb();
+  auto db_c = testing::MakeMiniAcademicDb();
+  auto model = testing::MakeMiniLexicon();
+
+  HostOptions options;
+  options.worker_threads = 2;
+  options.map_cache_budget = 64;
+  options.cache_shards = 1;
+  options.adaptive.period = std::chrono::milliseconds(2);
+  ServiceHost host(options);
+  ASSERT_TRUE(host.RegisterTenant("a", db_a.get(), model.get(),
+                                  testing::MakeMiniLog())
+                  .ok());
+  ASSERT_TRUE(host.RegisterTenant("b", db_b.get(), model.get(),
+                                  testing::MakeMiniLog())
+                  .ok());
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+  auto acceptable = [](const Status& status) {
+    return status.ok() || status.IsOverloaded() || status.IsNotFound();
+  };
+
+  std::vector<std::thread> threads;
+  for (const char* id : {"a", "b"}) {
+    threads.emplace_back([&, id] {
+      auto handle = host.Tenant(id);
+      if (!handle.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 60; ++i) {
+        if (i % 3 == 0) {
+          auto future = handle->MapKeywordsAsync(MakeNlq("papers", "indexing"));
+          if (!acceptable(future.get().status())) failures.fetch_add(1);
+        } else {
+          auto result = handle->MapKeywords(MakeNlq("papers", "Databases"));
+          if (!acceptable(result.status())) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Churn: attach/detach race CollectAll.
+    for (int round = 0; round < 6; ++round) {
+      if (!host.RegisterTenant("ephemeral", db_c.get(), model.get(),
+                               testing::MakeMiniLog())
+               .ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      auto handle = host.Tenant("ephemeral");
+      if (handle.ok()) (void)handle->MapKeywords(MakeNlq("journals", ""));
+      if (!host.RetireTenant("ephemeral").ok()) failures.fetch_add(1);
+    }
+  });
+  threads.emplace_back([&] {  // Exporter reader.
+    while (!done.load()) {
+      const std::string text = host.RenderMetrics();
+      if (text.find("templar_requests_total") == std::string::npos) {
+        failures.fetch_add(1);
+      }
+      (void)host.Stats().ToString();
+      std::this_thread::yield();
+    }
+  });
+
+  for (size_t i = 0; i + 1 < threads.size(); ++i) threads[i].join();
+  done.store(true);
+  threads.back().join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // The windows recorded every request the handles issued.
+  uint64_t total_requests = 0;
+  for (const char* id : {"a", "b"}) {
+    total_requests += host.Tenant(id)->metrics().counter(Counter::kRequests).Total();
+  }
+  EXPECT_GE(total_requests, 120u);
+  // Budget conservation survived every controller tick under churn.
+  size_t capacity_sum = 0;
+  for (const char* id : {"a", "b"}) {
+    capacity_sum += host.Tenant(id)->Stats().map_cache.capacity;
+  }
+  EXPECT_LE(capacity_sum, 64u);
+  EXPECT_GE(capacity_sum, 2u);
+}
+
 }  // namespace
 }  // namespace templar::service

@@ -68,6 +68,50 @@ def load_snapshots(path):
     return out
 
 
+def check_hot_tenant_cells(snapshots):
+    """Within-run check of bench_multitenant's adaptive-vs-static cell.
+
+    The hot-tenant cell carries its own control: the same workload run with
+    the adaptive controller off ("static") and on ("adaptive"). Adaptive must
+    strictly beat static on BOTH victim tail latency and aggregate hit rate —
+    that is the closed loop's contract, not a trend. Emits advisory
+    ::warning:: annotations (same philosophy as cross-run diffs: smoke
+    runners are noisy). Returns the number of violations.
+    """
+    violations = 0
+    for name, doc in sorted(snapshots.items()):
+        cell = doc.get("hot_tenant") if isinstance(doc, dict) else None
+        if not isinstance(cell, dict):
+            continue
+        static = cell.get("static")
+        adaptive = cell.get("adaptive")
+        if not isinstance(static, dict) or not isinstance(adaptive, dict):
+            print(f"::notice::bench-trend: {name} hot_tenant cell is "
+                  "missing a static or adaptive arm; skipping")
+            continue
+        pairs = [
+            ("victim_p99_us", "lower"),
+            ("aggregate_hit_rate", "higher"),
+        ]
+        deltas = []
+        for key, direction in pairs:
+            s, a = static.get(key), adaptive.get(key)
+            if not isinstance(s, (int, float)) or not isinstance(a,
+                                                                 (int, float)):
+                continue
+            better = a < s if direction == "lower" else a > s
+            deltas.append(f"{key} {s:.4g} -> {a:.4g}")
+            if not better:
+                violations += 1
+                print(f"::warning title=adaptive control not better::"
+                      f"{name}: adaptive {key}={a:.4g} vs static {s:.4g} "
+                      f"({direction} is better)")
+        if deltas:
+            print(f"bench-trend: {name} hot_tenant adaptive-vs-static: "
+                  + ", ".join(deltas))
+    return violations
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -86,6 +130,8 @@ def main():
         print(f"bench-trend: no current results at {args.current}",
               file=sys.stderr)
         return 1
+
+    hot_tenant_violations = check_hot_tenant_cells(current)
 
     regressions = []
     improvements = []
@@ -123,7 +169,7 @@ def main():
         print(f"  improved: {line}")
     for line in regressions:
         print(f"::warning title=bench regression::{line}")
-    if regressions and args.strict:
+    if (regressions or hot_tenant_violations) and args.strict:
         return 2
     return 0
 

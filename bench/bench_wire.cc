@@ -1,0 +1,208 @@
+// Wire-protocol serving throughput: QPS and p99 latency of Translate
+// through REAL sockets — frame encode, TCP round trip, admission, the
+// pipeline, frame decode — at 1 and 4 concurrent client connections.
+//
+//   $ ./build/bench/bench_wire [seconds-per-cell] [--json <path>]
+//
+// Comparing against bench_service_throughput (same workload, in-process
+// calls) isolates the wire tax: serialization + loopback TCP + the
+// session bookkeeping (sequence numbers, replay ring, acks). Each client
+// owns one WireClient (one TCP connection, one session), issues requests
+// synchronously, and records per-request latency; the p99 is computed over
+// all clients' samples.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "datasets/dataset.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "service/tenant_registry.h"
+
+using namespace templar;
+
+namespace {
+
+struct CellResult {
+  int clients = 0;
+  double qps = 0;
+  double p99_ms = 0;
+};
+
+std::vector<net::WireRequest> BuildWireWorkload(
+    const datasets::Dataset& dataset) {
+  std::vector<net::WireRequest> requests;
+  for (const bench::Request& request : bench::BuildWorkload(dataset, 64)) {
+    net::WireRequest wire;
+    if (request.is_map) {
+      wire.stage = static_cast<uint8_t>(service::Stage::kMapKeywords);
+      wire.nlq = request.nlq;
+    } else {
+      wire.stage = static_cast<uint8_t>(service::Stage::kInferJoins);
+      wire.relation_bag = request.bag;
+    }
+    requests.push_back(std::move(wire));
+  }
+  return requests;
+}
+
+CellResult RunCell(uint16_t port, const std::vector<net::WireRequest>& requests,
+                   int clients, double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::vector<uint64_t>> latencies_us(clients);
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::WireClientOptions options;
+      options.port = port;
+      options.tenant = "mas";
+      auto client = net::WireClient::Connect(options);
+      if (!client.ok()) {
+        std::fprintf(stderr, "client %d connect: %s\n", c,
+                     client.status().ToString().c_str());
+        errors.fetch_add(1);
+        return;
+      }
+      size_t i = static_cast<size_t>(c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto start = std::chrono::steady_clock::now();
+        auto response = (*client)->Translate(requests[i % requests.size()]);
+        const auto elapsed = std::chrono::duration_cast<
+            std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                       start);
+        i += 1;
+        if (!response.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          latencies_us[c].push_back(
+              static_cast<uint64_t>(elapsed.count()));
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (errors.load() > 0) {
+    std::fprintf(stderr, "warning: %llu request errors\n",
+                 static_cast<unsigned long long>(errors.load()));
+  }
+
+  std::vector<uint64_t> all;
+  for (const auto& per_client : latencies_us) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  CellResult result;
+  result.clients = clients;
+  result.qps = static_cast<double>(completed.load()) / elapsed;
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    const size_t index =
+        std::min(all.size() - 1,
+                 static_cast<size_t>(static_cast<double>(all.size()) * 0.99));
+    result.p99_ms = static_cast<double>(all[index]) / 1000.0;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 2.0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (std::atof(argv[i]) > 0) {
+      seconds = std::atof(argv[i]);
+    }
+  }
+
+  std::printf("== Wire-protocol serving throughput ==\n");
+  std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
+
+  auto dataset = datasets::BuildMas();
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<net::WireRequest> requests = BuildWireWorkload(*dataset);
+  std::printf("workload: %zu distinct wire requests (MAS gold parses + "
+              "bags), loopback TCP\n",
+              requests.size());
+
+  service::HostOptions host_options;
+  host_options.worker_threads = 4;
+  service::ServiceHost host(host_options);
+  if (Status status = host.RegisterTenant("mas", dataset->database.get(),
+                                          dataset->lexicon.get(),
+                                          dataset->extra_log);
+      !status.ok()) {
+    std::fprintf(stderr, "tenant: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto server = net::WireServer::Start(&host, {});
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  const int client_counts[] = {1, 4};
+  std::vector<CellResult> cells;
+  for (int clients : client_counts) {
+    CellResult cell =
+        RunCell((*server)->port(), requests, clients, seconds);
+    cells.push_back(cell);
+    std::printf("  %d client%s: %10.0f QPS   p99 %.3f ms\n", cell.clients,
+                cell.clients == 1 ? " " : "s", cell.qps, cell.p99_ms);
+  }
+  (*server)->Stop();
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"wire\",\n"
+                 "  \"seconds_per_cell\": %.3f,\n"
+                 "  \"hardware_threads\": %u,\n  \"cells\": [\n",
+                 seconds, std::thread::hardware_concurrency());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"clients\": %d, \"qps\": %.1f, "
+                   "\"p99_ms\": %.3f}%s\n",
+                   cells[i].clients, cells[i].qps, cells[i].p99_ms,
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

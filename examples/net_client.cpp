@@ -1,0 +1,147 @@
+// Wire-protocol client CLI: translate natural-language questions against a
+// running serve_demo --listen server.
+//
+//   $ ./build/examples/serve_demo --listen=7432 &
+//   $ ./build/examples/net_client --port=7432 --tenant=mas \
+//         "return the papers in the Databases domain"
+//   $ ./build/examples/net_client --port=7432 --tenant=mas --explain \
+//         --top-k=3 --deadline-ms=500 "papers after 2000"
+//
+// The NLQ is parsed with the library's heuristic NlqParser, shipped as a
+// WireRequest, and the ranked SQL comes back over the resumable session —
+// if the connection dies mid-request the client reconnects and the answer
+// arrives via replay, not a re-run. --repeat=N sends the request N times
+// (the second hit shows the server's translate cache at work; timings are
+// printed per attempt).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/client.h"
+#include "net/wire.h"
+#include "nlq/nlq_parser.h"
+
+using namespace templar;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: net_client --port=<p> [--host=<h>] --tenant=<id> [--top-k=<n>]\n"
+      "                  [--explain] [--deadline-ms=<n>] [--repeat=<n>]\n"
+      "                  \"<natural language question>\"\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string tenant;
+  int port = -1;
+  uint64_t top_k = 1;
+  bool explain = false;
+  int deadline_ms = 0;
+  int repeat = 1;
+  std::string nlq_text;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--host=", 7) == 0) {
+      host = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--tenant=", 9) == 0) {
+      tenant = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--top-k=", 8) == 0) {
+      top_k = static_cast<uint64_t>(std::atoll(argv[i] + 8));
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      deadline_ms = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      repeat = std::atoi(argv[i] + 9);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return Usage();
+    } else {
+      nlq_text = argv[i];
+    }
+  }
+  if (port < 0 || tenant.empty() || nlq_text.empty()) return Usage();
+
+  net::WireClientOptions options;
+  options.host = host;
+  options.port = static_cast<uint16_t>(port);
+  options.tenant = tenant;
+  auto client = net::WireClient::Connect(options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("session %llu to %s:%d tenant '%s'\n",
+              static_cast<unsigned long long>((*client)->session_id()),
+              host.c_str(), port, tenant.c_str());
+
+  net::WireRequest request;
+  request.nlq = nlq::NlqParser().Parse(nlq_text);
+  request.top_k = top_k == 0 ? 1 : top_k;
+  request.want_explanation = explain;
+  if (deadline_ms > 0) {
+    request.has_deadline = true;
+    request.deadline_budget_us =
+        static_cast<uint64_t>(deadline_ms) * 1000;
+  }
+
+  std::printf("parsed %zu keywords from: %s\n", request.nlq.keywords.size(),
+              nlq_text.c_str());
+  for (int attempt = 0; attempt < (repeat > 0 ? repeat : 1); ++attempt) {
+    auto response = (*client)->Translate(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "translate: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    const char* origin = response->served_from == 1   ? "cache"
+                         : response->served_from == 2 ? "coalesced"
+                                                      : "computed";
+    std::printf("\n[%d] %s, %llu us total (epoch %llu)\n", attempt + 1,
+                origin,
+                static_cast<unsigned long long>(response->timings.total_us),
+                static_cast<unsigned long long>(response->epoch));
+    if (response->translations.empty()) {
+      std::printf("  (no translation found)\n");
+    }
+    for (size_t i = 0; i < response->translations.size(); ++i) {
+      const net::WireTranslation& t = response->translations[i];
+      std::printf("  #%zu (score %.4f%s): %s\n", i + 1, t.score,
+                  t.tie_for_first ? ", tied" : "", t.sql.c_str());
+      if (explain && i < response->explanations.size()) {
+        const net::WireExplanation& ex = response->explanations[i];
+        std::printf("      evidence: %zu map fragments, %zu pairs, "
+                    "%zu join relations, %zu edges",
+                    ex.map_fragments.size(), ex.map_pairs.size(),
+                    ex.join_relations.size(), ex.join_edges.size());
+        if (ex.used_query_count) {
+          std::printf(", %llu log queries",
+                      static_cast<unsigned long long>(ex.query_count));
+        }
+        std::printf("\n");
+        for (const auto& fragment : ex.map_fragments) {
+          std::printf("        map %s (seen %llu times)\n",
+                      fragment.key.c_str(),
+                      static_cast<unsigned long long>(fragment.occurrences));
+        }
+        for (const auto& pair : ex.map_pairs) {
+          std::printf("        pair (%s, %s): dice %.4f\n", pair.a.c_str(),
+                      pair.b.c_str(), pair.dice);
+        }
+      }
+    }
+  }
+  (*client)->Close();
+  return 0;
+}

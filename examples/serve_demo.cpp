@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "datasets/dataset.h"
+#include "net/server.h"
 #include "service/templar_service.h"
 #include "service/tenant_registry.h"
 
@@ -63,6 +64,8 @@ struct DemoFlags {
   bool explain = false;
   bool metrics = false;
   int stats_interval_ms = 0;  ///< 0 = no periodic reporter.
+  int listen_port = -1;       ///< >= 0: serve the wire protocol on this port.
+  int serve_seconds = 0;      ///< 0 = serve until stdin closes.
 };
 
 /// Periodically prints `render()` until stopped — the demo's stand-in for a
@@ -219,6 +222,86 @@ int RunMultiTenant(const DemoFlags& flags) {
   return 0;
 }
 
+/// --listen=<port>: host MAS + IMDB as two tenants and serve the wire
+/// protocol on that port (0 = ephemeral; the bound port is printed either
+/// way). Clients attach per tenant with the net_client CLI or the
+/// WireClient library; resumable sessions, per-tenant admission, and
+/// deadlines all apply. Runs for --serve-seconds, or until stdin closes.
+int RunListen(const DemoFlags& flags) {
+  std::printf("== Templar wire-protocol server ==\n\n");
+
+  auto mas = datasets::BuildMas();
+  if (!mas.ok()) return Fail(mas.status());
+  auto imdb = datasets::BuildImdb();
+  if (!imdb.ok()) return Fail(imdb.status());
+
+  service::HostOptions options;
+  options.worker_threads = 4;
+  options.map_cache_budget = 2048;
+  options.join_cache_budget = 2048;
+  options.translate_cache_budget = 2048;
+  options.default_admission =
+      service::AdmissionOptions{/*max_inflight=*/16, /*max_queued=*/128};
+  service::ServiceHost host(options);
+  for (const datasets::Dataset* dataset : {&*mas, &*imdb}) {
+    if (Status status = host.RegisterTenant(
+            dataset->name, dataset->database.get(), dataset->lexicon.get(),
+            dataset->extra_log);
+        !status.ok()) {
+      return Fail(status);
+    }
+  }
+
+  net::WireServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(flags.listen_port);
+  server_options.default_deadline = std::chrono::milliseconds(2000);
+  auto server = net::WireServer::Start(&host, server_options);
+  if (!server.ok()) return Fail(server.status());
+
+  std::printf("listening on 127.0.0.1:%u tenants:", (*server)->port());
+  for (const auto& id : host.TenantIds()) std::printf(" %s", id.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+
+  PeriodicReporter reporter(flags.stats_interval_ms, [&] {
+    const net::WireServerStats stats = (*server)->Stats();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "wire: sessions=%zu accepted=%llu requests=%llu "
+                  "deduped=%llu replayed=%llu",
+                  (*server)->session_count(),
+                  static_cast<unsigned long long>(stats.connections_accepted),
+                  static_cast<unsigned long long>(stats.requests_accepted),
+                  static_cast<unsigned long long>(stats.requests_deduped),
+                  static_cast<unsigned long long>(stats.responses_replayed));
+    return std::string(buf);
+  });
+
+  if (flags.serve_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::seconds(flags.serve_seconds));
+  } else {
+    // Serve until stdin closes (Ctrl-D, or the harness closing the pipe).
+    while (std::getchar() != EOF) {
+    }
+  }
+  reporter.Stop();
+
+  const net::WireServerStats stats = (*server)->Stats();
+  std::printf("\nshutting down: %llu connections, %llu requests served "
+              "(%llu deduped, %llu replayed), %llu sessions expired\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.requests_accepted),
+              static_cast<unsigned long long>(stats.requests_deduped),
+              static_cast<unsigned long long>(stats.responses_replayed),
+              static_cast<unsigned long long>(stats.sessions_expired));
+  (*server)->Stop();
+  if (flags.metrics) {
+    std::printf("\n-- metrics (--metrics) --\n%s",
+                host.RenderMetrics().c_str());
+  }
+  return 0;
+}
+
 int RunExplain(const datasets::Dataset& dataset,
                service::TemplarService& service) {
   std::printf("\n-- explained translations (--explain) --\n\n");
@@ -252,14 +335,20 @@ int main(int argc, char** argv) {
       flags.metrics = true;
     } else if (std::strncmp(argv[i], "--stats-interval=", 17) == 0) {
       flags.stats_interval_ms = std::atoi(argv[i] + 17);
+    } else if (std::strncmp(argv[i], "--listen=", 9) == 0) {
+      flags.listen_port = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--serve-seconds=", 16) == 0) {
+      flags.serve_seconds = std::atoi(argv[i] + 16);
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s\nusage: serve_demo [--multitenant] "
-                   "[--explain] [--metrics] [--stats-interval=<ms>]\n",
+                   "[--explain] [--metrics] [--stats-interval=<ms>] "
+                   "[--listen=<port> [--serve-seconds=<n>]]\n",
                    argv[i]);
       return 2;
     }
   }
+  if (flags.listen_port >= 0) return RunListen(flags);
   if (flags.multitenant) return RunMultiTenant(flags);
   std::printf("== Templar serving demo ==\n\n");
 

@@ -30,6 +30,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kSessionExpired:
+      return "SessionExpired";
   }
   return "Unknown";
 }

@@ -29,6 +29,7 @@ enum class StatusCode : int {
   kOverloaded = 10,
   kDeadlineExceeded = 11,
   kCancelled = 12,
+  kSessionExpired = 13,
 };
 
 /// \brief Returns a human-readable name for a status code (e.g. "ParseError").
@@ -84,6 +85,9 @@ class Status {
     return code() == StatusCode::kDeadlineExceeded;
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsSessionExpired() const {
+    return code() == StatusCode::kSessionExpired;
+  }
 
   static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {
@@ -128,6 +132,11 @@ class Status {
   /// spontaneously by the service.
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// A wire-protocol session idled past its TTL and was reclaimed; a late
+  /// reconnect must start a fresh session (its replay state is gone).
+  static Status SessionExpired(std::string msg) {
+    return Status(StatusCode::kSessionExpired, std::move(msg));
   }
 
  private:

@@ -1,0 +1,102 @@
+#ifndef TEMPLAR_NET_BACKED_H_
+#define TEMPLAR_NET_BACKED_H_
+
+/// \file backed.h
+/// \brief The sequence-number recovery primitives behind resumable sessions,
+/// after EternalTerminal's BackedReader/BackedWriter: a writer that *backs
+/// up* everything unacknowledged for replay over a reconnect, and a reader
+/// that deduplicates retransmissions.
+///
+/// The invariants that give exactly-once delivery over any number of
+/// connection deaths:
+///
+///  - **BackedWriter.** Every outgoing message gets the next server sequence
+///    number and is retained until the peer's cumulative ack passes it. A
+///    reconnecting peer announces the highest sequence it has SEEN; the
+///    writer replays everything after that. Acks only ever trim below the
+///    peer's announced floor, so a replay can never need a trimmed frame.
+///  - **BackedReader.** Incoming request sequences are client-assigned,
+///    1-based, strictly increasing. The reader accepts a sequence exactly
+///    once (high-water dedup: TCP delivers in order within a connection,
+///    and the client retransmits in order across connections), so a request
+///    retransmitted because its response was in flight when the connection
+///    died is dropped here — the pipeline never re-runs, the stored
+///    response replays instead.
+///
+/// Neither class locks: both live inside a session that serializes access
+/// under its own mutex (see server.cc).
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace templar::net {
+
+/// \brief Replay ring of unacknowledged outgoing frames.
+class BackedWriter {
+ public:
+  /// \param max_unacked ring capacity; Push beyond it reports failure so
+  /// the session can be torn down instead of growing without bound (a peer
+  /// that never acks is indistinguishable from a dead one).
+  explicit BackedWriter(size_t max_unacked = 4096)
+      : max_unacked_(max_unacked) {}
+
+  /// \brief Assigns the next sequence number to `frame` and retains it.
+  /// Returns 0 when the ring is full (session should be killed).
+  uint64_t Push(std::string frame) {
+    if (ring_.size() >= max_unacked_) return 0;
+    const uint64_t seq = ++last_seq_;
+    ring_.emplace_back(seq, std::move(frame));
+    return seq;
+  }
+
+  /// \brief Drops every retained frame with sequence <= `acked_seq`
+  /// (cumulative ack). Idempotent; stale acks are no-ops.
+  void Ack(uint64_t acked_seq) {
+    while (!ring_.empty() && ring_.front().first <= acked_seq) {
+      ring_.pop_front();
+    }
+  }
+
+  /// \brief Frames the peer has not seen: everything retained with
+  /// sequence > `peer_last_seen`, in sequence order. The reconnect replay.
+  std::vector<const std::string*> Replay(uint64_t peer_last_seen) const {
+    std::vector<const std::string*> frames;
+    for (const auto& [seq, frame] : ring_) {
+      if (seq > peer_last_seen) frames.push_back(&frame);
+    }
+    return frames;
+  }
+
+  uint64_t last_seq() const { return last_seq_; }
+  size_t unacked() const { return ring_.size(); }
+
+ private:
+  size_t max_unacked_;
+  uint64_t last_seq_ = 0;
+  std::deque<std::pair<uint64_t, std::string>> ring_;
+};
+
+/// \brief High-water dedup window for incoming client sequences.
+class BackedReader {
+ public:
+  /// \brief True exactly once per sequence: the first time `seq` exceeds
+  /// the high water mark. Retransmissions and replays return false.
+  bool Accept(uint64_t seq) {
+    if (seq <= last_accepted_) return false;
+    last_accepted_ = seq;
+    return true;
+  }
+
+  /// \brief Highest sequence accepted so far (reported in HelloAck).
+  uint64_t last_accepted() const { return last_accepted_; }
+
+ private:
+  uint64_t last_accepted_ = 0;
+};
+
+}  // namespace templar::net
+
+#endif  // TEMPLAR_NET_BACKED_H_

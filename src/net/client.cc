@@ -1,0 +1,311 @@
+#include "net/client.h"
+
+#include <algorithm>
+
+#include "net/frame.h"
+
+namespace templar::net {
+
+namespace {
+
+/// Parses a kError frame payload into its typed Status; a malformed error
+/// payload still kills the session, just with less detail.
+Status ParseErrorPayload(std::string_view payload) {
+  WireReader reader(payload);
+  uint32_t code = 0;
+  std::string message;
+  if (!reader.ReadU32(&code).ok() || !reader.ReadString(&message).ok() ||
+      code == 0 || code > static_cast<uint32_t>(StatusCode::kSessionExpired)) {
+    return Status::IOError("server sent an unparseable error frame");
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+}  // namespace
+
+WireClient::WireClient(WireClientOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<WireClient>> WireClient::Connect(
+    WireClientOptions options) {
+  std::unique_ptr<WireClient> client(new WireClient(std::move(options)));
+  client->io_thread_ = std::thread(&WireClient::IoLoop, client.get());
+  {
+    std::unique_lock<std::mutex> lock(client->mu_);
+    client->cv_.wait(lock,
+                     [&] { return client->connected_ || client->dead_; });
+    if (client->dead_) {
+      Status status = client->dead_status_;
+      lock.unlock();
+      client->Close();
+      return status;
+    }
+  }
+  return client;
+}
+
+WireClient::~WireClient() { Close(); }
+
+void WireClient::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_) {
+      stop_ = true;
+      if (connected_ && fd_ >= 0) {
+        (void)WriteFully(fd_, BuildFrame(FrameType::kGoodbye, session_id_, 0,
+                                         std::string_view()));
+      }
+      if (fd_ >= 0) ShutdownFd(fd_);
+      cv_.notify_all();
+    }
+  }
+  if (io_thread_.joinable()) io_thread_.join();
+}
+
+uint64_t WireClient::session_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return session_id_;
+}
+
+WireClientStats WireClient::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WireClientStats stats;
+  stats.reconnects = reconnects_;
+  stats.retransmitted_requests = retransmitted_requests_;
+  stats.duplicate_responses = duplicate_responses_;
+  return stats;
+}
+
+Result<WireResponse> WireClient::Translate(const WireRequest& request) {
+  std::string payload;
+  SerializeWireRequest(request, &payload);
+
+  Pending slot;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (dead_) return dead_status_;
+  if (stop_) return Status::Cancelled("client closed");
+  const uint64_t seq = next_client_seq_++;
+  slot.frame = BuildFrame(FrameType::kRequest, session_id_, seq, payload);
+  pending_[seq] = &slot;
+  if (connected_ && fd_ >= 0) {
+    if (!WriteFully(fd_, slot.frame).ok()) {
+      // The IO thread's reader will notice and reconnect; the request
+      // stays pending and is retransmitted on resume.
+      ShutdownFd(fd_);
+    }
+  }
+  cv_.wait(lock, [&] { return slot.done || stop_; });
+  pending_.erase(seq);
+  if (!slot.done) return Status::Cancelled("client closed");
+  if (!slot.status.ok()) return slot.status;
+  return std::move(slot.response);
+}
+
+void WireClient::Die(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_) return;
+  dead_ = true;
+  dead_status_ = status;
+  for (auto& [seq, pending] : pending_) {
+    if (!pending->done) {
+      pending->done = true;
+      pending->status = status;
+    }
+  }
+  cv_.notify_all();
+}
+
+void WireClient::IoLoop() {
+  auto stopped = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stop_ || dead_;
+  };
+  auto sleep_interruptible = [this](std::chrono::milliseconds duration) {
+    if (duration.count() <= 0) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, duration, [this] { return stop_ || dead_; });
+  };
+
+  bool first = true;
+  int consecutive_failures = 0;
+  for (;;) {
+    if (stopped()) return;
+
+    if (first) {
+      if (consecutive_failures > 0) {
+        sleep_interruptible(options_.initial_connect_backoff);
+      }
+    } else if (consecutive_failures == 0) {
+      sleep_interruptible(options_.reconnect_delay);
+    } else {
+      auto backoff = options_.reconnect_backoff *
+                     (1u << std::min(consecutive_failures - 1, 10));
+      sleep_interruptible(std::min(backoff, options_.reconnect_backoff_max));
+    }
+    if (stopped()) return;
+
+    if (RunConnection(first)) {
+      // Handshake succeeded; the connection ran until it dropped.
+      first = false;
+      consecutive_failures = 0;
+      continue;
+    }
+    if (stopped()) return;
+    ++consecutive_failures;
+    const int limit = first ? options_.initial_connect_attempts
+                            : options_.max_reconnect_attempts;
+    if (limit > 0 && consecutive_failures >= limit) {
+      Die(Status::IOError(first ? "could not reach server"
+                                : "reconnect attempts exhausted"));
+      return;
+    }
+  }
+}
+
+bool WireClient::RunConnection(bool first) {
+  Result<Socket> sock_result =
+      TcpConnect(options_.host, options_.port, options_.connect_timeout);
+  if (!sock_result.ok()) return false;
+  Socket sock = std::move(*sock_result);
+  (void)SetRecvTimeout(sock.fd(), options_.recv_poll);
+  (void)SetSendTimeout(sock.fd(), options_.send_timeout);
+
+  uint64_t resume_session_id = 0;
+  uint64_t replay_floor = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    resume_session_id = session_id_;
+    replay_floor = last_server_seq_;
+  }
+  std::string hello_payload;
+  PutU32(&hello_payload, kProtocolVersion);
+  PutString(&hello_payload, options_.tenant);
+  if (!WriteFully(sock.fd(),
+                  BuildFrame(FrameType::kHello, resume_session_id,
+                             replay_floor, hello_payload))
+           .ok()) {
+    return false;
+  }
+
+  // Await the HelloAck (polling the stop flag across recv timeouts).
+  FrameHeader header;
+  std::string payload;
+  for (;;) {
+    Status status = ReadFrame(sock.fd(), &header, &payload);
+    if (IsRecvTimeout(status)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ || dead_) return false;
+      continue;
+    }
+    if (!status.ok()) return false;
+    break;
+  }
+  if (header.type == FrameType::kError) {
+    // Session-fatal: e.g. kSessionExpired on a late resume, kNotFound for
+    // an unknown tenant. Propagate the typed status to every caller.
+    Die(ParseErrorPayload(payload));
+    return false;
+  }
+  if (header.type != FrameType::kHelloAck) return false;
+  uint64_t granted_session_id = 0;
+  {
+    WireReader reader(payload);
+    if (!reader.ReadU64(&granted_session_id).ok() ||
+        granted_session_id == 0) {
+      return false;
+    }
+  }
+  // header.seq of the HelloAck: highest client sequence the session already
+  // accepted — those requests need no retransmit, their responses replay.
+  const uint64_t accepted_floor = header.seq;
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_ || dead_) return false;
+    session_id_ = granted_session_id;
+    fd_ = sock.fd();
+    connected_ = true;
+    if (!first) ++reconnects_;
+    for (const auto& [seq, pending] : pending_) {
+      if (pending->done || seq <= accepted_floor) continue;
+      if (!WriteFully(fd_, pending->frame).ok()) break;
+      ++retransmitted_requests_;
+    }
+    cv_.notify_all();
+  }
+
+  // Read until the connection drops (or a session-fatal error arrives).
+  bool fatal = false;
+  for (;;) {
+    Status status = ReadFrame(sock.fd(), &header, &payload);
+    if (IsRecvTimeout(status)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ || dead_) break;
+      continue;
+    }
+    if (!status.ok()) break;
+    if (header.type == FrameType::kResponse) {
+      HandleResponse(header, payload, sock.fd());
+    } else if (header.type == FrameType::kError) {
+      Die(ParseErrorPayload(payload));
+      fatal = true;
+      break;
+    }
+    // Anything else from the server is ignored (forward compatibility).
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ == sock.fd()) {
+      fd_ = -1;
+      connected_ = false;
+    }
+  }
+  return !fatal;
+}
+
+void WireClient::HandleResponse(const FrameHeader& header,
+                                std::string_view payload, int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (header.seq <= last_server_seq_) {
+    // A replay of a frame this client already consumed (the server replays
+    // conservatively from the reconnect floor).
+    ++duplicate_responses_;
+    return;
+  }
+  last_server_seq_ = header.seq;
+  // Cumulative ack lets the server trim its replay ring; best-effort — a
+  // lost ack only means a wider (harmless) replay next reconnect.
+  (void)WriteFully(fd, BuildFrame(FrameType::kAck, session_id_,
+                                  last_server_seq_, std::string_view()));
+
+  WireReader reader(payload);
+  uint64_t client_seq = 0;
+  uint32_t code = 0;
+  std::string message;
+  uint8_t has_body = 0;
+  if (!reader.ReadU64(&client_seq).ok() || !reader.ReadU32(&code).ok() ||
+      !reader.ReadString(&message).ok() || !reader.ReadU8(&has_body).ok() ||
+      code > static_cast<uint32_t>(StatusCode::kSessionExpired)) {
+    return;  // Malformed response envelope; the request will never resolve
+             // better than this, but a hostile server shouldn't crash us.
+  }
+  auto it = pending_.find(client_seq);
+  if (it == pending_.end() || it->second->done) return;
+  Pending* pending = it->second;
+  if (code != 0) {
+    pending->status = Status(static_cast<StatusCode>(code),
+                             std::move(message));
+  } else if (has_body != 0) {
+    const std::string_view body = payload.substr(payload.size() -
+                                                 reader.remaining());
+    pending->status = DeserializeWireResponse(body, &pending->response);
+  } else {
+    pending->status =
+        Status::IOError("OK response frame arrived without a body");
+  }
+  pending->done = true;
+  cv_.notify_all();
+}
+
+}  // namespace templar::net

@@ -1,0 +1,145 @@
+#ifndef TEMPLAR_NET_CLIENT_H_
+#define TEMPLAR_NET_CLIENT_H_
+
+/// \file client.h
+/// \brief Wire-protocol client with transparent reconnect and exactly-once
+/// result delivery.
+///
+/// A `WireClient` owns one resumable session against a WireServer. Callers
+/// see a blocking `Translate(WireRequest)`; underneath, an IO thread runs
+/// the connection state machine:
+///
+///   - on connect (and every reconnect) it sends Hello carrying
+///     (session_id, highest server sequence seen) and, once the HelloAck
+///     arrives, retransmits every still-pending request in sequence order;
+///   - response frames are deduplicated by server sequence (a replay of
+///     something already seen is dropped) and cumulatively acked so the
+///     server can trim its replay ring;
+///   - when the connection dies, pending Translate calls simply keep
+///     waiting: the session survives on the server, in-flight translations
+///     keep computing, and their responses arrive via replay after resume.
+///
+/// Session-fatal server errors (kSessionExpired after a TTL reap, protocol
+/// violations) surface as that typed status from every pending and future
+/// Translate call — never a hang.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace templar::net {
+
+struct WireClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Tenant to attach to at Hello time (must exist in the server's host).
+  std::string tenant;
+
+  std::chrono::milliseconds connect_timeout{2000};
+  /// Attempts for the initial connect before Connect() fails outright.
+  int initial_connect_attempts = 5;
+  std::chrono::milliseconds initial_connect_backoff{50};
+
+  /// Fixed delay before every reconnect attempt after an established
+  /// session loses its connection. Mostly for tests: a delay longer than
+  /// the server's session TTL deterministically exercises kSessionExpired.
+  std::chrono::milliseconds reconnect_delay{0};
+  /// Backoff between consecutive failed reconnect attempts (doubles up to
+  /// the max below).
+  std::chrono::milliseconds reconnect_backoff{20};
+  std::chrono::milliseconds reconnect_backoff_max{500};
+  /// Give up (failing all pending calls with kIOError) after this many
+  /// consecutive failed reconnect attempts; 0 = retry until Close().
+  int max_reconnect_attempts = 0;
+
+  /// Between-frames poll quantum on the reader (stop-flag latency).
+  std::chrono::milliseconds recv_poll{50};
+  std::chrono::milliseconds send_timeout{5000};
+};
+
+struct WireClientStats {
+  uint64_t reconnects = 0;              ///< Successful session resumes.
+  uint64_t retransmitted_requests = 0;  ///< Pending requests resent on resume.
+  uint64_t duplicate_responses = 0;     ///< Replayed frames already seen.
+};
+
+class WireClient {
+ public:
+  /// \brief Connects, performs the Hello handshake, and starts the IO
+  /// thread. Blocks until the session is established or initial connect
+  /// attempts are exhausted.
+  static Result<std::unique_ptr<WireClient>> Connect(WireClientOptions options);
+
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// \brief Sends one request and blocks until its response arrives —
+  /// across any number of reconnects. A non-OK server-side status (admission
+  /// kOverloaded, deadline kDeadlineExceeded, parse errors...) comes back as
+  /// that typed status; transport death past the retry budget as kIOError;
+  /// a reaped session as kSessionExpired.
+  Result<WireResponse> Translate(const WireRequest& request);
+
+  /// \brief Sends a best-effort Goodbye (dropping the server-side session)
+  /// and stops the IO thread. Pending calls fail with kCancelled.
+  void Close();
+
+  uint64_t session_id() const;
+  WireClientStats Stats() const;
+
+ private:
+  explicit WireClient(WireClientOptions options);
+
+  struct Pending {
+    std::string frame;  ///< Full request frame, ready to (re)transmit.
+    bool done = false;
+    Status status = Status::OK();
+    WireResponse response;
+  };
+
+  void IoLoop();
+  /// One connect + handshake + read-until-disconnect cycle. Returns false
+  /// when the IO loop should exit (stopped or session-fatal).
+  bool RunConnection(bool first);
+  /// Resolves (or dedups) one kResponse frame. `fd` is the live connection,
+  /// used to send the cumulative ack.
+  void HandleResponse(const FrameHeader& header, std::string_view payload,
+                      int fd);
+  /// Fails every pending call and all future ones with `status`.
+  void Die(const Status& status);
+
+  const WireClientOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool connected_ = false;   ///< Hello handshake completed on a live fd.
+  bool dead_ = false;        ///< Terminal; dead_status_ explains why.
+  Status dead_status_ = Status::OK();
+  int fd_ = -1;              ///< Live connection fd, -1 when down.
+  uint64_t session_id_ = 0;
+  uint64_t next_client_seq_ = 1;
+  uint64_t last_server_seq_ = 0;
+  std::map<uint64_t, Pending*> pending_;
+
+  uint64_t reconnects_ = 0;
+  uint64_t retransmitted_requests_ = 0;
+  uint64_t duplicate_responses_ = 0;
+
+  std::thread io_thread_;
+};
+
+}  // namespace templar::net
+
+#endif  // TEMPLAR_NET_CLIENT_H_

@@ -1,0 +1,55 @@
+#include "net/frame.h"
+
+#include "net/wire.h"
+
+namespace templar::net {
+
+void AppendFrame(std::string* out, FrameType type, uint64_t session_id,
+                 uint64_t seq, std::string_view payload) {
+  PutU32(out, kFrameMagic);
+  PutU8(out, static_cast<uint8_t>(type));
+  PutU64(out, session_id);
+  PutU64(out, seq);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload.data(), payload.size());
+}
+
+std::string BuildFrame(FrameType type, uint64_t session_id, uint64_t seq,
+                       std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(&out, type, session_id, seq, payload);
+  return out;
+}
+
+Status ParseFrameHeader(std::string_view bytes, FrameHeader* header) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status::ParseError("truncated frame header (" +
+                              std::to_string(bytes.size()) + " of " +
+                              std::to_string(kFrameHeaderBytes) + " bytes)");
+  }
+  WireReader reader(bytes.substr(0, kFrameHeaderBytes));
+  uint32_t magic = 0;
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU32(&magic));
+  if (magic != kFrameMagic) {
+    return Status::ParseError("bad frame magic");
+  }
+  uint8_t type = 0;
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU8(&type));
+  if (type < static_cast<uint8_t>(FrameType::kHello) ||
+      type > static_cast<uint8_t>(FrameType::kGoodbye)) {
+    return Status::ParseError("unknown frame type " + std::to_string(type));
+  }
+  header->type = static_cast<FrameType>(type);
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU64(&header->session_id));
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU64(&header->seq));
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU32(&header->payload_len));
+  if (header->payload_len > kMaxFramePayload) {
+    return Status::ParseError("frame payload length " +
+                              std::to_string(header->payload_len) +
+                              " exceeds cap");
+  }
+  return Status::OK();
+}
+
+}  // namespace templar::net

@@ -1,0 +1,99 @@
+#ifndef TEMPLAR_NET_FRAME_H_
+#define TEMPLAR_NET_FRAME_H_
+
+/// \file frame.h
+/// \brief The length-prefixed frame layer of the wire protocol.
+///
+/// Every message on a connection is one frame:
+///
+///     offset  size  field
+///     0       4     magic        0x54504C57 ("TPLW", little-endian u32)
+///     4       1     type         FrameType
+///     5       8     session_id   0 in a Hello opening a NEW session
+///     13      8     sequence     meaning depends on type (see FrameType)
+///     21      4     payload_len  bytes that follow; <= kMaxFramePayload
+///     25      ...   payload      type-specific body (wire.h encoding)
+///
+/// The magic word rejects non-protocol peers on the first read; the payload
+/// cap bounds what a hostile length prefix can make the receiver allocate.
+/// Parsing a header never reads past the 25 fixed bytes, and payload reads
+/// are sized by the validated `payload_len` — a truncated frame surfaces as
+/// a typed kParseError (from ParseFrameHeader) or kIOError (from a short
+/// socket read), never as an over-read.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace templar::net {
+
+/// \brief Protocol revision carried in Hello; bumped on incompatible change.
+constexpr uint32_t kProtocolVersion = 1;
+
+/// \brief "TPLW" little-endian.
+constexpr uint32_t kFrameMagic = 0x57'4C'50'54;
+
+/// \brief Fixed frame header size in bytes.
+constexpr size_t kFrameHeaderBytes = 25;
+
+/// \brief Ceiling on one frame's payload (a huge-explanation Translate
+/// response fits comfortably; a hostile 4 GiB length prefix does not).
+constexpr uint32_t kMaxFramePayload = 32u << 20;
+
+/// \brief Frame kinds. `seq` column documents the sequence-number field.
+enum class FrameType : uint8_t {
+  /// client -> server, first frame on every connection.
+  /// seq: last server sequence number the client has seen (replay floor).
+  /// payload: [u32 protocol_version][string tenant].
+  /// header.session_id: 0 to open a new session, else the session to resume.
+  kHello = 1,
+  /// server -> client, answers a Hello.
+  /// seq: highest client request sequence the session has accepted (the
+  /// client MAY use it to skip retransmits; retransmitting anyway is safe —
+  /// the dedup window drops duplicates).
+  /// payload: [u64 session_id].
+  kHelloAck = 2,
+  /// client -> server. seq: this request's client sequence (1-based,
+  /// monotonic per session). payload: WireRequest.
+  kRequest = 3,
+  /// server -> client. seq: this response's server sequence (1-based,
+  /// monotonic per session, assigned at completion). payload:
+  /// [u64 client_seq][u32 status_code][string status_message]
+  /// [u8 has_body][WireResponse if has_body].
+  kResponse = 4,
+  /// client -> server. seq: cumulative highest server sequence received;
+  /// lets the server trim its replay ring. No payload.
+  kAck = 5,
+  /// server -> client, session-fatal typed error (e.g. kSessionExpired on a
+  /// late resume). seq: 0. payload: [u32 status_code][string message].
+  kError = 6,
+  /// client -> server, clean close: the session (and its replay state) can
+  /// be reclaimed immediately instead of idling out. seq: 0, no payload.
+  kGoodbye = 7,
+};
+
+/// \brief One parsed frame header.
+struct FrameHeader {
+  FrameType type = FrameType::kHello;
+  uint64_t session_id = 0;
+  uint64_t seq = 0;
+  uint32_t payload_len = 0;
+};
+
+/// \brief Appends header + payload to `out` as one encoded frame.
+void AppendFrame(std::string* out, FrameType type, uint64_t session_id,
+                 uint64_t seq, std::string_view payload);
+
+/// \brief Convenience: one frame as its own buffer.
+std::string BuildFrame(FrameType type, uint64_t session_id, uint64_t seq,
+                       std::string_view payload);
+
+/// \brief Parses exactly kFrameHeaderBytes. Rejects bad magic, unknown
+/// types, and payload lengths beyond kMaxFramePayload with kParseError.
+Status ParseFrameHeader(std::string_view bytes, FrameHeader* header);
+
+}  // namespace templar::net
+
+#endif  // TEMPLAR_NET_FRAME_H_

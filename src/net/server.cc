@@ -1,0 +1,448 @@
+#include "net/server.h"
+
+#include <algorithm>
+
+#include "net/backed.h"
+#include "net/wire.h"
+
+namespace templar::net {
+
+namespace internal {
+
+/// One resumable session: the tenant binding plus the recovery state. All
+/// fields are guarded by `mu` (the registry pointer map has its own lock).
+struct WireSession {
+  uint64_t id = 0;
+  service::TenantHandle handle;
+
+  std::mutex mu;
+  BackedReader reader;   ///< Dedup window over client request sequences.
+  BackedWriter writer;   ///< Replay ring of unacked response frames.
+  int conn_fd = -1;      ///< Live connection, -1 when detached.
+  std::chrono::steady_clock::time_point last_activity;
+  bool closed = false;   ///< Goodbye'd, expired, or ring-overflowed.
+
+  explicit WireSession(size_t max_unacked) : writer(max_unacked) {}
+
+  void Touch() { last_activity = std::chrono::steady_clock::now(); }
+};
+
+}  // namespace internal
+
+using internal::WireSession;
+
+namespace {
+
+std::string BuildResponsePayload(uint64_t client_seq, const Status& status,
+                                 const std::string& body) {
+  std::string payload;
+  PutU64(&payload, client_seq);
+  PutU32(&payload, static_cast<uint32_t>(status.code()));
+  PutString(&payload, status.message());
+  PutU8(&payload, status.ok() ? 1 : 0);
+  if (status.ok()) payload.append(body);
+  return payload;
+}
+
+std::string BuildErrorPayload(const Status& status) {
+  std::string payload;
+  PutU32(&payload, static_cast<uint32_t>(status.code()));
+  PutString(&payload, status.message());
+  return payload;
+}
+
+struct HelloFields {
+  uint32_t version = 0;
+  std::string tenant;
+};
+
+Status ParseHello(std::string_view payload, HelloFields* hello) {
+  WireReader reader(payload);
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU32(&hello->version));
+  TEMPLAR_RETURN_NOT_OK(reader.ReadString(&hello->tenant));
+  return reader.ExpectEnd();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WireServer>> WireServer::Start(
+    service::ServiceHost* host, WireServerOptions options) {
+  if (host == nullptr) {
+    return Status::InvalidArgument("WireServer needs a ServiceHost");
+  }
+  TEMPLAR_ASSIGN_OR_RETURN(
+      Socket listener, TcpListen(options.bind_address, options.port));
+  TEMPLAR_ASSIGN_OR_RETURN(uint16_t port, LocalPort(listener.fd()));
+  return std::unique_ptr<WireServer>(
+      new WireServer(host, std::move(options), std::move(listener), port));
+}
+
+WireServer::WireServer(service::ServiceHost* host, WireServerOptions options,
+                       Socket listener, uint16_t port)
+    : host_(host),
+      options_(std::move(options)),
+      listener_(std::move(listener)),
+      port_(port),
+      pool_(options_.worker_threads) {
+  accept_thread_ = std::thread(&WireServer::AcceptLoop, this);
+  reaper_thread_ = std::thread(&WireServer::ReaperLoop, this);
+}
+
+WireServer::~WireServer() { Stop(); }
+
+void WireServer::Stop() {
+  std::vector<std::thread> connection_threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (int fd : live_fds_) ShutdownFd(fd);
+    connection_threads.swap(connection_threads_);
+  }
+  ShutdownFd(listener_.fd());
+  {
+    std::lock_guard<std::mutex> lock(reaper_mu_);
+    stop_reaper_ = true;
+  }
+  reaper_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
+  for (auto& thread : connection_threads) {
+    if (thread.joinable()) thread.join();
+  }
+  // In-flight translate tasks drain when pool_ is destroyed; their
+  // deliveries land in session rings nobody will replay, which is fine.
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.clear();
+}
+
+size_t WireServer::SeverConnections() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int fd : live_fds_) ShutdownFd(fd);
+  return live_fds_.size();
+}
+
+size_t WireServer::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+WireServerStats WireServer::Stats() const {
+  WireServerStats stats;
+  stats.connections_accepted = connections_accepted_.load();
+  stats.sessions_created = sessions_created_.load();
+  stats.sessions_resumed = sessions_resumed_.load();
+  stats.sessions_expired = sessions_expired_.load();
+  stats.requests_accepted = requests_accepted_.load();
+  stats.requests_deduped = requests_deduped_.load();
+  stats.responses_replayed = responses_replayed_.load();
+  stats.frames_rejected = frames_rejected_.load();
+  return stats;
+}
+
+void WireServer::AcceptLoop() {
+  for (;;) {
+    Result<Socket> conn = TcpAccept(listener_.fd());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    if (!conn.ok()) return;  // Listener broken outside of Stop: give up.
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    live_fds_.push_back(conn->fd());
+    connection_threads_.emplace_back(
+        [this, sock = std::make_shared<Socket>(std::move(*conn))]() mutable {
+          ServeConnection(std::move(*sock));
+        });
+  }
+}
+
+void WireServer::ReaperLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(reaper_mu_);
+      if (reaper_cv_.wait_for(lock, options_.reaper_period,
+                              [this] { return stop_reaper_; })) {
+        return;
+      }
+    }
+    // Snapshot under the registry lock, inspect under each session's own
+    // lock (never nested), then erase the expired ids.
+    std::vector<std::shared_ptr<WireSession>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snapshot.reserve(sessions_.size());
+      for (const auto& [id, session] : sessions_) snapshot.push_back(session);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<uint64_t> expired;
+    for (const auto& session : snapshot) {
+      std::lock_guard<std::mutex> lock(session->mu);
+      if (session->conn_fd == -1 && !session->closed &&
+          now - session->last_activity > options_.session_ttl) {
+        session->closed = true;
+        expired.push_back(session->id);
+      }
+    }
+    if (!expired.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (uint64_t id : expired) sessions_.erase(id);
+      sessions_expired_.fetch_add(expired.size(),
+                                  std::memory_order_relaxed);
+    }
+  }
+}
+
+void WireServer::SendErrorFrame(int fd, const Status& status) {
+  const std::string frame =
+      BuildFrame(FrameType::kError, 0, 0, BuildErrorPayload(status));
+  (void)WriteFully(fd, frame);
+}
+
+void WireServer::DeliverResponse(
+    const std::shared_ptr<WireSession>& session, uint64_t client_seq,
+    const Status& status, const std::string& body) {
+  const std::string payload = BuildResponsePayload(client_seq, status, body);
+  bool overflowed = false;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->closed) return;
+    // The frame embeds the sequence the ring will assign; Push is the only
+    // writer of that counter, under this same lock.
+    const uint64_t seq = session->writer.last_seq() + 1;
+    std::string frame =
+        BuildFrame(FrameType::kResponse, session->id, seq, payload);
+    if (session->writer.Push(std::move(frame)) == 0) {
+      // Peer stopped acking: kill the session rather than grow forever.
+      session->closed = true;
+      ShutdownFd(session->conn_fd);
+      session->conn_fd = -1;
+      overflowed = true;
+    } else {
+      session->Touch();
+      if (session->conn_fd >= 0) {
+        const std::string* stored = session->writer.Replay(seq - 1).front();
+        if (!WriteFully(session->conn_fd, *stored).ok()) {
+          // The connection is dead; the frame stays in the ring and the
+          // reconnect replay delivers it.
+          ShutdownFd(session->conn_fd);
+          session->conn_fd = -1;
+        }
+      }
+    }
+  }
+  if (overflowed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.erase(session->id);
+  }
+}
+
+void WireServer::ServeConnection(Socket conn) {
+  (void)SetRecvTimeout(conn.fd(), options_.recv_poll);
+  (void)SetSendTimeout(conn.fd(), options_.send_timeout);
+
+  auto read_frame = [&](FrameHeader* header, std::string* payload) -> Status {
+    for (;;) {
+      Status status = ReadFrame(conn.fd(), header, payload);
+      if (IsRecvTimeout(status)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) return Status::IOError("server stopping");
+        continue;
+      }
+      return status;
+    }
+  };
+
+  auto detach_fd = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_fds_.erase(
+        std::remove(live_fds_.begin(), live_fds_.end(), conn.fd()),
+        live_fds_.end());
+  };
+
+  // --- Handshake: the first frame must be a Hello. ---
+  FrameHeader header;
+  std::string payload;
+  HelloFields hello;
+  if (Status status = read_frame(&header, &payload); !status.ok()) {
+    // A parse error here is a non-protocol peer (bad magic/type/length),
+    // not a dropped connection: count it and answer before hanging up.
+    if (status.IsParseError()) {
+      frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendErrorFrame(conn.fd(), status);
+    }
+    detach_fd();
+    return;
+  }
+  if (header.type != FrameType::kHello ||
+      !ParseHello(payload, &hello).ok() ||
+      hello.version != kProtocolVersion) {
+    frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendErrorFrame(conn.fd(), Status::InvalidArgument(
+                                  "expected a v" +
+                                  std::to_string(kProtocolVersion) +
+                                  " Hello frame"));
+    detach_fd();
+    return;
+  }
+  const uint64_t peer_last_seen = header.seq;
+
+  std::shared_ptr<WireSession> session;
+  if (header.session_id == 0) {
+    Result<service::TenantHandle> handle = host_->Tenant(hello.tenant);
+    if (!handle.ok()) {
+      SendErrorFrame(conn.fd(), handle.status());
+      detach_fd();
+      return;
+    }
+    session = std::make_shared<WireSession>(options_.max_unacked_responses);
+    session->handle = *handle;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        detach_fd();
+        return;
+      }
+      session->id = next_session_id_++;
+      sessions_[session->id] = session;
+    }
+    sessions_created_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = sessions_.find(header.session_id);
+      if (it != sessions_.end()) session = it->second;
+    }
+    if (session == nullptr) {
+      SendErrorFrame(conn.fd(),
+                     Status::SessionExpired(
+                         "session " + std::to_string(header.session_id) +
+                         " is expired or unknown"));
+      detach_fd();
+      return;
+    }
+    sessions_resumed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- Attach + HelloAck + replay, atomically w.r.t. deliveries. ---
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->closed) {
+      SendErrorFrame(conn.fd(), Status::SessionExpired(
+                                    "session " + std::to_string(session->id) +
+                                    " is expired or unknown"));
+      detach_fd();
+      return;
+    }
+    // A newer connection supersedes any half-dead predecessor.
+    if (session->conn_fd >= 0) ShutdownFd(session->conn_fd);
+    session->conn_fd = conn.fd();
+    session->Touch();
+
+    std::string ack_payload;
+    PutU64(&ack_payload, session->id);
+    std::string ack = BuildFrame(FrameType::kHelloAck, session->id,
+                                 session->reader.last_accepted(), ack_payload);
+    bool write_ok = WriteFully(conn.fd(), ack).ok();
+    if (write_ok) {
+      for (const std::string* frame : session->writer.Replay(peer_last_seen)) {
+        if (!WriteFully(conn.fd(), *frame).ok()) {
+          write_ok = false;
+          break;
+        }
+        responses_replayed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!write_ok) {
+      ShutdownFd(conn.fd());
+      session->conn_fd = -1;
+      // Fall through to the read loop, which will fail promptly.
+    }
+  }
+
+  // --- Frame loop. ---
+  for (;;) {
+    if (Status status = read_frame(&header, &payload); !status.ok()) break;
+    switch (header.type) {
+      case FrameType::kRequest: {
+        bool fresh;
+        {
+          std::lock_guard<std::mutex> lock(session->mu);
+          if (session->closed) {
+            fresh = false;
+          } else {
+            fresh = session->reader.Accept(header.seq);
+            session->Touch();
+          }
+        }
+        if (!fresh) {
+          requests_deduped_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        requests_accepted_.fetch_add(1, std::memory_order_relaxed);
+        const uint64_t client_seq = header.seq;
+        WireRequest wire_request;
+        if (Status status = DeserializeWireRequest(payload, &wire_request);
+            !status.ok()) {
+          frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+          DeliverResponse(session, client_seq, status, "");
+          break;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        service::QueryRequest request = wire_request.ToQueryRequest(now);
+        if (!request.deadline.has_value() &&
+            options_.default_deadline.count() > 0) {
+          request.deadline = now + options_.default_deadline;
+        }
+        pool_.Execute([this, session, client_seq,
+                       request = std::move(request)] {
+          Result<service::QueryResponse> result =
+              session->handle.Translate(request);
+          std::string body;
+          if (result.ok()) {
+            SerializeWireResponse(WireResponse::FromQueryResponse(*result),
+                                  &body);
+          }
+          DeliverResponse(session, client_seq,
+                          result.ok() ? Status::OK() : result.status(), body);
+        });
+        break;
+      }
+      case FrameType::kAck: {
+        std::lock_guard<std::mutex> lock(session->mu);
+        session->writer.Ack(header.seq);
+        session->Touch();
+        break;
+      }
+      case FrameType::kGoodbye: {
+        {
+          std::lock_guard<std::mutex> lock(session->mu);
+          session->closed = true;
+          session->conn_fd = -1;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          sessions_.erase(session->id);
+        }
+        detach_fd();
+        return;
+      }
+      default:
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendErrorFrame(conn.fd(), Status::InvalidArgument(
+                                      "unexpected frame type on an "
+                                      "established session"));
+        break;
+    }
+  }
+
+  // --- Detach: the session stays resumable until the TTL reaps it. ---
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->conn_fd == conn.fd()) {
+      session->conn_fd = -1;
+      session->Touch();
+    }
+  }
+  detach_fd();
+}
+
+}  // namespace templar::net

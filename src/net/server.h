@@ -1,0 +1,170 @@
+#ifndef TEMPLAR_NET_SERVER_H_
+#define TEMPLAR_NET_SERVER_H_
+
+/// \file server.h
+/// \brief The TCP front-end: Translate(QueryRequest) over the wire protocol
+/// with resumable, exactly-once sessions.
+///
+/// A `WireServer` listens on one port in front of a multi-tenant
+/// `service::ServiceHost`. Each client session attaches to one tenant by
+/// name at Hello time and carries the recovery state that makes connection
+/// death survivable (net/backed.h): a BackedReader dedup window over client
+/// request sequences and a BackedWriter replay ring of unacked responses.
+/// A client that reconnects with (session_id, last_seq_seen) gets every
+/// response to a request it already sent exactly once — an in-flight
+/// translation keeps computing across the outage and its response is
+/// delivered from the ring, never re-run.
+///
+/// Serving semantics map 1:1 onto the in-process envelope:
+///  - requests run through TenantHandle::Translate on the server's worker
+///    pool, so per-tenant admission caps apply — a rejected request travels
+///    back as a typed kOverloaded response the client can retry;
+///  - the wire deadline is a *relative* budget anchored at receive time
+///    (WireRequest::ToQueryRequest), flowing into QueryRequest::deadline;
+///    connections may also carry a server-side default deadline;
+///  - sessions idle past `session_ttl` with no live connection are
+///    reclaimed by a reaper thread; a late resume gets a clean typed
+///    kSessionExpired error frame, never a hang or a stale replay.
+///
+/// One connection serves one session at a time; a newer connection for the
+/// same session supersedes (severs) the older one, so a half-dead TCP peer
+/// cannot wedge recovery.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+#include "service/tenant_registry.h"
+#include "service/thread_pool.h"
+
+namespace templar::net {
+
+struct WireServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral (read the bound port back via port()).
+  uint16_t port = 0;
+  /// Worker threads executing Translate calls (per-tenant admission still
+  /// gates each call inside the host).
+  size_t worker_threads = 4;
+  /// A session with no live connection idle past this is reclaimed.
+  std::chrono::milliseconds session_ttl{30000};
+  /// Reaper wake interval (also the expiry granularity).
+  std::chrono::milliseconds reaper_period{250};
+  /// Applied to requests that arrive without their own deadline budget;
+  /// zero = no default.
+  std::chrono::milliseconds default_deadline{0};
+  /// BackedWriter ring capacity per session; a peer that stops acking past
+  /// this many retained responses has its session dropped.
+  size_t max_unacked_responses = 4096;
+  /// Socket send timeout (a wedged peer cannot hold a session lock
+  /// indefinitely) and the reader's between-frames poll quantum.
+  std::chrono::milliseconds send_timeout{5000};
+  std::chrono::milliseconds recv_poll{100};
+};
+
+/// \brief Counters for tests, ops, and the chaos harness.
+struct WireServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t sessions_created = 0;
+  uint64_t sessions_resumed = 0;
+  uint64_t sessions_expired = 0;
+  uint64_t requests_accepted = 0;   ///< Passed the dedup window.
+  uint64_t requests_deduped = 0;    ///< Retransmissions dropped.
+  uint64_t responses_replayed = 0;  ///< Frames resent from the ring.
+  uint64_t frames_rejected = 0;     ///< Malformed frames answered/dropped.
+};
+
+namespace internal {
+struct WireSession;
+}  // namespace internal
+
+class WireServer {
+ public:
+  /// \brief Binds, listens, and starts the accept/reaper threads. `host`
+  /// must outlive the server.
+  static Result<std::unique_ptr<WireServer>> Start(service::ServiceHost* host,
+                                                   WireServerOptions options);
+
+  ~WireServer();
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  /// \brief The bound port (useful with an ephemeral bind).
+  uint16_t port() const { return port_; }
+
+  /// \brief Stops accepting, severs every connection, joins all threads.
+  /// Sessions are dropped; in-flight translations drain with the pool.
+  void Stop();
+
+  /// \brief Severs every live connection at the TCP level (the sessions
+  /// stay, ready for resume). Chaos harnesses and drain-style ops both use
+  /// this. Returns the number of connections severed.
+  size_t SeverConnections();
+
+  size_t session_count() const;
+  WireServerStats Stats() const;
+
+ private:
+  WireServer(service::ServiceHost* host, WireServerOptions options,
+             Socket listener, uint16_t port);
+
+  void AcceptLoop();
+  void ReaperLoop();
+  void ServeConnection(Socket conn);
+
+  /// Sends a session-fatal kError frame; best-effort.
+  void SendErrorFrame(int fd, const Status& status);
+
+  /// Appends a response frame for `client_seq` to the session ring and
+  /// pushes it down the live connection, if any. Never blocks on a dead
+  /// peer longer than the send timeout.
+  void DeliverResponse(const std::shared_ptr<internal::WireSession>& session,
+                       uint64_t client_seq, const Status& status,
+                       const std::string& body);
+
+  service::ServiceHost* host_;
+  WireServerOptions options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<internal::WireSession>> sessions_;
+  std::vector<int> live_fds_;
+  std::vector<std::thread> connection_threads_;
+  uint64_t next_session_id_ = 1;
+  bool stopping_ = false;
+
+  // Counters (relaxed; read via Stats()).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> sessions_created_{0};
+  std::atomic<uint64_t> sessions_resumed_{0};
+  std::atomic<uint64_t> sessions_expired_{0};
+  std::atomic<uint64_t> requests_accepted_{0};
+  std::atomic<uint64_t> requests_deduped_{0};
+  std::atomic<uint64_t> responses_replayed_{0};
+  std::atomic<uint64_t> frames_rejected_{0};
+
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;
+  bool stop_reaper_ = false;
+
+  std::thread accept_thread_;
+  std::thread reaper_thread_;
+
+  // Declared last: request tasks reference sessions/counters above.
+  service::ThreadPool pool_;
+};
+
+}  // namespace templar::net
+
+#endif  // TEMPLAR_NET_SERVER_H_

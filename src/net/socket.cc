@@ -1,0 +1,219 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace templar::net {
+
+namespace {
+
+constexpr const char* kRecvTimeoutMessage = "recv timeout";
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Status ResolveIpv4(const std::string& host, in_addr* out) {
+  const std::string numeric = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), out) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ShutdownFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+Result<Socket> TcpListen(const std::string& address, uint16_t port,
+                         int backlog) {
+  in_addr addr{};
+  TEMPLAR_RETURN_NOT_OK(ResolveIpv4(address, &addr));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr = addr;
+  sin.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+    return Errno("bind " + address + ":" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), backlog) != 0) return Errno("listen");
+  return sock;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in sin{};
+  socklen_t len = sizeof(sin);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sin), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(sin.sin_port);
+}
+
+Result<Socket> TcpAccept(int listen_fd) {
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+Result<Socket> TcpConnect(const std::string& host, uint16_t port,
+                          std::chrono::milliseconds timeout) {
+  in_addr addr{};
+  TEMPLAR_RETURN_NOT_OK(ResolveIpv4(host, &addr));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+
+  // Non-blocking connect + poll gives a bounded wait; the socket reverts to
+  // blocking (with SO_*TIMEO) once established.
+  const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+  ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK);
+
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr = addr;
+  sin.sin_port = htons(port);
+  int rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&sin),
+                     sizeof(sin));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+  if (rc != 0) {
+    pollfd pfd{sock.fd(), POLLOUT, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(timeout.count() > 0
+                                             ? timeout.count()
+                                             : 1));
+    if (ready <= 0) {
+      return Status::IOError("connect " + host + ":" +
+                             std::to_string(port) + ": timeout");
+    }
+    int error = 0;
+    socklen_t len = sizeof(error);
+    ::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &error, &len);
+    if (error != 0) {
+      errno = error;
+      return Errno("connect " + host + ":" + std::to_string(port));
+    }
+  }
+  ::fcntl(sock.fd(), F_SETFL, flags);
+  SetNoDelay(sock.fd());
+  return sock;
+}
+
+namespace {
+
+Status SetTimeoutOption(int fd, int option, std::chrono::milliseconds t) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(t.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((t.count() % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt timeout");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SetRecvTimeout(int fd, std::chrono::milliseconds timeout) {
+  return SetTimeoutOption(fd, SO_RCVTIMEO, timeout);
+}
+
+Status SetSendTimeout(int fd, std::chrono::milliseconds timeout) {
+  return SetTimeoutOption(fd, SO_SNDTIMEO, timeout);
+}
+
+Status WriteFully(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::IOError("send timeout");
+    }
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status ReadExact(int fd, size_t n, std::string* out) {
+  out->resize(n);
+  size_t got = 0;
+  // A timeout with zero bytes consumed is the idle-poll signal; one that
+  // strikes mid-buffer means the peer stalled inside a frame — retry a
+  // bounded number of times, then report truncation.
+  int mid_frame_timeouts = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out->data() + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      return Status::IOError(got == 0 ? "connection closed"
+                                      : "connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (got == 0) return Status::IOError(kRecvTimeoutMessage);
+      if (++mid_frame_timeouts >= 100) {
+        return Status::IOError("peer stalled mid-frame");
+      }
+      continue;
+    }
+    return Errno("recv");
+  }
+  return Status::OK();
+}
+
+Status ReadFrame(int fd, FrameHeader* header, std::string* payload) {
+  std::string header_bytes;
+  TEMPLAR_RETURN_NOT_OK(ReadExact(fd, kFrameHeaderBytes, &header_bytes));
+  TEMPLAR_RETURN_NOT_OK(ParseFrameHeader(header_bytes, header));
+  payload->clear();
+  if (header->payload_len > 0) {
+    TEMPLAR_RETURN_NOT_OK(ReadExact(fd, header->payload_len, payload));
+  }
+  return Status::OK();
+}
+
+bool IsRecvTimeout(const Status& status) {
+  return status.IsIOError() && status.message() == kRecvTimeoutMessage;
+}
+
+}  // namespace templar::net

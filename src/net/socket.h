@@ -1,0 +1,107 @@
+#ifndef TEMPLAR_NET_SOCKET_H_
+#define TEMPLAR_NET_SOCKET_H_
+
+/// \file socket.h
+/// \brief Thin POSIX TCP helpers for the wire protocol: RAII fd ownership,
+/// loopback-friendly listen/connect, and frame-sized full reads/writes.
+///
+/// All helpers are SIGPIPE-safe (MSG_NOSIGNAL) and use socket-level
+/// timeouts (SO_RCVTIMEO/SO_SNDTIMEO) instead of nonblocking state
+/// machines: a read that times out returns kIOError("timeout") so callers
+/// can poll a stop flag; a peer that vanished mid-frame surfaces as a short
+/// read, never a hang. TCP_NODELAY is set everywhere — frames are small and
+/// request/response latency matters more than segment coalescing.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace templar::net {
+
+/// \brief Owning socket fd. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// \brief Releases ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief Half-closes an fd (SHUT_RDWR) without closing it — wakes any
+/// thread blocked on it; the owning thread still Close()s. Safe on -1.
+void ShutdownFd(int fd);
+
+/// \brief Opens a listening IPv4 TCP socket on `address:port` (port 0 =
+/// ephemeral). `backlog` is the accept queue depth.
+Result<Socket> TcpListen(const std::string& address, uint16_t port,
+                         int backlog = 64);
+
+/// \brief The locally bound port of a listening (or connected) socket.
+Result<uint16_t> LocalPort(int fd);
+
+/// \brief Accepts one connection; blocks until a peer arrives or the
+/// listening socket is shut down (then kIOError).
+Result<Socket> TcpAccept(int listen_fd);
+
+/// \brief Connects to `host:port` (numeric IPv4 or "localhost") with a
+/// bounded wait.
+Result<Socket> TcpConnect(const std::string& host, uint16_t port,
+                          std::chrono::milliseconds timeout);
+
+/// \brief Sets the receive timeout (kIOError("recv timeout") on expiry).
+Status SetRecvTimeout(int fd, std::chrono::milliseconds timeout);
+/// \brief Sets the send timeout.
+Status SetSendTimeout(int fd, std::chrono::milliseconds timeout);
+
+/// \brief Writes all of `data` or fails (peer gone / send timeout).
+Status WriteFully(int fd, std::string_view data);
+
+/// \brief Reads exactly `n` bytes into `out` (resized). A clean EOF before
+/// any byte reads as kIOError("connection closed"); EOF mid-buffer is a
+/// truncated frame, also kIOError. A receive timeout with NO bytes consumed
+/// yet returns kIOError("recv timeout") — callers distinguish it by message
+/// to poll stop flags between frames.
+Status ReadExact(int fd, size_t n, std::string* out);
+
+/// \brief Reads one whole frame: header + payload. `header` is parsed and
+/// validated; `payload` is exactly header->payload_len bytes.
+Status ReadFrame(int fd, FrameHeader* header, std::string* payload);
+
+/// \brief True when `status` is the between-frames receive timeout (the
+/// caller should re-check its stop flag and keep reading).
+bool IsRecvTimeout(const Status& status);
+
+}  // namespace templar::net
+
+#endif  // TEMPLAR_NET_SOCKET_H_

@@ -1,0 +1,514 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace templar::net {
+
+namespace {
+
+/// Hard per-field ceiling: no single string on the wire may exceed the
+/// frame payload cap (frame.h re-checks the whole frame; this keeps a
+/// hostile length prefix from allocating ahead of the bounds check).
+constexpr uint32_t kMaxStringBytes = 32u << 20;
+
+Status TruncatedError(const char* what) {
+  return Status::ParseError(std::string("truncated payload reading ") + what);
+}
+
+Status RangeError(const char* what, uint64_t value) {
+  return Status::ParseError(std::string("out-of-range ") + what + " value " +
+                            std::to_string(value));
+}
+
+}  // namespace
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutDouble(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+Status WireReader::ReadU8(uint8_t* v) {
+  if (remaining() < 1) return TruncatedError("u8");
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return Status::OK();
+}
+
+Status WireReader::ReadU32(uint32_t* v) {
+  if (remaining() < 4) return TruncatedError("u32");
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return Status::OK();
+}
+
+Status WireReader::ReadU64(uint64_t* v) {
+  if (remaining() < 8) return TruncatedError("u64");
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return Status::OK();
+}
+
+Status WireReader::ReadDouble(double* v) {
+  uint64_t bits = 0;
+  TEMPLAR_RETURN_NOT_OK(ReadU64(&bits));
+  *v = std::bit_cast<double>(bits);
+  return Status::OK();
+}
+
+Status WireReader::ReadString(std::string* s) {
+  uint32_t len = 0;
+  TEMPLAR_RETURN_NOT_OK(ReadU32(&len));
+  if (len > kMaxStringBytes) return RangeError("string length", len);
+  if (remaining() < len) return TruncatedError("string body");
+  s->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status WireReader::ReadCount(uint32_t* count, size_t min_element_bytes) {
+  TEMPLAR_RETURN_NOT_OK(ReadU32(count));
+  if (min_element_bytes > 0 &&
+      static_cast<uint64_t>(*count) * min_element_bytes > remaining()) {
+    return RangeError("repeated-field count", *count);
+  }
+  return Status::OK();
+}
+
+Status WireReader::ExpectEnd() const {
+  if (pos_ != data_.size()) {
+    return Status::ParseError("trailing garbage after payload (" +
+                              std::to_string(data_.size() - pos_) +
+                              " bytes)");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// WireRequest
+
+service::QueryRequest WireRequest::ToQueryRequest(
+    std::chrono::steady_clock::time_point now) const {
+  service::QueryRequest request;
+  request.stage = static_cast<service::Stage>(stage);
+  request.nlq = nlq;
+  request.relation_bag = relation_bag;
+  request.top_k = static_cast<size_t>(top_k);
+  request.want_explanation = want_explanation;
+  if (has_deadline) {
+    request.deadline = now + std::chrono::microseconds(deadline_budget_us);
+  }
+  return request;
+}
+
+WireRequest WireRequest::FromQueryRequest(
+    const service::QueryRequest& request,
+    std::chrono::steady_clock::time_point now) {
+  WireRequest wire;
+  wire.stage = static_cast<uint8_t>(request.stage);
+  wire.nlq = request.nlq;
+  wire.relation_bag = request.relation_bag;
+  wire.top_k = request.top_k;
+  wire.want_explanation = request.want_explanation;
+  if (request.deadline.has_value()) {
+    wire.has_deadline = true;
+    const auto budget = std::chrono::duration_cast<std::chrono::microseconds>(
+        *request.deadline - now);
+    wire.deadline_budget_us =
+        budget.count() > 0 ? static_cast<uint64_t>(budget.count()) : 0;
+  }
+  return wire;
+}
+
+void SerializeWireRequest(const WireRequest& request, std::string* out) {
+  PutU8(out, request.stage);
+  PutString(out, request.nlq.original);
+  PutU32(out, static_cast<uint32_t>(request.nlq.keywords.size()));
+  for (const auto& keyword : request.nlq.keywords) {
+    PutString(out, keyword.text);
+    PutU8(out, static_cast<uint8_t>(keyword.metadata.context));
+    PutU8(out, keyword.metadata.op.has_value() ? 1 : 0);
+    PutU8(out, keyword.metadata.op.has_value()
+                   ? static_cast<uint8_t>(*keyword.metadata.op)
+                   : 0);
+    PutU32(out, static_cast<uint32_t>(keyword.metadata.aggs.size()));
+    for (sql::AggFunc agg : keyword.metadata.aggs) {
+      PutU8(out, static_cast<uint8_t>(agg));
+    }
+    PutU8(out, keyword.metadata.group_by ? 1 : 0);
+  }
+  PutU32(out, static_cast<uint32_t>(request.relation_bag.size()));
+  for (const auto& relation : request.relation_bag) PutString(out, relation);
+  PutU64(out, request.top_k);
+  PutU8(out, request.want_explanation ? 1 : 0);
+  PutU8(out, request.has_deadline ? 1 : 0);
+  PutU64(out, request.deadline_budget_us);
+}
+
+Status DeserializeWireRequest(std::string_view payload, WireRequest* request) {
+  WireReader reader(payload);
+  *request = WireRequest{};
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU8(&request->stage));
+  if (request->stage > static_cast<uint8_t>(service::Stage::kTranslate)) {
+    return RangeError("stage", request->stage);
+  }
+  TEMPLAR_RETURN_NOT_OK(reader.ReadString(&request->nlq.original));
+  uint32_t keyword_count = 0;
+  // Smallest keyword: empty text (4) + context (1) + op pair (2) +
+  // empty aggs (4) + group_by (1).
+  TEMPLAR_RETURN_NOT_OK(reader.ReadCount(&keyword_count, 12));
+  request->nlq.keywords.reserve(keyword_count);
+  for (uint32_t i = 0; i < keyword_count; ++i) {
+    nlq::AnnotatedKeyword keyword;
+    TEMPLAR_RETURN_NOT_OK(reader.ReadString(&keyword.text));
+    uint8_t context = 0;
+    TEMPLAR_RETURN_NOT_OK(reader.ReadU8(&context));
+    if (context > static_cast<uint8_t>(qfg::FragmentContext::kOrderBy)) {
+      return RangeError("fragment context", context);
+    }
+    keyword.metadata.context = static_cast<qfg::FragmentContext>(context);
+    uint8_t has_op = 0, op = 0;
+    TEMPLAR_RETURN_NOT_OK(reader.ReadU8(&has_op));
+    TEMPLAR_RETURN_NOT_OK(reader.ReadU8(&op));
+    if (has_op > 1) return RangeError("op flag", has_op);
+    if (has_op) {
+      if (op > static_cast<uint8_t>(sql::BinaryOp::kPlaceholder)) {
+        return RangeError("binary op", op);
+      }
+      keyword.metadata.op = static_cast<sql::BinaryOp>(op);
+    }
+    uint32_t agg_count = 0;
+    TEMPLAR_RETURN_NOT_OK(reader.ReadCount(&agg_count, 1));
+    keyword.metadata.aggs.reserve(agg_count);
+    for (uint32_t a = 0; a < agg_count; ++a) {
+      uint8_t agg = 0;
+      TEMPLAR_RETURN_NOT_OK(reader.ReadU8(&agg));
+      if (agg > static_cast<uint8_t>(sql::AggFunc::kMax)) {
+        return RangeError("agg func", agg);
+      }
+      keyword.metadata.aggs.push_back(static_cast<sql::AggFunc>(agg));
+    }
+    uint8_t group_by = 0;
+    TEMPLAR_RETURN_NOT_OK(reader.ReadU8(&group_by));
+    if (group_by > 1) return RangeError("group_by flag", group_by);
+    keyword.metadata.group_by = group_by != 0;
+    request->nlq.keywords.push_back(std::move(keyword));
+  }
+  uint32_t bag_count = 0;
+  TEMPLAR_RETURN_NOT_OK(reader.ReadCount(&bag_count, 4));
+  request->relation_bag.reserve(bag_count);
+  for (uint32_t i = 0; i < bag_count; ++i) {
+    std::string relation;
+    TEMPLAR_RETURN_NOT_OK(reader.ReadString(&relation));
+    request->relation_bag.push_back(std::move(relation));
+  }
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU64(&request->top_k));
+  uint8_t want_explanation = 0, has_deadline = 0;
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU8(&want_explanation));
+  if (want_explanation > 1) {
+    return RangeError("want_explanation flag", want_explanation);
+  }
+  request->want_explanation = want_explanation != 0;
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU8(&has_deadline));
+  if (has_deadline > 1) return RangeError("deadline flag", has_deadline);
+  request->has_deadline = has_deadline != 0;
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU64(&request->deadline_budget_us));
+  return reader.ExpectEnd();
+}
+
+// ---------------------------------------------------------------------------
+// WireResponse
+
+namespace {
+
+void PutFragmentSupports(
+    std::string* out,
+    const std::vector<WireExplanation::FragmentSupport>& supports) {
+  PutU32(out, static_cast<uint32_t>(supports.size()));
+  for (const auto& support : supports) {
+    PutString(out, support.key);
+    PutU8(out, support.interned ? 1 : 0);
+    PutU32(out, support.id);
+    PutU64(out, support.occurrences);
+  }
+}
+
+Status ReadFragmentSupports(
+    WireReader* reader,
+    std::vector<WireExplanation::FragmentSupport>* supports) {
+  uint32_t count = 0;
+  // key (4) + interned (1) + id (4) + occurrences (8).
+  TEMPLAR_RETURN_NOT_OK(reader->ReadCount(&count, 17));
+  supports->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireExplanation::FragmentSupport support;
+    TEMPLAR_RETURN_NOT_OK(reader->ReadString(&support.key));
+    uint8_t interned = 0;
+    TEMPLAR_RETURN_NOT_OK(reader->ReadU8(&interned));
+    if (interned > 1) return RangeError("interned flag", interned);
+    support.interned = interned != 0;
+    TEMPLAR_RETURN_NOT_OK(reader->ReadU32(&support.id));
+    TEMPLAR_RETURN_NOT_OK(reader->ReadU64(&support.occurrences));
+    supports->push_back(std::move(support));
+  }
+  return Status::OK();
+}
+
+void PutPairSupports(std::string* out,
+                     const std::vector<WireExplanation::PairSupport>& pairs) {
+  PutU32(out, static_cast<uint32_t>(pairs.size()));
+  for (const auto& pair : pairs) {
+    PutString(out, pair.a);
+    PutString(out, pair.b);
+    PutU64(out, pair.cooccurrences);
+    PutDouble(out, pair.dice);
+  }
+}
+
+Status ReadPairSupports(WireReader* reader,
+                        std::vector<WireExplanation::PairSupport>* pairs) {
+  uint32_t count = 0;
+  // a (4) + b (4) + cooccurrences (8) + dice (8).
+  TEMPLAR_RETURN_NOT_OK(reader->ReadCount(&count, 24));
+  pairs->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireExplanation::PairSupport pair;
+    TEMPLAR_RETURN_NOT_OK(reader->ReadString(&pair.a));
+    TEMPLAR_RETURN_NOT_OK(reader->ReadString(&pair.b));
+    TEMPLAR_RETURN_NOT_OK(reader->ReadU64(&pair.cooccurrences));
+    TEMPLAR_RETURN_NOT_OK(reader->ReadDouble(&pair.dice));
+    pairs->push_back(std::move(pair));
+  }
+  return Status::OK();
+}
+
+void PutExplanation(std::string* out, const WireExplanation& explanation) {
+  PutFragmentSupports(out, explanation.map_fragments);
+  PutPairSupports(out, explanation.map_pairs);
+  PutFragmentSupports(out, explanation.join_relations);
+  PutPairSupports(out, explanation.join_edges);
+  PutU8(out, explanation.used_query_count ? 1 : 0);
+  PutU64(out, explanation.query_count);
+}
+
+Status ReadExplanation(WireReader* reader, WireExplanation* explanation) {
+  TEMPLAR_RETURN_NOT_OK(
+      ReadFragmentSupports(reader, &explanation->map_fragments));
+  TEMPLAR_RETURN_NOT_OK(ReadPairSupports(reader, &explanation->map_pairs));
+  TEMPLAR_RETURN_NOT_OK(
+      ReadFragmentSupports(reader, &explanation->join_relations));
+  TEMPLAR_RETURN_NOT_OK(ReadPairSupports(reader, &explanation->join_edges));
+  uint8_t used_query_count = 0;
+  TEMPLAR_RETURN_NOT_OK(reader->ReadU8(&used_query_count));
+  if (used_query_count > 1) {
+    return RangeError("used_query_count flag", used_query_count);
+  }
+  explanation->used_query_count = used_query_count != 0;
+  TEMPLAR_RETURN_NOT_OK(reader->ReadU64(&explanation->query_count));
+  return Status::OK();
+}
+
+WireExplanation ToWireExplanation(const service::Explanation& explanation) {
+  WireExplanation wire;
+  auto convert_fragments =
+      [](const std::vector<service::Explanation::FragmentSupport>& in) {
+        std::vector<WireExplanation::FragmentSupport> out;
+        out.reserve(in.size());
+        for (const auto& support : in) {
+          out.push_back({support.key, support.interned,
+                         static_cast<uint32_t>(support.id),
+                         support.occurrences});
+        }
+        return out;
+      };
+  auto convert_pairs =
+      [](const std::vector<service::Explanation::PairSupport>& in) {
+        std::vector<WireExplanation::PairSupport> out;
+        out.reserve(in.size());
+        for (const auto& pair : in) {
+          out.push_back({pair.a, pair.b, pair.cooccurrences, pair.dice});
+        }
+        return out;
+      };
+  wire.map_fragments = convert_fragments(explanation.map_fragments);
+  wire.map_pairs = convert_pairs(explanation.map_pairs);
+  wire.join_relations = convert_fragments(explanation.join_relations);
+  wire.join_edges = convert_pairs(explanation.join_edges);
+  wire.used_query_count = explanation.used_query_count;
+  wire.query_count = explanation.query_count;
+  return wire;
+}
+
+}  // namespace
+
+WireResponse WireResponse::FromQueryResponse(
+    const service::QueryResponse& response) {
+  WireResponse wire;
+  wire.stage = static_cast<uint8_t>(response.stage);
+  wire.served_from = static_cast<uint8_t>(response.served_from);
+  wire.epoch = response.epoch;
+  wire.timings.queue_us =
+      static_cast<uint64_t>(response.timings.queue.count());
+  wire.timings.map_us = static_cast<uint64_t>(response.timings.map.count());
+  wire.timings.join_us = static_cast<uint64_t>(response.timings.join.count());
+  wire.timings.assemble_us =
+      static_cast<uint64_t>(response.timings.assemble.count());
+  wire.timings.total_us =
+      static_cast<uint64_t>(response.timings.total.count());
+  wire.translations.reserve(response.translations.size());
+  for (const auto& translation : response.translations) {
+    wire.translations.push_back({translation.query.ToString(),
+                                 translation.score,
+                                 translation.tie_for_first});
+  }
+  wire.explanations.reserve(response.explanations.size());
+  for (const auto& explanation : response.explanations) {
+    wire.explanations.push_back(ToWireExplanation(explanation));
+  }
+  wire.configurations.reserve(response.configurations.size());
+  for (const auto& configuration : response.configurations) {
+    wire.configurations.push_back(configuration.ToString());
+  }
+  wire.join_paths.reserve(response.join_paths.size());
+  for (const auto& join_path : response.join_paths) {
+    wire.join_paths.push_back(join_path.ToString());
+  }
+  return wire;
+}
+
+std::string WireResponse::RankingFingerprint() const {
+  std::string out;
+  PutU8(&out, stage);
+  PutU32(&out, static_cast<uint32_t>(translations.size()));
+  for (const auto& translation : translations) {
+    PutString(&out, translation.sql);
+    PutDouble(&out, translation.score);
+    PutU8(&out, translation.tie_for_first ? 1 : 0);
+  }
+  PutU32(&out, static_cast<uint32_t>(configurations.size()));
+  for (const auto& configuration : configurations) {
+    PutString(&out, configuration);
+  }
+  PutU32(&out, static_cast<uint32_t>(join_paths.size()));
+  for (const auto& join_path : join_paths) PutString(&out, join_path);
+  return out;
+}
+
+void SerializeWireResponse(const WireResponse& response, std::string* out) {
+  PutU8(out, response.stage);
+  PutU8(out, response.served_from);
+  PutU64(out, response.epoch);
+  PutU64(out, response.timings.queue_us);
+  PutU64(out, response.timings.map_us);
+  PutU64(out, response.timings.join_us);
+  PutU64(out, response.timings.assemble_us);
+  PutU64(out, response.timings.total_us);
+  PutU32(out, static_cast<uint32_t>(response.translations.size()));
+  for (const auto& translation : response.translations) {
+    PutString(out, translation.sql);
+    PutDouble(out, translation.score);
+    PutU8(out, translation.tie_for_first ? 1 : 0);
+  }
+  PutU32(out, static_cast<uint32_t>(response.explanations.size()));
+  for (const auto& explanation : response.explanations) {
+    PutExplanation(out, explanation);
+  }
+  PutU32(out, static_cast<uint32_t>(response.configurations.size()));
+  for (const auto& configuration : response.configurations) {
+    PutString(out, configuration);
+  }
+  PutU32(out, static_cast<uint32_t>(response.join_paths.size()));
+  for (const auto& join_path : response.join_paths) PutString(out, join_path);
+}
+
+Status DeserializeWireResponse(std::string_view payload,
+                               WireResponse* response) {
+  WireReader reader(payload);
+  *response = WireResponse{};
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU8(&response->stage));
+  if (response->stage > static_cast<uint8_t>(service::Stage::kTranslate)) {
+    return RangeError("stage", response->stage);
+  }
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU8(&response->served_from));
+  if (response->served_from >
+      static_cast<uint8_t>(service::ServedFrom::kCoalesced)) {
+    return RangeError("served_from", response->served_from);
+  }
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU64(&response->epoch));
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU64(&response->timings.queue_us));
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU64(&response->timings.map_us));
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU64(&response->timings.join_us));
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU64(&response->timings.assemble_us));
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU64(&response->timings.total_us));
+  uint32_t translation_count = 0;
+  // sql (4) + score (8) + tie (1).
+  TEMPLAR_RETURN_NOT_OK(reader.ReadCount(&translation_count, 13));
+  response->translations.reserve(translation_count);
+  for (uint32_t i = 0; i < translation_count; ++i) {
+    WireTranslation translation;
+    TEMPLAR_RETURN_NOT_OK(reader.ReadString(&translation.sql));
+    TEMPLAR_RETURN_NOT_OK(reader.ReadDouble(&translation.score));
+    uint8_t tie = 0;
+    TEMPLAR_RETURN_NOT_OK(reader.ReadU8(&tie));
+    if (tie > 1) return RangeError("tie flag", tie);
+    translation.tie_for_first = tie != 0;
+    response->translations.push_back(std::move(translation));
+  }
+  uint32_t explanation_count = 0;
+  // Four empty repeated fields (16) + flag (1) + query_count (8).
+  TEMPLAR_RETURN_NOT_OK(reader.ReadCount(&explanation_count, 25));
+  response->explanations.reserve(explanation_count);
+  for (uint32_t i = 0; i < explanation_count; ++i) {
+    WireExplanation explanation;
+    TEMPLAR_RETURN_NOT_OK(ReadExplanation(&reader, &explanation));
+    response->explanations.push_back(std::move(explanation));
+  }
+  uint32_t configuration_count = 0;
+  TEMPLAR_RETURN_NOT_OK(reader.ReadCount(&configuration_count, 4));
+  response->configurations.reserve(configuration_count);
+  for (uint32_t i = 0; i < configuration_count; ++i) {
+    std::string configuration;
+    TEMPLAR_RETURN_NOT_OK(reader.ReadString(&configuration));
+    response->configurations.push_back(std::move(configuration));
+  }
+  uint32_t join_path_count = 0;
+  TEMPLAR_RETURN_NOT_OK(reader.ReadCount(&join_path_count, 4));
+  response->join_paths.reserve(join_path_count);
+  for (uint32_t i = 0; i < join_path_count; ++i) {
+    std::string join_path;
+    TEMPLAR_RETURN_NOT_OK(reader.ReadString(&join_path));
+    response->join_paths.push_back(std::move(join_path));
+  }
+  return reader.ExpectEnd();
+}
+
+}  // namespace templar::net

@@ -1,0 +1,187 @@
+#ifndef TEMPLAR_NET_WIRE_H_
+#define TEMPLAR_NET_WIRE_H_
+
+/// \file wire.h
+/// \brief Binary serialization of the serving envelope for the TCP front-end.
+///
+/// The wire carries flat DTO mirrors of the in-process envelope types —
+/// `WireRequest` for `service::QueryRequest`, `WireResponse` for
+/// `service::QueryResponse` — because some envelope fields make no sense on
+/// a network boundary: an absolute `steady_clock` deadline is meaningless on
+/// another machine (the wire carries a *relative* budget the server anchors
+/// at receive time), a CancelToken is process-local, and a response's ranked
+/// SQL travels as printed text rather than an AST. Both DTOs are plain data
+/// with `==`, so serialization is round-trip-testable by construction.
+///
+/// Encoding: little-endian fixed-width integers, doubles as IEEE-754 bit
+/// patterns, strings and repeated fields length-prefixed with a uint32
+/// count. Decoding is defensive end to end: every read is bounds-checked
+/// against the remaining payload (no over-read, ever), claimed element
+/// counts are validated against the bytes actually present *before* any
+/// allocation (a hostile 4-billion-element header cannot OOM the server),
+/// enum bytes outside their range are rejected, and the top-level
+/// deserializers require the payload to be fully consumed. All failures are
+/// typed `kParseError` Statuses — a malformed frame is a protocol error the
+/// peer can log, never a crash.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "service/request.h"
+
+namespace templar::net {
+
+/// \name Primitive encoders
+/// Appending writers over a std::string buffer.
+///@{
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutDouble(std::string* out, double v);
+void PutString(std::string* out, std::string_view s);
+///@}
+
+/// \brief Bounds-checked sequential reader over a received payload. Every
+/// accessor fails with kParseError instead of reading past the end.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Status ReadU8(uint8_t* v);
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadDouble(double* v);
+  Status ReadString(std::string* s);
+
+  /// \brief Validates a repeated-field count against the bytes remaining:
+  /// each element needs at least `min_element_bytes`, so a count the buffer
+  /// cannot possibly hold is rejected before any allocation.
+  Status ReadCount(uint32_t* count, size_t min_element_bytes);
+
+  /// \brief Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// \brief Fails unless the payload was consumed exactly.
+  Status ExpectEnd() const;
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// \brief Wire mirror of service::QueryRequest. The deadline travels as a
+/// relative budget (microseconds from receipt); the server anchors it with
+/// `ToQueryRequest(now)`.
+struct WireRequest {
+  uint8_t stage = static_cast<uint8_t>(service::Stage::kTranslate);
+  nlq::ParsedNlq nlq;
+  std::vector<std::string> relation_bag;
+  uint64_t top_k = 1;
+  bool want_explanation = false;
+  bool has_deadline = false;
+  uint64_t deadline_budget_us = 0;
+
+  bool operator==(const WireRequest&) const = default;
+
+  /// \brief Rehydrates the in-process envelope, anchoring the relative
+  /// deadline budget at `now` (the server's receive time).
+  service::QueryRequest ToQueryRequest(
+      std::chrono::steady_clock::time_point now) const;
+
+  /// \brief Client-side constructor from the in-process envelope: an
+  /// absolute deadline becomes the budget remaining at `now` (clamped to
+  /// zero — an already-expired request still travels, and the server
+  /// rejects it with the same typed status an in-process call would get).
+  static WireRequest FromQueryRequest(
+      const service::QueryRequest& request,
+      std::chrono::steady_clock::time_point now);
+};
+
+/// \brief One ranked translation on the wire: printed SQL + ranking fields.
+struct WireTranslation {
+  std::string sql;
+  double score = 0;
+  bool tie_for_first = false;
+
+  bool operator==(const WireTranslation&) const = default;
+};
+
+/// \brief Wire mirror of service::Explanation (same shape, flat types).
+struct WireExplanation {
+  struct FragmentSupport {
+    std::string key;
+    bool interned = false;
+    uint32_t id = 0;
+    uint64_t occurrences = 0;
+    bool operator==(const FragmentSupport&) const = default;
+  };
+  struct PairSupport {
+    std::string a;
+    std::string b;
+    uint64_t cooccurrences = 0;
+    double dice = 0;
+    bool operator==(const PairSupport&) const = default;
+  };
+
+  std::vector<FragmentSupport> map_fragments;
+  std::vector<PairSupport> map_pairs;
+  std::vector<FragmentSupport> join_relations;
+  std::vector<PairSupport> join_edges;
+  bool used_query_count = false;
+  uint64_t query_count = 0;
+
+  bool operator==(const WireExplanation&) const = default;
+};
+
+/// \brief Flat microsecond mirror of service::StageTimings.
+struct WireTimings {
+  uint64_t queue_us = 0;
+  uint64_t map_us = 0;
+  uint64_t join_us = 0;
+  uint64_t assemble_us = 0;
+  uint64_t total_us = 0;
+
+  bool operator==(const WireTimings&) const = default;
+};
+
+/// \brief Wire mirror of service::QueryResponse. Stage results travel in
+/// display form (printed SQL / ToString'd configurations and join paths);
+/// explanations travel structurally so clients can render or post-process
+/// the provenance.
+struct WireResponse {
+  uint8_t stage = static_cast<uint8_t>(service::Stage::kTranslate);
+  uint8_t served_from = static_cast<uint8_t>(service::ServedFrom::kComputed);
+  uint64_t epoch = 0;
+  WireTimings timings;
+  std::vector<WireTranslation> translations;
+  std::vector<WireExplanation> explanations;
+  std::vector<std::string> configurations;
+  std::vector<std::string> join_paths;
+
+  bool operator==(const WireResponse&) const = default;
+
+  /// \brief Server-side conversion from the in-process envelope.
+  static WireResponse FromQueryResponse(const service::QueryResponse& r);
+
+  /// \brief The ranking alone, serialized deterministically — the
+  /// byte-identity fingerprint the chaos test compares across severed and
+  /// unsevered runs (timings and cache disposition legitimately differ).
+  std::string RankingFingerprint() const;
+};
+
+/// \name Envelope serialization
+///@{
+void SerializeWireRequest(const WireRequest& request, std::string* out);
+Status DeserializeWireRequest(std::string_view payload, WireRequest* request);
+void SerializeWireResponse(const WireResponse& response, std::string* out);
+Status DeserializeWireResponse(std::string_view payload,
+                               WireResponse* response);
+///@}
+
+}  // namespace templar::net
+
+#endif  // TEMPLAR_NET_WIRE_H_

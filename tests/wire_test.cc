@@ -1,0 +1,714 @@
+// Tests for the wire protocol front-end (src/net): defensive serialization
+// round trips over hostile inputs (truncation, byte flips, huge claimed
+// counts — typed kParseError, never an over-read or OOM), frame-layer
+// validation, the BackedReader/BackedWriter recovery primitives, and
+// socket-level server/client integration: Translate parity with the
+// in-process envelope, typed kOverloaded / kNotFound / kParseError over the
+// wire, exactly-once delivery across severed connections, and the
+// session-expiry regression (a late resume gets kSessionExpired, never a
+// hang or a stale replay).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/backed.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "service/tenant_registry.h"
+#include "test_fixtures.h"
+
+namespace templar::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generators (seeded, deterministic)
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  std::string s;
+  const size_t len = rng.NextBounded(max_len + 1);
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Full byte range: embedded NULs and non-ASCII must round-trip.
+    s.push_back(static_cast<char>(rng.NextBounded(256)));
+  }
+  return s;
+}
+
+WireRequest RandomRequest(Rng& rng) {
+  WireRequest request;
+  request.stage = static_cast<uint8_t>(rng.NextBounded(3));
+  request.nlq.original = RandomBytes(rng, 64);
+  const size_t n_keywords = rng.NextBounded(5);
+  for (size_t i = 0; i < n_keywords; ++i) {
+    nlq::AnnotatedKeyword kw;
+    kw.text = RandomBytes(rng, 24);
+    kw.metadata.context =
+        static_cast<qfg::FragmentContext>(rng.NextBounded(6));
+    if (rng.NextBounded(2) == 1) {
+      kw.metadata.op = static_cast<sql::BinaryOp>(rng.NextBounded(8));
+    }
+    const size_t n_aggs = rng.NextBounded(3);
+    for (size_t j = 0; j < n_aggs; ++j) {
+      kw.metadata.aggs.push_back(
+          static_cast<sql::AggFunc>(rng.NextBounded(5)));
+    }
+    kw.metadata.group_by = rng.NextBounded(2) == 1;
+    request.nlq.keywords.push_back(std::move(kw));
+  }
+  const size_t n_relations = rng.NextBounded(4);
+  for (size_t i = 0; i < n_relations; ++i) {
+    request.relation_bag.push_back(RandomBytes(rng, 16));
+  }
+  request.top_k = rng.Next();  // Including huge values: the wire carries u64.
+  request.want_explanation = rng.NextBounded(2) == 1;
+  request.has_deadline = rng.NextBounded(2) == 1;
+  request.deadline_budget_us = request.has_deadline ? rng.Next() : 0;
+  return request;
+}
+
+WireResponse RandomResponse(Rng& rng) {
+  WireResponse response;
+  response.stage = static_cast<uint8_t>(rng.NextBounded(3));
+  response.served_from = static_cast<uint8_t>(rng.NextBounded(3));
+  response.epoch = rng.Next();
+  response.timings = {rng.Next(), rng.Next(), rng.Next(), rng.Next(),
+                      rng.Next()};
+  const size_t n_translations = rng.NextBounded(4);
+  for (size_t i = 0; i < n_translations; ++i) {
+    response.translations.push_back(
+        {RandomBytes(rng, 200), rng.NextDouble(), rng.NextBounded(2) == 1});
+  }
+  const size_t n_explanations = rng.NextBounded(3);
+  for (size_t i = 0; i < n_explanations; ++i) {
+    WireExplanation ex;
+    const size_t n_frag = rng.NextBounded(4);
+    for (size_t j = 0; j < n_frag; ++j) {
+      ex.map_fragments.push_back({RandomBytes(rng, 32),
+                                  rng.NextBounded(2) == 1,
+                                  static_cast<uint32_t>(rng.Next()),
+                                  rng.Next()});
+      ex.join_relations.push_back({RandomBytes(rng, 32), false,
+                                   static_cast<uint32_t>(rng.Next()),
+                                   rng.Next()});
+    }
+    const size_t n_pairs = rng.NextBounded(4);
+    for (size_t j = 0; j < n_pairs; ++j) {
+      ex.map_pairs.push_back({RandomBytes(rng, 24), RandomBytes(rng, 24),
+                              rng.Next(), rng.NextDouble()});
+      ex.join_edges.push_back({RandomBytes(rng, 24), RandomBytes(rng, 24),
+                               rng.Next(), rng.NextDouble()});
+    }
+    ex.used_query_count = rng.NextBounded(2) == 1;
+    ex.query_count = rng.Next();
+    response.explanations.push_back(std::move(ex));
+  }
+  const size_t n_configs = rng.NextBounded(4);
+  for (size_t i = 0; i < n_configs; ++i) {
+    response.configurations.push_back(RandomBytes(rng, 80));
+  }
+  const size_t n_paths = rng.NextBounded(4);
+  for (size_t i = 0; i < n_paths; ++i) {
+    response.join_paths.push_back(RandomBytes(rng, 80));
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization round trips
+
+TEST(WireSerializationTest, RequestRoundTripsIncludingEdgeFields) {
+  WireRequest request;
+  request.stage = static_cast<uint8_t>(service::Stage::kTranslate);
+  request.nlq.original = "Return the papers in the Databases domain";
+  nlq::AnnotatedKeyword kw;
+  kw.text = "papers";
+  kw.metadata.context = qfg::FragmentContext::kSelect;
+  kw.metadata.op = sql::BinaryOp::kGt;
+  kw.metadata.aggs = {sql::AggFunc::kCount, sql::AggFunc::kMax};
+  kw.metadata.group_by = true;
+  request.nlq.keywords = {kw};
+  request.relation_bag = {"publication", "domain"};
+  request.top_k = UINT64_MAX;  // Max top_k must survive the wire.
+  request.want_explanation = true;
+  request.has_deadline = true;
+  request.deadline_budget_us = 123456;
+
+  std::string payload;
+  SerializeWireRequest(request, &payload);
+  WireRequest decoded;
+  ASSERT_TRUE(DeserializeWireRequest(payload, &decoded).ok());
+  EXPECT_EQ(decoded, request);
+}
+
+TEST(WireSerializationTest, EmptyRequestRoundTrips) {
+  WireRequest request;  // No keywords, no bag, defaults everywhere.
+  std::string payload;
+  SerializeWireRequest(request, &payload);
+  WireRequest decoded;
+  ASSERT_TRUE(DeserializeWireRequest(payload, &decoded).ok());
+  EXPECT_EQ(decoded, request);
+}
+
+TEST(WireSerializationTest, ResponseWithHugeExplanationRoundTrips) {
+  WireResponse response;
+  response.translations.push_back({"SELECT 1", 0.5, false});
+  WireExplanation ex;
+  // One deliberately huge support key (1 MiB) — well under the frame cap,
+  // far over any small-buffer assumption.
+  ex.map_fragments.push_back({std::string(1 << 20, 'k'), true, 7, 99});
+  ex.used_query_count = true;
+  ex.query_count = 12345;
+  response.explanations.push_back(ex);
+
+  std::string payload;
+  SerializeWireResponse(response, &payload);
+  WireResponse decoded;
+  ASSERT_TRUE(DeserializeWireResponse(payload, &decoded).ok());
+  EXPECT_EQ(decoded, response);
+}
+
+TEST(WireSerializationTest, PropertyRandomRequestsRoundTrip) {
+  Rng rng(0xF00D);
+  for (int i = 0; i < 200; ++i) {
+    const WireRequest request = RandomRequest(rng);
+    std::string payload;
+    SerializeWireRequest(request, &payload);
+    WireRequest decoded;
+    ASSERT_TRUE(DeserializeWireRequest(payload, &decoded).ok())
+        << "iteration " << i;
+    ASSERT_EQ(decoded, request) << "iteration " << i;
+  }
+}
+
+TEST(WireSerializationTest, PropertyRandomResponsesRoundTrip) {
+  Rng rng(0xBEEF);
+  for (int i = 0; i < 200; ++i) {
+    const WireResponse response = RandomResponse(rng);
+    std::string payload;
+    SerializeWireResponse(response, &payload);
+    WireResponse decoded;
+    ASSERT_TRUE(DeserializeWireResponse(payload, &decoded).ok())
+        << "iteration " << i;
+    ASSERT_EQ(decoded, response) << "iteration " << i;
+  }
+}
+
+// Every strict prefix of a valid payload must fail with a typed kParseError
+// — never crash, never over-read (ASan/UBSan enforce the "never" part).
+TEST(WireHostileInputTest, EveryTruncationIsATypedParseError) {
+  Rng rng(0xCAFE);
+  const WireRequest request = RandomRequest(rng);
+  std::string payload;
+  SerializeWireRequest(request, &payload);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    WireRequest decoded;
+    Status status =
+        DeserializeWireRequest(std::string_view(payload.data(), len),
+                               &decoded);
+    ASSERT_FALSE(status.ok()) << "prefix length " << len;
+    ASSERT_TRUE(status.IsParseError()) << status.ToString();
+  }
+
+  const WireResponse response = RandomResponse(rng);
+  std::string response_payload;
+  SerializeWireResponse(response, &response_payload);
+  for (size_t len = 0; len < response_payload.size(); ++len) {
+    WireResponse decoded;
+    Status status = DeserializeWireResponse(
+        std::string_view(response_payload.data(), len), &decoded);
+    ASSERT_FALSE(status.ok()) << "prefix length " << len;
+    ASSERT_TRUE(status.IsParseError()) << status.ToString();
+  }
+}
+
+TEST(WireHostileInputTest, TrailingGarbageIsRejected) {
+  std::string payload;
+  SerializeWireRequest(WireRequest{}, &payload);
+  payload.push_back('\0');
+  WireRequest decoded;
+  EXPECT_TRUE(DeserializeWireRequest(payload, &decoded).IsParseError());
+}
+
+// A hostile length prefix claiming ~4 billion elements must be rejected by
+// the count-vs-remaining-bytes check before any allocation happens.
+TEST(WireHostileInputTest, HugeClaimedCountRejectedBeforeAllocation) {
+  std::string payload;
+  PutU8(&payload, 2);                        // stage
+  PutString(&payload, "q");                  // nlq.original
+  PutU32(&payload, 0xFFFFFFFFu);             // keyword count: hostile
+  WireRequest decoded;
+  Status status = DeserializeWireRequest(payload, &decoded);
+  ASSERT_TRUE(status.IsParseError()) << status.ToString();
+}
+
+TEST(WireHostileInputTest, HugeClaimedStringLengthRejected) {
+  std::string payload;
+  PutU8(&payload, 2);
+  PutU32(&payload, 0xFFFFFFF0u);  // nlq.original length: hostile
+  payload.append("abc");
+  WireRequest decoded;
+  EXPECT_TRUE(DeserializeWireRequest(payload, &decoded).IsParseError());
+}
+
+// Fuzz-style loop: random mutations of valid payloads must always come back
+// as either ok or kParseError — anything else (crash, over-read, hang) is
+// caught here or by the sanitizer configs that run this same test.
+TEST(WireHostileInputTest, FuzzByteFlipsNeverCrash) {
+  Rng rng(0x5EED);
+  for (int i = 0; i < 300; ++i) {
+    std::string payload;
+    if (i % 2 == 0) {
+      SerializeWireRequest(RandomRequest(rng), &payload);
+    } else {
+      SerializeWireResponse(RandomResponse(rng), &payload);
+    }
+    if (payload.empty()) continue;
+    const int flips = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int f = 0; f < flips; ++f) {
+      payload[rng.NextBounded(payload.size())] ^=
+          static_cast<char>(1 + rng.NextBounded(255));
+    }
+    if (i % 2 == 0) {
+      WireRequest decoded;
+      Status status = DeserializeWireRequest(payload, &decoded);
+      ASSERT_TRUE(status.ok() || status.IsParseError()) << status.ToString();
+    } else {
+      WireResponse decoded;
+      Status status = DeserializeWireResponse(payload, &decoded);
+      ASSERT_TRUE(status.ok() || status.IsParseError()) << status.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline budget anchoring
+
+TEST(WireRequestTest, DeadlineTravelsAsRelativeBudget) {
+  const auto now = std::chrono::steady_clock::now();
+  service::QueryRequest request =
+      service::QueryRequest::Translation(nlq::ParsedNlq{});
+  request.deadline = now + std::chrono::milliseconds(250);
+
+  const WireRequest wire = WireRequest::FromQueryRequest(request, now);
+  ASSERT_TRUE(wire.has_deadline);
+  EXPECT_EQ(wire.deadline_budget_us, 250000u);
+
+  const auto server_now = now + std::chrono::seconds(5);  // Clock skew.
+  service::QueryRequest rehydrated = wire.ToQueryRequest(server_now);
+  ASSERT_TRUE(rehydrated.deadline.has_value());
+  EXPECT_EQ(*rehydrated.deadline,
+            server_now + std::chrono::microseconds(250000));
+}
+
+TEST(WireRequestTest, ExpiredDeadlineClampsToZeroBudget) {
+  const auto now = std::chrono::steady_clock::now();
+  service::QueryRequest request =
+      service::QueryRequest::Translation(nlq::ParsedNlq{});
+  request.deadline = now - std::chrono::milliseconds(10);
+  const WireRequest wire = WireRequest::FromQueryRequest(request, now);
+  ASSERT_TRUE(wire.has_deadline);
+  EXPECT_EQ(wire.deadline_budget_us, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Frame layer
+
+TEST(FrameTest, HeaderRoundTrips) {
+  const std::string frame =
+      BuildFrame(FrameType::kResponse, 42, 7, "payload-bytes");
+  FrameHeader header;
+  ASSERT_TRUE(
+      ParseFrameHeader(std::string_view(frame).substr(0, kFrameHeaderBytes),
+                       &header)
+          .ok());
+  EXPECT_EQ(header.type, FrameType::kResponse);
+  EXPECT_EQ(header.session_id, 42u);
+  EXPECT_EQ(header.seq, 7u);
+  EXPECT_EQ(header.payload_len, 13u);
+  EXPECT_EQ(frame.size(), kFrameHeaderBytes + 13);
+}
+
+TEST(FrameTest, RejectsBadMagicTypeAndOversizedPayload) {
+  std::string frame = BuildFrame(FrameType::kHello, 1, 0, "x");
+  FrameHeader header;
+
+  std::string bad_magic = frame;
+  bad_magic[0] ^= 0x01;
+  EXPECT_TRUE(ParseFrameHeader(bad_magic.substr(0, kFrameHeaderBytes),
+                               &header)
+                  .IsParseError());
+
+  std::string bad_type = frame;
+  bad_type[4] = 99;
+  EXPECT_TRUE(ParseFrameHeader(bad_type.substr(0, kFrameHeaderBytes),
+                               &header)
+                  .IsParseError());
+
+  std::string huge_len = frame;
+  const uint32_t hostile = kMaxFramePayload + 1;
+  std::memcpy(huge_len.data() + 21, &hostile, sizeof(hostile));
+  EXPECT_TRUE(ParseFrameHeader(huge_len.substr(0, kFrameHeaderBytes),
+                               &header)
+                  .IsParseError());
+}
+
+// ---------------------------------------------------------------------------
+// Backed recovery primitives
+
+TEST(BackedWriterTest, ReplayAckAndOverflowContracts) {
+  BackedWriter writer(/*max_unacked=*/3);
+  EXPECT_EQ(writer.Push("a"), 1u);
+  EXPECT_EQ(writer.Push("b"), 2u);
+  EXPECT_EQ(writer.Push("c"), 3u);
+  EXPECT_EQ(writer.Push("overflow"), 0u) << "ring full reports failure";
+
+  auto replay = writer.Replay(/*peer_last_seen=*/1);
+  ASSERT_EQ(replay.size(), 2u);
+  EXPECT_EQ(*replay[0], "b");
+  EXPECT_EQ(*replay[1], "c");
+
+  writer.Ack(2);
+  EXPECT_EQ(writer.unacked(), 1u);
+  writer.Ack(2);  // Stale cumulative ack is a no-op.
+  EXPECT_EQ(writer.unacked(), 1u);
+  EXPECT_EQ(writer.Push("d"), 4u) << "trimmed ring accepts again";
+  EXPECT_EQ(writer.Replay(0).size(), 2u);
+  EXPECT_EQ(writer.last_seq(), 4u);
+}
+
+TEST(BackedReaderTest, AcceptsEachSequenceExactlyOnce) {
+  BackedReader reader;
+  EXPECT_TRUE(reader.Accept(1));
+  EXPECT_FALSE(reader.Accept(1)) << "retransmission deduplicated";
+  EXPECT_TRUE(reader.Accept(2));
+  EXPECT_TRUE(reader.Accept(5));  // Gaps are fine: high-water semantics.
+  EXPECT_FALSE(reader.Accept(4)) << "below high water";
+  EXPECT_EQ(reader.last_accepted(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Server/client integration over real sockets
+
+nlq::ParsedNlq PapersInDatabasesNlq() {
+  nlq::ParsedNlq parsed;
+  parsed.original = "Return the papers in the Databases domain";
+  nlq::AnnotatedKeyword papers;
+  papers.text = "papers";
+  papers.metadata.context = qfg::FragmentContext::kSelect;
+  nlq::AnnotatedKeyword databases;
+  databases.text = "Databases";
+  databases.metadata.context = qfg::FragmentContext::kWhere;
+  databases.metadata.op = sql::BinaryOp::kEq;
+  parsed.keywords = {papers, databases};
+  return parsed;
+}
+
+WireRequest PapersRequest(bool want_explanation = false) {
+  WireRequest request;
+  request.nlq = PapersInDatabasesNlq();
+  request.top_k = 3;
+  request.want_explanation = want_explanation;
+  return request;
+}
+
+class WireServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeMiniAcademicDb();
+    model_ = testing::MakeMiniLexicon();
+    service::HostOptions host_options;
+    host_options.worker_threads = 2;
+    host_ = std::make_unique<service::ServiceHost>(host_options);
+    ASSERT_TRUE(host_->RegisterTenant("mas", db_.get(), model_.get(),
+                                      testing::MakeMiniLog())
+                    .ok());
+  }
+
+  std::unique_ptr<WireServer> StartServer(WireServerOptions options = {}) {
+    auto server = WireServer::Start(host_.get(), options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return std::move(*server);
+  }
+
+  WireClientOptions ClientOptions(uint16_t port) {
+    WireClientOptions options;
+    options.port = port;
+    options.tenant = "mas";
+    return options;
+  }
+
+  std::unique_ptr<db::Database> db_;
+  std::unique_ptr<embed::EmbeddingModel> model_;
+  std::unique_ptr<service::ServiceHost> host_;
+};
+
+TEST_F(WireServerTest, TranslateMatchesInProcessEnvelope) {
+  auto server = StartServer();
+  auto client = WireClient::Connect(ClientOptions(server->port()));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto wire_response = (*client)->Translate(PapersRequest(true));
+  ASSERT_TRUE(wire_response.ok()) << wire_response.status().ToString();
+  ASSERT_FALSE(wire_response->translations.empty());
+  EXPECT_FALSE(wire_response->explanations.empty())
+      << "want_explanation must travel";
+
+  // Parity: the wire result is exactly the in-process result, printed.
+  auto handle = host_->Tenant("mas");
+  ASSERT_TRUE(handle.ok());
+  service::QueryRequest direct = service::QueryRequest::Translation(
+      PapersInDatabasesNlq(), /*top_k=*/3);
+  direct.want_explanation = true;
+  auto in_process = handle->Translate(direct);
+  ASSERT_TRUE(in_process.ok());
+  const WireResponse expected = WireResponse::FromQueryResponse(*in_process);
+  EXPECT_EQ(wire_response->translations, expected.translations);
+  EXPECT_EQ(wire_response->explanations, expected.explanations);
+  EXPECT_EQ(wire_response->RankingFingerprint(),
+            expected.RankingFingerprint());
+}
+
+TEST_F(WireServerTest, UnknownTenantFailsConnectWithNotFound) {
+  auto server = StartServer();
+  WireClientOptions options = ClientOptions(server->port());
+  options.tenant = "no-such-tenant";
+  options.initial_connect_attempts = 1;
+  auto client = WireClient::Connect(options);
+  ASSERT_FALSE(client.ok());
+  EXPECT_TRUE(client.status().IsNotFound()) << client.status().ToString();
+}
+
+TEST_F(WireServerTest, AdmissionRejectionTravelsAsTypedOverloaded) {
+  // A drain-mode tenant ({0,0} admission) rejects every request.
+  service::TenantOptions drain;
+  drain.admission = service::AdmissionOptions{0, 0};
+  ASSERT_TRUE(host_->RegisterTenant("drained", db_.get(), model_.get(), {},
+                                    drain)
+                  .ok());
+  auto server = StartServer();
+  WireClientOptions options = ClientOptions(server->port());
+  options.tenant = "drained";
+  auto client = WireClient::Connect(options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto response = (*client)->Translate(PapersRequest());
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsOverloaded())
+      << response.status().ToString();
+}
+
+TEST_F(WireServerTest, ExpiredWireDeadlineIsTypedDeadlineExceeded) {
+  auto server = StartServer();
+  auto client = WireClient::Connect(ClientOptions(server->port()));
+  ASSERT_TRUE(client.ok());
+  WireRequest request = PapersRequest();
+  request.has_deadline = true;
+  request.deadline_budget_us = 0;  // Already expired on arrival.
+  auto response = (*client)->Translate(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsDeadlineExceeded())
+      << response.status().ToString();
+}
+
+TEST_F(WireServerTest, MalformedRequestPayloadGetsTypedParseError) {
+  auto server = StartServer();
+  // Raw socket: speak the frame layer directly with a garbage request body.
+  auto sock = TcpConnect("127.0.0.1", server->port(),
+                         std::chrono::milliseconds(2000));
+  ASSERT_TRUE(sock.ok());
+  std::string hello_payload;
+  PutU32(&hello_payload, kProtocolVersion);
+  PutString(&hello_payload, "mas");
+  ASSERT_TRUE(WriteFully(sock->fd(),
+                         BuildFrame(FrameType::kHello, 0, 0, hello_payload))
+                  .ok());
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(sock->fd(), &header, &payload).ok());
+  ASSERT_EQ(header.type, FrameType::kHelloAck);
+
+  ASSERT_TRUE(WriteFully(sock->fd(), BuildFrame(FrameType::kRequest,
+                                                header.session_id, 1,
+                                                "\xde\xad\xbe\xef"))
+                  .ok());
+  ASSERT_TRUE(ReadFrame(sock->fd(), &header, &payload).ok());
+  ASSERT_EQ(header.type, FrameType::kResponse);
+  WireReader reader(payload);
+  uint64_t client_seq = 0;
+  uint32_t code = 0;
+  ASSERT_TRUE(reader.ReadU64(&client_seq).ok());
+  ASSERT_TRUE(reader.ReadU32(&code).ok());
+  EXPECT_EQ(client_seq, 1u);
+  EXPECT_EQ(code, static_cast<uint32_t>(StatusCode::kParseError));
+
+  // The server survives hostile peers: a fresh client still works.
+  auto client = WireClient::Connect(ClientOptions(server->port()));
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Translate(PapersRequest()).ok());
+}
+
+TEST_F(WireServerTest, NonProtocolPeerIsRejectedServerStaysUp) {
+  auto server = StartServer();
+  auto sock = TcpConnect("127.0.0.1", server->port(),
+                         std::chrono::milliseconds(2000));
+  ASSERT_TRUE(sock.ok());
+  // 25 bytes of the wrong magic: parsed as a frame header and rejected.
+  std::string garbage(kFrameHeaderBytes, '\x41');
+  ASSERT_TRUE(WriteFully(sock->fd(), garbage).ok());
+  sock->Close();
+
+  auto client = WireClient::Connect(ClientOptions(server->port()));
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Translate(PapersRequest()).ok());
+  // The garbage connection is handled on its own server thread; wait for
+  // the rejection to be counted rather than racing it.
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server->Stats().frames_rejected == 0 &&
+         std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(server->Stats().frames_rejected, 1u);
+}
+
+TEST_F(WireServerTest, TranslateSurvivesSeveredConnections) {
+  auto server = StartServer();
+  auto client = WireClient::Connect(ClientOptions(server->port()));
+  ASSERT_TRUE(client.ok());
+
+  auto baseline = (*client)->Translate(PapersRequest());
+  ASSERT_TRUE(baseline.ok());
+  const std::string expected = baseline->RankingFingerprint();
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_GE(server->SeverConnections(), 1u);
+    auto response = (*client)->Translate(PapersRequest());
+    ASSERT_TRUE(response.ok()) << "after sever " << i << ": "
+                               << response.status().ToString();
+    EXPECT_EQ(response->RankingFingerprint(), expected)
+        << "ranking must be byte-identical across reconnects";
+  }
+  EXPECT_GE((*client)->Stats().reconnects, 1u);
+  EXPECT_GE(server->Stats().sessions_resumed, 1u);
+  EXPECT_EQ(server->session_count(), 1u)
+      << "reconnects resume the one session, never fork a second";
+}
+
+TEST_F(WireServerTest, GoodbyeReclaimsTheSessionImmediately) {
+  auto server = StartServer();
+  {
+    auto client = WireClient::Connect(ClientOptions(server->port()));
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->Translate(PapersRequest()).ok());
+    EXPECT_EQ(server->session_count(), 1u);
+    (*client)->Close();
+  }
+  // Goodbye is processed on the server's connection thread; give it a beat.
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server->session_count() != 0 &&
+         std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server->session_count(), 0u);
+}
+
+// Regression: an idle session must be reclaimed after the TTL, and a LATE
+// reconnect must get a clean typed kSessionExpired — not a hang, not a
+// replay of stale state.
+TEST_F(WireServerTest, IdleSessionExpiresAndLateResumeGetsTypedError) {
+  WireServerOptions server_options;
+  server_options.session_ttl = std::chrono::milliseconds(150);
+  server_options.reaper_period = std::chrono::milliseconds(20);
+  auto server = StartServer(server_options);
+
+  WireClientOptions client_options = ClientOptions(server->port());
+  // Reconnect only after the TTL has certainly elapsed.
+  client_options.reconnect_delay = std::chrono::milliseconds(600);
+  auto client = WireClient::Connect(client_options);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Translate(PapersRequest()).ok());
+  EXPECT_EQ(server->session_count(), 1u);
+
+  server->SeverConnections();
+  // The pending Translate below rides the reconnect, which lands after the
+  // reaper has reclaimed the session: typed kSessionExpired, promptly.
+  auto late = (*client)->Translate(PapersRequest());
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsSessionExpired()) << late.status().ToString();
+  EXPECT_EQ(server->session_count(), 0u);
+  EXPECT_GE(server->Stats().sessions_expired, 1u);
+
+  // And the client is terminally dead with the same typed status.
+  auto after = (*client)->Translate(PapersRequest());
+  ASSERT_FALSE(after.ok());
+  EXPECT_TRUE(after.status().IsSessionExpired());
+}
+
+// Same regression at the protocol level, no client library involved: a
+// resume Hello for a reaped session id answers kError(kSessionExpired).
+TEST_F(WireServerTest, ProtocolLevelLateResumeAnswersSessionExpiredFrame) {
+  WireServerOptions server_options;
+  server_options.session_ttl = std::chrono::milliseconds(100);
+  server_options.reaper_period = std::chrono::milliseconds(20);
+  auto server = StartServer(server_options);
+
+  uint64_t session_id = 0;
+  {
+    auto sock = TcpConnect("127.0.0.1", server->port(),
+                           std::chrono::milliseconds(2000));
+    ASSERT_TRUE(sock.ok());
+    std::string hello_payload;
+    PutU32(&hello_payload, kProtocolVersion);
+    PutString(&hello_payload, "mas");
+    ASSERT_TRUE(WriteFully(sock->fd(),
+                           BuildFrame(FrameType::kHello, 0, 0, hello_payload))
+                    .ok());
+    FrameHeader header;
+    std::string payload;
+    ASSERT_TRUE(ReadFrame(sock->fd(), &header, &payload).ok());
+    ASSERT_EQ(header.type, FrameType::kHelloAck);
+    WireReader reader(payload);
+    ASSERT_TRUE(reader.ReadU64(&session_id).ok());
+    ASSERT_NE(session_id, 0u);
+  }  // Connection drops; the session idles.
+
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server->session_count() != 0 &&
+         std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(server->session_count(), 0u) << "reaper must reclaim the idle";
+
+  auto sock = TcpConnect("127.0.0.1", server->port(),
+                         std::chrono::milliseconds(2000));
+  ASSERT_TRUE(sock.ok());
+  std::string hello_payload;
+  PutU32(&hello_payload, kProtocolVersion);
+  PutString(&hello_payload, "mas");
+  ASSERT_TRUE(WriteFully(sock->fd(), BuildFrame(FrameType::kHello,
+                                                session_id, 0,
+                                                hello_payload))
+                  .ok());
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(sock->fd(), &header, &payload).ok());
+  ASSERT_EQ(header.type, FrameType::kError);
+  WireReader reader(payload);
+  uint32_t code = 0;
+  ASSERT_TRUE(reader.ReadU32(&code).ok());
+  EXPECT_EQ(code, static_cast<uint32_t>(StatusCode::kSessionExpired));
+}
+
+}  // namespace
+}  // namespace templar::net

@@ -17,9 +17,12 @@
 
 namespace templar::bench {
 
-/// \brief One serving-layer request: a MAPKEYWORDS NLQ or an INFERJOINS bag.
+/// \brief One serving-layer request: a MAPKEYWORDS NLQ, an INFERJOINS bag,
+/// or an end-to-end Translate envelope.
 struct Request {
-  bool is_map = true;
+  enum class Kind { kMap, kJoin, kTranslate };
+  Kind kind = Kind::kMap;
+  bool is_map = true;  ///< Convenience mirror of kind == kMap.
   nlq::ParsedNlq nlq;
   std::vector<std::string> bag;
 };
@@ -27,7 +30,10 @@ struct Request {
 /// \brief Builds a request workload from a dataset's benchmark items: the
 /// gold hand-parse as a map request plus the gold FROM clause (deduplicated
 /// — the bag API names self-join duplicates "rel#1", which the gold SQL
-/// expresses via aliases) as a join request.
+/// expresses via aliases) as a join request. With `include_translate`, the
+/// gold parse is additionally issued as an end-to-end Translate request, so
+/// the translate cache (whose footprint unions map and join dependencies)
+/// sees traffic too.
 ///
 /// With `distinct_cache_keys`, requests that would share a serving-layer
 /// cache key are emitted once: duplicates would hit the cache even under
@@ -36,7 +42,8 @@ struct Request {
 /// post-append hit rate is exactly its retained-entry rate: zero.
 inline std::vector<Request> BuildWorkload(const datasets::Dataset& dataset,
                                           size_t max_requests,
-                                          bool distinct_cache_keys = false) {
+                                          bool distinct_cache_keys = false,
+                                          bool include_translate = false) {
   std::vector<Request> requests;
   std::set<std::string> seen;
   auto admit = [&](const std::string& key) {
@@ -45,6 +52,7 @@ inline std::vector<Request> BuildWorkload(const datasets::Dataset& dataset,
   for (const auto& item : dataset.benchmark) {
     if (requests.size() >= max_requests) break;
     Request map_request;
+    map_request.kind = Request::Kind::kMap;
     map_request.is_map = true;
     map_request.nlq = item.gold_parse;
     if (admit("m" + service::TemplarService::MapCacheKey(map_request.nlq))) {
@@ -52,6 +60,7 @@ inline std::vector<Request> BuildWorkload(const datasets::Dataset& dataset,
     }
 
     Request join_request;
+    join_request.kind = Request::Kind::kJoin;
     join_request.is_map = false;
     for (const auto& rel : item.gold_sql.from) {
       if (std::find(join_request.bag.begin(), join_request.bag.end(),
@@ -63,20 +72,38 @@ inline std::vector<Request> BuildWorkload(const datasets::Dataset& dataset,
         admit("j" + service::TemplarService::JoinCacheKey(join_request.bag))) {
       requests.push_back(std::move(join_request));
     }
+
+    if (include_translate) {
+      Request translate_request;
+      translate_request.kind = Request::Kind::kTranslate;
+      translate_request.is_map = false;
+      translate_request.nlq = item.gold_parse;
+      if (admit("t" + service::TemplarService::MapCacheKey(
+                          translate_request.nlq))) {
+        requests.push_back(std::move(translate_request));
+      }
+    }
   }
   return requests;
 }
 
 /// \brief Replays every request once, synchronously, discarding results.
-/// Works against anything with the MapKeywords/InferJoins request API
-/// (TemplarService, ServiceCore, TenantHandle).
+/// Works against anything with the MapKeywords/InferJoins/Translate request
+/// API (TemplarService, ServiceCore, TenantHandle).
 template <typename ServiceT>
 void IssueAll(ServiceT& service, const std::vector<Request>& requests) {
   for (const auto& request : requests) {
-    if (request.is_map) {
-      (void)service.MapKeywords(request.nlq);
-    } else {
-      (void)service.InferJoins(request.bag);
+    switch (request.kind) {
+      case Request::Kind::kMap:
+        (void)service.MapKeywords(request.nlq);
+        break;
+      case Request::Kind::kJoin:
+        (void)service.InferJoins(request.bag);
+        break;
+      case Request::Kind::kTranslate:
+        (void)service.Translate(
+            service::QueryRequest::Translation(request.nlq, /*top_k=*/1));
+        break;
     }
   }
 }

@@ -9,6 +9,11 @@
 //  - map_keywords: end-to-end MapKeywords through TemplarService at 1/4/8
 //    threads, cold (first pass, all cache misses — every request pays the
 //    id-native scoring loop) vs warm (repeat pass, cache hits).
+//  - infer_joins: uncached INFERJOINS calls/sec through core::Templar over
+//    the benchmark bags — the Steiner search's Dijkstra inner loop. The
+//    banned-edge probe used to build an EdgeKey string (two normalized
+//    relation names + a separator) per popped edge per wave; it is now an
+//    index into a flat flag vector, and this cell is where that shows up.
 //
 //   $ ./build/bench/bench_qfg_scoring [scale] [--json <path>]
 //
@@ -149,6 +154,42 @@ ScoreAndPruneResult RunScoreAndPrune(const core::Templar& templar,
   return result;
 }
 
+struct InferJoinsResult {
+  size_t bags = 0;
+  size_t calls = 0;
+  double per_sec = 0;
+};
+
+/// Uncached join inference over the workload's distinct bags: every call
+/// runs the full Steiner search (Dijkstra per terminal, banned-edge waves
+/// for ranked alternatives), so the banned-set probe cost is on the clock.
+InferJoinsResult RunInferJoins(const core::Templar& templar,
+                               const std::vector<Request>& requests,
+                               size_t rounds) {
+  InferJoinsResult result;
+  std::vector<const std::vector<std::string>*> bags;
+  for (const auto& r : requests) {
+    if (r.kind == Request::Kind::kJoin && r.bag.size() >= 2) {
+      bags.push_back(&r.bag);
+    }
+  }
+  result.bags = bags.size();
+  if (bags.empty()) return result;
+  size_t sink = 0;
+  auto start = Clock::now();
+  for (size_t r = 0; r < rounds; ++r) {
+    for (const auto* bag : bags) {
+      auto paths = templar.InferJoins(*bag);
+      if (paths.ok()) sink += paths->size();
+    }
+  }
+  double seconds = SecondsSince(start);
+  result.calls = rounds * bags.size() + (sink == SIZE_MAX ? 1 : 0);
+  result.per_sec =
+      seconds > 0 ? static_cast<double>(result.calls) / seconds : 0;
+  return result;
+}
+
 struct MapCell {
   int threads = 0;
   double cold_qps = 0;
@@ -257,6 +298,12 @@ int main(int argc, char** argv) {
 
   std::vector<Request> requests =
       BuildWorkload(*dataset, 64, /*distinct_cache_keys=*/true);
+
+  const size_t ij_rounds = static_cast<size_t>(20 * scale) + 2;
+  InferJoinsResult ij = RunInferJoins(**templar, requests, ij_rounds);
+  std::printf("infer_joins: %zu bags, %zu calls, %10.0f calls/sec\n", ij.bags,
+              ij.calls, ij.per_sec);
+
   const int warm_passes = std::max(1, static_cast<int>(4 * scale));
   std::vector<MapCell> cells;
   for (int threads : {1, 4, 8}) {
@@ -281,9 +328,12 @@ int main(int argc, char** argv) {
         "    \"id_lookups_per_sec\": %.0f,\n"
         "    \"id_over_string_speedup\": %.3f},\n"
         "  \"scoreandprune\": {\"calls\": %zu, \"calls_per_sec\": %.0f},\n"
+        "  \"infer_joins\": {\"bags\": %zu, \"calls\": %zu, "
+        "\"calls_per_sec\": %.0f},\n"
         "  \"map_keywords\": [\n",
         scale, fragments.size(), dice.pairs, dice.string_per_sec,
-        dice.id_per_sec, dice.speedup, sp.calls, sp.per_sec);
+        dice.id_per_sec, dice.speedup, sp.calls, sp.per_sec, ij.bags, ij.calls,
+        ij.per_sec);
     for (size_t i = 0; i < cells.size(); ++i) {
       std::fprintf(f,
                    "    {\"threads\": %d, \"cold_qps\": %.1f, "

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -9,6 +10,40 @@
 #include "graph/fork.h"
 
 namespace templar::core {
+
+namespace {
+
+/// Strict instance-suffix parse (mirrors qfg_io's count parse): digits
+/// only, no empty suffix, no trailing garbage, overflow-checked. Relation
+/// bags arrive verbatim over the wire, so a throwing std::stoi here was a
+/// remotely-reachable crash ("author#x", "author#99999999999999999").
+Result<int> ParseInstanceSuffix(const std::string& instance, size_t pos,
+                                int max_instances) {
+  const std::string suffix = instance.substr(pos + 1);
+  if (suffix.empty()) {
+    return Status::InvalidArgument("bad relation instance '" + instance +
+                                   "': empty instance suffix");
+  }
+  long value = 0;
+  for (char c : suffix) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad relation instance '" + instance +
+                                     "': non-numeric instance suffix");
+    }
+    value = value * 10 + (c - '0');
+    // The cap doubles as the overflow guard: reject as soon as the running
+    // value exceeds it rather than accumulating toward long overflow.
+    if (value + 1 > max_instances) {
+      return Status::InvalidArgument(
+          "relation instance '" + instance + "' requests more than " +
+          std::to_string(max_instances) +
+          " instances of one relation (fork cap)");
+    }
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
 
 JoinPathGenerator::JoinPathGenerator(const graph::SchemaGraph* schema,
                                      const qfg::QueryFragmentGraph* qfg,
@@ -33,7 +68,9 @@ Result<std::vector<graph::JoinPath>> JoinPathGenerator::InferJoins(
     n = std::max(n, 1);
     auto pos = inst.find('#');
     if (pos != std::string::npos) {
-      int idx = std::stoi(inst.substr(pos + 1));
+      TEMPLAR_ASSIGN_OR_RETURN(
+          int idx,
+          ParseInstanceSuffix(inst, pos, options_.max_relation_instances));
       n = std::max(n, idx + 1);
     }
   }
@@ -50,6 +87,7 @@ Result<std::vector<graph::JoinPath>> JoinPathGenerator::InferJoins(
 
   graph::SteinerOptions steiner_options;
   steiner_options.top_k = options_.top_k;
+  steiner_options.decisive_margin = options_.decisive_margin;
 
   // w_L (Sec. VI-A2) with the relation fragments resolved to interned ids
   // up front: every base relation of the (forked) working graph is
@@ -65,7 +103,10 @@ Result<std::vector<graph::JoinPath>> JoinPathGenerator::InferJoins(
   std::unordered_map<std::string, ResolvedRelation> relations;
   // Raw (possibly duplicated) fingerprints: the footprint sorts and dedups
   // once at Fingerprints() time, so the hot weight callback below stays a
-  // pair of vector pushes instead of ordered-set inserts.
+  // pair of vector pushes instead of ordered-set inserts. Only filled in
+  // consult-everything mode — the default decisive mode reads nothing in
+  // the hot loop and records from JoinPath::decisive_edges after the
+  // search.
   std::vector<qfg::FragmentFingerprint> consulted;
   const bool log_weights = options_.use_log_weights && qfg_ != nullptr;
   if (log_weights) {
@@ -79,7 +120,8 @@ Result<std::vector<graph::JoinPath>> JoinPathGenerator::InferJoins(
     // The Steiner solver hands the weight function base relation names of
     // the working graph's own edges, so the lookups below always hit.
     const qfg::QueryFragmentGraph* qfg = qfg_;
-    const bool record = footprint != nullptr;
+    const bool record =
+        footprint != nullptr && options_.consult_everything_footprint;
     steiner_options.weight_fn = [qfg, &relations, &consulted, record](
                                     const std::string& a,
                                     const std::string& b) {
@@ -107,8 +149,30 @@ Result<std::vector<graph::JoinPath>> JoinPathGenerator::InferJoins(
 
   auto paths = graph::FindJoinPaths(working, relation_bag, steiner_options);
   if (footprint != nullptr) {
+    // Consult-everything reference: every weight the search read.
     for (qfg::FragmentFingerprint fingerprint : consulted) {
       footprint->AddFingerprint(fingerprint);
+    }
+    // Decisive mode: both endpoints of every decisive edge — an edge's w_L
+    // moves iff an append touches either endpoint's FROM fragment, so this
+    // is exactly the dependency set of the weights that decided the
+    // ranking. Every path of one ranking carries the same set.
+    if (log_weights && !options_.consult_everything_footprint && paths.ok() &&
+        !paths->empty()) {
+      for (const auto& edge : paths->front().decisive_edges) {
+        for (const std::string& endpoint :
+             {graph::BaseRelationName(edge.fk_relation),
+              graph::BaseRelationName(edge.pk_relation)}) {
+          auto it = relations.find(endpoint);
+          if (it != relations.end()) {
+            footprint->AddFingerprint(it->second.fingerprint);
+          } else {
+            // Unreachable with a well-formed working graph; hash the key so
+            // the footprint can never under-report a dependency.
+            footprint->AddKey(qfg::RelationFragment(endpoint).Key());
+          }
+        }
+      }
     }
   }
   return paths;

@@ -31,6 +31,21 @@ struct JoinPathGeneratorOptions {
   bool use_log_weights = true;
   /// Ranked join paths returned per request.
   size_t top_k = 3;
+  /// Footprint mode. Default (false): record only the endpoint fragments of
+  /// the search's *decisive* edges (JoinPath::decisive_edges) — the set
+  /// whose weights decided the ranking — so caches survive appends that
+  /// touch the rest of the schema. True restores the consult-everything
+  /// behaviour (every relation whose w_L the search read, i.e. the whole
+  /// connected component) as the conservative differential reference.
+  bool consult_everything_footprint = false;
+  /// Competitive margin for decisive-edge capture; forwarded to
+  /// SteinerOptions::decisive_margin.
+  double decisive_margin = 0.25;
+  /// Cap on requested instances of one relation ("rel#7" asks for 8). Each
+  /// extra instance forks the working schema graph, so an uncapped
+  /// wire-supplied bag ("author#1000000") would clone the graph a million
+  /// times; beyond the cap InferJoins returns InvalidArgument.
+  int max_relation_instances = 8;
 };
 
 /// \brief Executes the join-path-inference side of Templar.
@@ -48,17 +63,24 @@ class JoinPathGenerator {
   /// The bag uses instance naming: a plain name for the first instance of a
   /// relation and "rel#1", "rel#2", ... for duplicates (as produced by
   /// Configuration::RelationBag). Duplicates cause (d-1) forks of the
-  /// schema graph before the Steiner search.
+  /// schema graph before the Steiner search. Suffixes are parsed strictly:
+  /// a non-numeric suffix ("rel#x") or an instance count beyond
+  /// JoinPathGeneratorOptions::max_relation_instances is InvalidArgument,
+  /// never an exception — bags arrive over the wire.
   ///
-  /// When `footprint` is non-null it receives the FROM-fragment
-  /// fingerprints of every base relation whose log-driven edge weight the
-  /// search actually consulted (O(1) per relation — the fragments are
-  /// resolved to interned ids before the search). An append containing none of those relations cannot change
-  /// any consulted w_L, so the ranking is provably unchanged. The search is
-  /// exhaustive over the terminals' component, so on a connected schema this
-  /// set is broad — but it collapses to empty exactly when the ranking has
-  /// no log dependency at all (single-terminal bags, log weights disabled,
-  /// null QFG), letting those cache entries survive every append.
+  /// When `footprint` is non-null it receives FROM-fragment fingerprints of
+  /// the base relations the ranking depends on (O(1) per relation — the
+  /// fragments are resolved to interned ids before the search). By default
+  /// these are the *endpoints of the decisive edges* (see
+  /// JoinPath::decisive_edges): an append touching neither endpoint of any
+  /// decisive edge moves no weight that decided the ranking. Under
+  /// `consult_everything_footprint` the footprint instead records every
+  /// relation whose w_L the search read — on a connected schema nearly the
+  /// whole graph, which is why that mode survives only as the differential
+  /// reference. In both modes the set collapses to empty exactly when the
+  /// ranking has no log dependency at all (single-terminal bags, log
+  /// weights disabled, null QFG), letting those cache entries survive every
+  /// append.
   Result<std::vector<graph::JoinPath>> InferJoins(
       const std::vector<std::string>& relation_bag,
       qfg::QfgFootprint* footprint = nullptr) const;

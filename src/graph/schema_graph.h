@@ -66,6 +66,14 @@ struct JoinPath {
   std::vector<SchemaEdge> edges;
   std::vector<std::string> terminals;
   double score = 0;  ///< Scorej; higher is better. See steiner.h.
+  /// The *decisive* edges of the search that produced this ranking: edges on
+  /// any discovered alternative tree plus the runner-up edges whose weights
+  /// determined tie-breaks within SteinerOptions::decisive_margin. Every
+  /// path of one FindJoinPaths ranking carries the same set (the ranking is
+  /// decided jointly), and it is always a superset of `edges`. Serving
+  /// layers derive cache-invalidation footprints and explanation evidence
+  /// from it; it does not participate in Key()/ToString() identity.
+  std::vector<SchemaEdge> decisive_edges;
 
   /// \brief Canonical text like "author-writes-publication" (sorted edges).
   std::string ToString() const;

@@ -11,14 +11,23 @@ namespace templar::graph {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
 
 double EdgeWeight(const SchemaEdge& e, const EdgeWeightFn& fn) {
   if (!fn) return 1.0;
   return fn(BaseRelationName(e.fk_relation), BaseRelationName(e.pk_relation));
 }
 
-/// Identity of an edge for banning/dedup.
-std::string EdgeKey(const SchemaEdge& e) { return e.ToString(); }
+/// Identity of an edge within its graph: IncidentEdges hands out pointers
+/// into the graph's contiguous edge store, so identity is pointer
+/// arithmetic — no ToString() key builds in the relaxation loop.
+size_t EdgeIndex(const SchemaGraph& graph, const SchemaEdge* e) {
+  return static_cast<size_t>(e - graph.edges().data());
+}
+
+/// Per-edge flag sets (banned / decisive), indexed by EdgeIndex. An empty
+/// banned vector means "nothing banned".
+using EdgeFlags = std::vector<char>;
 
 struct ShortestPath {
   double cost = kInf;
@@ -26,9 +35,15 @@ struct ShortestPath {
 };
 
 /// Dijkstra from `source` over the instance graph, skipping banned edges.
+///
+/// When `decisive` is non-null, runner-up edges are flagged: an edge whose
+/// relaxation lost to (or was displaced by) the incumbent arrival at a node
+/// by at most `margin` co-decided that shortest path and must be part of
+/// the ranking's evidence set.
 std::map<std::string, ShortestPath> Dijkstra(
     const SchemaGraph& graph, const std::string& source,
-    const EdgeWeightFn& weight_fn, const std::set<std::string>& banned) {
+    const EdgeWeightFn& weight_fn, const EdgeFlags& banned, double margin,
+    EdgeFlags* decisive) {
   std::map<std::string, ShortestPath> best;
   using QItem = std::pair<double, std::string>;
   std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
@@ -40,29 +55,46 @@ std::map<std::string, ShortestPath> Dijkstra(
     auto it = best.find(node);
     if (it != best.end() && cost > it->second.cost) continue;
     for (const SchemaEdge* e : graph.IncidentEdges(node)) {
-      if (banned.count(EdgeKey(*e))) continue;
+      const size_t ei = EdgeIndex(graph, e);
+      if (!banned.empty() && banned[ei]) continue;
       auto other = e->Other(node);
       if (!other) continue;
       double w = EdgeWeight(*e, weight_fn);
       double next_cost = cost + w;
       auto jt = best.find(*other);
-      if (jt == best.end() || next_cost < jt->second.cost - 1e-12) {
+      if (jt == best.end() || next_cost < jt->second.cost - kEps) {
+        // The displaced incumbent (if any) is now the runner-up: its final
+        // edge lost this arrival by (old - new). Within the margin it still
+        // co-decided the choice.
+        if (decisive != nullptr && jt != best.end() &&
+            !jt->second.edges.empty() &&
+            jt->second.cost - next_cost <= margin + kEps) {
+          (*decisive)[EdgeIndex(graph, jt->second.edges.back())] = 1;
+        }
         ShortestPath sp = best[node];
         sp.cost = next_cost;
         sp.edges.push_back(e);
         best[*other] = std::move(sp);
         pq.push({next_cost, *other});
+      } else if (decisive != nullptr &&
+                 next_cost - jt->second.cost <= margin + kEps) {
+        // Near-miss: e lost the relaxation by at most the margin.
+        (*decisive)[ei] = 1;
       }
     }
   }
   return best;
 }
 
-/// One KMB run; returns nullopt when terminals are disconnected.
+/// One KMB run; returns nullopt when terminals are disconnected. Flags into
+/// `decisive` (when non-null) every edge on a terminal-to-terminal shortest
+/// path — the paths whose costs form the metric closure the MST selects
+/// from — on top of the runner-ups Dijkstra flags itself.
 std::optional<JoinPath> RunKmb(const SchemaGraph& graph,
                                const std::vector<std::string>& terminals,
                                const EdgeWeightFn& weight_fn,
-                               const std::set<std::string>& banned) {
+                               const EdgeFlags& banned, double margin,
+                               EdgeFlags* decisive) {
   // Unique terminals, deterministic order.
   std::vector<std::string> ts = terminals;
   std::sort(ts.begin(), ts.end());
@@ -79,7 +111,23 @@ std::optional<JoinPath> RunKmb(const SchemaGraph& graph,
   // 1. Shortest paths from every terminal.
   std::vector<std::map<std::string, ShortestPath>> sp(ts.size());
   for (size_t i = 0; i < ts.size(); ++i) {
-    sp[i] = Dijkstra(graph, ts[i], weight_fn, banned);
+    sp[i] = Dijkstra(graph, ts[i], weight_fn, banned, margin, decisive);
+  }
+
+  // Every terminal-pair shortest path is decisive: its cost is a metric
+  // closure entry, and the MST below selects trees by comparing exactly
+  // those costs.
+  if (decisive != nullptr) {
+    for (size_t i = 0; i < ts.size(); ++i) {
+      for (size_t j = 0; j < ts.size(); ++j) {
+        if (i == j) continue;
+        auto it = sp[i].find(ts[j]);
+        if (it == sp[i].end()) continue;
+        for (const SchemaEdge* e : it->second.edges) {
+          (*decisive)[EdgeIndex(graph, e)] = 1;
+        }
+      }
+    }
   }
 
   // 2. MST over the metric closure (Prim).
@@ -114,13 +162,13 @@ std::optional<JoinPath> RunKmb(const SchemaGraph& graph,
     }
   }
 
-  // 3. Expand closure edges into actual schema edges (dedup by key).
-  std::map<std::string, const SchemaEdge*> tree_edges;
+  // 3. Expand closure edges into actual schema edges (dedup by index).
+  std::map<size_t, const SchemaEdge*> tree_edges;
   for (auto [u, v] : closure_edges) {
     auto it = sp[u].find(ts[v]);
     if (it == sp[u].end()) return std::nullopt;
     for (const SchemaEdge* e : it->second.edges) {
-      tree_edges[EdgeKey(*e)] = e;
+      tree_edges[EdgeIndex(graph, e)] = e;
     }
   }
 
@@ -185,23 +233,37 @@ Result<std::vector<JoinPath>> FindJoinPaths(
     }
   }
 
+  const double margin = options.decisive_margin;
+  EdgeFlags decisive(graph.edge_count(), 0);
+  const EdgeFlags no_ban;
+
   std::map<std::string, JoinPath> found;  // Key() -> path
-  std::optional<JoinPath> base = RunKmb(graph, terminals, options.weight_fn, {});
+  std::optional<JoinPath> base = RunKmb(graph, terminals, options.weight_fn,
+                                        no_ban, margin, &decisive);
   if (!base) {
     return Status::NotFound("terminals are disconnected in the schema graph");
   }
   found[base->Key()] = *base;
 
   // Alternatives: ban each edge of every discovered tree and re-solve, in
-  // best-first waves, until we have top_k distinct trees or run dry.
+  // best-first waves, until we have top_k distinct trees or run dry. A
+  // banned edge is decisive by construction (it is a discovered tree edge),
+  // and each re-solve flags its own paths and runner-ups.
   std::vector<JoinPath> frontier = {*base};
   size_t wave = 0;
   while (!frontier.empty() && found.size() < options.top_k * 3 && wave < 3) {
     std::vector<JoinPath> next;
     for (const auto& jp : frontier) {
       for (const auto& edge : jp.edges) {
-        std::set<std::string> banned = {EdgeKey(edge)};
-        auto alt = RunKmb(graph, terminals, options.weight_fn, banned);
+        EdgeFlags banned(graph.edge_count(), 0);
+        for (size_t i = 0; i < graph.edges().size(); ++i) {
+          if (graph.edges()[i] == edge) {
+            banned[i] = 1;
+            break;
+          }
+        }
+        auto alt = RunKmb(graph, terminals, options.weight_fn, banned, margin,
+                          &decisive);
         if (alt && !found.count(alt->Key())) {
           found[alt->Key()] = *alt;
           next.push_back(*alt);
@@ -212,6 +274,14 @@ Result<std::vector<JoinPath>> FindJoinPaths(
     ++wave;
   }
 
+  // The evidence set: every flagged edge, in the graph's stable edge order.
+  // Attached to each returned path — the ranking is decided jointly, so the
+  // set is a property of the whole search.
+  std::vector<SchemaEdge> decisive_edges;
+  for (size_t i = 0; i < graph.edges().size(); ++i) {
+    if (decisive[i]) decisive_edges.push_back(graph.edges()[i]);
+  }
+
   std::vector<JoinPath> out;
   out.reserve(found.size());
   for (auto& [key, jp] : found) out.push_back(std::move(jp));
@@ -220,6 +290,7 @@ Result<std::vector<JoinPath>> FindJoinPaths(
     return a.Key() < b.Key();  // Deterministic tie-break.
   });
   if (out.size() > options.top_k) out.resize(options.top_k);
+  for (auto& jp : out) jp.decisive_edges = decisive_edges;
   return out;
 }
 

@@ -29,6 +29,18 @@
 /// DESIGN.md Sec. 5. Under unit weights it reduces to 1/(1+|Ej|), a pure
 /// minimum-length preference, and two equal-length default-weight paths tie
 /// exactly, reproducing the tie-for-first failures of Sec. VII-A5.)
+///
+/// Decisive edges: alongside the ranking, the search reports which edges
+/// *decided* it — the edges on every discovered tree (returned or pruned by
+/// top_k), the edges banned to force alternatives, plus every runner-up
+/// edge that lost a shortest-path relaxation by at most
+/// `SteinerOptions::decisive_margin`. A weight change confined to edges
+/// outside this set left every comparison the search made with the same
+/// winner by more than the margin, so the ranking is (empirically — see the
+/// append-storm differential suite) unchanged. Serving layers use the set
+/// for per-fragment cache invalidation and provenance; it is deliberately
+/// far smaller than the full set of weights the search *consulted*, which
+/// on a connected schema is the whole component.
 
 #include <string>
 #include <vector>
@@ -45,6 +57,13 @@ struct SteinerOptions {
   /// Edge weight function over base relation names; default weights
   /// (every edge = 1) when unset.
   EdgeWeightFn weight_fn;
+  /// Competitive margin (in weight units) for decisive-edge capture: an
+  /// edge whose relaxation lost to the incumbent shortest path by at most
+  /// this much is reported in JoinPath::decisive_edges as a runner-up that
+  /// co-decided the ranking. 0 captures only exact ties; larger margins
+  /// trade footprint size (cache retention) for robustness against larger
+  /// single-append weight swings.
+  double decisive_margin = 0.25;
 };
 
 /// \brief Computes Score_j for a set of edges under `weight_fn`.

@@ -111,6 +111,9 @@ struct WireTranslation {
 };
 
 /// \brief Wire mirror of service::Explanation (same shape, flat types).
+/// join_edges carries the search's decisive evidence set — the returned
+/// path's tree edges plus margin-competitive runner-ups — matching the
+/// server's cache-invalidation footprint for the entry.
 struct WireExplanation {
   struct FragmentSupport {
     std::string key;

@@ -154,9 +154,12 @@ struct PipelineTimings {
 struct PipelineHooks {
   /// Receives (appended, not cleared) the QFG dependency set of the whole
   /// run: the MAPKEYWORDS footprint united with every INFERJOINS footprint —
-  /// exactly the fragments whose counts an append must touch to change any
-  /// returned translation. Assembly reads nothing from the QFG, so the
-  /// union is complete.
+  /// the fragments whose counts an append must touch to change any returned
+  /// translation. The join side defaults to the *decisive-edge* endpoints
+  /// (see JoinPathGeneratorOptions::consult_everything_footprint), so the
+  /// union stays small enough for cached translations to survive appends
+  /// that only touch unrelated parts of the schema. Assembly reads nothing
+  /// from the QFG, so the union is complete.
   qfg::QfgFootprint* footprint = nullptr;
   /// Probed at stage boundaries: after keyword mapping, before each
   /// candidate's join inference, and before assembly. A non-OK return

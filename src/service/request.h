@@ -170,10 +170,14 @@ struct QueryRequest {
 /// pair with its co-occurrence count n_e and Dice value (pairs identical
 /// after obscuring are skipped, exactly as in scoring). The join side
 /// mirrors the log-driven edge weights w_L = 1 - Dice (Sec. VI-A2): the
-/// FROM fragments of the returned path's base relations and the per-edge
-/// relation Dice. Fragments the log has never seen report interned=false
-/// with zero counts — naming them documents that the ranking ran on
-/// similarity evidence alone there.
+/// FROM fragments of the returned path's base relations, and as edge
+/// evidence the search's *decisive* set (JoinPath::decisive_edges) — the
+/// path's own tree edges plus every runner-up edge whose weight decided a
+/// tie-break within the configured margin. That is exactly the dependency
+/// set the cache footprint records, so join_edges names precisely the
+/// evidence whose change would invalidate the cached ranking. Fragments
+/// the log has never seen report interned=false with zero counts — naming
+/// them documents that the ranking ran on similarity evidence alone there.
 struct Explanation {
   /// One fragment the ranking depended on.
   struct FragmentSupport {
@@ -182,7 +186,7 @@ struct Explanation {
     qfg::FragmentId id = qfg::kInvalidFragmentId;
     uint64_t occurrences = 0;  ///< n_v at explanation time.
   };
-  /// One scored fragment pair (map) or one path edge (join).
+  /// One scored fragment pair (map) or one decisive edge (join).
   struct PairSupport {
     std::string a;  ///< Normalized keys (join: base relation names).
     std::string b;

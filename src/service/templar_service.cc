@@ -113,7 +113,12 @@ Explanation ExplainTranslation(const qfg::QueryFragmentGraph& graph,
                         graph.query_count() > 0 &&
                         graph.Occurrences(resolved[0].id) > 0;
 
-  // Join side: base relations of the returned path and the per-edge Dice.
+  // Join side: base relations of the returned path and, as edge evidence,
+  // the search's *decisive* set (JoinPath::decisive_edges) — the path's own
+  // tree edges plus the runner-ups whose w_L decided the tie-breaks. This
+  // is exactly the dependency set the cache footprint records, so the
+  // explanation names precisely the evidence whose change would invalidate
+  // the entry — not everything the optimizer glanced at.
   std::vector<std::string> bases;
   for (const auto& instance : t.join_path.relations) {
     std::string base = graph::BaseRelationName(instance);
@@ -131,8 +136,11 @@ Explanation ExplainTranslation(const qfg::QueryFragmentGraph& graph,
     support.occurrences = graph.Occurrences(r.id);
     ex.join_relations.push_back(std::move(support));
   }
-  ex.join_edges.reserve(t.join_path.edges.size());
-  for (const auto& edge : t.join_path.edges) {
+  const std::vector<graph::SchemaEdge>& evidence =
+      t.join_path.decisive_edges.empty() ? t.join_path.edges
+                                         : t.join_path.decisive_edges;
+  ex.join_edges.reserve(evidence.size());
+  for (const auto& edge : evidence) {
     Explanation::PairSupport pair;
     pair.a = graph::BaseRelationName(edge.fk_relation);
     pair.b = graph::BaseRelationName(edge.pk_relation);

@@ -1,0 +1,277 @@
+// Append-storm differential suite for decisive-edge cache footprints.
+//
+// The one failure mode a per-fragment footprint must never have is
+// under-reporting: a cached ranking surviving an append that would have
+// changed its recompute. The decisive-edge footprint is deliberately much
+// smaller than the set of weights the Steiner search *consulted*, so this
+// suite replays sustained append storms against all three benchmark
+// datasets and asserts, after every single append batch, that whatever the
+// caches serve is byte-identical to a recompute-from-scratch oracle — a
+// bare core::Templar with no caches, appended in lockstep.
+//
+// The storm also proves the point of the change quantitatively: the
+// decisive service must retain strictly more join-cache entries across the
+// storm than the consult-everything reference, while serving identical
+// rankings.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/templar.h"
+#include "datasets/dataset.h"
+#include "db/database.h"
+#include "nlidb/nlidb.h"
+#include "service/templar_service.h"
+
+namespace templar::service {
+namespace {
+
+// Datasets are expensive to build; share one instance per process.
+const datasets::Dataset& GetDataset(const std::string& name) {
+  static std::map<std::string, datasets::Dataset>* cache = [] {
+    auto* m = new std::map<std::string, datasets::Dataset>();
+    for (const char* n : {"mas", "yelp", "imdb"}) {
+      auto ds = datasets::BuildByName(n);
+      if (ds.ok()) m->emplace(n, std::move(*ds));
+    }
+    return m;
+  }();
+  auto it = cache->find(name);
+  EXPECT_NE(it, cache->end()) << "dataset " << name << " failed to build";
+  return it->second;
+}
+
+std::string Fmt(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+// Byte-exact serialization of a join ranking (identity + exact score).
+std::string SerializeJoinPaths(const std::vector<graph::JoinPath>& paths) {
+  std::string out;
+  for (const auto& p : paths) {
+    out += p.ToString();
+    out += " score=" + Fmt(p.score) + "\n";
+  }
+  return out;
+}
+
+// Byte-exact serialization of a translation ranking.
+std::string SerializeTranslations(const std::vector<nlidb::Translation>& ts,
+                                  size_t limit) {
+  std::string out;
+  for (size_t i = 0; i < ts.size() && i < limit; ++i) {
+    out += ts[i].query.ToString();
+    out += " score=" + Fmt(ts[i].score);
+    out += ts[i].tie_for_first ? " tie\n" : "\n";
+  }
+  return out;
+}
+
+// Strips a fork-instance suffix: "author#1" -> "author".
+std::string BaseRelation(const std::string& instance) {
+  size_t pos = instance.find('#');
+  return pos == std::string::npos ? instance : instance.substr(0, pos);
+}
+
+// The relation bag a gold query's FROM clause implies, with fork-style
+// instance naming for self-joins — the same shape Configuration::RelationBag
+// produces.
+std::vector<std::string> BagFromGoldSql(const sql::SelectQuery& q) {
+  std::map<std::string, int> seen;
+  std::vector<std::string> bag;
+  for (const auto& t : q.from) {
+    int n = seen[t.table]++;
+    bag.push_back(n == 0 ? t.table : t.table + "#" + std::to_string(n));
+  }
+  return bag;
+}
+
+constexpr size_t kTranslateProbes = 6;
+constexpr size_t kJoinProbes = 10;
+constexpr size_t kStormRounds = 5;
+constexpr size_t kBatchSize = 4;
+constexpr size_t kTopK = 3;
+
+class AppendStormTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AppendStormTest, CachedRankingsMatchRecomputeFromScratch) {
+  const datasets::Dataset& ds = GetDataset(GetParam());
+  ASSERT_GE(ds.extra_log.size(), kStormRounds * kBatchSize * 2)
+      << "not enough extra log to stage a storm";
+
+  // Initial log: every gold SQL plus the front half of the extra log; the
+  // storm replays the back half in batches.
+  std::vector<std::string> initial;
+  for (const auto& q : ds.benchmark) initial.push_back(q.gold_sql.ToString());
+  const size_t half = ds.extra_log.size() / 2;
+  initial.insert(initial.end(), ds.extra_log.begin(),
+                 ds.extra_log.begin() + half);
+
+  ServiceOptions decisive_options;
+  decisive_options.worker_threads = 1;
+  auto decisive = TemplarService::Create(ds.database.get(), ds.lexicon.get(),
+                                         initial, decisive_options);
+  ASSERT_TRUE(decisive.ok()) << decisive.status().ToString();
+
+  ServiceOptions consult_options;
+  consult_options.worker_threads = 1;
+  consult_options.templar.joins.consult_everything_footprint = true;
+  auto consult = TemplarService::Create(ds.database.get(), ds.lexicon.get(),
+                                        initial, consult_options);
+  ASSERT_TRUE(consult.ok()) << consult.status().ToString();
+
+  // The oracle: no caches, so every answer is recompute-from-scratch.
+  auto oracle =
+      core::Templar::Build(ds.database.get(), ds.lexicon.get(), initial);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  // Probes: distinct multi-relation bags from the gold FROM clauses, and
+  // the first few benchmark parses end-to-end.
+  std::vector<std::vector<std::string>> bags;
+  std::set<std::string> bag_keys;
+  for (const auto& q : ds.benchmark) {
+    if (bags.size() >= kJoinProbes) break;
+    auto bag = BagFromGoldSql(q.gold_sql);
+    if (bag.size() < 2) continue;
+    std::string key;
+    for (const auto& r : bag) key += r + ",";
+    if (bag_keys.insert(key).second) bags.push_back(std::move(bag));
+  }
+  ASSERT_GE(bags.size(), 3u);
+  std::vector<const nlq::ParsedNlq*> parses;
+  for (const auto& q : ds.benchmark) {
+    if (parses.size() >= kTranslateProbes) break;
+    parses.push_back(&q.gold_parse);
+  }
+
+  auto replay = [&](const char* stage) {
+    for (const auto& bag : bags) {
+      auto oracle_paths = (*oracle)->InferJoins(bag);
+      auto decisive_paths = (*decisive)->InferJoins(bag);
+      auto consult_paths = (*consult)->InferJoins(bag);
+      ASSERT_EQ(oracle_paths.ok(), decisive_paths.ok()) << stage;
+      ASSERT_EQ(oracle_paths.ok(), consult_paths.ok()) << stage;
+      if (!oracle_paths.ok()) continue;
+      const std::string want = SerializeJoinPaths(*oracle_paths);
+      EXPECT_EQ(SerializeJoinPaths(*decisive_paths), want)
+          << stage << ": decisive-footprint cache served a stale join "
+          << "ranking for bag " << bag[0] << "+" << bag.size() - 1;
+      EXPECT_EQ(SerializeJoinPaths(*consult_paths), want)
+          << stage << ": consult-everything reference diverged for bag "
+          << bag[0];
+    }
+    for (const nlq::ParsedNlq* parsed : parses) {
+      auto want = nlidb::TranslateAllWithTemplar(**oracle, *parsed, {});
+      auto got = (*decisive)->Translate(
+          QueryRequest::Translation(*parsed, kTopK));
+      ASSERT_EQ(want.ok(), got.ok())
+          << stage << " nlq '" << parsed->original
+          << "': " << (want.ok() ? got.status() : want.status()).ToString();
+      if (!want.ok()) continue;
+      EXPECT_EQ(SerializeTranslations(got->translations, kTopK),
+                SerializeTranslations(*want, kTopK))
+          << stage << ": cached translation went stale for '"
+          << parsed->original << "'";
+    }
+  };
+
+  replay("warmup");
+
+  size_t appended = 0;
+  for (size_t round = 0; round < kStormRounds; ++round) {
+    std::vector<std::string> batch(
+        ds.extra_log.begin() + half + round * kBatchSize,
+        ds.extra_log.begin() + half + (round + 1) * kBatchSize);
+    AppendOutcome a = (*decisive)->AppendLogQueries(batch);
+    AppendOutcome b = (*consult)->AppendLogQueries(batch);
+    ASSERT_EQ(a.appended, batch.size());
+    ASSERT_EQ(b.appended, batch.size());
+    for (const auto& sql_text : batch) {
+      ASSERT_TRUE((*oracle)->AppendLogQuery(sql_text).ok()) << sql_text;
+    }
+    appended += batch.size();
+    replay(("round " + std::to_string(round)).c_str());
+  }
+  ASSERT_EQ(appended, kStormRounds * kBatchSize);
+
+  // Workload-stream appends hammer the schema's hub relations, so both
+  // footprint modes may legitimately evict everything above. The retention
+  // advantage shows on *narrow* appends: a key scan over a relation that
+  // few (ideally no) probes' decisive sets touch. Collect each probe's
+  // decisive relation set, pick the catalog relation with minimal overlap,
+  // and storm it — decisive entries outside the overlap must survive, while
+  // consult-everything entries (which recorded nearly the whole graph) die.
+  std::vector<std::set<std::string>> probe_rels;
+  for (const auto& bag : bags) {
+    auto paths = (*oracle)->InferJoins(bag);
+    if (!paths.ok() || paths->empty()) continue;
+    std::set<std::string> rels;
+    for (const auto& e : paths->front().decisive_edges) {
+      rels.insert(BaseRelation(e.fk_relation));
+      rels.insert(BaseRelation(e.pk_relation));
+    }
+    probe_rels.push_back(std::move(rels));
+  }
+  ASSERT_FALSE(probe_rels.empty());
+  const db::RelationDef* narrow_rel = nullptr;
+  size_t best_overlap = probe_rels.size();
+  for (const auto& rel : ds.database->catalog().relations()) {
+    if (rel.attributes.empty()) continue;
+    size_t overlap = 0;
+    for (const auto& rels : probe_rels) overlap += rels.count(rel.name);
+    if (overlap < best_overlap) {
+      best_overlap = overlap;
+      narrow_rel = &rel;
+    }
+  }
+  if (narrow_rel == nullptr) {
+    GTEST_SKIP() << "every catalog relation is decisive for every probe; "
+                 << "no narrow append available";
+  }
+  std::vector<std::string> narrow = {
+      "SELECT t0." + narrow_rel->attributes.front().name + " FROM " +
+      narrow_rel->name + " t0"};
+
+  // Re-warm (the last replay left both join caches fully populated), then
+  // one narrow batch and a final differential replay.
+  uint64_t decisive_retained_before =
+      (*decisive)->Stats().join_cache.retained;
+  uint64_t consult_invalidated_before =
+      (*consult)->Stats().join_cache.invalidated;
+  AppendOutcome na = (*decisive)->AppendLogQueries(narrow);
+  AppendOutcome nb = (*consult)->AppendLogQueries(narrow);
+  ASSERT_EQ(na.appended, narrow.size());
+  ASSERT_EQ(nb.appended, narrow.size());
+  for (const auto& sql_text : narrow) {
+    ASSERT_TRUE((*oracle)->AppendLogQuery(sql_text).ok()) << sql_text;
+  }
+  replay("narrow storm");
+
+  // The storm's verdict: identical rankings throughout, and on the narrow
+  // batch the decisive footprints kept joins warm that consult-everything
+  // footprints threw away.
+  ServiceStats ds_stats = (*decisive)->Stats();
+  ServiceStats cs_stats = (*consult)->Stats();
+  EXPECT_GT(ds_stats.join_cache.retained, decisive_retained_before)
+      << "decisive join footprints should survive a narrow append";
+  EXPECT_GT(cs_stats.join_cache.invalidated, consult_invalidated_before)
+      << "consult-everything footprints were expected to intersect the "
+      << "narrow append (is the schema disconnected?)";
+  EXPECT_GT(ds_stats.join_cache.retained, cs_stats.join_cache.retained);
+  EXPECT_GE(ds_stats.translate_cache.retained,
+            cs_stats.translate_cache.retained);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, AppendStormTest,
+                         ::testing::Values("mas", "imdb", "yelp"));
+
+}  // namespace
+}  // namespace templar::service

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "core/join_path_generator.h"
@@ -335,6 +336,100 @@ TEST_F(JoinPathGeneratorTest, ErrorsOnBadBag) {
   JoinPathGenerator gen(&schema_, qfg_.get());
   EXPECT_TRUE(gen.InferJoins({}).status().IsInvalidArgument());
   EXPECT_TRUE(gen.InferJoins({"nope"}).status().IsNotFound());
+}
+
+TEST_F(JoinPathGeneratorTest, MalformedInstanceSuffixIsTypedError) {
+  // Bags arrive verbatim over the wire; a bad suffix must be a typed
+  // InvalidArgument, never an exception (std::stoi used to throw here).
+  JoinPathGenerator gen(&schema_, qfg_.get());
+  for (const char* bag :
+       {"author#x", "author#", "author#1x", "author#-1", "author# 2",
+        "author#99999999999999999999"}) {
+    auto result = gen.InferJoins({bag, "publication"});
+    EXPECT_TRUE(result.status().IsInvalidArgument())
+        << bag << " -> " << result.status().ToString();
+  }
+}
+
+TEST_F(JoinPathGeneratorTest, InstanceCountCapIsTypedError) {
+  // Each extra instance forks the schema graph, so "author#1000000" would
+  // clone it a million times without the cap.
+  JoinPathGenerator gen(&schema_, qfg_.get());
+  auto result = gen.InferJoins({"author#1000000", "publication"});
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+  // At the cap boundary: "author#7" (8 instances) is the last accepted.
+  JoinPathGeneratorOptions tight;
+  tight.max_relation_instances = 2;
+  JoinPathGenerator capped(&schema_, qfg_.get(), tight);
+  EXPECT_TRUE(capped.InferJoins({"author#1", "publication"}).ok());
+  EXPECT_TRUE(capped.InferJoins({"author#2", "publication"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(JoinPathGeneratorTest, DecisiveFootprintNestedInConsultedFootprint) {
+  // Property: the decisive footprint (default) is a subset of the
+  // consult-everything footprint, and a superset of the returned path's
+  // own edge endpoints — for every bag shape we serve.
+  const std::vector<std::vector<std::string>> bags = {
+      {"publication", "domain"},
+      {"author", "publication"},
+      {"author", "author#1", "publication"},
+      {"publication", "domain", "journal"},
+  };
+  for (const auto& bag : bags) {
+    JoinPathGenerator decisive_gen(&schema_, qfg_.get());
+    qfg::QfgFootprint decisive;
+    auto paths = decisive_gen.InferJoins(bag, &decisive);
+    ASSERT_TRUE(paths.ok());
+
+    JoinPathGeneratorOptions consult_options;
+    consult_options.consult_everything_footprint = true;
+    JoinPathGenerator consult_gen(&schema_, qfg_.get(), consult_options);
+    qfg::QfgFootprint consulted;
+    auto consult_paths = consult_gen.InferJoins(bag, &consulted);
+    ASSERT_TRUE(consult_paths.ok());
+
+    // Footprint mode must not change the ranking itself.
+    ASSERT_EQ(paths->size(), consult_paths->size());
+    for (size_t i = 0; i < paths->size(); ++i) {
+      EXPECT_EQ((*paths)[i].ToString(), (*consult_paths)[i].ToString());
+    }
+
+    auto contains = [](const std::vector<qfg::FragmentFingerprint>& haystack,
+                       qfg::FragmentFingerprint needle) {
+      return std::find(haystack.begin(), haystack.end(), needle) !=
+             haystack.end();
+    };
+    const auto decisive_fps = decisive.Fingerprints();
+    const auto consulted_fps = consulted.Fingerprints();
+    EXPECT_LE(decisive_fps.size(), consulted_fps.size());
+    for (auto fp : decisive_fps) {
+      EXPECT_TRUE(contains(consulted_fps, fp)) << "bag " << bag[0];
+    }
+    for (const auto& edge : (*paths)[0].edges) {
+      for (const auto& endpoint :
+           {graph::BaseRelationName(edge.fk_relation),
+            graph::BaseRelationName(edge.pk_relation)}) {
+        qfg::FragmentFingerprint fp =
+            qfg_->Resolve(qfg::RelationFragment(endpoint)).fingerprint;
+        EXPECT_TRUE(contains(decisive_fps, fp)) << endpoint;
+      }
+    }
+  }
+}
+
+TEST_F(JoinPathGeneratorTest, SingleRelationBagHasEmptyFootprint) {
+  // No join decision -> no log dependency, in both footprint modes.
+  for (bool consult : {false, true}) {
+    JoinPathGeneratorOptions options;
+    options.consult_everything_footprint = consult;
+    JoinPathGenerator gen(&schema_, qfg_.get(), options);
+    qfg::QfgFootprint footprint;
+    ASSERT_TRUE(gen.InferJoins({"publication"}, &footprint).ok());
+    EXPECT_TRUE(footprint.Fingerprints().empty()) << "consult=" << consult;
+  }
 }
 
 TEST(TemplarFacadeTest, BuildAndQuery) {

@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "qfg/fragment_delta.h"
@@ -483,6 +485,81 @@ TEST_F(TemplarServiceTest, SingleRelationJoinSurvivesEveryAppend) {
   EXPECT_EQ(stats.join_computations, 1u);
 }
 
+TEST_F(TemplarServiceTest, DecisiveJoinFootprintSurvivesUnrelatedAppend) {
+  // organization hangs off author as a pendant: it lies on no terminal
+  // path, loses no near-miss relaxation, and appears in no banned-wave
+  // alternative for {author, publication} — so it is not decisive, and an
+  // organization-only append must keep the cached join ranking warm.
+  std::vector<std::string> bag = {"author", "publication"};
+  ASSERT_TRUE(service_->InferJoins(bag).ok());
+  ASSERT_EQ(service_->AppendLogQueries({"SELECT o.name FROM organization o"})
+                .appended,
+            1u);
+  ASSERT_TRUE(service_->InferJoins(bag).ok());
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.join_cache.hits, 1u);
+  EXPECT_EQ(stats.join_cache.invalidated, 0u);
+  EXPECT_EQ(stats.join_computations, 1u) << "no recompute after the append";
+
+  // The consult-everything reference records every weight the search read —
+  // on this connected schema that includes organization's pendant edge, so
+  // the very same append evicts the very same entry.
+  ServiceOptions options;
+  options.worker_threads = 1;
+  options.templar.joins.consult_everything_footprint = true;
+  auto consult = TemplarService::Create(db_.get(), model_.get(),
+                                        testing::MakeMiniLog(), options);
+  ASSERT_TRUE(consult.ok());
+  ASSERT_TRUE((*consult)->InferJoins(bag).ok());
+  ASSERT_EQ((*consult)
+                ->AppendLogQueries({"SELECT o.name FROM organization o"})
+                .appended,
+            1u);
+  ASSERT_TRUE((*consult)->InferJoins(bag).ok());
+  stats = (*consult)->Stats();
+  EXPECT_EQ(stats.join_cache.invalidated, 1u);
+  EXPECT_EQ(stats.join_computations, 2u)
+      << "consult-everything recomputes on the unrelated append";
+}
+
+TEST_F(TemplarServiceTest, DecisiveTranslateFootprintSurvivesUnrelatedAppend) {
+  // The translate cache unions the map footprint with the join footprints;
+  // with the join side narrowed to decisive edges, an append touching
+  // neither side keeps the end-to-end ranking warm.
+  auto first = service_->Translate(
+      QueryRequest::Translation(PapersInDatabasesNlq(), /*top_k=*/3));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(service_->AppendLogQueries({"SELECT o.name FROM organization o"})
+                .appended,
+            1u);
+  auto second = service_->Translate(
+      QueryRequest::Translation(PapersInDatabasesNlq(), /*top_k=*/3));
+  ASSERT_TRUE(second.ok());
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.translate_cache.hits, 1u);
+  EXPECT_EQ(stats.translate_cache.invalidated, 0u);
+  EXPECT_EQ(stats.translate_computations, 1u);
+  ASSERT_EQ(first->translations.size(), second->translations.size());
+  for (size_t i = 0; i < first->translations.size(); ++i) {
+    EXPECT_EQ(first->translations[i].query.ToString(),
+              second->translations[i].query.ToString());
+  }
+}
+
+TEST_F(TemplarServiceTest, MalformedInstanceSuffixIsTypedErrorAtApi) {
+  // Regression: these bags used to throw std::invalid_argument /
+  // std::out_of_range out of std::stoi inside the worker thread.
+  for (const char* inst :
+       {"author#x", "author#", "author#99999999999999999999",
+        "author#1000000"}) {
+    auto result = service_->InferJoins({inst, "publication"});
+    EXPECT_TRUE(result.status().IsInvalidArgument())
+        << inst << " -> " << result.status().ToString();
+  }
+  // The service keeps serving afterwards.
+  EXPECT_TRUE(service_->InferJoins({"author", "publication"}).ok());
+}
+
 TEST_F(TemplarServiceTest, JoinCacheWithoutLogWeightsIgnoresAppends) {
   ServiceOptions options;
   options.worker_threads = 1;
@@ -800,12 +877,20 @@ TEST_F(TemplarServiceTest, TranslateExplanationsNameFragmentsVerifiedAgainstQfg)
       EXPECT_DOUBLE_EQ(pair.dice, graph.Dice(a, b));
     }
 
-    // Join evidence covers the returned path: every base relation named
-    // once, every edge with the Dice behind its w_L.
-    EXPECT_EQ(ex.join_edges.size(), t.join_path.edges.size());
+    // Join evidence is the search's decisive set: it covers every edge of
+    // the returned path (plus the runner-ups whose w_L decided the
+    // tie-breaks), each with the Dice behind its weight.
+    EXPECT_GE(ex.join_edges.size(), t.join_path.edges.size());
+    std::set<std::pair<std::string, std::string>> evidence;
     for (size_t e = 0; e < ex.join_edges.size(); ++e) {
       const auto& pair = ex.join_edges[e];
       EXPECT_DOUBLE_EQ(pair.dice, graph.RelationDice(pair.a, pair.b));
+      evidence.insert({pair.a, pair.b});
+    }
+    for (const auto& edge : t.join_path.edges) {
+      EXPECT_TRUE(evidence.count({graph::BaseRelationName(edge.fk_relation),
+                                  graph::BaseRelationName(edge.pk_relation)}))
+          << edge.ToString();
     }
     EXPECT_FALSE(ex.join_relations.empty());
     EXPECT_FALSE(ex.ToString().empty());

@@ -506,6 +506,36 @@ TEST_F(WireServerTest, AdmissionRejectionTravelsAsTypedOverloaded) {
       << response.status().ToString();
 }
 
+TEST_F(WireServerTest, MalformedRelationBagIsTypedErrorAndServerSurvives) {
+  // Regression: a join-stage request whose relation bag carries a malformed
+  // or absurd instance suffix used to reach std::stoi inside the worker and
+  // kill the server with an uncaught exception. It must come back as a
+  // typed InvalidArgument over the wire, with the connection still serving.
+  auto server = StartServer();
+  auto client = WireClient::Connect(ClientOptions(server->port()));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  for (const char* inst :
+       {"author#x", "author#", "author#99999999999999999999",
+        "author#1000000"}) {
+    WireRequest request;
+    request.stage = static_cast<uint8_t>(service::Stage::kInferJoins);
+    request.relation_bag = {inst, "publication"};
+    auto response = (*client)->Translate(request);
+    ASSERT_FALSE(response.ok()) << inst;
+    EXPECT_TRUE(response.status().IsInvalidArgument())
+        << inst << " -> " << response.status().ToString();
+  }
+
+  // Same session, well-formed bag: the server is still alive and answers.
+  WireRequest good;
+  good.stage = static_cast<uint8_t>(service::Stage::kInferJoins);
+  good.relation_bag = {"author", "publication"};
+  auto response = (*client)->Translate(good);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->join_paths.empty());
+}
+
 TEST_F(WireServerTest, ExpiredWireDeadlineIsTypedDeadlineExceeded) {
   auto server = StartServer();
   auto client = WireClient::Connect(ClientOptions(server->port()));

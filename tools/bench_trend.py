@@ -112,6 +112,57 @@ def check_hot_tenant_cells(snapshots):
     return violations
 
 
+def check_join_retained_cells(baseline, current, threshold):
+    """Cross-run check of bench_invalidation's join-cache retained rate.
+
+    The generic leaf diff matches list entries positionally, so adding or
+    reordering a policy arm would silently diff unrelated cells. This check
+    keys invalidation cells by (append_stream, policy) and warns when the
+    join-cache retained rate drops more than `threshold` (relative) against
+    the previous run — the cell the decisive-edge footprint change exists to
+    protect. Advisory ::warning:: only, same philosophy as the rest of the
+    script. Returns the number of violations.
+    """
+
+    def cells_by_key(doc):
+        out = {}
+        if not isinstance(doc, dict) or doc.get("bench") != "invalidation":
+            return out
+        for cell in doc.get("cells", []):
+            if not isinstance(cell, dict):
+                continue
+            key = (cell.get("append_stream"), cell.get("policy"))
+            rate = cell.get("join_retained_rate")
+            if all(key) and isinstance(rate, (int, float)):
+                out[key] = float(rate)
+        return out
+
+    violations = 0
+    for name, current_doc in sorted(current.items()):
+        if name not in baseline:
+            continue
+        base_cells = cells_by_key(baseline[name])
+        for key, rate in cells_by_key(current_doc).items():
+            base = base_cells.get(key)
+            if base is None or base == 0:
+                continue
+            delta = (rate - base) / base
+            stream, policy = key
+            if delta < -threshold:
+                violations += 1
+                print(f"::warning title=join-cache retention drop::"
+                      f"{name}: [{stream}/{policy}] join_retained_rate "
+                      f"{base:.4g} -> {rate:.4g} ({delta:+.1%}) — cached "
+                      f"joins are being evicted on appends that should not "
+                      f"touch them; check the footprint recording in "
+                      f"JoinPathGenerator::InferJoins")
+            else:
+                print(f"bench-trend: {name} [{stream}/{policy}] "
+                      f"join_retained_rate {base:.4g} -> {rate:.4g} "
+                      f"({delta:+.1%})")
+    return violations
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -132,6 +183,8 @@ def main():
         return 1
 
     hot_tenant_violations = check_hot_tenant_cells(current)
+    join_retained_violations = check_join_retained_cells(
+        baseline, current, args.threshold)
 
     regressions = []
     improvements = []
@@ -169,7 +222,8 @@ def main():
         print(f"  improved: {line}")
     for line in regressions:
         print(f"::warning title=bench regression::{line}")
-    if (regressions or hot_tenant_violations) and args.strict:
+    if (regressions or hot_tenant_violations
+            or join_retained_violations) and args.strict:
         return 2
     return 0
 

@@ -9,6 +9,12 @@
 //  - map_keywords: end-to-end MapKeywords through TemplarService at 1/4/8
 //    threads, cold (first pass, all cache misses — every request pays the
 //    id-native scoring loop) vs warm (repeat pass, cache hits).
+//  - config_scoring: configuration enumeration throughput — the preserved
+//    reference scorer (full QfgScoreResolved per configuration plus a
+//    stable_sort of everything enumerated) vs the incremental engine
+//    (memoized pair Dice, odometer delta-scoring, bounded top-N heap),
+//    sequential and fanned out on a 4-thread pool. The bench asserts the
+//    rankings are byte-identical before timing anything.
 //  - infer_joins: uncached INFERJOINS calls/sec through core::Templar over
 //    the benchmark bags — the Steiner search's Dijkstra inner loop. The
 //    banned-edge probe used to build an EdgeKey string (two normalized
@@ -30,11 +36,17 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+
 #include "bench_common.h"
 #include "common/rng.h"
+#include "core/keyword_mapper.h"
+#include "core/templar.h"
 #include "datasets/dataset.h"
 #include "qfg/query_fragment_graph.h"
+#include "service/scoring_executor.h"
 #include "service/templar_service.h"
+#include "service/thread_pool.h"
 #include "sql/parser.h"
 
 using namespace templar;
@@ -190,6 +202,171 @@ InferJoinsResult RunInferJoins(const core::Templar& templar,
   return result;
 }
 
+struct ConfigScoringResult {
+  size_t probes = 0;
+  size_t configurations = 0;  // enumerated per full pass over the probes
+  double reference_per_sec = 0;
+  double incremental_per_sec = 0;
+  double incremental_4t_per_sec = 0;
+  double speedup = 0;  // incremental_per_sec / reference_per_sec.
+};
+
+/// Byte-exact ranking serialization (identity + full-precision scores) —
+/// the bench refuses to time an incremental engine that diverges from the
+/// reference scorer.
+std::string SerializeRanking(const std::vector<core::Configuration>& configs) {
+  std::string out;
+  char buf[128];
+  for (const auto& c : configs) {
+    out += c.ToString();
+    std::snprintf(buf, sizeof(buf), " sigma=%.17g qfg=%.17g score=%.17g\n",
+                  c.sigma_score, c.qfg_score, c.score);
+    out += buf;
+  }
+  return out;
+}
+
+/// Configuration enumeration throughput: the preserved reference scorer
+/// (one full QfgScoreResolved + stable_sort of everything) vs the
+/// incremental engine (memoized pair Dice, odometer delta-scoring, bounded
+/// heap), sequential and on a 4-thread pool. Probes are benchmark parses
+/// with >= 3 keywords whose pruned candidate product is large enough that
+/// enumeration dominates retrieval; kappa is raised to 8 on both sides to
+/// exercise realistic products.
+ConfigScoringResult RunConfigScoring(const datasets::Dataset& dataset,
+                                     const core::Templar& templar,
+                                     size_t rounds) {
+  // max_configurations is raised well past the serving default so the
+  // enumeration loop — the thing this cell measures — dominates the fixed
+  // per-call retrieval prefix (KeywordCands + ScoreAndPrune, identical in
+  // both scorers) instead of being amortized away by it.
+  core::KeywordMapperOptions ref_options;
+  ref_options.kappa = 8;
+  ref_options.max_configurations = 200000;
+  ref_options.reference_scoring = true;
+  core::KeywordMapperOptions inc_options;
+  inc_options.kappa = 8;
+  inc_options.max_configurations = 200000;
+  inc_options.parallel_min_configurations = 256;
+  core::KeywordMapper reference(dataset.database.get(),
+                                &templar.fulltext_index(),
+                                dataset.lexicon.get(),
+                                &templar.query_fragment_graph(), ref_options);
+  core::KeywordMapper incremental(dataset.database.get(),
+                                  &templar.fulltext_index(),
+                                  dataset.lexicon.get(),
+                                  &templar.query_fragment_graph(),
+                                  inc_options);
+
+  // Gold parses top out around K=3 with pruned products of a few hundred
+  // — too shallow for the enumeration loop to dominate the clock. Merge
+  // the widest scorable parses pairwise into synthetic K>=6 probes whose
+  // pruned products hit the max_configurations cap: exactly the
+  // combinatorial regime the incremental engine exists for, and still
+  // real candidate sets from the real retrieval pipeline.
+  std::vector<std::pair<const nlq::ParsedNlq*, size_t>> scorable;
+  for (const auto& item : dataset.benchmark) {
+    const nlq::ParsedNlq& parse = item.gold_parse;
+    if (parse.keywords.size() < 3) continue;
+    size_t product = 1;
+    for (const auto& kw : parse.keywords) {
+      size_t n =
+          reference.ScoreAndPrune(kw, reference.KeywordCands(kw)).size();
+      product = std::min(product * n, ref_options.max_configurations);
+      if (n == 0) {
+        product = 0;
+        break;
+      }
+    }
+    if (product >= 40) scorable.emplace_back(&parse, product);
+  }
+
+  std::stable_sort(scorable.begin(), scorable.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+
+  struct Probe {
+    const nlq::ParsedNlq* parse;
+    size_t configs;
+  };
+  std::vector<Probe> probes;
+  std::vector<nlq::ParsedNlq> merged;
+  merged.reserve(scorable.size() / 2 + 1);
+  ConfigScoringResult result;
+  for (size_t i = 0; i + 2 < scorable.size() && probes.size() < 3; i += 3) {
+    size_t product = scorable[i].second;
+    nlq::ParsedNlq parse = *scorable[i].first;
+    for (size_t j = 1; j < 3; ++j) {
+      product = std::min(product * scorable[i + j].second,
+                         ref_options.max_configurations);
+      parse.original += " | " + scorable[i + j].first->original;
+      parse.keywords.insert(parse.keywords.end(),
+                            scorable[i + j].first->keywords.begin(),
+                            scorable[i + j].first->keywords.end());
+    }
+    if (product < 65536) continue;
+    merged.push_back(std::move(parse));
+    probes.push_back({&merged.back(), product});
+    result.configurations += product;
+  }
+  result.probes = probes.size();
+  if (probes.empty()) return result;
+
+  service::ThreadPool pool(4);
+  core::ScoringExecutor executor = service::MakeScoringExecutor(&pool);
+  core::MapKeywordsControls parallel_controls;
+  parallel_controls.executor = &executor;
+
+  for (const Probe& probe : probes) {
+    auto want = reference.MapKeywords(*probe.parse);
+    auto seq = incremental.MapKeywords(*probe.parse);
+    auto par = incremental.MapKeywords(*probe.parse, nullptr,
+                                       parallel_controls);
+    if (!want.ok() || !seq.ok() || !par.ok()) {
+      std::fprintf(stderr, "config_scoring probe failed: %s\n",
+                   (!want.ok() ? want.status() : !seq.ok() ? seq.status()
+                                                           : par.status())
+                       .ToString()
+                       .c_str());
+      std::exit(1);
+    }
+    const std::string expected = SerializeRanking(*want);
+    if (SerializeRanking(*seq) != expected ||
+        SerializeRanking(*par) != expected) {
+      std::fprintf(stderr,
+                   "config_scoring mismatch: incremental ranking diverged "
+                   "from reference for '%s'\n",
+                   probe.parse->original.c_str());
+      std::exit(1);
+    }
+  }
+
+  auto time_pass = [&](auto&& call) {
+    auto start = Clock::now();
+    for (size_t r = 0; r < rounds; ++r) {
+      for (const Probe& probe : probes) call(*probe.parse);
+    }
+    double seconds = SecondsSince(start);
+    double total =
+        static_cast<double>(result.configurations) * static_cast<double>(rounds);
+    return seconds > 0 ? total / seconds : 0.0;
+  };
+  result.reference_per_sec = time_pass([&](const nlq::ParsedNlq& parse) {
+    (void)reference.MapKeywords(parse);
+  });
+  result.incremental_per_sec = time_pass([&](const nlq::ParsedNlq& parse) {
+    (void)incremental.MapKeywords(parse);
+  });
+  result.incremental_4t_per_sec = time_pass([&](const nlq::ParsedNlq& parse) {
+    (void)incremental.MapKeywords(parse, nullptr, parallel_controls);
+  });
+  result.speedup = result.reference_per_sec > 0
+                       ? result.incremental_per_sec / result.reference_per_sec
+                       : 0;
+  return result;
+}
+
 struct MapCell {
   int threads = 0;
   double cold_qps = 0;
@@ -304,6 +481,16 @@ int main(int argc, char** argv) {
   std::printf("infer_joins: %zu bags, %zu calls, %10.0f calls/sec\n", ij.bags,
               ij.calls, ij.per_sec);
 
+  const size_t cs_rounds = static_cast<size_t>(2 * scale) + 1;
+  ConfigScoringResult cs = RunConfigScoring(*dataset, **templar, cs_rounds);
+  std::printf(
+      "config_scoring (%zu probes, %zu configurations/pass):\n"
+      "  reference:        %12.0f configurations/sec\n"
+      "  incremental:      %12.0f configurations/sec   (%.2fx)\n"
+      "  incremental (4t): %12.0f configurations/sec\n",
+      cs.probes, cs.configurations, cs.reference_per_sec,
+      cs.incremental_per_sec, cs.speedup, cs.incremental_4t_per_sec);
+
   const int warm_passes = std::max(1, static_cast<int>(4 * scale));
   std::vector<MapCell> cells;
   for (int threads : {1, 4, 8}) {
@@ -330,10 +517,16 @@ int main(int argc, char** argv) {
         "  \"scoreandprune\": {\"calls\": %zu, \"calls_per_sec\": %.0f},\n"
         "  \"infer_joins\": {\"bags\": %zu, \"calls\": %zu, "
         "\"calls_per_sec\": %.0f},\n"
+        "  \"config_scoring\": {\"probes\": %zu, \"configurations\": %zu,\n"
+        "    \"reference_configurations_per_sec\": %.0f,\n"
+        "    \"incremental_configurations_per_sec\": %.0f,\n"
+        "    \"incremental_configurations_per_sec_4t\": %.0f,\n"
+        "    \"incremental_over_reference_speedup\": %.3f},\n"
         "  \"map_keywords\": [\n",
         scale, fragments.size(), dice.pairs, dice.string_per_sec,
         dice.id_per_sec, dice.speedup, sp.calls, sp.per_sec, ij.bags, ij.calls,
-        ij.per_sec);
+        ij.per_sec, cs.probes, cs.configurations, cs.reference_per_sec,
+        cs.incremental_per_sec, cs.incremental_4t_per_sec, cs.speedup);
     for (size_t i = 0; i < cells.size(); ++i) {
       std::fprintf(f,
                    "    {\"threads\": %d, \"cold_qps\": %.1f, "

@@ -1,7 +1,9 @@
 #include "core/keyword_mapper.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <set>
 
@@ -45,6 +47,230 @@ sql::Literal NumberLiteral(double value) {
   return sql::Literal::Double(value);
 }
 
+/// The λ-blend, shared by the reference and incremental scorers. noinline
+/// so both paths run the exact same instruction sequence: if the expression
+/// were inlined separately into each loop, the compiler could contract the
+/// multiply-add into an FMA in one and not the other, breaking the
+/// byte-identity contract between the two paths on the last bit.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+double
+BlendScore(double lambda, double sigma, double qfg) {
+  return lambda * sigma + (1 - lambda) * qfg;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental configuration-scoring engine
+//
+// The reference scorer (QfgScoreResolved per configuration) re-reads every
+// cross-keyword Dice for every configuration: O(K^2) graph lookups times up
+// to max_configurations, even though consecutive odometer steps change one
+// keyword's candidate and the same (candidate_i, candidate_j) id pairs
+// recombine across thousands of configurations. The engine below
+//
+//   1. memoizes each cross-keyword candidate pair's Dice (and its SameAs
+//      skip flag) once after pruning — enumeration never touches the QFG;
+//   2. walks the odometer with per-pair row pointers, refreshing only the
+//      rows of the digit that moved (O(pairs involving k) per step);
+//   3. collects the ranking in a bounded worst-at-front heap of
+//      (score, odometer index) and materializes Configuration objects only
+//      for the final top_configurations winners;
+//   4. optionally partitions the index space into contiguous ranges scored
+//      in parallel on a caller-supplied executor, merged by a final sort.
+//
+// Byte-identity with the reference path is by construction, not by
+// approximation: per configuration the memoized pair values are folded in
+// the reference's exact (i < j) order and the σ logs in keyword order, so
+// every floating-point operation sequence is the same — only redundant
+// *lookups* are eliminated. (A running log-sum updated by add/subtract on
+// odometer steps would be faster still, but FP addition is not associative
+// and the scores would drift off the reference by ULPs; the fold keeps the
+// contract exact at O(K^2) trivial flops per configuration.)
+// ---------------------------------------------------------------------------
+
+/// One memo cell: the pair's Dice and whether it contributes (pairs
+/// identical after obscuring are skipped in scoring, not zeroed).
+struct PairCell {
+  double dice = 0;
+  bool contributing = false;
+};
+
+/// The memo table of one non-FROM keyword pair (a < b in keyword order):
+/// cells[i * b_size + j] covers (candidate i of a, candidate j of b).
+struct PairTable {
+  size_t a = 0;
+  size_t b = 0;
+  size_t b_size = 0;
+  std::vector<PairCell> cells;
+};
+
+/// One scored configuration, identified by its odometer index alone.
+struct ScoredEntry {
+  double score = 0;
+  double sigma = 0;
+  double qfg = 0;
+  uint64_t index = 0;
+};
+
+/// Strict total order "x ranks before y": descending score, ascending
+/// odometer index. This is exactly the order the reference path's
+/// stable_sort produces (configurations are materialized in odometer order,
+/// so stability there means lower index wins ties).
+bool RanksBefore(const ScoredEntry& x, const ScoredEntry& y) {
+  if (x.score != y.score) return x.score > y.score;
+  return x.index < y.index;
+}
+
+/// Fixed-capacity top-N collector: a worst-at-front heap under RanksBefore.
+class TopNHeap {
+ public:
+  explicit TopNHeap(size_t capacity) : capacity_(capacity) {}
+
+  void Offer(const ScoredEntry& entry) {
+    if (capacity_ == 0) return;
+    if (entries_.size() < capacity_) {
+      entries_.push_back(entry);
+      std::push_heap(entries_.begin(), entries_.end(), RanksBefore);
+      return;
+    }
+    if (!RanksBefore(entry, entries_.front())) return;
+    std::pop_heap(entries_.begin(), entries_.end(), RanksBefore);
+    entries_.back() = entry;
+    std::push_heap(entries_.begin(), entries_.end(), RanksBefore);
+  }
+
+  std::vector<ScoredEntry> Take() { return std::move(entries_); }
+
+ private:
+  size_t capacity_;
+  std::vector<ScoredEntry> entries_;
+};
+
+/// Everything the enumeration workers read. Built once per call, immutable
+/// while workers run (they never touch the QFG or the footprint).
+struct EngineContext {
+  size_t kw_count = 0;
+  std::vector<size_t> sizes;                 ///< Pruned candidates/keyword.
+  std::vector<std::vector<double>> log_sim;  ///< log(max(σ, 1e-9)).
+  bool use_log = false;
+  double lambda = 0;
+  size_t top_n = 0;
+  std::vector<PairTable> pairs;  ///< Non-FROM pairs, (a, b)-lexicographic.
+  /// Occurrence-fallback memo for the first non-FROM keyword (the reference
+  /// reads frags[0], which is that keyword's candidate in every
+  /// configuration). Unused when every keyword is FROM or the log is empty.
+  bool have_occ = false;
+  size_t first_non_from = 0;
+  std::vector<double> occ_ratio;
+  std::vector<char> occ_positive;
+  const std::function<Status()>* checkpoint = nullptr;
+  size_t checkpoint_stride = 1;
+  std::atomic<bool>* stop = nullptr;
+};
+
+/// What one worker hands back to the merge.
+struct WorkerResult {
+  std::vector<ScoredEntry> top;
+  Status status;
+  bool used_query_count = false;
+  uint64_t scored = 0;
+};
+
+void DecodeIndex(uint64_t index, const std::vector<size_t>& sizes,
+                 std::vector<size_t>* digits) {
+  for (size_t k = 0; k < sizes.size(); ++k) {
+    (*digits)[k] = static_cast<size_t>(index % sizes[k]);
+    index /= sizes[k];
+  }
+}
+
+/// Scores odometer indices [begin, end). Seeds its digit vector and pair
+/// row pointers from `begin`, then per step refreshes only the rows whose
+/// keyword digit moved — the delta part of the engine.
+void ScoreRange(const EngineContext& ctx, uint64_t begin, uint64_t end,
+                WorkerResult* out) {
+  TopNHeap heap(ctx.top_n);
+  std::vector<size_t> idx(ctx.kw_count, 0);
+  DecodeIndex(begin, ctx.sizes, &idx);
+  std::vector<const PairCell*> row(ctx.pairs.size());
+  for (size_t p = 0; p < ctx.pairs.size(); ++p) {
+    row[p] = ctx.pairs[p].cells.data() + idx[ctx.pairs[p].a] * ctx.pairs[p].b_size;
+  }
+  const double kw_count = static_cast<double>(ctx.kw_count);
+
+  for (uint64_t i = begin; i < end; ++i) {
+    if ((i - begin) % ctx.checkpoint_stride == 0) {
+      if (ctx.stop != nullptr && ctx.stop->load(std::memory_order_relaxed)) {
+        break;  // Another worker's checkpoint failed; its status wins.
+      }
+      if (ctx.checkpoint != nullptr && *ctx.checkpoint) {
+        Status probe = (*ctx.checkpoint)();
+        if (!probe.ok()) {
+          out->status = std::move(probe);
+          if (ctx.stop != nullptr) {
+            ctx.stop->store(true, std::memory_order_relaxed);
+          }
+          break;
+        }
+      }
+    }
+
+    // Scoreσ: fold the memoized logs in keyword order — the reference
+    // SigmaScore's exact summation order.
+    double log_sum = 0;
+    for (size_t k = 0; k < ctx.kw_count; ++k) {
+      log_sum += ctx.log_sim[k][idx[k]];
+    }
+    const double sigma = std::exp(log_sum / kw_count);
+
+    // ScoreQFG: fold the memoized pair cells in the reference
+    // QfgScoreResolved's exact (i < j) order, same skip rule, same
+    // fallback.
+    double qfg = 0;
+    if (ctx.use_log) {
+      double product = 1;
+      size_t pairs = 0;
+      for (size_t p = 0; p < ctx.pairs.size(); ++p) {
+        const PairCell& cell = row[p][idx[ctx.pairs[p].b]];
+        if (!cell.contributing) continue;
+        product *= cell.dice;
+        ++pairs;
+      }
+      if (pairs > 0) {
+        qfg = std::pow(product, 1.0 / static_cast<double>(pairs));
+      } else if (ctx.have_occ) {
+        qfg = ctx.occ_ratio[idx[ctx.first_non_from]];
+        if (ctx.occ_positive[idx[ctx.first_non_from]]) {
+          out->used_query_count = true;
+        }
+      }
+    }
+    const double score =
+        ctx.use_log ? BlendScore(ctx.lambda, sigma, qfg) : sigma;
+    heap.Offer(ScoredEntry{score, sigma, qfg, i});
+    ++out->scored;
+
+    // Odometer step: digits 0..carry changed; refresh exactly the pair rows
+    // anchored on a changed keyword. In the common (no-carry) step that is
+    // the O(K) pairs involving keyword 0.
+    size_t carry = 0;
+    for (; carry < ctx.kw_count; ++carry) {
+      if (++idx[carry] < ctx.sizes[carry]) break;
+      idx[carry] = 0;
+    }
+    if (i + 1 < end) {
+      for (size_t p = 0; p < ctx.pairs.size(); ++p) {
+        if (ctx.pairs[p].a <= carry) {
+          row[p] =
+              ctx.pairs[p].cells.data() + idx[ctx.pairs[p].a] * ctx.pairs[p].b_size;
+        }
+      }
+    }
+  }
+  out->top = heap.Take();
+}
+
 }  // namespace
 
 KeywordMapper::KeywordMapper(const db::Database* db,
@@ -58,6 +284,32 @@ KeywordMapper::KeywordMapper(const db::Database* db,
 // ---------------------------------------------------------------------------
 // Algorithm 2: KEYWORDCANDS
 // ---------------------------------------------------------------------------
+
+const KeywordMapper::CatalogCache& KeywordMapper::catalog_cache() const {
+  std::call_once(catalog_cache_once_, [this] {
+    for (const auto& fk : db_->catalog().foreign_keys()) {
+      catalog_cache_.fk_attrs.insert(fk.from_relation + "." +
+                                     fk.from_attribute);
+      catalog_cache_.fk_attrs.insert(fk.to_relation + "." + fk.to_attribute);
+    }
+    for (const auto& rel : db_->catalog().relations()) {
+      for (const auto& attr : rel.attributes) {
+        if (!attr.fulltext_indexed) continue;
+        CatalogCache::FulltextAttr entry;
+        entry.relation = rel.name;
+        entry.attribute = attr.name;
+        for (const auto& w : SplitIdentifierWords(rel.name)) {
+          entry.name_stems.insert(text::PorterStem(w));
+        }
+        for (const auto& w : SplitIdentifierWords(attr.name)) {
+          entry.name_stems.insert(text::PorterStem(w));
+        }
+        catalog_cache_.fulltext_attrs.push_back(std::move(entry));
+      }
+    }
+  });
+  return catalog_cache_;
+}
 
 std::vector<CandidateMapping> KeywordMapper::KeywordCands(
     const nlq::AnnotatedKeyword& keyword) const {
@@ -83,7 +335,9 @@ std::vector<CandidateMapping> KeywordMapper::NumericCands(
   if (!number) return out;
   sql::BinaryOp op = keyword.metadata.op.value_or(sql::BinaryOp::kEq);
   // findNumericAttrs: numeric attributes with >=1 satisfying value.
-  for (const auto& [rel, attr] : executor_.FindNumericAttrs(*number, op)) {
+  const auto attrs = executor_.FindNumericAttrs(*number, op);
+  out.reserve(attrs.size());
+  for (const auto& [rel, attr] : attrs) {
     CandidateMapping c;
     c.kind = CandidateMapping::Kind::kPredicate;
     c.relation = rel;
@@ -99,6 +353,7 @@ std::vector<CandidateMapping> KeywordMapper::NumericCands(
 std::vector<CandidateMapping> KeywordMapper::RelationCands(
     const nlq::AnnotatedKeyword&) const {
   std::vector<CandidateMapping> out;
+  out.reserve(db_->catalog().relations().size());
   for (const auto& rel : db_->catalog().relations()) {
     CandidateMapping c;
     c.kind = CandidateMapping::Kind::kRelation;
@@ -111,12 +366,13 @@ std::vector<CandidateMapping> KeywordMapper::RelationCands(
 
 std::vector<CandidateMapping> KeywordMapper::AttributeCands(
     const nlq::AnnotatedKeyword& keyword) const {
+  const std::set<std::string>& fk_attrs = catalog_cache().fk_attrs;
   std::vector<CandidateMapping> out;
-  std::set<std::string> fk_attrs;
-  for (const auto& fk : db_->catalog().foreign_keys()) {
-    fk_attrs.insert(fk.from_relation + "." + fk.from_attribute);
-    fk_attrs.insert(fk.to_relation + "." + fk.to_attribute);
+  size_t attr_count = 0;
+  for (const auto& rel : db_->catalog().relations()) {
+    attr_count += rel.attributes.size();
   }
+  out.reserve(attr_count);
   for (const auto& rel : db_->catalog().relations()) {
     for (const auto& attr : rel.attributes) {
       // Key columns are join plumbing, not projection targets — except for
@@ -152,6 +408,7 @@ std::vector<CandidateMapping> KeywordMapper::TextPredicateCands(
   if (stems.empty()) return out;
 
   auto add_matches = [&](const std::vector<text::FulltextMatch>& matches) {
+    out.reserve(out.size() + matches.size());
     for (const auto& m : matches) {
       std::string key = m.relation + "\x1f" + m.attribute + "\x1f" + m.value;
       if (!seen.insert(std::move(key)).second) continue;
@@ -173,24 +430,16 @@ std::vector<CandidateMapping> KeywordMapper::TextPredicateCands(
   // Sec. V-A: when a stemmed token equals the stemmed relation/attribute
   // name of a candidate attribute, drop it from the search against that
   // attribute ("movie Saving Private Ryan" on movie.title searches only
-  // "saving private ryan").
-  for (const auto& rel : db_->catalog().relations()) {
-    for (const auto& attr : rel.attributes) {
-      if (!attr.fulltext_indexed) continue;
-      std::set<std::string> name_stems;
-      for (const auto& w : SplitIdentifierWords(rel.name)) {
-        name_stems.insert(text::PorterStem(w));
-      }
-      for (const auto& w : SplitIdentifierWords(attr.name)) {
-        name_stems.insert(text::PorterStem(w));
-      }
-      std::vector<std::string> reduced;
-      for (const auto& s : stems) {
-        if (!name_stems.count(s)) reduced.push_back(s);
-      }
-      if (reduced.size() == stems.size() || reduced.empty()) continue;
-      add_matches(fts_->Search(reduced, rel.name, attr.name));
+  // "saving private ryan"). The per-attribute identifier stems are catalog
+  // invariants, precomputed once per mapper.
+  for (const auto& entry : catalog_cache().fulltext_attrs) {
+    std::vector<std::string> reduced;
+    reduced.reserve(stems.size());
+    for (const auto& s : stems) {
+      if (!entry.name_stems.count(s)) reduced.push_back(s);
     }
+    if (reduced.size() == stems.size() || reduced.empty()) continue;
+    add_matches(fts_->Search(reduced, entry.relation, entry.attribute));
   }
   return out;
 }
@@ -245,19 +494,27 @@ std::vector<CandidateMapping> KeywordMapper::ScoreAndPrune(
   for (auto& c : candidates) {
     c.similarity = ScoreCandidate(keyword, c);
   }
-  // The tie-break key is a built string; materialize each once instead of
-  // O(n log n) times inside the comparator, and sort an index vector so the
-  // (heavyweight) mappings move exactly once.
-  std::vector<std::string> keys;
-  keys.reserve(candidates.size());
-  for (const auto& c : candidates) keys.push_back(c.fragment.Key());
+  // The tie-break key is a built string; most sorts never need one
+  // (similarities are usually distinct), so each key is materialized lazily
+  // on the first tie that actually compares it — and then cached, since a
+  // tie the comparator sees once it tends to see O(log n) times. Sorting an
+  // index vector keeps the (heavyweight) mappings moving exactly once.
+  std::vector<std::string> keys(candidates.size());
+  std::vector<char> key_built(candidates.size(), 0);
+  auto key = [&](size_t i) -> const std::string& {
+    if (!key_built[i]) {
+      keys[i] = candidates[i].fragment.Key();
+      key_built[i] = 1;
+    }
+    return keys[i];
+  };
   std::vector<size_t> order(candidates.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     if (candidates[a].similarity != candidates[b].similarity) {
       return candidates[a].similarity > candidates[b].similarity;
     }
-    return keys[a] < keys[b];
+    return key(a) < key(b);
   });
   std::vector<CandidateMapping> sorted;
   sorted.reserve(candidates.size());
@@ -386,6 +643,12 @@ double KeywordMapper::QfgScoreResolved(
 
 Result<std::vector<Configuration>> KeywordMapper::MapKeywords(
     const nlq::ParsedNlq& nlq, qfg::QfgFootprint* footprint) const {
+  return MapKeywords(nlq, footprint, MapKeywordsControls{});
+}
+
+Result<std::vector<Configuration>> KeywordMapper::MapKeywords(
+    const nlq::ParsedNlq& nlq, qfg::QfgFootprint* footprint,
+    const MapKeywordsControls& controls) const {
   if (nlq.keywords.empty()) {
     return Status::InvalidArgument("NLQ has no keywords");
   }
@@ -404,9 +667,12 @@ Result<std::vector<Configuration>> KeywordMapper::MapKeywords(
 
   // Resolve every pruned candidate's fragment against the QFG exactly once:
   // one normalize + one intern lookup here, then configuration scoring is
-  // pure id arithmetic — no per-pair string builds or string-hash probes
-  // inside the O(k^2)-per-configuration Dice loop. FROM fragments are
-  // excluded from ScoreQFG (Sec. V-C2) and are never resolved.
+  // pure id arithmetic — no per-pair string builds or string-hash probes.
+  // FROM fragments are excluded from ScoreQFG (Sec. V-C2) and are never
+  // resolved. The footprint union is recorded here, identically for the
+  // reference and incremental paths (every configuration draws its
+  // fragments from the pruned candidates, so their union bounds what
+  // scoring can consult).
   const bool use_log = options_.use_qfg && qfg_ != nullptr;
   std::vector<std::vector<qfg::ResolvedFragment>> resolved;
   if (use_log) {
@@ -418,61 +684,242 @@ Result<std::vector<Configuration>> KeywordMapper::MapKeywords(
         if (c.fragment.context == qfg::FragmentContext::kFrom) continue;
         resolved[k][i] = qfg_->Resolve(c.fragment);
         if (footprint != nullptr) {
-          // Every configuration draws its fragments from the pruned
-          // candidates, so their union bounds what scoring can consult.
           footprint->AddFingerprint(resolved[k][i].fingerprint);
         }
       }
     }
   }
 
-  // Cartesian product with a hard cap. Each configuration carries (in
-  // config_fragments) the pre-resolved non-FROM fragments it scores over.
-  std::vector<Configuration> configs;
-  std::vector<std::vector<const qfg::ResolvedFragment*>> config_fragments;
-  std::vector<size_t> index(per_keyword.size(), 0);
-  while (configs.size() < options_.max_configurations) {
-    Configuration config;
-    config.mappings.reserve(per_keyword.size());
-    std::vector<const qfg::ResolvedFragment*> fragments;
-    for (size_t k = 0; k < per_keyword.size(); ++k) {
-      const CandidateMapping& candidate = per_keyword[k][index[k]];
-      if (use_log &&
-          candidate.fragment.context != qfg::FragmentContext::kFrom) {
-        fragments.push_back(&resolved[k][index[k]]);
+  const size_t kw_count = per_keyword.size();
+
+  // The incremental engine assumes each keyword's candidates share one
+  // FROM/non-FROM context — true by construction (each keyword's candidates
+  // come from exactly one generator). Verify anyway; a mixed keyword would
+  // silently mis-batch pairs, so it falls back to the reference scorer.
+  bool uniform_context = true;
+  std::vector<char> keyword_is_from(kw_count, 0);
+  for (size_t k = 0; k < kw_count && uniform_context; ++k) {
+    const bool is_from = per_keyword[k][0].fragment.context ==
+                         qfg::FragmentContext::kFrom;
+    keyword_is_from[k] = is_from ? 1 : 0;
+    for (const auto& c : per_keyword[k]) {
+      if ((c.fragment.context == qfg::FragmentContext::kFrom) != is_from) {
+        uniform_context = false;
+        break;
       }
-      config.mappings.push_back(FragmentMapping{nlq.keywords[k], candidate});
     }
-    configs.push_back(std::move(config));
-    if (use_log) config_fragments.push_back(std::move(fragments));
-    // Odometer increment.
-    size_t k = 0;
-    for (; k < index.size(); ++k) {
-      if (++index[k] < per_keyword[k].size()) break;
-      index[k] = 0;
-    }
-    if (k == index.size()) break;
   }
 
-  // Score and rank.
-  for (size_t i = 0; i < configs.size(); ++i) {
-    Configuration& config = configs[i];
-    config.sigma_score = SigmaScore(config);
-    config.qfg_score =
-        use_log ? QfgScoreResolved(config_fragments[i], *qfg_,
-                                   footprint ? &footprint->query_count_sensitive
-                                             : nullptr)
-                : 0;
-    config.score = use_log ? options_.lambda * config.sigma_score +
-                                 (1 - options_.lambda) * config.qfg_score
-                           : config.sigma_score;
+  if (options_.reference_scoring || !uniform_context) {
+    // ----- Reference path: the original full-recompute scorer. Kept as the
+    // differential oracle (the incremental engine must match it byte for
+    // byte) and as an escape hatch. Ignores MapKeywordsControls.
+    std::vector<Configuration> configs;
+    std::vector<std::vector<const qfg::ResolvedFragment*>> config_fragments;
+    std::vector<size_t> index(per_keyword.size(), 0);
+    while (configs.size() < options_.max_configurations) {
+      Configuration config;
+      config.mappings.reserve(per_keyword.size());
+      std::vector<const qfg::ResolvedFragment*> fragments;
+      for (size_t k = 0; k < per_keyword.size(); ++k) {
+        const CandidateMapping& candidate = per_keyword[k][index[k]];
+        if (use_log &&
+            candidate.fragment.context != qfg::FragmentContext::kFrom) {
+          fragments.push_back(&resolved[k][index[k]]);
+        }
+        config.mappings.push_back(FragmentMapping{nlq.keywords[k], candidate});
+      }
+      configs.push_back(std::move(config));
+      if (use_log) config_fragments.push_back(std::move(fragments));
+      // Odometer increment.
+      size_t k = 0;
+      for (; k < index.size(); ++k) {
+        if (++index[k] < per_keyword[k].size()) break;
+        index[k] = 0;
+      }
+      if (k == index.size()) break;
+    }
+
+    for (size_t i = 0; i < configs.size(); ++i) {
+      Configuration& config = configs[i];
+      config.sigma_score = SigmaScore(config);
+      config.qfg_score =
+          use_log ? QfgScoreResolved(config_fragments[i], *qfg_,
+                                     footprint
+                                         ? &footprint->query_count_sensitive
+                                         : nullptr)
+                  : 0;
+      config.score = use_log ? BlendScore(options_.lambda, config.sigma_score,
+                                          config.qfg_score)
+                             : config.sigma_score;
+    }
+    std::stable_sort(configs.begin(), configs.end(),
+                     [](const Configuration& a, const Configuration& b) {
+                       return a.score > b.score;
+                     });
+    if (configs.size() > options_.top_configurations) {
+      configs.resize(options_.top_configurations);
+    }
+    return configs;
   }
-  std::stable_sort(configs.begin(), configs.end(),
-                   [](const Configuration& a, const Configuration& b) {
-                     return a.score > b.score;
-                   });
-  if (configs.size() > options_.top_configurations) {
-    configs.resize(options_.top_configurations);
+
+  // ----- Incremental engine (see the file-local comment block above).
+
+  EngineContext ctx;
+  ctx.kw_count = kw_count;
+  ctx.use_log = use_log;
+  ctx.lambda = options_.lambda;
+  ctx.top_n = options_.top_configurations;
+  ctx.checkpoint = controls.checkpoint ? &controls.checkpoint : nullptr;
+  ctx.checkpoint_stride = std::max<size_t>(1, options_.checkpoint_stride);
+
+  // Saturating enumeration count: min(Π sizes, max_configurations), exactly
+  // what the reference loop enumerates.
+  ctx.sizes.resize(kw_count);
+  uint64_t total = 1;
+  const uint64_t cap = options_.max_configurations;
+  for (size_t k = 0; k < kw_count; ++k) {
+    ctx.sizes[k] = per_keyword[k].size();
+    if (total >= cap || ctx.sizes[k] > cap / std::max<uint64_t>(total, 1)) {
+      total = cap;
+    } else {
+      total *= ctx.sizes[k];
+    }
+  }
+  total = std::min<uint64_t>(total, cap);
+  if (total == 0) return std::vector<Configuration>{};
+
+  // σ memo: log(max(σ, 1e-9)) per pruned candidate.
+  ctx.log_sim.resize(kw_count);
+  for (size_t k = 0; k < kw_count; ++k) {
+    ctx.log_sim[k].reserve(per_keyword[k].size());
+    for (const auto& c : per_keyword[k]) {
+      ctx.log_sim[k].push_back(std::log(std::max(c.similarity, 1e-9)));
+    }
+  }
+
+  if (use_log) {
+    // Pair-Dice memo: one SameAs + one Dice per cross-keyword candidate
+    // pair of each non-FROM keyword pair — the only QFG reads of the whole
+    // enumeration. Tables are ordered (a, b)-lexicographically, which is
+    // the reference's (i < j) fold order over its non-FROM fragment list.
+    std::vector<size_t> non_from;
+    for (size_t k = 0; k < kw_count; ++k) {
+      if (!keyword_is_from[k]) non_from.push_back(k);
+    }
+    for (size_t ai = 0; ai < non_from.size(); ++ai) {
+      for (size_t bi = ai + 1; bi < non_from.size(); ++bi) {
+        PairTable table;
+        table.a = non_from[ai];
+        table.b = non_from[bi];
+        table.b_size = per_keyword[table.b].size();
+        table.cells.resize(per_keyword[table.a].size() * table.b_size);
+        for (size_t i = 0; i < per_keyword[table.a].size(); ++i) {
+          const qfg::ResolvedFragment& ra = resolved[table.a][i];
+          for (size_t j = 0; j < table.b_size; ++j) {
+            const qfg::ResolvedFragment& rb = resolved[table.b][j];
+            PairCell& cell = table.cells[i * table.b_size + j];
+            cell.contributing = !ra.SameAs(rb);
+            if (cell.contributing) cell.dice = qfg_->Dice(ra.id, rb.id);
+          }
+        }
+        ctx.pairs.push_back(std::move(table));
+      }
+    }
+    // Occurrence-fallback memo: the reference reads frags[0], which is
+    // always the first non-FROM keyword's current candidate.
+    if (!non_from.empty() && qfg_->query_count() > 0) {
+      ctx.have_occ = true;
+      ctx.first_non_from = non_from.front();
+      const auto& k0 = resolved[ctx.first_non_from];
+      ctx.occ_ratio.reserve(k0.size());
+      ctx.occ_positive.reserve(k0.size());
+      const double query_count = static_cast<double>(qfg_->query_count());
+      for (const auto& r : k0) {
+        const uint64_t occurrences = qfg_->Occurrences(r.id);
+        ctx.occ_ratio.push_back(static_cast<double>(occurrences) /
+                                query_count);
+        ctx.occ_positive.push_back(occurrences > 0 ? 1 : 0);
+      }
+    }
+  }
+
+  // Enumerate: contiguous index ranges, in parallel when the caller
+  // supplied an executor and the product is worth the fan-out. Workers only
+  // read `ctx` and write their own WorkerResult; the merge is a
+  // deterministic sort, so the parallel ranking is byte-identical to the
+  // sequential one.
+  const ScoringExecutor* executor = controls.executor;
+  size_t workers = 1;
+  if (executor != nullptr && executor->run && executor->parallelism > 1 &&
+      total >= options_.parallel_min_configurations) {
+    workers = static_cast<size_t>(
+        std::min<uint64_t>(executor->parallelism, total));
+  }
+  std::atomic<bool> stop{false};
+  ctx.stop = &stop;
+  std::vector<WorkerResult> results(workers);
+  if (workers == 1) {
+    ScoreRange(ctx, 0, total, &results[0]);
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(workers);
+    const uint64_t base = total / workers;
+    const uint64_t extra = total % workers;
+    uint64_t begin = 0;
+    for (size_t w = 0; w < workers; ++w) {
+      const uint64_t end = begin + base + (w < extra ? 1 : 0);
+      tasks.push_back([&ctx, begin, end, out = &results[w]] {
+        ScoreRange(ctx, begin, end, out);
+      });
+      begin = end;
+    }
+    executor->run(std::move(tasks));
+  }
+
+  // Merge: statuses (first failing worker in range order wins — ranges are
+  // deterministic, so error reporting is too), the query-count flag, and
+  // the per-range top-N heaps.
+  Status status;
+  uint64_t scored = 0;
+  bool used_query_count = false;
+  std::vector<ScoredEntry> entries;
+  for (auto& r : results) {
+    if (status.ok() && !r.status.ok()) status = r.status;
+    scored += r.scored;
+    used_query_count = used_query_count || r.used_query_count;
+    for (const auto& e : r.top) entries.push_back(e);
+  }
+  if (!status.ok()) {
+    // A checkpoint abort: with the partial disposition requested (and at
+    // least one configuration actually scored) return the best-so-far
+    // ranking; otherwise propagate the typed abort unchanged.
+    if (controls.partial == nullptr || scored == 0) return status;
+    *controls.partial = true;
+  }
+  if (footprint != nullptr && used_query_count) {
+    footprint->query_count_sensitive = true;
+  }
+
+  std::sort(entries.begin(), entries.end(), RanksBefore);
+  if (entries.size() > ctx.top_n) entries.resize(ctx.top_n);
+
+  // Materialize Configuration objects only for the winners.
+  std::vector<Configuration> configs;
+  configs.reserve(entries.size());
+  std::vector<size_t> digits(kw_count, 0);
+  for (const auto& e : entries) {
+    DecodeIndex(e.index, ctx.sizes, &digits);
+    Configuration config;
+    config.mappings.reserve(kw_count);
+    for (size_t k = 0; k < kw_count; ++k) {
+      config.mappings.push_back(
+          FragmentMapping{nlq.keywords[k], per_keyword[k][digits[k]]});
+    }
+    config.sigma_score = e.sigma;
+    config.qfg_score = e.qfg;
+    config.score = e.score;
+    configs.push_back(std::move(config));
   }
   return configs;
 }

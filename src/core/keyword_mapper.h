@@ -11,7 +11,22 @@
 /// score. The QFG argument is optional: with a null QFG the mapper degrades
 /// to the word-similarity-only behaviour of the baseline NLIDBs, which is
 /// how `Pipeline` (without Templar) reuses this code.
+///
+/// Configuration ranking runs on an *incremental scoring engine*: every
+/// cross-keyword candidate pair's Dice is memoized once after pruning, the
+/// odometer enumeration touches only the pair-table rows of the keyword
+/// whose digit changed, and the ranking is collected in a bounded heap of
+/// (score, odometer index) instead of 20k materialized Configuration
+/// objects. The engine recombines the memoized values per configuration in
+/// exactly the reference evaluation order, so its rankings — scores
+/// included — are byte-identical to the original full-recompute scorer,
+/// which survives as `KeywordMapperOptions::reference_scoring` and is the
+/// differential oracle in tests.
 
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -42,6 +57,55 @@ struct KeywordMapperOptions {
   /// When false, ScoreQFG is skipped entirely (pure word-similarity
   /// ranking) even if a QFG is supplied.
   bool use_qfg = true;
+  /// When true, configurations are scored by the original full-recompute
+  /// loop (one QfgScoreResolved per configuration, full stable_sort) instead
+  /// of the incremental engine. Kept as the differential oracle — the
+  /// incremental engine must match it byte for byte — and as an escape
+  /// hatch. The reference path ignores MapKeywordsControls (no checkpoint
+  /// probes, no parallelism, never partial).
+  bool reference_scoring = false;
+  /// Minimum enumerated configurations before MapKeywords fans the index
+  /// space out over a caller-supplied ScoringExecutor; smaller products are
+  /// scored inline (the fan-out overhead would dominate).
+  size_t parallel_min_configurations = 4096;
+  /// How often (in configurations, per worker) the enumeration loop probes
+  /// MapKeywordsControls::checkpoint. A worker probes before scoring its
+  /// c-th configuration whenever c % checkpoint_stride == 0.
+  size_t checkpoint_stride = 256;
+};
+
+/// \brief Caller-supplied parallel task runner for configuration scoring.
+///
+/// `run` executes every task in the batch and returns only once all of them
+/// have completed; tasks are independent and may execute on any thread,
+/// including the caller's. `parallelism` is the fan-out hint (worker count).
+/// The service layer adapts its ThreadPool to this shape
+/// (service/scoring_executor.h) with a claim-based drain that cannot
+/// deadlock even when the caller itself runs on a pool worker.
+struct ScoringExecutor {
+  std::function<void(std::vector<std::function<void()>>)> run;
+  size_t parallelism = 1;
+};
+
+/// \brief Optional per-call controls of MapKeywords (all fields optional;
+/// a default-constructed value reproduces the plain call exactly).
+struct MapKeywordsControls {
+  /// Probed inside the enumeration loop every
+  /// KeywordMapperOptions::checkpoint_stride configurations. A non-OK
+  /// return stops enumeration: with `partial` set, MapKeywords returns the
+  /// best-so-far ranking and flags it partial; otherwise the status
+  /// propagates as the call's error. Must be safe to call from multiple
+  /// threads when `executor` is also supplied.
+  std::function<Status()> checkpoint;
+  /// When non-null (and the product is large enough), enumeration is
+  /// partitioned into contiguous odometer ranges scored in parallel. The
+  /// merged ranking is byte-identical to the sequential one.
+  const ScoringExecutor* executor = nullptr;
+  /// When non-null, a checkpoint abort mid-enumeration returns the ranking
+  /// over the configurations scored so far (success, *partial = true)
+  /// instead of an error — unless nothing was scored yet, which still
+  /// returns the checkpoint's status. Untouched on complete runs.
+  bool* partial = nullptr;
 };
 
 /// \brief Executes the keyword-mapping side of Templar.
@@ -70,6 +134,13 @@ class KeywordMapper {
   /// lets the serving layer keep such cache entries warm.
   Result<std::vector<Configuration>> MapKeywords(
       const nlq::ParsedNlq& nlq, qfg::QfgFootprint* footprint = nullptr) const;
+
+  /// \brief As above, with serving-layer controls: deadline/cancel probes
+  /// inside the enumeration loop, parallel enumeration on a caller-supplied
+  /// executor, and the partial disposition. See MapKeywordsControls.
+  Result<std::vector<Configuration>> MapKeywords(
+      const nlq::ParsedNlq& nlq, qfg::QfgFootprint* footprint,
+      const MapKeywordsControls& controls) const;
 
   /// \brief Algorithm 2: KEYWORDCANDS — unscored candidate retrieval.
   /// Exposed for tests and diagnostics.
@@ -128,12 +199,33 @@ class KeywordMapper {
   double ScoreCandidate(const nlq::AnnotatedKeyword& keyword,
                         const CandidateMapping& candidate) const;
 
+  /// Catalog-derived invariants of candidate generation, computed once per
+  /// mapper instead of once per keyword (the catalog is frozen for the
+  /// mapper's lifetime). Lazy so construction stays cheap; call_once keeps
+  /// the const-qualified, concurrently-called generators race-free.
+  struct CatalogCache {
+    /// "relation.attribute" of every foreign-key endpoint (AttributeCands).
+    std::set<std::string> fk_attrs;
+    /// Stemmed identifier words of each fulltext-indexed (relation,
+    /// attribute), for TextPredicateCands' drop-the-attribute-name rule.
+    struct FulltextAttr {
+      std::string relation;
+      std::string attribute;
+      std::set<std::string> name_stems;
+    };
+    std::vector<FulltextAttr> fulltext_attrs;
+  };
+  const CatalogCache& catalog_cache() const;
+
   const db::Database* db_;
   db::Executor executor_;
   const text::FulltextIndex* fts_;
   const embed::SimilarityModel* model_;
   const qfg::QueryFragmentGraph* qfg_;
   KeywordMapperOptions options_;
+
+  mutable std::once_flag catalog_cache_once_;
+  mutable CatalogCache catalog_cache_;
 };
 
 }  // namespace templar::core

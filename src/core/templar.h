@@ -62,6 +62,15 @@ class Templar {
     return mapper_->MapKeywords(nlq, footprint);
   }
 
+  /// \brief MAPKEYWORDS with serving-layer controls: enumeration-loop
+  /// deadline/cancel probes, parallel scoring on a caller-supplied
+  /// executor, and the partial disposition. See core::MapKeywordsControls.
+  Result<std::vector<Configuration>> MapKeywords(
+      const nlq::ParsedNlq& nlq, qfg::QfgFootprint* footprint,
+      const MapKeywordsControls& controls) const {
+    return mapper_->MapKeywords(nlq, footprint, controls);
+  }
+
   /// \brief Interface call 2: INFERJOINS (Sec. III-C2).
   ///
   /// `footprint` (optional) receives the FROM fragments whose log-driven

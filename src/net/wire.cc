@@ -375,6 +375,7 @@ WireResponse WireResponse::FromQueryResponse(
   WireResponse wire;
   wire.stage = static_cast<uint8_t>(response.stage);
   wire.served_from = static_cast<uint8_t>(response.served_from);
+  wire.partial = response.partial ? 1 : 0;
   wire.epoch = response.epoch;
   wire.timings.queue_us =
       static_cast<uint64_t>(response.timings.queue.count());
@@ -426,6 +427,7 @@ std::string WireResponse::RankingFingerprint() const {
 void SerializeWireResponse(const WireResponse& response, std::string* out) {
   PutU8(out, response.stage);
   PutU8(out, response.served_from);
+  PutU8(out, response.partial);
   PutU64(out, response.epoch);
   PutU64(out, response.timings.queue_us);
   PutU64(out, response.timings.map_us);
@@ -462,6 +464,10 @@ Status DeserializeWireResponse(std::string_view payload,
   if (response->served_from >
       static_cast<uint8_t>(service::ServedFrom::kCoalesced)) {
     return RangeError("served_from", response->served_from);
+  }
+  TEMPLAR_RETURN_NOT_OK(reader.ReadU8(&response->partial));
+  if (response->partial > 1) {
+    return RangeError("partial flag", response->partial);
   }
   TEMPLAR_RETURN_NOT_OK(reader.ReadU64(&response->epoch));
   TEMPLAR_RETURN_NOT_OK(reader.ReadU64(&response->timings.queue_us));

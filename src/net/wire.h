@@ -158,6 +158,10 @@ struct WireTimings {
 struct WireResponse {
   uint8_t stage = static_cast<uint8_t>(service::Stage::kTranslate);
   uint8_t served_from = static_cast<uint8_t>(service::ServedFrom::kComputed);
+  /// QueryResponse::partial: the deadline truncated configuration
+  /// enumeration and `configurations` is the exact-scored best-so-far
+  /// prefix ranking (kMapKeywords only). 0/1 on the wire.
+  uint8_t partial = 0;
   uint64_t epoch = 0;
   WireTimings timings;
   std::vector<WireTranslation> translations;

@@ -36,8 +36,17 @@ Result<std::vector<Translation>> TranslateAllWithTemplar(
     const core::Templar& templar, const nlq::ParsedNlq& parsed,
     const PipelineHooks& hooks) {
   auto stage_start = Clock::now();
-  TEMPLAR_ASSIGN_OR_RETURN(std::vector<core::Configuration> configs,
-                           templar.MapKeywords(parsed, hooks.footprint));
+  // The map stage inherits the pipeline's checkpoint (probed inside the
+  // configuration-enumeration loop) and parallel scoring executor. No
+  // partial sink: a deadline that fires mid-map aborts the whole translate
+  // pipeline with the typed status — half a configuration ranking is not a
+  // translation.
+  core::MapKeywordsControls map_controls;
+  map_controls.checkpoint = hooks.checkpoint;
+  map_controls.executor = hooks.scoring_executor;
+  TEMPLAR_ASSIGN_OR_RETURN(
+      std::vector<core::Configuration> configs,
+      templar.MapKeywords(parsed, hooks.footprint, map_controls));
   if (hooks.timings != nullptr) hooks.timings->map = Since(stage_start);
 
   stage_start = Clock::now();

@@ -169,6 +169,15 @@ struct PipelineHooks {
   std::function<Status()> checkpoint;
   /// Receives the per-stage wall times of this run.
   PipelineTimings* timings = nullptr;
+  /// When non-null, configuration scoring inside MAPKEYWORDS fans out over
+  /// this executor (core::MapKeywordsControls::executor). The merged ranking
+  /// is byte-identical to the sequential one. `checkpoint` is additionally
+  /// probed *inside* the enumeration loop (every
+  /// KeywordMapperOptions::checkpoint_stride configurations), so a deadline
+  /// no longer waits for the map stage to finish; the translate pipeline
+  /// aborts cleanly on such a probe (it never returns a partial ranking —
+  /// that disposition belongs to the map-only serving stage).
+  const core::ScoringExecutor* scoring_executor = nullptr;
 };
 
 /// \brief Hook-aware pipeline: same ranking, assembly, and tie semantics as

@@ -251,6 +251,14 @@ struct QueryResponse {
   StageTimings timings;
   /// Ingestion epoch the answer is valid for.
   uint64_t epoch = 0;
+  /// True when the request's deadline (or cancellation) cut configuration
+  /// enumeration short and `configurations` is the best-so-far ranking over
+  /// the prefix scored before the probe fired, not the full ranking
+  /// (kMapKeywords only). Every score in a partial ranking is exact; only
+  /// coverage is truncated. Partial answers are never cached and never
+  /// served to coalesced followers — each caller decides for itself whether
+  /// a truncated ranking beats a kDeadlineExceeded error.
+  bool partial = false;
 };
 
 }  // namespace templar::service

@@ -1,0 +1,93 @@
+#ifndef TEMPLAR_SERVICE_SCORING_EXECUTOR_H_
+#define TEMPLAR_SERVICE_SCORING_EXECUTOR_H_
+
+/// \file scoring_executor.h
+/// \brief Adapts a service ThreadPool to core::ScoringExecutor.
+///
+/// The core's contract is simple — "run this batch of tasks, return when
+/// all are done" — but a naive pool adapter deadlocks: a Translate request
+/// already running *on* a pool worker that submits subtasks to the same
+/// pool and blocks on them can exhaust every worker with blocked parents.
+/// The adapter below is a claim-based drain instead: tasks live in a shared
+/// batch with an atomic claim counter, the caller claims-and-runs tasks
+/// inline until none are left, and pool workers are *helpers* submitted via
+/// Execute that claim-or-no-op. The caller therefore always makes progress
+/// by itself (worst case it runs the whole batch sequentially), helpers
+/// only add parallelism, and a helper silently dropped by a shutting-down
+/// pool claims nothing — so the wait below can never hang on work nobody
+/// owns.
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/keyword_mapper.h"
+#include "service/thread_pool.h"
+
+namespace templar::service {
+
+namespace internal {
+
+/// One batch being drained. shared_ptr-owned so a helper that runs after
+/// the caller already returned (all tasks were claimed inline) still
+/// touches live memory.
+struct ScoringBatch {
+  explicit ScoringBatch(std::vector<std::function<void()>> batch)
+      : tasks(std::move(batch)) {}
+
+  /// Claims and runs tasks until the batch is exhausted.
+  void Drain() {
+    for (;;) {
+      const size_t claimed = next.fetch_add(1, std::memory_order_relaxed);
+      if (claimed >= tasks.size()) return;
+      tasks[claimed]();
+      std::lock_guard<std::mutex> lock(mutex);
+      if (++completed == tasks.size()) all_done.notify_all();
+    }
+  }
+
+  /// Blocks until every task has completed (on any thread).
+  void AwaitAll() {
+    std::unique_lock<std::mutex> lock(mutex);
+    all_done.wait(lock, [this] { return completed == tasks.size(); });
+  }
+
+  std::vector<std::function<void()>> tasks;
+  std::atomic<size_t> next{0};
+  std::mutex mutex;
+  std::condition_variable all_done;
+  size_t completed = 0;  // Guarded by mutex.
+};
+
+}  // namespace internal
+
+/// \brief A ScoringExecutor that fans batches out over `pool`, with the
+/// calling thread draining inline (see the file comment for why this cannot
+/// deadlock). `pool` must outlive every use of the returned executor.
+inline core::ScoringExecutor MakeScoringExecutor(ThreadPool* pool) {
+  core::ScoringExecutor executor;
+  executor.parallelism = pool->size();
+  executor.run = [pool](std::vector<std::function<void()>> tasks) {
+    if (tasks.empty()) return;
+    if (tasks.size() == 1) {
+      tasks[0]();
+      return;
+    }
+    auto batch = std::make_shared<internal::ScoringBatch>(std::move(tasks));
+    // One helper per task beyond the caller's own; each is claim-or-no-op.
+    for (size_t i = 1; i < batch->tasks.size(); ++i) {
+      pool->Execute([batch] { batch->Drain(); });
+    }
+    batch->Drain();
+    batch->AwaitAll();
+  };
+  return executor;
+}
+
+}  // namespace templar::service
+
+#endif  // TEMPLAR_SERVICE_SCORING_EXECUTOR_H_

@@ -6,6 +6,7 @@
 #include "graph/schema_graph.h"
 #include "qfg/fragment_delta.h"
 #include "qfg/qfg_io.h"
+#include "service/scoring_executor.h"
 #include "sql/parser.h"
 
 namespace templar::service {
@@ -237,6 +238,15 @@ void ServiceCore::SetCacheCapacities(size_t map_entries, size_t join_entries,
   translate_cache_.SetCapacity(translate_entries);
 }
 
+void ServiceCore::SetScoringPool(ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1) {
+    // A single worker could only serialize the batch with extra hops.
+    scoring_executor_ = core::ScoringExecutor{};
+    return;
+  }
+  scoring_executor_ = MakeScoringExecutor(pool);
+}
+
 template <typename V, typename CoreFn>
 Result<V> ServiceCore::ServeCached(const QueryRequest& request,
                                    const std::string& key,
@@ -245,7 +255,7 @@ Result<V> ServiceCore::ServeCached(const QueryRequest& request,
                                    std::atomic<uint64_t>& computations,
                                    std::atomic<uint64_t>& coalesced_hits,
                                    ServedFrom* served_from,
-                                   CoreFn&& core_call) {
+                                   bool* served_partial, CoreFn&& core_call) {
   // Only the first probe records a miss: retries (stale-follower loop) and
   // the in-flight double-check are re-probes of one logical request, and
   // counting them would deflate the reported hit rate.
@@ -279,7 +289,8 @@ Result<V> ServiceCore::ServeCached(const QueryRequest& request,
       // the entry is stamped with the epoch it was computed in.
       const uint64_t computed_at = epoch();
       qfg::QfgFootprint footprint;
-      auto result = core_call(&footprint);
+      bool partial = false;
+      auto result = core_call(&footprint, &partial);
       lock.unlock();
 
       if (!result.ok()) {
@@ -287,8 +298,13 @@ Result<V> ServiceCore::ServeCached(const QueryRequest& request,
       }
       auto value =
           std::make_shared<typename V::element_type>(std::move(*result));
-      cache.Put(key, value, computed_at, footprint.Fingerprints());
-      return {Status::OK(), value, computed_at, /*from_cache=*/false};
+      // A partial ranking is this leader's deadline-shaped prefix, not the
+      // answer: publishing it would serve truncated rankings to unhurried
+      // callers for as long as the entry survived.
+      if (!partial) {
+        cache.Put(key, value, computed_at, footprint.Fingerprints());
+      }
+      return {Status::OK(), value, computed_at, /*from_cache=*/false, partial};
     });
     if (outcome.coalesced) {
       // A leader that aborted on ITS deadline or cancellation says nothing
@@ -298,6 +314,10 @@ Result<V> ServiceCore::ServeCached(const QueryRequest& request,
       // cancelled leader drain its coalesced followers safely instead of
       // propagating a kCancelled none of them asked for.
       if (IsControlAbort(outcome.value.status)) continue;
+      // A partial ranking is likewise shaped by the LEADER's controls; a
+      // follower retries so its own deadline decides whether it computes a
+      // full ranking or truncates at its own probe.
+      if (outcome.value.status.ok() && outcome.value.partial) continue;
       // A follower may also have joined a flight whose computation predates
       // an append that *completed before this request began* — serving it
       // would hand out a ranking the append already invalidated. Retry: if
@@ -313,6 +333,7 @@ Result<V> ServiceCore::ServeCached(const QueryRequest& request,
     *served_from = outcome.coalesced        ? ServedFrom::kCoalesced
                    : outcome.value.from_cache ? ServedFrom::kCache
                                               : ServedFrom::kComputed;
+    if (served_partial != nullptr) *served_partial = outcome.value.partial;
     return outcome.value.result;
   }
 }
@@ -389,9 +410,19 @@ Result<QueryResponse> ServiceCore::ServeMapStage(const QueryRequest& request) {
   auto value = ServeCached(
       request, MapCacheKey(request.nlq), map_cache_, map_flight_,
       map_computations_, map_coalesced_, &response.served_from,
-      [&](qfg::QfgFootprint* footprint) {
+      &response.partial,
+      [&](qfg::QfgFootprint* footprint, bool* partial) {
         const auto stage_start = std::chrono::steady_clock::now();
-        auto result = templar_->MapKeywords(request.nlq, footprint);
+        // Enumeration-loop controls: the request's own deadline/cancel
+        // probe (so a deadline cuts scoring short mid-enumeration, not at
+        // the next stage boundary), the shared scoring pool, and the
+        // partial sink — a truncated run returns the best-so-far ranking
+        // flagged partial instead of an error.
+        core::MapKeywordsControls controls;
+        controls.checkpoint = [&request] { return request.CheckRunnable(); };
+        controls.executor = scoring_executor();
+        controls.partial = partial;
+        auto result = templar_->MapKeywords(request.nlq, footprint, controls);
         map_time = Since(stage_start);
         return result;
       });
@@ -410,7 +441,8 @@ Result<QueryResponse> ServiceCore::ServeJoinStage(const QueryRequest& request) {
   auto value = ServeCached(
       request, JoinCacheKey(request.relation_bag), join_cache_, join_flight_,
       join_computations_, join_coalesced_, &response.served_from,
-      [&](qfg::QfgFootprint* footprint) {
+      /*served_partial=*/nullptr,
+      [&](qfg::QfgFootprint* footprint, bool* /*partial*/) {
         const auto stage_start = std::chrono::steady_clock::now();
         auto result = templar_->InferJoins(request.relation_bag, footprint);
         join_time = Since(stage_start);
@@ -432,7 +464,9 @@ Result<QueryResponse> ServiceCore::ServeTranslateStage(
       request, TranslateCacheKey(request.nlq, request.want_explanation),
       translate_cache_, translate_flight_, translate_computations_,
       translate_coalesced_, &response.served_from,
-      [&](qfg::QfgFootprint* footprint) -> Result<TranslationBundle> {
+      /*served_partial=*/nullptr,
+      [&](qfg::QfgFootprint* footprint,
+          bool* /*partial*/) -> Result<TranslationBundle> {
         TranslationBundle bundle;
         nlidb::PipelineHooks hooks;
         // One footprint accumulates map ∪ join fingerprints: exactly the
@@ -442,6 +476,7 @@ Result<QueryResponse> ServiceCore::ServeTranslateStage(
         hooks.footprint = footprint;
         hooks.checkpoint = [&request] { return request.CheckRunnable(); };
         hooks.timings = &bundle.timings;
+        hooks.scoring_executor = scoring_executor();
         auto ranked =
             nlidb::TranslateAllWithTemplar(*templar_, request.nlq, hooks);
         if (!ranked.ok()) return ranked.status();
@@ -617,7 +652,12 @@ Result<std::unique_ptr<TemplarService>> TemplarService::Create(
 
 TemplarService::TemplarService(std::unique_ptr<ServiceCore> core,
                                size_t worker_threads)
-    : core_(std::move(core)), pool_(worker_threads) {}
+    : core_(std::move(core)), pool_(worker_threads) {
+  // The Async/Batch pool doubles as the parallel configuration-scoring
+  // pool. Safe ordering: pool_ is declared after core_, so workers stop
+  // before the core (and the executor they drain through) is torn down.
+  core_->SetScoringPool(&pool_);
+}
 
 TemplarService::~TemplarService() = default;
 

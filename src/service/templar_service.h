@@ -242,6 +242,15 @@ class ServiceCore {
   void SetCacheCapacities(size_t map_entries, size_t join_entries,
                           size_t translate_entries);
 
+  /// \brief Hands the core a thread pool for parallel configuration
+  /// scoring: large enumeration products inside MAPKEYWORDS fan out over
+  /// it (see core::ScoringExecutor / service/scoring_executor.h), with
+  /// rankings byte-identical to sequential scoring. Pools of size <= 1 (or
+  /// nullptr) disable fan-out. `pool` must outlive the core's last request.
+  /// NOT thread-safe against in-flight requests — wire it up right after
+  /// Create, before serving begins (TemplarService and ServiceHost do).
+  void SetScoringPool(ThreadPool* pool);
+
   /// \brief Canonical cache key for an NLQ: whitespace-normalized keyword
   /// texts with their metadata, order-preserving. Exposed for tests.
   static std::string MapCacheKey(const nlq::ParsedNlq& nlq);
@@ -282,20 +291,29 @@ class ServiceCore {
     V result;
     uint64_t computed_at = 0;
     bool from_cache = false;
+    /// The leader's deadline truncated enumeration (map stage): valid for
+    /// the leader, but never cached and never handed to followers — their
+    /// own controls decide whether *they* should settle for a prefix.
+    bool partial = false;
   };
 
   /// Shared cache -> single-flight -> compute path of every stage (defined
-  /// in the .cc; only instantiated there). `core_call(&footprint)` runs the
-  /// underlying computation; it is invoked under the shared QFG lock with
-  /// the footprint recorder to fill. `request` supplies the
-  /// deadline/cancellation probes; `served_from` reports the disposition.
+  /// in the .cc; only instantiated there). `core_call(&footprint, &partial)`
+  /// runs the underlying computation; it is invoked under the shared QFG
+  /// lock with the footprint recorder to fill, and may set `partial` when
+  /// the request's own controls truncated the computation (map stage).
+  /// Partial results are returned to the computing caller but never cached;
+  /// coalesced followers of a partial leader retry with their own controls.
+  /// `request` supplies the deadline/cancellation probes; `served_from` /
+  /// `served_partial` (nullable) report the disposition.
   template <typename V, typename CoreFn>
   Result<V> ServeCached(const QueryRequest& request, const std::string& key,
                         ShardedLruCache<V>& cache,
                         SingleFlight<FlightValue<V>>& flight,
                         std::atomic<uint64_t>& computations,
                         std::atomic<uint64_t>& coalesced_hits,
-                        ServedFrom* served_from, CoreFn&& core_call);
+                        ServedFrom* served_from, bool* served_partial,
+                        CoreFn&& core_call);
 
   /// Records the windowed counters and stage histograms for one successful
   /// Translate (defined in the .cc).
@@ -307,7 +325,14 @@ class ServiceCore {
   Result<QueryResponse> ServeJoinStage(const QueryRequest& request);
   Result<QueryResponse> ServeTranslateStage(const QueryRequest& request);
 
+  /// The parallel scoring executor SetScoringPool installed (run is empty —
+  /// and scoring stays sequential — until then).
+  const core::ScoringExecutor* scoring_executor() const {
+    return scoring_executor_.run ? &scoring_executor_ : nullptr;
+  }
+
   std::unique_ptr<core::Templar> templar_;
+  core::ScoringExecutor scoring_executor_;
 
   /// Windowed rates + latency histograms; shared so a metrics registry can
   /// keep rendering safely while the core is torn down.

@@ -316,6 +316,11 @@ Status ServiceHost::RegisterTenant(const std::string& id,
   auto state = std::make_shared<internal::TenantState>();
   state->id = id;
   state->core = std::move(*core);
+  // Every tenant scores large configuration products over the host's shared
+  // pool (claim-based drain, so a request already running on a pool worker
+  // cannot deadlock it). Wired before the tenant is published, as
+  // SetScoringPool requires.
+  state->core->SetScoringPool(&pool_);
   state->admission = std::make_shared<AdmissionController>(
       options.admission.value_or(options_.default_admission));
   state->scheduler = &scheduler_;

@@ -163,6 +163,41 @@ def check_join_retained_cells(baseline, current, threshold):
     return violations
 
 
+def check_config_scoring_cells(current):
+    """Within-run check of bench_qfg_scoring's config_scoring cell.
+
+    The incremental engine exists to be faster than the preserved reference
+    scorer while staying byte-identical; the bench binary asserts identity
+    itself (and exits non-zero on a mismatch), so what is left to watch is
+    the speedup silently eroding to parity. Cross-run drops in the
+    configurations_per_sec leaves are caught by the generic diff above;
+    this check warns within a single run when
+    incremental_over_reference_speedup falls to 1.0x or below. Advisory
+    ::warning:: only. Returns the number of violations.
+    """
+    violations = 0
+    for name, doc in sorted(current.items()):
+        if not isinstance(doc, dict) or doc.get("bench") != "qfg_scoring":
+            continue
+        cell = doc.get("config_scoring")
+        if not isinstance(cell, dict):
+            continue
+        speedup = cell.get("incremental_over_reference_speedup")
+        if not isinstance(speedup, (int, float)):
+            continue
+        if speedup <= 1.0:
+            violations += 1
+            print(f"::warning title=incremental scoring not faster::"
+                  f"{name}: config_scoring incremental is {speedup:.2f}x "
+                  f"the reference scorer — the memoized/delta engine has "
+                  f"lost its advantage; profile KeywordMapper's "
+                  f"enumeration loop")
+        else:
+            print(f"bench-trend: {name} config_scoring incremental "
+                  f"{speedup:.2f}x reference")
+    return violations
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -185,6 +220,7 @@ def main():
     hot_tenant_violations = check_hot_tenant_cells(current)
     join_retained_violations = check_join_retained_cells(
         baseline, current, args.threshold)
+    config_scoring_violations = check_config_scoring_cells(current)
 
     regressions = []
     improvements = []
@@ -222,8 +258,8 @@ def main():
         print(f"  improved: {line}")
     for line in regressions:
         print(f"::warning title=bench regression::{line}")
-    if (regressions or hot_tenant_violations
-            or join_retained_violations) and args.strict:
+    if (regressions or hot_tenant_violations or join_retained_violations
+            or config_scoring_violations) and args.strict:
         return 2
     return 0
 

@@ -1,0 +1,257 @@
+// Replication cost model: what the append-only delta log buys and what it
+// charges.
+//
+//   $ ./build/bench/bench_replication [rounds] [--json <path>]
+//
+// Four cells, all on the MAS dataset:
+//
+//   - append overhead: AppendLogQueries batches/sec unreplicated vs with
+//     every batch framed+written into the delta log inside the writer
+//     section. The charge side of the ledger — framing is O(batch), so the
+//     ratio should stay near 1.
+//   - delta apply: a caught-up follower is parked while the writer appends
+//     `rounds` batches, then one SyncWithLog drains them; batches/sec
+//     through the full replay path (position translation, ApplyQueryIds,
+//     FragmentDelta sweep, epoch publish).
+//   - snapshot rewrite: the pre-log alternative — rewriting the full v2
+//     snapshot after every batch (what followers would have to reload).
+//     Per-batch cost is O(graph), so delta apply must beat it; the
+//     `delta_over_snapshot_speedup` cell is gated > 1 in CI.
+//   - follower tail: live tailing — a replicator thread polls at 1ms while
+//     the writer appends with the ingestion pacing of the overhead arm;
+//     reports end-to-end batches/sec and the worst lag the gauge saw.
+//
+// JSON cells feed tools/bench_trend.py, which warns when delta-apply
+// throughput regresses more than 10% against the previous run.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "datasets/dataset.h"
+#include "replication/follower.h"
+#include "service/templar_service.h"
+
+using namespace templar;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+[[noreturn]] void Die(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+/// Fresh scratch directory under /tmp; removed by the caller.
+std::string MakeScratchDir(const char* tag) {
+  std::string tmpl = std::string("/tmp/templar_bench_rep_") + tag + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  return std::string(buf.data());
+}
+
+/// The `round`-th append batch: `batch_size` entries cycling the MAS extra
+/// log, offset per round so consecutive batches overlap but differ.
+std::vector<std::string> MakeBatch(const std::vector<std::string>& log,
+                                   int round, size_t batch_size) {
+  std::vector<std::string> batch;
+  batch.reserve(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    batch.push_back(log[(static_cast<size_t>(round) * batch_size + i) %
+                        log.size()]);
+  }
+  return batch;
+}
+
+std::unique_ptr<service::TemplarService> MakeService(
+    const datasets::Dataset& dataset, const std::string& log_dir,
+    bool follower) {
+  service::ServiceOptions options;
+  options.worker_threads = 2;
+  options.replication.log_dir = log_dir;
+  options.replication.follower = follower;
+  auto service = service::TemplarService::Create(
+      dataset.database.get(), dataset.lexicon.get(),
+      follower ? std::vector<std::string>{} : dataset.extra_log, options);
+  if (!service.ok()) Die("service", service.status());
+  return std::move(*service);
+}
+
+/// Appends `rounds` batches and returns batches/sec.
+double TimedAppends(service::TemplarService& service,
+                    const std::vector<std::string>& log, int rounds,
+                    size_t batch_size) {
+  const auto start = Clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    auto outcome = service.AppendLogQueries(MakeBatch(log, round, batch_size));
+    if (!outcome.ok()) Die("append", outcome.status());
+  }
+  return rounds / SecondsSince(start);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rounds = 64;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      int parsed = std::atoi(argv[i]);
+      if (parsed > 0) rounds = parsed;
+    }
+  }
+  constexpr size_t kBatchSize = 8;
+
+  std::printf("== Delta-log replication cost model ==\n");
+  auto dataset = datasets::BuildMas();
+  if (!dataset.ok()) Die("dataset", dataset.status());
+  const std::vector<std::string>& log = dataset->extra_log;
+  std::printf("%d rounds of %zu-query batches\n\n", rounds, kBatchSize);
+
+  // --- Cell 1: append overhead -------------------------------------------
+  double baseline_bps, replicated_bps;
+  {
+    auto plain = MakeService(*dataset, /*log_dir=*/"", /*follower=*/false);
+    baseline_bps = TimedAppends(*plain, log, rounds, kBatchSize);
+    const std::string dir = MakeScratchDir("overhead");
+    auto replicated = MakeService(*dataset, dir, /*follower=*/false);
+    replicated_bps = TimedAppends(*replicated, log, rounds, kBatchSize);
+    std::filesystem::remove_all(dir);
+  }
+  const double overhead = baseline_bps / replicated_bps;
+  std::printf("append throughput : %9.0f batches/s unreplicated\n"
+              "                    %9.0f batches/s with delta log "
+              "(overhead x%.2f)\n",
+              baseline_bps, replicated_bps, overhead);
+
+  // --- Cells 2+3: delta apply vs full-snapshot rewrite -------------------
+  double delta_apply_bps, snapshot_bps;
+  {
+    const std::string dir = MakeScratchDir("apply");
+    auto writer = MakeService(*dataset, dir, /*follower=*/false);
+    // Boot the follower first so its bootstrap replay sees an empty log and
+    // the timed SyncWithLog below is purely the `rounds` live batches.
+    auto follower = MakeService(*dataset, dir, /*follower=*/true);
+    for (int round = 0; round < rounds; ++round) {
+      auto outcome =
+          writer->AppendLogQueries(MakeBatch(log, round, kBatchSize));
+      if (!outcome.ok()) Die("append", outcome.status());
+    }
+    auto start = Clock::now();
+    auto applied = follower->SyncWithLog();
+    delta_apply_bps = rounds / SecondsSince(start);
+    if (!applied.ok()) Die("sync", applied.status());
+    if (*applied != writer->epoch()) {
+      std::fprintf(stderr, "follower stopped at epoch %llu, writer at %llu\n",
+                   static_cast<unsigned long long>(*applied),
+                   static_cast<unsigned long long>(writer->epoch()));
+      return 1;
+    }
+
+    // The alternative the log replaces: a full v2 snapshot rewrite per
+    // batch (same graph, same atomic temp+fsync+rename path).
+    const std::string snapshot = dir + "/rewrite.qfg";
+    start = Clock::now();
+    for (int round = 0; round < rounds; ++round) {
+      if (Status st = writer->SaveSnapshot(snapshot); !st.ok()) {
+        Die("snapshot", st);
+      }
+    }
+    snapshot_bps = rounds / SecondsSince(start);
+    std::filesystem::remove_all(dir);
+  }
+  const double speedup = delta_apply_bps / snapshot_bps;
+  std::printf("follower catch-up : %9.0f batches/s delta replay\n"
+              "                    %9.0f batches/s full-snapshot rewrite "
+              "(speedup x%.1f)\n",
+              delta_apply_bps, snapshot_bps, speedup);
+
+  // --- Cell 4: live tail --------------------------------------------------
+  double tail_bps;
+  uint64_t max_lag = 0;
+  {
+    const std::string dir = MakeScratchDir("tail");
+    auto writer = MakeService(*dataset, dir, /*follower=*/false);
+    auto follower = MakeService(*dataset, dir, /*follower=*/true);
+    replication::FollowerReplicator replicator(
+        [&follower, &max_lag] {
+          auto applied = follower->SyncWithLog();
+          if (applied.ok()) {
+            max_lag = std::max(
+                max_lag, follower->metrics().gauge(
+                             service::Gauge::kFollowerLagEpochs));
+          }
+          return applied;
+        },
+        std::chrono::milliseconds(1));
+    replicator.Start();
+    const auto start = Clock::now();
+    for (int round = 0; round < rounds; ++round) {
+      auto outcome =
+          writer->AppendLogQueries(MakeBatch(log, round, kBatchSize));
+      if (!outcome.ok()) Die("append", outcome.status());
+    }
+    while (follower->epoch() < writer->epoch()) {
+      if (auto st = replicator.DrainOnce(); !st.ok()) Die("tail", st.status());
+    }
+    tail_bps = rounds / SecondsSince(start);
+    replicator.Stop();
+    std::filesystem::remove_all(dir);
+  }
+  std::printf("live tail         : %9.0f batches/s end-to-end "
+              "(max observed lag %llu epochs)\n",
+              tail_bps, static_cast<unsigned long long>(max_lag));
+
+  if (speedup <= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: delta replay (%.0f batches/s) is not faster than "
+                 "full-snapshot rewrite (%.0f batches/s)\n",
+                 delta_apply_bps, snapshot_bps);
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n  \"bench\": \"replication\",\n  \"rounds\": %d,\n"
+        "  \"batch_size\": %zu,\n"
+        "  \"append_baseline_batches_per_sec\": %.1f,\n"
+        "  \"append_replicated_batches_per_sec\": %.1f,\n"
+        "  \"append_overhead_ratio\": %.4f,\n"
+        "  \"delta_apply_batches_per_sec\": %.1f,\n"
+        "  \"snapshot_rewrite_batches_per_sec\": %.1f,\n"
+        "  \"delta_over_snapshot_speedup\": %.4f,\n"
+        "  \"follower_tail_batches_per_sec\": %.1f,\n"
+        "  \"follower_max_lag_epochs\": %llu\n}\n",
+        rounds, kBatchSize, baseline_bps, replicated_bps, overhead,
+        delta_apply_bps, snapshot_bps, speedup, tail_bps,
+        static_cast<unsigned long long>(max_lag));
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -29,11 +29,21 @@
 // ServiceHost (one shared worker pool, one cache budget), drives concurrent
 // Translate clients against both, streams appends into MAS only, and prints
 // the per-tenant stats: IMDB's caches survive MAS's ingestion untouched.
+//
+// --replicate=<dir> runs the default mode with the QFG replicated through
+// an append-only delta log in <dir> (every ingested batch is framed into
+// the log before the append returns), then compacts and prints log stats.
+// --follower=<dir> instead boots a read-only replica that tails <dir>,
+// serves Translate at bounded staleness while a background replicator
+// applies deltas, and finally promotes itself to writer — immediately, or
+// on SIGUSR1 when --promote-on-signal is given (the failover runbook: kill
+// the writer process, signal the follower, appends flow again).
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,10 +51,12 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "datasets/dataset.h"
 #include "net/server.h"
+#include "replication/follower.h"
 #include "service/templar_service.h"
 #include "service/tenant_registry.h"
 
@@ -66,6 +78,9 @@ struct DemoFlags {
   int stats_interval_ms = 0;  ///< 0 = no periodic reporter.
   int listen_port = -1;       ///< >= 0: serve the wire protocol on this port.
   int serve_seconds = 0;      ///< 0 = serve until stdin closes.
+  std::string replicate_dir;  ///< Non-empty: writer with a delta log here.
+  std::string follower_dir;   ///< Non-empty: read-only replica tailing here.
+  bool promote_on_signal = false;  ///< Follower promotes on SIGUSR1.
 };
 
 /// Periodically prints `render()` until stopped — the demo's stand-in for a
@@ -324,6 +339,80 @@ int RunExplain(const datasets::Dataset& dataset,
 
 }  // namespace
 
+/// Set by the SIGUSR1 handler under --promote-on-signal.
+std::atomic<bool> g_promote_requested{false};
+
+/// --follower=<dir>: a read-only MAS replica. A FollowerReplicator thread
+/// tails the writer's delta log while benchmark Translates are served at
+/// bounded staleness (QueryResponse::epoch says exactly how stale), then
+/// the replica is promoted to writer and proves it accepts appends.
+int RunFollower(const DemoFlags& flags) {
+  std::printf("== Templar follower demo (tailing %s) ==\n\n",
+              flags.follower_dir.c_str());
+
+  auto dataset = datasets::BuildMas();
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  service::ServiceOptions options;
+  options.worker_threads = 2;
+  options.replication.log_dir = flags.follower_dir;
+  options.replication.follower = true;
+  auto built = service::TemplarService::Create(
+      dataset->database.get(), dataset->lexicon.get(), {}, options);
+  if (!built.ok()) return Fail(built.status());
+  service::TemplarService& service = **built;
+  std::printf("replica up at epoch %llu (read-only)\n",
+              static_cast<unsigned long long>(service.epoch()));
+
+  replication::FollowerReplicator replicator(
+      [&service] { return service.SyncWithLog(); },
+      std::chrono::milliseconds(200));
+  replicator.Start();
+
+  if (flags.promote_on_signal) {
+    std::signal(SIGUSR1, [](int) { g_promote_requested.store(true); });
+    std::printf("waiting for SIGUSR1 to promote (kill -USR1 %d)...\n",
+                static_cast<int>(::getpid()));
+  }
+
+  // Serve reads while the replicator applies deltas behind our back: each
+  // response's epoch is the exact log position its ranking reflects.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(flags.serve_seconds > 0
+                                                 ? flags.serve_seconds
+                                                 : 3);
+  size_t served = 0;
+  while (std::chrono::steady_clock::now() < deadline &&
+         !g_promote_requested.load()) {
+    const auto& item = dataset->benchmark[served % dataset->benchmark.size()];
+    auto response = service.Translate(
+        service::QueryRequest::Translation(item.gold_parse, /*top_k=*/1));
+    if (response.ok() && ++served % 16 == 0) {
+      std::printf("served %zu reads, replica epoch %llu (lag %llu)\n", served,
+                  static_cast<unsigned long long>(response->epoch),
+                  static_cast<unsigned long long>(
+                      service.metrics().gauge(
+                          service::Gauge::kFollowerLagEpochs)));
+    }
+  }
+
+  // Failover: stop tailing, drain, take over the log. From here this
+  // process is the writer — the append below lands at epoch+1.
+  replicator.Stop();
+  if (Status st = service.Promote(); !st.ok()) return Fail(st);
+  auto outcome = service.AppendLogQueries(
+      {"SELECT a.name FROM author a WHERE a.aid = 1"});
+  if (!outcome.ok()) return Fail(outcome.status());
+  std::printf("\npromoted to writer: first post-failover append -> epoch "
+              "%llu (%zu reads served as follower)\n",
+              static_cast<unsigned long long>(outcome->epoch), served);
+  if (flags.metrics) {
+    std::printf("\n-- metrics (--metrics) --\n%s",
+                service.RenderMetrics().c_str());
+  }
+  return 0;
+}
+
 int main(int argc, char** argv) {
   DemoFlags flags;
   for (int i = 1; i < argc; ++i) {
@@ -339,15 +428,24 @@ int main(int argc, char** argv) {
       flags.listen_port = std::atoi(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--serve-seconds=", 16) == 0) {
       flags.serve_seconds = std::atoi(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--replicate=", 12) == 0) {
+      flags.replicate_dir = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--follower=", 11) == 0) {
+      flags.follower_dir = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--promote-on-signal") == 0) {
+      flags.promote_on_signal = true;
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s\nusage: serve_demo [--multitenant] "
                    "[--explain] [--metrics] [--stats-interval=<ms>] "
-                   "[--listen=<port> [--serve-seconds=<n>]]\n",
+                   "[--listen=<port> [--serve-seconds=<n>]] "
+                   "[--replicate=<dir>] [--follower=<dir> "
+                   "[--promote-on-signal]]\n",
                    argv[i]);
       return 2;
     }
   }
+  if (!flags.follower_dir.empty()) return RunFollower(flags);
   if (flags.listen_port >= 0) return RunListen(flags);
   if (flags.multitenant) return RunMultiTenant(flags);
   std::printf("== Templar serving demo ==\n\n");
@@ -360,13 +458,16 @@ int main(int argc, char** argv) {
   options.map_cache_capacity = 1024;
   options.join_cache_capacity = 1024;
   options.translate_cache_capacity = 1024;
+  options.replication.log_dir = flags.replicate_dir;  // Empty = unreplicated.
   auto built = service::TemplarService::Create(
       dataset->database.get(), dataset->lexicon.get(), dataset->extra_log,
       options);
   if (!built.ok()) return Fail(built.status());
   service::TemplarService& service = **built;
-  std::printf("service up: %zu workers, epoch %llu\n", size_t{4},
-              static_cast<unsigned long long>(service.epoch()));
+  std::printf("service up: %zu workers, epoch %llu%s\n", size_t{4},
+              static_cast<unsigned long long>(service.epoch()),
+              flags.replicate_dir.empty() ? ""
+                                          : " (replicated)");
 
   PeriodicReporter reporter(flags.stats_interval_ms, [&service] {
     return service.Stats().ToString();
@@ -400,10 +501,14 @@ int main(int argc, char** argv) {
       size_t length = std::min<size_t>(10, log.size() - offset);
       std::vector<std::string> entries(log.begin() + offset,
                                        log.begin() + offset + length);
-      service::AppendOutcome outcome = service.AppendLogQueries(entries);
+      auto outcome = service.AppendLogQueries(entries);
+      if (!outcome.ok()) {
+        std::printf("append failed: %s\n", outcome.status().ToString().c_str());
+        continue;
+      }
       std::printf("ingested batch %d: +%zu queries -> epoch %llu\n", batch,
-                  outcome.appended,
-                  static_cast<unsigned long long>(outcome.epoch));
+                  outcome->appended,
+                  static_cast<unsigned long long>(outcome->epoch));
     }
   });
 
@@ -414,6 +519,17 @@ int main(int argc, char** argv) {
   std::printf("\n-- stats after %d concurrent translations --\n%s\n",
               kClients * kRequestsPerClient,
               service.Stats().ToString().c_str());
+
+  if (!flags.replicate_dir.empty()) {
+    // Every appended batch above is already durable in the delta log; fold
+    // it into a fresh base snapshot so a follower bootstrapping now reads
+    // one file instead of replaying the history.
+    if (Status st = service.CompactLog(); !st.ok()) return Fail(st);
+    std::printf("compacted delta log in %s (followers reload from the new "
+                "base at epoch %llu)\n",
+                flags.replicate_dir.c_str(),
+                static_cast<unsigned long long>(service.epoch()));
+  }
 
   if (flags.metrics) {
     std::printf("\n-- metrics (--metrics) --\n%s",

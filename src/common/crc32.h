@@ -1,0 +1,23 @@
+#ifndef TEMPLAR_COMMON_CRC32_H_
+#define TEMPLAR_COMMON_CRC32_H_
+
+/// \file crc32.h
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+///
+/// The replication delta log frames every record with a CRC so a torn tail
+/// (a crash mid-append, or a tail still being written while a follower
+/// polls) is detected and dropped instead of corrupting a replica. No
+/// external dependency: the table is built once at first use.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace templar {
+
+/// \brief CRC-32 of `data[0..len)`, continuing from `seed` (pass 0 to start;
+/// chain calls by passing the previous return value).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace templar
+
+#endif  // TEMPLAR_COMMON_CRC32_H_

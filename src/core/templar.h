@@ -99,6 +99,12 @@ class Templar {
   }
 
   const qfg::QueryFragmentGraph& query_fragment_graph() const { return qfg_; }
+
+  /// \brief Mutable QFG access for the replication subsystem: a follower
+  /// applies delta-log batches through QueryFragmentGraph::InternFragment /
+  /// ApplyQueryIds. Same locking protocol as AppendLogQuery — callers must
+  /// hold an exclusive lock against concurrent MapKeywords/InferJoins.
+  qfg::QueryFragmentGraph* mutable_query_fragment_graph() { return &qfg_; }
   const graph::SchemaGraph& schema_graph() const { return schema_graph_; }
   const text::FulltextIndex& fulltext_index() const { return fts_; }
   const KeywordMapper& keyword_mapper() const { return *mapper_; }

@@ -1,6 +1,10 @@
 #include "qfg/qfg_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <tuple>
@@ -124,15 +128,52 @@ Status SaveQfg(const QueryFragmentGraph& graph, std::ostream* out) {
   for (const auto& [fa, fb, count] : edges) {
     *out << "E\t" << count << '\t' << fa << '\t' << fb << '\n';
   }
+  // Mandatory trailer: lets the loader distinguish "complete snapshot" from
+  // "valid prefix of one" — without it a truncation at a line boundary
+  // would deserialize as a smaller graph instead of a parse error.
+  *out << "T\t" << graph.vertex_count() << '\t' << graph.edge_count() << '\n';
   if (!out->good()) return Status::IOError("stream write failed");
   return Status::OK();
 }
 
 Status SaveQfgToFile(const QueryFragmentGraph& graph,
                      const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) return Status::IOError("cannot open '" + path + "'");
-  return SaveQfg(graph, &out);
+  // Atomic checkpoint: serialize to a sibling temp file, fsync it, then
+  // rename over the target. A crash at any point leaves either the old
+  // snapshot or the new one — never a half-written file a warm start (or a
+  // replication follower bootstrapping from the base snapshot) could read.
+  // The temp name is deterministic per target so a crashed attempt is
+  // overwritten by the next save instead of accumulating.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) return Status::IOError("cannot open '" + tmp + "'");
+    Status st = SaveQfg(graph, &out);
+    if (!st.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return st;
+    }
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IOError("flush failed for '" + tmp + "'");
+    }
+  }
+  int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot reopen '" + tmp + "' for fsync");
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    std::remove(tmp.c_str());
+    return Status::IOError("fsync failed for '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  return Status::OK();
 }
 
 Result<QueryFragmentGraph> LoadQfg(std::istream* in) {
@@ -154,6 +195,8 @@ Result<QueryFragmentGraph> LoadQfg(std::istream* in) {
 
   // v2: ids assigned to V records in file order; E records index into this.
   std::vector<FragmentId> restored_ids;
+  size_t edge_records = 0;
+  bool saw_trailer = false;
 
   size_t line_no = 1;
   while (std::getline(*in, line)) {
@@ -164,7 +207,16 @@ Result<QueryFragmentGraph> LoadQfg(std::istream* in) {
       return Status::ParseError("line " + std::to_string(line_no) + ": " +
                                 msg);
     };
-    if (fields[0] == "V") {
+    if (saw_trailer) return err("record after the T trailer");
+    if (fields[0] == "T" && !v1) {
+      if (fields.size() != 3) return err("T record needs 3 fields");
+      TEMPLAR_ASSIGN_OR_RETURN(uint64_t nv, CountFromString(fields[1]));
+      TEMPLAR_ASSIGN_OR_RETURN(uint64_t ne, CountFromString(fields[2]));
+      if (nv != restored_ids.size() || ne != edge_records) {
+        return err("trailer mismatch: snapshot is truncated or corrupt");
+      }
+      saw_trailer = true;
+    } else if (fields[0] == "V") {
       if (fields.size() != 4) return err("V record needs 4 fields");
       TEMPLAR_ASSIGN_OR_RETURN(FragmentContext ctx,
                                ContextFromString(fields[2]));
@@ -195,9 +247,13 @@ Result<QueryFragmentGraph> LoadQfg(std::istream* in) {
       Status st =
           graph.RestoreEdgeById(restored_ids[fa], restored_ids[fb], count);
       if (!st.ok()) return err(st.message());
+      ++edge_records;
     } else {
       return err("unknown record type '" + fields[0] + "'");
     }
+  }
+  if (!v1 && !saw_trailer) {
+    return Status::ParseError("missing T trailer: truncated v2 snapshot");
   }
   return graph;
 }

@@ -17,9 +17,14 @@
 ///   templar-qfg v2 <level> <query_count>
 ///   V <count> <context> <expression>
 ///   E <count> <vertex_index_a> <vertex_index_b>
+///   T <vertex_count> <edge_count>
 ///
-/// The v1 format (edges repeat both endpoint fragments verbatim) is still
-/// read for old checkpoints; SaveQfg always writes v2. FragmentIds are NOT
+/// The trailing T record is mandatory in v2 and must match the section
+/// sizes: without it, a snapshot truncated at a line boundary (a crash
+/// mid-write on a non-atomic path, or filesystem damage) would load as a
+/// silently smaller graph. The v1 format (edges repeat both endpoint
+/// fragments verbatim, no trailer) is still read for old checkpoints;
+/// SaveQfg always writes v2. FragmentIds are NOT
 /// stored: ids are process-local and a restored graph assigns fresh ones in
 /// file order — all observables (counts, Dice, fingerprints) are preserved
 /// because they derive from the fragment text, not the id value.
@@ -35,7 +40,9 @@ namespace templar::qfg {
 /// \brief Writes `graph` to `out` in the v2 text format.
 Status SaveQfg(const QueryFragmentGraph& graph, std::ostream* out);
 
-/// \brief Writes `graph` to a file; overwrites.
+/// \brief Writes `graph` to a file; overwrites atomically (temp file +
+/// fsync + rename), so a crash mid-checkpoint leaves either the previous
+/// snapshot or the new one, never a torn file.
 Status SaveQfgToFile(const QueryFragmentGraph& graph,
                      const std::string& path);
 

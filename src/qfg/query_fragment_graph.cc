@@ -53,6 +53,17 @@ std::vector<FragmentId> QueryFragmentGraph::AddQueryIds(
   return ids;
 }
 
+void QueryFragmentGraph::ApplyQueryIds(const std::vector<FragmentId>& ids) {
+  ++query_count_;
+  adjacency_valid_ = false;
+  for (FragmentId id : ids) ++n_v_[id];
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      ++n_e_[EdgeKey(ids[i], ids[j])];
+    }
+  }
+}
+
 Status QueryFragmentGraph::AddQuerySql(const std::string& sql_text) {
   TEMPLAR_ASSIGN_OR_RETURN(sql::SelectQuery q, sql::Parse(sql_text));
   AddQuery(q);

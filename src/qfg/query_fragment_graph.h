@@ -192,6 +192,29 @@ class QueryFragmentGraph {
   void set_query_count(uint64_t count) { query_count_ = count; }
   ///@}
 
+  /// \name Delta-log replay (replication/graph_log.h)
+  /// Replicas rebuild the writer's mutations from interned deltas instead of
+  /// re-extracting fragments from SQL text. The two calls below reproduce
+  /// AddQueryIds exactly when driven with the writer's per-query id lists
+  /// translated through the log's position map.
+  ///@{
+
+  /// \brief Interns `fragment` (already normalized to this graph's level)
+  /// without touching any count. Idempotent: an existing fragment keeps its
+  /// id and counts.
+  FragmentId InternFragment(const QueryFragment& fragment) {
+    FragmentId id = interner_.Intern(fragment);
+    if (id >= n_v_.size()) n_v_.resize(id + 1, 0);
+    return id;
+  }
+
+  /// \brief Applies one replayed query by interned ids: bumps n_v for each
+  /// id, n_e for every unordered pair, and query_count — the exact
+  /// increments AddQueryIds performs after interning. `ids` must be valid
+  /// for this graph and pairwise distinct (AddQueryIds' lists are).
+  void ApplyQueryIds(const std::vector<FragmentId>& ids);
+  ///@}
+
  private:
   /// Packs an unordered id pair into the n_e_ key: (min << 32) | max.
   static uint64_t EdgeKey(FragmentId a, FragmentId b) {

@@ -1,0 +1,341 @@
+#include "replication/delta_log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace templar::replication {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'Q', 'D', 'L', 'O', 'G', '1', '\n'};
+constexpr size_t kFrameBytes = 8;  // u32 len + u32 crc.
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+std::string EncodeHeader(const DeltaLogHeader& header) {
+  std::string out;
+  out.reserve(kDeltaLogHeaderBytes);
+  out.append(kMagic, sizeof(kMagic));
+  PutU64(&out, header.generation);
+  PutU64(&out, header.base_epoch);
+  PutU64(&out, header.base_vertex_count);
+  PutU32(&out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+Result<DeltaLogHeader> DecodeHeader(const char* data, size_t len) {
+  if (len < kDeltaLogHeaderBytes) {
+    return Status::ParseError("delta log shorter than its header");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("bad delta log magic");
+  }
+  const uint32_t stored = GetU32(data + 32);
+  if (stored != Crc32(data, 32)) {
+    return Status::ParseError("delta log header CRC mismatch");
+  }
+  DeltaLogHeader header;
+  header.generation = GetU64(data + 8);
+  header.base_epoch = GetU64(data + 16);
+  header.base_vertex_count = GetU64(data + 24);
+  return header;
+}
+
+Status WriteFully(int fd, const char* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("delta log write: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads the whole file at `path`. IOError when it cannot be opened.
+Result<std::string> ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError("read '" + path + "': " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+/// Scans records in `data[offset..)`. Every CRC-valid record is decoded and
+/// appended to `batches`; the scan stops at the first incomplete or invalid
+/// frame (the torn tail) and reports the offset of the valid prefix end.
+/// Only a *decode* failure of a CRC-valid payload is an error.
+Status ScanRecords(const std::string& data, size_t offset,
+                   std::vector<DeltaBatch>* batches, size_t* valid_end) {
+  while (offset + kFrameBytes <= data.size()) {
+    const uint32_t len = GetU32(data.data() + offset);
+    const uint32_t crc = GetU32(data.data() + offset + 4);
+    if (len > kMaxDeltaPayloadBytes) break;  // Corrupt length: torn tail.
+    if (offset + kFrameBytes + len > data.size()) break;  // Incomplete.
+    const char* payload = data.data() + offset + kFrameBytes;
+    if (Crc32(payload, len) != crc) break;  // Torn or in-flight record.
+    auto batch = DecodeBatch(payload, len);
+    if (!batch.ok()) return batch.status();
+    batches->push_back(std::move(*batch));
+    offset += kFrameBytes + len;
+  }
+  *valid_end = offset;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeBatch(const DeltaBatch& batch) {
+  std::string out;
+  PutU64(&out, batch.epoch);
+  PutU32(&out, static_cast<uint32_t>(batch.new_fragments.size()));
+  for (const qfg::QueryFragment& f : batch.new_fragments) {
+    out.push_back(static_cast<char>(f.context));
+    PutU32(&out, static_cast<uint32_t>(f.expression.size()));
+    out.append(f.expression);
+  }
+  PutU32(&out, static_cast<uint32_t>(batch.queries.size()));
+  for (const std::vector<uint32_t>& query : batch.queries) {
+    PutU32(&out, static_cast<uint32_t>(query.size()));
+    for (uint32_t position : query) PutU32(&out, position);
+  }
+  return out;
+}
+
+Result<DeltaBatch> DecodeBatch(const char* data, size_t len) {
+  size_t off = 0;
+  auto need = [&](size_t n) { return off + n <= len; };
+  if (!need(12)) return Status::ParseError("delta batch truncated");
+  DeltaBatch batch;
+  batch.epoch = GetU64(data);
+  off = 8;
+  const uint32_t new_frags = GetU32(data + off);
+  off += 4;
+  batch.new_fragments.reserve(new_frags);
+  for (uint32_t i = 0; i < new_frags; ++i) {
+    if (!need(5)) return Status::ParseError("delta batch fragment truncated");
+    const auto raw_context = static_cast<unsigned char>(data[off]);
+    if (raw_context > static_cast<unsigned char>(qfg::FragmentContext::kOrderBy)) {
+      return Status::ParseError("delta batch fragment context out of range");
+    }
+    const uint32_t expr_len = GetU32(data + off + 1);
+    off += 5;
+    if (!need(expr_len)) {
+      return Status::ParseError("delta batch expression truncated");
+    }
+    batch.new_fragments.push_back(
+        qfg::QueryFragment{static_cast<qfg::FragmentContext>(raw_context),
+                           std::string(data + off, expr_len)});
+    off += expr_len;
+  }
+  if (!need(4)) return Status::ParseError("delta batch query count truncated");
+  const uint32_t queries = GetU32(data + off);
+  off += 4;
+  batch.queries.reserve(queries);
+  for (uint32_t q = 0; q < queries; ++q) {
+    if (!need(4)) return Status::ParseError("delta batch query truncated");
+    const uint32_t n = GetU32(data + off);
+    off += 4;
+    if (!need(static_cast<size_t>(n) * 4)) {
+      return Status::ParseError("delta batch positions truncated");
+    }
+    std::vector<uint32_t> positions;
+    positions.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      positions.push_back(GetU32(data + off));
+      off += 4;
+    }
+    batch.queries.push_back(std::move(positions));
+  }
+  if (off != len) {
+    return Status::ParseError("delta batch has trailing bytes");
+  }
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaLogWriter
+
+DeltaLogWriter::DeltaLogWriter(int fd, DeltaLogHeader header,
+                               uint64_t size_bytes, uint64_t last_epoch,
+                               uint64_t record_count)
+    : fd_(fd),
+      header_(header),
+      size_bytes_(size_bytes),
+      last_epoch_(last_epoch),
+      record_count_(record_count) {}
+
+DeltaLogWriter::~DeltaLogWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<DeltaLogWriter>> DeltaLogWriter::Create(
+    const std::string& path, const DeltaLogHeader& header) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot create delta log '" + path + "': " +
+                           std::strerror(errno));
+  }
+  const std::string encoded = EncodeHeader(header);
+  Status st = WriteFully(fd, encoded.data(), encoded.size());
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = Status::IOError("fsync delta log header: " +
+                         std::string(std::strerror(errno)));
+  }
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<DeltaLogWriter>(new DeltaLogWriter(
+      fd, header, encoded.size(), header.base_epoch, /*record_count=*/0));
+}
+
+Result<std::unique_ptr<DeltaLogWriter>> DeltaLogWriter::OpenForAppend(
+    const std::string& path) {
+  TEMPLAR_ASSIGN_OR_RETURN(std::string data, ReadFile(path));
+  TEMPLAR_ASSIGN_OR_RETURN(DeltaLogHeader header,
+                           DecodeHeader(data.data(), data.size()));
+  std::vector<DeltaBatch> batches;
+  size_t valid_end = 0;
+  TEMPLAR_RETURN_NOT_OK(
+      ScanRecords(data, kDeltaLogHeaderBytes, &batches, &valid_end));
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot reopen delta log '" + path + "': " +
+                           std::strerror(errno));
+  }
+  // Drop the torn tail (if any) so the next append starts on a record
+  // boundary — a reader must never see a valid record spliced onto half of
+  // a dead one.
+  if (valid_end < data.size() &&
+      ::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+    ::close(fd);
+    return Status::IOError("truncate torn delta log tail: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (::lseek(fd, static_cast<off_t>(valid_end), SEEK_SET) < 0) {
+    ::close(fd);
+    return Status::IOError("seek delta log end: " +
+                           std::string(std::strerror(errno)));
+  }
+  const uint64_t last_epoch =
+      batches.empty() ? header.base_epoch : batches.back().epoch;
+  return std::unique_ptr<DeltaLogWriter>(new DeltaLogWriter(
+      fd, header, valid_end, last_epoch, batches.size()));
+}
+
+Status DeltaLogWriter::Append(const DeltaBatch& batch, bool fsync) {
+  const std::string payload = EncodeBatch(batch);
+  std::string frame;
+  frame.reserve(kFrameBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload.data(), payload.size()));
+  frame.append(payload);
+  // One write call per record: a tailing reader sees the record either
+  // whole or (transiently) CRC-incomplete, never interleaved with another.
+  TEMPLAR_RETURN_NOT_OK(WriteFully(fd_, frame.data(), frame.size()));
+  if (fsync && ::fsync(fd_) != 0) {
+    return Status::IOError("fsync delta log: " +
+                           std::string(std::strerror(errno)));
+  }
+  size_bytes_ += frame.size();
+  last_epoch_ = batch.epoch;
+  ++record_count_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DeltaLogReader
+
+Result<TailResult> DeltaLogReader::Poll() {
+  TailResult out;
+  auto data = ReadFile(path_);
+  if (!data.ok()) {
+    // A missing log is "nothing yet", not corruption: compaction renames a
+    // fresh file into place and a poll can land in the gap.
+    out.header = header_;
+    return out;
+  }
+  TEMPLAR_ASSIGN_OR_RETURN(DeltaLogHeader header,
+                           DecodeHeader(data->data(), data->size()));
+  if (!have_header_ || header.generation != header_.generation) {
+    header_ = header;
+    have_header_ = true;
+    offset_ = kDeltaLogHeaderBytes;
+    out.generation_changed = true;
+  }
+  out.header = header_;
+  size_t valid_end = 0;
+  TEMPLAR_RETURN_NOT_OK(
+      ScanRecords(*data, offset_, &out.batches, &valid_end));
+  offset_ = valid_end;
+  if (!out.batches.empty() &&
+      out.batches.back().epoch > last_seen_epoch_) {
+    last_seen_epoch_ = out.batches.back().epoch;
+  }
+  return out;
+}
+
+Result<DeltaLogHeader> ReadLogHeader(const std::string& path) {
+  TEMPLAR_ASSIGN_OR_RETURN(std::string data, ReadFile(path));
+  return DecodeHeader(data.data(), data.size());
+}
+
+Result<std::pair<DeltaLogHeader, std::vector<DeltaBatch>>> ReadLog(
+    const std::string& path) {
+  TEMPLAR_ASSIGN_OR_RETURN(std::string data, ReadFile(path));
+  TEMPLAR_ASSIGN_OR_RETURN(DeltaLogHeader header,
+                           DecodeHeader(data.data(), data.size()));
+  std::vector<DeltaBatch> batches;
+  size_t valid_end = 0;
+  TEMPLAR_RETURN_NOT_OK(
+      ScanRecords(data, kDeltaLogHeaderBytes, &batches, &valid_end));
+  return std::make_pair(header, std::move(batches));
+}
+
+}  // namespace templar::replication

@@ -1,0 +1,180 @@
+#ifndef TEMPLAR_REPLICATION_DELTA_LOG_H_
+#define TEMPLAR_REPLICATION_DELTA_LOG_H_
+
+/// \file delta_log.h
+/// \brief The append-only QFG delta log: framing, codec, writer, tailer.
+///
+/// Full qfg_io snapshots rewrite the whole graph per checkpoint — fine for
+/// thousands of statements, hopeless for millions. The delta log persists
+/// each AppendLogQueries batch instead, as one CRC-framed record:
+///
+///   file   := header record*
+///   header := magic[8]="TQDLOG1\n" u64 generation u64 base_epoch
+///             u64 base_vertex_count u32 crc32(bytes 0..32)      (36 bytes)
+///   record := u32 payload_len  u32 crc32(payload)  payload
+///
+/// All integers little-endian. The payload of a batch record:
+///
+///   u64 epoch
+///   u32 new_fragment_count   { u8 context  u32 len  bytes[len] }*
+///   u32 query_count          { u32 n  u32 position[n] }*
+///
+/// **Positions, not ids.** Fragment ids are process-local; the log instead
+/// speaks the *positional intern table* of the base snapshot (qfg_io v2):
+/// position p < base_vertex_count is the p-th V record of base.qfg
+/// (canonical order — count desc, key asc), and each new fragment a batch
+/// introduces takes the next position in introduction order. Writer and
+/// follower each keep their own position<->id maps (graph_log.h); the wire
+/// format never mentions an id.
+///
+/// **Torn tails are data, not errors.** A record that fails its length or
+/// CRC check is where the valid prefix ends: a crashed writer left a torn
+/// tail (recovery truncates it), or a live writer is mid-append (the tailer
+/// simply retries from the same offset next poll). Neither is fatal.
+///
+/// **Generations.** Compaction folds the applied prefix into a fresh
+/// base.qfg and restarts the log with generation+1 — positions renumber, so
+/// a tailer that observes a generation change must re-derive its position
+/// map (cheap when it was caught up: canonical order is a pure function of
+/// graph content) or reload from the new base snapshot when it was behind.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "qfg/fragment.h"
+
+namespace templar::replication {
+
+/// \brief Fixed-size file header identifying one log generation.
+struct DeltaLogHeader {
+  uint64_t generation = 0;         ///< Bumped by every compaction.
+  uint64_t base_epoch = 0;         ///< Epoch the base snapshot captures.
+  uint64_t base_vertex_count = 0;  ///< V records in base.qfg = first
+                                   ///  position new fragments extend from.
+};
+
+/// \brief Serialized size of the file header (magic + 3 u64 + crc).
+inline constexpr size_t kDeltaLogHeaderBytes = 36;
+
+/// \brief Refuse absurd record lengths before allocating (a corrupt length
+/// field must not become a 4 GiB allocation).
+inline constexpr uint32_t kMaxDeltaPayloadBytes = 64u * 1024 * 1024;
+
+/// \brief One decoded append batch: the epoch it produced, the fragments it
+/// introduced (taking positions sequentially from the reader's high-water
+/// position), and each applied query as a list of positions.
+struct DeltaBatch {
+  uint64_t epoch = 0;
+  std::vector<qfg::QueryFragment> new_fragments;
+  std::vector<std::vector<uint32_t>> queries;
+};
+
+/// \brief Encodes a batch payload (framing is the writer's job).
+std::string EncodeBatch(const DeltaBatch& batch);
+
+/// \brief Decodes a batch payload. ParseError on malformed input — callers
+/// frame-check with the CRC first, so a ParseError here means a format bug
+/// or version skew, not a torn write.
+Result<DeltaBatch> DecodeBatch(const char* data, size_t len);
+
+/// \brief Appends CRC-framed batch records to one log generation.
+///
+/// Not thread-safe: the service calls Append under the same exclusive lock
+/// that mutates the QFG, which already serializes writers.
+class DeltaLogWriter {
+ public:
+  /// \brief Starts a fresh log at `path` (truncating) with `header`.
+  static Result<std::unique_ptr<DeltaLogWriter>> Create(
+      const std::string& path, const DeltaLogHeader& header);
+
+  /// \brief Reopens an existing log for appending: validates the header,
+  /// scans to the end of the valid record prefix, truncates any torn tail
+  /// (CRC/length failure — dropped, never fatal), and resumes after the
+  /// last valid record. Used by writer restart and follower promotion.
+  static Result<std::unique_ptr<DeltaLogWriter>> OpenForAppend(
+      const std::string& path);
+
+  ~DeltaLogWriter();
+  DeltaLogWriter(const DeltaLogWriter&) = delete;
+  DeltaLogWriter& operator=(const DeltaLogWriter&) = delete;
+
+  /// \brief Frames and appends one batch in a single write call.
+  /// `fsync=true` makes the record durable before returning.
+  Status Append(const DeltaBatch& batch, bool fsync);
+
+  const DeltaLogHeader& header() const { return header_; }
+  /// \brief Epoch of the last record appended or scanned; header.base_epoch
+  /// when the log has no records.
+  uint64_t last_epoch() const { return last_epoch_; }
+  /// \brief Current log size in bytes (header included).
+  uint64_t size_bytes() const { return size_bytes_; }
+  /// \brief Records appended or scanned this generation.
+  uint64_t record_count() const { return record_count_; }
+
+ private:
+  DeltaLogWriter(int fd, DeltaLogHeader header, uint64_t size_bytes,
+                 uint64_t last_epoch, uint64_t record_count);
+
+  int fd_;
+  DeltaLogHeader header_;
+  uint64_t size_bytes_;
+  uint64_t last_epoch_;
+  uint64_t record_count_;
+};
+
+/// \brief What one tail poll observed.
+struct TailResult {
+  /// Complete, CRC-valid records beyond the previous offset, in order.
+  std::vector<DeltaBatch> batches;
+  /// True when the log was compacted since the last poll (or on the first
+  /// poll ever): `header` describes the new generation and `batches` are
+  /// its records from the beginning. The caller must re-derive its position
+  /// map before applying them.
+  bool generation_changed = false;
+  DeltaLogHeader header;
+};
+
+/// \brief Incremental reader over a (possibly live) delta log file.
+///
+/// Poll() opens the file fresh each time — compaction atomically replaces
+/// the path, and a held descriptor would keep tailing the dead generation.
+/// An incomplete or CRC-failing tail record leaves the offset where it is:
+/// if the writer was mid-append the next poll reads it whole. Not
+/// thread-safe (one tailer thread per follower).
+class DeltaLogReader {
+ public:
+  explicit DeltaLogReader(std::string path) : path_(std::move(path)) {}
+
+  /// \brief Reads everything new. A missing file is kOk with no batches
+  /// (the writer may not have started this generation yet); a malformed
+  /// header is an error.
+  Result<TailResult> Poll();
+
+  /// \brief Epoch of the newest record ever observed (0 before the first
+  /// record) — the "how far ahead is the log" half of the lag gauge.
+  uint64_t last_seen_epoch() const { return last_seen_epoch_; }
+
+ private:
+  std::string path_;
+  bool have_header_ = false;
+  DeltaLogHeader header_;
+  uint64_t offset_ = 0;  ///< Next unread byte of the current generation.
+  uint64_t last_seen_epoch_ = 0;
+};
+
+/// \brief Reads the header. IOError when the file cannot be opened;
+/// ParseError on a malformed/corrupt header.
+Result<DeltaLogHeader> ReadLogHeader(const std::string& path);
+
+/// \brief Offline scan: header plus every valid record; the torn tail (if
+/// any) is dropped. The recovery path for writer restart and follower
+/// bootstrap.
+Result<std::pair<DeltaLogHeader, std::vector<DeltaBatch>>> ReadLog(
+    const std::string& path);
+
+}  // namespace templar::replication
+
+#endif  // TEMPLAR_REPLICATION_DELTA_LOG_H_

@@ -1,0 +1,112 @@
+#ifndef TEMPLAR_REPLICATION_FOLLOWER_H_
+#define TEMPLAR_REPLICATION_FOLLOWER_H_
+
+/// \file follower.h
+/// \brief The follower's tailing loop: a periodic driver for "sync with the
+/// delta log once".
+///
+/// Generic over a `std::function` so the replication layer never depends on
+/// the service layer: a ServiceCore hands its SyncWithLog as the callback
+/// and the replicator just paces it. The callback itself is responsible for
+/// thread-safety (SyncWithLog takes the core's exclusive lock), so DrainOnce
+/// may be called concurrently with a running loop — promotion uses that to
+/// catch up synchronously before taking over the log.
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/result.h"
+
+namespace templar::replication {
+
+class FollowerReplicator {
+ public:
+  /// \brief One sync pass; returns the epoch the follower is at afterwards.
+  using SyncFn = std::function<Result<uint64_t>()>;
+
+  FollowerReplicator(SyncFn sync, std::chrono::milliseconds interval)
+      : sync_(std::move(sync)), interval_(interval) {}
+
+  ~FollowerReplicator() { Stop(); }
+  FollowerReplicator(const FollowerReplicator&) = delete;
+  FollowerReplicator& operator=(const FollowerReplicator&) = delete;
+
+  /// \brief Starts the tailing thread (no-op when already running).
+  void Start() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (thread_.joinable()) return;
+    stop_ = false;
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  /// \brief Stops and joins the tailing thread (idempotent; called by the
+  /// destructor).
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!thread_.joinable()) return;
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    thread_ = std::thread();
+  }
+
+  /// \brief Runs one sync pass on the calling thread, immediately. Safe
+  /// while the loop is running; promotion drains with this.
+  Result<uint64_t> DrainOnce() { return sync_(); }
+
+  /// \brief Epoch reported by the most recent successful pass.
+  uint64_t last_applied_epoch() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return last_applied_epoch_;
+  }
+
+  /// \brief Status of the most recent pass (sticky errors clear on the next
+  /// successful pass — transient tail errors self-heal by design).
+  Status last_status() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return last_status_;
+  }
+
+  /// \brief Passes attempted since Start.
+  uint64_t polls() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return polls_;
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      lock.unlock();
+      Result<uint64_t> r = sync_();
+      lock.lock();
+      ++polls_;
+      if (r.ok()) {
+        last_applied_epoch_ = *r;
+        last_status_ = Status::OK();
+      } else {
+        last_status_ = r.status();
+      }
+      cv_.wait_for(lock, interval_, [this] { return stop_; });
+    }
+  }
+
+  SyncFn sync_;
+  std::chrono::milliseconds interval_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_ = false;
+  uint64_t last_applied_epoch_ = 0;
+  uint64_t polls_ = 0;
+  Status last_status_;
+};
+
+}  // namespace templar::replication
+
+#endif  // TEMPLAR_REPLICATION_FOLLOWER_H_

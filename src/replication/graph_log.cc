@@ -1,0 +1,289 @@
+#include "replication/graph_log.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "qfg/qfg_io.h"
+
+namespace templar::replication {
+
+std::string GraphLog::BasePath(const std::string& dir, uint64_t generation) {
+  return dir + "/base." + std::to_string(generation) + ".qfg";
+}
+
+std::string GraphLog::LogPath(const std::string& dir) {
+  return dir + "/delta.log";
+}
+
+void GraphLog::RebuildPositions(const qfg::QueryFragmentGraph& graph) {
+  const auto order = graph.CanonicalVertexOrder();
+  id_of_position_.clear();
+  position_of_id_.clear();
+  id_of_position_.reserve(order.size());
+  position_of_id_.reserve(order.size());
+  for (const auto& [id, count] : order) {
+    (void)count;
+    position_of_id_.emplace(id, static_cast<uint32_t>(id_of_position_.size()));
+    id_of_position_.push_back(id);
+  }
+}
+
+Result<qfg::QueryFragmentGraph> GraphLog::LoadAndReplay() {
+  // Log first: its header names the base generation this directory is at.
+  TEMPLAR_ASSIGN_OR_RETURN(auto log_contents, ReadLog(LogPath(dir_)));
+  const DeltaLogHeader& header = log_contents.first;
+  TEMPLAR_ASSIGN_OR_RETURN(
+      qfg::QueryFragmentGraph graph,
+      qfg::LoadQfgFromFile(BasePath(dir_, header.generation)));
+  if (graph.vertex_count() != header.base_vertex_count) {
+    return Status::Internal(
+        "base snapshot / delta log mismatch: base has " +
+        std::to_string(graph.vertex_count()) + " vertices, log expects " +
+        std::to_string(header.base_vertex_count));
+  }
+  header_ = header;
+  applied_epoch_ = header.base_epoch;
+  RebuildPositions(graph);
+  for (const DeltaBatch& batch : log_contents.second) {
+    TEMPLAR_ASSIGN_OR_RETURN(auto touched, ApplyBatch(batch, &graph));
+    (void)touched;
+  }
+  return graph;
+}
+
+Result<std::unique_ptr<GraphLog>> GraphLog::CreateFresh(
+    const std::string& dir, const qfg::QueryFragmentGraph& graph,
+    uint64_t epoch, Options options) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("cannot create replication dir '" + dir + "': " +
+                           std::strerror(errno));
+  }
+  auto log = std::unique_ptr<GraphLog>(new GraphLog(dir, options));
+  DeltaLogHeader header;
+  header.generation = 0;
+  header.base_epoch = epoch;
+  header.base_vertex_count = graph.vertex_count();
+  TEMPLAR_RETURN_NOT_OK(qfg::SaveQfgToFile(graph, BasePath(dir, 0)));
+  TEMPLAR_ASSIGN_OR_RETURN(log->writer_,
+                           DeltaLogWriter::Create(LogPath(dir), header));
+  log->header_ = header;
+  log->applied_epoch_ = epoch;
+  log->RebuildPositions(graph);
+  return log;
+}
+
+Result<GraphLog::Recovered> GraphLog::Recover(const std::string& dir,
+                                              Options options) {
+  auto log = std::unique_ptr<GraphLog>(new GraphLog(dir, options));
+  TEMPLAR_ASSIGN_OR_RETURN(qfg::QueryFragmentGraph graph,
+                           log->LoadAndReplay());
+  // OpenForAppend truncates any torn tail — exactly the records LoadAndReplay
+  // already refused to apply.
+  TEMPLAR_ASSIGN_OR_RETURN(log->writer_,
+                           DeltaLogWriter::OpenForAppend(LogPath(dir)));
+  if (log->writer_->last_epoch() != log->applied_epoch_) {
+    return Status::Internal("delta log recovery mismatch: appender at epoch " +
+                            std::to_string(log->writer_->last_epoch()) +
+                            ", replay reached " +
+                            std::to_string(log->applied_epoch_));
+  }
+  Recovered out;
+  out.epoch = log->applied_epoch_;
+  out.graph = std::move(graph);
+  out.log = std::move(log);
+  return out;
+}
+
+Result<GraphLog::Recovered> GraphLog::Follow(const std::string& dir,
+                                             Options options) {
+  auto log = std::unique_ptr<GraphLog>(new GraphLog(dir, options));
+  TEMPLAR_ASSIGN_OR_RETURN(qfg::QueryFragmentGraph graph,
+                           log->LoadAndReplay());
+  log->reader_ = std::make_unique<DeltaLogReader>(LogPath(dir));
+  Recovered out;
+  out.epoch = log->applied_epoch_;
+  out.graph = std::move(graph);
+  out.log = std::move(log);
+  return out;
+}
+
+Status GraphLog::AppendBatch(
+    uint64_t epoch, const std::vector<std::vector<qfg::FragmentId>>& queries,
+    const qfg::QueryFragmentGraph& graph) {
+  if (!writer_) {
+    return Status::InvalidArgument(
+        "GraphLog::AppendBatch: no appender attached (follower role)");
+  }
+  if (epoch != applied_epoch_ + 1) {
+    return Status::Internal("delta log append epoch " + std::to_string(epoch) +
+                            " does not follow " +
+                            std::to_string(applied_epoch_));
+  }
+  DeltaBatch batch;
+  batch.epoch = epoch;
+  for (const std::vector<qfg::FragmentId>& ids : queries) {
+    std::vector<uint32_t> positions;
+    positions.reserve(ids.size());
+    for (qfg::FragmentId id : ids) {
+      auto it = position_of_id_.find(id);
+      uint32_t position;
+      if (it == position_of_id_.end()) {
+        // First appearance in the log: assign the next position and ship the
+        // fragment definition with this record.
+        position = static_cast<uint32_t>(id_of_position_.size());
+        position_of_id_.emplace(id, position);
+        id_of_position_.push_back(id);
+        batch.new_fragments.push_back(graph.Fragment(id));
+      } else {
+        position = it->second;
+      }
+      positions.push_back(position);
+    }
+    batch.queries.push_back(std::move(positions));
+  }
+  TEMPLAR_RETURN_NOT_OK(writer_->Append(batch, options_.fsync_appends));
+  applied_epoch_ = epoch;
+  return Status::OK();
+}
+
+Status GraphLog::Compact(const qfg::QueryFragmentGraph& graph,
+                         uint64_t epoch) {
+  if (!writer_) {
+    return Status::InvalidArgument(
+        "GraphLog::Compact: no appender attached (follower role)");
+  }
+  if (epoch != applied_epoch_) {
+    return Status::Internal(
+        "compaction epoch " + std::to_string(epoch) +
+        " is not the last appended epoch " + std::to_string(applied_epoch_));
+  }
+  DeltaLogHeader next;
+  next.generation = header_.generation + 1;
+  next.base_epoch = epoch;
+  next.base_vertex_count = graph.vertex_count();
+  // New base first, then swap the log: a crash in between leaves the old
+  // (base, log) pair fully intact and only orphans the new base file.
+  TEMPLAR_RETURN_NOT_OK(
+      qfg::SaveQfgToFile(graph, BasePath(dir_, next.generation)));
+  const std::string staging = LogPath(dir_) + ".next";
+  TEMPLAR_ASSIGN_OR_RETURN(auto next_writer,
+                           DeltaLogWriter::Create(staging, next));
+  if (std::rename(staging.c_str(), LogPath(dir_).c_str()) != 0) {
+    Status st = Status::IOError("swap compacted delta log: " +
+                                std::string(std::strerror(errno)));
+    std::remove(staging.c_str());
+    return st;
+  }
+  // The staged writer's descriptor names the inode, not the path, so it
+  // survives the rename and is now appending to <dir>/delta.log.
+  writer_ = std::move(next_writer);
+  std::remove(BasePath(dir_, header_.generation).c_str());
+  header_ = next;
+  RebuildPositions(graph);
+  return Status::OK();
+}
+
+Result<GraphLog::PollOutcome> GraphLog::Poll(
+    const qfg::QueryFragmentGraph& graph) {
+  if (!reader_) {
+    return Status::InvalidArgument(
+        "GraphLog::Poll: no tailer attached (writer role)");
+  }
+  TEMPLAR_ASSIGN_OR_RETURN(TailResult tail, reader_->Poll());
+  PollOutcome out;
+  if (tail.generation_changed &&
+      tail.header.generation != header_.generation) {
+    if (applied_epoch_ < tail.header.base_epoch) {
+      // Compacted past us: the records we still needed are folded into the
+      // new base. (The tailed batches are discarded; ReloadFromBase resets
+      // the tailer, so nothing is lost.)
+      out.needs_reload = true;
+      return out;
+    }
+    if (applied_epoch_ > tail.header.base_epoch) {
+      return Status::Internal(
+          "follower at epoch " + std::to_string(applied_epoch_) +
+          " is ahead of compacted base epoch " +
+          std::to_string(tail.header.base_epoch));
+    }
+    // Caught up through the compaction point: our graph content equals the
+    // new base, so its canonical order IS the new position space.
+    header_ = tail.header;
+    RebuildPositions(graph);
+  }
+  out.batches = std::move(tail.batches);
+  return out;
+}
+
+Result<std::vector<qfg::FragmentId>> GraphLog::ApplyBatch(
+    const DeltaBatch& batch, qfg::QueryFragmentGraph* graph) {
+  if (batch.epoch <= applied_epoch_) return std::vector<qfg::FragmentId>{};
+  if (batch.epoch != applied_epoch_ + 1) {
+    return Status::Internal("delta log epoch gap: applied " +
+                            std::to_string(applied_epoch_) + ", record is " +
+                            std::to_string(batch.epoch));
+  }
+  for (const qfg::QueryFragment& fragment : batch.new_fragments) {
+    qfg::FragmentId id = graph->InternFragment(fragment);
+    position_of_id_.emplace(id, static_cast<uint32_t>(id_of_position_.size()));
+    id_of_position_.push_back(id);
+  }
+  // Validate every position before mutating any count, so a (CRC-defying)
+  // corrupt record cannot leave the graph half-applied.
+  for (const std::vector<uint32_t>& query : batch.queries) {
+    for (uint32_t position : query) {
+      if (position >= id_of_position_.size()) {
+        return Status::ParseError(
+            "delta record position " + std::to_string(position) +
+            " out of range (" + std::to_string(id_of_position_.size()) + ")");
+      }
+    }
+  }
+  std::vector<qfg::FragmentId> touched;
+  std::vector<qfg::FragmentId> ids;
+  for (const std::vector<uint32_t>& query : batch.queries) {
+    ids.clear();
+    ids.reserve(query.size());
+    for (uint32_t position : query) ids.push_back(id_of_position_[position]);
+    graph->ApplyQueryIds(ids);
+    touched.insert(touched.end(), ids.begin(), ids.end());
+  }
+  applied_epoch_ = batch.epoch;
+  return touched;
+}
+
+Result<GraphLog::Recovered> GraphLog::ReloadFromBase() {
+  TEMPLAR_ASSIGN_OR_RETURN(qfg::QueryFragmentGraph graph, LoadAndReplay());
+  // Fresh tailer: offset back to the top of the generation we just replayed;
+  // already-applied records are skipped by epoch on the next poll.
+  reader_ = std::make_unique<DeltaLogReader>(LogPath(dir_));
+  Recovered out;
+  out.epoch = applied_epoch_;
+  out.graph = std::move(graph);
+  return out;
+}
+
+Status GraphLog::Promote() {
+  if (writer_) return Status::OK();  // Already the writer.
+  TEMPLAR_ASSIGN_OR_RETURN(auto writer,
+                           DeltaLogWriter::OpenForAppend(LogPath(dir_)));
+  if (writer->header().generation != header_.generation) {
+    return Status::Internal(
+        "log generation changed under promotion; poll to catch up first");
+  }
+  if (writer->last_epoch() != applied_epoch_) {
+    return Status::Internal(
+        "follower not caught up for promotion: log ends at epoch " +
+        std::to_string(writer->last_epoch()) + ", applied " +
+        std::to_string(applied_epoch_));
+  }
+  writer_ = std::move(writer);
+  reader_.reset();
+  return Status::OK();
+}
+
+}  // namespace templar::replication

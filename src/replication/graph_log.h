@@ -1,0 +1,199 @@
+#ifndef TEMPLAR_REPLICATION_GRAPH_LOG_H_
+#define TEMPLAR_REPLICATION_GRAPH_LOG_H_
+
+/// \file graph_log.h
+/// \brief The QFG-aware layer over the delta log: position<->id translation,
+/// base-snapshot management, compaction, recovery, and promotion.
+///
+/// One replication directory holds one replicated graph:
+///
+///   <dir>/base.<gen>.qfg   qfg_io v2 snapshot generation <gen>'s positions
+///                          refer to (older generations are unlinked after a
+///                          successful compaction swap)
+///   <dir>/delta.log        current-generation delta log (delta_log.h framing)
+///
+/// The base filename carries the generation because base and log cannot be
+/// renamed atomically *together*: compaction writes base.<g+1>.qfg first,
+/// then swaps the log — a crash in between leaves generation g's pair fully
+/// intact, and the orphaned g+1 base is simply overwritten next time.
+///
+/// A GraphLog instance plays one of two roles:
+///
+///  - **Writer** (CreateFresh / Recover): AppendBatch translates the ids a
+///    ServiceCore append just produced into log positions (emitting fragment
+///    definitions for first appearances) and appends one record per epoch.
+///    Compact folds the live graph into a fresh base.qfg and swaps in a
+///    generation+1 log, both via atomic rename.
+///  - **Follower** (Follow): Poll tails the log; ApplyBatch replays one
+///    record onto the local graph through InternFragment/ApplyQueryIds,
+///    returning the touched ids so the caller can run the same
+///    FragmentDelta cache-invalidation sweep the writer runs. Promote
+///    attaches an appender (truncating any torn tail), turning the follower
+///    into the writer at the epoch it last applied.
+///
+/// Not thread-safe: the owning ServiceCore serializes all calls under its
+/// exclusive QFG lock.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "qfg/query_fragment_graph.h"
+#include "replication/delta_log.h"
+
+namespace templar::replication {
+
+/// \brief GraphLog tunables (namespace scope so it is complete when used as
+/// a default argument inside the class).
+struct GraphLogOptions {
+  /// fsync every appended record (durability over append latency).
+  bool fsync_appends = false;
+};
+
+class GraphLog {
+ public:
+  using Options = GraphLogOptions;
+
+  /// \brief `<dir>/base.<generation>.qfg`.
+  static std::string BasePath(const std::string& dir, uint64_t generation);
+  /// \brief `<dir>/delta.log`.
+  static std::string LogPath(const std::string& dir);
+
+  /// \brief A bootstrapped log plus the graph state it represents.
+  struct Recovered {
+    std::unique_ptr<GraphLog> log;
+    qfg::QueryFragmentGraph graph;
+    /// Epoch the graph is at: base_epoch plus every replayed record.
+    uint64_t epoch = 0;
+  };
+
+  /// \name Writer role
+  ///@{
+
+  /// \brief Starts replication for an existing graph: writes `<dir>/base.qfg`
+  /// atomically and creates a generation-0 log whose base epoch is `epoch`
+  /// (the owning service's current epoch).
+  static Result<std::unique_ptr<GraphLog>> CreateFresh(
+      const std::string& dir, const qfg::QueryFragmentGraph& graph,
+      uint64_t epoch, Options options = {});
+
+  /// \brief Writer restart: loads base.qfg, replays the log's valid record
+  /// prefix onto it, truncates any torn tail, and attaches the appender
+  /// after the last valid record.
+  static Result<Recovered> Recover(const std::string& dir,
+                                   Options options = {});
+
+  /// \brief Appends one batch at `epoch`: the per-query id lists exactly as
+  /// AppendLogQuery returned them, against `graph` (which already contains
+  /// the mutation). Ids never logged before are assigned the next positions
+  /// and their fragment definitions ride in the record.
+  Status AppendBatch(uint64_t epoch,
+                     const std::vector<std::vector<qfg::FragmentId>>& queries,
+                     const qfg::QueryFragmentGraph& graph);
+
+  /// \brief Folds the applied prefix away: atomically rewrites base.qfg from
+  /// `graph` (at `epoch`) and swaps in an empty generation+1 log. Tailing
+  /// followers observe the generation change on their next poll.
+  Status Compact(const qfg::QueryFragmentGraph& graph, uint64_t epoch);
+  ///@}
+
+  /// \name Follower role
+  ///@{
+
+  /// \brief Follower bootstrap: loads base.qfg, replays the valid record
+  /// prefix, and starts a tailer. Never writes to the directory.
+  static Result<Recovered> Follow(const std::string& dir,
+                                  Options options = {});
+
+  /// \brief What one follower poll asks of the caller.
+  struct PollOutcome {
+    /// Records to replay, oldest first, via ApplyBatch.
+    std::vector<DeltaBatch> batches;
+    /// The writer compacted past this follower's epoch: the local graph can
+    /// no longer be caught up incrementally. The caller must ReloadFromBase
+    /// and rebuild its serving state (caches, indexes) from the result.
+    bool needs_reload = false;
+  };
+
+  /// \brief Tails the log. On a generation change (compaction) with the
+  /// follower fully caught up, the position map is rebuilt in place from
+  /// `graph`'s canonical order — content-identical graphs order identically,
+  /// so no file read is needed. A follower that was behind gets
+  /// `needs_reload` instead.
+  Result<PollOutcome> Poll(const qfg::QueryFragmentGraph& graph);
+
+  /// \brief Replays one record onto `graph`: interns new fragment
+  /// definitions, translates positions to local ids, and applies each query
+  /// through ApplyQueryIds. Returns every id the record touched (with
+  /// duplicates across queries) for the caller's invalidation sweep; empty
+  /// when the record's epoch was already applied. Errors on an epoch gap.
+  Result<std::vector<qfg::FragmentId>> ApplyBatch(
+      const DeltaBatch& batch, qfg::QueryFragmentGraph* graph);
+
+  /// \brief Full catch-up for a follower behind compaction: loads the
+  /// current base.qfg, replays the current log prefix, and resets the
+  /// tailer. The returned graph replaces the caller's; `this` keeps serving
+  /// as its log.
+  Result<Recovered> ReloadFromBase();
+
+  /// \brief Turns this follower into the writer: truncates any torn tail
+  /// and attaches the appender. The follower must be fully caught up (drain
+  /// Poll/ApplyBatch first) — promotion at a stale epoch would fork history.
+  Status Promote();
+  ///@}
+
+  /// \brief True once an appender is attached (writer role, or a promoted
+  /// follower).
+  bool can_append() const { return writer_ != nullptr; }
+
+  /// \brief Last epoch appended (writer) or applied (follower).
+  uint64_t applied_epoch() const { return applied_epoch_; }
+
+  /// \brief Newest epoch ever observed in the log by the tailer — the
+  /// numerator of the follower lag gauge. 0 in writer role.
+  uint64_t last_seen_epoch() const {
+    return reader_ ? reader_->last_seen_epoch() : 0;
+  }
+
+  /// \brief Current log generation.
+  uint64_t generation() const { return header_.generation; }
+
+  /// \brief Appender-side compaction policy inputs; 0 without an appender.
+  uint64_t log_size_bytes() const {
+    return writer_ ? writer_->size_bytes() : 0;
+  }
+  uint64_t log_record_count() const {
+    return writer_ ? writer_->record_count() : 0;
+  }
+
+ private:
+  GraphLog(std::string dir, Options options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  /// Rebuilds the position map as the canonical vertex order of `graph` —
+  /// the order the current base snapshot lists (or would list) them in.
+  void RebuildPositions(const qfg::QueryFragmentGraph& graph);
+
+  /// Loads base.qfg + replays the current log prefix into a fresh graph,
+  /// updating this instance's maps/epoch/header. Shared by Recover, Follow,
+  /// and ReloadFromBase.
+  Result<qfg::QueryFragmentGraph> LoadAndReplay();
+
+  std::string dir_;
+  Options options_;
+  std::unique_ptr<DeltaLogWriter> writer_;  ///< Writer role only.
+  std::unique_ptr<DeltaLogReader> reader_;  ///< Follower role only.
+  DeltaLogHeader header_;
+  uint64_t applied_epoch_ = 0;
+  /// position -> local id; index < header_.base_vertex_count is a base
+  /// snapshot position, the rest were introduced by log records in order.
+  std::vector<qfg::FragmentId> id_of_position_;
+  std::unordered_map<qfg::FragmentId, uint32_t> position_of_id_;
+};
+
+}  // namespace templar::replication
+
+#endif  // TEMPLAR_REPLICATION_GRAPH_LOG_H_

@@ -77,6 +77,14 @@ const char* CounterName(Counter counter) {
   return "unknown";
 }
 
+const char* GaugeName(Gauge gauge) {
+  switch (gauge) {
+    case Gauge::kFollowerLagEpochs:
+      return "follower_lag_epochs";
+  }
+  return "unknown";
+}
+
 const char* LatencyPointName(LatencyPoint point) {
   switch (point) {
     case LatencyPoint::kQueueWait:
@@ -98,6 +106,9 @@ TenantMetricsSnapshot TenantMetrics::Collect(MetricClock::time_point now) {
   for (size_t c = 0; c < kCounterCount; ++c) {
     snap.windows[c] = counters_[c].Sums(now);
     snap.totals[c] = counters_[c].Total();
+  }
+  for (size_t g = 0; g < kGaugeCount; ++g) {
+    snap.gauges[g] = gauges_[g].load(std::memory_order_relaxed);
   }
   for (size_t p = 0; p < kLatencyPointCount; ++p) {
     snap.latencies[p] = histograms_[p].Snapshot();
@@ -156,6 +167,19 @@ std::string RenderPrometheusText(
       AppendF(&out, "templar_%s_total{tenant=\"%s\"} %llu\n", name,
               EscapeLabel(id).c_str(),
               static_cast<unsigned long long>(snap->totals[c]));
+    }
+  }
+
+  for (size_t g = 0; g < kGaugeCount; ++g) {
+    const char* name = GaugeName(static_cast<Gauge>(g));
+    AppendF(&out,
+            "# HELP templar_%s Current value (host aggregate is the max "
+            "across tenants).\n# TYPE templar_%s gauge\n",
+            name, name);
+    for (const auto& [id, snap] : rows) {
+      AppendF(&out, "templar_%s{tenant=\"%s\"} %llu\n", name,
+              EscapeLabel(id).c_str(),
+              static_cast<unsigned long long>(snap->gauges[g]));
     }
   }
 

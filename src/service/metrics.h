@@ -29,6 +29,7 @@
 /// takes an optional explicit time point so tests can drive bucket
 /// rollover and idle-gap semantics deterministically.
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
@@ -192,6 +193,19 @@ inline constexpr size_t kCounterCount = 12;
 /// \brief Prometheus-safe metric name stem of `counter`.
 const char* CounterName(Counter counter);
 
+/// \brief Point-in-time gauges a serving engine publishes. Unlike counters,
+/// a gauge's *current* value is the signal — no windowing, no totals; the
+/// engine overwrites it whenever the underlying quantity changes.
+enum class Gauge : size_t {
+  /// Epochs a read-only follower trails the delta log it tails (0 when
+  /// caught up, and always 0 on a writer). See replication/graph_log.h.
+  kFollowerLagEpochs = 0,
+};
+inline constexpr size_t kGaugeCount = 1;
+
+/// \brief Prometheus-safe metric name stem of `gauge`.
+const char* GaugeName(Gauge gauge);
+
 /// \brief The latency points histograms are recorded at.
 enum class LatencyPoint : size_t {
   kQueueWait = 0,  ///< Admission-queue wait, recorded at dispatch.
@@ -213,6 +227,7 @@ struct TenantMetricsSnapshot {
   /// lifetime.
   std::array<std::array<uint64_t, kWindowCount>, kCounterCount> windows{};
   std::array<uint64_t, kCounterCount> totals{};
+  std::array<uint64_t, kGaugeCount> gauges{};
   std::array<HistogramSnapshot, kLatencyPointCount> latencies;
 
   uint64_t WindowSum(Counter c, Window w) const {
@@ -224,6 +239,7 @@ struct TenantMetricsSnapshot {
   const HistogramSnapshot& Latency(LatencyPoint p) const {
     return latencies[static_cast<size_t>(p)];
   }
+  uint64_t GaugeValue(Gauge g) const { return gauges[static_cast<size_t>(g)]; }
 
   void MergeFrom(const TenantMetricsSnapshot& other) {
     for (size_t c = 0; c < kCounterCount; ++c) {
@@ -231,6 +247,11 @@ struct TenantMetricsSnapshot {
         windows[c][w] += other.windows[c][w];
       }
       totals[c] += other.totals[c];
+    }
+    // Gauges aggregate as max: the host-level lag is the worst replica's
+    // lag, not the sum of everyone's.
+    for (size_t g = 0; g < kGaugeCount; ++g) {
+      gauges[g] = std::max(gauges[g], other.gauges[g]);
     }
     for (size_t p = 0; p < kLatencyPointCount; ++p) {
       latencies[p].MergeFrom(other.latencies[p]);
@@ -260,6 +281,14 @@ class TenantMetrics {
     Record(p, d.count() < 0 ? 0 : static_cast<uint64_t>(d.count()));
   }
 
+  /// \brief Overwrites a gauge with its current value.
+  void SetGauge(Gauge g, uint64_t value) {
+    gauges_[static_cast<size_t>(g)].store(value, std::memory_order_relaxed);
+  }
+  uint64_t gauge(Gauge g) const {
+    return gauges_[static_cast<size_t>(g)].load(std::memory_order_relaxed);
+  }
+
   WindowedCounter& counter(Counter c) {
     return counters_[static_cast<size_t>(c)];
   }
@@ -274,6 +303,7 @@ class TenantMetrics {
 
  private:
   std::array<WindowedCounter, kCounterCount> counters_;
+  std::array<std::atomic<uint64_t>, kGaugeCount> gauges_{};
   std::array<LatencyHistogram, kLatencyPointCount> histograms_;
 };
 

@@ -1,11 +1,14 @@
 #include "service/templar_service.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 
 #include "graph/schema_graph.h"
 #include "qfg/fragment_delta.h"
 #include "qfg/qfg_io.h"
+#include "replication/graph_log.h"
 #include "service/scoring_executor.h"
 #include "sql/parser.h"
 
@@ -205,6 +208,44 @@ std::string ServiceCore::TranslateCacheKey(const nlq::ParsedNlq& nlq,
 Result<std::unique_ptr<ServiceCore>> ServiceCore::Create(
     const db::Database* db, const embed::SimilarityModel* model,
     const std::vector<std::string>& query_log, const ServiceOptions& options) {
+  const ReplicationOptions& rep = options.replication;
+  replication::GraphLogOptions log_options;
+  log_options.fsync_appends = rep.fsync_appends;
+
+  // Follower: the replication directory is the only source of truth —
+  // bootstrap the graph from base snapshot + delta log and tail from there.
+  if (!rep.log_dir.empty() && rep.follower) {
+    auto recovered = replication::GraphLog::Follow(rep.log_dir, log_options);
+    if (!recovered.ok()) return recovered.status();
+    auto templar = core::Templar::BuildFromQfg(
+        db, model, std::move(recovered->graph), options.templar);
+    if (!templar.ok()) return templar.status();
+    auto core = std::unique_ptr<ServiceCore>(
+        new ServiceCore(db, model, std::move(*templar), options));
+    core->graph_log_ = std::move(recovered->log);
+    core->epoch_.store(recovered->epoch, std::memory_order_release);
+    core->follower_.store(true, std::memory_order_release);
+    return core;
+  }
+
+  // Writer restart: an existing delta log outranks query_log /
+  // warm_start_path — it holds everything the previous writer ingested
+  // after its last compaction, which a stale snapshot would silently lose.
+  if (!rep.log_dir.empty() &&
+      ::access(replication::GraphLog::LogPath(rep.log_dir).c_str(), F_OK) ==
+          0) {
+    auto recovered = replication::GraphLog::Recover(rep.log_dir, log_options);
+    if (!recovered.ok()) return recovered.status();
+    auto templar = core::Templar::BuildFromQfg(
+        db, model, std::move(recovered->graph), options.templar);
+    if (!templar.ok()) return templar.status();
+    auto core = std::unique_ptr<ServiceCore>(
+        new ServiceCore(db, model, std::move(*templar), options));
+    core->graph_log_ = std::move(recovered->log);
+    core->epoch_.store(recovered->epoch, std::memory_order_release);
+    return core;
+  }
+
   Result<std::unique_ptr<core::Templar>> templar = [&] {
     if (!options.warm_start_path.empty()) {
       auto snapshot = qfg::LoadQfgFromFile(options.warm_start_path);
@@ -217,19 +258,36 @@ Result<std::unique_ptr<ServiceCore>> ServiceCore::Create(
     return core::Templar::Build(db, model, query_log, options.templar);
   }();
   if (!templar.ok()) return templar.status();
-  return std::unique_ptr<ServiceCore>(
-      new ServiceCore(std::move(*templar), options));
+  auto core = std::unique_ptr<ServiceCore>(
+      new ServiceCore(db, model, std::move(*templar), options));
+  if (!rep.log_dir.empty()) {
+    // Fresh writer: checkpoint the just-built graph as the log's base.
+    auto graph_log = replication::GraphLog::CreateFresh(
+        rep.log_dir, core->templar_->query_fragment_graph(), core->epoch(),
+        log_options);
+    if (!graph_log.ok()) return graph_log.status();
+    core->graph_log_ = std::move(*graph_log);
+  }
+  return core;
 }
 
-ServiceCore::ServiceCore(std::unique_ptr<core::Templar> templar,
+ServiceCore::ServiceCore(const db::Database* db,
+                         const embed::SimilarityModel* model,
+                         std::unique_ptr<core::Templar> templar,
                          const ServiceOptions& options)
-    : templar_(std::move(templar)),
+    : db_(db),
+      model_(model),
+      templar_options_(options.templar),
+      replication_(options.replication),
+      templar_(std::move(templar)),
       map_cache_(options.map_cache_capacity, options.cache_shards,
                  options.invalidation),
       join_cache_(options.join_cache_capacity, options.cache_shards,
                   options.invalidation),
       translate_cache_(options.translate_cache_capacity, options.cache_shards,
                        options.invalidation) {}
+
+ServiceCore::~ServiceCore() = default;
 
 void ServiceCore::SetCacheCapacities(size_t map_entries, size_t join_entries,
                                      size_t translate_entries) {
@@ -530,8 +588,13 @@ Result<std::vector<graph::JoinPath>> ServiceCore::InferJoins(
   return std::move(response->join_paths);
 }
 
-AppendOutcome ServiceCore::AppendLogQueries(
+Result<AppendOutcome> ServiceCore::AppendLogQueries(
     const std::vector<std::string>& sql_entries) {
+  if (is_follower()) {
+    return Status::InvalidArgument(
+        "read-only follower: appends must go to the writer (or Promote this "
+        "replica first)");
+  }
   // Parse outside any lock: parsing dominates ingestion cost and must not
   // block readers. The fragment delta is built *inside* the writer section,
   // from the interned ids each AddQuery returns — the interner already
@@ -567,8 +630,11 @@ AppendOutcome ServiceCore::AppendLogQueries(
     std::unique_lock<std::shared_mutex> lock(qfg_mutex_);
     qfg::FragmentDelta delta;
     const qfg::QueryFragmentGraph& graph = templar_->query_fragment_graph();
+    std::vector<std::vector<qfg::FragmentId>> batch_ids;
+    batch_ids.reserve(parsed.size());
     for (const auto& query : parsed) {
-      for (qfg::FragmentId id : templar_->AppendLogQuery(query)) {
+      batch_ids.push_back(templar_->AppendLogQuery(query));
+      for (qfg::FragmentId id : batch_ids.back()) {
         delta.AddFingerprint(graph.Fingerprint(id));
       }
       delta.MarkQueryApplied();
@@ -591,9 +657,126 @@ AppendOutcome ServiceCore::AppendLogQueries(
     swept += translate_cache_.ApplyDelta(delta.fingerprints(), outcome.epoch);
     metrics_->Add(Counter::kInvalidationSweeps, 1);
     metrics_->Add(Counter::kInvalidatedEntries, swept);
+    if (graph_log_ != nullptr) {
+      // Frame the batch into the delta log before releasing the lock, so
+      // the log's epoch order is the epoch counter's order. An I/O failure
+      // here is returned to the caller: the in-memory graph HAS the batch
+      // (readers keep a consistent view) but followers will not see it —
+      // the writer should be restarted from the log before trusting
+      // replication again.
+      TEMPLAR_RETURN_NOT_OK(
+          graph_log_->AppendBatch(outcome.epoch, batch_ids, graph));
+      const bool records_trip =
+          replication_.compact_after_records > 0 &&
+          graph_log_->log_record_count() >= replication_.compact_after_records;
+      const bool bytes_trip =
+          replication_.compact_after_bytes > 0 &&
+          graph_log_->log_size_bytes() >= replication_.compact_after_bytes;
+      if (records_trip || bytes_trip) {
+        TEMPLAR_RETURN_NOT_OK(graph_log_->Compact(graph, outcome.epoch));
+      }
+    }
   }
   appended_queries_.fetch_add(parsed.size(), std::memory_order_relaxed);
   return outcome;
+}
+
+Result<uint64_t> ServiceCore::SyncWithLog() {
+  std::unique_lock<std::shared_mutex> lock(qfg_mutex_);
+  return SyncLocked();
+}
+
+Result<uint64_t> ServiceCore::SyncLocked() {
+  if (graph_log_ == nullptr) {
+    return Status::InvalidArgument("core is not replicated");
+  }
+  TEMPLAR_ASSIGN_OR_RETURN(replication::GraphLog::PollOutcome outcome,
+                           graph_log_->Poll(templar_->query_fragment_graph()));
+  if (outcome.needs_reload) {
+    // The writer compacted past this replica: the records it still needed
+    // are folded into the new base, so incremental per-fragment
+    // invalidation has no delta to work from. Rebuild wholesale and drop
+    // the caches.
+    TEMPLAR_ASSIGN_OR_RETURN(replication::GraphLog::Recovered reloaded,
+                             graph_log_->ReloadFromBase());
+    TEMPLAR_ASSIGN_OR_RETURN(
+        std::unique_ptr<core::Templar> rebuilt,
+        core::Templar::BuildFromQfg(db_, model_, std::move(reloaded.graph),
+                                    templar_options_));
+    templar_ = std::move(rebuilt);
+    epoch_.store(reloaded.epoch, std::memory_order_release);
+    map_cache_.Clear();
+    join_cache_.Clear();
+    translate_cache_.Clear();
+    // Advance the shard epochs so an in-flight computation from before the
+    // reload cannot publish a pre-reload ranking afterwards.
+    map_cache_.ApplyDelta({}, reloaded.epoch);
+    join_cache_.ApplyDelta({}, reloaded.epoch);
+    translate_cache_.ApplyDelta({}, reloaded.epoch);
+    metrics_->Add(Counter::kInvalidationSweeps, 1);
+  }
+  for (const replication::DeltaBatch& batch : outcome.batches) {
+    TEMPLAR_ASSIGN_OR_RETURN(
+        std::vector<qfg::FragmentId> touched,
+        graph_log_->ApplyBatch(batch, templar_->mutable_query_fragment_graph()));
+    if (batch.epoch <= epoch()) continue;  // Already applied (bootstrap re-read).
+    // The same invalidation sweep the writer ran for this epoch, rebuilt
+    // from the replayed ids: interned fingerprints are a pure function of
+    // fragment text, so the swept set is identical on both sides.
+    qfg::FragmentDelta delta;
+    const qfg::QueryFragmentGraph& graph = templar_->query_fragment_graph();
+    for (qfg::FragmentId id : touched) {
+      delta.AddFingerprint(graph.Fingerprint(id));
+    }
+    delta.MarkQueryApplied();
+    delta.Seal();
+    epoch_.store(batch.epoch, std::memory_order_release);
+    size_t swept = map_cache_.ApplyDelta(delta.fingerprints(), batch.epoch);
+    swept += join_cache_.ApplyDelta(delta.fingerprints(), batch.epoch);
+    swept += translate_cache_.ApplyDelta(delta.fingerprints(), batch.epoch);
+    metrics_->Add(Counter::kInvalidationSweeps, 1);
+    metrics_->Add(Counter::kInvalidatedEntries, swept);
+    append_batches_.fetch_add(1, std::memory_order_relaxed);
+    appended_queries_.fetch_add(batch.queries.size(),
+                                std::memory_order_relaxed);
+  }
+  const uint64_t applied = graph_log_->applied_epoch();
+  const uint64_t seen = graph_log_->last_seen_epoch();
+  metrics_->SetGauge(Gauge::kFollowerLagEpochs,
+                     seen > applied ? seen - applied : 0);
+  return applied;
+}
+
+Status ServiceCore::Promote() {
+  std::unique_lock<std::shared_mutex> lock(qfg_mutex_);
+  if (graph_log_ == nullptr) {
+    return Status::InvalidArgument("core is not replicated");
+  }
+  if (!follower_.load(std::memory_order_acquire)) return Status::OK();
+  // Drain to the end of the log: a sync pass that makes no progress has
+  // applied every durable record (a reload pass jumps the epoch, so the
+  // loop naturally runs again to tail the new generation).
+  for (;;) {
+    const uint64_t before = graph_log_->applied_epoch();
+    TEMPLAR_ASSIGN_OR_RETURN(uint64_t after, SyncLocked());
+    if (after == before) break;
+  }
+  TEMPLAR_RETURN_NOT_OK(graph_log_->Promote());
+  follower_.store(false, std::memory_order_release);
+  metrics_->SetGauge(Gauge::kFollowerLagEpochs, 0);
+  return Status::OK();
+}
+
+Status ServiceCore::CompactLog() {
+  std::unique_lock<std::shared_mutex> lock(qfg_mutex_);
+  if (graph_log_ == nullptr) {
+    return Status::InvalidArgument("core is not replicated");
+  }
+  if (!graph_log_->can_append()) {
+    return Status::InvalidArgument(
+        "read-only follower cannot compact the log it tails");
+  }
+  return graph_log_->Compact(templar_->query_fragment_graph(), epoch());
 }
 
 Status ServiceCore::SaveSnapshot(const std::string& path) const {

@@ -51,6 +51,13 @@
 ///  - **Warm start / checkpoint.** SaveSnapshot writes the QFG in the
 ///    qfg_io snapshot format; ServiceOptions::warm_start_path restores it
 ///    at Create time, skipping the log re-parse.
+///  - **Replication.** ServiceOptions::replication turns the core into the
+///    writer of an append-only delta log (each append batch framed onto
+///    disk inside the same exclusive section that swept the caches, the
+///    log periodically compacted into a fresh base snapshot) or into a
+///    read-only follower that tails the log, applies batches through the
+///    identical invalidation path, and can be promoted to writer when the
+///    writer dies. See replication/graph_log.h.
 ///
 /// The pre-envelope surfaces — MapKeywords/InferJoins sync, async, and
 /// batch — survive as thin shims over stage-selected requests: same cache
@@ -80,6 +87,10 @@
 #include "service/service_stats.h"
 #include "service/single_flight.h"
 #include "service/thread_pool.h"
+
+namespace templar::replication {
+class GraphLog;
+}  // namespace templar::replication
 
 namespace templar::service {
 
@@ -143,6 +154,26 @@ Result<QueryResponse> RunDispatched(
 
 }  // namespace internal
 
+/// \brief Delta-log replication settings (replication/graph_log.h).
+struct ReplicationOptions {
+  /// When non-empty, the core replicates its QFG through this directory: a
+  /// writer snapshots the graph to a base file and appends every ingestion
+  /// batch to the delta log; a follower bootstraps from base+log and tails.
+  /// Empty disables replication entirely.
+  std::string log_dir;
+  /// Serve as a read-only follower: the QFG is built from the directory
+  /// (query_log/warm_start_path are ignored), AppendLogQueries is rejected,
+  /// and SyncWithLog/Promote drive the replica.
+  bool follower = false;
+  /// Writer auto-compaction triggers, checked after each append while the
+  /// exclusive lock is still held (0 = disabled): fold the log into a fresh
+  /// base snapshot once it holds this many records / bytes.
+  uint64_t compact_after_records = 0;
+  uint64_t compact_after_bytes = 0;
+  /// fsync every appended record before the append returns.
+  bool fsync_appends = false;
+};
+
 /// \brief Serving-layer tunables on top of the core TemplarOptions.
 struct ServiceOptions {
   core::TemplarOptions templar;
@@ -163,6 +194,10 @@ struct ServiceOptions {
   /// When non-empty, restore the QFG from this qfg_io snapshot instead of
   /// parsing `query_log` (which is then ignored).
   std::string warm_start_path;
+  /// Delta-log replication. With a log_dir and an existing delta log, the
+  /// directory is the source of truth and query_log/warm_start_path are
+  /// ignored (writer restart / follower bootstrap both recover from it).
+  ReplicationOptions replication;
 };
 
 /// \brief Outcome of one AppendLogQueries batch.
@@ -187,6 +222,8 @@ class ServiceCore {
       const db::Database* db, const embed::SimilarityModel* model,
       const std::vector<std::string>& query_log,
       const ServiceOptions& options = {});
+
+  ~ServiceCore();
 
   ServiceCore(const ServiceCore&) = delete;
   ServiceCore& operator=(const ServiceCore&) = delete;
@@ -214,7 +251,49 @@ class ServiceCore {
   /// are blocked for the minimum time and an entry the append could have
   /// changed is never served afterwards. Unparseable entries are skipped
   /// and counted.
-  AppendOutcome AppendLogQueries(const std::vector<std::string>& sql_entries);
+  ///
+  /// The returned AppendOutcome::epoch is *this batch's* epoch, read from
+  /// the same bump that stamped the invalidation sweep — callers correlate
+  /// appends with sweeps from it directly, without racing a second read of
+  /// the epoch counter. When the core replicates, the batch is also framed
+  /// into the delta log before the lock is released. On a read-only
+  /// follower the call is rejected with kInvalidArgument and nothing is
+  /// applied — appends go to the writer (or Promote this replica first).
+  Result<AppendOutcome> AppendLogQueries(
+      const std::vector<std::string>& sql_entries);
+
+  /// \name Replication (no-ops unless ServiceOptions::replication is set)
+  ///@{
+
+  /// \brief Follower: one tail pass over the delta log. Applies every new
+  /// record through the same FragmentDelta cache-invalidation sweep the
+  /// writer's appends run, advances the serving epoch, and — when the
+  /// writer compacted past this replica — reloads wholesale from the new
+  /// base snapshot (dropping the caches, which per-fragment deltas can no
+  /// longer validate). Returns the epoch the replica serves at afterwards;
+  /// updates the follower-lag gauge. Pair with
+  /// replication::FollowerReplicator for a periodic loop.
+  Result<uint64_t> SyncWithLog();
+
+  /// \brief Promotes this follower to writer: drains the log to its end,
+  /// attaches the appender (truncating any torn tail the dead writer left),
+  /// and starts accepting AppendLogQueries at the epoch it last applied.
+  /// The old writer must be stopped first — two appenders would fork the
+  /// log. Idempotent on a core that already accepts appends.
+  Status Promote();
+
+  /// \brief Writer: folds the delta log into a fresh base snapshot now
+  /// (auto-compaction runs off ReplicationOptions thresholds; this is the
+  /// explicit trigger).
+  Status CompactLog();
+
+  /// \brief True while this core rejects appends and tails the log.
+  bool is_follower() const {
+    return follower_.load(std::memory_order_acquire);
+  }
+  /// \brief True when a replication directory is attached (either role).
+  bool is_replicated() const { return graph_log_ != nullptr; }
+  ///@}
 
   /// \brief Checkpoints the current QFG in the qfg_io snapshot format
   /// (restorable via ServiceOptions::warm_start_path).
@@ -265,8 +344,12 @@ class ServiceCore {
                                        bool want_explanation);
 
  private:
-  ServiceCore(std::unique_ptr<core::Templar> templar,
+  ServiceCore(const db::Database* db, const embed::SimilarityModel* model,
+              std::unique_ptr<core::Templar> templar,
               const ServiceOptions& options);
+
+  /// SyncWithLog body; requires the exclusive QFG lock to be held.
+  Result<uint64_t> SyncLocked();
 
   /// One cached end-to-end translation: the full ranking plus (when the
   /// computing request asked) aligned explanations and the compute-time
@@ -331,8 +414,19 @@ class ServiceCore {
     return scoring_executor_.run ? &scoring_executor_ : nullptr;
   }
 
+  /// Retained for follower full reloads (Templar::BuildFromQfg needs them).
+  const db::Database* db_ = nullptr;
+  const embed::SimilarityModel* model_ = nullptr;
+  core::TemplarOptions templar_options_;
+  ReplicationOptions replication_;
+
   std::unique_ptr<core::Templar> templar_;
   core::ScoringExecutor scoring_executor_;
+
+  /// Delta-log replication state; guarded by qfg_mutex_ (exclusive), null
+  /// when replication is off.
+  std::unique_ptr<replication::GraphLog> graph_log_;
+  std::atomic<bool> follower_{false};
 
   /// Windowed rates + latency histograms; shared so a metrics registry can
   /// keep rendering safely while the core is torn down.
@@ -425,9 +519,19 @@ class TemplarService {
   ///@}
 
   /// \brief See ServiceCore::AppendLogQueries.
-  AppendOutcome AppendLogQueries(const std::vector<std::string>& sql_entries) {
+  Result<AppendOutcome> AppendLogQueries(
+      const std::vector<std::string>& sql_entries) {
     return core_->AppendLogQueries(sql_entries);
   }
+
+  /// \name Replication passthroughs (see ServiceCore)
+  ///@{
+  Result<uint64_t> SyncWithLog() { return core_->SyncWithLog(); }
+  Status Promote() { return core_->Promote(); }
+  Status CompactLog() { return core_->CompactLog(); }
+  bool is_follower() const { return core_->is_follower(); }
+  bool is_replicated() const { return core_->is_replicated(); }
+  ///@}
 
   /// \brief See ServiceCore::SaveSnapshot.
   Status SaveSnapshot(const std::string& path) const {

@@ -233,6 +233,40 @@ Status TenantHandle::SaveSnapshot(const std::string& path) const {
   return state_->core->SaveSnapshot(path);
 }
 
+Result<uint64_t> TenantHandle::SyncWithLog() const {
+  if (state_ == nullptr) {
+    return Status::InvalidArgument("empty tenant handle");
+  }
+  if (state_->retired.load(std::memory_order_acquire)) {
+    return RetiredError(*state_);
+  }
+  return state_->core->SyncWithLog();
+}
+
+Status TenantHandle::Promote() const {
+  if (state_ == nullptr) {
+    return Status::InvalidArgument("empty tenant handle");
+  }
+  if (state_->retired.load(std::memory_order_acquire)) {
+    return RetiredError(*state_);
+  }
+  return state_->core->Promote();
+}
+
+Status TenantHandle::CompactLog() const {
+  if (state_ == nullptr) {
+    return Status::InvalidArgument("empty tenant handle");
+  }
+  if (state_->retired.load(std::memory_order_acquire)) {
+    return RetiredError(*state_);
+  }
+  return state_->core->CompactLog();
+}
+
+bool TenantHandle::is_follower() const {
+  return state_ != nullptr && state_->core->is_follower();
+}
+
 ServiceStats TenantHandle::Stats() const {
   if (state_ == nullptr) return ServiceStats{};
   return TenantStatsSnapshot(*state_);
@@ -310,6 +344,7 @@ Status ServiceHost::RegisterTenant(const std::string& id,
   core_options.cache_shards = options_.cache_shards;
   core_options.invalidation = options.invalidation;
   core_options.warm_start_path = options.warm_start_path;
+  core_options.replication = options.replication;
   auto core = ServiceCore::Create(db, model, query_log, core_options);
   if (!core.ok()) return core.status();
 

@@ -108,6 +108,9 @@ struct TenantOptions {
   /// When set, overrides the host's default_admission for this tenant
   /// (an explicit {0, 0} rejects every request — drain mode).
   std::optional<AdmissionOptions> admission;
+  /// See ServiceOptions::replication. A tenant with a log_dir is durably
+  /// replicated (or, with `follower` set, tails another process's log).
+  ReplicationOptions replication;
 };
 
 namespace internal {
@@ -185,6 +188,19 @@ class TenantHandle {
 
   /// \brief Checkpoints this tenant's QFG (see ServiceCore::SaveSnapshot).
   Status SaveSnapshot(const std::string& path) const;
+
+  /// \name Replication control plane (see ServiceCore)
+  /// Not admission-gated, tenant-scoped by construction.
+  ///@{
+  /// \brief One follower catch-up pass; returns the applied epoch.
+  Result<uint64_t> SyncWithLog() const;
+  /// \brief Drains the log and turns this follower into the writer.
+  Status Promote() const;
+  /// \brief Folds this tenant's delta log into a fresh base snapshot.
+  Status CompactLog() const;
+  /// \brief True while this tenant rejects appends as a read-only replica.
+  bool is_follower() const;
+  ///@}
 
   /// \brief This tenant's counters: cache hit rates, append epoch, and
   /// admission admitted/rejected/queued.

@@ -190,10 +190,11 @@ TEST_P(AppendStormTest, CachedRankingsMatchRecomputeFromScratch) {
     std::vector<std::string> batch(
         ds.extra_log.begin() + half + round * kBatchSize,
         ds.extra_log.begin() + half + (round + 1) * kBatchSize);
-    AppendOutcome a = (*decisive)->AppendLogQueries(batch);
-    AppendOutcome b = (*consult)->AppendLogQueries(batch);
-    ASSERT_EQ(a.appended, batch.size());
-    ASSERT_EQ(b.appended, batch.size());
+    auto a = (*decisive)->AppendLogQueries(batch);
+    auto b = (*consult)->AppendLogQueries(batch);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->appended, batch.size());
+    ASSERT_EQ(b->appended, batch.size());
     for (const auto& sql_text : batch) {
       ASSERT_TRUE((*oracle)->AppendLogQuery(sql_text).ok()) << sql_text;
     }
@@ -246,10 +247,11 @@ TEST_P(AppendStormTest, CachedRankingsMatchRecomputeFromScratch) {
       (*decisive)->Stats().join_cache.retained;
   uint64_t consult_invalidated_before =
       (*consult)->Stats().join_cache.invalidated;
-  AppendOutcome na = (*decisive)->AppendLogQueries(narrow);
-  AppendOutcome nb = (*consult)->AppendLogQueries(narrow);
-  ASSERT_EQ(na.appended, narrow.size());
-  ASSERT_EQ(nb.appended, narrow.size());
+  auto na = (*decisive)->AppendLogQueries(narrow);
+  auto nb = (*consult)->AppendLogQueries(narrow);
+  ASSERT_TRUE(na.ok() && nb.ok());
+  ASSERT_EQ(na->appended, narrow.size());
+  ASSERT_EQ(nb->appended, narrow.size());
   for (const auto& sql_text : narrow) {
     ASSERT_TRUE((*oracle)->AppendLogQuery(sql_text).ok()) << sql_text;
   }

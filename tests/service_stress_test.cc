@@ -110,12 +110,14 @@ TEST(ServiceStressTest, ConcurrentRequestsWithOnlineIngestion) {
 
   auto writer = [&] {
     for (int i = 0; i < kAppendBatches; ++i) {
-      AppendOutcome outcome = service.AppendLogQueries(
+      auto outcome = service.AppendLogQueries(
           {"SELECT a.name FROM author a WHERE a.aid = " + std::to_string(i),
            "SELECT p.title FROM publication p WHERE p.year > " +
                std::to_string(1990 + i),
            "not sql at all"});
-      if (outcome.appended != 2 || outcome.skipped != 1) failures.fetch_add(1);
+      if (!outcome.ok() || outcome->appended != 2 || outcome->skipped != 1) {
+        failures.fetch_add(1);
+      }
       std::this_thread::yield();
     }
     writer_done.store(true);
@@ -224,10 +226,10 @@ TEST(ServiceStressTest, AppendsRetainEntriesForUntouchedFragments) {
   std::vector<std::thread> threads;
   threads.emplace_back([&] {
     for (int i = 0; i < kAppendBatches; ++i) {
-      AppendOutcome outcome = service.AppendLogQueries(
+      auto outcome = service.AppendLogQueries(
           {"SELECT o.name FROM organization o WHERE o.oid = " +
            std::to_string(i)});
-      if (outcome.appended != 1) failures.fetch_add(1);
+      if (!outcome.ok() || outcome->appended != 1) failures.fetch_add(1);
       std::this_thread::yield();
     }
   });

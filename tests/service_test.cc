@@ -416,13 +416,14 @@ TEST_F(TemplarServiceTest, AppendLogQueriesBumpsEpochAndInvalidates) {
   // append's delta intersects the cached map ranking's footprint; the join
   // search consulted author's log weight while exploring the schema, so the
   // join entry is touched too.
-  AppendOutcome outcome = service_->AppendLogQueries(
+  auto outcome = service_->AppendLogQueries(
       {"SELECT a.name FROM author a WHERE a.aid = 1",
        "THIS IS NOT SQL",
        "SELECT p.title FROM publication p"});
-  EXPECT_EQ(outcome.appended, 2u);
-  EXPECT_EQ(outcome.skipped, 1u);
-  EXPECT_EQ(outcome.epoch, epoch_before + 1);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->appended, 2u);
+  EXPECT_EQ(outcome->skipped, 1u);
+  EXPECT_EQ(outcome->epoch, epoch_before + 1);
   EXPECT_EQ(service_->epoch(), epoch_before + 1);
 
   ServiceStats stats = service_->Stats();
@@ -453,9 +454,10 @@ TEST_F(TemplarServiceTest, AppendKeepsEntriesForUntouchedFragmentsWarm) {
   // The papers-NLQ footprint covers its candidate fragments (journal.name,
   // publication.title, ... plus the Databases text predicates); an
   // organization-only query shares none of them.
-  AppendOutcome outcome =
+  auto outcome =
       service_->AppendLogQueries({"SELECT o.name FROM organization o"});
-  ASSERT_EQ(outcome.appended, 1u);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->appended, 1u);
 
   ServiceStats stats = service_->Stats();
   EXPECT_EQ(stats.map_cache.invalidated, 0u);
@@ -476,7 +478,7 @@ TEST_F(TemplarServiceTest, SingleRelationJoinSurvivesEveryAppend) {
   ASSERT_EQ(service_
                 ->AppendLogQueries(
                     {"SELECT a.name FROM author a WHERE a.aid = 1"})
-                .appended,
+                ->appended,
             1u);
   ASSERT_TRUE(service_->InferJoins({"author"}).ok());
   ServiceStats stats = service_->Stats();
@@ -493,7 +495,7 @@ TEST_F(TemplarServiceTest, DecisiveJoinFootprintSurvivesUnrelatedAppend) {
   std::vector<std::string> bag = {"author", "publication"};
   ASSERT_TRUE(service_->InferJoins(bag).ok());
   ASSERT_EQ(service_->AppendLogQueries({"SELECT o.name FROM organization o"})
-                .appended,
+                ->appended,
             1u);
   ASSERT_TRUE(service_->InferJoins(bag).ok());
   ServiceStats stats = service_->Stats();
@@ -513,7 +515,7 @@ TEST_F(TemplarServiceTest, DecisiveJoinFootprintSurvivesUnrelatedAppend) {
   ASSERT_TRUE((*consult)->InferJoins(bag).ok());
   ASSERT_EQ((*consult)
                 ->AppendLogQueries({"SELECT o.name FROM organization o"})
-                .appended,
+                ->appended,
             1u);
   ASSERT_TRUE((*consult)->InferJoins(bag).ok());
   stats = (*consult)->Stats();
@@ -530,7 +532,7 @@ TEST_F(TemplarServiceTest, DecisiveTranslateFootprintSurvivesUnrelatedAppend) {
       QueryRequest::Translation(PapersInDatabasesNlq(), /*top_k=*/3));
   ASSERT_TRUE(first.ok()) << first.status().ToString();
   ASSERT_EQ(service_->AppendLogQueries({"SELECT o.name FROM organization o"})
-                .appended,
+                ->appended,
             1u);
   auto second = service_->Translate(
       QueryRequest::Translation(PapersInDatabasesNlq(), /*top_k=*/3));
@@ -573,7 +575,7 @@ TEST_F(TemplarServiceTest, JoinCacheWithoutLogWeightsIgnoresAppends) {
   ASSERT_EQ((*service)
                 ->AppendLogQueries({"SELECT p.title FROM publication p",
                                     "SELECT d.name FROM domain d"})
-                .appended,
+                ->appended,
             2u);
   ASSERT_TRUE((*service)->InferJoins({"publication", "domain"}).ok());
   ServiceStats stats = (*service)->Stats();
@@ -593,7 +595,7 @@ TEST_F(TemplarServiceTest, EpochDropPolicyInvalidatesEverythingPerAppend) {
   // The same organization append that kPerFragment retains across...
   ASSERT_EQ((*service)
                 ->AppendLogQueries({"SELECT o.name FROM organization o"})
-                .appended,
+                ->appended,
             1u);
   ASSERT_TRUE((*service)->MapKeywords(PapersInDatabasesNlq()).ok());
   ServiceStats stats = (*service)->Stats();
@@ -616,10 +618,11 @@ TEST_F(TemplarServiceTest, StatsReportCoalescingCountersInToString) {
 
 TEST_F(TemplarServiceTest, AppendOfOnlyUnparseableEntriesKeepsEpoch) {
   uint64_t epoch_before = service_->epoch();
-  AppendOutcome outcome = service_->AppendLogQueries({"garbage", ""});
-  EXPECT_EQ(outcome.appended, 0u);
-  EXPECT_EQ(outcome.skipped, 2u);
-  EXPECT_EQ(outcome.epoch, epoch_before) << "no QFG change, no invalidation";
+  auto outcome = service_->AppendLogQueries({"garbage", ""});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->appended, 0u);
+  EXPECT_EQ(outcome->skipped, 2u);
+  EXPECT_EQ(outcome->epoch, epoch_before) << "no QFG change, no invalidation";
 }
 
 TEST_F(TemplarServiceTest, IngestionChangesJoinRanking) {
@@ -637,8 +640,9 @@ TEST_F(TemplarServiceTest, IngestionChangesJoinRanking) {
       50,
       "SELECT a.name FROM author a, writes w, publication p "
       "WHERE a.aid = w.aid AND w.pid = p.pid");
-  AppendOutcome outcome = service_->AppendLogQueries(burst);
-  ASSERT_EQ(outcome.appended, 50u);
+  auto outcome = service_->AppendLogQueries(burst);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->appended, 50u);
 
   auto after = service_->InferJoins(bag);
   ASSERT_TRUE(after.ok());
@@ -651,7 +655,7 @@ TEST_F(TemplarServiceTest, SnapshotWarmStartRoundTrip) {
   ASSERT_EQ(service_
                 ->AppendLogQueries(
                     {"SELECT a.name FROM author a WHERE a.aid = 1"})
-                .appended,
+                ->appended,
             1u);
   const std::string path = ::testing::TempDir() + "/service_snapshot.qfg";
   ASSERT_TRUE(service_->SaveSnapshot(path).ok());
@@ -929,7 +933,7 @@ TEST_F(TemplarServiceTest, TranslateFootprintKeepsUntouchedEntriesWarm) {
   // An organization-only append touches none of the papers-NLQ candidate
   // fragments: the cached translation must stay warm.
   ASSERT_EQ(
-      service.AppendLogQueries({"SELECT o.name FROM organization o"}).appended,
+      service.AppendLogQueries({"SELECT o.name FROM organization o"})->appended,
       1u);
   auto warm =
       service.Translate(QueryRequest::Translation(PapersInDatabasesNlq()));
@@ -944,7 +948,7 @@ TEST_F(TemplarServiceTest, TranslateFootprintKeepsUntouchedEntriesWarm) {
   // papers-NLQ candidates) invalidates it eagerly and the next request
   // recomputes.
   ASSERT_EQ(service.AppendLogQueries({"SELECT p.title FROM publication p"})
-                .appended,
+                ->appended,
             1u);
   EXPECT_EQ(service.Stats().translate_cache.invalidated, 1u);
   auto recomputed =

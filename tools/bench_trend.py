@@ -198,6 +198,52 @@ def check_config_scoring_cells(current):
     return violations
 
 
+def check_replication_cells(baseline, current, threshold):
+    """Replication-specific checks on bench_replication's snapshot.
+
+    Two contracts worth a named warning beyond the generic leaf diff:
+    within one run, delta replay must stay faster than rewriting the full
+    base snapshot per batch (speedup > 1.0x, or the log is pure overhead);
+    across runs, delta-apply throughput dropping more than `threshold`
+    means follower catch-up — and therefore the staleness bound — degraded,
+    which the aggregate per_sec diff would bury among unrelated leaves.
+    Advisory ::warning:: only. Returns the number of violations.
+    """
+    violations = 0
+    for name, doc in sorted(current.items()):
+        if not isinstance(doc, dict) or doc.get("bench") != "replication":
+            continue
+        speedup = doc.get("delta_over_snapshot_speedup")
+        if isinstance(speedup, (int, float)) and speedup <= 1.0:
+            violations += 1
+            print(f"::warning title=delta replay not faster::"
+                  f"{name}: delta replay is {speedup:.2f}x full-snapshot "
+                  f"rewrite — the delta log costs more than it saves; "
+                  f"profile GraphLog::ApplyBatch and the follower cache "
+                  f"sweeps")
+        elif isinstance(speedup, (int, float)):
+            print(f"bench-trend: {name} delta replay {speedup:.2f}x "
+                  f"snapshot rewrite")
+        rate = doc.get("delta_apply_batches_per_sec")
+        base_doc = baseline.get(name)
+        base = (base_doc.get("delta_apply_batches_per_sec")
+                if isinstance(base_doc, dict) else None)
+        if (isinstance(rate, (int, float)) and isinstance(base, (int, float))
+                and base > 0):
+            delta = (rate - base) / base
+            if delta < -threshold:
+                violations += 1
+                print(f"::warning title=delta-apply throughput drop::"
+                      f"{name}: delta_apply_batches_per_sec "
+                      f"{base:.4g} -> {rate:.4g} ({delta:+.1%}) — follower "
+                      f"catch-up slowed, which widens the staleness window "
+                      f"at the same append rate")
+            else:
+                print(f"bench-trend: {name} delta_apply_batches_per_sec "
+                      f"{base:.4g} -> {rate:.4g} ({delta:+.1%})")
+    return violations
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -221,6 +267,8 @@ def main():
     join_retained_violations = check_join_retained_cells(
         baseline, current, args.threshold)
     config_scoring_violations = check_config_scoring_cells(current)
+    replication_violations = check_replication_cells(
+        baseline, current, args.threshold)
 
     regressions = []
     improvements = []
@@ -259,7 +307,8 @@ def main():
     for line in regressions:
         print(f"::warning title=bench regression::{line}")
     if (regressions or hot_tenant_violations or join_retained_violations
-            or config_scoring_violations) and args.strict:
+            or config_scoring_violations or replication_violations) \
+            and args.strict:
         return 2
     return 0
 
